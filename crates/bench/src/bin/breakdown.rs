@@ -1,0 +1,78 @@
+//! Per-phase MLFMA time breakdown (measured on this machine + modeled for the
+//! paper's node types) — the quantitative backing for the paper's Fig. 4
+//! remark that "the MLFMA operation dominates performance" and for Table
+//! III's per-operation structure.
+
+use ffw_bench::{print_table, write_json, Args};
+use ffw_geometry::Domain;
+use ffw_mlfma::{Accuracy, MlfmaPlan};
+use ffw_perf::{gemini, matvec_time, xe6_cpu, xk7_gpu, MatvecComm, MatvecWork};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Record {
+    phase: String,
+    cpu_fraction: f64,
+    gpu_fraction: f64,
+}
+
+fn main() {
+    let args = Args::parse();
+    let px = if args.quick { 256 } else { 1024 };
+    println!("building the {px}x{px} px plan ...");
+    let plan = MlfmaPlan::new(&Domain::new(px, 1.0), Accuracy::default());
+    let stats = plan.stats();
+    let work = MatvecWork::from_stats(&stats);
+    let net = gemini();
+    let cpu = matvec_time(&work, &MatvecComm::default(), &xe6_cpu(), &net, 1);
+    let gpu = matvec_time(&work, &MatvecComm::default(), &xk7_gpu(), &net, 1);
+
+    let phases: [(&str, fn(&ffw_perf::OpBreakdown) -> f64); 6] = [
+        ("Multipole Expansion", |b| b.expansion),
+        ("Aggregation", |b| b.aggregation),
+        ("Translation", |b| b.translation),
+        ("Disaggregation", |b| b.disaggregation),
+        ("Local Expansion", |b| b.local_expansion),
+        ("Near-Field Interactions", |b| b.nearfield),
+    ];
+    let mut rows = Vec::new();
+    let mut records = Vec::new();
+    for (name, f) in phases {
+        let cf = f(&cpu) / cpu.total();
+        let gf = f(&gpu) / gpu.total();
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.1}%", 100.0 * cf),
+            format!("{:.1}%", 100.0 * gf),
+        ]);
+        records.push(Record {
+            phase: name.to_string(),
+            cpu_fraction: cf,
+            gpu_fraction: gf,
+        });
+    }
+    print_table(
+        &format!("modeled single-node matvec time fractions ({px}x{px} px)"),
+        &["phase", "CPU node", "GPU node"],
+        &rows,
+    );
+    println!(
+        "modeled matvec: CPU {:.1} ms, GPU {:.1} ms",
+        1e3 * cpu.total(),
+        1e3 * gpu.total()
+    );
+    println!("\nper-level structure (clusters / samples / translation pairs):");
+    for l in &stats.levels {
+        println!(
+            "  level {}: {:7} clusters, Q = {:4}, {:9} pairs",
+            l.level, l.n_clusters, l.q, l.translation_pairs
+        );
+    }
+    println!(
+        "\ntotal modeled flops per matvec: {:.2} Gflop across {} unknowns ({:.0} flops/unknown)",
+        stats.total_flops() / 1e9,
+        stats.n_pixels,
+        stats.total_flops() / stats.n_pixels as f64
+    );
+    write_json("breakdown", &records).expect("write results");
+}

@@ -1,0 +1,82 @@
+//! Fig. 1: reconstruction of a high-contrast homogeneous annular object with
+//! single-scattering (linear Born) vs multiple-scattering (nonlinear DBIM)
+//! approaches. The paper's qualitative claim: the Born approximation breaks
+//! down at high contrast; DBIM recovers the object.
+
+use ffw_bench::{print_table, write_json, Args};
+use ffw_geometry::Point2;
+use ffw_inverse::BornConfig;
+use ffw_phantom::{image_rel_error, Annulus, Phantom};
+use ffw_tomo::{Reconstruction, SceneConfig};
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct Record {
+    contrast: f64,
+    born_image_error: f64,
+    dbim_image_error: f64,
+    dbim_final_residual: f64,
+    dbim_iterations: usize,
+}
+
+fn main() {
+    let args = Args::parse();
+    let (px, n_tx, n_rx, iters) = if args.quick {
+        (32, 8, 16, 5)
+    } else if args.full {
+        (128, 32, 64, 25)
+    } else {
+        (64, 16, 32, 12)
+    };
+    let scene = SceneConfig::new(px, n_tx, n_rx);
+    let recon = Reconstruction::new(&scene);
+    let d = recon.domain().side();
+    let mut records = Vec::new();
+    let mut rows = Vec::new();
+    // low contrast (Born regime) and high contrast (multiple scattering)
+    for contrast in [0.02, 0.10, 0.30] {
+        let truth = Annulus {
+            center: Point2::ZERO,
+            inner: 0.18 * d,
+            outer: 0.30 * d,
+            contrast,
+        };
+        let truth_raster = truth.rasterize(recon.domain());
+        let t0 = Instant::now();
+        let measured = recon.synthesize(&truth);
+        let dbim = recon.run_dbim(&measured, iters);
+        let dbim_img = recon.image(&dbim.object);
+        let dbim_err = image_rel_error(&dbim_img, &truth_raster);
+        let born = recon.run_born(&measured, &BornConfig::default());
+        let born_img = recon.image(&born.object);
+        let born_err = image_rel_error(&born_img, &truth_raster);
+        println!(
+            "contrast {contrast}: done in {:.1?} (residual {:.2}% -> {:.2}%)",
+            t0.elapsed(),
+            100.0 * dbim.history[0].rel_residual,
+            100.0 * dbim.final_residual
+        );
+        rows.push(vec![
+            format!("{contrast}"),
+            format!("{born_err:.3}"),
+            format!("{dbim_err:.3}"),
+            format!("{:.1}x", born_err / dbim_err),
+        ]);
+        records.push(Record {
+            contrast,
+            born_image_error: born_err,
+            dbim_image_error: dbim_err,
+            dbim_final_residual: dbim.final_residual,
+            dbim_iterations: iters,
+        });
+    }
+    print_table(
+        &format!("Fig 1: annulus, linear vs nonlinear ({px}x{px} px, T={n_tx}, R={n_rx})"),
+        &["contrast", "Born img err", "DBIM img err", "DBIM advantage"],
+        &rows,
+    );
+    println!("paper: qualitative — nonlinear reconstruction resolves the high-contrast annulus,");
+    println!("linear reconstruction does not; the advantage must grow with contrast.");
+    write_json("fig01", &records).expect("write results");
+}

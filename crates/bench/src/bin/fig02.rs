@@ -1,0 +1,75 @@
+//! Fig. 2: limited-angle transmitters/receivers — capturing multiple
+//! scattering is critical when single-scattering waves miss the detectors.
+
+use ffw_bench::{print_table, write_json, Args};
+use ffw_geometry::Point2;
+use ffw_inverse::BornConfig;
+use ffw_phantom::{image_rel_error, Annulus, Phantom};
+use ffw_tomo::{Reconstruction, SceneConfig};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Record {
+    setup: String,
+    born_image_error: f64,
+    dbim_image_error: f64,
+}
+
+fn main() {
+    let args = Args::parse();
+    let (px, n_tx, n_rx, iters) = if args.quick {
+        (32, 8, 16, 5)
+    } else if args.full {
+        (128, 32, 64, 25)
+    } else {
+        (64, 16, 32, 12)
+    };
+    let contrast = 0.20;
+    let mut records = Vec::new();
+    let mut rows = Vec::new();
+    for (label, arc) in [
+        ("full ring", None),
+        ("180-degree arc", Some((-std::f64::consts::FRAC_PI_2, std::f64::consts::PI))),
+        ("90-degree arc", Some((-std::f64::consts::FRAC_PI_4, std::f64::consts::FRAC_PI_2))),
+    ] {
+        let mut scene = SceneConfig::new(px, n_tx, n_rx);
+        if let Some((s, w)) = arc {
+            scene = scene.with_arc(s, w);
+        }
+        let recon = Reconstruction::new(&scene);
+        let d = recon.domain().side();
+        let truth = Annulus {
+            center: Point2::ZERO,
+            inner: 0.18 * d,
+            outer: 0.30 * d,
+            contrast,
+        };
+        let truth_raster = truth.rasterize(recon.domain());
+        let measured = recon.synthesize(&truth);
+        let dbim = recon.run_dbim(&measured, iters);
+        let dbim_err = image_rel_error(&recon.image(&dbim.object), &truth_raster);
+        let born = recon.run_born(&measured, &BornConfig::default());
+        let born_err = image_rel_error(&recon.image(&born.object), &truth_raster);
+        rows.push(vec![
+            label.to_string(),
+            format!("{born_err:.3}"),
+            format!("{dbim_err:.3}"),
+            format!("{:.1}x", born_err / dbim_err),
+        ]);
+        records.push(Record {
+            setup: label.to_string(),
+            born_image_error: born_err,
+            dbim_image_error: dbim_err,
+        });
+    }
+    print_table(
+        &format!("Fig 2: limited-angle vs full-ring, contrast {contrast} ({px}x{px} px)"),
+        &["transducers", "Born img err", "DBIM img err", "DBIM advantage"],
+        &rows,
+    );
+    println!("paper: qualitative — the nonlinear reconstruction must beat the linear one at");
+    println!("every aperture, and the linear one must degrade to artifacts (error >= 1) as");
+    println!("the aperture narrows; full far-side recovery needs paper-scale illumination");
+    println!("counts (1,024 tx, 50 iterations) beyond this harness's default budget.");
+    write_json("fig02", &records).expect("write results");
+}

@@ -1,0 +1,46 @@
+//! Fig. 9: strong scaling across illuminations (performance model).
+
+use ffw_bench::{print_table, write_json};
+use ffw_perf::{calibrate, fig9, PlanLib};
+
+fn main() {
+    let mut lib = PlanLib::new();
+    let scale = calibrate(&mut lib);
+    let series = fig9(&mut lib, scale);
+    let rows: Vec<Vec<String>> = series
+        .iter()
+        .map(|p| {
+            vec![
+                p.nodes.to_string(),
+                format!("{:.1}", p.seconds),
+                format!("{:.2}", p.speedup),
+                format!("{:.1}%", 100.0 * p.efficiency),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig 9: strong scaling across illuminations (1M unknowns, T = 1024, GPU nodes)",
+        &["nodes", "seconds", "speedup", "efficiency"],
+        &rows,
+    );
+    println!("paper: 1,096 s @ 64 nodes -> 142 s @ 1,024 nodes (13.8x, 86.1% efficiency)");
+    let chart = ffw_tomo::viz::write_svg_chart(
+        format!("{}/fig09.svg", std::env::var("FFW_RESULTS_DIR").unwrap_or_else(|_| "results".into())),
+        "Fig 9: strong scaling across illuminations",
+        "nodes",
+        "speedup",
+        true,
+        &[ffw_tomo::viz::Series {
+            label: "modeled speedup",
+            points: series.iter().map(|p| (p.nodes as f64, p.speedup)).collect(),
+        },
+        ffw_tomo::viz::Series {
+            label: "ideal",
+            points: series.iter().map(|p| (p.nodes as f64, p.nodes as f64 / 64.0)).collect(),
+        }],
+    );
+    if let Ok(()) = chart {
+        println!("wrote results/fig09.svg");
+    }
+    write_json("fig09", &series).expect("write results");
+}

@@ -1,0 +1,46 @@
+//! Fig. 10: strong scaling across MLFMA sub-trees (performance model).
+
+use ffw_bench::{print_table, write_json};
+use ffw_perf::{calibrate, fig10, PlanLib};
+
+fn main() {
+    let mut lib = PlanLib::new();
+    let scale = calibrate(&mut lib);
+    let series = fig10(&mut lib, scale);
+    let rows: Vec<Vec<String>> = series
+        .iter()
+        .map(|p| {
+            vec![
+                p.nodes.to_string(),
+                format!("{:.1}", p.seconds),
+                format!("{:.2}", p.speedup),
+                format!("{:.1}%", 100.0 * p.efficiency),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig 10: strong scaling across MLFMA sub-trees (64 illumination groups fixed)",
+        &["nodes", "seconds", "speedup", "efficiency"],
+        &rows,
+    );
+    println!("paper: 1,096 s @ 64 nodes -> 263 s @ 1,024 nodes (7.45x, 46.6% efficiency)");
+    let chart = ffw_tomo::viz::write_svg_chart(
+        format!("{}/fig10.svg", std::env::var("FFW_RESULTS_DIR").unwrap_or_else(|_| "results".into())),
+        "Fig 10: strong scaling across MLFMA sub-trees",
+        "nodes",
+        "speedup",
+        true,
+        &[ffw_tomo::viz::Series {
+            label: "modeled speedup",
+            points: series.iter().map(|p| (p.nodes as f64, p.speedup)).collect(),
+        },
+        ffw_tomo::viz::Series {
+            label: "ideal",
+            points: series.iter().map(|p| (p.nodes as f64, p.nodes as f64 / 64.0)).collect(),
+        }],
+    );
+    if let Ok(()) = chart {
+        println!("wrote results/fig10.svg");
+    }
+    write_json("fig10", &series).expect("write results");
+}

@@ -1,0 +1,50 @@
+//! Fig. 11: weak scaling across illuminations, real vs adjusted.
+
+use ffw_bench::{print_table, write_json};
+use ffw_perf::{calibrate, fig11, PlanLib};
+
+fn main() {
+    let mut lib = PlanLib::new();
+    let scale = calibrate(&mut lib);
+    let series = fig11(&mut lib, scale);
+    let rows: Vec<Vec<String>> = series
+        .iter()
+        .map(|p| {
+            vec![
+                p.nodes.to_string(),
+                format!("{:.1}", p.seconds),
+                format!("{:.1}%", 100.0 * p.efficiency),
+                format!("{:.1}", p.adjusted_seconds.unwrap()),
+                format!("{:.1}%", 100.0 * p.adjusted_efficiency.unwrap()),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig 11: weak scaling across illuminations (one illumination per node)",
+        &["nodes", "real s", "real eff", "adjusted s", "adjusted eff"],
+        &rows,
+    );
+    println!("paper at 16x: real 77.2%, adjusted 89.9%");
+    let chart = ffw_tomo::viz::write_svg_chart(
+        format!("{}/fig11.svg", std::env::var("FFW_RESULTS_DIR").unwrap_or_else(|_| "results".into())),
+        "Fig 11: weak scaling across illuminations",
+        "nodes",
+        "efficiency",
+        true,
+        &[ffw_tomo::viz::Series {
+            label: "real",
+            points: series.iter().map(|p| (p.nodes as f64, p.efficiency)).collect(),
+        },
+        ffw_tomo::viz::Series {
+            label: "adjusted",
+            points: series
+                .iter()
+                .map(|p| (p.nodes as f64, p.adjusted_efficiency.unwrap()))
+                .collect(),
+        }],
+    );
+    if let Ok(()) = chart {
+        println!("wrote results/fig11.svg");
+    }
+    write_json("fig11", &series).expect("write results");
+}

@@ -1,0 +1,50 @@
+//! Fig. 12: weak scaling across MLFMA sub-trees (domain grows 4x per step).
+
+use ffw_bench::{print_table, write_json};
+use ffw_perf::{calibrate, fig12, PlanLib};
+
+fn main() {
+    let mut lib = PlanLib::new();
+    let scale = calibrate(&mut lib);
+    let series = fig12(&mut lib, scale);
+    let rows: Vec<Vec<String>> = series
+        .iter()
+        .map(|p| {
+            vec![
+                p.nodes.to_string(),
+                format!("{:.1}", p.seconds),
+                format!("{:.1}%", 100.0 * p.efficiency),
+                format!("{:.1}", p.adjusted_seconds.unwrap()),
+                format!("{:.1}%", 100.0 * p.adjusted_efficiency.unwrap()),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig 12: weak scaling across sub-trees (1M -> 16M unknowns with node count)",
+        &["nodes", "real s", "real eff", "adjusted s", "adjusted eff"],
+        &rows,
+    );
+    println!("paper at 16x: real 73.3%, adjusted 94.7%");
+    let chart = ffw_tomo::viz::write_svg_chart(
+        format!("{}/fig12.svg", std::env::var("FFW_RESULTS_DIR").unwrap_or_else(|_| "results".into())),
+        "Fig 12: weak scaling across sub-trees",
+        "nodes",
+        "efficiency",
+        true,
+        &[ffw_tomo::viz::Series {
+            label: "real",
+            points: series.iter().map(|p| (p.nodes as f64, p.efficiency)).collect(),
+        },
+        ffw_tomo::viz::Series {
+            label: "adjusted",
+            points: series
+                .iter()
+                .map(|p| (p.nodes as f64, p.adjusted_efficiency.unwrap()))
+                .collect(),
+        }],
+    );
+    if let Ok(()) = chart {
+        println!("wrote results/fig12.svg");
+    }
+    write_json("fig12", &series).expect("write results");
+}

@@ -1,0 +1,43 @@
+//! Table III: individual MLFMA operation GPU speedups (performance model over
+//! the real plan of the 409.6-lambda / 16M-unknown domain).
+
+use ffw_bench::{print_table, write_json, Args};
+use ffw_geometry::Domain;
+use ffw_mlfma::{Accuracy, MlfmaPlan};
+use ffw_perf::{gemini, table3, xe6_cpu, xk7_gpu};
+
+fn main() {
+    let args = Args::parse();
+    // default 16M unknowns (the paper's size); --quick drops to 4M
+    let px = if args.quick { 2048 } else { 4096 };
+    println!("building the {px}x{px} px ({}M unknowns) plan ...", px * px >> 20);
+    let plan = MlfmaPlan::new(&Domain::new(px, 1.0), Accuracy::default());
+    let rows_data = table3(&plan, &xe6_cpu(), &xk7_gpu(), &gemini());
+    let paper: &[(&str, f64, f64, f64)] = &[
+        ("Multipole Expansion", 5.05, 16.30, 79.95),
+        ("Aggregation", 5.92, 15.42, 78.71),
+        ("Translation", 2.90, 12.86, 44.80),
+        ("Disaggregation", 2.82, 13.77, 38.22),
+        ("Local Expansion", 5.48, 15.55, 86.51),
+        ("Near-Field Interactions", 3.92, 15.75, 62.76),
+        ("Overall", 3.91, 14.54, 60.08),
+    ];
+    let rows: Vec<Vec<String>> = rows_data
+        .iter()
+        .map(|r| {
+            let p = paper.iter().find(|(n, ..)| *n == r.op).expect("row");
+            vec![
+                r.op.to_string(),
+                format!("{:.2}x ({:.2})", r.gpu1, p.1),
+                format!("{:.2}x ({:.2})", r.cpu16, p.2),
+                format!("{:.2}x ({:.2})", r.gpu16, p.3),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table III: MLFMA operation speedups, modeled (paper in parentheses)",
+        &["operation", "GPU 1 node", "CPU 16 nodes", "GPU 16 nodes"],
+        &rows,
+    );
+    write_json("table3", &rows_data).expect("write results");
+}

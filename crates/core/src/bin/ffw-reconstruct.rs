@@ -1,0 +1,181 @@
+//! Command-line reconstruction driver.
+//!
+//! ```sh
+//! cargo run --release -p ffw-tomo --bin ffw-reconstruct -- \
+//!     --size 64 --tx 16 --rx 32 --phantom annulus --contrast 0.2 \
+//!     --iterations 10 --out /tmp/annulus
+//! ```
+//!
+//! Writes `<out>_truth.pgm` and `<out>_reconstruction.pgm` and prints the
+//! reconstruction metrics.
+
+use ffw_geometry::Point2;
+use ffw_inverse::{add_noise, BornConfig, DbimConfig};
+use ffw_phantom::{image_rel_error, Annulus, Cylinder, Phantom, RandomBlobs, SheppLogan};
+use ffw_tomo::viz::write_pgm;
+use ffw_tomo::{Reconstruction, SceneConfig};
+use std::sync::Arc;
+
+struct Cli {
+    size: usize,
+    tx: usize,
+    rx: usize,
+    phantom: String,
+    contrast: f64,
+    iterations: usize,
+    noise_db: Option<f64>,
+    arc_deg: Option<f64>,
+    born: bool,
+    precondition: bool,
+    positivity: bool,
+    out: Option<String>,
+}
+
+fn parse_args() -> Result<Cli, String> {
+    let mut cli = Cli {
+        size: 64,
+        tx: 16,
+        rx: 32,
+        phantom: "cylinder".into(),
+        contrast: 0.1,
+        iterations: 10,
+        noise_db: None,
+        arc_deg: None,
+        born: false,
+        precondition: false,
+        positivity: false,
+        out: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut val = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--size" => cli.size = val("--size")?.parse().map_err(|e| format!("{e}"))?,
+            "--tx" => cli.tx = val("--tx")?.parse().map_err(|e| format!("{e}"))?,
+            "--rx" => cli.rx = val("--rx")?.parse().map_err(|e| format!("{e}"))?,
+            "--phantom" => cli.phantom = val("--phantom")?,
+            "--contrast" => cli.contrast = val("--contrast")?.parse().map_err(|e| format!("{e}"))?,
+            "--iterations" => {
+                cli.iterations = val("--iterations")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--noise-db" => {
+                cli.noise_db = Some(val("--noise-db")?.parse().map_err(|e| format!("{e}"))?)
+            }
+            "--arc-deg" => {
+                cli.arc_deg = Some(val("--arc-deg")?.parse().map_err(|e| format!("{e}"))?)
+            }
+            "--born" => cli.born = true,
+            "--precondition" => cli.precondition = true,
+            "--positivity" => cli.positivity = true,
+            "--out" => cli.out = Some(val("--out")?),
+            "--help" | "-h" => {
+                println!(
+                    "usage: ffw-reconstruct [--size N] [--tx T] [--rx R] \
+                     [--phantom cylinder|annulus|shepp-logan|blobs] [--contrast C] \
+                     [--iterations K] [--noise-db D] [--arc-deg A] [--born] \
+                     [--precondition] [--positivity] [--out PREFIX]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(cli)
+}
+
+fn build_phantom(cli: &Cli, side: f64) -> Box<dyn Phantom + Sync> {
+    match cli.phantom.as_str() {
+        "cylinder" => Box::new(Cylinder {
+            center: Point2::ZERO,
+            radius: 0.25 * side,
+            contrast: cli.contrast,
+        }),
+        "annulus" => Box::new(Annulus {
+            center: Point2::ZERO,
+            inner: 0.18 * side,
+            outer: 0.30 * side,
+            contrast: cli.contrast,
+        }),
+        "shepp-logan" => Box::new(SheppLogan::new(0.45 * side, cli.contrast)),
+        "blobs" => Box::new(RandomBlobs::new(6, 0.4 * side, cli.contrast, 42)),
+        other => {
+            eprintln!("unknown phantom '{other}'");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let cli = match parse_args() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e} (try --help)");
+            std::process::exit(2);
+        }
+    };
+    let mut scene = SceneConfig::new(cli.size, cli.tx, cli.rx);
+    if let Some(deg) = cli.arc_deg {
+        let span = deg.to_radians();
+        scene = scene.with_arc(-span / 2.0, span);
+    }
+    let recon = Reconstruction::new(&scene);
+    let phantom = build_phantom(&cli, recon.domain().side());
+    let truth_raster = phantom.rasterize(recon.domain());
+
+    println!(
+        "scene: {0}x{0} px ({1:.1} lambda), T={2}, R={3}, phantom={4}, contrast={5}",
+        cli.size,
+        recon.domain().side_lambda(),
+        cli.tx,
+        cli.rx,
+        cli.phantom,
+        cli.contrast
+    );
+    let mut measured = recon.synthesize(phantom.as_ref());
+    if let Some(db) = cli.noise_db {
+        add_noise(&mut measured, db, 1);
+        println!("added {db} dB SNR noise");
+    }
+
+    let (image, label) = if cli.born {
+        let result = recon.run_born(&measured, &BornConfig::default());
+        println!("Born (single scattering): {:?}", result.stats);
+        (recon.image(&result.object), "Born")
+    } else {
+        let cfg = DbimConfig {
+            iterations: cli.iterations,
+            positivity: cli.positivity,
+            precondition: cli.precondition.then(|| Arc::clone(&recon.plan)),
+            ..Default::default()
+        };
+        let result = recon.run_dbim_with(&measured, &cfg);
+        println!(
+            "DBIM: residual {:.2}% -> {:.3}%, {:.1} MLFMA mults/solve, {} forward solves",
+            100.0 * result.history[0].rel_residual,
+            100.0 * result.final_residual,
+            result.mlfma_mults_per_solve(),
+            result.forward_solves
+        );
+        (recon.image(&result.object), "DBIM")
+    };
+    let err = image_rel_error(&image, &truth_raster);
+    println!("{label} image relative error: {err:.4}");
+
+    if let Some(prefix) = &cli.out {
+        let vmax = cli.contrast.max(1e-9);
+        write_pgm(format!("{prefix}_truth.pgm"), &truth_raster, cli.size, 0.0, vmax)
+            .expect("write truth image");
+        write_pgm(
+            format!("{prefix}_reconstruction.pgm"),
+            &image,
+            cli.size,
+            0.0,
+            vmax,
+        )
+        .expect("write reconstruction image");
+        println!("wrote {prefix}_truth.pgm and {prefix}_reconstruction.pgm");
+    }
+}

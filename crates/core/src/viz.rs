@@ -1,0 +1,228 @@
+//! Lightweight visual output: PGM images of reconstructions and SVG line
+//! charts of convergence/scaling series — no plotting dependency, plain
+//! files a reviewer can open.
+
+use std::io::Write;
+use std::path::Path;
+
+/// Writes a grid-order raster as a binary 8-bit PGM, mapping `[vmin, vmax]`
+/// to `[0, 255]` (values clamped).
+pub fn write_pgm(
+    path: impl AsRef<Path>,
+    raster: &[f64],
+    n_side: usize,
+    vmin: f64,
+    vmax: f64,
+) -> std::io::Result<()> {
+    assert_eq!(raster.len(), n_side * n_side);
+    assert!(vmax > vmin);
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(f, "P5\n{n_side} {n_side}\n255")?;
+    let scale = 255.0 / (vmax - vmin);
+    // PGM rows run top-to-bottom; our rasters are row-major bottom-up in y,
+    // so flip vertically for a conventional image orientation.
+    for row in (0..n_side).rev() {
+        let bytes: Vec<u8> = raster[row * n_side..(row + 1) * n_side]
+            .iter()
+            .map(|&v| ((v - vmin) * scale).clamp(0.0, 255.0) as u8)
+            .collect();
+        f.write_all(&bytes)?;
+    }
+    Ok(())
+}
+
+/// A named series for [`write_svg_chart`].
+pub struct Series<'a> {
+    /// Legend label.
+    pub label: &'a str,
+    /// `(x, y)` points.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Writes a minimal SVG line chart (log-x optional) — used to regenerate the
+/// paper's scaling figures as actual figure files.
+pub fn write_svg_chart(
+    path: impl AsRef<Path>,
+    title: &str,
+    x_label: &str,
+    y_label: &str,
+    log_x: bool,
+    series: &[Series<'_>],
+) -> std::io::Result<()> {
+    let (w, h) = (640.0, 420.0);
+    let (ml, mr, mt, mb) = (70.0, 20.0, 40.0, 50.0);
+    let tx = |x: f64| -> f64 {
+        if log_x {
+            x.log2()
+        } else {
+            x
+        }
+    };
+    let mut xmin = f64::INFINITY;
+    let mut xmax = f64::NEG_INFINITY;
+    let mut ymin = 0.0f64;
+    let mut ymax = f64::NEG_INFINITY;
+    for s in series {
+        for &(x, y) in &s.points {
+            xmin = xmin.min(tx(x));
+            xmax = xmax.max(tx(x));
+            ymax = ymax.max(y);
+            ymin = ymin.min(y);
+        }
+    }
+    if !xmin.is_finite() || xmax <= xmin {
+        xmax = xmin + 1.0;
+    }
+    if ymax <= ymin {
+        ymax = ymin + 1.0;
+    }
+    ymax *= 1.05;
+    let px = |x: f64| ml + (tx(x) - xmin) / (xmax - xmin) * (w - ml - mr);
+    let py = |y: f64| h - mb - (y - ymin) / (ymax - ymin) * (h - mt - mb);
+    let colors = ["#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e"];
+
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(
+        f,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" font-family="sans-serif" font-size="12">"#
+    )?;
+    writeln!(f, r#"<rect width="{w}" height="{h}" fill="white"/>"#)?;
+    writeln!(
+        f,
+        r#"<text x="{}" y="20" text-anchor="middle" font-size="14">{}</text>"#,
+        w / 2.0,
+        title
+    )?;
+    // axes
+    writeln!(
+        f,
+        r#"<line x1="{ml}" y1="{}" x2="{}" y2="{}" stroke="black"/>"#,
+        h - mb,
+        w - mr,
+        h - mb
+    )?;
+    writeln!(
+        f,
+        r#"<line x1="{ml}" y1="{mt}" x2="{ml}" y2="{}" stroke="black"/>"#,
+        h - mb
+    )?;
+    writeln!(
+        f,
+        r#"<text x="{}" y="{}" text-anchor="middle">{}</text>"#,
+        w / 2.0,
+        h - 12.0,
+        x_label
+    )?;
+    writeln!(
+        f,
+        r#"<text x="16" y="{}" text-anchor="middle" transform="rotate(-90 16 {})">{}</text>"#,
+        h / 2.0,
+        h / 2.0,
+        y_label
+    )?;
+    // y ticks
+    for i in 0..=4 {
+        let yv = ymin + (ymax - ymin) * i as f64 / 4.0;
+        let y = py(yv);
+        writeln!(
+            f,
+            r#"<line x1="{}" y1="{y}" x2="{ml}" y2="{y}" stroke="black"/><text x="{}" y="{}" text-anchor="end">{:.3}</text>"#,
+            ml - 4.0,
+            ml - 8.0,
+            y + 4.0,
+            yv
+        )?;
+    }
+    // series
+    for (si, s) in series.iter().enumerate() {
+        let color = colors[si % colors.len()];
+        let pts: Vec<String> = s
+            .points
+            .iter()
+            .map(|&(x, y)| format!("{:.1},{:.1}", px(x), py(y)))
+            .collect();
+        writeln!(
+            f,
+            r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="2"/>"#,
+            pts.join(" ")
+        )?;
+        for &(x, y) in &s.points {
+            writeln!(
+                f,
+                r#"<circle cx="{:.1}" cy="{:.1}" r="3" fill="{color}"/>"#,
+                px(x),
+                py(y)
+            )?;
+            // x tick labels from the first series
+            if si == 0 {
+                writeln!(
+                    f,
+                    r#"<text x="{:.1}" y="{}" text-anchor="middle">{}</text>"#,
+                    px(x),
+                    h - mb + 16.0,
+                    x
+                )?;
+            }
+        }
+        writeln!(
+            f,
+            r#"<text x="{}" y="{}" fill="{color}">{}</text>"#,
+            w - mr - 150.0,
+            mt + 16.0 * si as f64,
+            s.label
+        )?;
+    }
+    writeln!(f, "</svg>")?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pgm_roundtrip_header_and_size() {
+        let dir = std::env::temp_dir().join("ffw-viz-test.pgm");
+        let raster: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        write_pgm(&dir, &raster, 8, 0.0, 63.0).expect("write");
+        let bytes = std::fs::read(&dir).expect("read");
+        let header = b"P5\n8 8\n255\n";
+        assert_eq!(&bytes[..header.len()], header);
+        assert_eq!(bytes.len(), header.len() + 64);
+        // brightest pixel is the last raster value, which lands on the top row
+        assert_eq!(bytes[header.len() + 7], 255);
+    }
+
+    #[test]
+    fn pgm_clamps_out_of_range() {
+        let dir = std::env::temp_dir().join("ffw-viz-clamp.pgm");
+        write_pgm(&dir, &[-10.0, 0.5, 10.0, 1.0], 2, 0.0, 1.0).expect("write");
+        let bytes = std::fs::read(&dir).expect("read");
+        let n = bytes.len();
+        // bottom row written last: [-10 -> 0, 0.5 -> 127ish]
+        assert_eq!(bytes[n - 2], 0);
+        assert!(bytes[n - 1] > 120 && bytes[n - 1] < 135);
+    }
+
+    #[test]
+    fn svg_is_well_formed_enough() {
+        let dir = std::env::temp_dir().join("ffw-viz-test.svg");
+        write_svg_chart(
+            &dir,
+            "test",
+            "nodes",
+            "efficiency",
+            true,
+            &[Series {
+                label: "model",
+                points: vec![(64.0, 1.0), (128.0, 0.9), (256.0, 0.8)],
+            }],
+        )
+        .expect("write");
+        let s = std::fs::read_to_string(&dir).expect("read");
+        assert!(s.starts_with("<svg"));
+        assert!(s.trim_end().ends_with("</svg>"));
+        assert!(s.contains("polyline"));
+        assert!(s.matches("circle").count() == 3);
+    }
+}

@@ -1,0 +1,221 @@
+//! The fully two-dimensional parallel DBIM (paper Fig. 6): rank grid
+//! `G groups x P sub-tree slots`. Groups split the illuminations; within a
+//! group the MLFMA tree (and every solver vector) is partitioned across the
+//! `P` slots. Synchronization happens exactly where the paper's Fig. 4 marks
+//! it: the gradient combination and the step-size reductions across groups,
+//! plus the per-matvec translation/near-field exchanges within a group.
+
+use crate::engine::DistMlfma;
+use crate::solver::{
+    allreduce_scalars, dist_bicgstab, DistAdjointScatteringOp, DistScatteringOp,
+};
+use ffw_inverse::{DbimConfig, ImagingSetup};
+use ffw_mlfma::MlfmaPlan;
+use ffw_mpi::Comm;
+use ffw_numerics::vecops::{norm2_sqr, zdotc};
+use ffw_numerics::{c64, C64};
+use std::sync::Arc;
+
+/// Result of a distributed reconstruction on one rank.
+#[derive(Clone, Debug)]
+pub struct DistDbimResult {
+    /// This rank's slice of the reconstructed object (tree order).
+    pub object_local: Vec<C64>,
+    /// Pixel range of the slice.
+    pub pixel_range: std::ops::Range<usize>,
+    /// Relative residual per iteration (identical on every rank).
+    pub residual_history: Vec<f64>,
+    /// Final relative residual.
+    pub final_residual: f64,
+}
+
+/// Runs DBIM on a `groups x subtree` rank grid. `comm.size()` must equal
+/// `groups * subtree_ranks`; transmitters must divide evenly among groups.
+///
+/// Numerically this performs the *same* iteration as the serial
+/// `ffw_inverse::dbim` (same solves, same reductions in exact arithmetic), so
+/// the serial-vs-distributed image difference plays the role of the paper's
+/// CPU-vs-GPU consistency check (Section V-E, 7.15e-13).
+pub fn dist_dbim(
+    comm: &Comm,
+    setup: &ImagingSetup,
+    plan: Arc<MlfmaPlan>,
+    measured: &[Vec<C64>],
+    groups: usize,
+    subtree_ranks: usize,
+    cfg: &DbimConfig,
+) -> DistDbimResult {
+    assert_eq!(comm.size(), groups * subtree_ranks, "rank grid mismatch");
+    let n_tx = setup.n_tx();
+    assert_eq!(n_tx % groups, 0, "transmitters must divide among groups");
+    let tx_per_group = n_tx / groups;
+    let rank = comm.rank();
+    let group = rank / subtree_ranks;
+    let slot = rank % subtree_ranks;
+    let group_members: Vec<usize> =
+        (0..subtree_ranks).map(|s| group * subtree_ranks + s).collect();
+    let slot_siblings: Vec<usize> = (0..groups).map(|g| g * subtree_ranks + slot).collect();
+    let all_members: Vec<usize> = (0..comm.size()).collect();
+    let my_txs: Vec<usize> = (group * tx_per_group..(group + 1) * tx_per_group).collect();
+
+    let g0 = DistMlfma::new(comm, Arc::clone(&plan), group_members.clone(), true);
+    let cols = g0.partition().pixel_range.clone();
+    let n_local = cols.len();
+
+    let mut object = vec![C64::ZERO; n_local];
+    let mut fields: Vec<Vec<C64>> = vec![vec![C64::ZERO; n_local]; my_txs.len()];
+    let mut grad_prev = vec![C64::ZERO; n_local];
+    let mut dir = vec![C64::ZERO; n_local];
+    let mut residual_history = Vec::with_capacity(cfg.iterations);
+
+    // measured norm over *all* transmitters (identical on all ranks)
+    let measured_norm_sqr: f64 = measured.iter().map(|m| norm2_sqr(m)).sum();
+
+    let compute_residuals = |object: &[C64], fields: &mut [Vec<C64>]| -> (Vec<Vec<C64>>, f64) {
+        let mut residuals = Vec::with_capacity(my_txs.len());
+        let mut cost_local = 0.0f64;
+        for (i, &t) in my_txs.iter().enumerate() {
+            if !cfg.warm_start {
+                fields[i].iter_mut().for_each(|v| *v = C64::ZERO);
+            }
+            let a = DistScatteringOp {
+                g0: &g0,
+                object_local: object,
+            };
+            let inc = &setup.incident(t)[cols.clone()];
+            dist_bicgstab(&a, comm, &group_members, inc, &mut fields[i], cfg.forward);
+            // r_t = GR (O . phi) - m_t, reduced across the group
+            let w: Vec<C64> = object
+                .iter()
+                .zip(&fields[i])
+                .map(|(o, p)| *o * *p)
+                .collect();
+            let mut r = vec![C64::ZERO; setup.n_rx()];
+            setup.gr_apply_cols(cols.clone(), &w, &mut r);
+            allreduce_scalars(comm, &group_members, &mut r);
+            for (ri, mi) in r.iter_mut().zip(&measured[t]) {
+                *ri -= *mi;
+            }
+            if slot == 0 {
+                cost_local += norm2_sqr(&r);
+            }
+            residuals.push(r);
+        }
+        // global cost: only slot-0 ranks contribute (each tx counted once)
+        let mut c = [c64(cost_local, 0.0)];
+        allreduce_scalars(comm, &all_members, &mut c);
+        (residuals, c[0].re)
+    };
+
+    for it in 0..cfg.iterations {
+        // --- pass 1: fields + residuals ---
+        let (residuals, cost) = compute_residuals(&object, &mut fields);
+        residual_history.push((cost / measured_norm_sqr).sqrt());
+
+        // --- pass 2: gradient ---
+        let mut grad = vec![C64::ZERO; n_local];
+        let mut y = vec![C64::ZERO; n_local];
+        let mut g0hz = vec![C64::ZERO; n_local];
+        for (i, _t) in my_txs.iter().enumerate() {
+            setup.gr_adjoint_apply_cols(cols.clone(), &residuals[i], &mut y);
+            let rhs: Vec<C64> = object.iter().zip(&y).map(|(o, yi)| o.conj() * *yi).collect();
+            let mut z = vec![C64::ZERO; n_local];
+            let ah = DistAdjointScatteringOp {
+                g0: &g0,
+                object_local: &object,
+            };
+            dist_bicgstab(&ah, comm, &group_members, &rhs, &mut z, cfg.forward);
+            // G0^H z via conjugation
+            let zc: Vec<C64> = z.iter().map(|v| v.conj()).collect();
+            g0.apply(&zc, &mut g0hz);
+            for j in 0..n_local {
+                grad[j] += fields[i][j].conj() * (y[j] + g0hz[j].conj());
+            }
+        }
+        // combine across illumination groups (slot-wise)
+        allreduce_scalars(comm, &slot_siblings, &mut grad);
+        if cfg.real_object {
+            grad.iter_mut().for_each(|v| v.im = 0.0);
+        }
+
+        // --- conjugate direction ---
+        let mut dots = [
+            c64(norm2_sqr(&grad), 0.0),
+            zdotc(
+                &grad,
+                &grad_prev
+                    .iter()
+                    .zip(&grad)
+                    .map(|(gp, g)| *g - *gp)
+                    .collect::<Vec<_>>(),
+            ),
+            c64(norm2_sqr(&grad_prev), 0.0),
+        ];
+        // inner products over the pixel dimension: reduce within the group
+        allreduce_scalars(comm, &group_members, &mut dots);
+        let g_norm_sqr = dots[0].re;
+        if g_norm_sqr == 0.0 {
+            break;
+        }
+        let beta = if cfg.conjugate && it > 0 && dots[2].re > 0.0 {
+            (dots[1].re / dots[2].re).max(0.0)
+        } else {
+            0.0
+        };
+        for j in 0..n_local {
+            dir[j] = -grad[j] + beta * dir[j];
+        }
+        grad_prev.copy_from_slice(&grad);
+
+        // --- pass 3: step size ---
+        let mut num_local = 0.0f64;
+        let mut den_local = 0.0f64;
+        let mut w = vec![C64::ZERO; n_local];
+        let mut g0w = vec![C64::ZERO; n_local];
+        for (i, _t) in my_txs.iter().enumerate() {
+            for j in 0..n_local {
+                w[j] = fields[i][j] * dir[j];
+            }
+            g0.apply(&w, &mut g0w);
+            let mut u = vec![C64::ZERO; n_local];
+            let a = DistScatteringOp {
+                g0: &g0,
+                object_local: &object,
+            };
+            dist_bicgstab(&a, comm, &group_members, &g0w, &mut u, cfg.forward);
+            let src: Vec<C64> = w
+                .iter()
+                .zip(&u)
+                .zip(&object)
+                .map(|((wi, ui), oi)| *wi + *oi * *ui)
+                .collect();
+            let mut fd = vec![C64::ZERO; setup.n_rx()];
+            setup.gr_apply_cols(cols.clone(), &src, &mut fd);
+            allreduce_scalars(comm, &group_members, &mut fd);
+            if slot == 0 {
+                num_local -= zdotc(&fd, &residuals[i]).re;
+                den_local += norm2_sqr(&fd);
+            }
+        }
+        let mut nd = [c64(num_local, 0.0), c64(den_local, 0.0)];
+        allreduce_scalars(comm, &all_members, &mut nd);
+        let alpha = if nd[1].re > 0.0 { nd[0].re / nd[1].re } else { 0.0 };
+        for j in 0..n_local {
+            object[j] += alpha * dir[j];
+        }
+        if cfg.real_object {
+            object.iter_mut().for_each(|v| v.im = 0.0);
+        }
+    }
+
+    // --- final residual ---
+    let (_, cost) = compute_residuals(&object, &mut fields);
+    let final_residual = (cost / measured_norm_sqr).sqrt();
+
+    DistDbimResult {
+        object_local: object,
+        pixel_range: cols,
+        residual_history,
+        final_residual,
+    }
+}

@@ -1,0 +1,20 @@
+//! # ffw-dist
+//!
+//! The paper's two-dimensional parallelization (Section IV): illuminations
+//! distributed across rank groups, MLFMA sub-trees distributed within each
+//! group, communication buffer aggregation, and overlap of communication with
+//! computation — all over the `ffw-mpi` message-passing runtime.
+
+#![warn(missing_docs)]
+
+pub mod dbim_dist;
+pub mod engine;
+pub mod partition;
+pub mod solver;
+
+pub use dbim_dist::{dist_dbim, DistDbimResult};
+pub use engine::DistMlfma;
+pub use partition::{ExchangePlan, SubtreePartition, MAX_SUBTREE_RANKS};
+pub use solver::{
+    allreduce_scalars, dist_bicgstab, DistAdjointScatteringOp, DistG0Op, DistOp, DistScatteringOp,
+};

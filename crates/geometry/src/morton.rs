@@ -1,0 +1,116 @@
+//! 2-D Morton (Z-order) index encoding.
+//!
+//! The paper uses Morton indexing "to ensure that spatially close clusters are
+//! also close in memory" and so that parent/child clusters across levels land
+//! on the same node under the sub-tree partitioning (Section IV-A). A
+//! contiguous Morton range at the top computed level *is* a set of complete
+//! sub-trees, which is exactly how `ffw-dist` assigns clusters to ranks.
+
+/// Interleaves the low 16 bits of `v` with zeros: `abcd -> 0a0b0c0d`.
+#[inline]
+fn spread16(v: u32) -> u32 {
+    let mut x = v & 0xFFFF;
+    x = (x | (x << 8)) & 0x00FF_00FF;
+    x = (x | (x << 4)) & 0x0F0F_0F0F;
+    x = (x | (x << 2)) & 0x3333_3333;
+    x = (x | (x << 1)) & 0x5555_5555;
+    x
+}
+
+/// Inverse of [`spread16`].
+#[inline]
+fn compact16(v: u32) -> u32 {
+    let mut x = v & 0x5555_5555;
+    x = (x | (x >> 1)) & 0x3333_3333;
+    x = (x | (x >> 2)) & 0x0F0F_0F0F;
+    x = (x | (x >> 4)) & 0x00FF_00FF;
+    x = (x | (x >> 8)) & 0x0000_FFFF;
+    x
+}
+
+/// Encodes grid coordinates (each < 2^16) into a Morton code.
+/// `x` occupies even bits, `y` odd bits.
+#[inline]
+pub fn morton_encode(x: u32, y: u32) -> u32 {
+    debug_assert!(x < 0x1_0000 && y < 0x1_0000);
+    spread16(x) | (spread16(y) << 1)
+}
+
+/// Decodes a Morton code into `(x, y)`.
+#[inline]
+pub fn morton_decode(m: u32) -> (u32, u32) {
+    (compact16(m), compact16(m >> 1))
+}
+
+/// Morton code of the parent cluster one level up.
+#[inline]
+pub fn morton_parent(m: u32) -> u32 {
+    m >> 2
+}
+
+/// Child position (0..4) of a cluster within its parent, in Morton order:
+/// 0 = (even x, even y), 1 = (odd x, even y), 2 = (even x, odd y), 3 = both odd.
+#[inline]
+pub fn morton_child_pos(m: u32) -> u32 {
+    m & 0b11
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn known_codes() {
+        assert_eq!(morton_encode(0, 0), 0);
+        assert_eq!(morton_encode(1, 0), 1);
+        assert_eq!(morton_encode(0, 1), 2);
+        assert_eq!(morton_encode(1, 1), 3);
+        assert_eq!(morton_encode(2, 0), 4);
+        assert_eq!(morton_encode(2, 3), 0b1110);
+    }
+
+    #[test]
+    fn parent_child_relationship() {
+        let m = morton_encode(5, 6);
+        assert_eq!(morton_parent(m), morton_encode(2, 3));
+        assert_eq!(morton_child_pos(m), 1); // x=5 odd, y=6 even -> position 1
+    }
+
+    #[test]
+    fn child_pos_matches_parity() {
+        for (x, y) in [(4u32, 4u32), (5, 4), (4, 5), (5, 5)] {
+            let pos = morton_child_pos(morton_encode(x, y));
+            assert_eq!(pos, (x & 1) | ((y & 1) << 1));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip(x in 0u32..65536, y in 0u32..65536) {
+            let (dx, dy) = morton_decode(morton_encode(x, y));
+            prop_assert_eq!((dx, dy), (x, y));
+        }
+
+        #[test]
+        fn parent_is_coordinate_halving(x in 0u32..65536, y in 0u32..65536) {
+            let p = morton_parent(morton_encode(x, y));
+            prop_assert_eq!(morton_decode(p), (x / 2, y / 2));
+        }
+
+        #[test]
+        fn locality_within_quad(x in 0u32..32768, y in 0u32..32768) {
+            // The four children of any parent are contiguous in Morton order.
+            let base = morton_encode(2 * x, 2 * y);
+            let codes = [
+                morton_encode(2 * x, 2 * y),
+                morton_encode(2 * x + 1, 2 * y),
+                morton_encode(2 * x, 2 * y + 1),
+                morton_encode(2 * x + 1, 2 * y + 1),
+            ];
+            for (i, c) in codes.iter().enumerate() {
+                prop_assert_eq!(*c, base + i as u32);
+            }
+        }
+    }
+}

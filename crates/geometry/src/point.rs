@@ -1,0 +1,119 @@
+//! Minimal 2-D point/vector type.
+
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A point (or vector) in the 2-D imaging plane, in physical units
+/// (wavelengths scaled by the configured wavelength).
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct Point2 {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+/// Shorthand constructor for [`Point2`].
+#[inline(always)]
+pub const fn pt(x: f64, y: f64) -> Point2 {
+    Point2 { x, y }
+}
+
+impl Point2 {
+    /// Origin.
+    pub const ZERO: Point2 = pt(0.0, 0.0);
+
+    /// Euclidean distance to another point.
+    #[inline]
+    pub fn dist(self, o: Point2) -> f64 {
+        (self.x - o.x).hypot(self.y - o.y)
+    }
+
+    /// Euclidean norm.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.x.hypot(self.y)
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, o: Point2) -> f64 {
+        self.x * o.x + self.y * o.y
+    }
+
+    /// Polar angle in (-pi, pi].
+    #[inline]
+    pub fn angle(self) -> f64 {
+        self.y.atan2(self.x)
+    }
+
+    /// Unit vector at the given angle.
+    #[inline]
+    pub fn unit(theta: f64) -> Point2 {
+        let (s, c) = theta.sin_cos();
+        pt(c, s)
+    }
+}
+
+impl Add for Point2 {
+    type Output = Point2;
+    #[inline]
+    fn add(self, o: Point2) -> Point2 {
+        pt(self.x + o.x, self.y + o.y)
+    }
+}
+
+impl Sub for Point2 {
+    type Output = Point2;
+    #[inline]
+    fn sub(self, o: Point2) -> Point2 {
+        pt(self.x - o.x, self.y - o.y)
+    }
+}
+
+impl Mul<f64> for Point2 {
+    type Output = Point2;
+    #[inline]
+    fn mul(self, s: f64) -> Point2 {
+        pt(self.x * s, self.y * s)
+    }
+}
+
+impl Div<f64> for Point2 {
+    type Output = Point2;
+    #[inline]
+    fn div(self, s: f64) -> Point2 {
+        pt(self.x / s, self.y / s)
+    }
+}
+
+impl Neg for Point2 {
+    type Output = Point2;
+    #[inline]
+    fn neg(self) -> Point2 {
+        pt(-self.x, -self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basics() {
+        let a = pt(3.0, 4.0);
+        assert_eq!(a.norm(), 5.0);
+        assert_eq!(a.dist(Point2::ZERO), 5.0);
+        assert_eq!(a.dot(pt(1.0, 1.0)), 7.0);
+        assert_eq!((a - a).norm(), 0.0);
+        assert_eq!((a * 2.0).x, 6.0);
+        assert_eq!((a / 2.0).y, 2.0);
+        assert_eq!((-a).x, -3.0);
+    }
+
+    #[test]
+    fn unit_and_angle() {
+        let u = Point2::unit(std::f64::consts::FRAC_PI_2);
+        assert!((u.x).abs() < 1e-15 && (u.y - 1.0).abs() < 1e-15);
+        assert!((pt(0.0, 2.0).angle() - std::f64::consts::FRAC_PI_2).abs() < 1e-15);
+    }
+}

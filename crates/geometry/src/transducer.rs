@@ -1,0 +1,106 @@
+//! Transmitter and receiver arrays (the paper's Fig. 3 setup).
+//!
+//! Transmitters and receivers are modeled as points (Dirac deltas, Section
+//! VI-A) placed on a circle around the imaging domain — the full ring for the
+//! standard experiments, or a limited arc for the Fig. 2 limited-angle study.
+
+use crate::point::Point2;
+
+/// A set of point transducers (transmitters or receivers).
+#[derive(Clone, Debug)]
+pub struct TransducerArray {
+    positions: Vec<Point2>,
+}
+
+impl TransducerArray {
+    /// `count` transducers uniformly spaced on the full circle of `radius`
+    /// centered at the origin, starting at angle 0.
+    pub fn ring(count: usize, radius: f64) -> Self {
+        Self::arc(count, radius, 0.0, 2.0 * std::f64::consts::PI)
+    }
+
+    /// `count` transducers uniformly spaced on an arc of angular width `span`
+    /// starting at `start` (radians). For a full circle the endpoint is
+    /// excluded; for a partial arc both endpoints are included.
+    pub fn arc(count: usize, radius: f64, start: f64, span: f64) -> Self {
+        assert!(count >= 1);
+        assert!(radius > 0.0);
+        let full = (span - 2.0 * std::f64::consts::PI).abs() < 1e-12;
+        let denom = if full { count } else { (count - 1).max(1) };
+        let positions = (0..count)
+            .map(|i| {
+                let theta = start + span * i as f64 / denom as f64;
+                Point2::unit(theta) * radius
+            })
+            .collect();
+        TransducerArray { positions }
+    }
+
+    /// Builds from explicit positions.
+    pub fn from_positions(positions: Vec<Point2>) -> Self {
+        assert!(!positions.is_empty());
+        TransducerArray { positions }
+    }
+
+    /// Number of transducers.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// True if the array is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Position of transducer `i`.
+    pub fn position(&self, i: usize) -> Point2 {
+        self.positions[i]
+    }
+
+    /// All positions.
+    pub fn positions(&self) -> &[Point2] {
+        &self.positions
+    }
+
+    /// Minimum distance from any transducer to the origin.
+    pub fn min_radius(&self) -> f64 {
+        self.positions
+            .iter()
+            .map(|p| p.norm())
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_is_uniform_and_excludes_endpoint() {
+        let a = TransducerArray::ring(8, 2.0);
+        assert_eq!(a.len(), 8);
+        for i in 0..8 {
+            assert!((a.position(i).norm() - 2.0).abs() < 1e-14);
+        }
+        // first at angle 0, no duplicate at 2 pi
+        assert!((a.position(0).x - 2.0).abs() < 1e-14);
+        let d01 = a.position(0).dist(a.position(1));
+        let d70 = a.position(7).dist(a.position(0));
+        assert!((d01 - d70).abs() < 1e-12, "uniform spacing incl. wraparound");
+    }
+
+    #[test]
+    fn limited_arc_includes_both_endpoints() {
+        let a = TransducerArray::arc(5, 1.0, 0.0, std::f64::consts::FRAC_PI_2);
+        assert!((a.position(0).angle()).abs() < 1e-14);
+        assert!((a.position(4).angle() - std::f64::consts::FRAC_PI_2).abs() < 1e-14);
+        assert!((a.min_radius() - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn single_transducer_arc() {
+        let a = TransducerArray::arc(1, 3.0, 1.0, 0.5);
+        assert_eq!(a.len(), 1);
+        assert!((a.position(0).angle() - 1.0).abs() < 1e-14);
+    }
+}

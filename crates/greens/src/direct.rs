@@ -1,0 +1,160 @@
+//! Dense / on-the-fly reference implementations of the Green's operators.
+//!
+//! These are the `O(N^2)` baselines the paper compares MLFMA against
+//! (Section V-B: "at most 1e-5 error, relative to naive direct O(N^2)
+//! multiplication") and the oracles for our accuracy tests.
+
+use crate::kernel::Kernel;
+use ffw_geometry::{Domain, Point2, QuadTree, TransducerArray};
+use ffw_numerics::linalg::Matrix;
+use ffw_numerics::C64;
+
+/// Pixel center positions in tree order.
+pub fn tree_positions(domain: &Domain, tree: &QuadTree) -> Vec<Point2> {
+    (0..tree.n_pixels())
+        .map(|i| tree.pixel_center_tree(domain, i))
+        .collect()
+}
+
+/// On-the-fly `y = G0 x` in `O(N^2)` without storing the matrix.
+pub struct DirectG0<'a> {
+    kernel: Kernel,
+    positions: &'a [Point2],
+}
+
+impl<'a> DirectG0<'a> {
+    /// Creates the direct operator over the given (tree-order) positions.
+    pub fn new(kernel: Kernel, positions: &'a [Point2]) -> Self {
+        DirectG0 { kernel, positions }
+    }
+
+    /// Applies `y = G0 x`.
+    pub fn apply(&self, x: &[C64], y: &mut [C64]) {
+        let n = self.positions.len();
+        assert_eq!(x.len(), n);
+        assert_eq!(y.len(), n);
+        for (m, ym) in y.iter_mut().enumerate() {
+            let pm = self.positions[m];
+            let mut acc = C64::ZERO;
+            for (nn, &xn) in x.iter().enumerate() {
+                let r = pm.dist(self.positions[nn]);
+                acc += self.kernel.g0_element(if m == nn { 0.0 } else { r }) * xn;
+            }
+            *ym = acc;
+        }
+    }
+}
+
+/// Assembles the dense `G0` matrix (small problems / tests only).
+pub fn assemble_g0(kernel: &Kernel, positions: &[Point2]) -> Matrix {
+    let n = positions.len();
+    Matrix::from_fn(n, n, |m, nn| {
+        if m == nn {
+            kernel.self_term
+        } else {
+            kernel.g0_element(positions[m].dist(positions[nn]))
+        }
+    })
+}
+
+/// Assembles the dense receiver operator `GR` (`R x N`).
+pub fn assemble_gr(kernel: &Kernel, receivers: &TransducerArray, positions: &[Point2]) -> Matrix {
+    Matrix::from_fn(receivers.len(), positions.len(), |r, nn| {
+        kernel.gr_element(receivers.position(r).dist(positions[nn]))
+    })
+}
+
+/// Incident field of transmitter `t` on all pixels (tree order).
+pub fn incident_field(
+    kernel: &Kernel,
+    transmitters: &TransducerArray,
+    t: usize,
+    positions: &[Point2],
+) -> Vec<C64> {
+    let src = transmitters.position(t);
+    positions
+        .iter()
+        .map(|p| kernel.incident_line_source(p.dist(src)))
+        .collect()
+}
+
+/// Incident plane wave `e^{i k khat . r}` travelling at angle `theta`.
+pub fn incident_plane_wave(kernel: &Kernel, theta: f64, positions: &[Point2]) -> Vec<C64> {
+    let khat = Point2::unit(theta);
+    positions
+        .iter()
+        .map(|p| C64::cis(kernel.k * khat.dot(*p)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ffw_numerics::vecops::rel_diff;
+
+    fn setup() -> (Domain, QuadTree, Kernel) {
+        let domain = Domain::new(32, 1.0);
+        let tree = QuadTree::new(&domain);
+        let kernel = Kernel::new(domain.k0(), domain.equivalent_radius());
+        (domain, tree, kernel)
+    }
+
+    #[test]
+    fn direct_matches_assembled_matrix() {
+        let (domain, tree, kernel) = setup();
+        let pos = tree_positions(&domain, &tree);
+        let g = assemble_g0(&kernel, &pos);
+        let x: Vec<C64> = (0..pos.len())
+            .map(|i| C64::cis(i as f64 * 0.7) * (1.0 + (i % 5) as f64))
+            .collect();
+        let mut y1 = vec![C64::ZERO; pos.len()];
+        DirectG0::new(kernel, &pos).apply(&x, &mut y1);
+        let mut y2 = vec![C64::ZERO; pos.len()];
+        g.matvec(&x, &mut y2);
+        assert!(rel_diff(&y1, &y2) < 1e-13);
+    }
+
+    #[test]
+    fn g0_is_complex_symmetric() {
+        let (domain, tree, kernel) = setup();
+        let pos = tree_positions(&domain, &tree);
+        let g = assemble_g0(&kernel, &pos);
+        for m in (0..pos.len()).step_by(97) {
+            for n in (0..pos.len()).step_by(89) {
+                assert!((g.at(m, n) - g.at(n, m)).abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn incident_field_reciprocity() {
+        // Field of tx at pixel == field of a source at the pixel evaluated at tx.
+        let (domain, tree, kernel) = setup();
+        let pos = tree_positions(&domain, &tree);
+        let txs = TransducerArray::ring(4, 3.0 * domain.side());
+        let f0 = incident_field(&kernel, &txs, 0, &pos);
+        let d = pos[10].dist(txs.position(0));
+        assert!((f0[10] - kernel.incident_line_source(d)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn plane_wave_unit_modulus() {
+        let (domain, tree, kernel) = setup();
+        let pos = tree_positions(&domain, &tree);
+        let pw = incident_plane_wave(&kernel, 0.3, &pos);
+        assert!(pw.iter().all(|v| (v.abs() - 1.0).abs() < 1e-12));
+        let _ = domain;
+    }
+
+    #[test]
+    fn gr_shape_and_elements() {
+        let (domain, tree, kernel) = setup();
+        let pos = tree_positions(&domain, &tree);
+        let rx = TransducerArray::ring(6, 2.0 * domain.side());
+        let gr = assemble_gr(&kernel, &rx, &pos);
+        assert_eq!(gr.rows(), 6);
+        assert_eq!(gr.cols(), pos.len());
+        let d = rx.position(2).dist(pos[5]);
+        assert!((gr.at(2, 5) - kernel.gr_element(d)).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,196 @@
+//! Analytic scattering of a plane wave by a homogeneous dielectric circular
+//! cylinder (the 2-D "Mie" series).
+//!
+//! This closed-form solution of the same Helmholtz problem the volume
+//! integral equation discretizes is the physics oracle for the forward
+//! solver: the total field computed by BiCGStab + (MLFMA or direct) `G0`
+//! must converge to this series as the grid is refined.
+
+use ffw_geometry::Point2;
+use ffw_numerics::bessel::{hankel1_array, jn_array};
+use ffw_numerics::{C64};
+
+/// Analytic solution for a unit-amplitude plane wave `e^{i k x}` scattering
+/// off a dielectric cylinder of the given radius centered at the origin.
+pub struct MieCylinder {
+    k: f64,
+    k1: f64,
+    radius: f64,
+    /// Scattered-field coefficients `b_n` (n >= 0).
+    b: Vec<C64>,
+    /// Internal-field coefficients `c_n` (n >= 0).
+    c: Vec<C64>,
+}
+
+impl MieCylinder {
+    /// Builds the series for background wavenumber `k` and permittivity
+    /// contrast `delta_eps` (so `eps_r = 1 + delta_eps`, `k1 = k sqrt(eps_r)`).
+    pub fn new(k: f64, radius: f64, delta_eps: f64) -> Self {
+        assert!(k > 0.0 && radius > 0.0);
+        assert!(delta_eps > -1.0, "need positive permittivity");
+        let k1 = k * (1.0 + delta_eps).sqrt();
+        let x0 = k * radius;
+        let x1 = k1 * radius;
+        // Truncation: excess-bandwidth style margin over kR.
+        let nmax = (x0.max(x1) + 12.0 + 6.0 * x0.max(x1).powf(1.0 / 3.0)).ceil() as usize;
+
+        let j_k = jn_array(nmax + 1, x0);
+        let j_k1 = jn_array(nmax + 1, x1);
+        let h_k = hankel1_array(nmax + 1, x0);
+
+        // Z_n'(x) = Z_{n-1}(x) - (n/x) Z_n(x)
+        let dj_k = |n: usize| -> f64 {
+            if n == 0 {
+                -j_k[1]
+            } else {
+                j_k[n - 1] - n as f64 / x0 * j_k[n]
+            }
+        };
+        let dj_k1 = |n: usize| -> f64 {
+            if n == 0 {
+                -j_k1[1]
+            } else {
+                j_k1[n - 1] - n as f64 / x1 * j_k1[n]
+            }
+        };
+        let dh_k = |n: usize| -> C64 {
+            if n == 0 {
+                -h_k[1]
+            } else {
+                h_k[n - 1] - h_k[n] * (n as f64 / x0)
+            }
+        };
+
+        let mut b = Vec::with_capacity(nmax + 1);
+        let mut c = Vec::with_capacity(nmax + 1);
+        for n in 0..=nmax {
+            let a_n = C64::i_pow(n as i64);
+            // Continuity of the field and its radial derivative at r = R:
+            //   a J_n(kR) + b H_n(kR) = c J_n(k1 R)
+            //   a k J_n'(kR) + b k H_n'(kR) = c k1 J_n'(k1 R)
+            let num = (a_n * (k1 * dj_k1(n) * j_k[n] - k * dj_k(n) * j_k1[n])).scale(1.0);
+            let den = h_k[n] * (k1 * dj_k1(n)) - dh_k(n) * (k * j_k1[n]);
+            // b_n = a_n (k J' J - k1 J1' J) / (k1 J1' H - k H' J1)  [sign folded below]
+            let b_n = -num / den;
+            let c_n = if j_k1[n].abs() > 1e-290 {
+                (a_n * j_k[n] + b_n * h_k[n]) / C64::from_real(j_k1[n])
+            } else {
+                C64::ZERO
+            };
+            b.push(b_n);
+            c.push(c_n);
+        }
+        MieCylinder {
+            k,
+            k1,
+            radius,
+            b,
+            c,
+        }
+    }
+
+    /// Total field at a point (incident + scattered outside; transmitted
+    /// inside).
+    pub fn total_field(&self, p: Point2) -> C64 {
+        let r = p.norm();
+        let phi = p.angle();
+        let nmax = self.b.len() - 1;
+        if r < self.radius {
+            let j = jn_array(nmax, self.k1 * r);
+            let mut acc = self.c[0] * j[0];
+            for n in 1..=nmax {
+                acc += self.c[n] * j[n] * (2.0 * (n as f64 * phi).cos());
+            }
+            acc
+        } else {
+            let j = jn_array(nmax, self.k * r);
+            let h = hankel1_array(nmax, self.k * r);
+            let mut acc = C64::i_pow(0) * j[0] + self.b[0] * h[0];
+            for n in 1..=nmax {
+                let term = C64::i_pow(n as i64) * j[n] + self.b[n] * h[n];
+                acc += term * (2.0 * (n as f64 * phi).cos());
+            }
+            acc
+        }
+    }
+
+    /// Scattered field at an exterior point.
+    pub fn scattered_field(&self, p: Point2) -> C64 {
+        let r = p.norm();
+        assert!(r >= self.radius);
+        let phi = p.angle();
+        let nmax = self.b.len() - 1;
+        let h = hankel1_array(nmax, self.k * r);
+        let mut acc = self.b[0] * h[0];
+        for n in 1..=nmax {
+            acc += self.b[n] * h[n] * (2.0 * (n as f64 * phi).cos());
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ffw_geometry::pt;
+
+    #[test]
+    fn zero_contrast_scatters_nothing() {
+        let k = 2.0 * std::f64::consts::PI;
+        let mie = MieCylinder::new(k, 1.0, 0.0);
+        for b in &mie.b {
+            assert!(b.abs() < 1e-10, "b = {b:?}");
+        }
+        // Total field equals the incident plane wave everywhere.
+        for &p in &[pt(0.3, 0.1), pt(1.5, -0.7), pt(0.0, 0.0)] {
+            let expect = C64::cis(k * p.x);
+            assert!((mie.total_field(p) - expect).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn field_continuous_across_boundary() {
+        let k = 2.0 * std::f64::consts::PI;
+        let mie = MieCylinder::new(k, 0.8, 0.3);
+        for ang in [0.0f64, 0.9, 2.2, -1.3] {
+            let inside = mie.total_field(pt(0.7999 * ang.cos(), 0.7999 * ang.sin()));
+            let outside = mie.total_field(pt(0.8001 * ang.cos(), 0.8001 * ang.sin()));
+            assert!(
+                (inside - outside).abs() < 1e-2 * inside.abs().max(1.0),
+                "angle {ang}: {inside:?} vs {outside:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn energy_conservation_optical_theorem() {
+        // For a lossless scatterer the optical theorem holds:
+        // sum_n eps_n |b_n|^2 = -Re sum_n eps_n b_n a_n^*  (2-D form),
+        // with eps_0 = 1, eps_n = 2 otherwise.
+        let k = 2.0 * std::f64::consts::PI;
+        let mie = MieCylinder::new(k, 0.6, 0.5);
+        let mut lhs = 0.0;
+        let mut rhs = 0.0;
+        for (n, b) in mie.b.iter().enumerate() {
+            let w = if n == 0 { 1.0 } else { 2.0 };
+            let a = C64::i_pow(n as i64);
+            lhs += w * b.norm_sqr();
+            rhs -= w * (*b * a.conj()).re;
+        }
+        assert!(
+            (lhs - rhs).abs() < 1e-8 * lhs.max(1e-30),
+            "optical theorem: {lhs} vs {rhs}"
+        );
+    }
+
+    #[test]
+    fn scattered_plus_incident_equals_total_outside() {
+        let k = 2.0 * std::f64::consts::PI;
+        let mie = MieCylinder::new(k, 0.5, 0.2);
+        let p = pt(1.3, 0.4);
+        let total = mie.total_field(p);
+        let sca = mie.scattered_field(p);
+        let inc = C64::cis(k * p.x);
+        assert!((total - (sca + inc)).abs() < 1e-10);
+    }
+}

@@ -1,0 +1,22 @@
+//! # ffw-inverse
+//!
+//! The inverse-scattering solvers: the distorted Born iterative method
+//! (DBIM, the paper's full-wave multiple-scattering reconstruction) with
+//! nonlinear conjugate-gradient optimization, and the linear Born
+//! (single-scattering) baseline it is compared against in Figs. 1–2.
+
+#![warn(missing_docs)]
+
+pub mod born;
+pub mod dbim;
+pub mod multifreq;
+pub mod ops;
+pub mod precond;
+pub mod problem;
+
+pub use born::{born_inversion, BornConfig, BornResult};
+pub use dbim::{dbim, DbimConfig, DbimResult, IterationRecord};
+pub use multifreq::{multi_frequency_dbim, FrequencyHop, MultiFreqResult};
+pub use ops::MlfmaG0;
+pub use precond::LeafBlockJacobi;
+pub use problem::{add_noise, synthesize_measurements, ImagingSetup};

@@ -1,0 +1,40 @@
+//! Operator adapters binding the MLFMA engine and the dense reference
+//! operators into the solver's [`LinOp`] interface.
+
+use ffw_mlfma::MlfmaEngine;
+use ffw_numerics::C64;
+use ffw_solver::LinOp;
+use std::sync::Arc;
+
+/// The MLFMA-accelerated `G0` operator (`O(N)` per apply).
+pub struct MlfmaG0(pub Arc<MlfmaEngine>);
+
+impl LinOp for MlfmaG0 {
+    fn dim_out(&self) -> usize {
+        self.0.n()
+    }
+    fn dim_in(&self) -> usize {
+        self.0.n()
+    }
+    fn apply(&self, x: &[C64], y: &mut [C64]) {
+        self.0.apply(x, y);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ffw_geometry::Domain;
+    use ffw_mlfma::{Accuracy, MlfmaPlan};
+    use ffw_par::Pool;
+
+    #[test]
+    fn adapter_dimensions_match_plan() {
+        let domain = Domain::new(32, 1.0);
+        let plan = Arc::new(MlfmaPlan::new(&domain, Accuracy::low()));
+        let eng = Arc::new(MlfmaEngine::new(plan, Arc::new(Pool::new(1))));
+        let op = MlfmaG0(Arc::clone(&eng));
+        assert_eq!(op.dim_in(), 1024);
+        assert_eq!(op.dim_out(), 1024);
+    }
+}

@@ -1,0 +1,467 @@
+//! The four-phase MLFMA matrix-vector product (paper Section III-B):
+//! aggregation, translation, disaggregation, near field.
+//!
+//! Input and output vectors are in *tree order* (leaves in Morton order,
+//! row-major within a leaf — see `ffw_geometry::QuadTree`). The product
+//! computed is the full discretized Green's operator `y = G0 x`, including
+//! near-field self terms, with `O(N)` work and storage.
+//!
+//! Intra-node parallelization follows the paper's Section IV-C: levels with
+//! many clusters parallelize over clusters, levels with few clusters and many
+//! samples parallelize over samples. Both map onto `ffw_par::Pool` chunk
+//! loops.
+
+use crate::plan::{offset_index, MlfmaPlan};
+use ffw_geometry::{morton_decode, morton_encode, LEAF_PIXELS};
+use ffw_numerics::C64;
+use ffw_par::Pool;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Scratch buffers reused across matvecs: one outgoing and one incoming
+/// pattern array per computed level.
+struct Workspace {
+    /// outgoing[li][c * q .. (c+1) * q]: radiated far-field pattern of cluster c.
+    outgoing: Vec<Vec<C64>>,
+    /// incoming[li]: translated local pattern, same layout.
+    incoming: Vec<Vec<C64>>,
+}
+
+impl Workspace {
+    fn new(plan: &MlfmaPlan) -> Self {
+        let alloc = |li: usize| {
+            let lp = &plan.levels[li];
+            vec![C64::ZERO; lp.n_side * lp.n_side * lp.q]
+        };
+        Workspace {
+            outgoing: (0..plan.levels.len()).map(alloc).collect(),
+            incoming: (0..plan.levels.len()).map(alloc).collect(),
+        }
+    }
+}
+
+/// Reusable MLFMA matvec engine.
+pub struct MlfmaEngine {
+    plan: Arc<MlfmaPlan>,
+    pool: Arc<Pool>,
+    workspace: Mutex<Workspace>,
+    /// Clusters-per-level threshold below which translation switches from
+    /// cluster-parallel to sample-parallel.
+    sample_parallel_below: usize,
+}
+
+impl MlfmaEngine {
+    /// Creates an engine bound to a plan and a thread pool.
+    pub fn new(plan: Arc<MlfmaPlan>, pool: Arc<Pool>) -> Self {
+        let workspace = Mutex::new(Workspace::new(&plan));
+        let sample_parallel_below = 4 * pool.n_threads();
+        MlfmaEngine {
+            plan,
+            pool,
+            workspace,
+            sample_parallel_below,
+        }
+    }
+
+    /// The plan this engine executes.
+    pub fn plan(&self) -> &MlfmaPlan {
+        &self.plan
+    }
+
+    /// Number of unknowns.
+    pub fn n(&self) -> usize {
+        self.plan.n_pixels()
+    }
+
+    /// Computes `y = G0 x` (both in tree order) in `O(N)`.
+    pub fn apply(&self, x: &[C64], y: &mut [C64]) {
+        assert_eq!(x.len(), self.n());
+        assert_eq!(y.len(), self.n());
+        let mut ws = self.workspace.lock();
+        let ws = &mut *ws;
+        self.aggregate(x, &mut ws.outgoing);
+        self.translate(&ws.outgoing, &mut ws.incoming);
+        self.disaggregate(&mut ws.incoming);
+        self.receive_and_near(x, &ws.incoming, y);
+    }
+
+    /// Phase 1+2 of Fig. 4's MLFMA box: leaf multipole expansions, then
+    /// upward interpolation + shift to every coarser level.
+    fn aggregate(&self, x: &[C64], outgoing: &mut [Vec<C64>]) {
+        let plan = &self.plan;
+        let n_levels = plan.levels.len();
+        // Leaf expansions: F_c = E x_c, grouped so each task does whole leaves.
+        let q_leaf = plan.leaf_plan().q;
+        let expansion = &plan.expansion;
+        self.pool
+            .for_each_chunk_mut(&mut outgoing[n_levels - 1], 8 * q_leaf, |start, chunk| {
+                let first_leaf = start / q_leaf;
+                for (i, out) in chunk.chunks_mut(q_leaf).enumerate() {
+                    let c = first_leaf + i;
+                    expansion.matvec(&x[c * LEAF_PIXELS..(c + 1) * LEAF_PIXELS], out);
+                }
+            });
+        // Upward pass: parent patterns from child patterns.
+        for li in (0..n_levels - 1).rev() {
+            let (parents, children) = {
+                let (a, b) = outgoing.split_at_mut(li + 1);
+                (&mut a[li], &b[0])
+            };
+            let lp = &plan.levels[li];
+            let q_parent = lp.q;
+            let q_child = plan.levels[li + 1].q;
+            let interp = lp.interp.as_ref().expect("non-leaf has interp");
+            self.pool
+                .for_each_chunk_mut(parents, q_parent, |start, out| {
+                    let p = start / q_parent;
+                    let mut tmp = vec![C64::ZERO; q_parent];
+                    for v in out.iter_mut() {
+                        *v = C64::ZERO;
+                    }
+                    for pos in 0..4usize {
+                        let c = 4 * p + pos; // Morton: children contiguous
+                        interp.up(&children[c * q_child..(c + 1) * q_child], &mut tmp);
+                        let shift = &lp.shift_out[pos];
+                        for ((o, t), s) in out.iter_mut().zip(&tmp).zip(shift) {
+                            *o = t.mul_add(*s, *o);
+                        }
+                    }
+                });
+        }
+    }
+
+    /// Phase 3: diagonal translations along every level's interaction lists.
+    fn translate(&self, outgoing: &[Vec<C64>], incoming: &mut [Vec<C64>]) {
+        let plan = &self.plan;
+        for (li, lp) in plan.levels.iter().enumerate() {
+            let q = lp.q;
+            let n_side = lp.n_side;
+            let n_clusters = n_side * n_side;
+            let src_pat = &outgoing[li];
+            let translate_one = |obs: usize, out: &mut [C64], q_range: std::ops::Range<usize>| {
+                let (ix, iy) = morton_decode(obs as u32);
+                for v in out[q_range.clone()].iter_mut() {
+                    *v = C64::ZERO;
+                }
+                for (sx, sy, off) in plan.tree.interaction_list(lp.level, ix as usize, iy as usize)
+                {
+                    let s = morton_encode(sx as u32, sy as u32) as usize;
+                    let t = lp.translations[offset_index(off)]
+                        .as_ref()
+                        .expect("translator");
+                    let src = &src_pat[s * q..(s + 1) * q];
+                    for qi in q_range.clone() {
+                        out[qi] = t[qi].mul_add(src[qi], out[qi]);
+                    }
+                }
+            };
+            if n_clusters >= self.sample_parallel_below {
+                // Cluster-parallel: each task owns whole clusters.
+                self.pool
+                    .for_each_chunk_mut(&mut incoming[li], q, |start, chunk| {
+                        let obs = start / q;
+                        translate_one(obs, chunk, 0..q);
+                    });
+            } else {
+                // Sample-parallel: few clusters, many samples per cluster.
+                for obs in 0..n_clusters {
+                    let slice = &mut incoming[li][obs * q..(obs + 1) * q];
+                    let grain = q.div_ceil(self.pool.n_threads().max(1)).max(16);
+                    // Copy out to satisfy the chunk API, operating on ranges.
+                    self.pool.for_each_chunk_mut(slice, grain, |qstart, sub| {
+                        let range = 0..sub.len();
+                        let mut local = vec![C64::ZERO; sub.len()];
+                        // translate only this sample window
+                        let (ix, iy) = morton_decode(obs as u32);
+                        for (sx, sy, off) in
+                            plan.tree
+                                .interaction_list(lp.level, ix as usize, iy as usize)
+                        {
+                            let s = morton_encode(sx as u32, sy as u32) as usize;
+                            let t = lp.translations[offset_index(off)]
+                                .as_ref()
+                                .expect("translator");
+                            let src = &src_pat[s * q..(s + 1) * q];
+                            for j in range.clone() {
+                                local[j] = t[qstart + j].mul_add(src[qstart + j], local[j]);
+                            }
+                        }
+                        sub.copy_from_slice(&local);
+                    });
+                }
+            }
+        }
+    }
+
+    /// Phase 4: downward pass — shift parent local expansions into children
+    /// and anterpolate onto the child sampling.
+    fn disaggregate(&self, incoming: &mut [Vec<C64>]) {
+        let plan = &self.plan;
+        let n_levels = plan.levels.len();
+        for li in 0..n_levels - 1 {
+            let (parents, children) = {
+                let (a, b) = incoming.split_at_mut(li + 1);
+                (&a[li], &mut b[0])
+            };
+            let lp = &plan.levels[li];
+            let q_parent = lp.q;
+            let q_child = plan.levels[li + 1].q;
+            let interp = lp.interp.as_ref().expect("non-leaf");
+            let anterp_scale = lp.anterp_scale;
+            // Each task owns one parent => its 4 children (disjoint).
+            self.pool
+                .for_each_chunk_mut(children, 4 * q_child, |start, kids| {
+                    let p = start / (4 * q_child);
+                    let parent = &parents[p * q_parent..(p + 1) * q_parent];
+                    let mut tmp = vec![C64::ZERO; q_parent];
+                    for pos in 0..4usize {
+                        let shift = &lp.shift_in[pos];
+                        for ((t, g), s) in tmp.iter_mut().zip(parent).zip(shift) {
+                            *t = *g * *s;
+                        }
+                        let child = &mut kids[pos * q_child..(pos + 1) * q_child];
+                        interp.down_add(&tmp, anterp_scale, child);
+                    }
+                });
+        }
+    }
+
+    /// Phases 5+6: convert leaf local expansions back to fields (local
+    /// expansion = quadrature-weighted adjoint of the multipole expansion)
+    /// and add the near-field interactions, writing `y` in one pass per leaf.
+    fn receive_and_near(&self, x: &[C64], incoming: &[Vec<C64>], y: &mut [C64]) {
+        let plan = &self.plan;
+        let leaf_pat = incoming.last().expect("non-empty");
+        let lp = plan.leaf_plan();
+        let q = lp.q;
+        let coupling = plan.kernel.coupling;
+        let inv_q = 1.0 / q as f64;
+        let expansion = &plan.expansion;
+        let near = &plan.near;
+        let leaf_side = plan.tree.clusters_per_side(plan.tree.leaf_level());
+        self.pool.for_each_chunk_mut(y, LEAF_PIXELS, |start, out| {
+            let c = start / LEAF_PIXELS;
+            let (ix, iy) = morton_decode(c as u32);
+            // Far field: y_j = coupling * (1/Q) sum_q conj(E[q,j]) G_c[q]
+            for v in out.iter_mut() {
+                *v = C64::ZERO;
+            }
+            expansion.matvec_adjoint_acc(&leaf_pat[c * q..(c + 1) * q], out);
+            let w = coupling * inv_q;
+            for v in out.iter_mut() {
+                *v = *v * w;
+            }
+            // Near field: 9 dense blocks
+            let _ = leaf_side;
+            for (sx, sy, off) in plan.tree.near_list(ix as usize, iy as usize) {
+                let s = morton_encode(sx as u32, sy as u32) as usize;
+                let oi = near_offset_index(off);
+                near[oi].matvec_acc(&x[s * LEAF_PIXELS..(s + 1) * LEAF_PIXELS], out);
+            }
+        });
+    }
+}
+
+/// Index of a near-field offset in `NEAR_OFFSETS` order.
+#[inline]
+fn near_offset_index(off: ffw_geometry::Offset) -> usize {
+    ((off.1 + 1) as usize) * 3 + (off.0 + 1) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Accuracy;
+    use ffw_geometry::Domain;
+    use ffw_greens::{tree_positions, DirectG0};
+    use ffw_numerics::vecops::rel_diff;
+    use ffw_numerics::c64;
+
+    fn random_x(n: usize, seed: u64) -> Vec<C64> {
+        let mut s = seed;
+        (0..n)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let a = ((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5;
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let b = ((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5;
+                c64(a, b)
+            })
+            .collect()
+    }
+
+    fn engine(n_px: usize, acc: Accuracy, threads: usize) -> (MlfmaEngine, Domain) {
+        let domain = Domain::new(n_px, 1.0);
+        let plan = Arc::new(MlfmaPlan::new(&domain, acc));
+        (MlfmaEngine::new(plan, Arc::new(Pool::new(threads))), domain)
+    }
+
+    fn direct_reference(domain: &Domain, x: &[C64]) -> Vec<C64> {
+        let tree = ffw_geometry::QuadTree::new(domain);
+        let pos = tree_positions(domain, &tree);
+        let kernel = ffw_greens::Kernel::new(domain.k0(), domain.equivalent_radius());
+        let mut y = vec![C64::ZERO; x.len()];
+        DirectG0::new(kernel, &pos).apply(x, &mut y);
+        y
+    }
+
+    /// The headline correctness property: MLFMA matches the direct O(N^2)
+    /// product to the paper's 1e-5 budget, on a 2-level tree (32x32).
+    #[test]
+    fn matches_direct_two_levels() {
+        let (eng, domain) = engine(32, Accuracy::default(), 2);
+        let x = random_x(eng.n(), 42);
+        let mut y = vec![C64::ZERO; eng.n()];
+        eng.apply(&x, &mut y);
+        let y_ref = direct_reference(&domain, &x);
+        let err = rel_diff(&y, &y_ref);
+        assert!(err < 1e-5, "relative error {err:e}");
+    }
+
+    /// Three levels exercises interpolation/anterpolation and both shift
+    /// directions (64x64 = 4096 unknowns).
+    #[test]
+    fn matches_direct_three_levels() {
+        let (eng, domain) = engine(64, Accuracy::default(), 3);
+        let x = random_x(eng.n(), 7);
+        let mut y = vec![C64::ZERO; eng.n()];
+        eng.apply(&x, &mut y);
+        let y_ref = direct_reference(&domain, &x);
+        let err = rel_diff(&y, &y_ref);
+        assert!(err < 1e-5, "relative error {err:e}");
+    }
+
+    #[test]
+    fn low_accuracy_still_reasonable_and_cheaper() {
+        let (eng, domain) = engine(32, Accuracy::low(), 1);
+        let x = random_x(eng.n(), 3);
+        let mut y = vec![C64::ZERO; eng.n()];
+        eng.apply(&x, &mut y);
+        let y_ref = direct_reference(&domain, &x);
+        let err = rel_diff(&y, &y_ref);
+        assert!(err < 1e-2, "low accuracy error {err:e}");
+        assert!(err > 1e-9, "low accuracy should not be exact");
+    }
+
+    #[test]
+    fn linear_in_input() {
+        let (eng, _) = engine(32, Accuracy::low(), 2);
+        let n = eng.n();
+        let x1 = random_x(n, 1);
+        let x2 = random_x(n, 2);
+        let alpha = c64(0.3, -0.8);
+        let combo: Vec<C64> = x1.iter().zip(&x2).map(|(a, b)| *a + alpha * *b).collect();
+        let mut y1 = vec![C64::ZERO; n];
+        let mut y2 = vec![C64::ZERO; n];
+        let mut yc = vec![C64::ZERO; n];
+        eng.apply(&x1, &mut y1);
+        eng.apply(&x2, &mut y2);
+        eng.apply(&combo, &mut yc);
+        let expect: Vec<C64> = y1.iter().zip(&y2).map(|(a, b)| *a + alpha * *b).collect();
+        assert!(rel_diff(&yc, &expect) < 1e-12);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_result() {
+        let domain = Domain::new(32, 1.0);
+        let plan = Arc::new(MlfmaPlan::new(&domain, Accuracy::low()));
+        let x = random_x(plan.n_pixels(), 11);
+        let mut outputs = Vec::new();
+        for threads in [1usize, 2, 4] {
+            let eng = MlfmaEngine::new(Arc::clone(&plan), Arc::new(Pool::new(threads)));
+            let mut y = vec![C64::ZERO; plan.n_pixels()];
+            eng.apply(&x, &mut y);
+            outputs.push(y);
+        }
+        // identical work partition-independent results (no reduction races)
+        assert!(rel_diff(&outputs[1], &outputs[0]) < 1e-14);
+        assert!(rel_diff(&outputs[2], &outputs[0]) < 1e-14);
+    }
+
+    #[test]
+    fn repeated_apply_is_deterministic() {
+        let (eng, _) = engine(32, Accuracy::low(), 3);
+        let x = random_x(eng.n(), 5);
+        let mut y1 = vec![C64::ZERO; eng.n()];
+        let mut y2 = vec![C64::ZERO; eng.n()];
+        eng.apply(&x, &mut y1);
+        eng.apply(&x, &mut y2);
+        assert_eq!(
+            y1.iter().map(|v| v.re).sum::<f64>(),
+            y2.iter().map(|v| v.re).sum::<f64>()
+        );
+        assert!(rel_diff(&y1, &y2) == 0.0);
+    }
+
+    #[test]
+    fn symmetric_to_mlfma_accuracy() {
+        // G0 is complex symmetric; the factorization preserves this to its
+        // own accuracy: <y, G0 x> ~ <x, G0 y> (unconjugated).
+        let (eng, _) = engine(32, Accuracy::default(), 2);
+        let n = eng.n();
+        let x = random_x(n, 21);
+        let z = random_x(n, 22);
+        let mut gx = vec![C64::ZERO; n];
+        let mut gz = vec![C64::ZERO; n];
+        eng.apply(&x, &mut gx);
+        eng.apply(&z, &mut gz);
+        let lhs: C64 = z.iter().zip(&gx).map(|(a, b)| *a * *b).sum();
+        let rhs: C64 = x.iter().zip(&gz).map(|(a, b)| *a * *b).sum();
+        assert!(
+            (lhs - rhs).abs() / lhs.abs() < 1e-6,
+            "{lhs:?} vs {rhs:?}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod spectral_tests {
+    use super::*;
+    use crate::params::Accuracy;
+    use crate::plan::MlfmaPlan;
+    use ffw_geometry::Domain;
+    use ffw_greens::{tree_positions, DirectG0};
+    use ffw_numerics::vecops::rel_diff;
+    use ffw_numerics::c64;
+
+    fn random_x(n: usize, seed: u64) -> Vec<C64> {
+        let mut s = seed;
+        (0..n)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let a = ((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5;
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let b = ((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5;
+                c64(a, b)
+            })
+            .collect()
+    }
+
+    /// Exact spectral resampling must be at least as accurate as the
+    /// band-diagonal path, validating the paper's Table I choice.
+    #[test]
+    fn spectral_interpolation_matches_direct_and_beats_band() {
+        let domain = Domain::new(64, 1.0);
+        let x = random_x(64 * 64, 17);
+        let tree = ffw_geometry::QuadTree::new(&domain);
+        let pos = tree_positions(&domain, &tree);
+        let kernel = ffw_greens::Kernel::new(domain.k0(), domain.equivalent_radius());
+        let mut y_ref = vec![C64::ZERO; x.len()];
+        DirectG0::new(kernel, &pos).apply(&x, &mut y_ref);
+
+        let run = |acc: Accuracy| {
+            let plan = Arc::new(MlfmaPlan::new(&domain, acc));
+            let eng = MlfmaEngine::new(plan, Arc::new(Pool::new(1)));
+            let mut y = vec![C64::ZERO; x.len()];
+            eng.apply(&x, &mut y);
+            rel_diff(&y, &y_ref)
+        };
+        let band_err = run(Accuracy::default());
+        let spectral_err = run(Accuracy::default().spectral());
+        assert!(spectral_err < 1e-5, "spectral path accurate: {spectral_err:e}");
+        assert!(
+            spectral_err <= band_err * 1.2,
+            "spectral must not lose to band: {spectral_err:e} vs {band_err:e}"
+        );
+    }
+}

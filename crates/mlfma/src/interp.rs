@@ -1,0 +1,146 @@
+//! Band-diagonal interpolation / anterpolation between level samplings.
+//!
+//! Far-field patterns at level `l` are band-limited (bandwidth `L_l`) periodic
+//! functions of the plane-wave angle, sampled at `Q_l` uniform points.
+//! Aggregation needs child patterns resampled onto the parent's denser grid;
+//! disaggregation needs the adjoint. The paper realizes both as band-diagonal
+//! matrices from *local* Lagrange interpolation (Table I); the band width is
+//! the interpolation order. The quadrature-weighted transpose
+//! `(Q_child / Q_parent) * interp^T` is the anterpolation (low-pass +
+//! downsample) operator.
+
+use ffw_numerics::linalg::PeriodicBandMatrix;
+
+/// Builds the `q_dst x q_src` periodic Lagrange interpolation matrix of order
+/// `p` (band width `p`), mapping samples on the uniform `q_src` grid to
+/// samples on the uniform `q_dst` grid (both over `[0, 2 pi)`).
+pub fn lagrange_interp_matrix(q_src: usize, q_dst: usize, p: usize) -> PeriodicBandMatrix {
+    assert!(q_src >= 2 && q_dst >= 1);
+    let p = p.max(2).min(q_src);
+    let mut starts = Vec::with_capacity(q_dst);
+    let mut weights = Vec::with_capacity(q_dst * p);
+    let ratio = q_src as f64 / q_dst as f64;
+    for i in 0..q_dst {
+        // Target angle in source-grid units.
+        let u = i as f64 * ratio;
+        // p nodes centered on u: floor(u) - p/2 + 1 ..= floor(u) + p/2
+        let first = u.floor() as i64 - (p as i64) / 2 + 1;
+        // Lagrange weights on the (unwrapped) integer nodes.
+        for j in 0..p {
+            let node_j = first + j as i64;
+            let mut w = 1.0f64;
+            for m in 0..p {
+                if m != j {
+                    let node_m = first + m as i64;
+                    w *= (u - node_m as f64) / (node_j - node_m) as f64;
+                }
+            }
+            weights.push(w);
+        }
+        starts.push(first.rem_euclid(q_src as i64) as u32);
+    }
+    PeriodicBandMatrix::new(q_dst, q_src, p, starts, weights)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ffw_numerics::fft::resample_periodic;
+    use ffw_numerics::{c64, C64};
+
+    /// Samples a band-limited test pattern with bandwidth `l` on `q` points.
+    fn band_limited(l: i64, q: usize) -> Vec<C64> {
+        (0..q)
+            .map(|j| {
+                let a = 2.0 * std::f64::consts::PI * j as f64 / q as f64;
+                let mut acc = C64::ZERO;
+                for m in -l..=l {
+                    let cm = c64(
+                        (m as f64 * 0.71).sin() + 0.2,
+                        (m as f64 * 1.31).cos() * 0.5,
+                    );
+                    acc += cm * C64::cis(m as f64 * a);
+                }
+                acc
+            })
+            .collect()
+    }
+
+    fn max_err(a: &[C64], b: &[C64]) -> f64 {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (*x - *y).abs())
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn interpolation_matches_exact_spectral_resampling() {
+        // The signal must be oversampled for *local* interpolation to work —
+        // in MLFMA the oversampling is supplied by the excess-bandwidth terms
+        // of the truncation formula (physical bandwidth kd < L). Use a 2x
+        // oversampled source grid, as a leaf-level pattern effectively is.
+        let l = 8i64;
+        let q_src = 4 * l as usize + 1; // 33: 2x oversampled
+        let q_dst = 67;
+        let coarse = band_limited(l, q_src);
+        let exact = resample_periodic(&coarse, q_dst);
+        for (p, tol) in [(6usize, 5e-2), (10, 5e-3), (14, 5e-4)] {
+            let m = lagrange_interp_matrix(q_src, q_dst, p);
+            let mut out = vec![C64::ZERO; q_dst];
+            m.apply(&coarse, &mut out);
+            let scale: f64 = exact.iter().map(|v| v.abs()).fold(0.0, f64::max);
+            let err = max_err(&out, &exact) / scale;
+            assert!(err < tol, "p={p}: err={err:e}");
+        }
+    }
+
+    #[test]
+    fn thicker_band_is_more_accurate() {
+        // The paper's Table I remark: accuracy grows with band width.
+        let l = 10i64;
+        let coarse = band_limited(l, 4 * l as usize + 3); // oversampled
+        let exact = resample_periodic(&coarse, 87);
+        let mut prev = f64::INFINITY;
+        for p in [4usize, 8, 12] {
+            let m = lagrange_interp_matrix(coarse.len(), 87, p);
+            let mut out = vec![C64::ZERO; 87];
+            m.apply(&coarse, &mut out);
+            let err = max_err(&out, &exact);
+            assert!(err < prev, "p={p} err={err:e} prev={prev:e}");
+            prev = err;
+        }
+    }
+
+    #[test]
+    fn exact_on_coincident_grids() {
+        // q_dst == q_src: every target lands exactly on a node.
+        let x = band_limited(5, 23);
+        let m = lagrange_interp_matrix(23, 23, 8);
+        let mut out = vec![C64::ZERO; 23];
+        m.apply(&x, &mut out);
+        assert!(max_err(&out, &x) < 1e-12);
+    }
+
+    #[test]
+    fn anterpolation_is_quadrature_adjoint_exactly() {
+        // With A = (Qc/Qp) I^T, the bilinear identity
+        //   (1/Qc) sum_j (A g)_j f_j == (1/Qp) sum_i g_i (I f)_i
+        // holds *exactly* for arbitrary f, g — this is the algebraic property
+        // the disaggregation pass relies on.
+        let qc = 13;
+        let qp = 31;
+        let f = band_limited(4, qc);
+        let g = band_limited(9, qp);
+        let interp = lagrange_interp_matrix(qc, qp, 8);
+        let mut if_up = vec![C64::ZERO; qp];
+        interp.apply(&f, &mut if_up);
+        let lhs: C64 = g.iter().zip(&if_up).map(|(a, b)| *a * *b).sum::<C64>() / qp as f64;
+        let mut down = vec![C64::ZERO; qc];
+        interp.apply_transpose_scaled(&g, qc as f64 / qp as f64, &mut down);
+        let rhs: C64 = down.iter().zip(&f).map(|(a, b)| *a * *b).sum::<C64>() / qc as f64;
+        assert!(
+            (lhs - rhs).abs() < 1e-12 * lhs.abs().max(1e-12),
+            "{lhs:?} vs {rhs:?}"
+        );
+    }
+}

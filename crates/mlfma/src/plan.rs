@@ -1,0 +1,594 @@
+//! MLFMA setup: precomputes every operator of the paper's Table I.
+//!
+//! | operator                | structure     | types                      |
+//! |-------------------------|---------------|----------------------------|
+//! | near-field interactions | dense         | 9 (neighbour offsets)      |
+//! | multipole expansion     | dense         | 1 (shared by all leaves)   |
+//! | interpolations          | band-diagonal | 1 per level pair           |
+//! | multipole shiftings     | diagonal      | 4 per level (child pos.)   |
+//! | translations            | diagonal      | 40 per level (offsets)     |
+//! | local shiftings         | diagonal      | 4 per level                |
+//! | anterpolations          | band-diagonal | transpose of interpolation |
+//! | local expansions        | dense         | adjoint of expansion       |
+//!
+//! The regular pixel/cluster grid is what makes this reuse possible
+//! (Section IV-D): every leaf shares one expansion matrix, every neighbour
+//! pair with the same offset shares one near-field matrix, and every cluster
+//! pair with the same level and offset shares one diagonal translator.
+//!
+//! Diagonal translator (2-D Rokhlin form): for observation cluster center
+//! `Co = Cs + X`,
+//! `H0(k|X + d|) ~ (1/Q) sum_q e^{i k khat(a_q) . d} T_L(a_q)` with
+//! `T_L(a) = sum_{m=-L}^{L} i^m H_m^(1)(k|X|) e^{i m (a - phi_X)}`,
+//! where `d = (r_obs - Co) - (r_src - Cs)`. Radiation patterns therefore carry
+//! `e^{-i k khat . (r - C)}` and receive patterns the conjugate phase.
+
+use crate::interp::lagrange_interp_matrix;
+use crate::params::{Accuracy, InterpKind};
+use ffw_geometry::{
+    Domain, Offset, QuadTree, LEAF_PIXELS, LEAF_SIDE, NEAR_OFFSETS, TOP_LEVEL,
+};
+use ffw_greens::Kernel;
+use ffw_numerics::bessel::hankel1_array;
+use ffw_numerics::fft::{resample_with_plans, Fft};
+use ffw_numerics::linalg::{Matrix, PeriodicBandMatrix};
+use ffw_numerics::{C64};
+
+/// Maps a translation offset to its dense index in `0..49` (7x7 grid of
+/// offsets; only the 40 with `max(|dx|,|dy|) >= 2` are populated).
+#[inline]
+pub fn offset_index(off: Offset) -> usize {
+    debug_assert!((-3..=3).contains(&off.0) && (-3..=3).contains(&off.1));
+    ((off.1 + 3) as usize) * 7 + (off.0 + 3) as usize
+}
+
+/// Inter-level resampling operator: the paper's band-diagonal Lagrange
+/// matrices, or the exact spectral (FFT) alternative.
+pub enum InterpOp {
+    /// Band-diagonal local Lagrange interpolation (Table I).
+    Band(PeriodicBandMatrix),
+    /// Exact zero-padding/truncation resampling with cached FFT plans.
+    Spectral {
+        /// FFT plan at the child sampling rate.
+        fft_child: Fft,
+        /// FFT plan at the parent sampling rate.
+        fft_parent: Fft,
+    },
+}
+
+impl InterpOp {
+    /// Upsamples a child pattern onto the parent sampling (overwrites `out`).
+    pub fn up(&self, child: &[C64], out: &mut [C64]) {
+        match self {
+            InterpOp::Band(m) => m.apply(child, out),
+            InterpOp::Spectral { fft_child, fft_parent } => {
+                let v = resample_with_plans(fft_child, fft_parent, child);
+                out.copy_from_slice(&v);
+            }
+        }
+    }
+
+    /// Anterpolates a parent pattern into the child sampling, accumulating
+    /// into `out`. `band_scale` is the quadrature factor `Q_child / Q_parent`
+    /// used by the transpose form; the spectral path is exact as-is.
+    pub fn down_add(&self, parent: &[C64], band_scale: f64, out: &mut [C64]) {
+        match self {
+            InterpOp::Band(m) => m.apply_transpose_scaled(parent, band_scale, out),
+            InterpOp::Spectral { fft_child, fft_parent } => {
+                let v = resample_with_plans(fft_parent, fft_child, parent);
+                for (o, x) in out.iter_mut().zip(v) {
+                    *o += x;
+                }
+            }
+        }
+    }
+
+    /// Stored nonzeros (band path) for the memory census.
+    pub fn nnz(&self) -> usize {
+        match self {
+            InterpOp::Band(m) => m.nnz(),
+            InterpOp::Spectral { .. } => 0,
+        }
+    }
+}
+
+/// Per-level precomputed operators.
+pub struct LevelPlan {
+    /// Tree level (TOP_LEVEL..=leaf).
+    pub level: u8,
+    /// Clusters per side at this level.
+    pub n_side: usize,
+    /// Cluster width.
+    pub width: f64,
+    /// Truncation order L.
+    pub l_trunc: usize,
+    /// Angular samples Q = 2L + 1.
+    pub q: usize,
+    /// Diagonal translators by [`offset_index`]; `None` at near offsets.
+    pub translations: Vec<Option<Vec<C64>>>,
+    /// Outgoing (multipole) shifts child -> this level, one per child
+    /// position, sampled on this level's Q. Empty at the leaf level.
+    pub shift_out: Vec<Vec<C64>>,
+    /// Incoming (local) shifts this level -> child: conjugates of `shift_out`.
+    pub shift_in: Vec<Vec<C64>>,
+    /// Interpolation from the child sampling to this level's sampling.
+    /// `None` at the leaf level.
+    pub interp: Option<InterpOp>,
+    /// Anterpolation scale `Q_child / Q_this` applied with `interp^T`.
+    pub anterp_scale: f64,
+}
+
+/// The complete MLFMA factorization plan for one domain.
+pub struct MlfmaPlan {
+    /// The imaging domain.
+    pub domain: Domain,
+    /// The cluster hierarchy.
+    pub tree: QuadTree,
+    /// Green's-function kernel constants.
+    pub kernel: Kernel,
+    /// Accuracy settings used.
+    pub accuracy: Accuracy,
+    /// Computed levels, `[0]` = TOP_LEVEL, last = leaf.
+    pub levels: Vec<LevelPlan>,
+    /// Multipole expansion matrix (leaf Q x 64), shared by all leaves.
+    pub expansion: Matrix,
+    /// The 9 near-field matrices (64 x 64), ordered like `NEAR_OFFSETS`.
+    pub near: Vec<Matrix>,
+}
+
+impl MlfmaPlan {
+    /// Builds the plan. The domain side must be `8 * 2^m` pixels, `m >= 2`.
+    pub fn new(domain: &Domain, accuracy: Accuracy) -> Self {
+        let tree = QuadTree::new(domain);
+        let kernel = Kernel::new(domain.k0(), domain.equivalent_radius());
+        let k = kernel.k;
+
+        // Per-level truncation first (children needed for interp shapes).
+        let level_params: Vec<(u8, usize, usize, f64)> = tree
+            .levels()
+            .map(|level| {
+                let w = tree.cluster_width(level);
+                let l = accuracy.truncation(k, w * std::f64::consts::SQRT_2);
+                (level, l, Accuracy::samples(l), w)
+            })
+            .collect();
+
+        let mut levels = Vec::with_capacity(level_params.len());
+        for (idx, &(level, l_trunc, q, width)) in level_params.iter().enumerate() {
+            // --- translators: 40 offsets ---
+            let mut translations = vec![None; 49];
+            for off in QuadTree::all_interaction_offsets() {
+                let xx = -(off.0 as f64) * width;
+                let xy = -(off.1 as f64) * width;
+                let dist = xx.hypot(xy);
+                let phi_x = xy.atan2(xx);
+                let h = hankel1_array(l_trunc, k * dist);
+                let t: Vec<C64> = (0..q)
+                    .map(|qi| {
+                        let theta =
+                            2.0 * std::f64::consts::PI * qi as f64 / q as f64 - phi_x;
+                        let mut acc = h[0];
+                        for m in 1..=l_trunc {
+                            // i^m H_m (e^{im t} + e^{-im t}) = i^m H_m 2 cos(m t)
+                            acc += C64::i_pow(m as i64) * h[m] * (2.0 * (m as f64 * theta).cos());
+                        }
+                        acc
+                    })
+                    .collect();
+                translations[offset_index(off)] = Some(t);
+            }
+
+            // --- shifts and interpolation (absent at the leaf level) ---
+            let is_leaf = idx + 1 == level_params.len();
+            let (shift_out, shift_in, interp, anterp_scale) = if is_leaf {
+                (Vec::new(), Vec::new(), None, 0.0)
+            } else {
+                let (_, _, q_child, _) = level_params[idx + 1];
+                let w_child = width * 0.5;
+                let mut shift_out = Vec::with_capacity(4);
+                let mut shift_in = Vec::with_capacity(4);
+                for pos in 0..4u32 {
+                    // Morton child position: bit 0 = x parity, bit 1 = y parity.
+                    let cx = ((pos & 1) as f64 - 0.5) * w_child;
+                    let cy = (((pos >> 1) & 1) as f64 - 0.5) * w_child;
+                    let out: Vec<C64> = (0..q)
+                        .map(|qi| {
+                            let a = 2.0 * std::f64::consts::PI * qi as f64 / q as f64;
+                            // e^{-i k khat . (C_child - C_parent)}
+                            C64::cis(-k * (a.cos() * cx + a.sin() * cy))
+                        })
+                        .collect();
+                    let inn: Vec<C64> = out.iter().map(|v| v.conj()).collect();
+                    shift_out.push(out);
+                    shift_in.push(inn);
+                }
+                let interp = match accuracy.interp_kind {
+                    InterpKind::BandDiagonal => InterpOp::Band(lagrange_interp_matrix(
+                        q_child,
+                        q,
+                        accuracy.interp_order,
+                    )),
+                    InterpKind::Spectral => InterpOp::Spectral {
+                        fft_child: Fft::new(q_child),
+                        fft_parent: Fft::new(q),
+                    },
+                };
+                (shift_out, shift_in, Some(interp), q_child as f64 / q as f64)
+            };
+
+            levels.push(LevelPlan {
+                level,
+                n_side: tree.clusters_per_side(level),
+                width,
+                l_trunc,
+                q,
+                translations,
+                shift_out,
+                shift_in,
+                interp,
+                anterp_scale,
+            });
+        }
+
+        // --- leaf multipole expansion matrix (shared by all leaves) ---
+        let leaf = levels.last().expect("at least one level");
+        let q_leaf = leaf.q;
+        let px = domain.pixel_size();
+        let half = LEAF_SIDE as f64 / 2.0;
+        let expansion = Matrix::from_fn(q_leaf, LEAF_PIXELS, |qi, j| {
+            let lx = (j % LEAF_SIDE) as f64 + 0.5 - half;
+            let ly = (j / LEAF_SIDE) as f64 + 0.5 - half;
+            let a = 2.0 * std::f64::consts::PI * qi as f64 / q_leaf as f64;
+            // e^{-i k khat . delta}
+            C64::cis(-k * (a.cos() * lx * px + a.sin() * ly * px))
+        });
+
+        // --- the 9 near-field matrices ---
+        let w_leaf = leaf.width;
+        let near = NEAR_OFFSETS
+            .iter()
+            .map(|&(ox, oy)| {
+                Matrix::from_fn(LEAF_PIXELS, LEAF_PIXELS, |m, n| {
+                    // observation pixel m in leaf at origin; source pixel n in
+                    // leaf offset by (ox, oy) * w_leaf
+                    let mx = (m % LEAF_SIDE) as f64;
+                    let my = (m / LEAF_SIDE) as f64;
+                    let nx = (n % LEAF_SIDE) as f64 + ox as f64 * LEAF_SIDE as f64;
+                    let ny = (n / LEAF_SIDE) as f64 + oy as f64 * LEAF_SIDE as f64;
+                    let r = ((mx - nx) * px).hypot((my - ny) * px);
+                    let _ = w_leaf;
+                    kernel.g0_element(r)
+                })
+            })
+            .collect();
+
+        MlfmaPlan {
+            domain: domain.clone(),
+            tree,
+            kernel,
+            accuracy,
+            levels,
+            expansion,
+            near,
+        }
+    }
+
+    /// The plan for a given tree level.
+    pub fn level_plan(&self, level: u8) -> &LevelPlan {
+        &self.levels[(level - TOP_LEVEL) as usize]
+    }
+
+    /// Leaf-level plan.
+    pub fn leaf_plan(&self) -> &LevelPlan {
+        self.levels.last().expect("non-empty")
+    }
+
+    /// Number of unknowns.
+    pub fn n_pixels(&self) -> usize {
+        self.tree.n_pixels()
+    }
+
+    /// Realized operator census (the paper's Table I).
+    pub fn census(&self) -> OperatorCensus {
+        OperatorCensus {
+            near_field_types: self.near.len(),
+            expansion_types: 1,
+            interpolation_types: self.levels.len() - 1,
+            multipole_shift_types: 4 * (self.levels.len() - 1),
+            translation_types_per_level: 40,
+            local_shift_types: 4 * (self.levels.len() - 1),
+            anterpolation_types: self.levels.len() - 1,
+            local_expansion_types: 1,
+        }
+    }
+
+    /// Work/size statistics per level and phase, consumed by the performance
+    /// model (`ffw-perf`) and by the complexity benchmarks.
+    pub fn stats(&self) -> PlanStats {
+        let cmul = 8.0; // flops per complex multiply-add
+        let mut level_stats = Vec::new();
+        let mut translation_flops = 0.0;
+        let mut aggregation_flops = 0.0;
+        let mut disaggregation_flops = 0.0;
+        for (idx, lp) in self.levels.iter().enumerate() {
+            let n_clusters = lp.n_side * lp.n_side;
+            // exact count of in-bounds translation pairs
+            let mut pairs = 0usize;
+            for iy in 0..lp.n_side {
+                for ix in 0..lp.n_side {
+                    pairs += self.tree.interaction_list(lp.level, ix, iy).len();
+                }
+            }
+            translation_flops += pairs as f64 * lp.q as f64 * cmul;
+            if idx + 1 < self.levels.len() {
+                let q_child = self.levels[idx + 1].q;
+                let children = 4 * n_clusters;
+                // interp (band p) + shift per child
+                let per_child =
+                    lp.q as f64 * self.accuracy.interp_order as f64 * cmul + lp.q as f64 * cmul;
+                aggregation_flops += children as f64 * per_child;
+                let _ = q_child;
+                disaggregation_flops += children as f64 * per_child;
+            }
+            level_stats.push(LevelStats {
+                level: lp.level,
+                n_clusters,
+                q: lp.q,
+                l_trunc: lp.l_trunc,
+                translation_pairs: pairs,
+            });
+        }
+        let n_leaves = self.tree.n_leaves();
+        let expansion_flops = n_leaves as f64 * self.leaf_plan().q as f64 * LEAF_PIXELS as f64 * cmul;
+        // near-field pairs (in-bounds)
+        let leaf_side = self.tree.clusters_per_side(self.tree.leaf_level());
+        let mut near_pairs = 0usize;
+        for iy in 0..leaf_side {
+            for ix in 0..leaf_side {
+                near_pairs += self.tree.near_list(ix, iy).len();
+            }
+        }
+        let nearfield_flops = near_pairs as f64 * (LEAF_PIXELS * LEAF_PIXELS) as f64 * cmul;
+        PlanStats {
+            n_pixels: self.n_pixels(),
+            interp_band: self.accuracy.interp_order,
+            n_leaves,
+            levels: level_stats,
+            expansion_flops,
+            local_expansion_flops: expansion_flops,
+            aggregation_flops,
+            translation_flops,
+            disaggregation_flops,
+            nearfield_flops,
+        }
+    }
+}
+
+/// Realized operator counts (paper Table I).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OperatorCensus {
+    /// Dense near-field matrices.
+    pub near_field_types: usize,
+    /// Dense multipole expansion matrices.
+    pub expansion_types: usize,
+    /// Band-diagonal interpolation matrices (one per level pair).
+    pub interpolation_types: usize,
+    /// Diagonal outgoing shift vectors.
+    pub multipole_shift_types: usize,
+    /// Diagonal translators per level.
+    pub translation_types_per_level: usize,
+    /// Diagonal incoming shift vectors.
+    pub local_shift_types: usize,
+    /// Band-diagonal anterpolation operators (transposes).
+    pub anterpolation_types: usize,
+    /// Dense local expansion matrices (adjoint of expansion).
+    pub local_expansion_types: usize,
+}
+
+/// Per-level structural statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LevelStats {
+    /// Tree level.
+    pub level: u8,
+    /// Clusters at this level.
+    pub n_clusters: usize,
+    /// Angular samples per cluster.
+    pub q: usize,
+    /// Truncation order.
+    pub l_trunc: usize,
+    /// Total in-bounds translation pairs.
+    pub translation_pairs: usize,
+}
+
+/// Whole-plan work statistics (flops per MLFMA matvec, by phase).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanStats {
+    /// Unknowns.
+    pub n_pixels: usize,
+    /// Lagrange interpolation band width used by the plan.
+    pub interp_band: usize,
+    /// Leaf clusters.
+    pub n_leaves: usize,
+    /// Per-level stats, top first.
+    pub levels: Vec<LevelStats>,
+    /// Multipole expansion flops.
+    pub expansion_flops: f64,
+    /// Local expansion flops.
+    pub local_expansion_flops: f64,
+    /// Aggregation (interp + shift) flops.
+    pub aggregation_flops: f64,
+    /// Translation flops.
+    pub translation_flops: f64,
+    /// Disaggregation flops.
+    pub disaggregation_flops: f64,
+    /// Near-field flops.
+    pub nearfield_flops: f64,
+}
+
+impl PlanStats {
+    /// Total flops for one MLFMA matvec.
+    pub fn total_flops(&self) -> f64 {
+        self.expansion_flops
+            + self.local_expansion_flops
+            + self.aggregation_flops
+            + self.translation_flops
+            + self.disaggregation_flops
+            + self.nearfield_flops
+    }
+
+    /// Far-field pattern storage in complex words.
+    pub fn pattern_words(&self) -> usize {
+        self.levels.iter().map(|l| 2 * l.n_clusters * l.q).sum()
+    }
+}
+
+/// Builds a translator vector directly (exposed for the accuracy ablation
+/// benchmark, which sweeps L independently of the plan).
+pub fn translator(k: f64, x_vec: (f64, f64), l_trunc: usize, q: usize) -> Vec<C64> {
+    let dist = x_vec.0.hypot(x_vec.1);
+    let phi_x = x_vec.1.atan2(x_vec.0);
+    let h = hankel1_array(l_trunc, k * dist);
+    (0..q)
+        .map(|qi| {
+            let theta = 2.0 * std::f64::consts::PI * qi as f64 / q as f64 - phi_x;
+            let mut acc = h[0];
+            for m in 1..=l_trunc {
+                acc += C64::i_pow(m as i64) * h[m] * (2.0 * (m as f64 * theta).cos());
+            }
+            acc
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ffw_numerics::bessel::hankel1_0;
+
+    fn small_plan() -> MlfmaPlan {
+        MlfmaPlan::new(&Domain::new(32, 1.0), Accuracy::default())
+    }
+
+    #[test]
+    fn table1_census() {
+        let plan = MlfmaPlan::new(&Domain::new(64, 1.0), Accuracy::default());
+        let c = plan.census();
+        assert_eq!(c.near_field_types, 9);
+        assert_eq!(c.expansion_types, 1);
+        assert_eq!(c.translation_types_per_level, 40);
+        assert_eq!(c.multipole_shift_types, 4 * (plan.levels.len() - 1));
+        // every level has all 40 translators realized
+        for lp in &plan.levels {
+            let realized = lp.translations.iter().filter(|t| t.is_some()).count();
+            assert_eq!(realized, 40, "level {}", lp.level);
+        }
+    }
+
+    /// The fundamental identity: the diagonal translator applied to unit
+    /// source/receive patterns reproduces H0^(1)(k |X + d|) to the target
+    /// accuracy, for the closest (hardest) offset (2, 0).
+    #[test]
+    fn translator_reproduces_h0() {
+        let plan = small_plan();
+        let leaf = plan.leaf_plan();
+        let k = plan.kernel.k;
+        let w = leaf.width;
+        let t = leaf.translations[offset_index((2, 0))]
+            .as_ref()
+            .expect("translator exists");
+        let q = leaf.q;
+        // source at Cs + ds, obs at Co + do; offset (2,0): Cs = Co + (2w, 0)
+        // Tolerance depends on how close the pair sits to the separation
+        // boundary: the cluster-corner worst case of the one-buffer scheme is
+        // the known accuracy-limiting configuration; interior points are far
+        // more accurate. The *matvec-level* 1e-5 budget is verified separately
+        // against the direct product (engine tests).
+        for (dox, doy, dsx, dsy, tol) in [
+            (0.0, 0.0, 0.0, 0.0, 1e-7),
+            (0.35 * w, -0.4 * w, -0.3 * w, 0.45 * w, 1e-5),
+            (-0.49 * w, 0.49 * w, 0.49 * w, -0.49 * w, 2e-3), // corner worst case
+        ] {
+            let dx = dox - dsx - 2.0 * w;
+            let dy = doy - dsy;
+            let exact = hankel1_0(k * dx.hypot(dy));
+            let mut acc = C64::ZERO;
+            for qi in 0..q {
+                let a = 2.0 * std::f64::consts::PI * qi as f64 / q as f64;
+                // e^{i k khat . d}, d = (do - ds) relative to centers:
+                let d_dot = a.cos() * (dox - dsx) + a.sin() * (doy - dsy);
+                // plus the center-to-center phase is inside T via X
+                acc += C64::cis(k * d_dot) * t[qi];
+            }
+            acc = acc / q as f64;
+            let err = (acc - exact).abs() / exact.abs();
+            assert!(err < tol, "err = {err:e} at ({dox},{doy},{dsx},{dsy})");
+        }
+    }
+
+    #[test]
+    fn shifts_are_unit_modulus_conjugate_pairs() {
+        let plan = small_plan();
+        for lp in &plan.levels[..plan.levels.len() - 1] {
+            assert_eq!(lp.shift_out.len(), 4);
+            for pos in 0..4 {
+                for (o, i) in lp.shift_out[pos].iter().zip(&lp.shift_in[pos]) {
+                    assert!((o.abs() - 1.0).abs() < 1e-12);
+                    assert!((o.conj() - *i).abs() < 1e-15);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn expansion_matrix_shape_and_modulus() {
+        let plan = small_plan();
+        let e = &plan.expansion;
+        assert_eq!(e.rows(), plan.leaf_plan().q);
+        assert_eq!(e.cols(), LEAF_PIXELS);
+        for q in 0..e.rows() {
+            for j in 0..e.cols() {
+                assert!((e.at(q, j).abs() - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn near_matrices_match_kernel_elements() {
+        let plan = small_plan();
+        let px = plan.domain.pixel_size();
+        // offset (1, 0): source leaf to the right; pixel (0,0) obs vs (0,0) src
+        let idx_10 = NEAR_OFFSETS.iter().position(|&o| o == (1, 0)).expect("offset");
+        let m = &plan.near[idx_10];
+        let expect = plan.kernel.g0_element(8.0 * px);
+        assert!((m.at(0, 0) - expect).abs() < 1e-14);
+        // self matrix diagonal = self term
+        let idx_00 = NEAR_OFFSETS.iter().position(|&o| o == (0, 0)).expect("offset");
+        let s = &plan.near[idx_00];
+        for d in 0..LEAF_PIXELS {
+            assert!((s.at(d, d) - plan.kernel.self_term).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn stats_are_order_n() {
+        // Total flops per unknown should be roughly constant across sizes:
+        // O(N) complexity (paper Section III-C).
+        let acc = Accuracy::default();
+        let f1 = MlfmaPlan::new(&Domain::new(64, 1.0), acc).stats();
+        let f2 = MlfmaPlan::new(&Domain::new(256, 1.0), acc).stats();
+        let per1 = f1.total_flops() / f1.n_pixels as f64;
+        let per2 = f2.total_flops() / f2.n_pixels as f64;
+        assert!(
+            per2 / per1 < 1.6,
+            "flops per unknown should stay ~constant: {per1:.0} -> {per2:.0}"
+        );
+    }
+
+    #[test]
+    fn q_decreases_toward_leaves() {
+        let plan = MlfmaPlan::new(&Domain::new(128, 1.0), Accuracy::default());
+        for w in plan.levels.windows(2) {
+            assert!(w[0].q > w[1].q, "coarser level needs more samples");
+        }
+    }
+}

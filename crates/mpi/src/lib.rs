@@ -1,0 +1,519 @@
+//! # ffw-mpi
+//!
+//! An in-process message-passing runtime standing in for MPI in the paper's
+//! two-dimensional parallelization (Section IV). Ranks are OS threads; each
+//! directed rank pair has a tag-matched mailbox; collectives are built on the
+//! point-to-point layer. Every message is accounted per edge (count + bytes),
+//! so the distributed solver can report exactly the communication volumes the
+//! performance model consumes, and ablations can show the effect of the
+//! paper's buffer-aggregation optimization (Section IV-B).
+//!
+//! Semantics match the subset of MPI the paper's solver needs:
+//! * `send` is buffered and non-blocking (like `MPI_Isend` + eager protocol);
+//! * `recv(src, tag)` blocks until a matching message arrives, with
+//!   out-of-order messages held back per (source, tag);
+//! * `barrier`, `allreduce`, `gather`/`broadcast` collectives.
+
+#![warn(missing_docs)]
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Message payloads: the solver moves complex fields, real scalars for
+/// reductions, and occasional integer bookkeeping.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Payload {
+    /// Complex doubles as `(re, im)` pairs.
+    C64(Vec<(f64, f64)>),
+    /// Real doubles.
+    F64(Vec<f64>),
+    /// Unsigned 64-bit integers.
+    U64(Vec<u64>),
+}
+
+impl Payload {
+    /// Payload size in bytes (as it would travel on a wire).
+    pub fn n_bytes(&self) -> u64 {
+        match self {
+            Payload::C64(v) => 16 * v.len() as u64,
+            Payload::F64(v) => 8 * v.len() as u64,
+            Payload::U64(v) => 8 * v.len() as u64,
+        }
+    }
+
+    /// Unwraps a complex payload.
+    pub fn into_c64(self) -> Vec<(f64, f64)> {
+        match self {
+            Payload::C64(v) => v,
+            other => panic!("expected C64 payload, got {other:?}"),
+        }
+    }
+
+    /// Unwraps a real payload.
+    pub fn into_f64(self) -> Vec<f64> {
+        match self {
+            Payload::F64(v) => v,
+            other => panic!("expected F64 payload, got {other:?}"),
+        }
+    }
+
+    /// Unwraps an integer payload.
+    pub fn into_u64(self) -> Vec<u64> {
+        match self {
+            Payload::U64(v) => v,
+            other => panic!("expected U64 payload, got {other:?}"),
+        }
+    }
+}
+
+struct Mailbox {
+    queue: Mutex<VecDeque<(u32, Payload)>>,
+    cond: Condvar,
+}
+
+impl Mailbox {
+    fn new() -> Self {
+        Mailbox {
+            queue: Mutex::new(VecDeque::new()),
+            cond: Condvar::new(),
+        }
+    }
+
+    fn push(&self, tag: u32, payload: Payload) {
+        let mut q = self.queue.lock();
+        q.push_back((tag, payload));
+        self.cond.notify_all();
+    }
+
+    fn pop_matching(&self, tag: u32) -> Payload {
+        let mut q = self.queue.lock();
+        loop {
+            if let Some(pos) = q.iter().position(|(t, _)| *t == tag) {
+                return q.remove(pos).expect("position valid").1;
+            }
+            self.cond.wait(&mut q);
+        }
+    }
+
+    fn try_pop_matching(&self, tag: u32) -> Option<Payload> {
+        let mut q = self.queue.lock();
+        q.iter()
+            .position(|(t, _)| *t == tag)
+            .map(|pos| q.remove(pos).expect("position valid").1)
+    }
+}
+
+/// Per-edge communication counters.
+#[derive(Debug)]
+pub struct CommStats {
+    size: usize,
+    /// messages[src * size + dst]
+    messages: Vec<AtomicU64>,
+    bytes: Vec<AtomicU64>,
+}
+
+impl CommStats {
+    fn new(size: usize) -> Self {
+        CommStats {
+            size,
+            messages: (0..size * size).map(|_| AtomicU64::new(0)).collect(),
+            bytes: (0..size * size).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    fn record(&self, src: usize, dst: usize, n_bytes: u64) {
+        let idx = src * self.size + dst;
+        self.messages[idx].fetch_add(1, Ordering::Relaxed);
+        self.bytes[idx].fetch_add(n_bytes, Ordering::Relaxed);
+    }
+
+    /// Total messages sent (all edges).
+    pub fn total_messages(&self) -> u64 {
+        self.messages.iter().map(|a| a.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Total bytes sent (all edges).
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.iter().map(|a| a.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Messages sent on the directed edge `src -> dst`.
+    pub fn edge_messages(&self, src: usize, dst: usize) -> u64 {
+        self.messages[src * self.size + dst].load(Ordering::Relaxed)
+    }
+
+    /// Bytes sent on the directed edge `src -> dst`.
+    pub fn edge_bytes(&self, src: usize, dst: usize) -> u64 {
+        self.bytes[src * self.size + dst].load(Ordering::Relaxed)
+    }
+}
+
+struct Shared {
+    size: usize,
+    /// mailboxes[src * size + dst]
+    mailboxes: Vec<Mailbox>,
+    stats: CommStats,
+    barrier: std::sync::Barrier,
+}
+
+/// A rank's handle to the communicator.
+pub struct Comm {
+    rank: usize,
+    shared: Arc<Shared>,
+}
+
+/// Tags with the high bit set are reserved for collectives.
+const COLLECTIVE_TAG: u32 = 0x8000_0000;
+
+impl Comm {
+    /// This rank's index.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.shared.size
+    }
+
+    /// Shared communication statistics (live view).
+    pub fn stats(&self) -> &CommStats {
+        &self.shared.stats
+    }
+
+    /// Buffered, non-blocking send. User tags must not set the high bit.
+    pub fn send(&self, dst: usize, tag: u32, payload: Payload) {
+        assert!(dst < self.shared.size, "invalid destination {dst}");
+        assert_eq!(tag & COLLECTIVE_TAG, 0, "user tag sets reserved bit");
+        self.send_raw(dst, tag, payload);
+    }
+
+    fn send_raw(&self, dst: usize, tag: u32, payload: Payload) {
+        self.shared.stats.record(self.rank, dst, payload.n_bytes());
+        self.shared.mailboxes[self.rank * self.shared.size + dst].push(tag, payload);
+    }
+
+    /// Blocking receive of the message with the given source and tag.
+    pub fn recv(&self, src: usize, tag: u32) -> Payload {
+        assert!(src < self.shared.size, "invalid source {src}");
+        assert_eq!(tag & COLLECTIVE_TAG, 0, "user tag sets reserved bit");
+        self.recv_raw(src, tag)
+    }
+
+    fn recv_raw(&self, src: usize, tag: u32) -> Payload {
+        self.shared.mailboxes[src * self.shared.size + self.rank].pop_matching(tag)
+    }
+
+    /// Non-blocking receive: returns `None` if no matching message has
+    /// arrived yet (used by the communication/computation overlap pipeline).
+    pub fn try_recv(&self, src: usize, tag: u32) -> Option<Payload> {
+        assert!(src < self.shared.size);
+        assert_eq!(tag & COLLECTIVE_TAG, 0);
+        self.shared.mailboxes[src * self.shared.size + self.rank].try_pop_matching(tag)
+    }
+
+    /// Synchronizes all ranks.
+    pub fn barrier(&self) {
+        self.shared.barrier.wait();
+    }
+
+    /// Element-wise sum-allreduce over complex data (in place; all ranks end
+    /// with the global sum). Root-based: gather to rank 0, reduce, broadcast.
+    pub fn allreduce_sum_c64(&self, data: &mut [(f64, f64)]) {
+        if self.rank == 0 {
+            for src in 1..self.size() {
+                let part = self.recv_raw(src, COLLECTIVE_TAG | 1).into_c64();
+                assert_eq!(part.len(), data.len(), "allreduce length mismatch");
+                for (d, p) in data.iter_mut().zip(part) {
+                    d.0 += p.0;
+                    d.1 += p.1;
+                }
+            }
+            for dst in 1..self.size() {
+                self.send_raw(dst, COLLECTIVE_TAG | 2, Payload::C64(data.to_vec()));
+            }
+        } else {
+            self.send_raw(0, COLLECTIVE_TAG | 1, Payload::C64(data.to_vec()));
+            let result = self.recv_raw(0, COLLECTIVE_TAG | 2).into_c64();
+            data.copy_from_slice(&result);
+        }
+    }
+
+    /// Sum-allreduce over real data.
+    pub fn allreduce_sum_f64(&self, data: &mut [f64]) {
+        if self.rank == 0 {
+            for src in 1..self.size() {
+                let part = self.recv_raw(src, COLLECTIVE_TAG | 3).into_f64();
+                assert_eq!(part.len(), data.len());
+                for (d, p) in data.iter_mut().zip(part) {
+                    *d += p;
+                }
+            }
+            for dst in 1..self.size() {
+                self.send_raw(dst, COLLECTIVE_TAG | 4, Payload::F64(data.to_vec()));
+            }
+        } else {
+            self.send_raw(0, COLLECTIVE_TAG | 3, Payload::F64(data.to_vec()));
+            let result = self.recv_raw(0, COLLECTIVE_TAG | 4).into_f64();
+            data.copy_from_slice(&result);
+        }
+    }
+
+    /// Max-allreduce over a single value.
+    pub fn allreduce_max_f64(&self, value: f64) -> f64 {
+        let mut buf = [value];
+        if self.rank == 0 {
+            for src in 1..self.size() {
+                let part = self.recv_raw(src, COLLECTIVE_TAG | 5).into_f64();
+                buf[0] = buf[0].max(part[0]);
+            }
+            for dst in 1..self.size() {
+                self.send_raw(dst, COLLECTIVE_TAG | 6, Payload::F64(buf.to_vec()));
+            }
+        } else {
+            self.send_raw(0, COLLECTIVE_TAG | 5, Payload::F64(buf.to_vec()));
+            buf[0] = self.recv_raw(0, COLLECTIVE_TAG | 6).into_f64()[0];
+        }
+        buf[0]
+    }
+
+    /// Broadcast from `root` to all ranks (in place).
+    pub fn broadcast_c64(&self, root: usize, data: &mut Vec<(f64, f64)>) {
+        if self.rank == root {
+            for dst in 0..self.size() {
+                if dst != root {
+                    self.send_raw(dst, COLLECTIVE_TAG | 7, Payload::C64(data.clone()));
+                }
+            }
+        } else {
+            *data = self.recv_raw(root, COLLECTIVE_TAG | 7).into_c64();
+        }
+    }
+
+    /// Gathers variable-length complex chunks to `root`; returns
+    /// `Some(chunks by rank)` on the root, `None` elsewhere.
+    pub fn gather_c64(&self, root: usize, chunk: &[(f64, f64)]) -> Option<Vec<Vec<(f64, f64)>>> {
+        if self.rank == root {
+            let mut out = vec![Vec::new(); self.size()];
+            out[root] = chunk.to_vec();
+            for src in 0..self.size() {
+                if src != root {
+                    out[src] = self.recv_raw(src, COLLECTIVE_TAG | 8).into_c64();
+                }
+            }
+            Some(out)
+        } else {
+            self.send_raw(root, COLLECTIVE_TAG | 8, Payload::C64(chunk.to_vec()));
+            None
+        }
+    }
+}
+
+/// Opaque handle exposing post-run communication statistics.
+pub struct RunStats {
+    inner: Arc<Shared>,
+}
+
+impl RunStats {
+    /// The recorded communication statistics of the finished run.
+    pub fn stats(&self) -> &CommStats {
+        &self.inner.stats
+    }
+}
+
+/// Launches `n_ranks` ranks running `f` concurrently and returns their
+/// results in rank order, along with the communication statistics.
+pub fn run<F, T>(n_ranks: usize, f: F) -> (Vec<T>, RunStats)
+where
+    F: Fn(Comm) -> T + Send + Sync,
+    T: Send,
+{
+    assert!(n_ranks >= 1);
+    let shared = Arc::new(Shared {
+        size: n_ranks,
+        mailboxes: (0..n_ranks * n_ranks).map(|_| Mailbox::new()).collect(),
+        stats: CommStats::new(n_ranks),
+        barrier: std::sync::Barrier::new(n_ranks),
+    });
+    let results: Vec<Mutex<Option<T>>> = (0..n_ranks).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for (rank, slot) in results.iter().enumerate().skip(1) {
+            let comm = Comm {
+                rank,
+                shared: Arc::clone(&shared),
+            };
+            let f = &f;
+            std::thread::Builder::new()
+                .name(format!("ffw-mpi-{rank}"))
+                .spawn_scoped(scope, move || {
+                    *slot.lock() = Some(f(comm));
+                })
+                .expect("spawn rank");
+        }
+        let comm = Comm {
+            rank: 0,
+            shared: Arc::clone(&shared),
+        };
+        *results[0].lock() = Some(f(comm));
+    });
+    let out = results
+        .into_iter()
+        .map(|m| m.into_inner().expect("rank produced a result"))
+        .collect();
+    (out, RunStats { inner: shared })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_to_point_roundtrip() {
+        let (results, _) = run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 7, Payload::F64(vec![1.0, 2.0, 3.0]));
+                comm.recv(1, 8).into_f64()
+            } else {
+                let got = comm.recv(0, 7).into_f64();
+                let doubled: Vec<f64> = got.iter().map(|v| v * 2.0).collect();
+                comm.send(0, 8, Payload::F64(doubled.clone()));
+                doubled
+            }
+        });
+        assert_eq!(results[0], vec![2.0, 4.0, 6.0]);
+        assert_eq!(results[1], vec![2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn tag_matching_out_of_order() {
+        let (results, _) = run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, Payload::U64(vec![111]));
+                comm.send(1, 2, Payload::U64(vec![222]));
+                0
+            } else {
+                // Receive in the opposite order of sending.
+                let b = comm.recv(0, 2).into_u64()[0];
+                let a = comm.recv(0, 1).into_u64()[0];
+                assert_eq!((a, b), (111, 222));
+                1
+            }
+        });
+        assert_eq!(results, vec![0, 1]);
+    }
+
+    #[test]
+    fn allreduce_sums_across_ranks() {
+        let n = 5;
+        let (results, _) = run(n, |comm| {
+            let mut data = vec![(comm.rank() as f64, 1.0); 3];
+            comm.allreduce_sum_c64(&mut data);
+            data
+        });
+        let expect_re = (0..n).sum::<usize>() as f64;
+        for r in results {
+            for (re, im) in r {
+                assert_eq!(re, expect_re);
+                assert_eq!(im, n as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_f64_and_max() {
+        let (results, _) = run(4, |comm| {
+            let mut v = vec![comm.rank() as f64];
+            comm.allreduce_sum_f64(&mut v);
+            let m = comm.allreduce_max_f64(comm.rank() as f64 * 10.0);
+            (v[0], m)
+        });
+        for (s, m) in results {
+            assert_eq!(s, 6.0);
+            assert_eq!(m, 30.0);
+        }
+    }
+
+    #[test]
+    fn broadcast_and_gather() {
+        let (results, _) = run(3, |comm| {
+            let mut data = if comm.rank() == 1 {
+                vec![(9.0, -1.0); 4]
+            } else {
+                Vec::new()
+            };
+            comm.broadcast_c64(1, &mut data);
+            assert_eq!(data.len(), 4);
+            let chunk = vec![(comm.rank() as f64, 0.0); comm.rank() + 1];
+            let gathered = comm.gather_c64(0, &chunk);
+            if comm.rank() == 0 {
+                let g = gathered.expect("root gathers");
+                assert_eq!(g[2].len(), 3);
+                assert_eq!(g[1][0].0, 1.0);
+            }
+            data[0].0
+        });
+        assert!(results.iter().all(|&v| v == 9.0));
+    }
+
+    #[test]
+    fn barrier_synchronizes() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = AtomicUsize::new(0);
+        let (results, _) = run(4, |comm| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            comm.barrier();
+            // After the barrier, every rank must observe all 4 increments.
+            counter.load(Ordering::SeqCst)
+        });
+        assert!(results.iter().all(|&v| v == 4));
+    }
+
+    #[test]
+    fn stats_account_messages_and_bytes() {
+        let (_, handle) = run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 0, Payload::C64(vec![(1.0, 2.0); 10]));
+            } else {
+                let _ = comm.recv(0, 0);
+            }
+        });
+        let stats = handle.stats();
+        assert_eq!(stats.edge_messages(0, 1), 1);
+        assert_eq!(stats.edge_bytes(0, 1), 160);
+        assert_eq!(stats.edge_messages(1, 0), 0);
+        assert_eq!(stats.total_bytes(), 160);
+    }
+
+    #[test]
+    fn try_recv_nonblocking() {
+        let (results, _) = run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.barrier();
+                comm.send(1, 3, Payload::U64(vec![5]));
+                comm.barrier();
+                true
+            } else {
+                assert!(comm.try_recv(0, 3).is_none(), "nothing sent yet");
+                comm.barrier();
+                comm.barrier();
+                // Now it must be there (sent before the second barrier).
+                comm.try_recv(0, 3).is_some()
+            }
+        });
+        assert!(results[1]);
+    }
+
+    #[test]
+    fn single_rank_collectives_are_identity() {
+        let (results, _) = run(1, |comm| {
+            let mut v = vec![(1.0, 2.0)];
+            comm.allreduce_sum_c64(&mut v);
+            let m = comm.allreduce_max_f64(3.5);
+            comm.barrier();
+            (v[0], m)
+        });
+        assert_eq!(results[0], ((1.0, 2.0), 3.5));
+    }
+}

@@ -1,0 +1,448 @@
+//! Double-precision complex arithmetic.
+//!
+//! Implemented from scratch (no `num-complex`) so the whole stack is
+//! self-contained. Layout is `#[repr(C)]` with `re` first so a `&[C64]` can be
+//! reinterpreted as interleaved doubles by the message-passing runtime.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A double-precision complex number.
+#[derive(Clone, Copy, PartialEq, Default)]
+#[repr(C)]
+pub struct C64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+/// Shorthand constructor for [`C64`].
+#[inline(always)]
+pub const fn c64(re: f64, im: f64) -> C64 {
+    C64 { re, im }
+}
+
+impl C64 {
+    /// The additive identity 0 + 0i.
+    pub const ZERO: C64 = c64(0.0, 0.0);
+    /// The multiplicative identity 1 + 0i.
+    pub const ONE: C64 = c64(1.0, 0.0);
+    /// The imaginary unit i.
+    pub const I: C64 = c64(0.0, 1.0);
+
+    /// Creates a complex number from real and imaginary parts.
+    #[inline(always)]
+    pub const fn new(re: f64, im: f64) -> Self {
+        c64(re, im)
+    }
+
+    /// Creates a purely real complex number.
+    #[inline(always)]
+    pub const fn from_real(re: f64) -> Self {
+        c64(re, 0.0)
+    }
+
+    /// Complex conjugate.
+    #[inline(always)]
+    pub fn conj(self) -> Self {
+        c64(self.re, -self.im)
+    }
+
+    /// Squared modulus |z|^2.
+    #[inline(always)]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Modulus |z| computed without undue overflow/underflow.
+    #[inline(always)]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Argument (phase angle) in (-pi, pi].
+    #[inline(always)]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplicative inverse 1/z.
+    #[inline]
+    pub fn inv(self) -> Self {
+        let d = self.norm_sqr();
+        c64(self.re / d, -self.im / d)
+    }
+
+    /// Scales by a real factor.
+    #[inline(always)]
+    pub fn scale(self, s: f64) -> Self {
+        c64(self.re * s, self.im * s)
+    }
+
+    /// Complex exponential e^z.
+    #[inline]
+    pub fn exp(self) -> Self {
+        let r = self.re.exp();
+        let (s, c) = self.im.sin_cos();
+        c64(r * c, r * s)
+    }
+
+    /// e^{i theta} for real theta (unit-modulus phasor).
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        let (s, c) = theta.sin_cos();
+        c64(c, s)
+    }
+
+    /// Principal square root.
+    #[inline]
+    pub fn sqrt(self) -> Self {
+        // Kahan's stable formulation.
+        if self.re == 0.0 && self.im == 0.0 {
+            return C64::ZERO;
+        }
+        let m = self.abs();
+        let u = ((m + self.re) * 0.5).sqrt();
+        let v = ((m - self.re) * 0.5).sqrt();
+        if self.im >= 0.0 {
+            c64(u, v)
+        } else {
+            c64(u, -v)
+        }
+    }
+
+    /// Principal natural logarithm.
+    #[inline]
+    pub fn ln(self) -> Self {
+        c64(self.abs().ln(), self.arg())
+    }
+
+    /// Integer power by repeated squaring.
+    pub fn powi(self, mut n: i32) -> Self {
+        if n == 0 {
+            return C64::ONE;
+        }
+        let mut base = if n < 0 { self.inv() } else { self };
+        if n < 0 {
+            n = -n;
+        }
+        let mut acc = C64::ONE;
+        while n > 0 {
+            if n & 1 == 1 {
+                acc *= base;
+            }
+            base *= base;
+            n >>= 1;
+        }
+        acc
+    }
+
+    /// i^n for integer n (exact, no rounding).
+    #[inline]
+    pub fn i_pow(n: i64) -> Self {
+        match n.rem_euclid(4) {
+            0 => c64(1.0, 0.0),
+            1 => c64(0.0, 1.0),
+            2 => c64(-1.0, 0.0),
+            _ => c64(0.0, -1.0),
+        }
+    }
+
+    /// True if either component is NaN.
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        self.re.is_nan() || self.im.is_nan()
+    }
+
+    /// True if both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+
+    /// Fused multiply-add: self * b + c.
+    #[inline(always)]
+    pub fn mul_add(self, b: C64, cc: C64) -> Self {
+        c64(
+            self.re * b.re - self.im * b.im + cc.re,
+            self.re * b.im + self.im * b.re + cc.im,
+        )
+    }
+}
+
+impl fmt::Debug for C64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:e}{:+e}i)", self.re, self.im)
+    }
+}
+
+impl fmt::Display for C64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{:+}i", self.re, self.im)
+    }
+}
+
+impl From<f64> for C64 {
+    #[inline(always)]
+    fn from(re: f64) -> Self {
+        c64(re, 0.0)
+    }
+}
+
+impl Add for C64 {
+    type Output = C64;
+    #[inline(always)]
+    fn add(self, o: C64) -> C64 {
+        c64(self.re + o.re, self.im + o.im)
+    }
+}
+
+impl Sub for C64 {
+    type Output = C64;
+    #[inline(always)]
+    fn sub(self, o: C64) -> C64 {
+        c64(self.re - o.re, self.im - o.im)
+    }
+}
+
+impl Mul for C64 {
+    type Output = C64;
+    #[inline(always)]
+    fn mul(self, o: C64) -> C64 {
+        c64(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
+    }
+}
+
+impl Div for C64 {
+    type Output = C64;
+    #[inline]
+    fn div(self, o: C64) -> C64 {
+        // Smith's algorithm for robustness against overflow.
+        if o.re.abs() >= o.im.abs() {
+            let r = o.im / o.re;
+            let d = o.re + o.im * r;
+            c64((self.re + self.im * r) / d, (self.im - self.re * r) / d)
+        } else {
+            let r = o.re / o.im;
+            let d = o.re * r + o.im;
+            c64((self.re * r + self.im) / d, (self.im * r - self.re) / d)
+        }
+    }
+}
+
+impl Neg for C64 {
+    type Output = C64;
+    #[inline(always)]
+    fn neg(self) -> C64 {
+        c64(-self.re, -self.im)
+    }
+}
+
+impl Add<f64> for C64 {
+    type Output = C64;
+    #[inline(always)]
+    fn add(self, s: f64) -> C64 {
+        c64(self.re + s, self.im)
+    }
+}
+
+impl Sub<f64> for C64 {
+    type Output = C64;
+    #[inline(always)]
+    fn sub(self, s: f64) -> C64 {
+        c64(self.re - s, self.im)
+    }
+}
+
+impl Mul<f64> for C64 {
+    type Output = C64;
+    #[inline(always)]
+    fn mul(self, s: f64) -> C64 {
+        c64(self.re * s, self.im * s)
+    }
+}
+
+impl Div<f64> for C64 {
+    type Output = C64;
+    #[inline(always)]
+    fn div(self, s: f64) -> C64 {
+        c64(self.re / s, self.im / s)
+    }
+}
+
+impl Mul<C64> for f64 {
+    type Output = C64;
+    #[inline(always)]
+    fn mul(self, z: C64) -> C64 {
+        c64(self * z.re, self * z.im)
+    }
+}
+
+impl Add<C64> for f64 {
+    type Output = C64;
+    #[inline(always)]
+    fn add(self, z: C64) -> C64 {
+        c64(self + z.re, z.im)
+    }
+}
+
+impl AddAssign for C64 {
+    #[inline(always)]
+    fn add_assign(&mut self, o: C64) {
+        self.re += o.re;
+        self.im += o.im;
+    }
+}
+
+impl AddAssign<f64> for C64 {
+    #[inline(always)]
+    fn add_assign(&mut self, s: f64) {
+        self.re += s;
+    }
+}
+
+impl SubAssign for C64 {
+    #[inline(always)]
+    fn sub_assign(&mut self, o: C64) {
+        self.re -= o.re;
+        self.im -= o.im;
+    }
+}
+
+impl MulAssign for C64 {
+    #[inline(always)]
+    fn mul_assign(&mut self, o: C64) {
+        *self = *self * o;
+    }
+}
+
+impl DivAssign for C64 {
+    #[inline]
+    fn div_assign(&mut self, o: C64) {
+        *self = *self / o;
+    }
+}
+
+impl MulAssign<f64> for C64 {
+    #[inline(always)]
+    fn mul_assign(&mut self, s: f64) {
+        self.re *= s;
+        self.im *= s;
+    }
+}
+
+impl Sum for C64 {
+    fn sum<I: Iterator<Item = C64>>(iter: I) -> C64 {
+        iter.fold(C64::ZERO, |a, b| a + b)
+    }
+}
+
+impl<'a> Sum<&'a C64> for C64 {
+    fn sum<I: Iterator<Item = &'a C64>>(iter: I) -> C64 {
+        iter.fold(C64::ZERO, |a, &b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: C64, b: C64, tol: f64) -> bool {
+        (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs()))
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let z = c64(3.0, -4.0);
+        assert_eq!(z + C64::ZERO, z);
+        assert_eq!(z * C64::ONE, z);
+        assert!(close(z * z.inv(), C64::ONE, 1e-15));
+        assert!(close(z / z, C64::ONE, 1e-15));
+        assert_eq!(z.abs(), 5.0);
+        assert_eq!(z.norm_sqr(), 25.0);
+        assert_eq!(z.conj().conj(), z);
+        assert_eq!((-z) + z, C64::ZERO);
+    }
+
+    #[test]
+    fn division_matches_multiplication_by_inverse() {
+        let a = c64(1.25, -0.5);
+        let b = c64(-2.0, 3.5);
+        assert!(close(a / b, a * b.inv(), 1e-14));
+    }
+
+    #[test]
+    fn division_robust_to_large_components() {
+        let a = c64(1e300, 1e300);
+        let b = c64(2e300, 0.0);
+        let q = a / b;
+        assert!(close(q, c64(0.5, 0.5), 1e-15));
+    }
+
+    #[test]
+    fn exp_and_cis() {
+        let z = c64(0.0, std::f64::consts::PI);
+        assert!(close(z.exp(), c64(-1.0, 0.0), 1e-15));
+        assert!(close(C64::cis(std::f64::consts::FRAC_PI_2), C64::I, 1e-15));
+        // e^{a+b} = e^a e^b
+        let a = c64(0.3, -1.2);
+        let b = c64(-0.7, 2.5);
+        assert!(close((a + b).exp(), a.exp() * b.exp(), 1e-14));
+    }
+
+    #[test]
+    fn sqrt_squares_back() {
+        for &z in &[
+            c64(4.0, 0.0),
+            c64(-4.0, 0.0),
+            c64(0.0, 2.0),
+            c64(0.0, -2.0),
+            c64(3.0, 4.0),
+            c64(-3.0, -4.0),
+        ] {
+            let s = z.sqrt();
+            assert!(close(s * s, z, 1e-14), "sqrt({z:?}) = {s:?}");
+            assert!(s.re >= 0.0, "principal branch");
+        }
+    }
+
+    #[test]
+    fn powi_matches_repeated_multiplication() {
+        let z = c64(0.9, 0.4);
+        let mut acc = C64::ONE;
+        for n in 0..12 {
+            assert!(close(z.powi(n), acc, 1e-13));
+            acc *= z;
+        }
+        assert!(close(z.powi(-3), (z * z * z).inv(), 1e-13));
+    }
+
+    #[test]
+    fn i_pow_cycle() {
+        assert_eq!(C64::i_pow(0), C64::ONE);
+        assert_eq!(C64::i_pow(1), C64::I);
+        assert_eq!(C64::i_pow(2), -C64::ONE);
+        assert_eq!(C64::i_pow(3), -C64::I);
+        assert_eq!(C64::i_pow(4), C64::ONE);
+        assert_eq!(C64::i_pow(-1), -C64::I);
+        assert_eq!(C64::i_pow(-2), -C64::ONE);
+    }
+
+    #[test]
+    fn ln_inverts_exp() {
+        let z = c64(0.5, 1.0);
+        assert!(close(z.exp().ln(), z, 1e-14));
+    }
+
+    #[test]
+    fn sum_over_slice() {
+        let v = vec![c64(1.0, 2.0), c64(3.0, -1.0), c64(-0.5, 0.5)];
+        let s: C64 = v.iter().sum();
+        assert!(close(s, c64(3.5, 1.5), 1e-15));
+    }
+}

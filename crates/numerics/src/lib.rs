@@ -1,0 +1,22 @@
+//! # ffw-numerics
+//!
+//! Self-contained numerical foundation for the FFW-Tomo inverse-scattering
+//! stack: double-precision complex arithmetic, Bessel/Hankel special
+//! functions, FFTs of arbitrary length, dense complex matrix kernels and
+//! BLAS-1 vector operations.
+//!
+//! Everything here is implemented from scratch (no `num-complex`, `rustfft`,
+//! or LAPACK bindings) so the reproduction is a single dependency-light
+//! workspace whose numerical behaviour is fully auditable.
+
+#![warn(missing_docs)]
+
+pub mod bessel;
+pub mod complex;
+pub mod fft;
+pub mod linalg;
+pub mod lu;
+pub mod quadrature;
+pub mod vecops;
+
+pub use complex::{c64, C64};

@@ -1,0 +1,112 @@
+//! Gauss–Legendre quadrature.
+//!
+//! Used by the quadrature-accurate near-field assembly option (an ablation
+//! against the closed-form equivalent-disk elements) and available for
+//! general pixel integrals of the paper's Eq. (4).
+
+/// Gauss–Legendre nodes and weights on `[-1, 1]`, computed by Newton
+/// iteration on the Legendre polynomial with the standard Chebyshev initial
+/// guess. Accurate to ~1e-15 for n up to several hundred.
+pub fn gauss_legendre(n: usize) -> (Vec<f64>, Vec<f64>) {
+    assert!(n >= 1);
+    let mut nodes = vec![0.0f64; n];
+    let mut weights = vec![0.0f64; n];
+    let m = n.div_ceil(2);
+    for i in 0..m {
+        // initial guess: Chebyshev points
+        let mut x = (std::f64::consts::PI * (i as f64 + 0.75) / (n as f64 + 0.5)).cos();
+        let mut dp = 0.0;
+        for _ in 0..100 {
+            // evaluate P_n(x) and P_n'(x) by recurrence
+            let mut p0 = 1.0f64;
+            let mut p1 = x;
+            for k in 2..=n {
+                let pk = ((2 * k - 1) as f64 * x * p1 - (k - 1) as f64 * p0) / k as f64;
+                p0 = p1;
+                p1 = pk;
+            }
+            // P_n'(x) = n (x P_n - P_{n-1}) / (x^2 - 1)
+            dp = n as f64 * (x * p1 - p0) / (x * x - 1.0);
+            let dx = p1 / dp;
+            x -= dx;
+            if dx.abs() < 1e-15 {
+                break;
+            }
+        }
+        nodes[i] = -x;
+        nodes[n - 1 - i] = x;
+        let w = 2.0 / ((1.0 - x * x) * dp * dp);
+        weights[i] = w;
+        weights[n - 1 - i] = w;
+    }
+    if n % 2 == 1 {
+        nodes[n / 2] = 0.0;
+    }
+    (nodes, weights)
+}
+
+/// Integrates `f` over `[a, b]` with `n`-point Gauss–Legendre.
+pub fn integrate(f: impl Fn(f64) -> f64, a: f64, b: f64, n: usize) -> f64 {
+    let (x, w) = gauss_legendre(n);
+    let half = 0.5 * (b - a);
+    let mid = 0.5 * (a + b);
+    x.iter()
+        .zip(&w)
+        .map(|(&xi, &wi)| wi * f(mid + half * xi))
+        .sum::<f64>()
+        * half
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_sum_to_two() {
+        for n in [1usize, 2, 5, 16, 33, 64] {
+            let (_, w) = gauss_legendre(n);
+            let s: f64 = w.iter().sum();
+            assert!((s - 2.0).abs() < 1e-13, "n={n}: {s}");
+        }
+    }
+
+    #[test]
+    fn nodes_symmetric_and_sorted() {
+        let (x, _) = gauss_legendre(12);
+        for i in 0..12 {
+            assert!((x[i] + x[11 - i]).abs() < 1e-14, "symmetric");
+        }
+        for i in 1..12 {
+            assert!(x[i] > x[i - 1], "sorted");
+        }
+    }
+
+    #[test]
+    fn exact_for_polynomials_up_to_2n_minus_1() {
+        // n-point GL integrates degree 2n-1 exactly
+        let n = 6;
+        for deg in 0..=(2 * n - 1) {
+            let exact = if deg % 2 == 0 {
+                2.0 / (deg as f64 + 1.0)
+            } else {
+                0.0
+            };
+            let got = integrate(|x| x.powi(deg as i32), -1.0, 1.0, n);
+            assert!((got - exact).abs() < 1e-13, "deg {deg}: {got} vs {exact}");
+        }
+        // degree 2n must NOT be exact (sanity that the order claim is tight)
+        let got = integrate(|x| x.powi(2 * n as i32), -1.0, 1.0, n);
+        let exact = 2.0 / (2.0 * n as f64 + 1.0);
+        assert!((got - exact).abs() > 1e-9);
+    }
+
+    #[test]
+    fn integrates_oscillatory_function() {
+        // int_0^pi sin(x) dx = 2
+        let got = integrate(f64::sin, 0.0, std::f64::consts::PI, 24);
+        assert!((got - 2.0).abs() < 1e-13);
+        // int_0^1 cos(20 x) dx = sin(20)/20
+        let got = integrate(|x| (20.0 * x).cos(), 0.0, 1.0, 32);
+        assert!((got - (20.0f64).sin() / 20.0).abs() < 1e-12);
+    }
+}

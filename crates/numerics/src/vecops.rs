@@ -1,0 +1,144 @@
+//! BLAS-1 style operations over `&[C64]` used by the Krylov solvers and the
+//! inverse-scattering optimizer.
+
+use crate::complex::C64;
+
+/// Conjugated dot product `sum conj(a_i) b_i` (the Hilbert-space inner product).
+pub fn zdotc(a: &[C64], b: &[C64]) -> C64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = C64::ZERO;
+    for (x, y) in a.iter().zip(b.iter()) {
+        acc = x.conj().mul_add(*y, acc);
+    }
+    acc
+}
+
+/// Unconjugated dot product `sum a_i b_i` (used by BiCGStab).
+pub fn zdotu(a: &[C64], b: &[C64]) -> C64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = C64::ZERO;
+    for (x, y) in a.iter().zip(b.iter()) {
+        acc = x.mul_add(*y, acc);
+    }
+    acc
+}
+
+/// Euclidean norm.
+pub fn norm2(a: &[C64]) -> f64 {
+    a.iter().map(|v| v.norm_sqr()).sum::<f64>().sqrt()
+}
+
+/// Squared Euclidean norm.
+pub fn norm2_sqr(a: &[C64]) -> f64 {
+    a.iter().map(|v| v.norm_sqr()).sum::<f64>()
+}
+
+/// `y += alpha * x`.
+pub fn axpy(alpha: C64, x: &[C64], y: &mut [C64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (xi, yi) in x.iter().zip(y.iter_mut()) {
+        *yi = alpha.mul_add(*xi, *yi);
+    }
+}
+
+/// `y = alpha * x + y` with real alpha.
+pub fn axpy_real(alpha: f64, x: &[C64], y: &mut [C64]) {
+    for (xi, yi) in x.iter().zip(y.iter_mut()) {
+        yi.re += alpha * xi.re;
+        yi.im += alpha * xi.im;
+    }
+}
+
+/// `x *= alpha`.
+pub fn scale(alpha: C64, x: &mut [C64]) {
+    for xi in x.iter_mut() {
+        *xi *= alpha;
+    }
+}
+
+/// `out = a - b`.
+pub fn sub_into(a: &[C64], b: &[C64], out: &mut [C64]) {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(a.len(), out.len());
+    for ((x, y), o) in a.iter().zip(b.iter()).zip(out.iter_mut()) {
+        *o = *x - *y;
+    }
+}
+
+/// Elementwise product `out = a .* b`.
+pub fn hadamard(a: &[C64], b: &[C64], out: &mut [C64]) {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(a.len(), out.len());
+    for ((x, y), o) in a.iter().zip(b.iter()).zip(out.iter_mut()) {
+        *o = *x * *y;
+    }
+}
+
+/// Elementwise conjugate in place.
+pub fn conj_in_place(a: &mut [C64]) {
+    for v in a.iter_mut() {
+        v.im = -v.im;
+    }
+}
+
+/// Relative difference `||a - b|| / ||b||` (0 if both empty/zero).
+pub fn rel_diff(a: &[C64], b: &[C64]) -> f64 {
+    let nb = norm2(b);
+    if nb == 0.0 {
+        return norm2(a);
+    }
+    let mut d = 0.0;
+    for (x, y) in a.iter().zip(b.iter()) {
+        d += (*x - *y).norm_sqr();
+    }
+    d.sqrt() / nb
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::c64;
+
+    #[test]
+    fn dot_products() {
+        let a = vec![c64(1.0, 2.0), c64(0.0, -1.0)];
+        let b = vec![c64(3.0, 0.0), c64(1.0, 1.0)];
+        let dc = zdotc(&a, &b);
+        // conj(1+2i)*3 + conj(-i)*(1+i) = (3-6i) + i(1+i) = (3-6i) + (i-1) = 2-5i
+        assert!((dc - c64(2.0, -5.0)).abs() < 1e-14);
+        let du = zdotu(&a, &b);
+        // (1+2i)*3 + (-i)(1+i) = 3+6i + (1-i)*... = 3+6i -i +1 = 4+5i
+        assert!((du - c64(4.0, 5.0)).abs() < 1e-14);
+    }
+
+    #[test]
+    fn norms_and_axpy() {
+        let mut y = vec![c64(1.0, 0.0), c64(0.0, 1.0)];
+        let x = vec![c64(1.0, 1.0), c64(2.0, 0.0)];
+        axpy(c64(0.0, 1.0), &x, &mut y);
+        // y0 = 1 + i(1+i) = i, y1 = i + 2i = 3i
+        assert!((y[0] - c64(0.0, 1.0)).abs() < 1e-15);
+        assert!((y[1] - c64(0.0, 3.0)).abs() < 1e-15);
+        assert!((norm2(&y) - 10.0f64.sqrt()).abs() < 1e-14);
+        assert!((norm2_sqr(&y) - 10.0).abs() < 1e-13);
+    }
+
+    #[test]
+    fn rel_diff_basics() {
+        let a = vec![c64(1.0, 0.0)];
+        let b = vec![c64(2.0, 0.0)];
+        assert!((rel_diff(&a, &b) - 0.5).abs() < 1e-15);
+        assert_eq!(rel_diff(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn hadamard_and_conj() {
+        let a = vec![c64(1.0, 1.0)];
+        let b = vec![c64(0.0, 1.0)];
+        let mut out = vec![C64::ZERO];
+        hadamard(&a, &b, &mut out);
+        assert!((out[0] - c64(-1.0, 1.0)).abs() < 1e-15);
+        conj_in_place(&mut out);
+        assert!((out[0] - c64(-1.0, -1.0)).abs() < 1e-15);
+    }
+}

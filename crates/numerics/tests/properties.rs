@@ -1,0 +1,126 @@
+//! Property-based tests for the numerical substrate.
+
+use ffw_numerics::bessel::{jn_array, yn_array};
+use ffw_numerics::fft::{dft_naive, fft, ifft, resample_periodic};
+use ffw_numerics::linalg::Matrix;
+use ffw_numerics::vecops::{norm2, rel_diff, zdotc};
+use ffw_numerics::{c64, C64};
+use proptest::prelude::*;
+
+fn c64_strategy() -> impl Strategy<Value = C64> {
+    (-10.0..10.0f64, -10.0..10.0f64).prop_map(|(a, b)| c64(a, b))
+}
+
+fn vec_strategy(max_len: usize) -> impl Strategy<Value = Vec<C64>> {
+    prop::collection::vec(c64_strategy(), 1..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn complex_field_axioms(a in c64_strategy(), b in c64_strategy(), c in c64_strategy()) {
+        // commutativity / associativity / distributivity within fp tolerance
+        prop_assert!(((a + b) - (b + a)).abs() < 1e-12);
+        prop_assert!((a * b - b * a).abs() < 1e-12);
+        prop_assert!(((a * b) * c - a * (b * c)).abs() < 1e-9 * (1.0 + (a*b*c).abs()));
+        prop_assert!((a * (b + c) - (a * b + a * c)).abs() < 1e-9 * (1.0 + a.abs() * (b.abs() + c.abs())));
+        // conjugation is an involution and multiplicative
+        prop_assert!((a.conj().conj() - a).abs() == 0.0);
+        prop_assert!(((a * b).conj() - a.conj() * b.conj()).abs() < 1e-10);
+        // |ab| = |a||b|
+        prop_assert!(((a * b).abs() - a.abs() * b.abs()).abs() < 1e-9 * (1.0 + a.abs() * b.abs()));
+    }
+
+    #[test]
+    fn fft_roundtrip_any_length(x in vec_strategy(200)) {
+        let y = ifft(&fft(&x));
+        prop_assert!(rel_diff(&y, &x) < 1e-10);
+    }
+
+    #[test]
+    fn fft_matches_naive_any_length(x in vec_strategy(64)) {
+        let a = fft(&x);
+        let b = dft_naive(&x);
+        prop_assert!(rel_diff(&a, &b) < 1e-9);
+    }
+
+    #[test]
+    fn fft_parseval(x in vec_strategy(128)) {
+        let y = fft(&x);
+        let ex = norm2(&x).powi(2);
+        let ey = norm2(&y).powi(2) / x.len() as f64;
+        prop_assert!((ex - ey).abs() < 1e-8 * (1.0 + ex));
+    }
+
+    #[test]
+    fn resample_roundtrip_when_oversampled(
+        seed in 0u64..1000,
+        l in 1i64..8,
+    ) {
+        // band-limited signal, oversampled source grid
+        let q1 = (4 * l + 3) as usize;
+        let q2 = (6 * l + 5) as usize;
+        let mut s = seed;
+        let mut coeff = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        };
+        let modes: Vec<(i64, C64)> = (-l..=l).map(|m| (m, c64(coeff(), coeff()))).collect();
+        let eval = |q: usize| -> Vec<C64> {
+            (0..q).map(|j| {
+                let a = std::f64::consts::TAU * j as f64 / q as f64;
+                modes.iter().map(|&(m, cm)| cm * C64::cis(m as f64 * a)).sum()
+            }).collect()
+        };
+        let up = resample_periodic(&eval(q1), q2);
+        prop_assert!(rel_diff(&up, &eval(q2)) < 1e-9);
+        let down = resample_periodic(&eval(q2), q1);
+        prop_assert!(rel_diff(&down, &eval(q1)) < 1e-9);
+    }
+
+    #[test]
+    fn bessel_wronskian_random_argument(x in 0.05f64..300.0) {
+        let nmax = 10usize;
+        let j = jn_array(nmax + 1, x);
+        let y = yn_array(nmax + 1, x);
+        let expect = 2.0 / (std::f64::consts::PI * x);
+        for n in 0..=nmax {
+            let w = j[n + 1] * y[n] - j[n] * y[n + 1];
+            prop_assert!(((w - expect) / expect).abs() < 1e-8, "n={} x={} w={}", n, x, w);
+        }
+    }
+
+    #[test]
+    fn matvec_linearity(
+        x in vec_strategy(24),
+        alpha in c64_strategy(),
+    ) {
+        let n = x.len();
+        let a = Matrix::from_fn(n, n, |r, c| c64((r * 7 + c) as f64 * 0.01, (c * 3) as f64 * 0.02 - 0.1));
+        let ax: Vec<C64> = {
+            let mut y = vec![C64::ZERO; n];
+            a.matvec(&x, &mut y);
+            y
+        };
+        let scaled: Vec<C64> = x.iter().map(|v| *v * alpha).collect();
+        let mut y2 = vec![C64::ZERO; n];
+        a.matvec(&scaled, &mut y2);
+        let expect: Vec<C64> = ax.iter().map(|v| *v * alpha).collect();
+        prop_assert!(rel_diff(&y2, &expect) < 1e-9);
+    }
+
+    #[test]
+    fn adjoint_identity_random(xv in vec_strategy(16), yv in vec_strategy(16)) {
+        let n = xv.len();
+        let m = yv.len();
+        let a = Matrix::from_fn(m, n, |r, c| c64((r + 2 * c) as f64 * 0.05 - 0.3, (r * c) as f64 * 0.01));
+        let mut ax = vec![C64::ZERO; m];
+        a.matvec(&xv, &mut ax);
+        let mut ahy = vec![C64::ZERO; n];
+        a.matvec_adjoint_acc(&yv, &mut ahy);
+        let lhs = zdotc(&ax, &yv);
+        let rhs = zdotc(&xv, &ahy);
+        prop_assert!((lhs - rhs).abs() < 1e-8 * (1.0 + lhs.abs()));
+    }
+}

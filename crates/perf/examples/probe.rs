@@ -1,0 +1,27 @@
+//! Developer probe: prints the raw per-operation timing model outputs for
+//! the 1M-unknown plan (the quantities behind `--bin table3`).
+
+use ffw_geometry::Domain;
+use ffw_mlfma::{Accuracy, MlfmaPlan};
+use ffw_perf::*;
+
+fn main() {
+    let plan = MlfmaPlan::new(&Domain::new(1024, 1.0), Accuracy::default());
+    let stats = plan.stats();
+    let work = MatvecWork::from_stats(&stats);
+    println!("work: {work:#?}");
+    let net = gemini();
+    let cpu = xe6_cpu();
+    let gpu = xk7_gpu();
+    let c1 = matvec_time(&work, &MatvecComm::default(), &cpu, &net, 1);
+    let g1 = matvec_time(&work, &MatvecComm::default(), &gpu, &net, 1);
+    println!("cpu1: {c1:#?}\ngpu1: {g1:#?}");
+    let comm4 = MatvecComm::from_plan(&plan, 4);
+    println!("comm4: {comm4:?}");
+    let c4 = matvec_time(&work, &comm4, &cpu, &net, 4);
+    let g4 = matvec_time(&work, &comm4, &gpu, &net, 4);
+    println!("cpu4 total {:.6} gpu4 total {:.6}", c4.total(), g4.total());
+    for r in table3(&plan, &cpu, &gpu, &net) {
+        println!("{:28} gpu1 {:5.2} cpu16 {:6.2} gpu16 {:6.2}", r.op, r.gpu1, r.cpu16, r.gpu16);
+    }
+}

@@ -1,0 +1,165 @@
+//! Machine models for the Blue Waters node types (paper Table II) and the
+//! Gemini interconnect.
+//!
+//! The model distinguishes two operation classes, following the arithmetic
+//! intensity of the paper's Table I operators:
+//!
+//! * **dense-class** (multipole/local expansions, near-field blocks,
+//!   band-diagonal interpolation): compute-bound matrix-matrix work, rated in
+//!   effective flop/s;
+//! * **stream-class** (diagonal translations and shifts): one multiply-add
+//!   per loaded complex pair, memory-bandwidth-bound, rated in effective
+//!   byte/s.
+//!
+//! GPUs additionally pay a per-kernel launch overhead and lose efficiency on
+//! small kernels (the mechanism behind the paper's Section V-C-2 remark that
+//! sub-tree partitioning degrades GPU efficiency through "smaller chunks of
+//! work per kernel"). Kernel efficiency is modeled as `W / (W + W_half)`.
+
+use serde::Serialize;
+
+/// A compute-node model.
+#[derive(Clone, Debug, Serialize)]
+pub struct NodeModel {
+    /// Display name.
+    pub name: &'static str,
+    /// Effective rate for dense-class operations (flop/s).
+    pub dense_flops: f64,
+    /// Effective bandwidth for stream-class operations (byte/s).
+    pub stream_bytes: f64,
+    /// Per-kernel launch overhead (s); zero for CPUs.
+    pub kernel_overhead: f64,
+    /// Work size (flops) at which a kernel reaches half its peak rate;
+    /// zero disables the small-kernel penalty.
+    pub half_work: f64,
+    /// True if the node overlaps MPI communication with computation (the
+    /// XK7 runs use the idle CPU to progress messages, paper Fig. 8).
+    pub overlaps_comm: bool,
+}
+
+impl NodeModel {
+    /// Time for `flops` of dense-class work dispatched as `kernels` kernels.
+    pub fn dense_time(&self, flops: f64, kernels: f64) -> f64 {
+        let eff = if self.half_work > 0.0 && kernels > 0.0 {
+            let per = flops / kernels;
+            per / (per + self.half_work)
+        } else {
+            1.0
+        };
+        flops / (self.dense_flops * eff.max(1e-3)) + kernels * self.kernel_overhead
+    }
+
+    /// Time for `bytes` of stream-class traffic dispatched as `kernels` kernels.
+    pub fn stream_time(&self, bytes: f64, kernels: f64) -> f64 {
+        let eff = if self.half_work > 0.0 && kernels > 0.0 {
+            // use bytes as the work measure for streaming kernels, with the
+            // same half-work constant expressed in bytes (1 flop ~ 1 byte here)
+            let per = bytes / kernels;
+            per / (per + self.half_work)
+        } else {
+            1.0
+        };
+        bytes / (self.stream_bytes * eff.max(1e-3)) + kernels * self.kernel_overhead
+    }
+}
+
+/// XE6 CPU node: 2 x AMD Opteron 6276, 16 cores used (paper Section V-A).
+pub fn xe6_cpu() -> NodeModel {
+    NodeModel {
+        name: "XE6 (16-core CPU)",
+        // ~134 GF/s DP peak; blocked complex kernels at ~55% => 75 GF/s
+        dense_flops: 75e9,
+        // 2 sockets DDR3-1600: ~102 GB/s peak, ~50% streaming efficiency
+        stream_bytes: 52e9,
+        kernel_overhead: 0.0,
+        half_work: 0.0,
+        overlaps_comm: false,
+    }
+}
+
+/// XK7 GPU node: NVIDIA Tesla K20x (14 SMX), host CPU drives communication.
+pub fn xk7_gpu() -> NodeModel {
+    NodeModel {
+        name: "XK7 (K20x GPU)",
+        // 1.31 TF/s DP peak; mid-size complex GEMMs at ~29% => 380 GF/s
+        dense_flops: 380e9,
+        // 250 GB/s peak, ECC on and irregular access: ~60% => 150 GB/s
+        stream_bytes: 150e9,
+        kernel_overhead: 6e-6,
+        half_work: 5.0e5,
+        overlaps_comm: true,
+    }
+}
+
+/// Interconnect model (Cray Gemini 3-D torus, effective per-node figures).
+#[derive(Clone, Debug, Serialize)]
+pub struct NetworkModel {
+    /// Per-message latency (s).
+    pub latency: f64,
+    /// Per-node effective bandwidth (byte/s).
+    pub bandwidth: f64,
+}
+
+/// Gemini defaults.
+pub fn gemini() -> NetworkModel {
+    NetworkModel {
+        latency: 1.8e-6,
+        bandwidth: 5.0e9,
+    }
+}
+
+impl NetworkModel {
+    /// Transfer time for `messages` messages totalling `bytes`.
+    pub fn transfer(&self, bytes: f64, messages: f64) -> f64 {
+        self.latency * messages + bytes / self.bandwidth
+    }
+
+    /// Tree allreduce of a `bytes`-sized payload over `n` ranks.
+    pub fn allreduce(&self, bytes: f64, n: usize) -> f64 {
+        if n <= 1 {
+            return 0.0;
+        }
+        let stages = (n as f64).log2().ceil();
+        stages * (self.latency + bytes / self.bandwidth) * 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpu_beats_cpu_on_dense_more_than_stream() {
+        let cpu = xe6_cpu();
+        let gpu = xk7_gpu();
+        let flops = 1e12;
+        let bytes = 1e11;
+        let dense_speedup = cpu.dense_time(flops, 10.0) / gpu.dense_time(flops, 10.0);
+        let stream_speedup = cpu.stream_time(bytes, 10.0) / gpu.stream_time(bytes, 10.0);
+        assert!(dense_speedup > stream_speedup, "{dense_speedup} vs {stream_speedup}");
+        assert!(dense_speedup > 4.0 && dense_speedup < 6.0);
+        assert!(stream_speedup > 2.0 && stream_speedup < 4.0);
+    }
+
+    #[test]
+    fn small_kernels_hurt_gpu_only() {
+        let cpu = xe6_cpu();
+        let gpu = xk7_gpu();
+        let flops = 1e9;
+        // same total work split into more kernels
+        let t_big = gpu.dense_time(flops, 10.0);
+        let t_small = gpu.dense_time(flops, 10_000.0);
+        assert!(t_small > 1.5 * t_big, "{t_small} vs {t_big}");
+        assert!((cpu.dense_time(flops, 10.0) - cpu.dense_time(flops, 10_000.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn network_latency_dominates_small_messages() {
+        let net = gemini();
+        let many_small = net.transfer(1e6, 1000.0);
+        let one_big = net.transfer(1e6, 1.0);
+        assert!(many_small > 5.0 * one_big);
+        assert!(net.allreduce(8.0, 1024) < 1e-3);
+        assert_eq!(net.allreduce(8.0, 1), 0.0);
+    }
+}

@@ -1,0 +1,240 @@
+//! The forward-scattering system and its adjoint.
+//!
+//! Discretized volume integral equation (paper Eq. 3):
+//! `phi = [I - G0 diag(O)]^{-1} phi_inc`, i.e. the system
+//! `A phi = phi_inc` with `A = I - G0 diag(O)`.
+//!
+//! The adjoint system `A^H z = rhs` is needed for the DBIM gradient
+//! (`grad = F^H b`, Section VI-B). Because `G0` is *complex symmetric*
+//! (`G0^T = G0`, a property of the reciprocal Green's function), its
+//! Hermitian transpose is its conjugate: `G0^H x = conj(G0 conj(x))` — so the
+//! same MLFMA engine serves both systems without any new operators.
+
+use crate::krylov::{bicgstab, IterConfig, SolveStats};
+use crate::op::LinOp;
+use ffw_numerics::C64;
+
+/// `A = I - G0 diag(O)`: the forward-scattering operator.
+pub struct ScatteringOp<'a, G: LinOp + ?Sized> {
+    g0: &'a G,
+    object: &'a [C64],
+}
+
+impl<'a, G: LinOp + ?Sized> ScatteringOp<'a, G> {
+    /// Builds the operator for the object contrast function `O` (tree order).
+    pub fn new(g0: &'a G, object: &'a [C64]) -> Self {
+        assert_eq!(g0.dim_in(), object.len());
+        assert_eq!(g0.dim_out(), object.len());
+        ScatteringOp { g0, object }
+    }
+}
+
+impl<G: LinOp + ?Sized> LinOp for ScatteringOp<'_, G> {
+    fn dim_out(&self) -> usize {
+        self.object.len()
+    }
+    fn dim_in(&self) -> usize {
+        self.object.len()
+    }
+    fn apply(&self, x: &[C64], y: &mut [C64]) {
+        let n = x.len();
+        let mut ox = vec![C64::ZERO; n];
+        for ((o, xi), oi) in ox.iter_mut().zip(x).zip(self.object) {
+            *o = *xi * *oi;
+        }
+        self.g0.apply(&ox, y);
+        for (yi, xi) in y.iter_mut().zip(x) {
+            *yi = *xi - *yi;
+        }
+    }
+}
+
+/// `A^H = I - diag(conj(O)) G0^H`, realized via the conjugation trick.
+pub struct AdjointScatteringOp<'a, G: LinOp + ?Sized> {
+    g0: &'a G,
+    object: &'a [C64],
+}
+
+impl<'a, G: LinOp + ?Sized> AdjointScatteringOp<'a, G> {
+    /// Builds the adjoint operator.
+    pub fn new(g0: &'a G, object: &'a [C64]) -> Self {
+        assert_eq!(g0.dim_in(), object.len());
+        AdjointScatteringOp { g0, object }
+    }
+}
+
+impl<G: LinOp + ?Sized> LinOp for AdjointScatteringOp<'_, G> {
+    fn dim_out(&self) -> usize {
+        self.object.len()
+    }
+    fn dim_in(&self) -> usize {
+        self.object.len()
+    }
+    fn apply(&self, x: &[C64], y: &mut [C64]) {
+        
+        // G0^H x = conj(G0 conj(x))
+        let xc: Vec<C64> = x.iter().map(|v| v.conj()).collect();
+        self.g0.apply(&xc, y);
+        for ((yi, xi), oi) in y.iter_mut().zip(x).zip(self.object) {
+            *yi = *xi - oi.conj() * yi.conj();
+        }
+    }
+}
+
+/// Applies `G0^H x` using a symmetric `G0` (conjugation trick), standalone.
+pub fn g0_adjoint_apply<G: LinOp + ?Sized>(g0: &G, x: &[C64], y: &mut [C64]) {
+    let xc: Vec<C64> = x.iter().map(|v| v.conj()).collect();
+    g0.apply(&xc, y);
+    for v in y.iter_mut() {
+        *v = v.conj();
+    }
+}
+
+/// Solves the forward problem `[I - G0 diag(O)] phi = phi_inc` with BiCGStab.
+/// `phi` should carry the initial guess (zero, or a previous field for warm
+/// starts); it is overwritten with the solution.
+pub fn solve_forward<G: LinOp + ?Sized>(
+    g0: &G,
+    object: &[C64],
+    phi_inc: &[C64],
+    phi: &mut [C64],
+    cfg: IterConfig,
+) -> SolveStats {
+    let a = ScatteringOp::new(g0, object);
+    bicgstab(&a, phi_inc, phi, cfg)
+}
+
+/// Solves the adjoint problem `A^H z = rhs`.
+pub fn solve_adjoint<G: LinOp + ?Sized>(
+    g0: &G,
+    object: &[C64],
+    rhs: &[C64],
+    z: &mut [C64],
+    cfg: IterConfig,
+) -> SolveStats {
+    let a = AdjointScatteringOp::new(g0, object);
+    bicgstab(&a, rhs, z, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ffw_numerics::linalg::Matrix;
+    use ffw_numerics::vecops::{rel_diff, zdotc};
+    use ffw_numerics::c64;
+
+    /// A small random complex-symmetric "G0" stand-in.
+    fn symmetric_g0(n: usize, seed: u64) -> Matrix {
+        let mut s = seed;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            0.2 * (((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5)
+        };
+        let mut m = Matrix::zeros(n, n);
+        for r in 0..n {
+            for c in r..n {
+                let v = c64(next(), next());
+                *m.at_mut(r, c) = v;
+                *m.at_mut(c, r) = v;
+            }
+        }
+        m
+    }
+
+    fn random_vec(n: usize, seed: u64) -> Vec<C64> {
+        let mut s = seed;
+        (0..n)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let a = ((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5;
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let b = ((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5;
+                c64(a, b)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn scattering_op_matches_assembled_matrix() {
+        let n = 24;
+        let g0 = symmetric_g0(n, 1);
+        let o = random_vec(n, 2);
+        let a_op = ScatteringOp::new(&g0, &o);
+        // assemble I - G0 diag(O)
+        let assembled = Matrix::from_fn(n, n, |r, c| {
+            let v = -(g0.at(r, c) * o[c]);
+            if r == c {
+                v + C64::ONE
+            } else {
+                v
+            }
+        });
+        let x = random_vec(n, 3);
+        let mut y1 = vec![C64::ZERO; n];
+        let mut y2 = vec![C64::ZERO; n];
+        a_op.apply(&x, &mut y1);
+        assembled.matvec(&x, &mut y2);
+        assert!(rel_diff(&y1, &y2) < 1e-13);
+    }
+
+    #[test]
+    fn adjoint_satisfies_inner_product_identity() {
+        let n = 20;
+        let g0 = symmetric_g0(n, 5);
+        let o = random_vec(n, 6);
+        let a = ScatteringOp::new(&g0, &o);
+        let ah = AdjointScatteringOp::new(&g0, &o);
+        let x = random_vec(n, 7);
+        let y = random_vec(n, 8);
+        let mut ax = vec![C64::ZERO; n];
+        let mut ahy = vec![C64::ZERO; n];
+        a.apply(&x, &mut ax);
+        ah.apply(&y, &mut ahy);
+        let lhs = zdotc(&ax, &y);
+        let rhs = zdotc(&x, &ahy);
+        assert!((lhs - rhs).abs() < 1e-12 * lhs.abs().max(1.0), "{lhs:?} vs {rhs:?}");
+    }
+
+    #[test]
+    fn forward_solve_recovers_field() {
+        let n = 24;
+        let g0 = symmetric_g0(n, 9);
+        let o: Vec<C64> = random_vec(n, 10).iter().map(|v| *v * 0.5).collect();
+        let phi_true = random_vec(n, 11);
+        // phi_inc = A phi_true
+        let a = ScatteringOp::new(&g0, &o);
+        let mut phi_inc = vec![C64::ZERO; n];
+        a.apply(&phi_true, &mut phi_inc);
+        let mut phi = vec![C64::ZERO; n];
+        let stats = solve_forward(&g0, &o, &phi_inc, &mut phi, IterConfig { tol: 1e-11, max_iters: 500 });
+        assert!(stats.converged, "{stats:?}");
+        assert!(rel_diff(&phi, &phi_true) < 1e-9);
+    }
+
+    #[test]
+    fn zero_object_forward_solution_is_incident_field() {
+        // With O = 0 the system is the identity: phi = phi_inc in 0 iterations.
+        let n = 16;
+        let g0 = symmetric_g0(n, 20);
+        let o = vec![C64::ZERO; n];
+        let phi_inc = random_vec(n, 21);
+        let mut phi = vec![C64::ZERO; n];
+        let stats = solve_forward(&g0, &o, &phi_inc, &mut phi, IterConfig::default());
+        assert!(stats.converged);
+        assert!(rel_diff(&phi, &phi_inc) < 1e-10);
+        assert!(stats.iterations <= 1);
+    }
+
+    #[test]
+    fn g0_adjoint_apply_is_hermitian_transpose() {
+        let n = 15;
+        let g0 = symmetric_g0(n, 30);
+        let x = random_vec(n, 31);
+        let mut y = vec![C64::ZERO; n];
+        g0_adjoint_apply(&g0, &x, &mut y);
+        let gh = g0.adjoint();
+        let mut y2 = vec![C64::ZERO; n];
+        gh.matvec(&x, &mut y2);
+        assert!(rel_diff(&y, &y2) < 1e-13);
+    }
+}

@@ -1,0 +1,366 @@
+//! Krylov-subspace iterative solvers.
+//!
+//! The paper's forward solver is the biconjugate gradient stabilized method
+//! (BiCGStab, Section III-A), terminated at 1e-4 relative residual
+//! (Section V-B). CG is provided for Hermitian positive-definite systems and
+//! CGNR (CG on the normal equations) solves the least-squares problems of the
+//! linear Born inversion baseline.
+
+use crate::op::LinOp;
+use ffw_numerics::vecops::{axpy, norm2, sub_into, zdotc};
+use ffw_numerics::C64;
+
+/// Outcome of an iterative solve.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SolveStats {
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Operator applications (matvecs) performed.
+    pub matvecs: usize,
+    /// Final relative residual norm `||b - A x|| / ||b||`.
+    pub rel_residual: f64,
+    /// Whether the tolerance was reached.
+    pub converged: bool,
+}
+
+/// Solver configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct IterConfig {
+    /// Relative residual tolerance.
+    pub tol: f64,
+    /// Iteration cap.
+    pub max_iters: usize,
+}
+
+impl Default for IterConfig {
+    fn default() -> Self {
+        // The paper's forward-solver setting (Section V-B).
+        IterConfig {
+            tol: 1e-4,
+            max_iters: 1000,
+        }
+    }
+}
+
+/// Unpreconditioned BiCGStab: solves `A x = b`, starting from the provided
+/// `x` (commonly zero). Two matvecs per iteration — the dominant cost the
+/// MLFMA accelerates (paper Fig. 4).
+pub fn bicgstab<A: LinOp + ?Sized>(a: &A, b: &[C64], x: &mut [C64], cfg: IterConfig) -> SolveStats {
+    let n = b.len();
+    assert_eq!(a.dim_in(), n);
+    assert_eq!(a.dim_out(), n);
+    assert_eq!(x.len(), n);
+    let b_norm = norm2(b);
+    if b_norm == 0.0 {
+        x.iter_mut().for_each(|v| *v = C64::ZERO);
+        return SolveStats {
+            iterations: 0,
+            matvecs: 0,
+            rel_residual: 0.0,
+            converged: true,
+        };
+    }
+
+    let mut r = vec![C64::ZERO; n];
+    let mut matvecs = 0usize;
+    a.apply(x, &mut r);
+    matvecs += 1;
+    sub_into(b, &r.clone(), &mut r); // r = b - A x
+    let r_hat = r.clone();
+    let mut rho = C64::ONE;
+    let mut alpha = C64::ONE;
+    let mut omega = C64::ONE;
+    let mut v = vec![C64::ZERO; n];
+    let mut p = vec![C64::ZERO; n];
+    let mut s = vec![C64::ZERO; n];
+    let mut t = vec![C64::ZERO; n];
+
+    let mut res = norm2(&r) / b_norm;
+    if res < cfg.tol {
+        return SolveStats {
+            iterations: 0,
+            matvecs,
+            rel_residual: res,
+            converged: true,
+        };
+    }
+
+    for iter in 1..=cfg.max_iters {
+        let rho_new = zdotc(&r_hat, &r);
+        if rho_new.abs() < 1e-300 {
+            // breakdown; report what we have
+            return SolveStats {
+                iterations: iter - 1,
+                matvecs,
+                rel_residual: res,
+                converged: false,
+            };
+        }
+        let beta = (rho_new / rho) * (alpha / omega);
+        // p = r + beta (p - omega v)
+        for i in 0..n {
+            p[i] = r[i] + beta * (p[i] - omega * v[i]);
+        }
+        a.apply(&p, &mut v);
+        matvecs += 1;
+        alpha = rho_new / zdotc(&r_hat, &v);
+        // s = r - alpha v
+        for i in 0..n {
+            s[i] = r[i] - alpha * v[i];
+        }
+        let s_norm = norm2(&s) / b_norm;
+        if s_norm < cfg.tol {
+            axpy(alpha, &p, x);
+            return SolveStats {
+                iterations: iter,
+                matvecs,
+                rel_residual: s_norm,
+                converged: true,
+            };
+        }
+        a.apply(&s, &mut t);
+        matvecs += 1;
+        let tt = zdotc(&t, &t);
+        omega = zdotc(&t, &s) / tt;
+        // x += alpha p + omega s; r = s - omega t
+        for i in 0..n {
+            x[i] += alpha * p[i] + omega * s[i];
+            r[i] = s[i] - omega * t[i];
+        }
+        res = norm2(&r) / b_norm;
+        if res < cfg.tol {
+            return SolveStats {
+                iterations: iter,
+                matvecs,
+                rel_residual: res,
+                converged: true,
+            };
+        }
+        rho = rho_new;
+    }
+    SolveStats {
+        iterations: cfg.max_iters,
+        matvecs,
+        rel_residual: res,
+        converged: false,
+    }
+}
+
+/// Conjugate gradients for Hermitian positive-definite `A`.
+pub fn cg<A: LinOp + ?Sized>(a: &A, b: &[C64], x: &mut [C64], cfg: IterConfig) -> SolveStats {
+    let n = b.len();
+    assert_eq!(x.len(), n);
+    let b_norm = norm2(b);
+    if b_norm == 0.0 {
+        x.iter_mut().for_each(|v| *v = C64::ZERO);
+        return SolveStats {
+            iterations: 0,
+            matvecs: 0,
+            rel_residual: 0.0,
+            converged: true,
+        };
+    }
+    let mut r = vec![C64::ZERO; n];
+    let mut matvecs = 0usize;
+    a.apply(x, &mut r);
+    matvecs += 1;
+    sub_into(b, &r.clone(), &mut r);
+    let mut p = r.clone();
+    let mut ap = vec![C64::ZERO; n];
+    let mut rs = zdotc(&r, &r);
+    let mut res = rs.re.sqrt() / b_norm;
+    for iter in 1..=cfg.max_iters {
+        if res < cfg.tol {
+            return SolveStats {
+                iterations: iter - 1,
+                matvecs,
+                rel_residual: res,
+                converged: true,
+            };
+        }
+        a.apply(&p, &mut ap);
+        matvecs += 1;
+        let alpha = rs / zdotc(&p, &ap);
+        for i in 0..n {
+            x[i] += alpha * p[i];
+            r[i] -= alpha * ap[i];
+        }
+        let rs_new = zdotc(&r, &r);
+        let beta = rs_new / rs;
+        for i in 0..n {
+            p[i] = r[i] + beta * p[i];
+        }
+        rs = rs_new;
+        res = rs.re.sqrt() / b_norm;
+    }
+    SolveStats {
+        iterations: cfg.max_iters,
+        matvecs,
+        rel_residual: res,
+        converged: res < cfg.tol,
+    }
+}
+
+/// CGNR: least-squares `min ||A x - b||` via CG on `A^H A x = A^H b`.
+///
+/// `a` maps `n -> m`, `a_adj` maps `m -> n` and must be the true adjoint.
+pub fn cgnr<A: LinOp + ?Sized, AH: LinOp + ?Sized>(
+    a: &A,
+    a_adj: &AH,
+    b: &[C64],
+    x: &mut [C64],
+    cfg: IterConfig,
+) -> SolveStats {
+    let n = a.dim_in();
+    let m = a.dim_out();
+    assert_eq!(b.len(), m);
+    assert_eq!(x.len(), n);
+    let mut rhs = vec![C64::ZERO; n];
+    a_adj.apply(b, &mut rhs);
+    let normal = crate::op::FnOp::new(n, n, |v: &[C64], out: &mut [C64]| {
+        let mut mid = vec![C64::ZERO; m];
+        a.apply(v, &mut mid);
+        a_adj.apply(&mid, out);
+    });
+    let mut stats = cg(&normal, &rhs, x, cfg);
+    stats.matvecs *= 2; // each normal-equation apply is two operator applies
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ffw_numerics::linalg::Matrix;
+    use ffw_numerics::{c64, vecops::rel_diff};
+
+    fn random_mat(n: usize, m: usize, seed: u64, diag_boost: f64) -> Matrix {
+        let mut s = seed;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        };
+        Matrix::from_fn(n, m, |r, c| {
+            let mut v = c64(next(), next());
+            if r == c {
+                v += diag_boost;
+            }
+            v
+        })
+    }
+
+    fn random_vec(n: usize, seed: u64) -> Vec<C64> {
+        let m = random_mat(1, n, seed, 0.0);
+        m.as_slice().to_vec()
+    }
+
+    #[test]
+    fn bicgstab_solves_diagonally_dominant_system() {
+        let n = 60;
+        let a = random_mat(n, n, 3, 8.0);
+        let x_true = random_vec(n, 5);
+        let mut b = vec![C64::ZERO; n];
+        a.matvec(&x_true, &mut b);
+        let mut x = vec![C64::ZERO; n];
+        let stats = bicgstab(&a, &b, &mut x, IterConfig { tol: 1e-10, max_iters: 500 });
+        assert!(stats.converged, "{stats:?}");
+        assert!(rel_diff(&x, &x_true) < 1e-8, "err {}", rel_diff(&x, &x_true));
+        assert_eq!(stats.matvecs, 2 * stats.iterations + 1);
+    }
+
+    #[test]
+    fn bicgstab_residual_is_truthful() {
+        let n = 40;
+        let a = random_mat(n, n, 13, 6.0);
+        let b = random_vec(n, 17);
+        let mut x = vec![C64::ZERO; n];
+        let stats = bicgstab(&a, &b, &mut x, IterConfig { tol: 1e-8, max_iters: 300 });
+        let mut r = vec![C64::ZERO; n];
+        a.matvec(&x, &mut r);
+        let resid: f64 = r
+            .iter()
+            .zip(&b)
+            .map(|(ax, bb)| (*ax - *bb).norm_sqr())
+            .sum::<f64>()
+            .sqrt()
+            / ffw_numerics::vecops::norm2(&b);
+        assert!(stats.converged);
+        assert!((resid - stats.rel_residual).abs() < 1e-6, "{resid} vs {stats:?}");
+    }
+
+    #[test]
+    fn bicgstab_zero_rhs() {
+        let a = random_mat(10, 10, 1, 4.0);
+        let b = vec![C64::ZERO; 10];
+        let mut x = random_vec(10, 2);
+        let stats = bicgstab(&a, &b, &mut x, IterConfig::default());
+        assert!(stats.converged);
+        assert!(x.iter().all(|v| v.abs() == 0.0));
+    }
+
+    #[test]
+    fn cg_solves_hermitian_pd() {
+        // A = B^H B + 2I is Hermitian positive definite.
+        let n = 30;
+        let b_mat = random_mat(n, n, 7, 0.0);
+        let mut a = b_mat.adjoint().matmul(&b_mat);
+        for i in 0..n {
+            *a.at_mut(i, i) += 2.0;
+        }
+        let x_true = random_vec(n, 9);
+        let mut rhs = vec![C64::ZERO; n];
+        a.matvec(&x_true, &mut rhs);
+        let mut x = vec![C64::ZERO; n];
+        let stats = cg(&a, &rhs, &mut x, IterConfig { tol: 1e-12, max_iters: 500 });
+        assert!(stats.converged);
+        assert!(rel_diff(&x, &x_true) < 1e-9);
+    }
+
+    #[test]
+    fn cgnr_solves_overdetermined_least_squares() {
+        // 50 equations, 20 unknowns: residual must be orthogonal to range(A).
+        let m = 50;
+        let n = 20;
+        let a = random_mat(m, n, 11, 0.0);
+        let b = random_vec(m, 13);
+        let a_adj = a.adjoint();
+        let mut x = vec![C64::ZERO; n];
+        let stats = cgnr(&a, &a_adj, &b, &mut x, IterConfig { tol: 1e-12, max_iters: 500 });
+        assert!(stats.converged);
+        // optimality: A^H (A x - b) = 0
+        let mut ax = vec![C64::ZERO; m];
+        a.matvec(&x, &mut ax);
+        let r: Vec<C64> = ax.iter().zip(&b).map(|(u, v)| *u - *v).collect();
+        let mut grad = vec![C64::ZERO; n];
+        a_adj.matvec(&r, &mut grad);
+        assert!(
+            ffw_numerics::vecops::norm2(&grad) < 1e-8 * ffw_numerics::vecops::norm2(&b),
+            "normal-equation residual too large"
+        );
+    }
+
+    #[test]
+    fn max_iters_reports_unconverged() {
+        let n = 50;
+        let a = random_mat(n, n, 23, 0.3); // poorly conditioned
+        let b = random_vec(n, 29);
+        let mut x = vec![C64::ZERO; n];
+        let stats = bicgstab(&a, &b, &mut x, IterConfig { tol: 1e-14, max_iters: 2 });
+        assert!(!stats.converged);
+        assert_eq!(stats.iterations, 2);
+    }
+
+    #[test]
+    fn warm_start_reduces_iterations() {
+        let n = 40;
+        let a = random_mat(n, n, 31, 6.0);
+        let x_true = random_vec(n, 33);
+        let mut b = vec![C64::ZERO; n];
+        a.matvec(&x_true, &mut b);
+        let mut cold = vec![C64::ZERO; n];
+        let cold_stats = bicgstab(&a, &b, &mut cold, IterConfig { tol: 1e-9, max_iters: 300 });
+        // warm start from a slightly perturbed solution
+        let mut warm: Vec<C64> = x_true.iter().map(|v| *v * 1.001).collect();
+        let warm_stats = bicgstab(&a, &b, &mut warm, IterConfig { tol: 1e-9, max_iters: 300 });
+        assert!(warm_stats.iterations <= cold_stats.iterations);
+    }
+}

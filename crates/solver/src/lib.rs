@@ -1,0 +1,22 @@
+//! # ffw-solver
+//!
+//! Iterative Krylov solvers over abstract linear operators: BiCGStab (the
+//! paper's forward solver), CG, CGNR, and the forward-scattering system
+//! `A = I - G0 diag(O)` together with its adjoint (via the complex-symmetry
+//! of the Green's operator).
+
+#![warn(missing_docs)]
+
+pub mod forward;
+pub mod gmres;
+pub mod krylov;
+pub mod op;
+pub mod precond;
+
+pub use forward::{
+    g0_adjoint_apply, solve_adjoint, solve_forward, AdjointScatteringOp, ScatteringOp,
+};
+pub use gmres::gmres;
+pub use krylov::{bicgstab, cg, cgnr, IterConfig, SolveStats};
+pub use op::{CountingOp, DiagonalOp, FnOp, IdentityOp, LinOp};
+pub use precond::{bicgstab_precond, IdentityPrecond, JacobiPrecond, Precond};

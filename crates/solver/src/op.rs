@@ -1,0 +1,157 @@
+//! Abstract linear operators.
+//!
+//! Everything the Krylov solvers touch is a [`LinOp`]: the MLFMA engine, the
+//! dense reference operators, the scattering system `A = I - G0 diag(O)` and
+//! its adjoint, and the Fréchet derivative of the inverse problem.
+
+use ffw_numerics::linalg::Matrix;
+use ffw_numerics::C64;
+
+/// A linear operator `y = A x` over complex vectors.
+pub trait LinOp: Sync {
+    /// Output dimension (rows).
+    fn dim_out(&self) -> usize;
+    /// Input dimension (columns).
+    fn dim_in(&self) -> usize;
+    /// Computes `y = A x` (overwrites `y`).
+    fn apply(&self, x: &[C64], y: &mut [C64]);
+}
+
+impl LinOp for Matrix {
+    fn dim_out(&self) -> usize {
+        self.rows()
+    }
+    fn dim_in(&self) -> usize {
+        self.cols()
+    }
+    fn apply(&self, x: &[C64], y: &mut [C64]) {
+        self.matvec(x, y);
+    }
+}
+
+/// The identity operator.
+pub struct IdentityOp(pub usize);
+
+impl LinOp for IdentityOp {
+    fn dim_out(&self) -> usize {
+        self.0
+    }
+    fn dim_in(&self) -> usize {
+        self.0
+    }
+    fn apply(&self, x: &[C64], y: &mut [C64]) {
+        y.copy_from_slice(x);
+    }
+}
+
+/// A diagonal operator `y = diag(d) x`.
+pub struct DiagonalOp(pub Vec<C64>);
+
+impl LinOp for DiagonalOp {
+    fn dim_out(&self) -> usize {
+        self.0.len()
+    }
+    fn dim_in(&self) -> usize {
+        self.0.len()
+    }
+    fn apply(&self, x: &[C64], y: &mut [C64]) {
+        for ((yi, xi), di) in y.iter_mut().zip(x).zip(&self.0) {
+            *yi = *xi * *di;
+        }
+    }
+}
+
+/// A closure-backed operator, handy for composing pipelines without new types.
+pub struct FnOp<F: Fn(&[C64], &mut [C64]) + Sync> {
+    dim_out: usize,
+    dim_in: usize,
+    f: F,
+}
+
+impl<F: Fn(&[C64], &mut [C64]) + Sync> FnOp<F> {
+    /// Wraps a closure as an operator with the given dimensions.
+    pub fn new(dim_out: usize, dim_in: usize, f: F) -> Self {
+        FnOp { dim_out, dim_in, f }
+    }
+}
+
+impl<F: Fn(&[C64], &mut [C64]) + Sync> LinOp for FnOp<F> {
+    fn dim_out(&self) -> usize {
+        self.dim_out
+    }
+    fn dim_in(&self) -> usize {
+        self.dim_in
+    }
+    fn apply(&self, x: &[C64], y: &mut [C64]) {
+        (self.f)(x, y);
+    }
+}
+
+/// Counts applications of an inner operator (used to measure "MLFMA
+/// multiplications per forward solution", the paper's Fig. 13 statistic).
+pub struct CountingOp<'a, A: LinOp + ?Sized> {
+    inner: &'a A,
+    count: std::sync::atomic::AtomicUsize,
+}
+
+impl<'a, A: LinOp + ?Sized> CountingOp<'a, A> {
+    /// Wraps `inner`.
+    pub fn new(inner: &'a A) -> Self {
+        CountingOp {
+            inner,
+            count: std::sync::atomic::AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of `apply` calls so far.
+    pub fn count(&self) -> usize {
+        self.count.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+impl<A: LinOp + ?Sized> LinOp for CountingOp<'_, A> {
+    fn dim_out(&self) -> usize {
+        self.inner.dim_out()
+    }
+    fn dim_in(&self) -> usize {
+        self.inner.dim_in()
+    }
+    fn apply(&self, x: &[C64], y: &mut [C64]) {
+        self.count
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.inner.apply(x, y);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ffw_numerics::c64;
+
+    #[test]
+    fn identity_and_diagonal() {
+        let x = vec![c64(1.0, 2.0), c64(-3.0, 0.5)];
+        let mut y = vec![C64::ZERO; 2];
+        IdentityOp(2).apply(&x, &mut y);
+        assert_eq!(x, y);
+        let d = DiagonalOp(vec![c64(2.0, 0.0), c64(0.0, 1.0)]);
+        d.apply(&x, &mut y);
+        assert_eq!(y[0], c64(2.0, 4.0));
+        assert_eq!(y[1], c64(-0.5, -3.0));
+    }
+
+    #[test]
+    fn fn_op_and_counting() {
+        let op = FnOp::new(2, 2, |x: &[C64], y: &mut [C64]| {
+            y[0] = x[1];
+            y[1] = x[0];
+        });
+        let counted = CountingOp::new(&op);
+        let x = vec![c64(1.0, 0.0), c64(0.0, 1.0)];
+        let mut y = vec![C64::ZERO; 2];
+        counted.apply(&x, &mut y);
+        counted.apply(&x, &mut y);
+        assert_eq!(counted.count(), 2);
+        assert_eq!(y[0], x[1]);
+    }
+}

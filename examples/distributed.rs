@@ -1,0 +1,70 @@
+//! Runs the fully two-dimensional parallel DBIM (illumination groups x MLFMA
+//! sub-trees) on the in-process message-passing runtime and verifies it
+//! against the serial solver — the paper's Fig. 6 decomposition end to end.
+//!
+//! ```sh
+//! cargo run --release --example distributed
+//! ```
+
+use ffw::dist::dist_dbim;
+use ffw::geometry::{Domain, Point2, QuadTree, TransducerArray};
+use ffw::inverse::{dbim, synthesize_measurements, DbimConfig, ImagingSetup, MlfmaG0};
+use ffw::mlfma::{Accuracy, MlfmaEngine, MlfmaPlan};
+use ffw::numerics::vecops::rel_diff;
+use ffw::numerics::C64;
+use ffw::par::Pool;
+use ffw::phantom::{object_from_contrast, Cylinder, Phantom};
+use std::sync::Arc;
+
+fn main() {
+    let domain = Domain::new(64, 1.0);
+    let tree = QuadTree::new(&domain);
+    let plan = Arc::new(MlfmaPlan::new(&domain, Accuracy::default()));
+    let ring = 2.0 * domain.side();
+    let setup = ImagingSetup::new(
+        domain.clone(),
+        TransducerArray::ring(8, ring),
+        TransducerArray::ring(16, ring),
+    );
+    let truth = Cylinder {
+        center: Point2::ZERO,
+        radius: 1.6,
+        contrast: 0.05,
+    };
+    let object = object_from_contrast(&domain, &tree, &truth.rasterize(&domain));
+    let g0 = MlfmaG0(Arc::new(MlfmaEngine::new(Arc::clone(&plan), Arc::new(Pool::new(1)))));
+    let measured = synthesize_measurements(&setup, &g0, &object, Default::default());
+
+    let cfg = DbimConfig {
+        iterations: 5,
+        ..Default::default()
+    };
+    let serial = dbim(&setup, &g0, &measured, &cfg);
+    println!(
+        "serial DBIM: residual {:.2}% -> {:.2}%",
+        100.0 * serial.history[0].rel_residual,
+        100.0 * serial.final_residual
+    );
+
+    for (groups, subtree) in [(4usize, 2usize), (2, 4)] {
+        let plan2 = Arc::clone(&plan);
+        let setup_ref = &setup;
+        let measured_ref = &measured;
+        let cfg_ref = &cfg;
+        let (results, handle) = ffw::mpi::run(groups * subtree, move |comm| {
+            dist_dbim(&comm, setup_ref, Arc::clone(&plan2), measured_ref, groups, subtree, cfg_ref)
+        });
+        let mut image = vec![C64::ZERO; setup.n_pixels()];
+        for r in results.iter().take(subtree) {
+            image[r.pixel_range.clone()].copy_from_slice(&r.object_local);
+        }
+        println!(
+            "{groups} illumination groups x {subtree} sub-tree ranks: image diff vs serial {:.2e}, \
+             {} messages / {} KiB exchanged",
+            rel_diff(&image, &serial.object),
+            handle.stats().total_messages(),
+            handle.stats().total_bytes() / 1024,
+        );
+    }
+    println!("(the paper's analogous CPU-vs-GPU consistency figure is 7.15e-13)");
+}

@@ -1,0 +1,50 @@
+//! Limited-angle imaging (the paper's Fig. 2 scenario): when transmitters and
+//! receivers only see the object from a 90-degree arc, single-scattering
+//! energy is lost to the detectors and the linear Born reconstruction
+//! collapses; the multiple-scattering DBIM keeps working.
+//!
+//! ```sh
+//! cargo run --release --example limited_angle
+//! ```
+
+use ffw::inverse::BornConfig;
+use ffw::geometry::Point2;
+use ffw::phantom::{image_rel_error, Annulus, Phantom};
+use ffw::tomo::{Reconstruction, SceneConfig};
+
+fn main() {
+    let (px, n_tx, n_rx, iters) = (64usize, 16, 32, 15);
+    for (label, arc) in [
+        ("full 360-degree ring", None),
+        ("limited 180-degree arc", Some((-std::f64::consts::FRAC_PI_2, std::f64::consts::PI))),
+    ] {
+        let mut scene = SceneConfig::new(px, n_tx, n_rx);
+        if let Some((start, span)) = arc {
+            scene = scene.with_arc(start, span);
+        }
+        let recon = Reconstruction::new(&scene);
+        let d = recon.domain().side();
+        let truth = Annulus {
+            center: Point2::ZERO,
+            inner: 0.18 * d,
+            outer: 0.30 * d,
+            contrast: 0.2,
+        };
+        let truth_raster = truth.rasterize(recon.domain());
+        let measured = recon.synthesize(&truth);
+
+        let dbim = recon.run_dbim(&measured, iters);
+        let dbim_err = image_rel_error(&recon.image(&dbim.object), &truth_raster);
+        let born = recon.run_born(&measured, &BornConfig::default());
+        let born_err = image_rel_error(&recon.image(&born.object), &truth_raster);
+
+        println!("{label}:");
+        println!("  DBIM (multiple scattering): image error {dbim_err:.3}, residual {:.2}%",
+            100.0 * dbim.final_residual);
+        println!("  Born (single scattering):   image error {born_err:.3}");
+        println!("  nonlinear advantage: {:.1}x\n", born_err / dbim_err);
+    }
+    println!("expected: the nonlinear reconstruction stays ahead of the linear one at");
+    println!("the limited angle — the paper's motivation for capturing multiple");
+    println!("scattering (Fig. 2).");
+}

@@ -1,0 +1,54 @@
+//! Runs the Blue Waters performance model end to end: calibrates against the
+//! paper's 64-GPU-node baseline and prints all four scaling studies.
+//!
+//! ```sh
+//! cargo run --release --example scaling_model
+//! ```
+
+use ffw::perf::{calibrate, fig10, fig11, fig12, fig13_projection, fig9, table4, PlanLib};
+
+fn main() {
+    let mut lib = PlanLib::new();
+    let scale = calibrate(&mut lib);
+    println!("calibrated to the paper's Fig. 9 baseline (1,096 s on 64 GPU nodes)\n");
+
+    println!("strong scaling across illuminations (paper: 86.1% at 16x):");
+    for p in fig9(&mut lib, scale) {
+        println!("  {:5} nodes  {:7.1} s  {:5.1}% efficient", p.nodes, p.seconds, 100.0 * p.efficiency);
+    }
+    println!("\nstrong scaling across MLFMA sub-trees (paper: 46.6% at 16x):");
+    for p in fig10(&mut lib, scale) {
+        println!("  {:5} nodes  {:7.1} s  {:5.1}% efficient", p.nodes, p.seconds, 100.0 * p.efficiency);
+    }
+    println!("\nweak scaling across illuminations (paper: 77.2% real / 89.9% adjusted):");
+    for p in fig11(&mut lib, scale) {
+        println!(
+            "  {:5} nodes  real {:5.1}%  adjusted {:5.1}%",
+            p.nodes,
+            100.0 * p.efficiency,
+            100.0 * p.adjusted_efficiency.unwrap()
+        );
+    }
+    println!("\nweak scaling across sub-trees (paper: 73.3% real / 94.7% adjusted):");
+    for p in fig12(&mut lib, scale) {
+        println!(
+            "  {:5} nodes  real {:5.1}%  adjusted {:5.1}%",
+            p.nodes,
+            100.0 * p.efficiency,
+            100.0 * p.adjusted_efficiency.unwrap()
+        );
+    }
+    println!("\nwhole-application CPU vs GPU (paper: 4.19x -> 3.77x):");
+    for r in table4(&mut lib, scale) {
+        println!(
+            "  {:5} nodes  CPU {:7.1} s  GPU {:6.1} s  speedup {:.2}x",
+            r.nodes, r.cpu_seconds, r.gpu_seconds, r.speedup
+        );
+    }
+    let p = fig13_projection(&mut lib, scale);
+    println!(
+        "\nFig. 13 projection (4M unknowns, 4,096 GPUs): {:.1} s, {} solves, {:.0} MLFMA mults ({:.1}/solve)",
+        p.seconds, p.forward_solves, p.mlfma_mults, p.mults_per_solve
+    );
+    println!("paper: 126.9 s, 153,600 solves, 2,054,312 mults (13.4/solve)");
+}

@@ -1,0 +1,23 @@
+//! # ffw
+//!
+//! Umbrella crate for the FFW-Tomo workspace: a complete Rust reproduction of
+//! *"A Fast and Massively-Parallel Inverse Solver for Multiple-Scattering
+//! Tomographic Image Reconstruction"* (IPDPS 2018).
+//!
+//! This crate re-exports every workspace member under a stable prefix so the
+//! runnable examples and cross-crate integration tests have a single import
+//! root. Library users should depend on [`ffw_tomo`] (the high-level API) or
+//! on the individual subsystem crates.
+
+pub use ffw_dist as dist;
+pub use ffw_geometry as geometry;
+pub use ffw_greens as greens;
+pub use ffw_inverse as inverse;
+pub use ffw_mlfma as mlfma;
+pub use ffw_mpi as mpi;
+pub use ffw_numerics as numerics;
+pub use ffw_par as par;
+pub use ffw_perf as perf;
+pub use ffw_phantom as phantom;
+pub use ffw_solver as solver;
+pub use ffw_tomo as tomo;
