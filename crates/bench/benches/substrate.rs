@@ -70,5 +70,11 @@ fn bench_mpi_allreduce(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_bessel, bench_fft, bench_pool, bench_mpi_allreduce);
+criterion_group!(
+    benches,
+    bench_bessel,
+    bench_fft,
+    bench_pool,
+    bench_mpi_allreduce
+);
 criterion_main!(benches);

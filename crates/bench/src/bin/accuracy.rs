@@ -17,9 +17,13 @@ fn random_x(n: usize, seed: u64) -> Vec<C64> {
     let mut s = seed;
     (0..n)
         .map(|_| {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let a = ((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5;
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let b = ((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5;
             c64(a, b)
         })

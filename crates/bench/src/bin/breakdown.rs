@@ -9,6 +9,9 @@ use ffw_mlfma::{Accuracy, MlfmaPlan};
 use ffw_perf::{gemini, matvec_time, xe6_cpu, xk7_gpu, MatvecComm, MatvecWork};
 use serde::Serialize;
 
+/// Projects one phase's seconds out of an [`ffw_perf::OpBreakdown`].
+type PhaseTime = fn(&ffw_perf::OpBreakdown) -> f64;
+
 #[derive(Serialize)]
 struct Record {
     phase: String,
@@ -27,7 +30,7 @@ fn main() {
     let cpu = matvec_time(&work, &MatvecComm::default(), &xe6_cpu(), &net, 1);
     let gpu = matvec_time(&work, &MatvecComm::default(), &xk7_gpu(), &net, 1);
 
-    let phases: [(&str, fn(&ffw_perf::OpBreakdown) -> f64); 6] = [
+    let phases: [(&str, PhaseTime); 6] = [
         ("Multipole Expansion", |b| b.expansion),
         ("Aggregation", |b| b.aggregation),
         ("Translation", |b| b.translation),

@@ -27,9 +27,13 @@ fn random_x(n: usize, seed: u64) -> Vec<C64> {
     let mut s = seed;
     (0..n)
         .map(|_| {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let a = ((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5;
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let b = ((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5;
             c64(a, b)
         })
@@ -92,8 +96,16 @@ fn main() {
         "buffer aggregation ablation (4 sub-tree ranks, one matvec)",
         &["variant", "messages", "bytes"],
         &[
-            vec!["aggregated".into(), msg_counts[0].to_string(), byte_counts[0].to_string()],
-            vec!["per-cluster".into(), msg_counts[1].to_string(), byte_counts[1].to_string()],
+            vec![
+                "aggregated".into(),
+                msg_counts[0].to_string(),
+                byte_counts[0].to_string(),
+            ],
+            vec![
+                "per-cluster".into(),
+                msg_counts[1].to_string(),
+                byte_counts[1].to_string(),
+            ],
         ],
     );
     println!("aggregation must cut the handshake count with unchanged payload bytes.");
@@ -112,7 +124,10 @@ fn main() {
     };
     let tree = ffw_geometry::QuadTree::new(&domain);
     let object = object_from_contrast(&domain, &tree, &truth.rasterize(&domain));
-    let g0 = MlfmaG0(Arc::new(MlfmaEngine::new(Arc::clone(&plan), Arc::new(Pool::new(1)))));
+    let g0 = MlfmaG0(Arc::new(MlfmaEngine::new(
+        Arc::clone(&plan),
+        Arc::new(Pool::new(1)),
+    )));
     let measured = synthesize_measurements(&setup, &g0, &object, Default::default());
     let cfg = DbimConfig {
         iterations: 3,
@@ -125,14 +140,24 @@ fn main() {
     let measured_ref = &measured;
     let cfg_ref = &cfg;
     let (results, _) = ffw_mpi::run(groups * subtree, move |comm| {
-        dist_dbim(&comm, setup_ref, Arc::clone(&plan2), measured_ref, groups, subtree, cfg_ref)
+        dist_dbim(
+            &comm,
+            setup_ref,
+            Arc::clone(&plan2),
+            measured_ref,
+            groups,
+            subtree,
+            cfg_ref,
+        )
     });
     let mut image = vec![C64::ZERO; setup.n_pixels()];
     for r in results.iter().take(subtree) {
         image[r.pixel_range.clone()].copy_from_slice(&r.object_local);
     }
     let dbim_diff = rel_diff(&image, &serial_result.object);
-    println!("\n2-D-parallel DBIM (2 groups x 2 sub-trees) vs serial image difference: {dbim_diff:.2e}");
+    println!(
+        "\n2-D-parallel DBIM (2 groups x 2 sub-trees) vs serial image difference: {dbim_diff:.2e}"
+    );
     println!("(paper: 7.15e-13 between the CPU and GPU executions)");
 
     write_json(

@@ -29,8 +29,14 @@ fn main() {
     let mut rows = Vec::new();
     for (label, arc) in [
         ("full ring", None),
-        ("180-degree arc", Some((-std::f64::consts::FRAC_PI_2, std::f64::consts::PI))),
-        ("90-degree arc", Some((-std::f64::consts::FRAC_PI_4, std::f64::consts::FRAC_PI_2))),
+        (
+            "180-degree arc",
+            Some((-std::f64::consts::FRAC_PI_2, std::f64::consts::PI)),
+        ),
+        (
+            "90-degree arc",
+            Some((-std::f64::consts::FRAC_PI_4, std::f64::consts::FRAC_PI_2)),
+        ),
     ] {
         let mut scene = SceneConfig::new(px, n_tx, n_rx);
         if let Some((s, w)) = arc {
@@ -64,7 +70,12 @@ fn main() {
     }
     print_table(
         &format!("Fig 2: limited-angle vs full-ring, contrast {contrast} ({px}x{px} px)"),
-        &["transducers", "Born img err", "DBIM img err", "DBIM advantage"],
+        &[
+            "transducers",
+            "Born img err",
+            "DBIM img err",
+            "DBIM advantage",
+        ],
         &rows,
     );
     println!("paper: qualitative — the nonlinear reconstruction must beat the linear one at");

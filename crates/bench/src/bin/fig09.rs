@@ -25,19 +25,27 @@ fn main() {
     );
     println!("paper: 1,096 s @ 64 nodes -> 142 s @ 1,024 nodes (13.8x, 86.1% efficiency)");
     let chart = ffw_tomo::viz::write_svg_chart(
-        format!("{}/fig09.svg", std::env::var("FFW_RESULTS_DIR").unwrap_or_else(|_| "results".into())),
+        format!(
+            "{}/fig09.svg",
+            std::env::var("FFW_RESULTS_DIR").unwrap_or_else(|_| "results".into())
+        ),
         "Fig 9: strong scaling across illuminations",
         "nodes",
         "speedup",
         true,
-        &[ffw_tomo::viz::Series {
-            label: "modeled speedup",
-            points: series.iter().map(|p| (p.nodes as f64, p.speedup)).collect(),
-        },
-        ffw_tomo::viz::Series {
-            label: "ideal",
-            points: series.iter().map(|p| (p.nodes as f64, p.nodes as f64 / 64.0)).collect(),
-        }],
+        &[
+            ffw_tomo::viz::Series {
+                label: "modeled speedup",
+                points: series.iter().map(|p| (p.nodes as f64, p.speedup)).collect(),
+            },
+            ffw_tomo::viz::Series {
+                label: "ideal",
+                points: series
+                    .iter()
+                    .map(|p| (p.nodes as f64, p.nodes as f64 / 64.0))
+                    .collect(),
+            },
+        ],
     );
     if let Ok(()) = chart {
         println!("wrote results/fig09.svg");

@@ -25,19 +25,27 @@ fn main() {
     );
     println!("paper: 1,096 s @ 64 nodes -> 263 s @ 1,024 nodes (7.45x, 46.6% efficiency)");
     let chart = ffw_tomo::viz::write_svg_chart(
-        format!("{}/fig10.svg", std::env::var("FFW_RESULTS_DIR").unwrap_or_else(|_| "results".into())),
+        format!(
+            "{}/fig10.svg",
+            std::env::var("FFW_RESULTS_DIR").unwrap_or_else(|_| "results".into())
+        ),
         "Fig 10: strong scaling across MLFMA sub-trees",
         "nodes",
         "speedup",
         true,
-        &[ffw_tomo::viz::Series {
-            label: "modeled speedup",
-            points: series.iter().map(|p| (p.nodes as f64, p.speedup)).collect(),
-        },
-        ffw_tomo::viz::Series {
-            label: "ideal",
-            points: series.iter().map(|p| (p.nodes as f64, p.nodes as f64 / 64.0)).collect(),
-        }],
+        &[
+            ffw_tomo::viz::Series {
+                label: "modeled speedup",
+                points: series.iter().map(|p| (p.nodes as f64, p.speedup)).collect(),
+            },
+            ffw_tomo::viz::Series {
+                label: "ideal",
+                points: series
+                    .iter()
+                    .map(|p| (p.nodes as f64, p.nodes as f64 / 64.0))
+                    .collect(),
+            },
+        ],
     );
     if let Ok(()) = chart {
         println!("wrote results/fig10.svg");

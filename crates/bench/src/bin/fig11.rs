@@ -26,22 +26,30 @@ fn main() {
     );
     println!("paper at 16x: real 77.2%, adjusted 89.9%");
     let chart = ffw_tomo::viz::write_svg_chart(
-        format!("{}/fig11.svg", std::env::var("FFW_RESULTS_DIR").unwrap_or_else(|_| "results".into())),
+        format!(
+            "{}/fig11.svg",
+            std::env::var("FFW_RESULTS_DIR").unwrap_or_else(|_| "results".into())
+        ),
         "Fig 11: weak scaling across illuminations",
         "nodes",
         "efficiency",
         true,
-        &[ffw_tomo::viz::Series {
-            label: "real",
-            points: series.iter().map(|p| (p.nodes as f64, p.efficiency)).collect(),
-        },
-        ffw_tomo::viz::Series {
-            label: "adjusted",
-            points: series
-                .iter()
-                .map(|p| (p.nodes as f64, p.adjusted_efficiency.unwrap()))
-                .collect(),
-        }],
+        &[
+            ffw_tomo::viz::Series {
+                label: "real",
+                points: series
+                    .iter()
+                    .map(|p| (p.nodes as f64, p.efficiency))
+                    .collect(),
+            },
+            ffw_tomo::viz::Series {
+                label: "adjusted",
+                points: series
+                    .iter()
+                    .map(|p| (p.nodes as f64, p.adjusted_efficiency.unwrap()))
+                    .collect(),
+            },
+        ],
     );
     if let Ok(()) = chart {
         println!("wrote results/fig11.svg");

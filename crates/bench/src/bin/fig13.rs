@@ -55,20 +55,40 @@ fn main() {
     let proj = ffw_perf::fig13_projection(&mut lib, scale);
 
     println!("\n== Fig 13: Shepp-Logan, measured (this machine) ==");
-    println!("residual: {:.1}% -> {:.3}%   (paper: 59.3% -> 0.289%)",
-        100.0 * result.history[0].rel_residual, 100.0 * result.final_residual);
+    println!(
+        "residual: {:.1}% -> {:.3}%   (paper: 59.3% -> 0.289%)",
+        100.0 * result.history[0].rel_residual,
+        100.0 * result.final_residual
+    );
     println!("image relative error: {err:.3}");
-    println!("MLFMA multiplications per forward solve: {:.1}   (paper: 13.4)",
-        result.mlfma_mults_per_solve());
-    println!("forward solves: {}   wall time: {wall:.1} s", result.forward_solves);
+    println!(
+        "MLFMA multiplications per forward solve: {:.1}   (paper: 13.4)",
+        result.mlfma_mults_per_solve()
+    );
+    println!(
+        "forward solves: {}   wall time: {wall:.1} s",
+        result.forward_solves
+    );
     println!("\n== Fig 13: 4M unknowns on 4,096 GPU nodes, modeled ==");
     println!("projected time: {:.1} s   (paper: 126.9 s)", proj.seconds);
     println!("forward solves: {}   (paper: 153,600)", proj.forward_solves);
     println!("MLFMA mults: {:.0}   (paper: 2,054,312)", proj.mlfma_mults);
 
     let dir = std::env::var("FFW_RESULTS_DIR").unwrap_or_else(|_| "results".into());
-    let _ = ffw_tomo::viz::write_pgm(format!("{dir}/fig13_truth.pgm"), &truth_raster, px, 0.0, 0.02);
-    let _ = ffw_tomo::viz::write_pgm(format!("{dir}/fig13_reconstruction.pgm"), &image, px, 0.0, 0.02);
+    let _ = ffw_tomo::viz::write_pgm(
+        format!("{dir}/fig13_truth.pgm"),
+        &truth_raster,
+        px,
+        0.0,
+        0.02,
+    );
+    let _ = ffw_tomo::viz::write_pgm(
+        format!("{dir}/fig13_reconstruction.pgm"),
+        &image,
+        px,
+        0.0,
+        0.02,
+    );
     println!("wrote results/fig13_truth.pgm and results/fig13_reconstruction.pgm");
     // convergence chart
     let mut pts: Vec<(f64, f64)> = result
@@ -84,7 +104,10 @@ fn main() {
         "DBIM iteration",
         "relative residual",
         false,
-        &[ffw_tomo::viz::Series { label: "residual", points: pts }],
+        &[ffw_tomo::viz::Series {
+            label: "residual",
+            points: pts,
+        }],
     );
     write_json(
         "fig13",

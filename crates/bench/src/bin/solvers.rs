@@ -87,7 +87,13 @@ fn main() {
     }
     print_table(
         &format!("forward-solver ablation ({px}x{px} px, cylinder, tol 1e-4)"),
-        &["contrast", "solver", "MLFMA mults", "iterations", "converged"],
+        &[
+            "contrast",
+            "solver",
+            "MLFMA mults",
+            "iterations",
+            "converged",
+        ],
         &rows,
     );
     println!("the paper's BiCGStab choice trades monotonicity for 2 matvecs/iteration and");

@@ -10,7 +10,10 @@ fn main() {
     let args = Args::parse();
     // default 16M unknowns (the paper's size); --quick drops to 4M
     let px = if args.quick { 2048 } else { 4096 };
-    println!("building the {px}x{px} px ({}M unknowns) plan ...", px * px >> 20);
+    println!(
+        "building the {px}x{px} px ({}M unknowns) plan ...",
+        (px * px) >> 20
+    );
     let plan = MlfmaPlan::new(&Domain::new(px, 1.0), Accuracy::default());
     let rows_data = table3(&plan, &xe6_cpu(), &xk7_gpu(), &gemini());
     let paper: &[(&str, f64, f64, f64)] = &[

@@ -42,12 +42,7 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
         println!("{}", s.trim_end());
     };
     line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
-    line(
-        &widths
-            .iter()
-            .map(|w| "-".repeat(*w))
-            .collect::<Vec<_>>(),
-    );
+    line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
     for row in rows {
         line(row);
     }
@@ -86,7 +81,10 @@ mod tests {
 
     #[test]
     fn json_roundtrip() {
-        std::env::set_var("FFW_RESULTS_DIR", std::env::temp_dir().join("ffw-test-results"));
+        std::env::set_var(
+            "FFW_RESULTS_DIR",
+            std::env::temp_dir().join("ffw-test-results"),
+        );
         let path = write_json("unit_test", &vec![1, 2, 3]).expect("write");
         let s = std::fs::read_to_string(path).expect("read");
         assert!(s.contains('1') && s.contains('3'));

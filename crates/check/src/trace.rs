@@ -1,0 +1,353 @@
+//! Per-rank communication events and the post-run static trace validator.
+//!
+//! `ffw-mpi` records one [`Event`] per runtime operation (consecutive failed
+//! `try_recv` polls on the same edge are coalesced so overlap pipelines cannot
+//! blow up the trace), and calls [`validate_traces`] when `run()` exits
+//! normally. Validation is static: it never blocks, and it sees the complete
+//! history of every rank plus whatever messages were left undelivered in the
+//! mailboxes.
+
+use std::fmt;
+
+/// Which collective a rank executed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CollectiveKind {
+    /// `Comm::barrier`.
+    Barrier,
+    /// `Comm::allreduce_sum_c64`.
+    AllreduceSumC64,
+    /// `Comm::allreduce_sum_f64`.
+    AllreduceSumF64,
+    /// `Comm::allreduce_max_f64`.
+    AllreduceMaxF64,
+    /// `Comm::broadcast_c64`.
+    BroadcastC64,
+    /// `Comm::gather_c64`.
+    GatherC64,
+}
+
+impl fmt::Display for CollectiveKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            CollectiveKind::Barrier => "barrier",
+            CollectiveKind::AllreduceSumC64 => "allreduce_sum_c64",
+            CollectiveKind::AllreduceSumF64 => "allreduce_sum_f64",
+            CollectiveKind::AllreduceMaxF64 => "allreduce_max_f64",
+            CollectiveKind::BroadcastC64 => "broadcast_c64",
+            CollectiveKind::GatherC64 => "gather_c64",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One traced runtime operation, recorded by the rank that performed it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// A point-to-point send to `dst`.
+    Send {
+        /// Destination rank.
+        dst: usize,
+        /// User tag.
+        tag: u32,
+        /// Payload size in bytes.
+        bytes: u64,
+    },
+    /// A completed blocking receive from `src`.
+    Recv {
+        /// Source rank.
+        src: usize,
+        /// User tag.
+        tag: u32,
+        /// Payload size in bytes.
+        bytes: u64,
+    },
+    /// A `try_recv` that returned a message.
+    TryRecvHit {
+        /// Source rank.
+        src: usize,
+        /// User tag.
+        tag: u32,
+        /// Payload size in bytes.
+        bytes: u64,
+    },
+    /// One or more consecutive `try_recv` polls on `(src, tag)` that found
+    /// nothing (coalesced to keep overlap pipelines from growing the trace).
+    TryRecvMiss {
+        /// Source rank.
+        src: usize,
+        /// User tag.
+        tag: u32,
+        /// Number of consecutive failed polls.
+        polls: u64,
+    },
+    /// A collective operation (traced once per rank per call).
+    Collective {
+        /// Which collective.
+        kind: CollectiveKind,
+        /// The root rank (0 for rootless collectives like barrier/allreduce).
+        root: usize,
+    },
+}
+
+/// A message still sitting in a mailbox when `run()` exited.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LeakedMessage {
+    /// Sending rank.
+    pub src: usize,
+    /// Destination rank (which never received it).
+    pub dst: usize,
+    /// Message tag.
+    pub tag: u32,
+    /// Payload size in bytes.
+    pub bytes: u64,
+}
+
+/// A protocol violation found by the post-run static validation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// A sent message was never received.
+    MessageLeak(LeakedMessage),
+    /// A rank sent a message to itself.
+    SelfSend {
+        /// The offending rank.
+        rank: usize,
+        /// The tag it used.
+        tag: u32,
+    },
+    /// A traced user-level operation used a tag with the reserved collective
+    /// bit set (defense in depth: the runtime also asserts this at call time).
+    ReservedTagUse {
+        /// The offending rank.
+        rank: usize,
+        /// The reserved tag.
+        tag: u32,
+    },
+    /// Two ranks disagree about the sequence of collectives they executed.
+    CollectiveMismatch {
+        /// Position in the per-rank collective sequence.
+        index: usize,
+        /// Reference rank (always rank 0).
+        rank_a: usize,
+        /// The collective rank_a executed at `index` (`None` = its sequence
+        /// ended before `index`).
+        op_a: Option<(CollectiveKind, usize)>,
+        /// The divergent rank.
+        rank_b: usize,
+        /// The collective rank_b executed at `index`.
+        op_b: Option<(CollectiveKind, usize)>,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::MessageLeak(m) => write!(
+                f,
+                "message leak: src={} dst={} tag={:#x} ({} bytes) was sent but never received",
+                m.src, m.dst, m.tag, m.bytes
+            ),
+            Violation::SelfSend { rank, tag } => {
+                write!(f, "self-send: rank {rank} sent to itself (tag={tag:#x})")
+            }
+            Violation::ReservedTagUse { rank, tag } => write!(
+                f,
+                "reserved tag misuse: rank {rank} used tag {tag:#x} (high bit is reserved for collectives)"
+            ),
+            Violation::CollectiveMismatch {
+                index,
+                rank_a,
+                op_a,
+                rank_b,
+                op_b,
+            } => {
+                let show = |op: &Option<(CollectiveKind, usize)>| match op {
+                    Some((kind, root)) => format!("{kind} (root {root})"),
+                    None => "no collective (sequence ended)".to_string(),
+                };
+                write!(
+                    f,
+                    "collective order mismatch at call #{index}: rank {rank_a} executed {} but rank {rank_b} executed {}",
+                    show(op_a),
+                    show(op_b)
+                )
+            }
+        }
+    }
+}
+
+/// Statically validates the complete per-rank traces of a finished run.
+///
+/// `traces[r]` is rank `r`'s event history; `leaked` lists messages left
+/// undelivered in the mailboxes at exit. Returns every violation found (empty
+/// means the run was protocol-clean).
+pub fn validate_traces(traces: &[Vec<Event>], leaked: &[LeakedMessage]) -> Vec<Violation> {
+    let mut violations = Vec::new();
+
+    for msg in leaked {
+        violations.push(Violation::MessageLeak(msg.clone()));
+    }
+
+    const RESERVED_BIT: u32 = 0x8000_0000;
+    for (rank, trace) in traces.iter().enumerate() {
+        for event in trace {
+            match *event {
+                Event::Send { dst, tag, .. } => {
+                    if dst == rank {
+                        violations.push(Violation::SelfSend { rank, tag });
+                    }
+                    if tag & RESERVED_BIT != 0 {
+                        violations.push(Violation::ReservedTagUse { rank, tag });
+                    }
+                }
+                Event::Recv { tag, .. }
+                | Event::TryRecvHit { tag, .. }
+                | Event::TryRecvMiss { tag, .. } => {
+                    if tag & RESERVED_BIT != 0 {
+                        violations.push(Violation::ReservedTagUse { rank, tag });
+                    }
+                }
+                Event::Collective { .. } => {}
+            }
+        }
+    }
+
+    // Cross-rank collective ordering: every rank must execute the same
+    // sequence of (kind, root). Payload lengths legitimately differ by rank
+    // (gather chunks, broadcast receivers), so they are not compared.
+    let collectives: Vec<Vec<(CollectiveKind, usize)>> = traces
+        .iter()
+        .map(|trace| {
+            trace
+                .iter()
+                .filter_map(|e| match *e {
+                    Event::Collective { kind, root } => Some((kind, root)),
+                    _ => None,
+                })
+                .collect()
+        })
+        .collect();
+    if let Some(reference) = collectives.first() {
+        for (rank_b, seq) in collectives.iter().enumerate().skip(1) {
+            let n = reference.len().max(seq.len());
+            for index in 0..n {
+                let op_a = reference.get(index).copied();
+                let op_b = seq.get(index).copied();
+                if op_a != op_b {
+                    violations.push(Violation::CollectiveMismatch {
+                        index,
+                        rank_a: 0,
+                        op_a,
+                        rank_b,
+                        op_b,
+                    });
+                    break; // one divergence per rank pair is enough signal
+                }
+            }
+        }
+    }
+
+    violations
+}
+
+/// Renders a violation list as the panic message used by `ffw-mpi`.
+pub fn render_report(violations: &[Violation]) -> String {
+    let mut out = String::from("ffw-check: post-run trace validation failed:\n");
+    for v in violations {
+        out.push_str("  - ");
+        out.push_str(&v.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_trace_passes() {
+        let traces = vec![
+            vec![
+                Event::Send {
+                    dst: 1,
+                    tag: 7,
+                    bytes: 16,
+                },
+                Event::Collective {
+                    kind: CollectiveKind::Barrier,
+                    root: 0,
+                },
+            ],
+            vec![
+                Event::Recv {
+                    src: 0,
+                    tag: 7,
+                    bytes: 16,
+                },
+                Event::Collective {
+                    kind: CollectiveKind::Barrier,
+                    root: 0,
+                },
+            ],
+        ];
+        assert!(validate_traces(&traces, &[]).is_empty());
+    }
+
+    #[test]
+    fn leak_is_reported_with_edge_and_tag() {
+        let leaked = vec![LeakedMessage {
+            src: 0,
+            dst: 1,
+            tag: 9,
+            bytes: 48,
+        }];
+        let violations = validate_traces(&[Vec::new(), Vec::new()], &leaked);
+        assert_eq!(violations.len(), 1);
+        let text = violations[0].to_string();
+        assert!(text.contains("src=0") && text.contains("dst=1") && text.contains("0x9"));
+    }
+
+    #[test]
+    fn self_send_detected() {
+        let traces = vec![vec![Event::Send {
+            dst: 0,
+            tag: 3,
+            bytes: 8,
+        }]];
+        let violations = validate_traces(&traces, &[]);
+        assert!(matches!(
+            violations.as_slice(),
+            [Violation::SelfSend { rank: 0, tag: 3 }]
+        ));
+    }
+
+    #[test]
+    fn collective_divergence_detected() {
+        let barrier = Event::Collective {
+            kind: CollectiveKind::Barrier,
+            root: 0,
+        };
+        let reduce = Event::Collective {
+            kind: CollectiveKind::AllreduceSumF64,
+            root: 0,
+        };
+        let traces = vec![vec![barrier.clone(), reduce], vec![barrier]];
+        let violations = validate_traces(&traces, &[]);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].to_string().contains("call #1"));
+    }
+
+    #[test]
+    fn reserved_tag_flagged() {
+        let traces = vec![vec![Event::Recv {
+            src: 0,
+            tag: 0x8000_0001,
+            bytes: 0,
+        }]];
+        let violations = validate_traces(&traces, &[]);
+        assert!(matches!(
+            violations.as_slice(),
+            [Violation::ReservedTagUse { .. }]
+        ));
+    }
+}

@@ -1,0 +1,293 @@
+//! Global wait-for-graph reconstruction and deadlock diagnosis.
+//!
+//! Every `ffw-mpi` rank publishes what it is currently blocked on (a
+//! [`WaitState`]). When a rank's blocking wait times out, it snapshots all
+//! states and calls [`diagnose_deadlock`]. The analysis is conservative: it
+//! only reports *definite* deadlocks — a dependency on a rank that has already
+//! finished or panicked (and so can never satisfy the wait), or a cycle whose
+//! every member is itself blocked. A rank that is merely slow keeps the
+//! watchdog silent.
+
+use std::fmt;
+
+/// What a rank is currently doing, as published to the global registry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WaitState {
+    /// Executing user code (not blocked in the runtime).
+    Running,
+    /// Blocked in `recv` waiting for a message.
+    RecvWait {
+        /// The source rank it expects the message from.
+        src: usize,
+        /// The tag it is matching.
+        tag: u32,
+    },
+    /// Blocked in `barrier`.
+    BarrierWait {
+        /// Barrier generation the rank is waiting to complete.
+        generation: u64,
+    },
+    /// Returned from the rank closure normally.
+    Finished,
+    /// The rank closure panicked.
+    Panicked,
+}
+
+impl fmt::Display for WaitState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WaitState::Running => f.write_str("running"),
+            WaitState::RecvWait { src, tag } => {
+                write!(f, "waiting for message (src={src}, tag={tag:#x})")
+            }
+            WaitState::BarrierWait { generation } => {
+                write!(f, "waiting at barrier (generation {generation})")
+            }
+            WaitState::Finished => f.write_str("finished"),
+            WaitState::Panicked => f.write_str("panicked"),
+        }
+    }
+}
+
+/// A definite deadlock found by [`diagnose_deadlock`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeadlockReport {
+    /// The rank states at the time of diagnosis.
+    pub states: Vec<WaitState>,
+    /// A cycle of mutually-blocked ranks (`cycle[i]` waits on
+    /// `cycle[(i+1) % len]`), if the deadlock is cyclic.
+    pub cycle: Option<Vec<usize>>,
+    /// A blocked rank waiting on a rank that already finished or panicked,
+    /// if the deadlock is a dead dependency: `(waiter, dead_rank)`.
+    pub dead_dependency: Option<(usize, usize)>,
+}
+
+impl fmt::Display for DeadlockReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "deadlock detected; global wait-for graph:")?;
+        for (rank, state) in self.states.iter().enumerate() {
+            writeln!(f, "  rank {rank}: {state}")?;
+        }
+        if let Some((waiter, dead)) = self.dead_dependency {
+            writeln!(
+                f,
+                "  rank {waiter} waits on rank {dead}, which is already {} and can never satisfy the wait",
+                self.states[dead]
+            )?;
+        }
+        if let Some(cycle) = &self.cycle {
+            let mut path = cycle
+                .iter()
+                .map(|r| r.to_string())
+                .collect::<Vec<_>>()
+                .join(" -> ");
+            if let Some(first) = cycle.first() {
+                path.push_str(&format!(" -> {first}"));
+            }
+            writeln!(f, "  cycle: {path}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Reconstructs the wait-for graph from a state snapshot and reports a
+/// definite deadlock, if any.
+///
+/// `has_matching(src, dst, tag)` must report whether a message satisfying
+/// rank `dst`'s `RecvWait { src, tag }` is already queued — such a rank is
+/// about to wake and is treated as not blocked.
+pub fn diagnose_deadlock(
+    states: &[WaitState],
+    mut has_matching: impl FnMut(usize, usize, u32) -> bool,
+) -> Option<DeadlockReport> {
+    let n = states.len();
+
+    // Effective blocked set and outgoing wait-for edges.
+    let mut edges: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut blocked = vec![false; n];
+    for (rank, state) in states.iter().enumerate() {
+        match state {
+            WaitState::RecvWait { src, tag } => {
+                if !has_matching(*src, rank, *tag) {
+                    blocked[rank] = true;
+                    edges[rank].push(*src);
+                }
+            }
+            WaitState::BarrierWait { generation } => {
+                blocked[rank] = true;
+                for (other, other_state) in states.iter().enumerate() {
+                    if other == rank {
+                        continue;
+                    }
+                    let arrived = matches!(
+                        other_state,
+                        WaitState::BarrierWait { generation: g } if g == generation
+                    );
+                    if !arrived {
+                        edges[rank].push(other);
+                    }
+                }
+            }
+            WaitState::Running | WaitState::Finished | WaitState::Panicked => {}
+        }
+    }
+
+    // Dead dependency: a blocked rank waiting on a rank that can never act.
+    for rank in 0..n {
+        if !blocked[rank] {
+            continue;
+        }
+        for &target in &edges[rank] {
+            if matches!(states[target], WaitState::Finished | WaitState::Panicked) {
+                return Some(DeadlockReport {
+                    states: states.to_vec(),
+                    cycle: None,
+                    dead_dependency: Some((rank, target)),
+                });
+            }
+        }
+    }
+
+    // Cycle among blocked ranks (edges into non-blocked ranks cannot be part
+    // of a deadlock: a running rank can still make progress).
+    let mut color = vec![0u8; n]; // 0 = white, 1 = on stack, 2 = done
+    let mut stack: Vec<usize> = Vec::new();
+    for start in 0..n {
+        if !blocked[start] || color[start] != 0 {
+            continue;
+        }
+        // Iterative DFS keeping the current path in `stack`.
+        let mut frames: Vec<(usize, usize)> = vec![(start, 0)];
+        color[start] = 1;
+        stack.push(start);
+        while !frames.is_empty() {
+            let (node, next) = {
+                let frame = frames.last_mut().expect("non-empty");
+                let node = frame.0;
+                let mut found = None;
+                while frame.1 < edges[node].len() {
+                    let target = edges[node][frame.1];
+                    frame.1 += 1;
+                    if blocked[target] {
+                        found = Some(target);
+                        break;
+                    }
+                }
+                (node, found)
+            };
+            match next {
+                Some(target) if color[target] == 1 => {
+                    // Found a cycle: slice the current path from `target`.
+                    let pos = stack
+                        .iter()
+                        .position(|&r| r == target)
+                        .expect("on-stack node is in path");
+                    return Some(DeadlockReport {
+                        states: states.to_vec(),
+                        cycle: Some(stack[pos..].to_vec()),
+                        dead_dependency: None,
+                    });
+                }
+                Some(target) if color[target] == 0 => {
+                    color[target] = 1;
+                    stack.push(target);
+                    frames.push((target, 0));
+                }
+                Some(_) => {} // already fully explored
+                None => {
+                    color[node] = 2;
+                    stack.pop();
+                    frames.pop();
+                }
+            }
+        }
+    }
+
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn no_messages(_: usize, _: usize, _: u32) -> bool {
+        false
+    }
+
+    #[test]
+    fn mutual_recv_cycle() {
+        let states = vec![
+            WaitState::RecvWait { src: 1, tag: 1 },
+            WaitState::RecvWait { src: 0, tag: 2 },
+        ];
+        let report = diagnose_deadlock(&states, no_messages).expect("deadlock");
+        let cycle = report.cycle.as_ref().expect("cyclic");
+        assert_eq!(cycle.len(), 2);
+        let text = report.to_string();
+        assert!(text.contains("rank 0") && text.contains("rank 1"));
+        assert!(text.contains("cycle"));
+    }
+
+    #[test]
+    fn wait_on_finished_rank() {
+        let states = vec![WaitState::Finished, WaitState::RecvWait { src: 0, tag: 7 }];
+        let report = diagnose_deadlock(&states, no_messages).expect("deadlock");
+        assert_eq!(report.dead_dependency, Some((1, 0)));
+        assert!(report.to_string().contains("can never satisfy"));
+    }
+
+    #[test]
+    fn queued_message_suppresses_report() {
+        let states = vec![WaitState::Finished, WaitState::RecvWait { src: 0, tag: 7 }];
+        let report = diagnose_deadlock(&states, |src, dst, tag| (src, dst, tag) == (0, 1, 7));
+        assert!(report.is_none(), "rank 1 is about to wake");
+    }
+
+    #[test]
+    fn running_peer_is_not_a_deadlock() {
+        let states = vec![WaitState::Running, WaitState::RecvWait { src: 0, tag: 7 }];
+        assert!(diagnose_deadlock(&states, no_messages).is_none());
+    }
+
+    #[test]
+    fn barrier_vs_recv_cycle() {
+        // rank 0 at barrier; rank 1 waiting on a message from rank 0.
+        let states = vec![
+            WaitState::BarrierWait { generation: 0 },
+            WaitState::RecvWait { src: 0, tag: 5 },
+        ];
+        let report = diagnose_deadlock(&states, no_messages).expect("deadlock");
+        assert!(report.cycle.is_some());
+    }
+
+    #[test]
+    fn barrier_with_running_straggler_is_fine() {
+        let states = vec![
+            WaitState::BarrierWait { generation: 2 },
+            WaitState::BarrierWait { generation: 2 },
+            WaitState::Running,
+        ];
+        assert!(diagnose_deadlock(&states, no_messages).is_none());
+    }
+
+    #[test]
+    fn barrier_with_finished_straggler_is_deadlock() {
+        let states = vec![
+            WaitState::BarrierWait { generation: 0 },
+            WaitState::Finished,
+        ];
+        let report = diagnose_deadlock(&states, no_messages).expect("deadlock");
+        assert_eq!(report.dead_dependency, Some((0, 1)));
+    }
+
+    #[test]
+    fn three_rank_cycle_found() {
+        let states = vec![
+            WaitState::RecvWait { src: 2, tag: 0 },
+            WaitState::RecvWait { src: 0, tag: 0 },
+            WaitState::RecvWait { src: 1, tag: 0 },
+        ];
+        let report = diagnose_deadlock(&states, no_messages).expect("deadlock");
+        assert_eq!(report.cycle.map(|c| c.len()), Some(3));
+    }
+}

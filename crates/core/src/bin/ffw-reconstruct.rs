@@ -57,7 +57,9 @@ fn parse_args() -> Result<Cli, String> {
             "--tx" => cli.tx = val("--tx")?.parse().map_err(|e| format!("{e}"))?,
             "--rx" => cli.rx = val("--rx")?.parse().map_err(|e| format!("{e}"))?,
             "--phantom" => cli.phantom = val("--phantom")?,
-            "--contrast" => cli.contrast = val("--contrast")?.parse().map_err(|e| format!("{e}"))?,
+            "--contrast" => {
+                cli.contrast = val("--contrast")?.parse().map_err(|e| format!("{e}"))?
+            }
             "--iterations" => {
                 cli.iterations = val("--iterations")?.parse().map_err(|e| format!("{e}"))?
             }
@@ -166,8 +168,14 @@ fn main() {
 
     if let Some(prefix) = &cli.out {
         let vmax = cli.contrast.max(1e-9);
-        write_pgm(format!("{prefix}_truth.pgm"), &truth_raster, cli.size, 0.0, vmax)
-            .expect("write truth image");
+        write_pgm(
+            format!("{prefix}_truth.pgm"),
+            &truth_raster,
+            cli.size,
+            0.0,
+            vmax,
+        )
+        .expect("write truth image");
         write_pgm(
             format!("{prefix}_reconstruction.pgm"),
             &image,

@@ -6,9 +6,7 @@
 //! plus the per-matvec translation/near-field exchanges within a group.
 
 use crate::engine::DistMlfma;
-use crate::solver::{
-    allreduce_scalars, dist_bicgstab, DistAdjointScatteringOp, DistScatteringOp,
-};
+use crate::solver::{allreduce_scalars, dist_bicgstab, DistAdjointScatteringOp, DistScatteringOp};
 use ffw_inverse::{DbimConfig, ImagingSetup};
 use ffw_mlfma::MlfmaPlan;
 use ffw_mpi::Comm;
@@ -52,8 +50,9 @@ pub fn dist_dbim(
     let rank = comm.rank();
     let group = rank / subtree_ranks;
     let slot = rank % subtree_ranks;
-    let group_members: Vec<usize> =
-        (0..subtree_ranks).map(|s| group * subtree_ranks + s).collect();
+    let group_members: Vec<usize> = (0..subtree_ranks)
+        .map(|s| group * subtree_ranks + s)
+        .collect();
     let slot_siblings: Vec<usize> = (0..groups).map(|g| g * subtree_ranks + slot).collect();
     let all_members: Vec<usize> = (0..comm.size()).collect();
     let my_txs: Vec<usize> = (group * tx_per_group..(group + 1) * tx_per_group).collect();
@@ -118,7 +117,11 @@ pub fn dist_dbim(
         let mut g0hz = vec![C64::ZERO; n_local];
         for (i, _t) in my_txs.iter().enumerate() {
             setup.gr_adjoint_apply_cols(cols.clone(), &residuals[i], &mut y);
-            let rhs: Vec<C64> = object.iter().zip(&y).map(|(o, yi)| o.conj() * *yi).collect();
+            let rhs: Vec<C64> = object
+                .iter()
+                .zip(&y)
+                .map(|(o, yi)| o.conj() * *yi)
+                .collect();
             let mut z = vec![C64::ZERO; n_local];
             let ah = DistAdjointScatteringOp {
                 g0: &g0,
@@ -199,7 +202,11 @@ pub fn dist_dbim(
         }
         let mut nd = [c64(num_local, 0.0), c64(den_local, 0.0)];
         allreduce_scalars(comm, &all_members, &mut nd);
-        let alpha = if nd[1].re > 0.0 { nd[0].re / nd[1].re } else { 0.0 };
+        let alpha = if nd[1].re > 0.0 {
+            nd[0].re / nd[1].re
+        } else {
+            0.0
+        };
         for j in 0..n_local {
             object[j] += alpha * dir[j];
         }

@@ -172,10 +172,10 @@ impl<'c> DistMlfma<'c> {
             }
             if self.aggregate_buffers {
                 let mut buf = Vec::new();
-                for li in 0..n_levels {
+                for (li, out_l) in outgoing.iter().enumerate() {
                     let q = plan.levels[li].q;
                     for &cl in &self.exch.send[peer_slot][li] {
-                        buf.extend_from_slice(&outgoing[li][cl * q..(cl + 1) * q]);
+                        buf.extend_from_slice(&out_l[cl * q..(cl + 1) * q]);
                     }
                 }
                 if !buf.is_empty() {
@@ -186,13 +186,13 @@ impl<'c> DistMlfma<'c> {
                     );
                 }
             } else {
-                for li in 0..n_levels {
+                for (li, out_l) in outgoing.iter().enumerate() {
                     let q = plan.levels[li].q;
                     for &cl in &self.exch.send[peer_slot][li] {
                         self.comm.send(
                             self.members[peer_slot],
                             TAG_FARFIELD_LEVEL_BASE + li as u32,
-                            Payload::C64(pack(&outgoing[li][cl * q..(cl + 1) * q])),
+                            Payload::C64(pack(&out_l[cl * q..(cl + 1) * q])),
                         );
                     }
                 }
@@ -205,10 +205,7 @@ impl<'c> DistMlfma<'c> {
             if leaves.is_empty() {
                 continue;
             }
-            let data = self
-                .comm
-                .recv(self.members[peer_slot], TAG_HALO)
-                .into_c64();
+            let data = self.comm.recv(self.members[peer_slot], TAG_HALO).into_c64();
             assert_eq!(data.len(), leaves.len() * LEAF_PIXELS);
             for (i, &leaf) in leaves.iter().enumerate() {
                 let mut block = vec![C64::ZERO; LEAF_PIXELS];
@@ -233,8 +230,8 @@ impl<'c> DistMlfma<'c> {
             let leaf_range = self.part.leaf_range();
             for c in leaf_range.clone() {
                 let (ix, iy) = morton_decode(c as u32);
-                let out = &mut y_local
-                    [c * LEAF_PIXELS - px_start..(c + 1) * LEAF_PIXELS - px_start];
+                let out =
+                    &mut y_local[c * LEAF_PIXELS - px_start..(c + 1) * LEAF_PIXELS - px_start];
                 out.iter_mut().for_each(|v| *v = C64::ZERO);
                 for (sx, sy, off) in plan.tree.near_list(ix as usize, iy as usize) {
                     let s = morton_encode(sx as u32, sy as u32) as usize;
@@ -263,25 +260,22 @@ impl<'c> DistMlfma<'c> {
                     .into_c64();
                 assert_eq!(data.len(), expect);
                 let mut cursor = 0usize;
-                for li in 0..n_levels {
+                for (li, out_l) in outgoing.iter_mut().enumerate() {
                     let q = plan.levels[li].q;
                     for &cl in &self.exch.recv[peer_slot][li] {
-                        unpack_into(
-                            &data[cursor..cursor + q],
-                            &mut outgoing[li][cl * q..(cl + 1) * q],
-                        );
+                        unpack_into(&data[cursor..cursor + q], &mut out_l[cl * q..(cl + 1) * q]);
                         cursor += q;
                     }
                 }
             } else {
-                for li in 0..n_levels {
+                for (li, out_l) in outgoing.iter_mut().enumerate() {
                     let q = plan.levels[li].q;
                     for &cl in &self.exch.recv[peer_slot][li] {
                         let data = self
                             .comm
                             .recv(self.members[peer_slot], TAG_FARFIELD_LEVEL_BASE + li as u32)
                             .into_c64();
-                        unpack_into(&data, &mut outgoing[li][cl * q..(cl + 1) * q]);
+                        unpack_into(&data, &mut out_l[cl * q..(cl + 1) * q]);
                     }
                 }
             }
@@ -300,7 +294,9 @@ impl<'c> DistMlfma<'c> {
                 let (head, tail) = incoming[li].split_at_mut(obs * q);
                 let _ = head;
                 let out = &mut tail[..q];
-                for (sx, sy, off) in plan.tree.interaction_list(lp.level, ix as usize, iy as usize)
+                for (sx, sy, off) in plan
+                    .tree
+                    .interaction_list(lp.level, ix as usize, iy as usize)
                 {
                     let s = morton_encode(sx as u32, sy as u32) as usize;
                     let t = lp.translations[offset_index(off)].as_ref().expect("t");
@@ -351,8 +347,8 @@ impl<'c> DistMlfma<'c> {
             for c in self.part.leaf_range() {
                 far.iter_mut().for_each(|v| *v = C64::ZERO);
                 e.matvec_adjoint_acc(&leaf_pat[c * q..(c + 1) * q], &mut far);
-                let out = &mut y_local
-                    [c * LEAF_PIXELS - px_start..(c + 1) * LEAF_PIXELS - px_start];
+                let out =
+                    &mut y_local[c * LEAF_PIXELS - px_start..(c + 1) * LEAF_PIXELS - px_start];
                 for (o, f) in out.iter_mut().zip(&far) {
                     *o += *f * w;
                 }
@@ -373,9 +369,13 @@ mod tests {
         let mut s = seed;
         (0..n)
             .map(|_| {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let a = ((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5;
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let b = ((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5;
                 c64(a, b)
             })

@@ -35,7 +35,7 @@ impl SubtreePartition {
     /// (1, 2, 4, 8 or 16).
     pub fn new(plan: &MlfmaPlan, n_ranks: usize, rank: usize) -> Self {
         assert!(
-            n_ranks >= 1 && MAX_SUBTREE_RANKS % n_ranks == 0,
+            n_ranks >= 1 && MAX_SUBTREE_RANKS.is_multiple_of(n_ranks),
             "sub-tree ranks must divide {MAX_SUBTREE_RANKS}, got {n_ranks}"
         );
         assert!(rank < n_ranks);
@@ -110,7 +110,9 @@ impl ExchangePlan {
                 vec![Default::default(); n_ranks];
             for c in range.clone() {
                 let (ix, iy) = morton_decode(c as u32);
-                for (sx, sy, _off) in plan.tree.interaction_list(lp.level, ix as usize, iy as usize)
+                for (sx, sy, _off) in plan
+                    .tree
+                    .interaction_list(lp.level, ix as usize, iy as usize)
                 {
                     let s = morton_encode(sx as u32, sy as u32) as usize;
                     let owner = SubtreePartition::owner_of(plan, n_ranks, li, s);

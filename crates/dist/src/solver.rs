@@ -12,11 +12,34 @@ use ffw_solver::{IterConfig, SolveStats};
 
 /// Sum-allreduce of complex scalars among an explicit member list (global
 /// rank ids; `members[0]` acts as the root).
+///
+/// Misuse is diagnosed rather than hung: the member list is validated up
+/// front (every caller must appear in its own list, members must be valid
+/// and distinct), and if the member lists *across* ranks disagree — so some
+/// rank waits for a contribution that never comes — the `ffw-mpi` deadlock
+/// watchdog reconstructs the wait-for graph and fails the run with a report
+/// naming the stuck ranks.
 pub fn allreduce_scalars(comm: &Comm, members: &[usize], vals: &mut [C64]) {
     if members.len() <= 1 {
         return;
     }
     let me = comm.rank();
+    assert!(
+        members.contains(&me),
+        "allreduce_scalars: rank {me} called with member list {members:?} that \
+         does not include itself"
+    );
+    for (i, &m) in members.iter().enumerate() {
+        assert!(
+            m < comm.size(),
+            "allreduce_scalars: member {m} out of range (communicator has {} ranks)",
+            comm.size()
+        );
+        assert!(
+            !members[..i].contains(&m),
+            "allreduce_scalars: member {m} listed twice in {members:?}"
+        );
+    }
     let mut packed: Vec<(f64, f64)> = vals.iter().map(|v| (v.re, v.im)).collect();
     const TAG_UP: u32 = 0x200;
     const TAG_DOWN: u32 = 0x201;
@@ -238,9 +261,13 @@ mod tests {
         let mut s = seed;
         (0..n)
             .map(|_| {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let a = ((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5;
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let b = ((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5;
                 c64(a, b)
             })
@@ -251,7 +278,10 @@ mod tests {
     fn allreduce_scalars_sums_across_members() {
         let (results, _) = ffw_mpi::run(4, |comm| {
             let members: Vec<usize> = (0..comm.size()).collect();
-            let mut vals = [c64(comm.rank() as f64, 1.0), c64(2.0, -(comm.rank() as f64))];
+            let mut vals = [
+                c64(comm.rank() as f64, 1.0),
+                c64(2.0, -(comm.rank() as f64)),
+            ];
             allreduce_scalars(&comm, &members, &mut vals);
             vals
         });
@@ -272,6 +302,28 @@ mod tests {
             v[0].re
         });
         assert_eq!(results, vec![4.0, 6.0, 4.0, 6.0]); // 1+3, 2+4
+    }
+
+    #[test]
+    fn allreduce_scalars_rejects_nonmember_caller() {
+        // A rank reducing over a member list it is not part of is a protocol
+        // bug that previously manifested as a hang; it must now fail fast
+        // with a diagnostic (the rank's own assert, propagated by ffw-mpi).
+        let result = std::panic::catch_unwind(|| {
+            let _ = ffw_mpi::run_with_timeout(3, std::time::Duration::from_millis(80), |comm| {
+                // Ranks 0 and 1 reduce correctly; rank 2 passes a member list
+                // it does not belong to.
+                let members = vec![0, 1];
+                let mut v = [c64(1.0, 0.0)];
+                allreduce_scalars(&comm, &members, &mut v);
+            });
+        });
+        let msg = result
+            .expect_err("must panic")
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("does not include itself"), "got: {msg}");
     }
 
     #[test]
@@ -342,8 +394,14 @@ mod tests {
             let r = comm.rank();
             let g0 = DistMlfma::new(&comm, Arc::clone(&plan2), members.clone(), true);
             let ol = &o_ref[r * per..(r + 1) * per];
-            let a = DistScatteringOp { g0: &g0, object_local: ol };
-            let ah = DistAdjointScatteringOp { g0: &g0, object_local: ol };
+            let a = DistScatteringOp {
+                g0: &g0,
+                object_local: ol,
+            };
+            let ah = DistAdjointScatteringOp {
+                g0: &g0,
+                object_local: ol,
+            };
             let mut ax = vec![C64::ZERO; per];
             a.apply_local(&x_ref[r * per..(r + 1) * per], &mut ax);
             let mut ahy = vec![C64::ZERO; per];
@@ -359,6 +417,9 @@ mod tests {
         // The adjoint reuses G0^T = G0, which the MLFMA *approximation*
         // satisfies only to its own accuracy (~1e-3 at Accuracy::low); the
         // identity must hold at that level, not machine precision.
-        assert!((lhs - rhs).abs() < 1e-2 * lhs.abs().max(1.0), "{lhs:?} vs {rhs:?}");
+        assert!(
+            (lhs - rhs).abs() < 1e-2 * lhs.abs().max(1.0),
+            "{lhs:?} vs {rhs:?}"
+        );
     }
 }

@@ -53,7 +53,7 @@ impl QuadTree {
     pub fn new(domain: &Domain) -> Self {
         let n = domain.n_side();
         assert!(
-            n % LEAF_SIDE == 0 && (n / LEAF_SIDE).is_power_of_two(),
+            n.is_multiple_of(LEAF_SIDE) && (n / LEAF_SIDE).is_power_of_two(),
             "grid side {n} must be LEAF_SIDE * 2^m"
         );
         let leaves_per_side = n / LEAF_SIDE;
@@ -118,10 +118,7 @@ impl QuadTree {
         let (ix, iy) = morton_decode(m);
         let w = self.cluster_width(level);
         let half = 0.5 * self.side;
-        pt(
-            (ix as f64 + 0.5) * w - half,
-            (iy as f64 + 0.5) * w - half,
-        )
+        pt((ix as f64 + 0.5) * w - half, (iy as f64 + 0.5) * w - half)
     }
 
     /// Tree-order index of the pixel at grid coordinates `(px, py)`:
@@ -290,7 +287,10 @@ mod tests {
     fn cluster_geometry() {
         let t = tree(64); // 6.4 lambda, leaf level 3
         assert_eq!(t.leaf_level(), 3);
-        assert!((t.cluster_width(3) - 0.8).abs() < 1e-12, "0.8 lambda leaves");
+        assert!(
+            (t.cluster_width(3) - 0.8).abs() < 1e-12,
+            "0.8 lambda leaves"
+        );
         // Cluster (0,0) center at top level: -D/2 + w/2 in both coords.
         let c = t.cluster_center(2, 0);
         assert!((c.x - (-3.2 + 0.8)).abs() < 1e-12);

@@ -86,7 +86,10 @@ mod tests {
         assert!((a.position(0).x - 2.0).abs() < 1e-14);
         let d01 = a.position(0).dist(a.position(1));
         let d70 = a.position(7).dist(a.position(0));
-        assert!((d01 - d70).abs() < 1e-12, "uniform spacing incl. wraparound");
+        assert!(
+            (d01 - d70).abs() < 1e-12,
+            "uniform spacing incl. wraparound"
+        );
     }
 
     #[test]

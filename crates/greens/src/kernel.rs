@@ -121,7 +121,7 @@ mod tests {
         let a = 0.1 / std::f64::consts::PI.sqrt();
         let kern = Kernel::new(k, a);
         let robs = 0.35; // distance from disk center
-        // 2-D quadrature over the disk
+                         // 2-D quadrature over the disk
         let n = 600;
         let mut acc = C64::ZERO;
         let h = 2.0 * a / n as f64;

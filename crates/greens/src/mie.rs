@@ -8,7 +8,7 @@
 
 use ffw_geometry::Point2;
 use ffw_numerics::bessel::{hankel1_array, jn_array};
-use ffw_numerics::{C64};
+use ffw_numerics::C64;
 
 /// Analytic solution for a unit-amplitude plane wave `e^{i k x}` scattering
 /// off a dielectric cylinder of the given radius centered at the origin.
@@ -98,8 +98,8 @@ impl MieCylinder {
         if r < self.radius {
             let j = jn_array(nmax, self.k1 * r);
             let mut acc = self.c[0] * j[0];
-            for n in 1..=nmax {
-                acc += self.c[n] * j[n] * (2.0 * (n as f64 * phi).cos());
+            for (n, &jn) in j.iter().enumerate().skip(1) {
+                acc += self.c[n] * jn * (2.0 * (n as f64 * phi).cos());
             }
             acc
         } else {
@@ -122,8 +122,8 @@ impl MieCylinder {
         let nmax = self.b.len() - 1;
         let h = hankel1_array(nmax, self.k * r);
         let mut acc = self.b[0] * h[0];
-        for n in 1..=nmax {
-            acc += self.b[n] * h[n] * (2.0 * (n as f64 * phi).cos());
+        for (n, &hn) in h.iter().enumerate().skip(1) {
+            acc += self.b[n] * hn * (2.0 * (n as f64 * phi).cos());
         }
         acc
     }

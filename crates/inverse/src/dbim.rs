@@ -196,7 +196,11 @@ pub fn dbim<G: LinOp + ?Sized>(
         let mut g0hz = vec![C64::ZERO; n];
         for t in 0..n_tx {
             setup.gr_adjoint_apply(&residuals[t], &mut y);
-            let rhs: Vec<C64> = object.iter().zip(&y).map(|(o, yi)| o.conj() * *yi).collect();
+            let rhs: Vec<C64> = object
+                .iter()
+                .zip(&y)
+                .map(|(o, yi)| o.conj() * *yi)
+                .collect();
             let mut z = vec![C64::ZERO; n];
             let stats = match &preconds {
                 Some((_, mh)) => {

@@ -88,7 +88,9 @@ mod tests {
     use crate::problem::synthesize_measurements;
     use ffw_geometry::{Domain, Point2, QuadTree, TransducerArray};
     use ffw_greens::{assemble_g0, tree_positions, Kernel};
-    use ffw_phantom::{contrast_from_object, image_rel_error, object_from_contrast, Cylinder, Phantom};
+    use ffw_phantom::{
+        contrast_from_object, image_rel_error, object_from_contrast, Cylinder, Phantom,
+    };
 
     /// Builds a setup + dense G0 at the given wavelength on one fixed
     /// physical 32x32 grid sized lambda/10 at the highest frequency

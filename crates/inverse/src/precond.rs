@@ -93,10 +93,10 @@ impl Precond for LeafBlockJacobi {
 mod tests {
     use super::*;
     use ffw_geometry::{Domain, QuadTree};
+    use ffw_greens::{assemble_g0, tree_positions, Kernel};
     use ffw_mlfma::Accuracy;
     use ffw_phantom::{object_from_contrast, Cylinder, Phantom};
     use ffw_solver::{bicgstab, bicgstab_precond, IterConfig, ScatteringOp};
-    use ffw_greens::{assemble_g0, tree_positions, Kernel};
 
     fn scene(contrast: f64) -> (MlfmaPlan, Vec<C64>, Matrix) {
         let domain = Domain::new(32, 1.0);

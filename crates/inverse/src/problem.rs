@@ -164,6 +164,42 @@ pub fn add_noise(data: &mut [Vec<C64>], snr_db: f64, seed: u64) {
     }
 }
 
+impl ImagingSetup {
+    /// `out = GR[:, cols] w_local`: the column-sliced receiver operator used
+    /// by the sub-tree-distributed solver (each rank contributes its pixel
+    /// range; the group reduces the partial receiver vectors).
+    pub fn gr_apply_cols(&self, cols: std::ops::Range<usize>, w_local: &[C64], out: &mut [C64]) {
+        assert_eq!(w_local.len(), cols.len());
+        assert_eq!(out.len(), self.n_rx());
+        for (r, o) in out.iter_mut().enumerate() {
+            let mut acc = C64::ZERO;
+            let row = &self.gr.row(r)[cols.clone()];
+            for (g, w) in row.iter().zip(w_local) {
+                acc = g.mul_add(*w, acc);
+            }
+            *o = acc;
+        }
+    }
+
+    /// `out_local = (GR^H b)[cols]`: column-sliced adjoint.
+    pub fn gr_adjoint_apply_cols(
+        &self,
+        cols: std::ops::Range<usize>,
+        b: &[C64],
+        out_local: &mut [C64],
+    ) {
+        assert_eq!(b.len(), self.n_rx());
+        assert_eq!(out_local.len(), cols.len());
+        out_local.iter_mut().for_each(|v| *v = C64::ZERO);
+        for (r, br) in b.iter().enumerate() {
+            let row = &self.gr.row(r)[cols.clone()];
+            for (o, g) in out_local.iter_mut().zip(row) {
+                *o = g.conj().mul_add(*br, *o);
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -205,7 +241,9 @@ mod tests {
         let s = tiny_setup();
         let n = s.n_pixels();
         let w: Vec<C64> = (0..n).map(|i| C64::cis(0.3 * i as f64)).collect();
-        let b: Vec<C64> = (0..s.n_rx()).map(|i| C64::cis(1.1 * i as f64 + 0.2)).collect();
+        let b: Vec<C64> = (0..s.n_rx())
+            .map(|i| C64::cis(1.1 * i as f64 + 0.2))
+            .collect();
         let mut grw = vec![C64::ZERO; s.n_rx()];
         s.gr_apply(&w, &mut grw);
         let mut ghb = vec![C64::ZERO; n];
@@ -228,8 +266,14 @@ mod tests {
 
     #[test]
     fn relative_residual_metric() {
-        let m = vec![vec![ffw_numerics::c64(3.0, 0.0)], vec![ffw_numerics::c64(4.0, 0.0)]];
-        let r = vec![vec![ffw_numerics::c64(0.3, 0.0)], vec![ffw_numerics::c64(0.4, 0.0)]];
+        let m = vec![
+            vec![ffw_numerics::c64(3.0, 0.0)],
+            vec![ffw_numerics::c64(4.0, 0.0)],
+        ];
+        let r = vec![
+            vec![ffw_numerics::c64(0.3, 0.0)],
+            vec![ffw_numerics::c64(0.4, 0.0)],
+        ];
         assert!((ImagingSetup::relative_residual(&r, &m) - 0.1).abs() < 1e-14);
     }
 
@@ -247,41 +291,5 @@ mod tests {
         let den: f64 = clean.iter().flatten().map(|v| v.norm_sqr()).sum();
         let snr = -10.0 * (num / den).log10();
         assert!((snr - 20.0).abs() < 1.5, "snr = {snr}");
-    }
-}
-
-impl ImagingSetup {
-    /// `out = GR[:, cols] w_local`: the column-sliced receiver operator used
-    /// by the sub-tree-distributed solver (each rank contributes its pixel
-    /// range; the group reduces the partial receiver vectors).
-    pub fn gr_apply_cols(&self, cols: std::ops::Range<usize>, w_local: &[C64], out: &mut [C64]) {
-        assert_eq!(w_local.len(), cols.len());
-        assert_eq!(out.len(), self.n_rx());
-        for (r, o) in out.iter_mut().enumerate() {
-            let mut acc = C64::ZERO;
-            let row = &self.gr.row(r)[cols.clone()];
-            for (g, w) in row.iter().zip(w_local) {
-                acc = g.mul_add(*w, acc);
-            }
-            *o = acc;
-        }
-    }
-
-    /// `out_local = (GR^H b)[cols]`: column-sliced adjoint.
-    pub fn gr_adjoint_apply_cols(
-        &self,
-        cols: std::ops::Range<usize>,
-        b: &[C64],
-        out_local: &mut [C64],
-    ) {
-        assert_eq!(b.len(), self.n_rx());
-        assert_eq!(out_local.len(), cols.len());
-        out_local.iter_mut().for_each(|v| *v = C64::ZERO);
-        for (r, br) in b.iter().enumerate() {
-            let row = &self.gr.row(r)[cols.clone()];
-            for (o, g) in out_local.iter_mut().zip(row) {
-                *o = g.conj().mul_add(*br, *o);
-            }
-        }
     }
 }

@@ -143,7 +143,9 @@ impl MlfmaEngine {
                 for v in out[q_range.clone()].iter_mut() {
                     *v = C64::ZERO;
                 }
-                for (sx, sy, off) in plan.tree.interaction_list(lp.level, ix as usize, iy as usize)
+                for (sx, sy, off) in plan
+                    .tree
+                    .interaction_list(lp.level, ix as usize, iy as usize)
                 {
                     let s = morton_encode(sx as u32, sy as u32) as usize;
                     let t = lp.translations[offset_index(off)]
@@ -249,7 +251,7 @@ impl MlfmaEngine {
             expansion.matvec_adjoint_acc(&leaf_pat[c * q..(c + 1) * q], out);
             let w = coupling * inv_q;
             for v in out.iter_mut() {
-                *v = *v * w;
+                *v *= w;
             }
             // Near field: 9 dense blocks
             let _ = leaf_side;
@@ -274,16 +276,20 @@ mod tests {
     use crate::params::Accuracy;
     use ffw_geometry::Domain;
     use ffw_greens::{tree_positions, DirectG0};
-    use ffw_numerics::vecops::rel_diff;
     use ffw_numerics::c64;
+    use ffw_numerics::vecops::rel_diff;
 
     fn random_x(n: usize, seed: u64) -> Vec<C64> {
         let mut s = seed;
         (0..n)
             .map(|_| {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let a = ((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5;
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let b = ((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5;
                 c64(a, b)
             })
@@ -407,10 +413,7 @@ mod tests {
         eng.apply(&z, &mut gz);
         let lhs: C64 = z.iter().zip(&gx).map(|(a, b)| *a * *b).sum();
         let rhs: C64 = x.iter().zip(&gz).map(|(a, b)| *a * *b).sum();
-        assert!(
-            (lhs - rhs).abs() / lhs.abs() < 1e-6,
-            "{lhs:?} vs {rhs:?}"
-        );
+        assert!((lhs - rhs).abs() / lhs.abs() < 1e-6, "{lhs:?} vs {rhs:?}");
     }
 }
 
@@ -421,16 +424,20 @@ mod spectral_tests {
     use crate::plan::MlfmaPlan;
     use ffw_geometry::Domain;
     use ffw_greens::{tree_positions, DirectG0};
-    use ffw_numerics::vecops::rel_diff;
     use ffw_numerics::c64;
+    use ffw_numerics::vecops::rel_diff;
 
     fn random_x(n: usize, seed: u64) -> Vec<C64> {
         let mut s = seed;
         (0..n)
             .map(|_| {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let a = ((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5;
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let b = ((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5;
                 c64(a, b)
             })
@@ -458,7 +465,10 @@ mod spectral_tests {
         };
         let band_err = run(Accuracy::default());
         let spectral_err = run(Accuracy::default().spectral());
-        assert!(spectral_err < 1e-5, "spectral path accurate: {spectral_err:e}");
+        assert!(
+            spectral_err < 1e-5,
+            "spectral path accurate: {spectral_err:e}"
+        );
         assert!(
             spectral_err <= band_err * 1.2,
             "spectral must not lose to band: {spectral_err:e} vs {band_err:e}"

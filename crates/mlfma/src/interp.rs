@@ -55,10 +55,7 @@ mod tests {
                 let a = 2.0 * std::f64::consts::PI * j as f64 / q as f64;
                 let mut acc = C64::ZERO;
                 for m in -l..=l {
-                    let cm = c64(
-                        (m as f64 * 0.71).sin() + 0.2,
-                        (m as f64 * 1.31).cos() * 0.5,
-                    );
+                    let cm = c64((m as f64 * 0.71).sin() + 0.2, (m as f64 * 1.31).cos() * 0.5);
                     acc += cm * C64::cis(m as f64 * a);
                 }
                 acc

@@ -25,14 +25,12 @@
 
 use crate::interp::lagrange_interp_matrix;
 use crate::params::{Accuracy, InterpKind};
-use ffw_geometry::{
-    Domain, Offset, QuadTree, LEAF_PIXELS, LEAF_SIDE, NEAR_OFFSETS, TOP_LEVEL,
-};
+use ffw_geometry::{Domain, Offset, QuadTree, LEAF_PIXELS, LEAF_SIDE, NEAR_OFFSETS, TOP_LEVEL};
 use ffw_greens::Kernel;
 use ffw_numerics::bessel::hankel1_array;
 use ffw_numerics::fft::{resample_with_plans, Fft};
 use ffw_numerics::linalg::{Matrix, PeriodicBandMatrix};
-use ffw_numerics::{C64};
+use ffw_numerics::C64;
 
 /// Maps a translation offset to its dense index in `0..49` (7x7 grid of
 /// offsets; only the 40 with `max(|dx|,|dy|) >= 2` are populated).
@@ -61,7 +59,10 @@ impl InterpOp {
     pub fn up(&self, child: &[C64], out: &mut [C64]) {
         match self {
             InterpOp::Band(m) => m.apply(child, out),
-            InterpOp::Spectral { fft_child, fft_parent } => {
+            InterpOp::Spectral {
+                fft_child,
+                fft_parent,
+            } => {
                 let v = resample_with_plans(fft_child, fft_parent, child);
                 out.copy_from_slice(&v);
             }
@@ -74,7 +75,10 @@ impl InterpOp {
     pub fn down_add(&self, parent: &[C64], band_scale: f64, out: &mut [C64]) {
         match self {
             InterpOp::Band(m) => m.apply_transpose_scaled(parent, band_scale, out),
-            InterpOp::Spectral { fft_child, fft_parent } => {
+            InterpOp::Spectral {
+                fft_child,
+                fft_parent,
+            } => {
                 let v = resample_with_plans(fft_parent, fft_child, parent);
                 for (o, x) in out.iter_mut().zip(v) {
                     *o += x;
@@ -165,12 +169,11 @@ impl MlfmaPlan {
                 let h = hankel1_array(l_trunc, k * dist);
                 let t: Vec<C64> = (0..q)
                     .map(|qi| {
-                        let theta =
-                            2.0 * std::f64::consts::PI * qi as f64 / q as f64 - phi_x;
+                        let theta = 2.0 * std::f64::consts::PI * qi as f64 / q as f64 - phi_x;
                         let mut acc = h[0];
-                        for m in 1..=l_trunc {
+                        for (m, &hm) in h.iter().enumerate().skip(1) {
                             // i^m H_m (e^{im t} + e^{-im t}) = i^m H_m 2 cos(m t)
-                            acc += C64::i_pow(m as i64) * h[m] * (2.0 * (m as f64 * theta).cos());
+                            acc += C64::i_pow(m as i64) * hm * (2.0 * (m as f64 * theta).cos());
                         }
                         acc
                     })
@@ -203,11 +206,9 @@ impl MlfmaPlan {
                     shift_in.push(inn);
                 }
                 let interp = match accuracy.interp_kind {
-                    InterpKind::BandDiagonal => InterpOp::Band(lagrange_interp_matrix(
-                        q_child,
-                        q,
-                        accuracy.interp_order,
-                    )),
+                    InterpKind::BandDiagonal => {
+                        InterpOp::Band(lagrange_interp_matrix(q_child, q, accuracy.interp_order))
+                    }
                     InterpKind::Spectral => InterpOp::Spectral {
                         fft_child: Fft::new(q_child),
                         fft_parent: Fft::new(q),
@@ -339,7 +340,8 @@ impl MlfmaPlan {
             });
         }
         let n_leaves = self.tree.n_leaves();
-        let expansion_flops = n_leaves as f64 * self.leaf_plan().q as f64 * LEAF_PIXELS as f64 * cmul;
+        let expansion_flops =
+            n_leaves as f64 * self.leaf_plan().q as f64 * LEAF_PIXELS as f64 * cmul;
         // near-field pairs (in-bounds)
         let leaf_side = self.tree.clusters_per_side(self.tree.leaf_level());
         let mut near_pairs = 0usize;
@@ -452,8 +454,8 @@ pub fn translator(k: f64, x_vec: (f64, f64), l_trunc: usize, q: usize) -> Vec<C6
         .map(|qi| {
             let theta = 2.0 * std::f64::consts::PI * qi as f64 / q as f64 - phi_x;
             let mut acc = h[0];
-            for m in 1..=l_trunc {
-                acc += C64::i_pow(m as i64) * h[m] * (2.0 * (m as f64 * theta).cos());
+            for (m, &hm) in h.iter().enumerate().skip(1) {
+                acc += C64::i_pow(m as i64) * hm * (2.0 * (m as f64 * theta).cos());
             }
             acc
         })
@@ -512,12 +514,12 @@ mod tests {
             let dy = doy - dsy;
             let exact = hankel1_0(k * dx.hypot(dy));
             let mut acc = C64::ZERO;
-            for qi in 0..q {
+            for (qi, &tq) in t.iter().enumerate() {
                 let a = 2.0 * std::f64::consts::PI * qi as f64 / q as f64;
                 // e^{i k khat . d}, d = (do - ds) relative to centers:
                 let d_dot = a.cos() * (dox - dsx) + a.sin() * (doy - dsy);
                 // plus the center-to-center phase is inside T via X
-                acc += C64::cis(k * d_dot) * t[qi];
+                acc += C64::cis(k * d_dot) * tq;
             }
             acc = acc / q as f64;
             let err = (acc - exact).abs() / exact.abs();
@@ -557,12 +559,18 @@ mod tests {
         let plan = small_plan();
         let px = plan.domain.pixel_size();
         // offset (1, 0): source leaf to the right; pixel (0,0) obs vs (0,0) src
-        let idx_10 = NEAR_OFFSETS.iter().position(|&o| o == (1, 0)).expect("offset");
+        let idx_10 = NEAR_OFFSETS
+            .iter()
+            .position(|&o| o == (1, 0))
+            .expect("offset");
         let m = &plan.near[idx_10];
         let expect = plan.kernel.g0_element(8.0 * px);
         assert!((m.at(0, 0) - expect).abs() < 1e-14);
         // self matrix diagonal = self term
-        let idx_00 = NEAR_OFFSETS.iter().position(|&o| o == (0, 0)).expect("offset");
+        let idx_00 = NEAR_OFFSETS
+            .iter()
+            .position(|&o| o == (0, 0))
+            .expect("offset");
         let s = &plan.near[idx_00];
         for d in 0..LEAF_PIXELS {
             assert!((s.at(d, d) - plan.kernel.self_term).abs() < 1e-15);

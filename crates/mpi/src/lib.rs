@@ -13,13 +13,43 @@
 //! * `recv(src, tag)` blocks until a matching message arrives, with
 //!   out-of-order messages held back per (source, tag);
 //! * `barrier`, `allreduce`, `gather`/`broadcast` collectives.
+//!
+//! ## Verification (ffw-check integration)
+//!
+//! The runtime is self-checking, in two tiers:
+//!
+//! * **Deadlock watchdog.** Every rank publishes what it is blocked on (a
+//!   [`ffw_check::WaitState`]) in a shared registry. Blocking waits use a
+//!   timeout (`FFW_DEADLOCK_TIMEOUT_MS`, default 1000 ms); on timeout the
+//!   waiter snapshots the registry, reconstructs the global wait-for graph
+//!   with [`ffw_check::diagnose_deadlock`], confirms the diagnosis against a
+//!   second snapshot, and panics with a readable report naming every rank and
+//!   the cycle (or the dependency on a finished/panicked rank). Only
+//!   *definite* deadlocks are reported — a slow peer never trips the
+//!   watchdog.
+//! * **Post-run trace validation.** Each rank records a low-overhead
+//!   [`ffw_check::Event`] trace of its user-level sends, receives, polls
+//!   (coalesced), and collectives. When [`run`] exits normally, the traces
+//!   plus any undelivered messages are handed to
+//!   [`ffw_check::validate_traces`]; message leaks, self-sends, reserved-tag
+//!   misuse, and cross-rank collective-ordering mismatches fail the run with
+//!   a report.
+//!
+//! A panicking rank is marked [`ffw_check::WaitState::Panicked`] rather than
+//! silently disappearing, so peers blocked on it get a diagnosed error
+//! instead of a hang; [`run`] then re-raises the lowest-ranked panic.
 
 #![warn(missing_docs)]
 
+use ffw_check::trace::{render_report, CollectiveKind, Event, LeakedMessage};
+use ffw_check::waitgraph::WaitState;
+use ffw_check::{diagnose_deadlock, validate_traces};
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Message payloads: the solver moves complex fields, real scalars for
 /// reductions, and occasional integer bookkeeping.
@@ -87,21 +117,15 @@ impl Mailbox {
         self.cond.notify_all();
     }
 
-    fn pop_matching(&self, tag: u32) -> Payload {
-        let mut q = self.queue.lock();
-        loop {
-            if let Some(pos) = q.iter().position(|(t, _)| *t == tag) {
-                return q.remove(pos).expect("position valid").1;
-            }
-            self.cond.wait(&mut q);
-        }
-    }
-
     fn try_pop_matching(&self, tag: u32) -> Option<Payload> {
         let mut q = self.queue.lock();
         q.iter()
             .position(|(t, _)| *t == tag)
             .map(|pos| q.remove(pos).expect("position valid").1)
+    }
+
+    fn has_matching(&self, tag: u32) -> bool {
+        self.queue.lock().iter().any(|(t, _)| *t == tag)
     }
 }
 
@@ -131,7 +155,10 @@ impl CommStats {
 
     /// Total messages sent (all edges).
     pub fn total_messages(&self) -> u64 {
-        self.messages.iter().map(|a| a.load(Ordering::Relaxed)).sum()
+        self.messages
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .sum()
     }
 
     /// Total bytes sent (all edges).
@@ -150,12 +177,76 @@ impl CommStats {
     }
 }
 
+/// Diagnosable replacement for `std::sync::Barrier`: waiters can time out,
+/// inspect the global state, and resume — and the generation they are stuck
+/// on is visible to the deadlock analysis.
+struct Barrier {
+    state: Mutex<BarrierState>,
+    cond: Condvar,
+}
+
+struct BarrierState {
+    generation: u64,
+    arrived: usize,
+}
+
 struct Shared {
     size: usize,
     /// mailboxes[src * size + dst]
     mailboxes: Vec<Mailbox>,
     stats: CommStats,
-    barrier: std::sync::Barrier,
+    barrier: Barrier,
+    /// What each rank is currently blocked on (the watchdog's input).
+    registry: Mutex<Vec<WaitState>>,
+    /// Per-rank event traces for post-run validation.
+    traces: Vec<Mutex<Vec<Event>>>,
+    /// Watchdog timeout for blocking waits.
+    timeout: Duration,
+    /// First confirmed deadlock report. Later watchdog firings re-raise this
+    /// one, so every stuck rank fails with the *original* diagnosis rather
+    /// than a cascade of "peer panicked" follow-ups.
+    verdict: Mutex<Option<String>>,
+}
+
+impl Shared {
+    fn set_state(&self, rank: usize, state: WaitState) {
+        self.registry.lock()[rank] = state;
+    }
+
+    /// Snapshots the registry and runs the deadlock analysis. A positive
+    /// diagnosis is re-confirmed against a second snapshot taken after a
+    /// short delay, so a transient state observed mid-transition can never
+    /// produce a report. Panics (with the report) on a confirmed deadlock.
+    fn watchdog_check(&self) {
+        if let Some(report) = self.verdict.lock().clone() {
+            panic!("{report}");
+        }
+        let Some(first) = self.diagnose_once() else {
+            return;
+        };
+        std::thread::sleep(Duration::from_millis(50));
+        let confirmed = match self.diagnose_once() {
+            Some(second) if first == second => second,
+            _ => return,
+        };
+        let mut verdict = self.verdict.lock();
+        let report = verdict
+            .get_or_insert_with(|| format!("ffw-mpi: {confirmed}"))
+            .clone();
+        drop(verdict);
+        panic!("{report}");
+    }
+
+    fn diagnose_once(&self) -> Option<ffw_check::DeadlockReport> {
+        let snapshot = self.registry.lock().clone();
+        diagnose_deadlock(&snapshot, |src, dst, tag| {
+            self.mailboxes[src * self.size + dst].has_matching(tag)
+        })
+    }
+
+    fn trace(&self, rank: usize, event: Event) {
+        self.traces[rank].lock().push(event);
+    }
 }
 
 /// A rank's handle to the communicator.
@@ -185,8 +276,24 @@ impl Comm {
 
     /// Buffered, non-blocking send. User tags must not set the high bit.
     pub fn send(&self, dst: usize, tag: u32, payload: Payload) {
-        assert!(dst < self.shared.size, "invalid destination {dst}");
-        assert_eq!(tag & COLLECTIVE_TAG, 0, "user tag sets reserved bit");
+        assert!(
+            dst < self.shared.size,
+            "send: invalid destination rank {dst} (communicator has {} ranks)",
+            self.shared.size
+        );
+        assert_eq!(
+            tag & COLLECTIVE_TAG,
+            0,
+            "send: user tag {tag:#x} sets the reserved collective bit"
+        );
+        self.shared.trace(
+            self.rank,
+            Event::Send {
+                dst,
+                tag,
+                bytes: payload.n_bytes(),
+            },
+        );
         self.send_raw(dst, tag, payload);
     }
 
@@ -197,35 +304,152 @@ impl Comm {
 
     /// Blocking receive of the message with the given source and tag.
     pub fn recv(&self, src: usize, tag: u32) -> Payload {
-        assert!(src < self.shared.size, "invalid source {src}");
-        assert_eq!(tag & COLLECTIVE_TAG, 0, "user tag sets reserved bit");
-        self.recv_raw(src, tag)
+        assert!(
+            src < self.shared.size,
+            "recv: invalid source rank {src} (communicator has {} ranks)",
+            self.shared.size
+        );
+        assert_eq!(
+            tag & COLLECTIVE_TAG,
+            0,
+            "recv: user tag {tag:#x} sets the reserved collective bit"
+        );
+        let payload = self.recv_raw(src, tag);
+        self.shared.trace(
+            self.rank,
+            Event::Recv {
+                src,
+                tag,
+                bytes: payload.n_bytes(),
+            },
+        );
+        payload
     }
 
+    /// Blocking receive with the deadlock watchdog. The fast path (message
+    /// already queued) touches only the mailbox lock; the slow path publishes
+    /// a `RecvWait` state and waits with a timeout, diagnosing the global
+    /// wait-for graph whenever the timeout fires.
     fn recv_raw(&self, src: usize, tag: u32) -> Payload {
-        self.shared.mailboxes[src * self.shared.size + self.rank].pop_matching(tag)
+        let mailbox = &self.shared.mailboxes[src * self.shared.size + self.rank];
+        if let Some(payload) = mailbox.try_pop_matching(tag) {
+            return payload;
+        }
+        self.shared
+            .set_state(self.rank, WaitState::RecvWait { src, tag });
+        let mut q = mailbox.queue.lock();
+        loop {
+            if let Some(pos) = q.iter().position(|(t, _)| *t == tag) {
+                let payload = q.remove(pos).expect("position valid").1;
+                drop(q);
+                self.shared.set_state(self.rank, WaitState::Running);
+                return payload;
+            }
+            let result = mailbox.cond.wait_for(&mut q, self.shared.timeout);
+            if result.timed_out() {
+                // Diagnose without holding the queue lock (the analysis
+                // inspects other mailboxes; never hold two mailbox locks).
+                drop(q);
+                self.shared.watchdog_check();
+                q = mailbox.queue.lock();
+            }
+        }
     }
 
     /// Non-blocking receive: returns `None` if no matching message has
     /// arrived yet (used by the communication/computation overlap pipeline).
     pub fn try_recv(&self, src: usize, tag: u32) -> Option<Payload> {
-        assert!(src < self.shared.size);
-        assert_eq!(tag & COLLECTIVE_TAG, 0);
-        self.shared.mailboxes[src * self.shared.size + self.rank].try_pop_matching(tag)
+        assert!(
+            src < self.shared.size,
+            "try_recv: invalid source rank {src} (communicator has {} ranks)",
+            self.shared.size
+        );
+        assert_eq!(
+            tag & COLLECTIVE_TAG,
+            0,
+            "try_recv: user tag {tag:#x} sets the reserved collective bit"
+        );
+        let got = self.shared.mailboxes[src * self.shared.size + self.rank].try_pop_matching(tag);
+        let mut trace = self.shared.traces[self.rank].lock();
+        match &got {
+            Some(payload) => trace.push(Event::TryRecvHit {
+                src,
+                tag,
+                bytes: payload.n_bytes(),
+            }),
+            None => {
+                // Coalesce consecutive misses on the same edge so polling
+                // loops cannot grow the trace without bound.
+                if let Some(Event::TryRecvMiss {
+                    src: s,
+                    tag: t,
+                    polls,
+                }) = trace.last_mut()
+                {
+                    if *s == src && *t == tag {
+                        *polls += 1;
+                        return got;
+                    }
+                }
+                trace.push(Event::TryRecvMiss { src, tag, polls: 1 });
+            }
+        }
+        drop(trace);
+        got
     }
 
     /// Synchronizes all ranks.
     pub fn barrier(&self) {
-        self.shared.barrier.wait();
+        self.shared.trace(
+            self.rank,
+            Event::Collective {
+                kind: CollectiveKind::Barrier,
+                root: 0,
+            },
+        );
+        let barrier = &self.shared.barrier;
+        let mut st = barrier.state.lock();
+        let generation = st.generation;
+        st.arrived += 1;
+        if st.arrived == self.shared.size {
+            st.arrived = 0;
+            st.generation += 1;
+            drop(st);
+            barrier.cond.notify_all();
+            return;
+        }
+        self.shared
+            .set_state(self.rank, WaitState::BarrierWait { generation });
+        loop {
+            if st.generation != generation {
+                break;
+            }
+            let result = barrier.cond.wait_for(&mut st, self.shared.timeout);
+            if result.timed_out() && st.generation == generation {
+                drop(st);
+                self.shared.watchdog_check();
+                st = barrier.state.lock();
+            }
+        }
+        drop(st);
+        self.shared.set_state(self.rank, WaitState::Running);
     }
 
     /// Element-wise sum-allreduce over complex data (in place; all ranks end
     /// with the global sum). Root-based: gather to rank 0, reduce, broadcast.
     pub fn allreduce_sum_c64(&self, data: &mut [(f64, f64)]) {
+        self.trace_collective(CollectiveKind::AllreduceSumC64, 0);
         if self.rank == 0 {
             for src in 1..self.size() {
                 let part = self.recv_raw(src, COLLECTIVE_TAG | 1).into_c64();
-                assert_eq!(part.len(), data.len(), "allreduce length mismatch");
+                assert_eq!(
+                    part.len(),
+                    data.len(),
+                    "allreduce_sum_c64: rank {src} contributed {} elements but rank 0 \
+                     holds {} — all ranks must pass equal-length buffers",
+                    part.len(),
+                    data.len()
+                );
                 for (d, p) in data.iter_mut().zip(part) {
                     d.0 += p.0;
                     d.1 += p.1;
@@ -243,10 +467,18 @@ impl Comm {
 
     /// Sum-allreduce over real data.
     pub fn allreduce_sum_f64(&self, data: &mut [f64]) {
+        self.trace_collective(CollectiveKind::AllreduceSumF64, 0);
         if self.rank == 0 {
             for src in 1..self.size() {
                 let part = self.recv_raw(src, COLLECTIVE_TAG | 3).into_f64();
-                assert_eq!(part.len(), data.len());
+                assert_eq!(
+                    part.len(),
+                    data.len(),
+                    "allreduce_sum_f64: rank {src} contributed {} elements but rank 0 \
+                     holds {} — all ranks must pass equal-length buffers",
+                    part.len(),
+                    data.len()
+                );
                 for (d, p) in data.iter_mut().zip(part) {
                     *d += p;
                 }
@@ -263,6 +495,7 @@ impl Comm {
 
     /// Max-allreduce over a single value.
     pub fn allreduce_max_f64(&self, value: f64) -> f64 {
+        self.trace_collective(CollectiveKind::AllreduceMaxF64, 0);
         let mut buf = [value];
         if self.rank == 0 {
             for src in 1..self.size() {
@@ -281,6 +514,12 @@ impl Comm {
 
     /// Broadcast from `root` to all ranks (in place).
     pub fn broadcast_c64(&self, root: usize, data: &mut Vec<(f64, f64)>) {
+        assert!(
+            root < self.shared.size,
+            "broadcast_c64: root {root} out of range (communicator has {} ranks)",
+            self.shared.size
+        );
+        self.trace_collective(CollectiveKind::BroadcastC64, root);
         if self.rank == root {
             for dst in 0..self.size() {
                 if dst != root {
@@ -295,12 +534,18 @@ impl Comm {
     /// Gathers variable-length complex chunks to `root`; returns
     /// `Some(chunks by rank)` on the root, `None` elsewhere.
     pub fn gather_c64(&self, root: usize, chunk: &[(f64, f64)]) -> Option<Vec<Vec<(f64, f64)>>> {
+        assert!(
+            root < self.shared.size,
+            "gather_c64: root {root} out of range (communicator has {} ranks)",
+            self.shared.size
+        );
+        self.trace_collective(CollectiveKind::GatherC64, root);
         if self.rank == root {
             let mut out = vec![Vec::new(); self.size()];
             out[root] = chunk.to_vec();
-            for src in 0..self.size() {
+            for (src, slot) in out.iter_mut().enumerate() {
                 if src != root {
-                    out[src] = self.recv_raw(src, COLLECTIVE_TAG | 8).into_c64();
+                    *slot = self.recv_raw(src, COLLECTIVE_TAG | 8).into_c64();
                 }
             }
             Some(out)
@@ -308,6 +553,11 @@ impl Comm {
             self.send_raw(root, COLLECTIVE_TAG | 8, Payload::C64(chunk.to_vec()));
             None
         }
+    }
+
+    fn trace_collective(&self, kind: CollectiveKind, root: usize) {
+        self.shared
+            .trace(self.rank, Event::Collective { kind, root });
     }
 }
 
@@ -321,43 +571,137 @@ impl RunStats {
     pub fn stats(&self) -> &CommStats {
         &self.inner.stats
     }
+
+    /// The recorded event trace of `rank` (for inspection in tests and
+    /// tooling; the run has already been validated against it).
+    pub fn events(&self, rank: usize) -> Vec<Event> {
+        self.inner.traces[rank].lock().clone()
+    }
+}
+
+/// Reads the watchdog timeout from `FFW_DEADLOCK_TIMEOUT_MS` (milliseconds,
+/// default 1000). Blocking waits re-check the global wait-for graph at this
+/// interval; a confirmed deadlock panics with a per-rank report.
+fn timeout_from_env() -> Duration {
+    match std::env::var("FFW_DEADLOCK_TIMEOUT_MS") {
+        Ok(raw) => match raw.trim().parse::<u64>() {
+            Ok(ms) if ms >= 1 => Duration::from_millis(ms),
+            _ => panic!(
+                "FFW_DEADLOCK_TIMEOUT_MS={raw:?} is invalid: expected a positive \
+                 integer number of milliseconds"
+            ),
+        },
+        Err(_) => Duration::from_millis(1000),
+    }
 }
 
 /// Launches `n_ranks` ranks running `f` concurrently and returns their
 /// results in rank order, along with the communication statistics.
+///
+/// The run is verified: blocked ranks are watched for deadlock (see
+/// [`timeout_from_env`]'s `FFW_DEADLOCK_TIMEOUT_MS` knob), and on normal exit
+/// the recorded communication traces are statically validated — undelivered
+/// messages, self-sends, reserved-tag misuse, and cross-rank
+/// collective-ordering mismatches all fail the run with a report. If any rank
+/// panics, the lowest-ranked panic is re-raised after every rank has stopped.
 pub fn run<F, T>(n_ranks: usize, f: F) -> (Vec<T>, RunStats)
 where
     F: Fn(Comm) -> T + Send + Sync,
     T: Send,
 {
+    run_with_timeout(n_ranks, timeout_from_env(), f)
+}
+
+/// [`run`] with an explicit deadlock-watchdog timeout (tests use short
+/// timeouts to detect seeded deadlocks quickly).
+pub fn run_with_timeout<F, T>(n_ranks: usize, timeout: Duration, f: F) -> (Vec<T>, RunStats)
+where
+    F: Fn(Comm) -> T + Send + Sync,
+    T: Send,
+{
     assert!(n_ranks >= 1);
+    assert!(
+        timeout >= Duration::from_millis(1),
+        "watchdog timeout too small"
+    );
     let shared = Arc::new(Shared {
         size: n_ranks,
         mailboxes: (0..n_ranks * n_ranks).map(|_| Mailbox::new()).collect(),
         stats: CommStats::new(n_ranks),
-        barrier: std::sync::Barrier::new(n_ranks),
+        barrier: Barrier {
+            state: Mutex::new(BarrierState {
+                generation: 0,
+                arrived: 0,
+            }),
+            cond: Condvar::new(),
+        },
+        registry: Mutex::new(vec![WaitState::Running; n_ranks]),
+        traces: (0..n_ranks).map(|_| Mutex::new(Vec::new())).collect(),
+        timeout,
+        verdict: Mutex::new(None),
     });
     let results: Vec<Mutex<Option<T>>> = (0..n_ranks).map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for (rank, slot) in results.iter().enumerate().skip(1) {
-            let comm = Comm {
-                rank,
-                shared: Arc::clone(&shared),
-            };
-            let f = &f;
-            std::thread::Builder::new()
-                .name(format!("ffw-mpi-{rank}"))
-                .spawn_scoped(scope, move || {
-                    *slot.lock() = Some(f(comm));
-                })
-                .expect("spawn rank");
-        }
+    let panics: Mutex<Vec<(usize, Box<dyn std::any::Any + Send>)>> = Mutex::new(Vec::new());
+
+    // Each rank runs under catch_unwind so a panic marks it Panicked in the
+    // registry instead of silently vanishing: peers blocked on it then get a
+    // diagnosed dead-dependency error rather than hanging forever.
+    let run_rank = |rank: usize| {
         let comm = Comm {
-            rank: 0,
+            rank,
             shared: Arc::clone(&shared),
         };
-        *results[0].lock() = Some(f(comm));
+        match catch_unwind(AssertUnwindSafe(|| f(comm))) {
+            Ok(value) => {
+                shared.set_state(rank, WaitState::Finished);
+                *results[rank].lock() = Some(value);
+            }
+            Err(payload) => {
+                shared.set_state(rank, WaitState::Panicked);
+                panics.lock().push((rank, payload));
+            }
+        }
+    };
+
+    std::thread::scope(|scope| {
+        for rank in 1..n_ranks {
+            let run_rank = &run_rank;
+            std::thread::Builder::new()
+                .name(format!("ffw-mpi-{rank}"))
+                .spawn_scoped(scope, move || run_rank(rank))
+                .expect("spawn rank");
+        }
+        run_rank(0);
     });
+
+    let mut panics = panics.into_inner();
+    if !panics.is_empty() {
+        panics.sort_by_key(|(rank, _)| *rank);
+        std::panic::resume_unwind(panics.remove(0).1);
+    }
+
+    // Normal exit: statically validate the complete traces plus whatever was
+    // left undelivered in the mailboxes.
+    let mut leaked = Vec::new();
+    for src in 0..n_ranks {
+        for dst in 0..n_ranks {
+            let q = shared.mailboxes[src * n_ranks + dst].queue.lock();
+            for (tag, payload) in q.iter() {
+                leaked.push(LeakedMessage {
+                    src,
+                    dst,
+                    tag: *tag,
+                    bytes: payload.n_bytes(),
+                });
+            }
+        }
+    }
+    let traces: Vec<Vec<Event>> = shared.traces.iter().map(|t| t.lock().clone()).collect();
+    let violations = validate_traces(&traces, &leaked);
+    if !violations.is_empty() {
+        panic!("{}", render_report(&violations));
+    }
+
     let out = results
         .into_iter()
         .map(|m| m.into_inner().expect("rank produced a result"))
@@ -515,5 +859,147 @@ mod tests {
             (v[0], m)
         });
         assert_eq!(results[0], ((1.0, 2.0), 3.5));
+    }
+
+    // ---- verification-layer tests ------------------------------------------
+
+    const FAST: Duration = Duration::from_millis(80);
+
+    /// Runs `f` expecting a panic; returns the panic message.
+    fn panic_message(f: impl FnOnce() + std::panic::UnwindSafe) -> String {
+        let payload = catch_unwind(f).expect_err("expected a panic");
+        payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .expect("panic payload is a string")
+    }
+
+    #[test]
+    fn deadlocked_recv_names_both_ranks() {
+        // Rank 0 waits for a message rank 1 never sends; rank 1 finishes.
+        let msg = panic_message(|| {
+            let _ = run_with_timeout(2, FAST, |comm| {
+                if comm.rank() == 0 {
+                    let _ = comm.recv(1, 5);
+                }
+            });
+        });
+        assert!(msg.contains("deadlock detected"), "got: {msg}");
+        assert!(
+            msg.contains("rank 0") && msg.contains("rank 1"),
+            "got: {msg}"
+        );
+        assert!(msg.contains("can never satisfy"), "got: {msg}");
+    }
+
+    #[test]
+    fn mutual_recv_deadlock_reports_cycle() {
+        let msg = panic_message(|| {
+            let _ = run_with_timeout(2, FAST, |comm| {
+                let peer = 1 - comm.rank();
+                let _ = comm.recv(peer, 9);
+            });
+        });
+        assert!(msg.contains("deadlock detected"), "got: {msg}");
+        assert!(msg.contains("cycle"), "got: {msg}");
+    }
+
+    #[test]
+    fn undelivered_message_fails_validation() {
+        let msg = panic_message(|| {
+            let _ = run(2, |comm| {
+                if comm.rank() == 0 {
+                    comm.send(1, 9, Payload::U64(vec![1, 2, 3]));
+                }
+            });
+        });
+        assert!(msg.contains("message leak"), "got: {msg}");
+        assert!(
+            msg.contains("src=0") && msg.contains("dst=1") && msg.contains("0x9"),
+            "got: {msg}"
+        );
+    }
+
+    #[test]
+    fn mismatched_allreduce_lengths_fail_with_diagnostic() {
+        // Rank 1 contributes a shorter buffer: the root's length check must
+        // fire (and propagate out of `run`) instead of the ranks hanging.
+        let msg = panic_message(|| {
+            let _ = run_with_timeout(2, FAST, |comm| {
+                let mut data = vec![1.0; 4 - comm.rank()];
+                comm.allreduce_sum_f64(&mut data);
+            });
+        });
+        assert!(msg.contains("allreduce_sum_f64"), "got: {msg}");
+        assert!(msg.contains("equal-length"), "got: {msg}");
+    }
+
+    #[test]
+    fn wrong_root_gather_fails_with_diagnostic() {
+        // Both ranks believe they are the gather root: each waits for the
+        // other's chunk — a cycle the watchdog must report.
+        let msg = panic_message(|| {
+            let _ = run_with_timeout(2, FAST, |comm| {
+                let chunk = [(comm.rank() as f64, 0.0)];
+                let _ = comm.gather_c64(comm.rank(), &chunk);
+            });
+        });
+        assert!(msg.contains("deadlock detected"), "got: {msg}");
+        assert!(msg.contains("cycle"), "got: {msg}");
+    }
+
+    #[test]
+    fn traces_record_and_coalesce() {
+        let (_, handle) = run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.barrier();
+                comm.send(1, 4, Payload::U64(vec![7]));
+            } else {
+                // Three misses back-to-back must coalesce into one event.
+                assert!(comm.try_recv(0, 4).is_none());
+                assert!(comm.try_recv(0, 4).is_none());
+                assert!(comm.try_recv(0, 4).is_none());
+                comm.barrier();
+                let _ = comm.recv(0, 4);
+            }
+        });
+        let events = handle.events(1);
+        let misses: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::TryRecvMiss { polls, .. } => Some(*polls),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(misses, vec![3], "consecutive misses must coalesce");
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, Event::Recv { src: 0, tag: 4, .. })));
+        assert!(handle
+            .events(0)
+            .iter()
+            .any(|e| matches!(e, Event::Send { dst: 1, tag: 4, .. })));
+    }
+
+    #[test]
+    fn barrier_straggler_panic_is_diagnosed() {
+        // Rank 1 panics before ever reaching the barrier: rank 0's watchdog
+        // must observe the Panicked dependency and abort its wait, so the run
+        // terminates with a diagnosis instead of hanging. (`run` re-raises
+        // the lowest-ranked panic, which here is rank 0's deadlock report.)
+        let msg = panic_message(|| {
+            let _ = run_with_timeout(2, FAST, |comm| {
+                if comm.rank() == 0 {
+                    comm.barrier();
+                } else {
+                    panic!("rank 1 exploded");
+                }
+            });
+        });
+        assert!(
+            msg.contains("deadlock detected") || msg.contains("rank 1 exploded"),
+            "got: {msg}"
+        );
     }
 }

@@ -142,7 +142,11 @@ fn y1_series(x: f64) -> f64 {
     for k in 0..=70usize {
         // psi(k+1) + psi(k+2) = -2 gamma + H_k + H_{k+1}
         let psi_sum = -2.0 * EULER_GAMMA + hk + hk1;
-        let contrib = if k % 2 == 0 { term * psi_sum } else { -term * psi_sum };
+        let contrib = if k % 2 == 0 {
+            term * psi_sum
+        } else {
+            -term * psi_sum
+        };
         sum += contrib;
         if term.abs() * psi_sum.abs().max(1.0) < 1e-18 * sum.abs().max(1.0) && k > 2 {
             break;
@@ -152,7 +156,8 @@ fn y1_series(x: f64) -> f64 {
         hk += 1.0 / kk as f64;
         hk1 += 1.0 / (kk + 1) as f64;
     }
-    std::f64::consts::FRAC_2_PI * (0.5 * x).ln() * j1_series(x) - 2.0 / (std::f64::consts::PI * x)
+    std::f64::consts::FRAC_2_PI * (0.5 * x).ln() * j1_series(x)
+        - 2.0 / (std::f64::consts::PI * x)
         - x / (2.0 * std::f64::consts::PI) * sum
 }
 
@@ -211,7 +216,11 @@ pub fn jn_array(n_max: usize, x: f64) -> Vec<f64> {
     // Start the downward recurrence high enough that J_start is negligible.
     let base = n_max.max(x.ceil() as usize);
     let start = base + 16 + (2.0 * (base as f64).sqrt()).ceil() as usize;
-    let start = if start % 2 == 0 { start } else { start + 1 };
+    let start = if start.is_multiple_of(2) {
+        start
+    } else {
+        start + 1
+    };
 
     let mut jp1 = 0.0f64; // J_{start+1}
     let mut j = 1e-300f64; // J_{start} seed (arbitrary tiny value; fixed by normalization)
@@ -426,10 +435,26 @@ mod tests {
         let (p0, q0) = asymptotic_pq(0, x);
         let (p1, q1) = asymptotic_pq(1, x);
         let checks = [
-            (j0_series(x), amp * (p0 * chi0.cos() - q0 * chi0.sin()), "j0"),
-            (j1_series(x), amp * (p1 * chi1.cos() - q1 * chi1.sin()), "j1"),
-            (y0_series(x), amp * (p0 * chi0.sin() + q0 * chi0.cos()), "y0"),
-            (y1_series(x), amp * (p1 * chi1.sin() + q1 * chi1.cos()), "y1"),
+            (
+                j0_series(x),
+                amp * (p0 * chi0.cos() - q0 * chi0.sin()),
+                "j0",
+            ),
+            (
+                j1_series(x),
+                amp * (p1 * chi1.cos() - q1 * chi1.sin()),
+                "j1",
+            ),
+            (
+                y0_series(x),
+                amp * (p0 * chi0.sin() + q0 * chi0.cos()),
+                "y0",
+            ),
+            (
+                y1_series(x),
+                amp * (p1 * chi1.sin() + q1 * chi1.cos()),
+                "y1",
+            ),
         ];
         for (a, b, name) in checks {
             assert!((a - b).abs() < 1e-10, "{name}: {a} vs {b}");

@@ -441,7 +441,7 @@ mod tests {
 
     #[test]
     fn sum_over_slice() {
-        let v = vec![c64(1.0, 2.0), c64(3.0, -1.0), c64(-0.5, 0.5)];
+        let v = [c64(1.0, 2.0), c64(3.0, -1.0), c64(-0.5, 0.5)];
         let s: C64 = v.iter().sum();
         assert!(close(s, c64(3.5, 1.5), 1e-15));
     }

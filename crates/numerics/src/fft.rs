@@ -119,8 +119,8 @@ fn radix2(data: &mut [C64], rev: &[u32], twiddles: &[C64], _inv: bool) {
     if n == 1 {
         return;
     }
-    for i in 0..n {
-        let j = rev[i] as usize;
+    for (i, &r) in rev.iter().enumerate() {
+        let j = r as usize;
         if j > i {
             data.swap(i, j);
         }
@@ -153,7 +153,7 @@ fn bluestein(data: &mut [C64], chirp: &[C64], kernel_fft: &[C64], inner: &Fft) {
     }
     inner.forward(&mut work);
     for (w, k) in work.iter_mut().zip(kernel_fft.iter()) {
-        *w = *w * *k;
+        *w *= *k;
     }
     inner.inverse(&mut work);
     for j in 0..n {
@@ -193,7 +193,7 @@ pub fn resample_with_plans(fft_in: &Fft, fft_out: &Fft, x: &[C64]) -> Vec<C64> {
     for k in 1..=half_keep {
         out_spec[q_out - k] = spec[q_in - k];
     }
-    if q_in.min(q_out) % 2 == 0 {
+    if q_in.min(q_out).is_multiple_of(2) {
         let nyq = q_in.min(q_out) / 2;
         if q_out > q_in {
             out_spec[nyq] = spec[nyq].scale(0.5);
@@ -241,16 +241,14 @@ pub fn resample_periodic(x: &[C64], q_out: usize) -> Vec<C64> {
     let mut out_spec = vec![C64::ZERO; q_out];
     let half_keep = (q_in.min(q_out) - 1) / 2;
     // DC and positive frequencies
-    for k in 0..=half_keep {
-        out_spec[k] = spec[k];
-    }
+    out_spec[..=half_keep].copy_from_slice(&spec[..=half_keep]);
     // negative frequencies
     for k in 1..=half_keep {
         out_spec[q_out - k] = spec[q_in - k];
     }
     // If both sizes are even and equal bins exist at Nyquist, split is ambiguous;
     // MLFMA always uses odd Q so this path stays exact.
-    if q_in.min(q_out) % 2 == 0 {
+    if q_in.min(q_out).is_multiple_of(2) {
         let nyq = q_in.min(q_out) / 2;
         if q_out > q_in {
             out_spec[nyq] = spec[nyq].scale(0.5);
@@ -272,8 +270,8 @@ pub fn resample_periodic(x: &[C64], q_out: usize) -> Vec<C64> {
 
 #[cfg(test)]
 mod tests {
-    use crate::complex::c64;
     use super::*;
+    use crate::complex::c64;
 
     fn max_err(a: &[C64], b: &[C64]) -> f64 {
         a.iter()

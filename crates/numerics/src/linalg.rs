@@ -282,7 +282,9 @@ mod tests {
     fn mat(rows: usize, cols: usize, seed: u64) -> Matrix {
         let mut s = seed;
         let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5
         };
         Matrix::from_fn(rows, cols, |_, _| c64(next(), next()))
@@ -294,7 +296,10 @@ mod tests {
     }
 
     fn max_err(a: &[C64], b: &[C64]) -> f64 {
-        a.iter().zip(b).map(|(x, y)| (*x - *y).abs()).fold(0.0, f64::max)
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (*x - *y).abs())
+            .fold(0.0, f64::max)
     }
 
     #[test]
@@ -315,8 +320,8 @@ mod tests {
             let col: Vec<C64> = (0..5).map(|k| b.at(k, j)).collect();
             let mut y = vec![C64::ZERO; 7];
             a.matvec(&col, &mut y);
-            for i in 0..7 {
-                assert!((c.at(i, j) - y[i]).abs() < 1e-13);
+            for (i, &yi) in y.iter().enumerate() {
+                assert!((c.at(i, j) - yi).abs() < 1e-13);
             }
         }
     }

@@ -73,7 +73,7 @@ impl LuFactors {
                 if factor.re != 0.0 || factor.im != 0.0 {
                     for c in k + 1..n {
                         let u = lu[k * n + c];
-                        lu[r * n + c] = lu[r * n + c] - factor * u;
+                        lu[r * n + c] -= factor * u;
                     }
                 }
             }
@@ -98,16 +98,19 @@ impl LuFactors {
         // forward substitution (L unit lower)
         for r in 1..n {
             let mut acc = x[r];
-            for c in 0..r {
-                acc -= self.lu[r * n + c] * x[c];
+            for (&l, &xc) in self.lu[r * n..r * n + r].iter().zip(x.iter()) {
+                acc -= l * xc;
             }
             x[r] = acc;
         }
         // back substitution (U upper)
         for r in (0..n).rev() {
             let mut acc = x[r];
-            for c in r + 1..n {
-                acc -= self.lu[r * n + c] * x[c];
+            for (&l, &xc) in self.lu[r * n + r + 1..r * n + n]
+                .iter()
+                .zip(x[r + 1..].iter())
+            {
+                acc -= l * xc;
             }
             x[r] = acc / self.lu[r * n + r];
         }
@@ -124,7 +127,11 @@ impl LuFactors {
     /// Determinant (product of U diagonal, sign-corrected).
     pub fn det(&self) -> C64 {
         let n = self.n;
-        let mut d = if self.swaps % 2 == 0 { C64::ONE } else { -C64::ONE };
+        let mut d = if self.swaps.is_multiple_of(2) {
+            C64::ONE
+        } else {
+            -C64::ONE
+        };
         for k in 0..n {
             d *= self.lu[k * n + k];
         }
@@ -141,7 +148,9 @@ mod tests {
     fn random_mat(n: usize, seed: u64) -> Matrix {
         let mut s = seed;
         let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5
         };
         Matrix::from_fn(n, n, |_, _| c64(next(), next()))

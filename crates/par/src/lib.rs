@@ -17,6 +17,7 @@
 //! are caught and re-raised on the caller thread.
 
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 use crossbeam_channel::{unbounded, Receiver, Sender};
 use std::ops::Range;
@@ -66,6 +67,8 @@ impl JobState {
             if start >= self.n_items {
                 break;
             }
+            // SAFETY: the claim above succeeded, so per this function's
+            // contract the caller is still blocked and the closure is alive.
             let func = unsafe { &*func };
             let end = (start + self.grain).min(self.n_items);
             let result = catch_unwind(AssertUnwindSafe(|| func(start..end)));
@@ -127,17 +130,31 @@ impl Pool {
 
     /// The process-wide pool, sized to the available parallelism. Initialized
     /// on first use; `FFW_THREADS` overrides the size.
+    ///
+    /// # Panics
+    ///
+    /// Panics on first use if `FFW_THREADS` is set to something that is not a
+    /// positive integer. A typo'd override silently falling back to the core
+    /// count would be a misconfiguration that only shows up as a perf anomaly;
+    /// failing loudly is cheaper to debug.
     pub fn global() -> &'static Pool {
         static GLOBAL: OnceLock<Pool> = OnceLock::new();
         GLOBAL.get_or_init(|| {
-            let n = std::env::var("FFW_THREADS")
-                .ok()
-                .and_then(|s| s.parse().ok())
-                .unwrap_or_else(|| {
-                    std::thread::available_parallelism()
-                        .map(|n| n.get())
-                        .unwrap_or(1)
-                });
+            let n = match std::env::var("FFW_THREADS") {
+                Ok(raw) => match raw.trim().parse::<usize>() {
+                    Ok(0) => {
+                        panic!("FFW_THREADS={raw:?} is invalid: the pool needs at least 1 thread")
+                    }
+                    Ok(n) => n,
+                    Err(_) => panic!(
+                        "FFW_THREADS={raw:?} is invalid: expected a positive integer \
+                         (e.g. FFW_THREADS=8)"
+                    ),
+                },
+                Err(_) => std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1),
+            };
             Pool::new(n)
         })
     }

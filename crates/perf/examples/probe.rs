@@ -22,6 +22,9 @@ fn main() {
     let g4 = matvec_time(&work, &comm4, &gpu, &net, 4);
     println!("cpu4 total {:.6} gpu4 total {:.6}", c4.total(), g4.total());
     for r in table3(&plan, &cpu, &gpu, &net) {
-        println!("{:28} gpu1 {:5.2} cpu16 {:6.2} gpu16 {:6.2}", r.op, r.gpu1, r.cpu16, r.gpu16);
+        println!(
+            "{:28} gpu1 {:5.2} cpu16 {:6.2} gpu16 {:6.2}",
+            r.op, r.gpu1, r.cpu16, r.gpu16
+        );
     }
 }

@@ -12,24 +12,53 @@ fn main() {
     println!("calibration scale = {scale:.4} ({:.1?})", t0.elapsed());
     println!("\nFig 9 (strong scaling, illuminations): paper: 1096s->142s, 86.1% eff");
     for p in fig9(&mut lib, scale) {
-        println!("  {:5} nodes: {:7.1}s speedup {:5.2} eff {:4.1}%", p.nodes, p.seconds, p.speedup, 100.0*p.efficiency);
+        println!(
+            "  {:5} nodes: {:7.1}s speedup {:5.2} eff {:4.1}%",
+            p.nodes,
+            p.seconds,
+            p.speedup,
+            100.0 * p.efficiency
+        );
     }
     println!("\nFig 10 (strong scaling, sub-trees): paper: 1096s->263s (7.45x), 46.6% eff");
     for p in fig10(&mut lib, scale) {
-        println!("  {:5} nodes: {:7.1}s speedup {:5.2} eff {:4.1}%", p.nodes, p.seconds, p.speedup, 100.0*p.efficiency);
+        println!(
+            "  {:5} nodes: {:7.1}s speedup {:5.2} eff {:4.1}%",
+            p.nodes,
+            p.seconds,
+            p.speedup,
+            100.0 * p.efficiency
+        );
     }
     println!("\nFig 11 (weak, illuminations): paper: real 77.2%, adjusted 89.9%");
     for p in fig11(&mut lib, scale) {
-        println!("  {:5} nodes: real {:7.1}s eff {:4.1}% | adj {:7.1}s eff {:4.1}%", p.nodes, p.seconds, 100.0*p.efficiency, p.adjusted_seconds.unwrap(), 100.0*p.adjusted_efficiency.unwrap());
+        println!(
+            "  {:5} nodes: real {:7.1}s eff {:4.1}% | adj {:7.1}s eff {:4.1}%",
+            p.nodes,
+            p.seconds,
+            100.0 * p.efficiency,
+            p.adjusted_seconds.unwrap(),
+            100.0 * p.adjusted_efficiency.unwrap()
+        );
     }
     println!("\nTable 4: paper: CPU 8216/2107/558/151, GPU 1960/516/142/40.2, speedup 4.19->3.77");
     for r in table4(&mut lib, scale) {
-        println!("  {:5} nodes: CPU {:7.1}s GPU {:7.1}s speedup {:4.2}", r.nodes, r.cpu_seconds, r.gpu_seconds, r.speedup);
+        println!(
+            "  {:5} nodes: CPU {:7.1}s GPU {:7.1}s speedup {:4.2}",
+            r.nodes, r.cpu_seconds, r.gpu_seconds, r.speedup
+        );
     }
     let t1 = Instant::now();
     println!("\nFig 12 (weak, sub-trees): paper: real 73.3%, adjusted 94.7%");
     for p in fig12(&mut lib, scale) {
-        println!("  {:5} nodes: real {:7.1}s eff {:4.1}% | adj {:7.1}s eff {:4.1}%", p.nodes, p.seconds, 100.0*p.efficiency, p.adjusted_seconds.unwrap(), 100.0*p.adjusted_efficiency.unwrap());
+        println!(
+            "  {:5} nodes: real {:7.1}s eff {:4.1}% | adj {:7.1}s eff {:4.1}%",
+            p.nodes,
+            p.seconds,
+            100.0 * p.efficiency,
+            p.adjusted_seconds.unwrap(),
+            100.0 * p.adjusted_efficiency.unwrap()
+        );
     }
     println!("fig12 took {:.1?}", t1.elapsed());
     let f13 = fig13_projection(&mut lib, scale);

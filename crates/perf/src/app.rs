@@ -88,7 +88,11 @@ pub fn simulate(
     let t_sync = 2.0 * net.allreduce(16.0 * n_local, cfg.illum_groups)
         + 4.0 * net.allreduce(16.0, cfg.illum_groups * p);
 
-    assert_eq!(cfg.n_tx % cfg.illum_groups, 0, "tx must divide among groups");
+    assert_eq!(
+        cfg.n_tx % cfg.illum_groups,
+        0,
+        "tx must divide among groups"
+    );
     let tx_per_group = cfg.n_tx / cfg.illum_groups;
 
     let mut rng = SmallRng::seed_from_u64(cfg.seed);

@@ -5,7 +5,7 @@
 //! nodes, 1M unknowns, 1,024 illuminations) reproduces the paper's 1,096 s;
 //! every other number is emergent from the mechanistic model.
 
-use crate::app::{simulate, mean_bicgs_iters, AppConfig, AppResult, Device};
+use crate::app::{mean_bicgs_iters, simulate, AppConfig, AppResult, Device};
 use crate::machine::{gemini, xe6_cpu, xk7_gpu, NetworkModel, NodeModel};
 use crate::opmodel::{MatvecComm, MatvecWork};
 use ffw_geometry::Domain;
@@ -30,7 +30,11 @@ impl PlanLib {
 
     /// Work and per-P communication for an `n_side_px` domain. Builds the
     /// real `MlfmaPlan` (and exchange schedules) on first use.
-    pub fn get(&mut self, n_side_px: usize, ps: &[usize]) -> (MatvecWork, HashMap<usize, MatvecComm>) {
+    pub fn get(
+        &mut self,
+        n_side_px: usize,
+        ps: &[usize],
+    ) -> (MatvecWork, HashMap<usize, MatvecComm>) {
         let entry = self.cache.entry(n_side_px).or_insert_with(|| {
             let plan = MlfmaPlan::new(&Domain::new(n_side_px, 1.0), Accuracy::default());
             let work = MatvecWork::from_stats(&plan.stats());
@@ -59,16 +63,18 @@ fn node_model(device: Device) -> NodeModel {
     }
 }
 
-fn run(
-    lib: &mut PlanLib,
-    n_side_px: usize,
-    cfg: &AppConfig,
-    scale: f64,
-) -> AppResult {
+fn run(lib: &mut PlanLib, n_side_px: usize, cfg: &AppConfig, scale: f64) -> AppResult {
     let (_, _, net) = devices();
     let (work, comms) = lib.get(n_side_px, &[cfg.subtree_ranks]);
     let node = node_model(cfg.device);
-    simulate(&cfg.clone(), &work, &comms[&cfg.subtree_ranks], &node, &net, scale)
+    simulate(
+        &cfg.clone(),
+        &work,
+        &comms[&cfg.subtree_ranks],
+        &node,
+        &net,
+        scale,
+    )
 }
 
 fn base_config(n_side_px: usize, n_tx: usize, n_rx: usize) -> AppConfig {
@@ -200,9 +206,13 @@ pub fn fig12(lib: &mut PlanLib, scale: f64) -> Vec<ScalePoint> {
     let mut out = Vec::new();
     let mut base_time = 0.0;
     let baseline_mean = mean_bicgs_iters(1024 * 1024, 1024);
-    for (i, (nodes, px, p)) in [(64usize, 1024usize, 1usize), (256, 2048, 4), (1024, 4096, 16)]
-        .into_iter()
-        .enumerate()
+    for (i, (nodes, px, p)) in [
+        (64usize, 1024usize, 1usize),
+        (256, 2048, 4),
+        (1024, 4096, 16),
+    ]
+    .into_iter()
+    .enumerate()
     {
         let mut cfg = base_config(px, 1024, 1024);
         cfg.illum_groups = 64;

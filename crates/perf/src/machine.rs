@@ -136,7 +136,10 @@ mod tests {
         let bytes = 1e11;
         let dense_speedup = cpu.dense_time(flops, 10.0) / gpu.dense_time(flops, 10.0);
         let stream_speedup = cpu.stream_time(bytes, 10.0) / gpu.stream_time(bytes, 10.0);
-        assert!(dense_speedup > stream_speedup, "{dense_speedup} vs {stream_speedup}");
+        assert!(
+            dense_speedup > stream_speedup,
+            "{dense_speedup} vs {stream_speedup}"
+        );
         assert!(dense_speedup > 4.0 && dense_speedup < 6.0);
         assert!(stream_speedup > 2.0 && stream_speedup < 4.0);
     }

@@ -202,7 +202,12 @@ pub struct Table3Row {
 
 /// Generates the Table III rows for a given plan (the paper uses the
 /// 409.6-lambda, 16M-unknown domain).
-pub fn table3(plan: &MlfmaPlan, cpu: &NodeModel, gpu: &NodeModel, net: &NetworkModel) -> Vec<Table3Row> {
+pub fn table3(
+    plan: &MlfmaPlan,
+    cpu: &NodeModel,
+    gpu: &NodeModel,
+    net: &NetworkModel,
+) -> Vec<Table3Row> {
     let stats = plan.stats();
     let work = MatvecWork::from_stats(&stats);
     let comm16 = MatvecComm::from_plan(plan, 16);
@@ -282,7 +287,10 @@ mod tests {
         let w1 = MatvecWork::from_stats(&MlfmaPlan::new(&Domain::new(64, 1.0), acc).stats());
         let w2 = MatvecWork::from_stats(&MlfmaPlan::new(&Domain::new(256, 1.0), acc).stats());
         let total = |w: &MatvecWork| {
-            w.expansion_flops + w.interp_flops + w.local_flops + w.nearfield_flops
+            w.expansion_flops
+                + w.interp_flops
+                + w.local_flops
+                + w.nearfield_flops
                 + (w.disagg_bytes + w.translation_bytes) / 6.0
         };
         let per1 = total(&w1) / (64.0 * 64.0);

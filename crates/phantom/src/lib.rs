@@ -121,16 +121,86 @@ impl SheppLogan {
     /// Builds the standard 10-ellipse phantom.
     pub fn new(scale: f64, max_contrast: f64) -> Self {
         let ellipses = vec![
-            Ellipse { x0: 0.0, y0: 0.0, a: 0.69, b: 0.92, theta_deg: 0.0, value: 2.0 },
-            Ellipse { x0: 0.0, y0: -0.0184, a: 0.6624, b: 0.874, theta_deg: 0.0, value: -0.98 },
-            Ellipse { x0: 0.22, y0: 0.0, a: 0.11, b: 0.31, theta_deg: -18.0, value: -0.02 },
-            Ellipse { x0: -0.22, y0: 0.0, a: 0.16, b: 0.41, theta_deg: 18.0, value: -0.02 },
-            Ellipse { x0: 0.0, y0: 0.35, a: 0.21, b: 0.25, theta_deg: 0.0, value: 0.01 },
-            Ellipse { x0: 0.0, y0: 0.1, a: 0.046, b: 0.046, theta_deg: 0.0, value: 0.01 },
-            Ellipse { x0: 0.0, y0: -0.1, a: 0.046, b: 0.046, theta_deg: 0.0, value: 0.01 },
-            Ellipse { x0: -0.08, y0: -0.605, a: 0.046, b: 0.023, theta_deg: 0.0, value: 0.01 },
-            Ellipse { x0: 0.0, y0: -0.605, a: 0.023, b: 0.023, theta_deg: 0.0, value: 0.01 },
-            Ellipse { x0: 0.06, y0: -0.605, a: 0.023, b: 0.046, theta_deg: 0.0, value: 0.01 },
+            Ellipse {
+                x0: 0.0,
+                y0: 0.0,
+                a: 0.69,
+                b: 0.92,
+                theta_deg: 0.0,
+                value: 2.0,
+            },
+            Ellipse {
+                x0: 0.0,
+                y0: -0.0184,
+                a: 0.6624,
+                b: 0.874,
+                theta_deg: 0.0,
+                value: -0.98,
+            },
+            Ellipse {
+                x0: 0.22,
+                y0: 0.0,
+                a: 0.11,
+                b: 0.31,
+                theta_deg: -18.0,
+                value: -0.02,
+            },
+            Ellipse {
+                x0: -0.22,
+                y0: 0.0,
+                a: 0.16,
+                b: 0.41,
+                theta_deg: 18.0,
+                value: -0.02,
+            },
+            Ellipse {
+                x0: 0.0,
+                y0: 0.35,
+                a: 0.21,
+                b: 0.25,
+                theta_deg: 0.0,
+                value: 0.01,
+            },
+            Ellipse {
+                x0: 0.0,
+                y0: 0.1,
+                a: 0.046,
+                b: 0.046,
+                theta_deg: 0.0,
+                value: 0.01,
+            },
+            Ellipse {
+                x0: 0.0,
+                y0: -0.1,
+                a: 0.046,
+                b: 0.046,
+                theta_deg: 0.0,
+                value: 0.01,
+            },
+            Ellipse {
+                x0: -0.08,
+                y0: -0.605,
+                a: 0.046,
+                b: 0.023,
+                theta_deg: 0.0,
+                value: 0.01,
+            },
+            Ellipse {
+                x0: 0.0,
+                y0: -0.605,
+                a: 0.023,
+                b: 0.023,
+                theta_deg: 0.0,
+                value: 0.01,
+            },
+            Ellipse {
+                x0: 0.06,
+                y0: -0.605,
+                a: 0.023,
+                b: 0.046,
+                theta_deg: 0.0,
+                value: 0.01,
+            },
         ];
         SheppLogan {
             scale,

@@ -71,7 +71,6 @@ impl<G: LinOp + ?Sized> LinOp for AdjointScatteringOp<'_, G> {
         self.object.len()
     }
     fn apply(&self, x: &[C64], y: &mut [C64]) {
-        
         // G0^H x = conj(G0 conj(x))
         let xc: Vec<C64> = x.iter().map(|v| v.conj()).collect();
         self.g0.apply(&xc, y);
@@ -119,15 +118,17 @@ pub fn solve_adjoint<G: LinOp + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ffw_numerics::c64;
     use ffw_numerics::linalg::Matrix;
     use ffw_numerics::vecops::{rel_diff, zdotc};
-    use ffw_numerics::c64;
 
     /// A small random complex-symmetric "G0" stand-in.
     fn symmetric_g0(n: usize, seed: u64) -> Matrix {
         let mut s = seed;
         let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             0.2 * (((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5)
         };
         let mut m = Matrix::zeros(n, n);
@@ -145,9 +146,13 @@ mod tests {
         let mut s = seed;
         (0..n)
             .map(|_| {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let a = ((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5;
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let b = ((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5;
                 c64(a, b)
             })
@@ -192,7 +197,10 @@ mod tests {
         ah.apply(&y, &mut ahy);
         let lhs = zdotc(&ax, &y);
         let rhs = zdotc(&x, &ahy);
-        assert!((lhs - rhs).abs() < 1e-12 * lhs.abs().max(1.0), "{lhs:?} vs {rhs:?}");
+        assert!(
+            (lhs - rhs).abs() < 1e-12 * lhs.abs().max(1.0),
+            "{lhs:?} vs {rhs:?}"
+        );
     }
 
     #[test]
@@ -206,7 +214,16 @@ mod tests {
         let mut phi_inc = vec![C64::ZERO; n];
         a.apply(&phi_true, &mut phi_inc);
         let mut phi = vec![C64::ZERO; n];
-        let stats = solve_forward(&g0, &o, &phi_inc, &mut phi, IterConfig { tol: 1e-11, max_iters: 500 });
+        let stats = solve_forward(
+            &g0,
+            &o,
+            &phi_inc,
+            &mut phi,
+            IterConfig {
+                tol: 1e-11,
+                max_iters: 500,
+            },
+        );
         assert!(stats.converged, "{stats:?}");
         assert!(rel_diff(&phi, &phi_true) < 1e-9);
     }

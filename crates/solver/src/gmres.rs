@@ -159,7 +159,9 @@ mod tests {
     fn random_mat(n: usize, seed: u64, boost: f64) -> Matrix {
         let mut s = seed;
         let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5
         };
         Matrix::from_fn(n, n, |r, c| {
@@ -179,7 +181,16 @@ mod tests {
         let mut b = vec![C64::ZERO; n];
         a.matvec(&x_true, &mut b);
         let mut x = vec![C64::ZERO; n];
-        let stats = gmres(&a, &b, &mut x, n, IterConfig { tol: 1e-12, max_iters: 200 });
+        let stats = gmres(
+            &a,
+            &b,
+            &mut x,
+            n,
+            IterConfig {
+                tol: 1e-12,
+                max_iters: 200,
+            },
+        );
         assert!(stats.converged, "{stats:?}");
         assert!(stats.iterations <= n, "at most n inner iterations");
         assert!(rel_diff(&x, &x_true) < 1e-9);
@@ -193,7 +204,16 @@ mod tests {
         let mut b = vec![C64::ZERO; n];
         a.matvec(&x_true, &mut b);
         let mut x = vec![C64::ZERO; n];
-        let stats = gmres(&a, &b, &mut x, 10, IterConfig { tol: 1e-10, max_iters: 1000 });
+        let stats = gmres(
+            &a,
+            &b,
+            &mut x,
+            10,
+            IterConfig {
+                tol: 1e-10,
+                max_iters: 1000,
+            },
+        );
         assert!(stats.converged, "{stats:?}");
         assert!(rel_diff(&x, &x_true) < 1e-7);
     }
@@ -204,7 +224,16 @@ mod tests {
         let a = random_mat(n, 11, 4.0);
         let b: Vec<C64> = (0..n).map(|i| c64(1.0, 0.2 * i as f64)).collect();
         let mut x = vec![C64::ZERO; n];
-        let stats = gmres(&a, &b, &mut x, 15, IterConfig { tol: 1e-9, max_iters: 500 });
+        let stats = gmres(
+            &a,
+            &b,
+            &mut x,
+            15,
+            IterConfig {
+                tol: 1e-9,
+                max_iters: 500,
+            },
+        );
         assert!(stats.converged);
         let mut ax = vec![C64::ZERO; n];
         a.matvec(&x, &mut ax);

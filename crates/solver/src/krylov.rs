@@ -236,7 +236,9 @@ mod tests {
     fn random_mat(n: usize, m: usize, seed: u64, diag_boost: f64) -> Matrix {
         let mut s = seed;
         let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5
         };
         Matrix::from_fn(n, m, |r, c| {
@@ -261,9 +263,21 @@ mod tests {
         let mut b = vec![C64::ZERO; n];
         a.matvec(&x_true, &mut b);
         let mut x = vec![C64::ZERO; n];
-        let stats = bicgstab(&a, &b, &mut x, IterConfig { tol: 1e-10, max_iters: 500 });
+        let stats = bicgstab(
+            &a,
+            &b,
+            &mut x,
+            IterConfig {
+                tol: 1e-10,
+                max_iters: 500,
+            },
+        );
         assert!(stats.converged, "{stats:?}");
-        assert!(rel_diff(&x, &x_true) < 1e-8, "err {}", rel_diff(&x, &x_true));
+        assert!(
+            rel_diff(&x, &x_true) < 1e-8,
+            "err {}",
+            rel_diff(&x, &x_true)
+        );
         assert_eq!(stats.matvecs, 2 * stats.iterations + 1);
     }
 
@@ -273,7 +287,15 @@ mod tests {
         let a = random_mat(n, n, 13, 6.0);
         let b = random_vec(n, 17);
         let mut x = vec![C64::ZERO; n];
-        let stats = bicgstab(&a, &b, &mut x, IterConfig { tol: 1e-8, max_iters: 300 });
+        let stats = bicgstab(
+            &a,
+            &b,
+            &mut x,
+            IterConfig {
+                tol: 1e-8,
+                max_iters: 300,
+            },
+        );
         let mut r = vec![C64::ZERO; n];
         a.matvec(&x, &mut r);
         let resid: f64 = r
@@ -284,7 +306,10 @@ mod tests {
             .sqrt()
             / ffw_numerics::vecops::norm2(&b);
         assert!(stats.converged);
-        assert!((resid - stats.rel_residual).abs() < 1e-6, "{resid} vs {stats:?}");
+        assert!(
+            (resid - stats.rel_residual).abs() < 1e-6,
+            "{resid} vs {stats:?}"
+        );
     }
 
     #[test]
@@ -310,7 +335,15 @@ mod tests {
         let mut rhs = vec![C64::ZERO; n];
         a.matvec(&x_true, &mut rhs);
         let mut x = vec![C64::ZERO; n];
-        let stats = cg(&a, &rhs, &mut x, IterConfig { tol: 1e-12, max_iters: 500 });
+        let stats = cg(
+            &a,
+            &rhs,
+            &mut x,
+            IterConfig {
+                tol: 1e-12,
+                max_iters: 500,
+            },
+        );
         assert!(stats.converged);
         assert!(rel_diff(&x, &x_true) < 1e-9);
     }
@@ -324,7 +357,16 @@ mod tests {
         let b = random_vec(m, 13);
         let a_adj = a.adjoint();
         let mut x = vec![C64::ZERO; n];
-        let stats = cgnr(&a, &a_adj, &b, &mut x, IterConfig { tol: 1e-12, max_iters: 500 });
+        let stats = cgnr(
+            &a,
+            &a_adj,
+            &b,
+            &mut x,
+            IterConfig {
+                tol: 1e-12,
+                max_iters: 500,
+            },
+        );
         assert!(stats.converged);
         // optimality: A^H (A x - b) = 0
         let mut ax = vec![C64::ZERO; m];
@@ -344,7 +386,15 @@ mod tests {
         let a = random_mat(n, n, 23, 0.3); // poorly conditioned
         let b = random_vec(n, 29);
         let mut x = vec![C64::ZERO; n];
-        let stats = bicgstab(&a, &b, &mut x, IterConfig { tol: 1e-14, max_iters: 2 });
+        let stats = bicgstab(
+            &a,
+            &b,
+            &mut x,
+            IterConfig {
+                tol: 1e-14,
+                max_iters: 2,
+            },
+        );
         assert!(!stats.converged);
         assert_eq!(stats.iterations, 2);
     }
@@ -357,10 +407,26 @@ mod tests {
         let mut b = vec![C64::ZERO; n];
         a.matvec(&x_true, &mut b);
         let mut cold = vec![C64::ZERO; n];
-        let cold_stats = bicgstab(&a, &b, &mut cold, IterConfig { tol: 1e-9, max_iters: 300 });
+        let cold_stats = bicgstab(
+            &a,
+            &b,
+            &mut cold,
+            IterConfig {
+                tol: 1e-9,
+                max_iters: 300,
+            },
+        );
         // warm start from a slightly perturbed solution
         let mut warm: Vec<C64> = x_true.iter().map(|v| *v * 1.001).collect();
-        let warm_stats = bicgstab(&a, &b, &mut warm, IterConfig { tol: 1e-9, max_iters: 300 });
+        let warm_stats = bicgstab(
+            &a,
+            &b,
+            &mut warm,
+            IterConfig {
+                tol: 1e-9,
+                max_iters: 300,
+            },
+        );
         assert!(warm_stats.iterations <= cold_stats.iterations);
     }
 }

@@ -4,13 +4,15 @@
 use ffw_numerics::linalg::Matrix;
 use ffw_numerics::vecops::rel_diff;
 use ffw_numerics::{c64, C64};
-use ffw_solver::{bicgstab, cg, solve_adjoint, solve_forward, IterConfig, ScatteringOp, LinOp};
+use ffw_solver::{bicgstab, cg, solve_adjoint, solve_forward, IterConfig, LinOp, ScatteringOp};
 use proptest::prelude::*;
 
 fn random_mat(n: usize, m: usize, seed: u64, diag_boost: f64) -> Matrix {
     let mut s = seed.wrapping_add(1);
     let mut next = move || {
-        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5
     };
     Matrix::from_fn(n, m, |r, c| {

@@ -32,7 +32,10 @@ fn main() {
         contrast: 0.05,
     };
     let object = object_from_contrast(&domain, &tree, &truth.rasterize(&domain));
-    let g0 = MlfmaG0(Arc::new(MlfmaEngine::new(Arc::clone(&plan), Arc::new(Pool::new(1)))));
+    let g0 = MlfmaG0(Arc::new(MlfmaEngine::new(
+        Arc::clone(&plan),
+        Arc::new(Pool::new(1)),
+    )));
     let measured = synthesize_measurements(&setup, &g0, &object, Default::default());
 
     let cfg = DbimConfig {
@@ -52,7 +55,15 @@ fn main() {
         let measured_ref = &measured;
         let cfg_ref = &cfg;
         let (results, handle) = ffw::mpi::run(groups * subtree, move |comm| {
-            dist_dbim(&comm, setup_ref, Arc::clone(&plan2), measured_ref, groups, subtree, cfg_ref)
+            dist_dbim(
+                &comm,
+                setup_ref,
+                Arc::clone(&plan2),
+                measured_ref,
+                groups,
+                subtree,
+                cfg_ref,
+            )
         });
         let mut image = vec![C64::ZERO; setup.n_pixels()];
         for r in results.iter().take(subtree) {

@@ -7,8 +7,8 @@
 //! cargo run --release --example limited_angle
 //! ```
 
-use ffw::inverse::BornConfig;
 use ffw::geometry::Point2;
+use ffw::inverse::BornConfig;
 use ffw::phantom::{image_rel_error, Annulus, Phantom};
 use ffw::tomo::{Reconstruction, SceneConfig};
 
@@ -16,7 +16,10 @@ fn main() {
     let (px, n_tx, n_rx, iters) = (64usize, 16, 32, 15);
     for (label, arc) in [
         ("full 360-degree ring", None),
-        ("limited 180-degree arc", Some((-std::f64::consts::FRAC_PI_2, std::f64::consts::PI))),
+        (
+            "limited 180-degree arc",
+            Some((-std::f64::consts::FRAC_PI_2, std::f64::consts::PI)),
+        ),
     ] {
         let mut scene = SceneConfig::new(px, n_tx, n_rx);
         if let Some((start, span)) = arc {
@@ -39,8 +42,10 @@ fn main() {
         let born_err = image_rel_error(&recon.image(&born.object), &truth_raster);
 
         println!("{label}:");
-        println!("  DBIM (multiple scattering): image error {dbim_err:.3}, residual {:.2}%",
-            100.0 * dbim.final_residual);
+        println!(
+            "  DBIM (multiple scattering): image error {dbim_err:.3}, residual {:.2}%",
+            100.0 * dbim.final_residual
+        );
         println!("  Born (single scattering):   image error {born_err:.3}");
         println!("  nonlinear advantage: {:.1}x\n", born_err / dbim_err);
     }

@@ -9,12 +9,13 @@
 
 use ffw::geometry::{Domain, Point2, QuadTree, TransducerArray};
 use ffw::inverse::{
-    multi_frequency_dbim, synthesize_measurements, DbimConfig, FrequencyHop, ImagingSetup,
-    MlfmaG0,
+    multi_frequency_dbim, synthesize_measurements, DbimConfig, FrequencyHop, ImagingSetup, MlfmaG0,
 };
 use ffw::mlfma::{Accuracy, MlfmaEngine, MlfmaPlan};
 use ffw::par::Pool;
-use ffw::phantom::{contrast_from_object, image_rel_error, object_from_contrast, Cylinder, Phantom};
+use ffw::phantom::{
+    contrast_from_object, image_rel_error, object_from_contrast, Cylinder, Phantom,
+};
 use std::sync::Arc;
 
 fn stage(wavelength: f64, n_side: usize) -> (ImagingSetup, MlfmaG0) {
@@ -79,8 +80,14 @@ fn main() {
         image_rel_error(&contrast_from_object(&domain, &tree, obj), &truth_raster)
     };
     println!("contrast 0.3 cylinder, {n_side}x{n_side} px, 12 total DBIM iterations:");
-    println!("  single frequency:        image error {:.3}", err(&single.object));
-    println!("  two-frequency hop:       image error {:.3}", err(&hop.object));
+    println!(
+        "  single frequency:        image error {:.3}",
+        err(&single.object)
+    );
+    println!(
+        "  two-frequency hop:       image error {:.3}",
+        err(&hop.object)
+    );
     println!(
         "  hop stage residuals: low-freq {:.2}% -> high-freq {:.2}%",
         100.0 * hop.stages[0].final_residual,

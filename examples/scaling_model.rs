@@ -14,11 +14,21 @@ fn main() {
 
     println!("strong scaling across illuminations (paper: 86.1% at 16x):");
     for p in fig9(&mut lib, scale) {
-        println!("  {:5} nodes  {:7.1} s  {:5.1}% efficient", p.nodes, p.seconds, 100.0 * p.efficiency);
+        println!(
+            "  {:5} nodes  {:7.1} s  {:5.1}% efficient",
+            p.nodes,
+            p.seconds,
+            100.0 * p.efficiency
+        );
     }
     println!("\nstrong scaling across MLFMA sub-trees (paper: 46.6% at 16x):");
     for p in fig10(&mut lib, scale) {
-        println!("  {:5} nodes  {:7.1} s  {:5.1}% efficient", p.nodes, p.seconds, 100.0 * p.efficiency);
+        println!(
+            "  {:5} nodes  {:7.1} s  {:5.1}% efficient",
+            p.nodes,
+            p.seconds,
+            100.0 * p.efficiency
+        );
     }
     println!("\nweak scaling across illuminations (paper: 77.2% real / 89.9% adjusted):");
     for p in fig11(&mut lib, scale) {

@@ -88,7 +88,8 @@ fn parallel_dbim_reproduces_serial_image() {
         Arc::clone(&plan),
         Arc::new(Pool::new(1)),
     )));
-    let measured = synthesize_measurements(&setup, &serial_engine, &object_true, Default::default());
+    let measured =
+        synthesize_measurements(&setup, &serial_engine, &object_true, Default::default());
     let cfg = DbimConfig {
         iterations: 3,
         ..Default::default()

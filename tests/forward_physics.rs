@@ -5,7 +5,7 @@
 use ffw::geometry::Domain;
 use ffw::greens::{incident_plane_wave, tree_positions, Kernel, MieCylinder};
 use ffw::inverse::MlfmaG0;
-use ffw::mlfma::{Accuracy, MlfmaPlan, MlfmaEngine};
+use ffw::mlfma::{Accuracy, MlfmaEngine, MlfmaPlan};
 use ffw::numerics::vecops::rel_diff;
 use ffw::numerics::C64;
 use ffw::par::Pool;

@@ -1,0 +1,212 @@
+//! Offline stand-in for the `crossbeam-channel` crate.
+//!
+//! Implements the multi-producer multi-consumer channel subset the workspace
+//! uses (`unbounded`, `bounded`, clonable `Sender`/`Receiver`, disconnection
+//! semantics) on top of a `Mutex<VecDeque>` and a `Condvar`. `bounded` does
+//! not enforce its capacity: every use in this workspace sends at most one
+//! message per wakeup channel, so backpressure is never exercised. Swap back
+//! to the real crate once a registry is reachable.
+
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+struct State<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Chan<T> {
+    state: Mutex<State<T>>,
+    cond: Condvar,
+}
+
+impl<T> Chan<T> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// The sending half of a channel. Clonable; the channel disconnects for
+/// receivers when every `Sender` has been dropped.
+pub struct Sender<T>(Arc<Chan<T>>);
+
+/// The receiving half of a channel. Clonable; all receivers drain the same
+/// queue (each message is delivered to exactly one receiver).
+pub struct Receiver<T>(Arc<Chan<T>>);
+
+/// Error returned by [`Sender::send`] when every receiver has been dropped.
+/// Carries the unsent message back to the caller.
+#[derive(PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+// Manual impl (upstream does the same) so `T: Debug` is not required.
+impl<T> std::fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and every
+/// sender has been dropped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// No message is currently queued.
+    Empty,
+    /// The channel is empty and every sender has been dropped.
+    Disconnected,
+}
+
+impl<T> Sender<T> {
+    /// Enqueues `msg`, waking one blocked receiver. Fails (returning the
+    /// message) if every receiver has been dropped.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        let mut st = self.0.lock();
+        if st.receivers == 0 {
+            return Err(SendError(msg));
+        }
+        st.queue.push_back(msg);
+        drop(st);
+        self.0.cond.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.0.lock().senders += 1;
+        Sender(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut st = self.0.lock();
+        st.senders -= 1;
+        let disconnected = st.senders == 0;
+        drop(st);
+        if disconnected {
+            self.0.cond.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until a message is available or the channel disconnects.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut st = self.0.lock();
+        loop {
+            if let Some(msg) = st.queue.pop_front() {
+                return Ok(msg);
+            }
+            if st.senders == 0 {
+                return Err(RecvError);
+            }
+            st = self.0.cond.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut st = self.0.lock();
+        match st.queue.pop_front() {
+            Some(msg) => Ok(msg),
+            None if st.senders == 0 => Err(TryRecvError::Disconnected),
+            None => Err(TryRecvError::Empty),
+        }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.0.lock().receivers += 1;
+        Receiver(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.0.lock().receivers -= 1;
+    }
+}
+
+fn channel<T>() -> (Sender<T>, Receiver<T>) {
+    let chan = Arc::new(Chan {
+        state: Mutex::new(State {
+            queue: VecDeque::new(),
+            senders: 1,
+            receivers: 1,
+        }),
+        cond: Condvar::new(),
+    });
+    (Sender(Arc::clone(&chan)), Receiver(chan))
+}
+
+/// Creates an unbounded MPMC channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    channel()
+}
+
+/// Creates a "bounded" channel. Capacity is not enforced by this stand-in
+/// (see the crate docs); the signature exists for source compatibility.
+pub fn bounded<T>(_cap: usize) -> (Sender<T>, Receiver<T>) {
+    channel()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_recv_fifo() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn disconnect_on_sender_drop() {
+        let (tx, rx) = unbounded::<u32>();
+        drop(tx);
+        assert_eq!(rx.recv(), Err(RecvError));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn blocked_recv_wakes_on_disconnect() {
+        let (tx, rx) = unbounded::<u32>();
+        let h = std::thread::spawn(move || rx.recv());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        drop(tx);
+        assert_eq!(h.join().unwrap(), Err(RecvError));
+    }
+
+    #[test]
+    fn multiple_consumers_each_get_one() {
+        let (tx, rx) = bounded(4);
+        let rx2 = rx.clone();
+        tx.send(7).unwrap();
+        tx.send(8).unwrap();
+        let a = rx.recv().unwrap();
+        let b = rx2.recv().unwrap();
+        let mut got = [a, b];
+        got.sort_unstable();
+        assert_eq!(got, [7, 8]);
+    }
+
+    #[test]
+    fn send_fails_without_receivers() {
+        let (tx, rx) = unbounded::<u32>();
+        drop(rx);
+        assert_eq!(tx.send(9), Err(SendError(9)));
+    }
+}

@@ -1,0 +1,269 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Supports the subset this workspace's property tests use: the `proptest!`
+//! macro (with optional `#![proptest_config(...)]` header), numeric-range and
+//! tuple strategies, `prop_map`, `prop::collection::vec`, and the
+//! `prop_assert!`/`prop_assert_eq!` macros. Sampling is plain deterministic
+//! pseudo-random draws (no shrinking, no persisted failure seeds): each test
+//! runs `cases` iterations with a generator seeded from the test name, so
+//! failures reproduce run-to-run. Swap back to the real crate once a
+//! registry is reachable.
+
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// Deterministic generator driving strategy sampling (SplitMix64).
+#[derive(Clone, Debug)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Creates a generator for the given seed.
+    pub fn new(seed: u64) -> Self {
+        TestRng(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1))
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Per-test configuration (`cases` = iterations per property).
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of sampled cases per property test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` iterations.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A value generator: the stand-in keeps `proptest`'s trait name and
+/// associated-type name so `impl Strategy<Value = T>` signatures compile
+/// unchanged.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+            fn sample(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $ty
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(usize, u64, u32);
+
+impl Strategy for Range<i64> {
+    type Value = i64;
+    fn sample(&self, rng: &mut TestRng) -> i64 {
+        assert!(self.start < self.end, "empty strategy range");
+        let span = (self.end - self.start) as u64;
+        self.start + (rng.next_u64() % span) as i64
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        self.start + (self.end - self.start) * rng.unit_f64()
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
+    }
+}
+
+/// Collection strategies (`prop::collection` in real proptest).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for `Vec<T>` with a length drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Generates vectors of values from `element` with lengths in `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.len.clone().sample(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// The names real proptest exposes through `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+
+    /// Mirror of the `prop` module re-export in real proptest's prelude.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Seeds a [`TestRng`] from a test-name string (FNV-1a).
+pub fn seed_from_name(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Property-test entry point; see the crate docs for supported syntax.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = ($cfg:expr);
+     $( #[test] $(#[$meta:meta])*
+        fn $name:ident( $($arg:pat in $strat:expr),* $(,)? ) $body:block )*
+    ) => {$(
+        #[test]
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::TestRng::new($crate::seed_from_name(stringify!($name)));
+            for __case in 0..__config.cases {
+                let ($($arg),*,) = ($($crate::Strategy::sample(&($strat), &mut __rng)),*,);
+                $body
+            }
+        }
+    )*};
+}
+
+/// Asserts a property holds for the sampled case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts two expressions are equal for the sampled case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_sample_in_bounds() {
+        let mut rng = crate::TestRng::new(1);
+        for _ in 0..1000 {
+            let v = Strategy::sample(&(3usize..17), &mut rng);
+            assert!((3..17).contains(&v));
+            let f = Strategy::sample(&(-2.0..4.0f64), &mut rng);
+            assert!((-2.0..4.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_length() {
+        let mut rng = crate::TestRng::new(2);
+        let s = prop::collection::vec(0u64..5, 1..9);
+        for _ in 0..200 {
+            let v = Strategy::sample(&s, &mut rng);
+            assert!(!v.is_empty() && v.len() < 9);
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_binds_args(x in 0u64..100, (a, b) in (0usize..4, 0usize..4)) {
+            prop_assert!(x < 100);
+            prop_assert_eq!((a < 4, b < 4), (true, true));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_without_config(y in -5i64..5) {
+            prop_assert!((-5..5).contains(&y));
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! Real serde serializes through a visitor (`Serializer`); this stand-in
+//! collapses that design to the one thing the workspace needs — turning
+//! result/config structs into a JSON value tree that `serde_json` (also a
+//! stand-in) renders. `#[derive(Serialize)]` comes from the sibling
+//! `third_party/serde_derive` proc-macro crate. Swap both back to the real
+//! crates once a registry is reachable.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::Serialize;
+
+/// A JSON-shaped value tree: the output of [`Serialize::to_value`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer.
+    UInt(u64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+/// Types convertible to a JSON [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` to a value tree.
+    fn to_value(&self) -> Value;
+}
+
+macro_rules! impl_int {
+    ($variant:ident as $as:ty : $($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                Value::$variant(*self as $as)
+            }
+        }
+    )*};
+}
+
+impl_int!(Int as i64: i8, i16, i32, i64, isize);
+impl_int!(UInt as u64: u8, u16, u32, u64, usize);
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_map_to_variants() {
+        assert_eq!(3usize.to_value(), Value::UInt(3));
+        assert_eq!((-2i32).to_value(), Value::Int(-2));
+        assert_eq!(1.5f64.to_value(), Value::Float(1.5));
+        assert_eq!("hi".to_value(), Value::Str("hi".into()));
+        assert_eq!(None::<f64>.to_value(), Value::Null);
+        assert_eq!(
+            vec![1u8, 2].to_value(),
+            Value::Array(vec![Value::UInt(1), Value::UInt(2)])
+        );
+    }
+}

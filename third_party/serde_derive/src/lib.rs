@@ -1,0 +1,189 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` for the shapes this workspace uses:
+//! structs with named fields and enums whose variants are all unit variants.
+//! Written against the raw `proc_macro` API (no `syn`/`quote` available in
+//! the offline build environment): the input item is walked as token trees
+//! and the impl is emitted as a source string. Generic types, tuple structs,
+//! and data-carrying enum variants are rejected with a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("valid error tokens")
+}
+
+/// Skips one attribute (`#` + bracket group) starting at `i`; returns the new
+/// index, or `i` unchanged if the position does not start an attribute.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match (tokens.get(i), tokens.get(i + 1)) {
+            (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Skips a `pub` / `pub(...)` visibility marker.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if matches!(tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        i += 1;
+        if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Collects named-struct field identifiers from the tokens of a brace group.
+fn named_fields(body: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        i = skip_attrs(body, i);
+        if i >= body.len() {
+            break;
+        }
+        i = skip_vis(body, i);
+        let name = match body.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        i += 1;
+        match body.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => {
+                return Err(format!(
+                    "expected ':' after field `{name}` (tuple structs unsupported)"
+                ))
+            }
+        }
+        fields.push(name);
+        // Skip the type: everything until a comma at angle-bracket depth 0.
+        let mut angle_depth = 0i32;
+        while i < body.len() {
+            match &body[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    Ok(fields)
+}
+
+/// Collects unit-variant identifiers from the tokens of an enum brace group.
+fn unit_variants(body: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        i = skip_attrs(body, i);
+        if i >= body.len() {
+            break;
+        }
+        let name = match body.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        i += 1;
+        match body.get(i) {
+            None => {
+                variants.push(name);
+                break;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                variants.push(name);
+                i += 1;
+            }
+            Some(_) => {
+                return Err(format!(
+                    "variant `{name}` carries data; only unit variants are supported by the offline serde_derive stand-in"
+                ))
+            }
+        }
+    }
+    Ok(variants)
+}
+
+/// Derives the offline stand-in `serde::Serialize` (see `third_party/serde`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs(&tokens, 0);
+    i = skip_vis(&tokens, i);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" || id.to_string() == "enum" => {
+            id.to_string()
+        }
+        other => return compile_error(&format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return compile_error(&format!("expected item name, found {other:?}")),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return compile_error(&format!(
+            "offline serde_derive stand-in cannot derive Serialize for generic type `{name}`"
+        ));
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            g.stream().into_iter().collect::<Vec<_>>()
+        }
+        other => {
+            return compile_error(&format!(
+            "expected braced body for `{name}` (tuple/unit structs unsupported), found {other:?}"
+        ))
+        }
+    };
+
+    let impl_body = if kind == "struct" {
+        match named_fields(&body) {
+            Ok(fields) => {
+                let pushes: String = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "__fields.push(({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f})));\n"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "let mut __fields: Vec<(String, ::serde::Value)> = Vec::new();\n{pushes}::serde::Value::Object(__fields)"
+                )
+            }
+            Err(e) => return compile_error(&e),
+        }
+    } else {
+        match unit_variants(&body) {
+            Ok(variants) => {
+                let arms: String = variants
+                    .iter()
+                    .map(|v| format!("{name}::{v} => ::serde::Value::Str({v:?}.to_string()),\n"))
+                    .collect();
+                format!("match self {{\n{arms}}}")
+            }
+            Err(e) => return compile_error(&e),
+        }
+    };
+
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n    fn to_value(&self) -> ::serde::Value {{\n        {impl_body}\n    }}\n}}\n"
+    );
+    out.parse().expect("generated impl parses")
+}

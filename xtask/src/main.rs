@@ -1,0 +1,387 @@
+//! Workspace automation. The only subcommand today is `lint`, the
+//! concurrency-hygiene gate that CI runs alongside clippy:
+//!
+//! ```text
+//! cargo run -p xtask -- lint
+//! ```
+//!
+//! The lints are deliberately textual — line-oriented heuristics over the
+//! source tree, not a rustc plugin — because the properties they enforce are
+//! properties of the *source text* (comments, attributes, identifier
+//! discipline) that the compiler cannot see:
+//!
+//! * **R1 — SAFETY comments**: every line introducing `unsafe` code must be
+//!   justified by a `SAFETY` comment (walking up through the comment/attribute
+//!   block above it, or within the 3 preceding lines for mid-function blocks).
+//! * **R2 — `unsafe_op_in_unsafe_fn`**: any crate root whose crate contains
+//!   `unsafe` must carry `#![deny(unsafe_op_in_unsafe_fn)]`, so unsafe
+//!   operations are always visibly scoped even inside unsafe fns.
+//! * **R3 — completion-flag orderings**: `Ordering::Relaxed` must not be used
+//!   on the completion/panic-protocol atomics (`chunks_done`, `panicked`) —
+//!   those require acquire/release pairing; a waiver comment
+//!   `// lint:relaxed-ok` on the same or previous line exempts a justified
+//!   use.
+//! * **R4 — thread spawning**: `thread::spawn` is allowed only in the two
+//!   substrate crates (`ffw-par`, `ffw-mpi`); everything else must go through
+//!   them so the checkers (watchdog, trace validation, pool accounting) see
+//!   all concurrency. Test code (a `#[cfg(test)]` suffix module or a `tests/`
+//!   directory) is exempt, as is `// lint:spawn-ok`.
+//!
+//! Scope: R1–R3 cover `crates/` and `xtask/`; R4 covers `crates/` only
+//! (`third_party/` holds vendored stand-ins for external dependencies and is
+//! linted for unsafe hygiene but not spawn discipline).
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(),
+        Some(other) => {
+            eprintln!("unknown subcommand {other:?}; available: lint");
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!("usage: cargo run -p xtask -- lint");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn lint() -> ExitCode {
+    let root = workspace_root();
+    let mut diagnostics = Vec::new();
+
+    for dir in ["crates", "xtask", "third_party"] {
+        for file in rust_files(&root.join(dir)) {
+            let text = match std::fs::read_to_string(&file) {
+                Ok(t) => t,
+                Err(e) => {
+                    diagnostics.push(format!("{}: unreadable: {e}", file.display()));
+                    continue;
+                }
+            };
+            let rel = file
+                .strip_prefix(&root)
+                .unwrap_or(&file)
+                .display()
+                .to_string();
+            diagnostics.extend(check_safety_comments(&rel, &text));
+            diagnostics.extend(check_unsafe_fn_attr(&rel, &text));
+            diagnostics.extend(check_relaxed_orderings(&rel, &text));
+            if dir == "crates" {
+                diagnostics.extend(check_thread_spawn(&rel, &text));
+            }
+        }
+    }
+
+    if diagnostics.is_empty() {
+        println!("xtask lint: OK");
+        ExitCode::SUCCESS
+    } else {
+        for d in &diagnostics {
+            eprintln!("xtask lint: {d}");
+        }
+        eprintln!("xtask lint: {} violation(s)", diagnostics.len());
+        ExitCode::FAILURE
+    }
+}
+
+fn workspace_root() -> PathBuf {
+    // xtask always lives directly under the workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("xtask has a parent directory")
+        .to_path_buf()
+}
+
+fn rust_files(dir: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&d) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                if path.file_name().is_some_and(|n| n == "target") {
+                    continue;
+                }
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    files
+}
+
+/// Replaces string-literal contents with spaces and truncates at a trailing
+/// `//` comment, so token matching only sees actual code. (Heuristic: `"`
+/// inside char literals would confuse it; the workspace has none.)
+fn mask_code(line: &str) -> String {
+    let mut out = String::with_capacity(line.len());
+    let mut chars = line.chars().peekable();
+    let mut in_string = false;
+    while let Some(c) = chars.next() {
+        if in_string {
+            match c {
+                '\\' => {
+                    out.push(' ');
+                    if chars.next().is_some() {
+                        out.push(' ');
+                    }
+                }
+                '"' => {
+                    in_string = false;
+                    out.push('"');
+                }
+                _ => out.push(' '),
+            }
+        } else {
+            match c {
+                '"' => {
+                    in_string = true;
+                    out.push('"');
+                }
+                '/' if chars.peek() == Some(&'/') => break,
+                _ => out.push(c),
+            }
+        }
+    }
+    out
+}
+
+/// True if `line` contains `word` bounded by non-identifier characters.
+fn contains_word(line: &str, word: &str) -> bool {
+    let is_ident = |c: char| c.is_ascii_alphanumeric() || c == '_';
+    let mut start = 0;
+    while let Some(pos) = line[start..].find(word) {
+        let abs = start + pos;
+        let before_ok = abs == 0 || !line[..abs].chars().next_back().is_some_and(is_ident);
+        let after_ok = !line[abs + word.len()..]
+            .chars()
+            .next()
+            .is_some_and(is_ident);
+        if before_ok && after_ok {
+            return true;
+        }
+        start = abs + word.len();
+    }
+    false
+}
+
+fn is_comment_or_attr(line: &str) -> bool {
+    let t = line.trim_start();
+    t.is_empty() || t.starts_with("//") || t.starts_with("#[") || t.starts_with("#!")
+}
+
+/// R1: every `unsafe` introduction is covered by a SAFETY comment.
+fn check_safety_comments(file: &str, text: &str) -> Vec<String> {
+    let lines: Vec<&str> = text.lines().collect();
+    let mut out = Vec::new();
+    for (i, line) in lines.iter().enumerate() {
+        if !contains_word(&mask_code(line), "unsafe") {
+            continue;
+        }
+        // Walk up through the contiguous comment/attribute block.
+        let mut covered = false;
+        let mut j = i;
+        while j > 0 && is_comment_or_attr(lines[j - 1]) {
+            j -= 1;
+            if lines[j].contains("SAFETY") {
+                covered = true;
+                break;
+            }
+        }
+        // Mid-function blocks: accept a SAFETY comment within the 3 preceding
+        // lines even if code intervenes (e.g. pointer setup between the
+        // comment and the deref it justifies).
+        if !covered {
+            covered = lines[i.saturating_sub(3)..i]
+                .iter()
+                .any(|l| l.contains("SAFETY"));
+        }
+        if !covered {
+            out.push(format!(
+                "{file}:{}: `unsafe` without a `// SAFETY:` comment above it",
+                i + 1
+            ));
+        }
+    }
+    out
+}
+
+/// R2: crate roots of crates containing `unsafe` must deny
+/// `unsafe_op_in_unsafe_fn`.
+fn check_unsafe_fn_attr(file: &str, text: &str) -> Vec<String> {
+    let is_crate_root = file.ends_with("src/lib.rs") || file.ends_with("src/main.rs");
+    if !is_crate_root {
+        // Multi-file crates would need crate-level aggregation; every unsafe
+        // block in this workspace lives in a single-file crate root today.
+        return Vec::new();
+    }
+    let has_unsafe = text.lines().any(|l| contains_word(&mask_code(l), "unsafe"));
+    if has_unsafe && !text.contains("#![deny(unsafe_op_in_unsafe_fn)]") {
+        return vec![format!(
+            "{file}: crate contains `unsafe` but is missing #![deny(unsafe_op_in_unsafe_fn)]"
+        )];
+    }
+    Vec::new()
+}
+
+/// Atomics that implement the completion/panic protocol and therefore must
+/// never be accessed with `Ordering::Relaxed`.
+const GUARDED_ATOMICS: [&str; 2] = ["chunks_done", "panicked"];
+
+/// R3: no `Ordering::Relaxed` on completion/panic-flag atomics.
+fn check_relaxed_orderings(file: &str, text: &str) -> Vec<String> {
+    let lines: Vec<&str> = text.lines().collect();
+    let mut out = Vec::new();
+    for (i, line) in lines.iter().enumerate() {
+        let masked = mask_code(line);
+        if !masked.contains("Relaxed") {
+            continue;
+        }
+        let guarded = GUARDED_ATOMICS.iter().any(|a| contains_word(&masked, a));
+        if !guarded {
+            continue;
+        }
+        let waived =
+            line.contains("lint:relaxed-ok") || (i > 0 && lines[i - 1].contains("lint:relaxed-ok"));
+        if !waived {
+            out.push(format!(
+                "{file}:{}: Ordering::Relaxed on a completion/panic-flag atomic \
+                 (needs acquire/release; waive with `// lint:relaxed-ok` if justified)",
+                i + 1
+            ));
+        }
+    }
+    out
+}
+
+/// R4: `thread::spawn` only inside the substrate crates.
+fn check_thread_spawn(file: &str, text: &str) -> Vec<String> {
+    if file.starts_with("crates/par/") || file.starts_with("crates/mpi/") {
+        return Vec::new();
+    }
+    if file.contains("/tests/") || file.contains("/benches/") {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let mut in_test_suffix = false;
+    for (i, line) in text.lines().enumerate() {
+        // Convention in this workspace: the `#[cfg(test)]` module is the tail
+        // of the file, so everything after the marker is test code.
+        if line.trim_start().starts_with("#[cfg(test)]") {
+            in_test_suffix = true;
+        }
+        if in_test_suffix {
+            continue;
+        }
+        if mask_code(line).contains("thread::spawn") && !line.contains("lint:spawn-ok") {
+            out.push(format!(
+                "{file}:{}: direct thread::spawn outside ffw-par/ffw-mpi — route \
+                 concurrency through the substrate crates so the checkers see it",
+                i + 1
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_boundaries() {
+        assert!(contains_word("let x = unsafe {", "unsafe"));
+        assert!(!contains_word("#![deny(unsafe_op_in_unsafe_fn)]", "unsafe"));
+        assert!(!contains_word("unsafely", "unsafe"));
+        assert!(contains_word("(unsafe)", "unsafe"));
+    }
+
+    #[test]
+    fn safety_comment_directly_above_passes() {
+        let src = "// SAFETY: justified\nunsafe impl Send for X {}\n";
+        assert!(check_safety_comments("f.rs", src).is_empty());
+    }
+
+    #[test]
+    fn safety_comment_through_doc_block_passes() {
+        let src =
+            "/// Does things.\n///\n/// SAFETY contract: caller ensures X.\nunsafe fn f() {}\n";
+        assert!(check_safety_comments("f.rs", src).is_empty());
+    }
+
+    #[test]
+    fn missing_safety_comment_fails() {
+        let src = "fn f() {\n    let x = unsafe { *p };\n}\n";
+        let diags = check_safety_comments("f.rs", src);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].contains("f.rs:2"));
+    }
+
+    #[test]
+    fn nearby_safety_with_intervening_code_passes() {
+        let src = "// SAFETY: chunks are disjoint\nlet ptr = base.add(off);\nlet s = unsafe { from_raw_parts_mut(ptr, n) };\n";
+        assert!(check_safety_comments("f.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unsafe_crate_without_deny_attr_fails() {
+        let src = "unsafe fn f() {}\n";
+        assert_eq!(check_unsafe_fn_attr("crates/x/src/lib.rs", src).len(), 1);
+        let fixed = "#![deny(unsafe_op_in_unsafe_fn)]\nunsafe fn f() {}\n";
+        assert!(check_unsafe_fn_attr("crates/x/src/lib.rs", fixed).is_empty());
+    }
+
+    #[test]
+    fn relaxed_on_guarded_atomic_fails() {
+        let src = "self.chunks_done.fetch_add(1, Ordering::Relaxed);\n";
+        assert_eq!(check_relaxed_orderings("f.rs", src).len(), 1);
+        let ok = "self.dispenser.fetch_add(1, Ordering::Relaxed);\n";
+        assert!(check_relaxed_orderings("f.rs", ok).is_empty());
+        let waived =
+            "// lint:relaxed-ok — diagnostic counter only\nself.panicked.load(Ordering::Relaxed);\n";
+        assert!(check_relaxed_orderings("f.rs", waived).is_empty());
+    }
+
+    #[test]
+    fn spawn_outside_substrate_fails() {
+        let src = "std::thread::spawn(|| {});\n";
+        assert_eq!(
+            check_thread_spawn("crates/dist/src/engine.rs", src).len(),
+            1
+        );
+        assert!(check_thread_spawn("crates/par/src/lib.rs", src).is_empty());
+        assert!(check_thread_spawn("crates/dist/tests/t.rs", src).is_empty());
+        let test_only =
+            "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g() { std::thread::spawn(|| {}); }\n}\n";
+        assert!(check_thread_spawn("crates/dist/src/engine.rs", test_only).is_empty());
+    }
+
+    #[test]
+    fn lint_rules_pass_on_this_workspace() {
+        // The gate must be green on the tree it ships in.
+        let root = workspace_root();
+        let mut diags = Vec::new();
+        for dir in ["crates", "xtask", "third_party"] {
+            for file in rust_files(&root.join(dir)) {
+                let text = std::fs::read_to_string(&file).unwrap();
+                let rel = file.strip_prefix(&root).unwrap().display().to_string();
+                diags.extend(check_safety_comments(&rel, &text));
+                diags.extend(check_unsafe_fn_attr(&rel, &text));
+                diags.extend(check_relaxed_orderings(&rel, &text));
+                if dir == "crates" {
+                    diags.extend(check_thread_spawn(&rel, &text));
+                }
+            }
+        }
+        assert!(diags.is_empty(), "lint violations:\n{}", diags.join("\n"));
+    }
+}
