@@ -33,5 +33,8 @@ pub mod trace;
 pub mod waitgraph;
 
 pub use loom::{ExploreReport, Explorer, Model};
-pub use trace::{validate_traces, CollectiveKind, Event, LeakedMessage, Violation};
+pub use trace::{
+    validate_traces, validate_traces_faulty, CollectiveKind, Event, FaultEvent, LeakedMessage,
+    Violation,
+};
 pub use waitgraph::{diagnose_deadlock, DeadlockReport, WaitState};

@@ -87,6 +87,48 @@ pub enum Event {
         /// The root rank (0 for rootless collectives like barrier/allreduce).
         root: usize,
     },
+    /// A fault-injection or fault-handling event (see [`FaultEvent`]).
+    Fault(FaultEvent),
+}
+
+/// A fault observed (or injected) by the runtime, recorded in the trace so
+/// fault runs remain fully auditable after the fact.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// A seeded fault plan crashed this rank at its `op`-th operation.
+    InjectedCrash {
+        /// 1-based operation index at which the crash fired.
+        op: u64,
+    },
+    /// A delivery attempt of a send was dropped by fault injection.
+    SendDropped {
+        /// Destination rank.
+        dst: usize,
+        /// Message tag.
+        tag: u32,
+        /// 1-based delivery attempt that was dropped.
+        attempt: u32,
+    },
+    /// All delivery attempts of a send were dropped; the destination is
+    /// declared dead by the sender.
+    SendRetriesExhausted {
+        /// Destination rank, now considered dead.
+        dst: usize,
+        /// Message tag.
+        tag: u32,
+        /// Total attempts made.
+        attempts: u32,
+    },
+    /// Fault injection delayed this rank's operation (straggler model).
+    Straggle {
+        /// Injected delay in milliseconds.
+        delay_ms: u64,
+    },
+    /// The watchdog abandoned a wait because the peer rank had died.
+    PeerDeclaredDead {
+        /// The dead peer.
+        peer: usize,
+    },
 }
 
 /// A message still sitting in a mailbox when `run()` exited.
@@ -181,10 +223,28 @@ impl fmt::Display for Violation {
 /// undelivered in the mailboxes at exit. Returns every violation found (empty
 /// means the run was protocol-clean).
 pub fn validate_traces(traces: &[Vec<Event>], leaked: &[LeakedMessage]) -> Vec<Violation> {
+    validate_impl(traces, leaked, false)
+}
+
+/// Validates the traces of a run in which ranks died (injected crashes or
+/// exhausted send retries).
+///
+/// A dead rank legitimately leaves messages undelivered (peers had already
+/// sent to it) and truncates its collective sequence, so this mode skips
+/// message-leak checks and only flags collective sequences that *diverge*
+/// (both ranks executed a collective at the same position but disagree on
+/// which). Self-sends and reserved-tag misuse are still hard errors.
+pub fn validate_traces_faulty(traces: &[Vec<Event>], leaked: &[LeakedMessage]) -> Vec<Violation> {
+    validate_impl(traces, leaked, true)
+}
+
+fn validate_impl(traces: &[Vec<Event>], leaked: &[LeakedMessage], faulty: bool) -> Vec<Violation> {
     let mut violations = Vec::new();
 
-    for msg in leaked {
-        violations.push(Violation::MessageLeak(msg.clone()));
+    if !faulty {
+        for msg in leaked {
+            violations.push(Violation::MessageLeak(msg.clone()));
+        }
     }
 
     const RESERVED_BIT: u32 = 0x8000_0000;
@@ -206,7 +266,7 @@ pub fn validate_traces(traces: &[Vec<Event>], leaked: &[LeakedMessage]) -> Vec<V
                         violations.push(Violation::ReservedTagUse { rank, tag });
                     }
                 }
-                Event::Collective { .. } => {}
+                Event::Collective { .. } | Event::Fault(_) => {}
             }
         }
     }
@@ -232,16 +292,22 @@ pub fn validate_traces(traces: &[Vec<Event>], leaked: &[LeakedMessage]) -> Vec<V
             for index in 0..n {
                 let op_a = reference.get(index).copied();
                 let op_b = seq.get(index).copied();
-                if op_a != op_b {
-                    violations.push(Violation::CollectiveMismatch {
-                        index,
-                        rank_a: 0,
-                        op_a,
-                        rank_b,
-                        op_b,
-                    });
-                    break; // one divergence per rank pair is enough signal
+                if op_a == op_b {
+                    continue;
                 }
+                // A dead rank truncates its collective sequence; that is not
+                // a divergence in a fault run.
+                if faulty && (op_a.is_none() || op_b.is_none()) {
+                    break;
+                }
+                violations.push(Violation::CollectiveMismatch {
+                    index,
+                    rank_a: 0,
+                    op_a,
+                    rank_b,
+                    op_b,
+                });
+                break; // one divergence per rank pair is enough signal
             }
         }
     }
@@ -335,6 +401,49 @@ mod tests {
         let violations = validate_traces(&traces, &[]);
         assert_eq!(violations.len(), 1);
         assert!(violations[0].to_string().contains("call #1"));
+    }
+
+    #[test]
+    fn faulty_mode_tolerates_leaks_and_truncation_but_not_divergence() {
+        let barrier = Event::Collective {
+            kind: CollectiveKind::Barrier,
+            root: 0,
+        };
+        let reduce = Event::Collective {
+            kind: CollectiveKind::AllreduceSumF64,
+            root: 0,
+        };
+        let leaked = vec![LeakedMessage {
+            src: 0,
+            dst: 1,
+            tag: 9,
+            bytes: 48,
+        }];
+        // Rank 1 died after one collective: leak + truncation tolerated.
+        let traces = vec![
+            vec![
+                barrier.clone(),
+                reduce.clone(),
+                Event::Fault(FaultEvent::PeerDeclaredDead { peer: 1 }),
+            ],
+            vec![
+                barrier.clone(),
+                Event::Fault(FaultEvent::InjectedCrash { op: 2 }),
+            ],
+        ];
+        assert!(validate_traces_faulty(&traces, &leaked).is_empty());
+        // The strict validator still flags the same run.
+        assert!(!validate_traces(&traces, &leaked).is_empty());
+        // True divergence (different collective at the same position) is a
+        // violation even in faulty mode.
+        let diverged = vec![
+            vec![barrier.clone(), reduce],
+            vec![barrier.clone(), barrier],
+        ];
+        assert!(matches!(
+            validate_traces_faulty(&diverged, &[]).as_slice(),
+            [Violation::CollectiveMismatch { .. }]
+        ));
     }
 
     #[test]

@@ -9,11 +9,14 @@
 //! Writes `<out>_truth.pgm` and `<out>_reconstruction.pgm` and prints the
 //! reconstruction metrics.
 
+use ffw_dist::{run_dbim_ft, FtConfig};
 use ffw_geometry::Point2;
 use ffw_inverse::{add_noise, BornConfig, DbimConfig};
+use ffw_mpi::FaultPlan;
 use ffw_phantom::{image_rel_error, Annulus, Cylinder, Phantom, RandomBlobs, SheppLogan};
 use ffw_tomo::viz::write_pgm;
 use ffw_tomo::{Reconstruction, SceneConfig};
+use std::path::PathBuf;
 use std::sync::Arc;
 
 struct Cli {
@@ -29,6 +32,12 @@ struct Cli {
     precondition: bool,
     positivity: bool,
     out: Option<String>,
+    groups: Option<usize>,
+    subtree: usize,
+    checkpoint: Option<PathBuf>,
+    resume: bool,
+    chaos_seed: Option<u64>,
+    max_restarts: u32,
 }
 
 fn parse_args() -> Result<Cli, String> {
@@ -45,6 +54,12 @@ fn parse_args() -> Result<Cli, String> {
         precondition: false,
         positivity: false,
         out: None,
+        groups: None,
+        subtree: 2,
+        checkpoint: None,
+        resume: false,
+        chaos_seed: None,
+        max_restarts: 1,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -73,12 +88,29 @@ fn parse_args() -> Result<Cli, String> {
             "--precondition" => cli.precondition = true,
             "--positivity" => cli.positivity = true,
             "--out" => cli.out = Some(val("--out")?),
+            "--groups" => cli.groups = Some(val("--groups")?.parse().map_err(|e| format!("{e}"))?),
+            "--subtree" => cli.subtree = val("--subtree")?.parse().map_err(|e| format!("{e}"))?,
+            "--checkpoint" => cli.checkpoint = Some(PathBuf::from(val("--checkpoint")?)),
+            "--resume" => cli.resume = true,
+            "--chaos-seed" => {
+                cli.chaos_seed = Some(val("--chaos-seed")?.parse().map_err(|e| format!("{e}"))?)
+            }
+            "--max-restarts" => {
+                cli.max_restarts = val("--max-restarts")?.parse().map_err(|e| format!("{e}"))?
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: ffw-reconstruct [--size N] [--tx T] [--rx R] \
                      [--phantom cylinder|annulus|shepp-logan|blobs] [--contrast C] \
                      [--iterations K] [--noise-db D] [--arc-deg A] [--born] \
-                     [--precondition] [--positivity] [--out PREFIX]"
+                     [--precondition] [--positivity] [--out PREFIX] \
+                     [--groups G [--subtree P] [--checkpoint PATH] [--resume] \
+                     [--chaos-seed S] [--max-restarts N]]\n\n\
+                     --groups switches to the fault-tolerant distributed DBIM on a \
+                     G x P in-process rank grid: outer-iteration checkpoints \
+                     (--checkpoint), bit-identical restart (--resume), seeded fault \
+                     injection (--chaos-seed), and graceful degradation when ranks \
+                     die (up to --max-restarts relaunches on the survivors)."
                 );
                 std::process::exit(0);
             }
@@ -146,6 +178,39 @@ fn main() {
         let result = recon.run_born(&measured, &BornConfig::default());
         println!("Born (single scattering): {:?}", result.stats);
         (recon.image(&result.object), "Born")
+    } else if let Some(groups) = cli.groups {
+        let ft = FtConfig {
+            dbim: DbimConfig {
+                iterations: cli.iterations,
+                positivity: cli.positivity,
+                ..Default::default()
+            },
+            groups,
+            subtree_ranks: cli.subtree,
+            checkpoint: cli.checkpoint.clone(),
+            resume: cli.resume,
+            max_restarts: cli.max_restarts,
+            fault_plan: cli
+                .chaos_seed
+                .map(|s| FaultPlan::seeded(s, groups * cli.subtree)),
+            deadlock_timeout: None,
+        };
+        let result = match run_dbim_ft(&recon.setup, Arc::clone(&recon.plan), &measured, &ft) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("fault-tolerant DBIM failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        println!(
+            "fault-tolerant DBIM ({groups} groups x {} sub-trees): residual {:.3}%, \
+             lost illuminations {:?}, restarts {}",
+            cli.subtree,
+            100.0 * result.final_residual,
+            result.lost_txs,
+            result.restarts
+        );
+        (recon.image(&result.object), "DBIM (distributed)")
     } else {
         let cfg = DbimConfig {
             iterations: cli.iterations,

@@ -10,7 +10,7 @@
 use crate::partition::{ExchangePlan, SubtreePartition};
 use ffw_geometry::{morton_decode, morton_encode, LEAF_PIXELS};
 use ffw_mlfma::{offset_index, MlfmaPlan};
-use ffw_mpi::{Comm, Payload};
+use ffw_mpi::{Comm, FaultError, Payload};
 use ffw_numerics::{c64, C64};
 use std::sync::Arc;
 
@@ -100,7 +100,19 @@ impl<'c> DistMlfma<'c> {
     /// Schedule (paper Fig. 8): send the near-field halo first, aggregate the
     /// local sub-trees while it is in flight, send far-field patterns, compute
     /// the near field while *they* are in flight, then receive and translate.
+    ///
+    /// Communication failures panic; fault-tolerant drivers should call
+    /// [`DistMlfma::try_apply`] instead.
     pub fn apply(&self, x_local: &[C64], y_local: &mut [C64]) {
+        if let Err(e) = self.try_apply(x_local, y_local) {
+            panic!("ffw-dist: {e}");
+        }
+    }
+
+    /// Checked variant of [`DistMlfma::apply`]: a dead peer or a message
+    /// lost beyond the retry budget surfaces as a typed [`FaultError`]
+    /// instead of a panic, letting the rank unwind cleanly.
+    pub fn try_apply(&self, x_local: &[C64], y_local: &mut [C64]) -> Result<(), FaultError> {
         let n_local = self.n_local();
         assert_eq!(x_local.len(), n_local);
         assert_eq!(y_local.len(), n_local);
@@ -121,7 +133,7 @@ impl<'c> DistMlfma<'c> {
                 buf.extend_from_slice(&x_local[off..off + LEAF_PIXELS]);
             }
             self.comm
-                .send(self.members[peer_slot], TAG_HALO, Payload::C64(pack(&buf)));
+                .send_checked(self.members[peer_slot], TAG_HALO, Payload::C64(pack(&buf)))?;
         }
 
         // --- 2. aggregation over local sub-trees (overlaps halo transit) ---
@@ -179,21 +191,21 @@ impl<'c> DistMlfma<'c> {
                     }
                 }
                 if !buf.is_empty() {
-                    self.comm.send(
+                    self.comm.send_checked(
                         self.members[peer_slot],
                         TAG_FARFIELD,
                         Payload::C64(pack(&buf)),
-                    );
+                    )?;
                 }
             } else {
                 for (li, out_l) in outgoing.iter().enumerate() {
                     let q = plan.levels[li].q;
                     for &cl in &self.exch.send[peer_slot][li] {
-                        self.comm.send(
+                        self.comm.send_checked(
                             self.members[peer_slot],
                             TAG_FARFIELD_LEVEL_BASE + li as u32,
                             Payload::C64(pack(&out_l[cl * q..(cl + 1) * q])),
-                        );
+                        )?;
                     }
                 }
             }
@@ -205,7 +217,10 @@ impl<'c> DistMlfma<'c> {
             if leaves.is_empty() {
                 continue;
             }
-            let data = self.comm.recv(self.members[peer_slot], TAG_HALO).into_c64();
+            let data = self
+                .comm
+                .recv_checked(self.members[peer_slot], TAG_HALO)?
+                .into_c64();
             assert_eq!(data.len(), leaves.len() * LEAF_PIXELS);
             for (i, &leaf) in leaves.iter().enumerate() {
                 let mut block = vec![C64::ZERO; LEAF_PIXELS];
@@ -256,7 +271,7 @@ impl<'c> DistMlfma<'c> {
             if self.aggregate_buffers {
                 let data = self
                     .comm
-                    .recv(self.members[peer_slot], TAG_FARFIELD)
+                    .recv_checked(self.members[peer_slot], TAG_FARFIELD)?
                     .into_c64();
                 assert_eq!(data.len(), expect);
                 let mut cursor = 0usize;
@@ -273,7 +288,10 @@ impl<'c> DistMlfma<'c> {
                     for &cl in &self.exch.recv[peer_slot][li] {
                         let data = self
                             .comm
-                            .recv(self.members[peer_slot], TAG_FARFIELD_LEVEL_BASE + li as u32)
+                            .recv_checked(
+                                self.members[peer_slot],
+                                TAG_FARFIELD_LEVEL_BASE + li as u32,
+                            )?
                             .into_c64();
                         unpack_into(&data, &mut out_l[cl * q..(cl + 1) * q]);
                     }
@@ -354,6 +372,7 @@ impl<'c> DistMlfma<'c> {
                 }
             }
         }
+        Ok(())
     }
 }
 

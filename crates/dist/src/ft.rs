@@ -1,0 +1,711 @@
+//! Fault-tolerant distributed DBIM: checkpoint/restart plus graceful
+//! degradation on rank death.
+//!
+//! The driver [`run_dbim_ft`] runs the same two-dimensional parallel DBIM as
+//! [`crate::dist_dbim`], but every rank uses the *checked* communication and
+//! solver paths, so a dead peer, a message lost beyond the retry budget, or a
+//! Krylov breakdown unwinds the rank with a typed [`FaultError`] instead of a
+//! panic or a hang. Recovery happens at launch granularity:
+//!
+//! 1. After every completed outer iteration the full reconstruction state
+//!    (contrast vector, conjugate-direction state, warm-start fields,
+//!    residual history) is gathered to rank 0 and written to an atomic,
+//!    checksummed checkpoint ([`ffw_fault::Checkpoint`]).
+//! 2. When a rank dies, its peers detect the death (watchdog or retry
+//!    exhaustion), unwind, and the launch collapses into per-rank
+//!    [`ffw_mpi::RankOutcome`]s. The driver drops every illumination group
+//!    that contained a dead rank, reloads the last checkpoint, and relaunches
+//!    on the surviving grid — the residual assembly reweights automatically
+//!    because the measured norm is recomputed over the surviving
+//!    transmitters only.
+//! 3. The final result reports which illuminations were lost and the
+//!    residual actually achieved over the survivors.
+//!
+//! A `--resume` style restart (pass `resume: true` with the same scene and
+//! config) restarts bit-identically from the last completed outer iteration:
+//! the checkpoint carries everything the iteration boundary depends on, and
+//! a config fingerprint guards against resuming someone else's state.
+
+use crate::engine::DistMlfma;
+use crate::solver::{
+    try_allreduce_scalars, try_dist_bicgstab, DistAdjointScatteringOp, DistScatteringOp,
+};
+use ffw_fault::{Checkpoint, Fingerprint};
+use ffw_inverse::{DbimConfig, ImagingSetup};
+use ffw_mlfma::MlfmaPlan;
+use ffw_mpi::{Comm, FaultError, FaultPlan, Payload, RankOutcome, Runtime};
+use ffw_numerics::vecops::{norm2_sqr, zdotc};
+use ffw_numerics::{c64, C64};
+use std::collections::BTreeSet;
+use std::ops::Range;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Tag for the per-iteration checkpoint state gather (distinct from the
+/// engine's 0x100–0x1xx matvec tags and the 0x200–0x201 reduction tags).
+const TAG_CKPT: u32 = 0x300;
+
+/// Configuration of a fault-tolerant distributed reconstruction.
+#[derive(Clone, Debug)]
+pub struct FtConfig {
+    /// The DBIM iteration settings (shared with the serial solver).
+    pub dbim: DbimConfig,
+    /// Illumination groups (must divide the transmitter count).
+    pub groups: usize,
+    /// Sub-tree ranks per group (must divide 16).
+    pub subtree_ranks: usize,
+    /// Checkpoint file path; `None` disables checkpointing (a crash then
+    /// degrades to a from-scratch relaunch on the surviving ranks).
+    pub checkpoint: Option<PathBuf>,
+    /// Resume from `checkpoint` instead of starting fresh. The checkpoint's
+    /// config fingerprint must match this run.
+    pub resume: bool,
+    /// How many times the driver may relaunch after losing ranks before
+    /// giving up with [`FaultError::Unrecoverable`].
+    pub max_restarts: u32,
+    /// Seeded fault plan injected into the *first* launch (test harness
+    /// hook); relaunches after a failure run fault-free.
+    pub fault_plan: Option<FaultPlan>,
+    /// Programmatic deadlock-watchdog timeout for the underlying runtime
+    /// (the `FFW_DEADLOCK_TIMEOUT_MS` environment variable still wins).
+    pub deadlock_timeout: Option<Duration>,
+}
+
+impl FtConfig {
+    /// Fault-tolerant run over a `groups x subtree_ranks` grid with default
+    /// DBIM settings, no checkpointing and no injected faults.
+    pub fn new(groups: usize, subtree_ranks: usize) -> Self {
+        FtConfig {
+            dbim: DbimConfig::default(),
+            groups,
+            subtree_ranks,
+            checkpoint: None,
+            resume: false,
+            max_restarts: 1,
+            fault_plan: None,
+            deadlock_timeout: None,
+        }
+    }
+}
+
+/// Result of a fault-tolerant distributed reconstruction.
+#[derive(Clone, Debug)]
+pub struct FtDbimResult {
+    /// Reconstructed object over the full domain (tree order).
+    pub object: Vec<C64>,
+    /// Relative residual after each completed outer iteration. Residuals are
+    /// always measured against the *surviving* transmitters of the launch
+    /// that produced them.
+    pub residual_history: Vec<f64>,
+    /// Final relative residual over the surviving transmitters.
+    pub final_residual: f64,
+    /// Transmitter indices lost to dead ranks (empty on a clean run).
+    pub lost_txs: Vec<usize>,
+    /// How many times the driver relaunched after losing ranks.
+    pub restarts: u32,
+}
+
+/// In-memory reconstruction state restored from a checkpoint.
+struct FtState {
+    next_iter: usize,
+    object: Vec<C64>,
+    grad_prev: Vec<C64>,
+    dir: Vec<C64>,
+    fields: Vec<(usize, Vec<C64>)>,
+    residual_history: Vec<f64>,
+}
+
+fn unpack(v: &[(f64, f64)]) -> Vec<C64> {
+    v.iter().map(|&(re, im)| c64(re, im)).collect()
+}
+
+fn pack(v: &[C64]) -> Vec<(f64, f64)> {
+    v.iter().map(|c| (c.re, c.im)).collect()
+}
+
+impl FtState {
+    fn from_checkpoint(c: &Checkpoint) -> Self {
+        FtState {
+            next_iter: c.next_iter as usize,
+            object: unpack(&c.object),
+            grad_prev: unpack(&c.grad_prev),
+            dir: unpack(&c.dir),
+            fields: c
+                .fields
+                .iter()
+                .map(|(tx, f)| (*tx as usize, unpack(f)))
+                .collect(),
+            residual_history: c.residual_history.clone(),
+        }
+    }
+
+    fn field_for(&self, tx: usize) -> Option<&[C64]> {
+        self.fields
+            .iter()
+            .find(|(t, _)| *t == tx)
+            .map(|(_, f)| f.as_slice())
+    }
+}
+
+/// Fingerprint of everything the checkpointed state depends on: scene
+/// dimensions, rank grid, iteration settings and the measured data itself.
+fn run_fingerprint(
+    setup: &ImagingSetup,
+    plan: &MlfmaPlan,
+    cfg: &DbimConfig,
+    groups: usize,
+    subtree_ranks: usize,
+    measured: &[Vec<C64>],
+) -> u64 {
+    let mut fp = Fingerprint::new()
+        .u64(plan.n_pixels() as u64)
+        .u64(setup.n_tx() as u64)
+        .u64(setup.n_rx() as u64)
+        .u64(groups as u64)
+        .u64(subtree_ranks as u64)
+        .u64(cfg.iterations as u64)
+        .f64(cfg.forward.tol)
+        .u64(cfg.forward.max_iters as u64)
+        .flag(cfg.real_object)
+        .flag(cfg.warm_start)
+        .flag(cfg.conjugate);
+    for m in measured {
+        for v in m {
+            fp = fp.f64(v.re).f64(v.im);
+        }
+    }
+    fp.finish()
+}
+
+fn lost_of(alive: &[Vec<usize>], n_tx: usize) -> Vec<usize> {
+    let kept: BTreeSet<usize> = alive.iter().flatten().copied().collect();
+    (0..n_tx).filter(|t| !kept.contains(t)).collect()
+}
+
+/// Runs the fault-tolerant distributed DBIM reconstruction.
+///
+/// On a clean run this computes the same iteration as [`crate::dist_dbim`]
+/// (and hence matches the serial `ffw_inverse::dbim` to near machine
+/// precision). Under faults it recovers per the module docs, and returns
+/// [`FaultError`] only when no recovery is possible: the restart budget is
+/// spent, every group is lost, the checkpoint is unusable, or a non-fault
+/// typed error (e.g. a Krylov breakdown that survived its restart) occurred.
+pub fn run_dbim_ft(
+    setup: &ImagingSetup,
+    plan: Arc<MlfmaPlan>,
+    measured: &[Vec<C64>],
+    cfg: &FtConfig,
+) -> Result<FtDbimResult, FaultError> {
+    let groups = cfg.groups;
+    let p = cfg.subtree_ranks;
+    let n_tx = setup.n_tx();
+    assert_eq!(measured.len(), n_tx);
+    assert_eq!(n_tx % groups, 0, "transmitters must divide among groups");
+    let tx_per_group = n_tx / groups;
+    let fingerprint = run_fingerprint(setup, &plan, &cfg.dbim, groups, p, measured);
+
+    // Transmitter sets per surviving group; whole groups drop out as ranks
+    // die, so each entry stays one original group's illumination block.
+    let mut alive: Vec<Vec<usize>> = (0..groups)
+        .map(|g| (g * tx_per_group..(g + 1) * tx_per_group).collect())
+        .collect();
+    let mut state: Option<FtState> = None;
+
+    if cfg.resume {
+        let path = cfg
+            .checkpoint
+            .as_deref()
+            .ok_or_else(|| FaultError::Unrecoverable {
+                detail: "resume requested but no checkpoint path configured".into(),
+            })?;
+        let ckpt = Checkpoint::load(path, fingerprint)?;
+        let lost: BTreeSet<usize> = ckpt.lost_txs.iter().map(|&t| t as usize).collect();
+        alive.retain(|txs| !txs.iter().any(|t| lost.contains(t)));
+        state = Some(FtState::from_checkpoint(&ckpt));
+    }
+
+    let mut fault_plan = cfg.fault_plan.clone();
+    let mut restarts = 0u32;
+    loop {
+        if alive.is_empty() {
+            return Err(FaultError::Unrecoverable {
+                detail: "every illumination group has been lost".into(),
+            });
+        }
+        let n_ranks = alive.len() * p;
+        let mut rt = Runtime::new(n_ranks);
+        if let Some(t) = cfg.deadlock_timeout {
+            rt = rt.deadlock_timeout(t);
+        }
+        if let Some(fp) = fault_plan.take() {
+            rt = rt.fault_plan(fp);
+        }
+        let lost_txs = lost_of(&alive, n_tx);
+        let (alive_ref, state_ref, lost_ref) = (&alive, state.as_ref(), &lost_txs);
+        let plan2 = Arc::clone(&plan);
+        let ckpt_path = cfg.checkpoint.as_deref();
+        let launch = rt.launch(move |comm| {
+            ft_rank(
+                &comm,
+                setup,
+                Arc::clone(&plan2),
+                measured,
+                alive_ref,
+                p,
+                &cfg.dbim,
+                ckpt_path,
+                state_ref,
+                fingerprint,
+                lost_ref,
+            )
+        });
+
+        // Which ranks of this launch are gone? Crashes and exhausted-retry
+        // send losses are primary evidence. Watchdog `PeerDead` reports are
+        // only symptoms — a rank blocked on an alive-but-itself-blocked
+        // peer misattributes the death — so they are trusted only when no
+        // primary evidence exists (a pure-timeout stall).
+        let mut primary: BTreeSet<usize> = BTreeSet::new();
+        let mut secondary: BTreeSet<usize> = BTreeSet::new();
+        for (r, out) in launch.outcomes.iter().enumerate() {
+            match out {
+                RankOutcome::Crashed(_) => {
+                    primary.insert(r);
+                }
+                RankOutcome::Done(Err(FaultError::SendLost { dst, .. })) => {
+                    primary.insert(*dst);
+                }
+                RankOutcome::Done(Err(FaultError::PeerDead { peer, .. })) => {
+                    secondary.insert(*peer);
+                }
+                RankOutcome::Done(_) => {}
+            }
+        }
+        let dead = if primary.is_empty() {
+            secondary
+        } else {
+            primary
+        };
+
+        if dead.is_empty() {
+            // No rank died: either full success, or a typed non-fault error
+            // (Krylov breakdown, checkpoint I/O) that recovery cannot fix.
+            let mut outs: Vec<Option<FtRankOut>> = Vec::with_capacity(n_ranks);
+            let mut first_err: Option<FaultError> = None;
+            for out in launch.outcomes {
+                match out {
+                    RankOutcome::Done(Ok(o)) => outs.push(Some(o)),
+                    RankOutcome::Done(Err(e)) => {
+                        if first_err.is_none() {
+                            first_err = Some(e);
+                        }
+                        outs.push(None);
+                    }
+                    RankOutcome::Crashed(e) => {
+                        if first_err.is_none() {
+                            first_err = Some(e);
+                        }
+                        outs.push(None);
+                    }
+                }
+            }
+            if let Some(e) = first_err {
+                return Err(e);
+            }
+            // Assemble the object from group 0 (slots 0..p own contiguous
+            // pixel ranges covering the whole domain, in slot order).
+            let mut object = Vec::with_capacity(plan.n_pixels());
+            let mut residual_history = Vec::new();
+            let mut final_residual = 0.0;
+            for (s, slot_out) in outs.into_iter().take(p).enumerate() {
+                let o = slot_out.expect("checked above: every rank returned Ok");
+                if s == 0 {
+                    residual_history = o.residual_history;
+                    final_residual = o.final_residual;
+                }
+                object.extend_from_slice(&o.object_local);
+            }
+            return Ok(FtDbimResult {
+                object,
+                residual_history,
+                final_residual,
+                lost_txs,
+                restarts,
+            });
+        }
+
+        // Graceful degradation: drop every group containing a dead rank,
+        // restore the last checkpointed state, relaunch on the survivors.
+        if restarts >= cfg.max_restarts {
+            return Err(FaultError::Unrecoverable {
+                detail: format!(
+                    "rank(s) {dead:?} died and the restart budget ({}) is exhausted",
+                    cfg.max_restarts
+                ),
+            });
+        }
+        restarts += 1;
+        let dead_groups: BTreeSet<usize> = dead.iter().map(|r| r / p).collect();
+        let mut gi = 0usize;
+        alive.retain(|_| {
+            let keep = !dead_groups.contains(&gi);
+            gi += 1;
+            keep
+        });
+        state = match cfg.checkpoint.as_deref() {
+            Some(path) if path.exists() => Some(FtState::from_checkpoint(&Checkpoint::load(
+                path,
+                fingerprint,
+            )?)),
+            _ => None, // no checkpoint yet: relaunch from scratch
+        };
+    }
+}
+
+/// One rank's slice of a completed fault-tolerant run.
+struct FtRankOut {
+    object_local: Vec<C64>,
+    residual_history: Vec<f64>,
+    final_residual: f64,
+}
+
+/// The per-rank body: the same iteration as `dist_dbim`, on the checked
+/// communication paths, with an optional state gather + checkpoint write at
+/// the end of every outer iteration.
+#[allow(clippy::too_many_arguments)]
+fn ft_rank(
+    comm: &Comm,
+    setup: &ImagingSetup,
+    plan: Arc<MlfmaPlan>,
+    measured: &[Vec<C64>],
+    group_txs: &[Vec<usize>],
+    subtree_ranks: usize,
+    cfg: &DbimConfig,
+    ckpt_path: Option<&Path>,
+    init: Option<&FtState>,
+    fingerprint: u64,
+    lost_txs: &[usize],
+) -> Result<FtRankOut, FaultError> {
+    let groups = group_txs.len();
+    assert_eq!(comm.size(), groups * subtree_ranks, "rank grid mismatch");
+    let rank = comm.rank();
+    let group = rank / subtree_ranks;
+    let slot = rank % subtree_ranks;
+    let group_members: Vec<usize> = (0..subtree_ranks)
+        .map(|s| group * subtree_ranks + s)
+        .collect();
+    let slot_siblings: Vec<usize> = (0..groups).map(|g| g * subtree_ranks + slot).collect();
+    let all_members: Vec<usize> = (0..comm.size()).collect();
+    let my_txs = &group_txs[group];
+
+    let g0 = DistMlfma::new(comm, Arc::clone(&plan), group_members.clone(), true);
+    let cols = g0.partition().pixel_range.clone();
+    let n_local = cols.len();
+
+    let (mut object, mut grad_prev, mut dir, mut fields, mut residual_history, start_iter) =
+        match init {
+            Some(st) => {
+                assert_eq!(st.object.len(), plan.n_pixels(), "checkpoint dimension");
+                let fields: Vec<Vec<C64>> = my_txs
+                    .iter()
+                    .map(|&t| match st.field_for(t) {
+                        Some(f) => f[cols.clone()].to_vec(),
+                        None => vec![C64::ZERO; n_local],
+                    })
+                    .collect();
+                (
+                    st.object[cols.clone()].to_vec(),
+                    st.grad_prev[cols.clone()].to_vec(),
+                    st.dir[cols.clone()].to_vec(),
+                    fields,
+                    st.residual_history.clone(),
+                    st.next_iter,
+                )
+            }
+            None => (
+                vec![C64::ZERO; n_local],
+                vec![C64::ZERO; n_local],
+                vec![C64::ZERO; n_local],
+                vec![vec![C64::ZERO; n_local]; my_txs.len()],
+                Vec::new(),
+                0,
+            ),
+        };
+
+    // Measured norm over the *surviving* transmitters only: losing a group
+    // reweights the residual to what is actually still being fit.
+    let measured_norm_sqr: f64 = group_txs
+        .iter()
+        .flatten()
+        .map(|&t| norm2_sqr(&measured[t]))
+        .sum();
+
+    let compute_residuals =
+        |object: &[C64], fields: &mut [Vec<C64>]| -> Result<(Vec<Vec<C64>>, f64), FaultError> {
+            let mut residuals = Vec::with_capacity(my_txs.len());
+            let mut cost_local = 0.0f64;
+            for (i, &t) in my_txs.iter().enumerate() {
+                if !cfg.warm_start {
+                    fields[i].iter_mut().for_each(|v| *v = C64::ZERO);
+                }
+                let a = DistScatteringOp {
+                    g0: &g0,
+                    object_local: object,
+                };
+                let inc = &setup.incident(t)[cols.clone()];
+                try_dist_bicgstab(&a, comm, &group_members, inc, &mut fields[i], cfg.forward)?;
+                let w: Vec<C64> = object
+                    .iter()
+                    .zip(&fields[i])
+                    .map(|(o, p)| *o * *p)
+                    .collect();
+                let mut r = vec![C64::ZERO; setup.n_rx()];
+                setup.gr_apply_cols(cols.clone(), &w, &mut r);
+                try_allreduce_scalars(comm, &group_members, &mut r)?;
+                for (ri, mi) in r.iter_mut().zip(&measured[t]) {
+                    *ri -= *mi;
+                }
+                if slot == 0 {
+                    cost_local += norm2_sqr(&r);
+                }
+                residuals.push(r);
+            }
+            let mut c = [c64(cost_local, 0.0)];
+            try_allreduce_scalars(comm, &all_members, &mut c)?;
+            Ok((residuals, c[0].re))
+        };
+
+    for it in start_iter..cfg.iterations {
+        // --- pass 1: fields + residuals ---
+        let (residuals, cost) = compute_residuals(&object, &mut fields)?;
+        residual_history.push((cost / measured_norm_sqr).sqrt());
+
+        // --- pass 2: gradient ---
+        let mut grad = vec![C64::ZERO; n_local];
+        let mut y = vec![C64::ZERO; n_local];
+        let mut g0hz = vec![C64::ZERO; n_local];
+        for (i, _t) in my_txs.iter().enumerate() {
+            setup.gr_adjoint_apply_cols(cols.clone(), &residuals[i], &mut y);
+            let rhs: Vec<C64> = object
+                .iter()
+                .zip(&y)
+                .map(|(o, yi)| o.conj() * *yi)
+                .collect();
+            let mut z = vec![C64::ZERO; n_local];
+            let ah = DistAdjointScatteringOp {
+                g0: &g0,
+                object_local: &object,
+            };
+            try_dist_bicgstab(&ah, comm, &group_members, &rhs, &mut z, cfg.forward)?;
+            let zc: Vec<C64> = z.iter().map(|v| v.conj()).collect();
+            g0.try_apply(&zc, &mut g0hz)?;
+            for j in 0..n_local {
+                grad[j] += fields[i][j].conj() * (y[j] + g0hz[j].conj());
+            }
+        }
+        try_allreduce_scalars(comm, &slot_siblings, &mut grad)?;
+        if cfg.real_object {
+            grad.iter_mut().for_each(|v| v.im = 0.0);
+        }
+
+        // --- conjugate direction ---
+        let mut dots = [
+            c64(norm2_sqr(&grad), 0.0),
+            zdotc(
+                &grad,
+                &grad_prev
+                    .iter()
+                    .zip(&grad)
+                    .map(|(gp, g)| *g - *gp)
+                    .collect::<Vec<_>>(),
+            ),
+            c64(norm2_sqr(&grad_prev), 0.0),
+        ];
+        try_allreduce_scalars(comm, &group_members, &mut dots)?;
+        let g_norm_sqr = dots[0].re;
+        if g_norm_sqr == 0.0 {
+            break;
+        }
+        let beta = if cfg.conjugate && it > 0 && dots[2].re > 0.0 {
+            (dots[1].re / dots[2].re).max(0.0)
+        } else {
+            0.0
+        };
+        for j in 0..n_local {
+            dir[j] = -grad[j] + beta * dir[j];
+        }
+        grad_prev.copy_from_slice(&grad);
+
+        // --- pass 3: step size ---
+        let mut num_local = 0.0f64;
+        let mut den_local = 0.0f64;
+        let mut w = vec![C64::ZERO; n_local];
+        let mut g0w = vec![C64::ZERO; n_local];
+        for (i, _t) in my_txs.iter().enumerate() {
+            for j in 0..n_local {
+                w[j] = fields[i][j] * dir[j];
+            }
+            g0.try_apply(&w, &mut g0w)?;
+            let mut u = vec![C64::ZERO; n_local];
+            let a = DistScatteringOp {
+                g0: &g0,
+                object_local: &object,
+            };
+            try_dist_bicgstab(&a, comm, &group_members, &g0w, &mut u, cfg.forward)?;
+            let src: Vec<C64> = w
+                .iter()
+                .zip(&u)
+                .zip(&object)
+                .map(|((wi, ui), oi)| *wi + *oi * *ui)
+                .collect();
+            let mut fd = vec![C64::ZERO; setup.n_rx()];
+            setup.gr_apply_cols(cols.clone(), &src, &mut fd);
+            try_allreduce_scalars(comm, &group_members, &mut fd)?;
+            if slot == 0 {
+                num_local -= zdotc(&fd, &residuals[i]).re;
+                den_local += norm2_sqr(&fd);
+            }
+        }
+        let mut nd = [c64(num_local, 0.0), c64(den_local, 0.0)];
+        try_allreduce_scalars(comm, &all_members, &mut nd)?;
+        let alpha = if nd[1].re > 0.0 {
+            nd[0].re / nd[1].re
+        } else {
+            0.0
+        };
+        for j in 0..n_local {
+            object[j] += alpha * dir[j];
+        }
+        if cfg.real_object {
+            object.iter_mut().for_each(|v| v.im = 0.0);
+        }
+
+        // --- checkpoint the completed iteration ---
+        if let Some(path) = ckpt_path {
+            gather_and_save(
+                comm,
+                path,
+                fingerprint,
+                it + 1,
+                group_txs,
+                subtree_ranks,
+                cfg.warm_start,
+                &cols,
+                plan.n_pixels(),
+                &object,
+                &grad_prev,
+                &dir,
+                &fields,
+                &residual_history,
+                lost_txs,
+            )?;
+        }
+    }
+
+    // --- final residual ---
+    let (_, cost) = compute_residuals(&object, &mut fields)?;
+    let final_residual = (cost / measured_norm_sqr).sqrt();
+
+    Ok(FtRankOut {
+        object_local: object,
+        residual_history,
+        final_residual,
+    })
+}
+
+/// Gathers the full reconstruction state to rank 0 and writes the
+/// checkpoint. The partitioned vectors (`object`, `grad_prev`, `dir`) are
+/// identical across groups, so only group 0's slots contribute them; the
+/// warm-start fields are per transmitter, so every rank contributes the
+/// slices of its own illumination block. All receives happen at rank 0 in a
+/// fixed (group, tx, slot) order, so the gather is deterministic.
+#[allow(clippy::too_many_arguments)]
+fn gather_and_save(
+    comm: &Comm,
+    path: &Path,
+    fingerprint: u64,
+    next_iter: usize,
+    group_txs: &[Vec<usize>],
+    subtree_ranks: usize,
+    warm_start: bool,
+    cols: &Range<usize>,
+    n_pixels: usize,
+    object: &[C64],
+    grad_prev: &[C64],
+    dir: &[C64],
+    fields: &[Vec<C64>],
+    residual_history: &[f64],
+    lost_txs: &[usize],
+) -> Result<(), FaultError> {
+    let rank = comm.rank();
+    let p = subtree_ranks;
+    let per = n_pixels / p;
+
+    if rank != 0 {
+        if rank < p {
+            // Group-0 slot: contribute the shared solver state slices.
+            let mut buf = Vec::with_capacity(3 * object.len());
+            buf.extend_from_slice(object);
+            buf.extend_from_slice(grad_prev);
+            buf.extend_from_slice(dir);
+            comm.send_checked(0, TAG_CKPT, Payload::C64(pack(&buf)))?;
+        }
+        if warm_start {
+            for (i, _t) in group_txs[rank / p].iter().enumerate() {
+                comm.send_checked(0, TAG_CKPT, Payload::C64(pack(&fields[i])))?;
+            }
+        }
+        return Ok(());
+    }
+
+    // Rank 0: assemble the full vectors.
+    let mut full_object = vec![(0.0, 0.0); n_pixels];
+    let mut full_grad = vec![(0.0, 0.0); n_pixels];
+    let mut full_dir = vec![(0.0, 0.0); n_pixels];
+    full_object[cols.start..cols.end].copy_from_slice(&pack(object));
+    full_grad[cols.start..cols.end].copy_from_slice(&pack(grad_prev));
+    full_dir[cols.start..cols.end].copy_from_slice(&pack(dir));
+    for s in 1..p {
+        let data = comm.recv_checked(s, TAG_CKPT)?.into_c64();
+        assert_eq!(data.len(), 3 * per, "checkpoint gather slice length");
+        let lo = s * per;
+        full_object[lo..lo + per].copy_from_slice(&data[..per]);
+        full_grad[lo..lo + per].copy_from_slice(&data[per..2 * per]);
+        full_dir[lo..lo + per].copy_from_slice(&data[2 * per..]);
+    }
+
+    let mut ckpt_fields: Vec<(u32, Vec<(f64, f64)>)> = Vec::new();
+    if warm_start {
+        for (g, txs) in group_txs.iter().enumerate() {
+            for (i, &t) in txs.iter().enumerate() {
+                let mut full = vec![(0.0, 0.0); n_pixels];
+                for s in 0..p {
+                    let sender = g * p + s;
+                    let lo = s * per;
+                    if sender == 0 {
+                        full[lo..lo + per].copy_from_slice(&pack(&fields[i]));
+                    } else {
+                        let data = comm.recv_checked(sender, TAG_CKPT)?.into_c64();
+                        assert_eq!(data.len(), per, "checkpoint field slice length");
+                        full[lo..lo + per].copy_from_slice(&data);
+                    }
+                }
+                ckpt_fields.push((t as u32, full));
+            }
+        }
+    }
+
+    let ckpt = Checkpoint {
+        fingerprint,
+        next_iter: next_iter as u32,
+        lost_txs: lost_txs.iter().map(|&t| t as u32).collect(),
+        residual_history: residual_history.to_vec(),
+        object: full_object,
+        grad_prev: full_grad,
+        dir: full_dir,
+        fields: ckpt_fields,
+    };
+    ckpt.save(path)?;
+    Ok(())
+}

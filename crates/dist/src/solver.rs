@@ -5,7 +5,7 @@
 //! communicator-wide inner products.
 
 use crate::engine::DistMlfma;
-use ffw_mpi::Comm;
+use ffw_mpi::{Comm, FaultError};
 use ffw_numerics::vecops::{norm2_sqr, zdotc};
 use ffw_numerics::{c64, C64};
 use ffw_solver::{IterConfig, SolveStats};
@@ -20,8 +20,21 @@ use ffw_solver::{IterConfig, SolveStats};
 /// watchdog reconstructs the wait-for graph and fails the run with a report
 /// naming the stuck ranks.
 pub fn allreduce_scalars(comm: &Comm, members: &[usize], vals: &mut [C64]) {
+    if let Err(e) = try_allreduce_scalars(comm, members, vals) {
+        panic!("ffw-dist: {e}");
+    }
+}
+
+/// Checked variant of [`allreduce_scalars`]: a dead or unreachable peer
+/// surfaces as a typed [`FaultError`] instead of a panic, so fault-tolerant
+/// drivers can unwind the rank cleanly and relaunch.
+pub fn try_allreduce_scalars(
+    comm: &Comm,
+    members: &[usize],
+    vals: &mut [C64],
+) -> Result<(), FaultError> {
     if members.len() <= 1 {
-        return;
+        return Ok(());
     }
     let me = comm.rank();
     assert!(
@@ -45,22 +58,23 @@ pub fn allreduce_scalars(comm: &Comm, members: &[usize], vals: &mut [C64]) {
     const TAG_DOWN: u32 = 0x201;
     if me == members[0] {
         for &peer in &members[1..] {
-            let part = comm.recv(peer, TAG_UP).into_c64();
+            let part = comm.recv_checked(peer, TAG_UP)?.into_c64();
             for (p, q) in packed.iter_mut().zip(part) {
                 p.0 += q.0;
                 p.1 += q.1;
             }
         }
         for &peer in &members[1..] {
-            comm.send(peer, TAG_DOWN, ffw_mpi::Payload::C64(packed.clone()));
+            comm.send_checked(peer, TAG_DOWN, ffw_mpi::Payload::C64(packed.clone()))?;
         }
     } else {
-        comm.send(members[0], TAG_UP, ffw_mpi::Payload::C64(packed.clone()));
-        packed = comm.recv(members[0], TAG_DOWN).into_c64();
+        comm.send_checked(members[0], TAG_UP, ffw_mpi::Payload::C64(packed.clone()))?;
+        packed = comm.recv_checked(members[0], TAG_DOWN)?.into_c64();
     }
     for (v, p) in vals.iter_mut().zip(packed) {
         *v = c64(p.0, p.1);
     }
+    Ok(())
 }
 
 /// A distributed operator: applies to local slices, communicating internally.
@@ -69,6 +83,13 @@ pub trait DistOp {
     fn n_local(&self) -> usize;
     /// `y_local = (A x)_local`.
     fn apply_local(&self, x_local: &[C64], y_local: &mut [C64]);
+    /// Checked apply: communication failure surfaces as a typed error.
+    /// Operators without internal communication may keep the default, which
+    /// delegates to [`DistOp::apply_local`].
+    fn try_apply_local(&self, x_local: &[C64], y_local: &mut [C64]) -> Result<(), FaultError> {
+        self.apply_local(x_local, y_local);
+        Ok(())
+    }
 }
 
 /// Distributed `A = I - G0 diag(O)` over a [`DistMlfma`].
@@ -84,16 +105,21 @@ impl DistOp for DistScatteringOp<'_, '_> {
         self.object_local.len()
     }
     fn apply_local(&self, x_local: &[C64], y_local: &mut [C64]) {
+        self.try_apply_local(x_local, y_local)
+            .unwrap_or_else(|e| panic!("ffw-dist: {e}"));
+    }
+    fn try_apply_local(&self, x_local: &[C64], y_local: &mut [C64]) -> Result<(), FaultError> {
         let ox: Vec<C64> = self
             .object_local
             .iter()
             .zip(x_local)
             .map(|(o, x)| *o * *x)
             .collect();
-        self.g0.apply(&ox, y_local);
+        self.g0.try_apply(&ox, y_local)?;
         for (y, x) in y_local.iter_mut().zip(x_local) {
             *y = *x - *y;
         }
+        Ok(())
     }
 }
 
@@ -110,11 +136,16 @@ impl DistOp for DistAdjointScatteringOp<'_, '_> {
         self.object_local.len()
     }
     fn apply_local(&self, x_local: &[C64], y_local: &mut [C64]) {
+        self.try_apply_local(x_local, y_local)
+            .unwrap_or_else(|e| panic!("ffw-dist: {e}"));
+    }
+    fn try_apply_local(&self, x_local: &[C64], y_local: &mut [C64]) -> Result<(), FaultError> {
         let xc: Vec<C64> = x_local.iter().map(|v| v.conj()).collect();
-        self.g0.apply(&xc, y_local);
+        self.g0.try_apply(&xc, y_local)?;
         for ((y, x), o) in y_local.iter_mut().zip(x_local).zip(self.object_local) {
             *y = *x - o.conj() * y.conj();
         }
+        Ok(())
     }
 }
 
@@ -128,41 +159,45 @@ impl DistOp for DistG0Op<'_, '_> {
     fn apply_local(&self, x_local: &[C64], y_local: &mut [C64]) {
         self.0.apply(x_local, y_local);
     }
+    fn try_apply_local(&self, x_local: &[C64], y_local: &mut [C64]) -> Result<(), FaultError> {
+        self.0.try_apply(x_local, y_local)
+    }
 }
 
-/// Distributed BiCGStab over local slices, with inner products reduced among
-/// `members`. The algorithm is numerically identical to the serial
-/// `ffw_solver::bicgstab` — enabling the paper's serial-vs-parallel
-/// consistency check.
-pub fn dist_bicgstab<A: DistOp>(
+fn finite_c(v: C64) -> bool {
+    v.re.is_finite() && v.im.is_finite()
+}
+
+/// How one distributed BiCGStab cycle ended. Breakdown decisions are made
+/// from *reduced* scalars, which are bit-identical on every member rank, so
+/// all ranks of the communicator take the same branch and stay in lockstep.
+enum DistCycleEnd {
+    Converged(f64),
+    MaxIters(f64),
+    Breakdown { res: f64, detail: String },
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dist_bicgstab_cycle<A: DistOp>(
     a: &A,
     comm: &Comm,
     members: &[usize],
     b: &[C64],
     x: &mut [C64],
     cfg: IterConfig,
-) -> SolveStats {
+    b_norm: f64,
+    iters: &mut usize,
+    matvecs: &mut usize,
+) -> Result<DistCycleEnd, FaultError> {
     let n = b.len();
-    assert_eq!(x.len(), n);
-    let reduce1 = |v: f64| {
+    let reduce1 = |v: f64| -> Result<f64, FaultError> {
         let mut s = [c64(v, 0.0)];
-        allreduce_scalars(comm, members, &mut s);
-        s[0].re
+        try_allreduce_scalars(comm, members, &mut s)?;
+        Ok(s[0].re)
     };
-    let b_norm = reduce1(norm2_sqr(b)).sqrt();
-    if b_norm == 0.0 {
-        x.iter_mut().for_each(|v| *v = C64::ZERO);
-        return SolveStats {
-            iterations: 0,
-            matvecs: 0,
-            rel_residual: 0.0,
-            converged: true,
-        };
-    }
     let mut r = vec![C64::ZERO; n];
-    let mut matvecs = 0usize;
-    a.apply_local(x, &mut r);
-    matvecs += 1;
+    a.try_apply_local(x, &mut r)?;
+    *matvecs += 1;
     for (ri, bi) in r.iter_mut().zip(b) {
         *ri = *bi - *ri; // r = b - A x
     }
@@ -174,77 +209,237 @@ pub fn dist_bicgstab<A: DistOp>(
     let mut p = vec![C64::ZERO; n];
     let mut s = vec![C64::ZERO; n];
     let mut t = vec![C64::ZERO; n];
+    let mut x_prev = vec![C64::ZERO; n];
 
-    let mut res = reduce1(norm2_sqr(&r)).sqrt() / b_norm;
-    if res < cfg.tol {
-        return SolveStats {
-            iterations: 0,
-            matvecs,
-            rel_residual: res,
-            converged: true,
-        };
+    let mut res = reduce1(norm2_sqr(&r))?.sqrt() / b_norm;
+    if !res.is_finite() {
+        return Ok(DistCycleEnd::Breakdown {
+            res: f64::NAN,
+            detail: "initial residual is not finite".into(),
+        });
     }
-    for iter in 1..=cfg.max_iters {
-        let mut dots = [zdotc(&r_hat, &r)];
-        allreduce_scalars(comm, members, &mut dots);
-        let rho_new = dots[0];
-        if rho_new.abs() < 1e-300 {
-            return SolveStats {
-                iterations: iter - 1,
-                matvecs,
-                rel_residual: res,
-                converged: false,
-            };
+    if res < cfg.tol {
+        return Ok(DistCycleEnd::Converged(res));
+    }
+    loop {
+        if *iters >= cfg.max_iters {
+            return Ok(DistCycleEnd::MaxIters(res));
         }
+        let mut dots = [zdotc(&r_hat, &r)];
+        try_allreduce_scalars(comm, members, &mut dots)?;
+        let rho_new = dots[0];
+        if !finite_c(rho_new) {
+            return Ok(DistCycleEnd::Breakdown {
+                res,
+                detail: "rho inner product is not finite".into(),
+            });
+        }
+        if rho_new.abs() < 1e-300 {
+            return Ok(DistCycleEnd::Breakdown {
+                res,
+                detail: "rho underflow".into(),
+            });
+        }
+        *iters += 1;
         let beta = (rho_new / rho) * (alpha / omega);
         for i in 0..n {
             p[i] = r[i] + beta * (p[i] - omega * v[i]);
         }
-        a.apply_local(&p, &mut v);
-        matvecs += 1;
+        a.try_apply_local(&p, &mut v)?;
+        *matvecs += 1;
         let mut dots = [zdotc(&r_hat, &v)];
-        allreduce_scalars(comm, members, &mut dots);
+        try_allreduce_scalars(comm, members, &mut dots)?;
         alpha = rho_new / dots[0];
         for i in 0..n {
             s[i] = r[i] - alpha * v[i];
         }
-        let s_norm = reduce1(norm2_sqr(&s)).sqrt() / b_norm;
+        let s_norm = reduce1(norm2_sqr(&s))?.sqrt() / b_norm;
         if s_norm < cfg.tol {
             for i in 0..n {
                 x[i] += alpha * p[i];
             }
-            return SolveStats {
-                iterations: iter,
-                matvecs,
-                rel_residual: s_norm,
-                converged: true,
-            };
+            return Ok(DistCycleEnd::Converged(s_norm));
         }
-        a.apply_local(&s, &mut t);
-        matvecs += 1;
+        a.try_apply_local(&s, &mut t)?;
+        *matvecs += 1;
         let mut dots = [zdotc(&t, &s), zdotc(&t, &t)];
-        allreduce_scalars(comm, members, &mut dots);
+        try_allreduce_scalars(comm, members, &mut dots)?;
         omega = dots[0] / dots[1];
+        // Snapshot x so a non-finite update can be rolled back instead of
+        // poisoning the iterate (NaN fails every `<` comparison, so the old
+        // loop silently ran to max_iters with a NaN x).
+        x_prev.copy_from_slice(x);
         for i in 0..n {
             x[i] += alpha * p[i] + omega * s[i];
             r[i] = s[i] - omega * t[i];
         }
-        res = reduce1(norm2_sqr(&r)).sqrt() / b_norm;
+        let res_new = reduce1(norm2_sqr(&r))?.sqrt() / b_norm;
+        if !res_new.is_finite() {
+            x.copy_from_slice(&x_prev);
+            return Ok(DistCycleEnd::Breakdown {
+                res,
+                detail: "residual became non-finite".into(),
+            });
+        }
+        res = res_new;
         if res < cfg.tol {
-            return SolveStats {
-                iterations: iter,
-                matvecs,
-                rel_residual: res,
-                converged: true,
-            };
+            return Ok(DistCycleEnd::Converged(res));
         }
         rho = rho_new;
     }
-    SolveStats {
-        iterations: cfg.max_iters,
-        matvecs,
-        rel_residual: res,
-        converged: false,
+}
+
+/// Distributed BiCGStab over local slices, with inner products reduced among
+/// `members`. The algorithm is numerically identical to the serial
+/// `ffw_solver::bicgstab` — enabling the paper's serial-vs-parallel
+/// consistency check.
+///
+/// Communication failures panic (use [`try_dist_bicgstab`] for typed
+/// errors); a breakdown returns honest unconverged stats with `x` at the
+/// last finite iterate.
+pub fn dist_bicgstab<A: DistOp>(
+    a: &A,
+    comm: &Comm,
+    members: &[usize],
+    b: &[C64],
+    x: &mut [C64],
+    cfg: IterConfig,
+) -> SolveStats {
+    match dist_bicgstab_impl(a, comm, members, b, x, cfg, 0) {
+        Ok(stats) => stats,
+        Err(DistSolveFailure::Breakdown {
+            iterations,
+            matvecs,
+            rel_residual,
+            ..
+        }) => SolveStats {
+            iterations,
+            matvecs,
+            rel_residual,
+            converged: false,
+        },
+        Err(DistSolveFailure::Comm(e)) => panic!("ffw-dist: {e}"),
+    }
+}
+
+/// Checked distributed BiCGStab: a dead peer or lost message surfaces as the
+/// originating [`FaultError`]; a Krylov breakdown retries once from the last
+/// finite iterate (all member ranks take the same decision, since it is made
+/// from reduced scalars) and then surfaces
+/// [`FaultError::KrylovBreakdown`].
+pub fn try_dist_bicgstab<A: DistOp>(
+    a: &A,
+    comm: &Comm,
+    members: &[usize],
+    b: &[C64],
+    x: &mut [C64],
+    cfg: IterConfig,
+) -> Result<SolveStats, FaultError> {
+    match dist_bicgstab_impl(a, comm, members, b, x, cfg, 1) {
+        Ok(stats) => Ok(stats),
+        Err(DistSolveFailure::Comm(e)) => Err(e),
+        Err(DistSolveFailure::Breakdown {
+            iterations,
+            rel_residual,
+            detail,
+            ..
+        }) => Err(FaultError::KrylovBreakdown {
+            rank: comm.rank(),
+            iterations,
+            rel_residual,
+            detail,
+        }),
+    }
+}
+
+/// Internal failure of the distributed solve core.
+enum DistSolveFailure {
+    /// A peer died or a message was lost mid-solve.
+    Comm(FaultError),
+    /// The Krylov recurrence broke down and the restart budget is spent.
+    Breakdown {
+        iterations: usize,
+        matvecs: usize,
+        rel_residual: f64,
+        detail: String,
+    },
+}
+
+impl From<FaultError> for DistSolveFailure {
+    fn from(e: FaultError) -> Self {
+        DistSolveFailure::Comm(e)
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dist_bicgstab_impl<A: DistOp>(
+    a: &A,
+    comm: &Comm,
+    members: &[usize],
+    b: &[C64],
+    x: &mut [C64],
+    cfg: IterConfig,
+    max_restarts: u32,
+) -> Result<SolveStats, DistSolveFailure> {
+    let n = b.len();
+    assert_eq!(x.len(), n);
+    let mut b_sqr = [c64(norm2_sqr(b), 0.0)];
+    try_allreduce_scalars(comm, members, &mut b_sqr)?;
+    let b_norm = b_sqr[0].re.sqrt();
+    if b_norm == 0.0 {
+        x.iter_mut().for_each(|v| *v = C64::ZERO);
+        return Ok(SolveStats {
+            iterations: 0,
+            matvecs: 0,
+            rel_residual: 0.0,
+            converged: true,
+        });
+    }
+    let mut iters = 0usize;
+    let mut matvecs = 0usize;
+    let mut restarts = 0u32;
+    loop {
+        match dist_bicgstab_cycle(
+            a,
+            comm,
+            members,
+            b,
+            x,
+            cfg,
+            b_norm,
+            &mut iters,
+            &mut matvecs,
+        )? {
+            DistCycleEnd::Converged(res) => {
+                return Ok(SolveStats {
+                    iterations: iters,
+                    matvecs,
+                    rel_residual: res,
+                    converged: true,
+                })
+            }
+            DistCycleEnd::MaxIters(res) => {
+                return Ok(SolveStats {
+                    iterations: iters,
+                    matvecs,
+                    rel_residual: res,
+                    converged: false,
+                })
+            }
+            DistCycleEnd::Breakdown { res, detail } => {
+                let x_finite = x.iter().all(|v| finite_c(*v));
+                if restarts < max_restarts && iters < cfg.max_iters && x_finite {
+                    restarts += 1;
+                    continue;
+                }
+                return Err(DistSolveFailure::Breakdown {
+                    iterations: iters,
+                    matvecs,
+                    rel_residual: res,
+                    detail: format!("{detail} ({restarts} restart(s) attempted)"),
+                });
+            }
+        }
     }
 }
 

@@ -1,0 +1,150 @@
+//! Typed fault errors shared by the runtime (`ffw-mpi`) and the
+//! fault-tolerant distributed solver (`ffw-dist`).
+
+use crate::checkpoint::CheckpointError;
+use std::fmt;
+
+/// A fault surfaced by the distributed stack as a value instead of a panic.
+///
+/// Every variant names the rank that observed the fault so a failed run can
+/// always be attributed ("rank 3 died at op 17", "rank 1 lost its send to
+/// rank 2"), which is what the chaos harness asserts on.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FaultError {
+    /// A seeded [`crate::FaultPlan`] crashed this rank at its `op`-th
+    /// runtime operation.
+    InjectedCrash {
+        /// Rank that was crashed.
+        rank: usize,
+        /// 1-based index of the MPI operation at which the crash fired.
+        op: u64,
+    },
+    /// A blocking receive (or barrier) can never complete because the peer
+    /// rank has died (finished or panicked without sending).
+    PeerDead {
+        /// Rank whose wait was abandoned.
+        rank: usize,
+        /// The dead peer the wait depended on.
+        peer: usize,
+        /// Human-readable wait-for-graph report from the watchdog.
+        detail: String,
+    },
+    /// A send was dropped by fault injection and the retry budget ran out;
+    /// the destination is treated as dead.
+    SendLost {
+        /// Rank that was sending.
+        rank: usize,
+        /// Destination rank now considered dead.
+        dst: usize,
+        /// Message tag of the lost send.
+        tag: u32,
+        /// Total delivery attempts made (initial try + retries).
+        attempts: u32,
+    },
+    /// An iterative Krylov solve broke down (rho underflow or non-finite
+    /// residual) and did not recover after one automatic restart.
+    KrylovBreakdown {
+        /// Rank on which the solve broke down.
+        rank: usize,
+        /// Iterations completed before the breakdown.
+        iterations: usize,
+        /// Last finite relative residual observed.
+        rel_residual: f64,
+        /// What broke down (e.g. "rho underflow", "non-finite residual").
+        detail: String,
+    },
+    /// Saving or loading a reconstruction checkpoint failed.
+    Checkpoint(CheckpointError),
+    /// The driver cannot make further progress (e.g. every illumination
+    /// group has been lost, or the restart budget is exhausted).
+    Unrecoverable {
+        /// Why recovery is impossible.
+        detail: String,
+    },
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultError::InjectedCrash { rank, op } => {
+                write!(f, "injected fault: rank {rank} crashed at MPI op #{op}")
+            }
+            FaultError::PeerDead { rank, peer, detail } => {
+                write!(
+                    f,
+                    "rank {rank}: peer rank {peer} can no longer participate\n{detail}"
+                )
+            }
+            FaultError::SendLost {
+                rank,
+                dst,
+                tag,
+                attempts,
+            } => {
+                write!(
+                    f,
+                    "rank {rank}: send to rank {dst} (tag {tag:#x}) lost after \
+                     {attempts} attempts; declaring the peer dead"
+                )
+            }
+            FaultError::KrylovBreakdown {
+                rank,
+                iterations,
+                rel_residual,
+                detail,
+            } => {
+                write!(
+                    f,
+                    "rank {rank}: Krylov breakdown after {iterations} iterations \
+                     (rel residual {rel_residual:.3e}): {detail}"
+                )
+            }
+            FaultError::Checkpoint(e) => write!(f, "checkpoint: {e}"),
+            FaultError::Unrecoverable { detail } => {
+                write!(f, "unrecoverable: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultError {}
+
+impl From<CheckpointError> for FaultError {
+    fn from(e: CheckpointError) -> Self {
+        FaultError::Checkpoint(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_rank() {
+        let e = FaultError::InjectedCrash { rank: 3, op: 17 };
+        let msg = e.to_string();
+        assert!(msg.contains("rank 3"), "{msg}");
+        assert!(msg.contains("#17"), "{msg}");
+
+        let e = FaultError::SendLost {
+            rank: 1,
+            dst: 2,
+            tag: 0x100,
+            attempts: 4,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("rank 1"), "{msg}");
+        assert!(msg.contains("rank 2"), "{msg}");
+        assert!(msg.contains("4 attempts"), "{msg}");
+    }
+
+    #[test]
+    fn peer_dead_preserves_watchdog_detail() {
+        let e = FaultError::PeerDead {
+            rank: 0,
+            peer: 1,
+            detail: "deadlock detected: rank 0 waits on rank 1".into(),
+        };
+        assert!(e.to_string().contains("deadlock detected"));
+    }
+}

@@ -1,0 +1,31 @@
+//! # ffw-fault — seeded fault injection and crash-consistent recovery
+//!
+//! The paper's production runs (4,096 GPUs on Blue Waters) operate in a
+//! regime where rank crashes, dropped messages and stragglers are routine.
+//! This crate provides the three ingredients the rest of the workspace uses
+//! to survive them:
+//!
+//! * [`FaultPlan`] — a deterministic, seeded schedule of injected faults
+//!   (crash rank N at its K-th MPI op, drop the J-th send on an edge,
+//!   slow a rank down). `ffw-mpi` consults an activated plan at every
+//!   runtime operation, so a given seed replays bit-identically.
+//! * [`FaultError`] — the typed error surfaced when a fault (injected or
+//!   organic) is observed: a dead peer, a lost send, a Krylov breakdown,
+//!   a bad checkpoint. Ranks return these as values instead of panicking.
+//! * [`Checkpoint`] — a from-scratch, checksummed, atomically-renamed
+//!   on-disk snapshot of the DBIM outer-iteration state, enabling
+//!   `--resume` to continue a killed reconstruction bit-identically.
+//!
+//! The crate is dependency-free (a leaf) so both `ffw-mpi` and `ffw-dist`
+//! can share its types without cycles; the chaos-test harness in
+//! `tests/chaos.rs` exercises the whole stack end-to-end.
+
+#![warn(missing_docs)]
+
+mod checkpoint;
+mod error;
+mod plan;
+
+pub use checkpoint::{fnv1a64, Checkpoint, CheckpointError, Fingerprint};
+pub use error::FaultError;
+pub use plan::{ActiveFaults, FaultPlan, OpAction, RetryPolicy};

@@ -1,0 +1,300 @@
+//! Deterministic, seeded fault schedules.
+//!
+//! A [`FaultPlan`] is a pure description — no wall-clock, no randomness at
+//! execution time — of which ranks crash, which sends are dropped, and which
+//! ranks are slowed. The runtime activates a plan once per launch
+//! ([`FaultPlan::activate`]) to obtain per-rank operation counters; every
+//! decision is then a function of (rank, operation index) or
+//! (src, dst, send index), so a given plan replays identically on every run.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Retry/backoff policy the runtime applies when fault injection drops a
+/// send before giving up and declaring the destination dead.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum number of retries after the first failed attempt.
+    pub max_retries: u32,
+    /// Backoff before the first retry, in milliseconds.
+    pub base_backoff_ms: u64,
+    /// Upper bound on any single backoff, in milliseconds.
+    pub max_backoff_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            base_backoff_ms: 1,
+            max_backoff_ms: 8,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Bounded exponential backoff before retry number `attempt` (0-based).
+    pub fn backoff_ms(&self, attempt: u32) -> u64 {
+        let shift = attempt.min(16);
+        (self.base_backoff_ms << shift).min(self.max_backoff_ms)
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct CrashRule {
+    rank: usize,
+    at_op: u64,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct DropRule {
+    src: usize,
+    dst: usize,
+    /// 1-based index of the logical send on the (src, dst) edge to drop.
+    nth_send: u64,
+    /// How many consecutive delivery attempts of that send to drop.
+    times: u32,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct StraggleRule {
+    rank: usize,
+    from_op: u64,
+    to_op: u64,
+    delay_ms: u64,
+}
+
+/// A deterministic schedule of injected faults for one distributed launch.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    crashes: Vec<CrashRule>,
+    drops: Vec<DropRule>,
+    straggles: Vec<StraggleRule>,
+    retry: RetryPolicy,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Crash `rank` when it begins its `at_op`-th runtime operation
+    /// (1-based; sends, recvs, barriers and collectives all count).
+    pub fn crash_at(mut self, rank: usize, at_op: u64) -> Self {
+        self.crashes.push(CrashRule { rank, at_op });
+        self
+    }
+
+    /// Drop the `nth_send`-th send (1-based) from `src` to `dst` for
+    /// `times` consecutive delivery attempts. If `times` exceeds the retry
+    /// budget the send is lost and `dst` is declared dead by `src`.
+    pub fn drop_send(mut self, src: usize, dst: usize, nth_send: u64, times: u32) -> Self {
+        self.drops.push(DropRule {
+            src,
+            dst,
+            nth_send,
+            times,
+        });
+        self
+    }
+
+    /// Delay every operation of `rank` in the 1-based operation range
+    /// `from_op..=to_op` by `delay_ms` milliseconds (a straggler model).
+    pub fn straggler(mut self, rank: usize, from_op: u64, to_op: u64, delay_ms: u64) -> Self {
+        self.straggles.push(StraggleRule {
+            rank,
+            from_op,
+            to_op,
+            delay_ms,
+        });
+        self
+    }
+
+    /// Override the retry policy used when sends are dropped.
+    pub fn retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// The retry policy the runtime should apply to dropped sends.
+    pub fn retry(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// True when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.crashes.is_empty() && self.drops.is_empty() && self.straggles.is_empty()
+    }
+
+    /// Derive a single-fault plan from a seed — the chaos-test matrix.
+    ///
+    /// Deterministic: the same `(seed, n_ranks)` always yields the same
+    /// plan. Seeds cycle through crash / recoverable-drop / lost-drop /
+    /// straggler schedules so a small seed range exercises every fault
+    /// class on varying ranks and operation indices.
+    pub fn seeded(seed: u64, n_ranks: usize) -> FaultPlan {
+        assert!(n_ranks >= 2, "seeded plans need at least 2 ranks");
+        let h0 = splitmix64(seed);
+        let h1 = splitmix64(h0);
+        let h2 = splitmix64(h1);
+        let h3 = splitmix64(h2);
+        let rank = (h0 % n_ranks as u64) as usize;
+        let op = 3 + h1 % 40;
+        match seed % 4 {
+            0 => FaultPlan::new().crash_at(rank, op),
+            1 => {
+                // Recoverable: dropped fewer times than the retry budget.
+                let dst = (rank + 1 + (h2 % (n_ranks as u64 - 1)) as usize) % n_ranks;
+                let times = 1 + (h3 % RetryPolicy::default().max_retries as u64) as u32;
+                FaultPlan::new().drop_send(rank, dst, 1 + h1 % 6, times)
+            }
+            2 => {
+                // Unrecoverable: dropped past the retry budget => SendLost.
+                let dst = (rank + 1 + (h2 % (n_ranks as u64 - 1)) as usize) % n_ranks;
+                let times = RetryPolicy::default().max_retries + 1 + (h3 % 2) as u32;
+                FaultPlan::new().drop_send(rank, dst, 1 + h1 % 6, times)
+            }
+            _ => FaultPlan::new().straggler(rank, op, op + 8 + h2 % 16, 1 + h3 % 3),
+        }
+    }
+
+    /// Instantiate per-launch counters for a communicator of `n_ranks`.
+    pub fn activate(&self, n_ranks: usize) -> ActiveFaults {
+        ActiveFaults {
+            plan: self.clone(),
+            ops: (0..n_ranks).map(|_| AtomicU64::new(0)).collect(),
+            sends: (0..n_ranks * n_ranks).map(|_| AtomicU64::new(0)).collect(),
+            n_ranks,
+        }
+    }
+}
+
+/// What the runtime must do at the operation a rank is about to perform.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpAction {
+    /// No fault scheduled here.
+    Proceed,
+    /// Crash the rank (panic with [`crate::FaultError::InjectedCrash`]).
+    Crash {
+        /// 1-based operation index at which the crash fires.
+        op: u64,
+    },
+    /// Sleep `delay_ms` before proceeding (straggler model).
+    Delay {
+        /// Milliseconds to sleep.
+        delay_ms: u64,
+        /// 1-based operation index being delayed.
+        op: u64,
+    },
+}
+
+/// Per-launch activation of a [`FaultPlan`]: operation and send counters.
+#[derive(Debug)]
+pub struct ActiveFaults {
+    plan: FaultPlan,
+    ops: Vec<AtomicU64>,
+    sends: Vec<AtomicU64>,
+    n_ranks: usize,
+}
+
+impl ActiveFaults {
+    /// Advance `rank`'s operation counter and report any fault scheduled
+    /// at the new operation index.
+    pub fn on_op(&self, rank: usize) -> OpAction {
+        let op = self.ops[rank].fetch_add(1, Ordering::SeqCst) + 1;
+        for c in &self.plan.crashes {
+            if c.rank == rank && c.at_op == op {
+                return OpAction::Crash { op };
+            }
+        }
+        for s in &self.plan.straggles {
+            if s.rank == rank && op >= s.from_op && op <= s.to_op {
+                return OpAction::Delay {
+                    delay_ms: s.delay_ms,
+                    op,
+                };
+            }
+        }
+        OpAction::Proceed
+    }
+
+    /// Advance the (src, dst) send counter and return how many consecutive
+    /// delivery attempts of this logical send must be dropped (0 = deliver
+    /// on the first attempt).
+    pub fn forced_drops(&self, src: usize, dst: usize) -> u32 {
+        let n = self.sends[src * self.n_ranks + dst].fetch_add(1, Ordering::SeqCst) + 1;
+        self.plan
+            .drops
+            .iter()
+            .filter(|d| d.src == src && d.dst == dst && d.nth_send == n)
+            .map(|d| d.times)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The retry policy for dropped sends.
+    pub fn retry(&self) -> RetryPolicy {
+        self.plan.retry()
+    }
+}
+
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crash_fires_exactly_at_the_scheduled_op() {
+        let faults = FaultPlan::new().crash_at(1, 3).activate(2);
+        assert_eq!(faults.on_op(1), OpAction::Proceed);
+        assert_eq!(faults.on_op(1), OpAction::Proceed);
+        assert_eq!(faults.on_op(1), OpAction::Crash { op: 3 });
+        // Other ranks unaffected.
+        assert_eq!(faults.on_op(0), OpAction::Proceed);
+    }
+
+    #[test]
+    fn straggler_covers_its_op_range() {
+        let faults = FaultPlan::new().straggler(0, 2, 3, 5).activate(1);
+        assert_eq!(faults.on_op(0), OpAction::Proceed);
+        assert_eq!(faults.on_op(0), OpAction::Delay { delay_ms: 5, op: 2 });
+        assert_eq!(faults.on_op(0), OpAction::Delay { delay_ms: 5, op: 3 });
+        assert_eq!(faults.on_op(0), OpAction::Proceed);
+    }
+
+    #[test]
+    fn drop_counts_per_edge() {
+        let faults = FaultPlan::new().drop_send(0, 1, 2, 3).activate(2);
+        assert_eq!(faults.forced_drops(0, 1), 0); // 1st send delivered
+        assert_eq!(faults.forced_drops(0, 1), 3); // 2nd send dropped 3x
+        assert_eq!(faults.forced_drops(0, 1), 0); // 3rd send delivered
+        assert_eq!(faults.forced_drops(1, 0), 0); // reverse edge untouched
+    }
+
+    #[test]
+    fn backoff_is_bounded() {
+        let r = RetryPolicy::default();
+        assert_eq!(r.backoff_ms(0), 1);
+        assert_eq!(r.backoff_ms(1), 2);
+        assert_eq!(r.backoff_ms(2), 4);
+        assert_eq!(r.backoff_ms(3), 8);
+        assert_eq!(r.backoff_ms(10), 8);
+        assert_eq!(r.backoff_ms(u32::MAX), 8);
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_nonempty() {
+        for seed in 0..32 {
+            let a = FaultPlan::seeded(seed, 4);
+            let b = FaultPlan::seeded(seed, 4);
+            assert!(!a.is_empty());
+            assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        }
+    }
+}

@@ -1,0 +1,302 @@
+//! Chaos-test harness: small distributed phantom reconstructions under a
+//! grid of seeded fault schedules.
+//!
+//! Every test drives the full fault-tolerant stack
+//! (`ffw_dist::run_dbim_ft` over the `ffw_mpi` runtime with injected
+//! faults) and asserts the contract from the fault model:
+//!
+//! * a fault-free run matches the serial DBIM to near machine precision;
+//! * recoverable faults (stragglers, dropped-then-retried sends) leave the
+//!   result bit-identical;
+//! * unrecoverable faults either degrade gracefully (surviving groups
+//!   finish with a bounded residual and the lost illuminations reported) or
+//!   surface a typed [`FaultError`] naming the failing rank;
+//! * a run killed mid-flight resumes from its checkpoint bit-identically;
+//! * nothing ever hangs and nothing ever dies on an `unwrap` panic.
+
+use ffw_dist::{run_dbim_ft, FtConfig};
+use ffw_fault::{FaultError, FaultPlan};
+use ffw_geometry::{Domain, Point2, QuadTree, TransducerArray};
+use ffw_inverse::{dbim, synthesize_measurements, DbimConfig, ImagingSetup, MlfmaG0};
+use ffw_mlfma::{Accuracy, MlfmaEngine, MlfmaPlan};
+use ffw_numerics::vecops::rel_diff;
+use ffw_numerics::C64;
+use ffw_par::Pool;
+use ffw_phantom::{object_from_contrast, Cylinder, Phantom};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+const GROUPS: usize = 2;
+const SUBTREE: usize = 2;
+const N_RANKS: usize = GROUPS * SUBTREE;
+const ITERATIONS: usize = 3;
+/// Short watchdog so dead-peer detection doesn't dominate test time.
+const WATCHDOG: Duration = Duration::from_millis(250);
+
+struct Scene {
+    setup: ImagingSetup,
+    plan: Arc<MlfmaPlan>,
+    measured: Vec<Vec<C64>>,
+}
+
+fn scene() -> Scene {
+    let domain = Domain::new(32, 1.0);
+    let plan = Arc::new(MlfmaPlan::new(&domain, Accuracy::low()));
+    let ring = 2.0 * domain.side();
+    let setup = ImagingSetup::new(
+        domain.clone(),
+        TransducerArray::ring(4, ring),
+        TransducerArray::ring(8, ring),
+    );
+    let truth = Cylinder {
+        center: Point2::ZERO,
+        radius: 1.4,
+        contrast: 0.05,
+    };
+    let tree = QuadTree::new(&domain);
+    let object = object_from_contrast(&domain, &tree, &truth.rasterize(&domain));
+    let g0 = MlfmaG0(Arc::new(MlfmaEngine::new(
+        Arc::clone(&plan),
+        Arc::new(Pool::new(1)),
+    )));
+    let measured = synthesize_measurements(&setup, &g0, &object, Default::default());
+    Scene {
+        setup,
+        plan,
+        measured,
+    }
+}
+
+fn dbim_cfg() -> DbimConfig {
+    DbimConfig {
+        iterations: ITERATIONS,
+        ..Default::default()
+    }
+}
+
+fn ft_cfg() -> FtConfig {
+    FtConfig {
+        dbim: dbim_cfg(),
+        deadlock_timeout: Some(WATCHDOG),
+        ..FtConfig::new(GROUPS, SUBTREE)
+    }
+}
+
+fn ckpt_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("ffw-fault-chaos");
+    std::fs::create_dir_all(&dir).expect("create chaos tmp dir");
+    dir.join(format!("{name}-{}.ckpt", std::process::id()))
+}
+
+#[test]
+fn fault_free_run_matches_serial_dbim() {
+    let sc = scene();
+    let serial = {
+        let g0 = MlfmaG0(Arc::new(MlfmaEngine::new(
+            Arc::clone(&sc.plan),
+            Arc::new(Pool::new(1)),
+        )));
+        dbim(&sc.setup, &g0, &sc.measured, &dbim_cfg())
+    };
+    let r = run_dbim_ft(&sc.setup, Arc::clone(&sc.plan), &sc.measured, &ft_cfg())
+        .expect("fault-free run must succeed");
+    assert!(r.lost_txs.is_empty());
+    assert_eq!(r.restarts, 0);
+    assert_eq!(r.residual_history.len(), ITERATIONS);
+    let d = rel_diff(&r.object, &serial.object);
+    assert!(
+        d <= 1e-12,
+        "fault-tolerant path must match serial dbim: rel diff {d:.3e}"
+    );
+}
+
+#[test]
+fn straggler_run_is_bit_identical_to_fault_free() {
+    let sc = scene();
+    let clean = run_dbim_ft(&sc.setup, Arc::clone(&sc.plan), &sc.measured, &ft_cfg())
+        .expect("fault-free run");
+    let mut cfg = ft_cfg();
+    cfg.fault_plan = Some(FaultPlan::new().straggler(1, 5, 60, 1));
+    let slow = run_dbim_ft(&sc.setup, Arc::clone(&sc.plan), &sc.measured, &cfg)
+        .expect("a straggler must not fail the run");
+    assert_eq!(slow.restarts, 0);
+    assert!(slow.lost_txs.is_empty());
+    assert_eq!(clean.object, slow.object, "straggler changed the result");
+    assert_eq!(clean.residual_history, slow.residual_history);
+}
+
+#[test]
+fn recoverable_dropped_send_is_bit_identical_to_fault_free() {
+    let sc = scene();
+    let clean = run_dbim_ft(&sc.setup, Arc::clone(&sc.plan), &sc.measured, &ft_cfg())
+        .expect("fault-free run");
+    // Drop the 3rd send on the 0 -> 1 edge twice: within the default retry
+    // budget, so the runtime retries and the run completes untouched.
+    let mut cfg = ft_cfg();
+    cfg.fault_plan = Some(FaultPlan::new().drop_send(0, 1, 3, 2));
+    let retried = run_dbim_ft(&sc.setup, Arc::clone(&sc.plan), &sc.measured, &cfg)
+        .expect("a retried send must not fail the run");
+    assert_eq!(retried.restarts, 0);
+    assert!(retried.lost_txs.is_empty());
+    assert_eq!(clean.object, retried.object, "retried send changed result");
+}
+
+#[test]
+fn lost_send_drops_the_group_and_reports_lost_illuminations() {
+    let sc = scene();
+    // Drop a send on the 2 -> 3 edge (inside group 1) past the retry
+    // budget: rank 2 declares rank 3 dead, group 1 is dropped, and the run
+    // finishes on group 0 with transmitters 2..4 reported lost.
+    let mut cfg = ft_cfg();
+    cfg.fault_plan = Some(FaultPlan::new().drop_send(2, 3, 2, 10));
+    let r = run_dbim_ft(&sc.setup, Arc::clone(&sc.plan), &sc.measured, &cfg)
+        .expect("survivors must finish after losing a group");
+    assert_eq!(r.restarts, 1);
+    assert_eq!(r.lost_txs, vec![2, 3]);
+    assert!(
+        r.final_residual.is_finite() && r.final_residual < 0.5,
+        "degraded run must still fit the surviving data: {:.3e}",
+        r.final_residual
+    );
+}
+
+#[test]
+fn crash_mid_iteration_degrades_to_surviving_group() {
+    let sc = scene();
+    // Kill rank 1 (group 0) at its 30th runtime operation — mid forward
+    // solve of the first iteration.
+    let mut cfg = ft_cfg();
+    cfg.fault_plan = Some(FaultPlan::new().crash_at(1, 30));
+    let r = run_dbim_ft(&sc.setup, Arc::clone(&sc.plan), &sc.measured, &cfg)
+        .expect("survivors must finish after a crash");
+    assert_eq!(r.restarts, 1);
+    assert_eq!(r.lost_txs, vec![0, 1]);
+    assert!(
+        r.final_residual.is_finite() && r.final_residual < 0.5,
+        "degraded run must still fit the surviving data: {:.3e}",
+        r.final_residual
+    );
+}
+
+#[test]
+fn crash_with_no_restart_budget_is_a_typed_error_not_a_hang() {
+    let sc = scene();
+    let mut cfg = ft_cfg();
+    cfg.max_restarts = 0;
+    cfg.fault_plan = Some(FaultPlan::new().crash_at(0, 25));
+    let err = run_dbim_ft(&sc.setup, Arc::clone(&sc.plan), &sc.measured, &cfg)
+        .expect_err("no restart budget: the crash must surface");
+    assert!(
+        matches!(err, FaultError::Unrecoverable { .. }),
+        "expected Unrecoverable, got {err}"
+    );
+}
+
+#[test]
+fn seeded_fault_matrix_never_hangs_or_panics() {
+    let sc = scene();
+    let mut cfg = ft_cfg();
+    cfg.dbim.iterations = 2;
+    for seed in 0..8u64 {
+        let mut c = cfg.clone();
+        c.max_restarts = 2;
+        c.fault_plan = Some(FaultPlan::seeded(seed, N_RANKS));
+        // The contract under arbitrary seeded faults: the run returns —
+        // either recovered (finite residual, losses reported) or a typed
+        // error. Reaching the match at all proves no hang and no panic.
+        match run_dbim_ft(&sc.setup, Arc::clone(&sc.plan), &sc.measured, &c) {
+            Ok(r) => {
+                assert!(
+                    r.final_residual.is_finite(),
+                    "seed {seed}: non-finite residual"
+                );
+                assert!(r.restarts <= 2, "seed {seed}: restart budget exceeded");
+            }
+            Err(e) => {
+                // Must be one of the typed fault errors, with enough
+                // context to name what went wrong.
+                let msg = e.to_string();
+                assert!(!msg.is_empty(), "seed {seed}: empty error");
+            }
+        }
+    }
+}
+
+#[test]
+fn killed_then_resumed_run_is_bit_identical_to_uninterrupted() {
+    let sc = scene();
+
+    // Reference: an uninterrupted checkpointed run.
+    let full_path = ckpt_path("full");
+    let _ = std::fs::remove_file(&full_path);
+    let mut full_cfg = ft_cfg();
+    full_cfg.checkpoint = Some(full_path.clone());
+    let full = run_dbim_ft(&sc.setup, Arc::clone(&sc.plan), &sc.measured, &full_cfg)
+        .expect("uninterrupted checkpointed run");
+
+    // Kill a rank mid-run, after at least one checkpoint has been written.
+    // Operation counts are deterministic, so probe crash sites until one
+    // lands between the first checkpoint write and run completion.
+    let kill_path = ckpt_path("killed");
+    let mut killed = false;
+    for crash_op in [600u64, 1200, 2500, 5000, 10_000, 20_000, 40_000] {
+        let _ = std::fs::remove_file(&kill_path);
+        let mut cfg = ft_cfg();
+        cfg.checkpoint = Some(kill_path.clone());
+        cfg.max_restarts = 0; // die instead of recovering in-process
+        cfg.fault_plan = Some(FaultPlan::new().crash_at(1, crash_op));
+        let out = run_dbim_ft(&sc.setup, Arc::clone(&sc.plan), &sc.measured, &cfg);
+        if out.is_err() && kill_path.exists() {
+            killed = true;
+            break;
+        }
+    }
+    assert!(killed, "no probed crash site left a usable checkpoint");
+
+    // Resume from the survivor's checkpoint, fault-free this time.
+    let mut resume_cfg = ft_cfg();
+    resume_cfg.checkpoint = Some(kill_path.clone());
+    resume_cfg.resume = true;
+    let resumed = run_dbim_ft(&sc.setup, Arc::clone(&sc.plan), &sc.measured, &resume_cfg)
+        .expect("resume from checkpoint");
+
+    assert_eq!(
+        full.object, resumed.object,
+        "resumed run must be bit-identical to the uninterrupted run"
+    );
+    assert_eq!(full.residual_history, resumed.residual_history);
+    assert_eq!(
+        full.final_residual.to_bits(),
+        resumed.final_residual.to_bits()
+    );
+    assert!(resumed.lost_txs.is_empty());
+
+    let _ = std::fs::remove_file(&full_path);
+    let _ = std::fs::remove_file(&kill_path);
+}
+
+#[test]
+fn resume_with_wrong_scene_is_a_fingerprint_error() {
+    let sc = scene();
+    let path = ckpt_path("fingerprint");
+    let _ = std::fs::remove_file(&path);
+    let mut cfg = ft_cfg();
+    cfg.checkpoint = Some(path.clone());
+    run_dbim_ft(&sc.setup, Arc::clone(&sc.plan), &sc.measured, &cfg).expect("seed the checkpoint");
+
+    // Same checkpoint, different config => different fingerprint.
+    let mut other = cfg.clone();
+    other.resume = true;
+    other.dbim.iterations = ITERATIONS + 1;
+    let err = run_dbim_ft(&sc.setup, Arc::clone(&sc.plan), &sc.measured, &other)
+        .expect_err("mismatched fingerprint must refuse to resume");
+    assert!(
+        matches!(
+            err,
+            FaultError::Checkpoint(ffw_fault::CheckpointError::FingerprintMismatch { .. })
+        ),
+        "expected FingerprintMismatch, got {err}"
+    );
+    let _ = std::fs::remove_file(&path);
+}

@@ -38,18 +38,40 @@
 //! A panicking rank is marked [`ffw_check::WaitState::Panicked`] rather than
 //! silently disappearing, so peers blocked on it get a diagnosed error
 //! instead of a hang; [`run`] then re-raises the lowest-ranked panic.
+//!
+//! ## Fault injection and fault-aware launches
+//!
+//! [`Runtime`] is the builder behind [`run`]: it adds a programmatic
+//! deadlock-timeout knob and accepts a seeded [`ffw_fault::FaultPlan`] that
+//! can crash a rank at its N-th runtime operation, drop a specific send
+//! (the runtime retries with bounded backoff before declaring the peer dead
+//! with [`ffw_fault::FaultError::SendLost`]), or delay a rank's operations
+//! (straggler model). Every injected fault is recorded in the event trace
+//! ([`ffw_check::FaultEvent`]). [`Runtime::launch`] returns per-rank
+//! [`RankOutcome`]s instead of panicking, so a crashed rank is data, not an
+//! abort; the fallible `send_checked`/`recv_checked` operations let rank
+//! code observe a dead peer as a typed [`ffw_fault::FaultError`] value and
+//! degrade gracefully (the fault-tolerant DBIM driver in `ffw-dist` builds
+//! on exactly this).
+//!
+//! Watchdog timeout precedence: the `FFW_DEADLOCK_TIMEOUT_MS` environment
+//! variable (if set) overrides [`Runtime::deadlock_timeout`], which
+//! overrides the 1000 ms default.
 
 #![warn(missing_docs)]
 
-use ffw_check::trace::{render_report, CollectiveKind, Event, LeakedMessage};
+use ffw_check::trace::{render_report, CollectiveKind, Event, FaultEvent, LeakedMessage};
 use ffw_check::waitgraph::WaitState;
-use ffw_check::{diagnose_deadlock, validate_traces};
+use ffw_check::{diagnose_deadlock, validate_traces, validate_traces_faulty, DeadlockReport};
+use ffw_fault::{ActiveFaults, OpAction};
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
-use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::panic::{catch_unwind, panic_any, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+pub use ffw_fault::{FaultError, FaultPlan, RetryPolicy};
 
 /// Message payloads: the solver moves complex fields, real scalars for
 /// reductions, and occasional integer bookkeeping.
@@ -206,6 +228,8 @@ struct Shared {
     /// one, so every stuck rank fails with the *original* diagnosis rather
     /// than a cascade of "peer panicked" follow-ups.
     verdict: Mutex<Option<String>>,
+    /// Activated fault plan, if this launch injects faults.
+    faults: Option<ActiveFaults>,
 }
 
 impl Shared {
@@ -213,28 +237,96 @@ impl Shared {
         self.registry.lock()[rank] = state;
     }
 
-    /// Snapshots the registry and runs the deadlock analysis. A positive
-    /// diagnosis is re-confirmed against a second snapshot taken after a
-    /// short delay, so a transient state observed mid-transition can never
-    /// produce a report. Panics (with the report) on a confirmed deadlock.
-    fn watchdog_check(&self) {
+    /// Watchdog invoked by `rank` when a blocking wait times out. Every
+    /// positive diagnosis is re-confirmed against a second snapshot taken
+    /// after a short delay, so a transient state observed mid-transition can
+    /// never produce a report.
+    ///
+    /// Outcomes:
+    /// * `Ok(())` — no confirmed problem with *this rank's* wait; keep
+    ///   waiting. (Another rank's doomed wait is its own to report: every
+    ///   blocking wait polls, so errors cascade rank by rank.)
+    /// * `Err(PeerDead)` — this rank's wait depends on a rank that already
+    ///   finished or panicked and can never satisfy it. The caller turns
+    ///   this into a typed error value (checked receives) or a panic
+    ///   (legacy receives, collectives).
+    /// * panic — a confirmed cycle of live ranks: a protocol bug, not a
+    ///   survivable fault. The first verdict is stored so every stuck rank
+    ///   re-raises the *original* diagnosis.
+    fn watchdog_poll(&self, rank: usize) -> Result<(), FaultError> {
         if let Some(report) = self.verdict.lock().clone() {
             panic!("{report}");
         }
+        const CONFIRM: Duration = Duration::from_millis(50);
+        // This rank's own wait first: a dependency on a dead rank is a
+        // recoverable fault surfaced as a value.
+        if let Some(peer) = self.dead_dependency_of(rank) {
+            std::thread::sleep(CONFIRM);
+            if self.dead_dependency_of(rank) == Some(peer) {
+                let report = DeadlockReport {
+                    states: self.registry.lock().clone(),
+                    cycle: None,
+                    dead_dependency: Some((rank, peer)),
+                };
+                return Err(FaultError::PeerDead {
+                    rank,
+                    peer,
+                    detail: format!("ffw-mpi: {report}"),
+                });
+            }
+            return Ok(());
+        }
         let Some(first) = self.diagnose_once() else {
-            return;
+            return Ok(());
         };
-        std::thread::sleep(Duration::from_millis(50));
+        std::thread::sleep(CONFIRM);
         let confirmed = match self.diagnose_once() {
             Some(second) if first == second => second,
-            _ => return,
+            _ => return Ok(()),
         };
+        if confirmed.dead_dependency.is_some() {
+            // Some other rank's wait is doomed; it will surface the error
+            // itself on its own poll. This rank's wait may still be
+            // satisfiable (e.g. by a rank that errors out and re-routes).
+            return Ok(());
+        }
         let mut verdict = self.verdict.lock();
         let report = verdict
             .get_or_insert_with(|| format!("ffw-mpi: {confirmed}"))
             .clone();
         drop(verdict);
         panic!("{report}");
+    }
+
+    /// If `rank`'s current wait depends on a rank that has finished or
+    /// panicked (and cannot be satisfied from queued messages), returns that
+    /// dead rank. Mirrors the conservative rules of
+    /// [`ffw_check::diagnose_deadlock`] but checks only `rank`'s own wait.
+    fn dead_dependency_of(&self, rank: usize) -> Option<usize> {
+        let snapshot = self.registry.lock().clone();
+        match snapshot[rank] {
+            WaitState::RecvWait { src, tag } => {
+                let dead = matches!(snapshot[src], WaitState::Finished | WaitState::Panicked);
+                let queued = self.mailboxes[src * self.size + rank].has_matching(tag);
+                (dead && !queued).then_some(src)
+            }
+            WaitState::BarrierWait { generation } => {
+                snapshot.iter().enumerate().find_map(|(other, state)| {
+                    if other == rank {
+                        return None;
+                    }
+                    let arrived = matches!(
+                        state,
+                        WaitState::BarrierWait { generation: g } if *g == generation
+                    );
+                    if arrived {
+                        return None;
+                    }
+                    matches!(state, WaitState::Finished | WaitState::Panicked).then_some(other)
+                })
+            }
+            _ => None,
+        }
     }
 
     fn diagnose_once(&self) -> Option<ffw_check::DeadlockReport> {
@@ -274,8 +366,48 @@ impl Comm {
         &self.shared.stats
     }
 
+    /// Consults the active fault plan (if any) at the start of a runtime
+    /// operation: may delay the rank (straggler model) or crash it with a
+    /// typed [`FaultError::InjectedCrash`], recording the fault in the
+    /// trace first. A no-op (one `Option` check) when no plan is active.
+    fn fault_tick(&self) {
+        let Some(faults) = &self.shared.faults else {
+            return;
+        };
+        match faults.on_op(self.rank) {
+            OpAction::Proceed => {}
+            OpAction::Delay { delay_ms, .. } => {
+                self.shared
+                    .trace(self.rank, Event::Fault(FaultEvent::Straggle { delay_ms }));
+                std::thread::sleep(Duration::from_millis(delay_ms));
+            }
+            OpAction::Crash { op } => {
+                self.shared
+                    .trace(self.rank, Event::Fault(FaultEvent::InjectedCrash { op }));
+                panic_any(FaultError::InjectedCrash {
+                    rank: self.rank,
+                    op,
+                });
+            }
+        }
+    }
+
     /// Buffered, non-blocking send. User tags must not set the high bit.
+    ///
+    /// Panics if fault injection makes the send unrecoverable; fault-aware
+    /// callers use [`Comm::send_checked`] instead.
     pub fn send(&self, dst: usize, tag: u32, payload: Payload) {
+        if let Err(e) = self.send_checked(dst, tag, payload) {
+            panic!("ffw-mpi: {e}");
+        }
+    }
+
+    /// Fallible send: retries delivery with bounded exponential backoff when
+    /// fault injection drops the message, and returns
+    /// [`FaultError::SendLost`] (declaring `dst` dead) once the retry
+    /// budget is exhausted. Without an active fault plan this always
+    /// succeeds.
+    pub fn send_checked(&self, dst: usize, tag: u32, payload: Payload) -> Result<(), FaultError> {
         assert!(
             dst < self.shared.size,
             "send: invalid destination rank {dst} (communicator has {} ranks)",
@@ -286,6 +418,35 @@ impl Comm {
             0,
             "send: user tag {tag:#x} sets the reserved collective bit"
         );
+        self.fault_tick();
+        if let Some(faults) = &self.shared.faults {
+            let drops = faults.forced_drops(self.rank, dst);
+            let retry = faults.retry();
+            for attempt in 0..drops {
+                if attempt >= retry.max_retries {
+                    let attempts = attempt + 1;
+                    self.shared.trace(
+                        self.rank,
+                        Event::Fault(FaultEvent::SendRetriesExhausted { dst, tag, attempts }),
+                    );
+                    return Err(FaultError::SendLost {
+                        rank: self.rank,
+                        dst,
+                        tag,
+                        attempts,
+                    });
+                }
+                self.shared.trace(
+                    self.rank,
+                    Event::Fault(FaultEvent::SendDropped {
+                        dst,
+                        tag,
+                        attempt: attempt + 1,
+                    }),
+                );
+                std::thread::sleep(Duration::from_millis(retry.backoff_ms(attempt)));
+            }
+        }
         self.shared.trace(
             self.rank,
             Event::Send {
@@ -295,6 +456,7 @@ impl Comm {
             },
         );
         self.send_raw(dst, tag, payload);
+        Ok(())
     }
 
     fn send_raw(&self, dst: usize, tag: u32, payload: Payload) {
@@ -303,7 +465,20 @@ impl Comm {
     }
 
     /// Blocking receive of the message with the given source and tag.
+    ///
+    /// Panics (with the watchdog's report) if `src` dies before sending;
+    /// fault-aware callers use [`Comm::recv_checked`] instead.
     pub fn recv(&self, src: usize, tag: u32) -> Payload {
+        match self.recv_checked(src, tag) {
+            Ok(payload) => payload,
+            Err(e) => panic!("ffw-mpi: {e}"),
+        }
+    }
+
+    /// Fallible blocking receive: returns [`FaultError::PeerDead`] (with
+    /// the watchdog's wait-for-graph report) if `src` finishes or panics
+    /// without having sent a matching message, instead of panicking.
+    pub fn recv_checked(&self, src: usize, tag: u32) -> Result<Payload, FaultError> {
         assert!(
             src < self.shared.size,
             "recv: invalid source rank {src} (communicator has {} ranks)",
@@ -314,7 +489,8 @@ impl Comm {
             0,
             "recv: user tag {tag:#x} sets the reserved collective bit"
         );
-        let payload = self.recv_raw(src, tag);
+        self.fault_tick();
+        let payload = self.recv_raw_checked(src, tag)?;
         self.shared.trace(
             self.rank,
             Event::Recv {
@@ -323,17 +499,28 @@ impl Comm {
                 bytes: payload.n_bytes(),
             },
         );
-        payload
+        Ok(payload)
+    }
+
+    /// Infallible receive for the collective implementations: a dead peer
+    /// mid-collective is not recoverable in-band, so it panics with the
+    /// watchdog report.
+    fn recv_raw(&self, src: usize, tag: u32) -> Payload {
+        match self.recv_raw_checked(src, tag) {
+            Ok(payload) => payload,
+            Err(e) => panic!("ffw-mpi: {e}"),
+        }
     }
 
     /// Blocking receive with the deadlock watchdog. The fast path (message
     /// already queued) touches only the mailbox lock; the slow path publishes
     /// a `RecvWait` state and waits with a timeout, diagnosing the global
-    /// wait-for graph whenever the timeout fires.
-    fn recv_raw(&self, src: usize, tag: u32) -> Payload {
+    /// wait-for graph whenever the timeout fires. Returns an error if this
+    /// wait can never be satisfied because the peer died.
+    fn recv_raw_checked(&self, src: usize, tag: u32) -> Result<Payload, FaultError> {
         let mailbox = &self.shared.mailboxes[src * self.shared.size + self.rank];
         if let Some(payload) = mailbox.try_pop_matching(tag) {
-            return payload;
+            return Ok(payload);
         }
         self.shared
             .set_state(self.rank, WaitState::RecvWait { src, tag });
@@ -343,14 +530,23 @@ impl Comm {
                 let payload = q.remove(pos).expect("position valid").1;
                 drop(q);
                 self.shared.set_state(self.rank, WaitState::Running);
-                return payload;
+                return Ok(payload);
             }
             let result = mailbox.cond.wait_for(&mut q, self.shared.timeout);
             if result.timed_out() {
                 // Diagnose without holding the queue lock (the analysis
                 // inspects other mailboxes; never hold two mailbox locks).
                 drop(q);
-                self.shared.watchdog_check();
+                if let Err(e) = self.shared.watchdog_poll(self.rank) {
+                    self.shared.set_state(self.rank, WaitState::Running);
+                    if let FaultError::PeerDead { peer, .. } = &e {
+                        self.shared.trace(
+                            self.rank,
+                            Event::Fault(FaultEvent::PeerDeclaredDead { peer: *peer }),
+                        );
+                    }
+                    return Err(e);
+                }
                 q = mailbox.queue.lock();
             }
         }
@@ -369,6 +565,7 @@ impl Comm {
             0,
             "try_recv: user tag {tag:#x} sets the reserved collective bit"
         );
+        self.fault_tick();
         let got = self.shared.mailboxes[src * self.shared.size + self.rank].try_pop_matching(tag);
         let mut trace = self.shared.traces[self.rank].lock();
         match &got {
@@ -400,6 +597,7 @@ impl Comm {
 
     /// Synchronizes all ranks.
     pub fn barrier(&self) {
+        self.fault_tick();
         self.shared.trace(
             self.rank,
             Event::Collective {
@@ -427,7 +625,11 @@ impl Comm {
             let result = barrier.cond.wait_for(&mut st, self.shared.timeout);
             if result.timed_out() && st.generation == generation {
                 drop(st);
-                self.shared.watchdog_check();
+                // A dead peer can never arrive at the barrier: that is not
+                // recoverable in-band, so surface it as a panic.
+                if let Err(e) = self.shared.watchdog_poll(self.rank) {
+                    panic!("ffw-mpi: {e}");
+                }
                 st = barrier.state.lock();
             }
         }
@@ -556,6 +758,8 @@ impl Comm {
     }
 
     fn trace_collective(&self, kind: CollectiveKind, root: usize) {
+        // Every collective counts as one operation for fault injection.
+        self.fault_tick();
         self.shared
             .trace(self.rank, Event::Collective { kind, root });
     }
@@ -579,10 +783,12 @@ impl RunStats {
     }
 }
 
-/// Reads the watchdog timeout from `FFW_DEADLOCK_TIMEOUT_MS` (milliseconds,
-/// default 1000). Blocking waits re-check the global wait-for graph at this
-/// interval; a confirmed deadlock panics with a per-rank report.
-fn timeout_from_env() -> Duration {
+/// Resolves the watchdog timeout. Precedence (highest first):
+/// `FFW_DEADLOCK_TIMEOUT_MS` environment variable, the programmatic value
+/// from [`Runtime::deadlock_timeout`], the 1000 ms default. Blocking waits
+/// re-check the global wait-for graph at this interval; a confirmed deadlock
+/// panics with a per-rank report.
+fn resolve_timeout(programmatic: Option<Duration>) -> Duration {
     match std::env::var("FFW_DEADLOCK_TIMEOUT_MS") {
         Ok(raw) => match raw.trim().parse::<u64>() {
             Ok(ms) if ms >= 1 => Duration::from_millis(ms),
@@ -591,7 +797,265 @@ fn timeout_from_env() -> Duration {
                  integer number of milliseconds"
             ),
         },
-        Err(_) => Duration::from_millis(1000),
+        Err(_) => programmatic.unwrap_or(Duration::from_millis(1000)),
+    }
+}
+
+/// How one rank of a [`Runtime::launch`] ended.
+#[derive(Debug)]
+pub enum RankOutcome<T> {
+    /// The rank closure returned normally.
+    Done(T),
+    /// The rank was crashed by fault injection.
+    Crashed(FaultError),
+}
+
+impl<T> RankOutcome<T> {
+    /// The rank's result, if it completed.
+    pub fn into_done(self) -> Option<T> {
+        match self {
+            RankOutcome::Done(value) => Some(value),
+            RankOutcome::Crashed(_) => None,
+        }
+    }
+
+    /// The crash that killed the rank, if any.
+    pub fn crash(&self) -> Option<&FaultError> {
+        match self {
+            RankOutcome::Done(_) => None,
+            RankOutcome::Crashed(e) => Some(e),
+        }
+    }
+}
+
+/// Result of a [`Runtime::launch`]: per-rank outcomes plus statistics.
+pub struct Launch<T> {
+    /// One outcome per rank, in rank order.
+    pub outcomes: Vec<RankOutcome<T>>,
+    /// Communication statistics and event traces of the run.
+    pub stats: RunStats,
+}
+
+impl<T> Launch<T> {
+    /// Unwraps a launch that cannot have crashed ranks (no fault plan).
+    fn into_unfaulted(self) -> (Vec<T>, RunStats) {
+        let out = self
+            .outcomes
+            .into_iter()
+            .map(|outcome| match outcome {
+                RankOutcome::Done(value) => value,
+                RankOutcome::Crashed(e) => {
+                    panic!("ffw-mpi: rank crashed without a fault plan: {e}")
+                }
+            })
+            .collect();
+        (out, self.stats)
+    }
+}
+
+/// Injected crashes unwind via `panic_any(FaultError)` and are caught by
+/// the launch — they are data, not failures — so the default panic hook's
+/// "thread panicked" report and backtrace are just noise. Replace the hook
+/// once, process-wide, with one that stays silent for `FaultError` payloads
+/// and delegates every other panic to the previous hook unchanged.
+fn install_quiet_crash_hook() {
+    static HOOK: std::sync::Once = std::sync::Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<FaultError>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Builder for a verified multi-rank launch: programmatic watchdog timeout
+/// and optional seeded fault injection.
+///
+/// ```
+/// use ffw_mpi::Runtime;
+/// use std::time::Duration;
+///
+/// let launch = Runtime::new(2)
+///     .deadlock_timeout(Duration::from_millis(200))
+///     .launch(|comm| comm.rank() * 10);
+/// assert_eq!(launch.outcomes.len(), 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct Runtime {
+    n_ranks: usize,
+    timeout: Option<Duration>,
+    fault_plan: Option<FaultPlan>,
+}
+
+impl Runtime {
+    /// A runtime for `n_ranks` ranks with default settings.
+    pub fn new(n_ranks: usize) -> Self {
+        Runtime {
+            n_ranks,
+            timeout: None,
+            fault_plan: None,
+        }
+    }
+
+    /// Sets the deadlock-watchdog timeout programmatically. The
+    /// `FFW_DEADLOCK_TIMEOUT_MS` environment variable, if set, still takes
+    /// precedence (env > builder > 1000 ms default).
+    pub fn deadlock_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = Some(timeout);
+        self
+    }
+
+    /// Injects the given seeded fault plan into the launch.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Launches the ranks and collects per-rank [`RankOutcome`]s.
+    ///
+    /// Unlike [`run`], a rank crashed by fault injection becomes
+    /// [`RankOutcome::Crashed`] instead of a re-raised panic, so drivers
+    /// can observe which ranks died and degrade gracefully. Organic (non-
+    /// injected) panics are still re-raised, lowest rank first. Post-run
+    /// trace validation runs in a fault-tolerant mode when ranks died
+    /// (message leaks and truncated collective sequences are expected
+    /// consequences of a death) and in strict mode otherwise.
+    pub fn launch<F, T>(self, f: F) -> Launch<T>
+    where
+        F: Fn(Comm) -> T + Send + Sync,
+        T: Send,
+    {
+        let n_ranks = self.n_ranks;
+        let timeout = resolve_timeout(self.timeout);
+        if self.fault_plan.is_some() {
+            install_quiet_crash_hook();
+        }
+        assert!(n_ranks >= 1);
+        assert!(
+            timeout >= Duration::from_millis(1),
+            "watchdog timeout too small"
+        );
+        let shared = Arc::new(Shared {
+            size: n_ranks,
+            mailboxes: (0..n_ranks * n_ranks).map(|_| Mailbox::new()).collect(),
+            stats: CommStats::new(n_ranks),
+            barrier: Barrier {
+                state: Mutex::new(BarrierState {
+                    generation: 0,
+                    arrived: 0,
+                }),
+                cond: Condvar::new(),
+            },
+            registry: Mutex::new(vec![WaitState::Running; n_ranks]),
+            traces: (0..n_ranks).map(|_| Mutex::new(Vec::new())).collect(),
+            timeout,
+            verdict: Mutex::new(None),
+            faults: self.fault_plan.map(|plan| plan.activate(n_ranks)),
+        });
+        let results: Vec<Mutex<Option<T>>> = (0..n_ranks).map(|_| Mutex::new(None)).collect();
+        let crashes: Vec<Mutex<Option<FaultError>>> =
+            (0..n_ranks).map(|_| Mutex::new(None)).collect();
+        let panics: Mutex<Vec<(usize, Box<dyn std::any::Any + Send>)>> = Mutex::new(Vec::new());
+
+        // Each rank runs under catch_unwind so a panic marks it Panicked in
+        // the registry instead of silently vanishing: peers blocked on it
+        // then get a diagnosed dead-dependency error rather than hanging
+        // forever. An injected crash (typed FaultError payload) becomes
+        // data; any other panic is a genuine failure to re-raise.
+        let run_rank = |rank: usize| {
+            let comm = Comm {
+                rank,
+                shared: Arc::clone(&shared),
+            };
+            match catch_unwind(AssertUnwindSafe(|| f(comm))) {
+                Ok(value) => {
+                    shared.set_state(rank, WaitState::Finished);
+                    *results[rank].lock() = Some(value);
+                }
+                Err(payload) => {
+                    shared.set_state(rank, WaitState::Panicked);
+                    match payload.downcast::<FaultError>() {
+                        Ok(fault) => *crashes[rank].lock() = Some(*fault),
+                        Err(other) => panics.lock().push((rank, other)),
+                    }
+                }
+            }
+        };
+
+        std::thread::scope(|scope| {
+            for rank in 1..n_ranks {
+                let run_rank = &run_rank;
+                std::thread::Builder::new()
+                    .name(format!("ffw-mpi-{rank}"))
+                    .spawn_scoped(scope, move || run_rank(rank))
+                    .expect("spawn rank");
+            }
+            run_rank(0);
+        });
+
+        let mut panics = panics.into_inner();
+        if !panics.is_empty() {
+            panics.sort_by_key(|(rank, _)| *rank);
+            std::panic::resume_unwind(panics.remove(0).1);
+        }
+
+        // Statically validate the complete traces plus whatever was left
+        // undelivered in the mailboxes. Runs in which a rank died (injected
+        // crash, exhausted send retries, or a peer declared dead) use the
+        // fault-tolerant validator: leaks and truncated collective
+        // sequences are expected fallout of a death, while self-sends,
+        // reserved tags and true collective divergence remain hard errors.
+        let mut leaked = Vec::new();
+        for src in 0..n_ranks {
+            for dst in 0..n_ranks {
+                let q = shared.mailboxes[src * n_ranks + dst].queue.lock();
+                for (tag, payload) in q.iter() {
+                    leaked.push(LeakedMessage {
+                        src,
+                        dst,
+                        tag: *tag,
+                        bytes: payload.n_bytes(),
+                    });
+                }
+            }
+        }
+        let traces: Vec<Vec<Event>> = shared.traces.iter().map(|t| t.lock().clone()).collect();
+        let any_crashed = crashes.iter().any(|c| c.lock().is_some());
+        let any_death_event = traces.iter().flatten().any(|e| {
+            matches!(
+                e,
+                Event::Fault(
+                    FaultEvent::SendRetriesExhausted { .. } | FaultEvent::PeerDeclaredDead { .. }
+                )
+            )
+        });
+        let violations = if any_crashed || any_death_event {
+            validate_traces_faulty(&traces, &leaked)
+        } else {
+            validate_traces(&traces, &leaked)
+        };
+        if !violations.is_empty() {
+            panic!("{}", render_report(&violations));
+        }
+
+        let outcomes = results
+            .into_iter()
+            .zip(crashes)
+            .enumerate()
+            .map(
+                |(rank, (result, crash))| match (result.into_inner(), crash.into_inner()) {
+                    (Some(value), None) => RankOutcome::Done(value),
+                    (None, Some(fault)) => RankOutcome::Crashed(fault),
+                    _ => panic!("ffw-mpi: rank {rank} produced neither result nor crash"),
+                },
+            )
+            .collect();
+        Launch {
+            outcomes,
+            stats: RunStats { inner: shared },
+        }
     }
 }
 
@@ -599,7 +1063,7 @@ fn timeout_from_env() -> Duration {
 /// results in rank order, along with the communication statistics.
 ///
 /// The run is verified: blocked ranks are watched for deadlock (see
-/// [`timeout_from_env`]'s `FFW_DEADLOCK_TIMEOUT_MS` knob), and on normal exit
+/// [`resolve_timeout`]'s `FFW_DEADLOCK_TIMEOUT_MS` knob), and on normal exit
 /// the recorded communication traces are statically validated — undelivered
 /// messages, self-sends, reserved-tag misuse, and cross-rank
 /// collective-ordering mismatches all fail the run with a report. If any rank
@@ -609,104 +1073,22 @@ where
     F: Fn(Comm) -> T + Send + Sync,
     T: Send,
 {
-    run_with_timeout(n_ranks, timeout_from_env(), f)
+    Runtime::new(n_ranks).launch(f).into_unfaulted()
 }
 
 /// [`run`] with an explicit deadlock-watchdog timeout (tests use short
-/// timeouts to detect seeded deadlocks quickly).
+/// timeouts to detect seeded deadlocks quickly). The
+/// `FFW_DEADLOCK_TIMEOUT_MS` environment variable, if set, overrides the
+/// explicit value.
 pub fn run_with_timeout<F, T>(n_ranks: usize, timeout: Duration, f: F) -> (Vec<T>, RunStats)
 where
     F: Fn(Comm) -> T + Send + Sync,
     T: Send,
 {
-    assert!(n_ranks >= 1);
-    assert!(
-        timeout >= Duration::from_millis(1),
-        "watchdog timeout too small"
-    );
-    let shared = Arc::new(Shared {
-        size: n_ranks,
-        mailboxes: (0..n_ranks * n_ranks).map(|_| Mailbox::new()).collect(),
-        stats: CommStats::new(n_ranks),
-        barrier: Barrier {
-            state: Mutex::new(BarrierState {
-                generation: 0,
-                arrived: 0,
-            }),
-            cond: Condvar::new(),
-        },
-        registry: Mutex::new(vec![WaitState::Running; n_ranks]),
-        traces: (0..n_ranks).map(|_| Mutex::new(Vec::new())).collect(),
-        timeout,
-        verdict: Mutex::new(None),
-    });
-    let results: Vec<Mutex<Option<T>>> = (0..n_ranks).map(|_| Mutex::new(None)).collect();
-    let panics: Mutex<Vec<(usize, Box<dyn std::any::Any + Send>)>> = Mutex::new(Vec::new());
-
-    // Each rank runs under catch_unwind so a panic marks it Panicked in the
-    // registry instead of silently vanishing: peers blocked on it then get a
-    // diagnosed dead-dependency error rather than hanging forever.
-    let run_rank = |rank: usize| {
-        let comm = Comm {
-            rank,
-            shared: Arc::clone(&shared),
-        };
-        match catch_unwind(AssertUnwindSafe(|| f(comm))) {
-            Ok(value) => {
-                shared.set_state(rank, WaitState::Finished);
-                *results[rank].lock() = Some(value);
-            }
-            Err(payload) => {
-                shared.set_state(rank, WaitState::Panicked);
-                panics.lock().push((rank, payload));
-            }
-        }
-    };
-
-    std::thread::scope(|scope| {
-        for rank in 1..n_ranks {
-            let run_rank = &run_rank;
-            std::thread::Builder::new()
-                .name(format!("ffw-mpi-{rank}"))
-                .spawn_scoped(scope, move || run_rank(rank))
-                .expect("spawn rank");
-        }
-        run_rank(0);
-    });
-
-    let mut panics = panics.into_inner();
-    if !panics.is_empty() {
-        panics.sort_by_key(|(rank, _)| *rank);
-        std::panic::resume_unwind(panics.remove(0).1);
-    }
-
-    // Normal exit: statically validate the complete traces plus whatever was
-    // left undelivered in the mailboxes.
-    let mut leaked = Vec::new();
-    for src in 0..n_ranks {
-        for dst in 0..n_ranks {
-            let q = shared.mailboxes[src * n_ranks + dst].queue.lock();
-            for (tag, payload) in q.iter() {
-                leaked.push(LeakedMessage {
-                    src,
-                    dst,
-                    tag: *tag,
-                    bytes: payload.n_bytes(),
-                });
-            }
-        }
-    }
-    let traces: Vec<Vec<Event>> = shared.traces.iter().map(|t| t.lock().clone()).collect();
-    let violations = validate_traces(&traces, &leaked);
-    if !violations.is_empty() {
-        panic!("{}", render_report(&violations));
-    }
-
-    let out = results
-        .into_iter()
-        .map(|m| m.into_inner().expect("rank produced a result"))
-        .collect();
-    (out, RunStats { inner: shared })
+    Runtime::new(n_ranks)
+        .deadlock_timeout(timeout)
+        .launch(f)
+        .into_unfaulted()
 }
 
 #[cfg(test)]
@@ -1001,5 +1383,132 @@ mod tests {
             msg.contains("deadlock detected") || msg.contains("rank 1 exploded"),
             "got: {msg}"
         );
+    }
+
+    // ---- fault-injection tests ---------------------------------------------
+
+    #[test]
+    fn builder_timeout_is_programmatic() {
+        // Same seeded deadlock as `deadlocked_recv_names_both_ranks`, but the
+        // short timeout comes from the builder instead of run_with_timeout.
+        let msg = panic_message(|| {
+            let _ = Runtime::new(2).deadlock_timeout(FAST).launch(|comm| {
+                if comm.rank() == 0 {
+                    let _ = comm.recv(1, 5);
+                }
+            });
+        });
+        assert!(msg.contains("deadlock detected"), "got: {msg}");
+    }
+
+    #[test]
+    fn injected_crash_becomes_outcome_and_peer_gets_typed_error() {
+        let launch = Runtime::new(2)
+            .deadlock_timeout(FAST)
+            .fault_plan(FaultPlan::new().crash_at(1, 1))
+            .launch(|comm| {
+                if comm.rank() == 0 {
+                    comm.recv_checked(1, 5).map(|_| ())
+                } else {
+                    // First op: crashed by the plan before delivery.
+                    comm.send_checked(0, 5, Payload::U64(vec![1]))
+                }
+            });
+        match launch.outcomes[1].crash() {
+            Some(FaultError::InjectedCrash { rank: 1, op: 1 }) => {}
+            other => panic!("expected injected crash on rank 1, got {other:?}"),
+        }
+        match &launch.outcomes[0] {
+            RankOutcome::Done(Err(FaultError::PeerDead {
+                rank: 0,
+                peer: 1,
+                detail,
+            })) => {
+                assert!(detail.contains("deadlock detected"), "got: {detail}");
+            }
+            other => panic!("expected typed PeerDead on rank 0, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dropped_send_is_retried_and_delivered() {
+        // Dropped twice, the retry budget is 3: delivery succeeds and the
+        // attempts are visible in the trace.
+        let launch = Runtime::new(2)
+            .fault_plan(FaultPlan::new().drop_send(0, 1, 1, 2))
+            .launch(|comm| {
+                if comm.rank() == 0 {
+                    comm.send_checked(1, 5, Payload::U64(vec![42])).is_ok() as u64
+                } else {
+                    comm.recv_checked(0, 5).expect("delivered").into_u64()[0]
+                }
+            });
+        let values: Vec<u64> = launch
+            .outcomes
+            .into_iter()
+            .map(|o| o.into_done().expect("no rank crashed"))
+            .collect();
+        assert_eq!(values, vec![1, 42]);
+        let drops = launch
+            .stats
+            .events(0)
+            .iter()
+            .filter(|e| matches!(e, Event::Fault(FaultEvent::SendDropped { .. })))
+            .count();
+        assert_eq!(drops, 2, "both forced drops must be traced");
+    }
+
+    #[test]
+    fn exhausted_send_retries_surface_send_lost() {
+        // Dropped more times than the retry budget allows: the sender gets
+        // a typed SendLost, the receiver a typed PeerDead — no panics, no
+        // hangs, and the post-run validation tolerates the fallout.
+        let launch = Runtime::new(2)
+            .deadlock_timeout(FAST)
+            .fault_plan(FaultPlan::new().drop_send(0, 1, 1, 10))
+            .launch(|comm| {
+                if comm.rank() == 0 {
+                    comm.send_checked(1, 5, Payload::U64(vec![42])).map(|_| 0)
+                } else {
+                    comm.recv_checked(0, 5).map(|p| p.into_u64()[0])
+                }
+            });
+        match &launch.outcomes[0] {
+            RankOutcome::Done(Err(FaultError::SendLost {
+                rank: 0,
+                dst: 1,
+                attempts,
+                ..
+            })) => assert_eq!(*attempts, 4, "initial try + 3 retries"),
+            other => panic!("expected SendLost on rank 0, got {other:?}"),
+        }
+        match &launch.outcomes[1] {
+            RankOutcome::Done(Err(FaultError::PeerDead { peer: 0, .. })) => {}
+            other => panic!("expected PeerDead on rank 1, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn straggler_delays_but_does_not_change_results() {
+        let body = |comm: &Comm| {
+            let mut v = vec![comm.rank() as f64];
+            comm.allreduce_sum_f64(&mut v);
+            v[0]
+        };
+        let (clean, _) = run(3, |comm| body(&comm));
+        let launch = Runtime::new(3)
+            .fault_plan(FaultPlan::new().straggler(1, 1, 4, 2))
+            .launch(|comm| body(&comm));
+        let slowed: Vec<f64> = launch
+            .outcomes
+            .into_iter()
+            .map(|o| o.into_done().expect("no rank crashed"))
+            .collect();
+        assert_eq!(clean, slowed);
+        assert!(launch
+            .stats
+            .events(1)
+            .iter()
+            .any(|e| matches!(e, Event::Fault(FaultEvent::Straggle { .. }))));
     }
 }

@@ -5,38 +5,47 @@
 //! `O(m)` vector storage and `O(m^2)` orthogonalization per cycle). Provided
 //! for the solver-choice ablation benchmark.
 
-use crate::krylov::{IterConfig, SolveStats};
+use crate::krylov::{BreakdownKind, IterConfig, SolveError, SolveStats};
 use crate::op::LinOp;
 use ffw_numerics::vecops::{norm2, zdotc};
 use ffw_numerics::{c64, C64};
 
-/// Restarted GMRES with Krylov dimension `restart`. Counts `iterations` as
-/// inner iterations (matvecs after the initial residual).
-pub fn gmres<A: LinOp + ?Sized>(
+fn finite_c(v: C64) -> bool {
+    v.re.is_finite() && v.im.is_finite()
+}
+
+/// GMRES core with non-finite guards. Returns the stats plus a breakdown
+/// flag; on breakdown `x` keeps the last finite iterate (a non-finite
+/// correction is discarded rather than applied).
+fn gmres_guarded<A: LinOp + ?Sized>(
     a: &A,
     b: &[C64],
     x: &mut [C64],
     restart: usize,
     cfg: IterConfig,
-) -> SolveStats {
+) -> (SolveStats, bool) {
     let n = b.len();
     assert_eq!(x.len(), n);
     let m = restart.max(1);
     let b_norm = norm2(b);
     if b_norm == 0.0 {
         x.iter_mut().for_each(|v| *v = C64::ZERO);
-        return SolveStats {
-            iterations: 0,
-            matvecs: 0,
-            rel_residual: 0.0,
-            converged: true,
-        };
+        return (
+            SolveStats {
+                iterations: 0,
+                matvecs: 0,
+                rel_residual: 0.0,
+                converged: true,
+            },
+            false,
+        );
     }
     let mut matvecs = 0usize;
     let mut total_iters = 0usize;
     let mut res = f64::INFINITY;
+    let mut broke = false;
 
-    while total_iters < cfg.max_iters {
+    'outer: while total_iters < cfg.max_iters {
         // r = b - A x
         let mut r = vec![C64::ZERO; n];
         a.apply(x, &mut r);
@@ -45,14 +54,22 @@ pub fn gmres<A: LinOp + ?Sized>(
             *ri = *bi - *ri;
         }
         let beta = norm2(&r);
-        res = beta / b_norm;
+        if !beta.is_finite() {
+            broke = true;
+            break 'outer;
+        }
+        let cycle_res = beta / b_norm;
+        res = cycle_res;
         if res < cfg.tol {
-            return SolveStats {
-                iterations: total_iters,
-                matvecs,
-                rel_residual: res,
-                converged: true,
-            };
+            return (
+                SolveStats {
+                    iterations: total_iters,
+                    matvecs,
+                    rel_residual: res,
+                    converged: true,
+                },
+                false,
+            );
         }
         // Arnoldi with modified Gram-Schmidt and Givens rotations
         let mut v: Vec<Vec<C64>> = Vec::with_capacity(m + 1);
@@ -79,6 +96,11 @@ pub fn gmres<A: LinOp + ?Sized>(
                 }
             }
             let hw = norm2(&w);
+            if !hw.is_finite() {
+                // The j-th column is poisoned; solve over the finite prefix.
+                broke = true;
+                break;
+            }
             h[j + 1][j] = c64(hw, 0.0);
             // apply existing Givens rotations to the new column
             for i in 0..j {
@@ -95,7 +117,12 @@ pub fn gmres<A: LinOp + ?Sized>(
             g[j + 1] = -s_j.conj() * g[j];
             g[j] = c_j * g[j];
             k_used = j + 1;
-            res = g[j + 1].abs() / b_norm;
+            let res_new = g[j + 1].abs() / b_norm;
+            if !res_new.is_finite() {
+                broke = true;
+                break;
+            }
+            res = res_new;
             if res < cfg.tol || hw < 1e-300 {
                 break;
             }
@@ -111,26 +138,107 @@ pub fn gmres<A: LinOp + ?Sized>(
             }
             y[i] = acc / h[i][i];
         }
-        for (j, yj) in y.iter().enumerate() {
-            for (xi, vj) in x.iter_mut().zip(&v[j]) {
-                *xi += *yj * *vj;
+        if y.iter().all(|c| finite_c(*c)) {
+            for (j, yj) in y.iter().enumerate() {
+                for (xi, vj) in x.iter_mut().zip(&v[j]) {
+                    *xi += *yj * *vj;
+                }
             }
+        } else {
+            // A singular (or exhausted) least-squares system: applying the
+            // update would poison x, and the projected residual `res` no
+            // longer describes any reachable iterate. Keep the cycle-start
+            // values instead.
+            broke = true;
+            res = cycle_res;
+        }
+        if broke {
+            break 'outer;
         }
         if res < cfg.tol {
-            return SolveStats {
-                iterations: total_iters,
-                matvecs,
-                rel_residual: res,
-                converged: true,
-            };
+            return (
+                SolveStats {
+                    iterations: total_iters,
+                    matvecs,
+                    rel_residual: res,
+                    converged: true,
+                },
+                false,
+            );
         }
     }
-    SolveStats {
-        iterations: total_iters,
-        matvecs,
-        rel_residual: res,
-        converged: res < cfg.tol,
+    (
+        SolveStats {
+            iterations: total_iters,
+            matvecs,
+            rel_residual: res,
+            converged: !broke && res < cfg.tol,
+        },
+        broke,
+    )
+}
+
+/// Restarted GMRES with Krylov dimension `restart`. Counts `iterations` as
+/// inner iterations (matvecs after the initial residual).
+///
+/// On a NaN/Inf breakdown this returns honest unconverged stats with `x`
+/// left at the last finite iterate. Use [`gmres_checked`] to get a typed
+/// error (with one automatic restart) instead.
+pub fn gmres<A: LinOp + ?Sized>(
+    a: &A,
+    b: &[C64],
+    x: &mut [C64],
+    restart: usize,
+    cfg: IterConfig,
+) -> SolveStats {
+    gmres_guarded(a, b, x, restart, cfg).0
+}
+
+/// GMRES with typed breakdown reporting: on a NaN/Inf breakdown the solve
+/// restarts once from the last finite iterate, and surfaces
+/// [`SolveError::Breakdown`] only if the restarted run breaks down too. The
+/// iteration budget in `cfg` is shared across both runs.
+pub fn gmres_checked<A: LinOp + ?Sized>(
+    a: &A,
+    b: &[C64],
+    x: &mut [C64],
+    restart: usize,
+    cfg: IterConfig,
+) -> Result<SolveStats, SolveError> {
+    let (first, broke) = gmres_guarded(a, b, x, restart, cfg);
+    if !broke {
+        return Ok(first);
     }
+    let remaining = IterConfig {
+        tol: cfg.tol,
+        max_iters: cfg.max_iters.saturating_sub(first.iterations),
+    };
+    if remaining.max_iters == 0 {
+        return Err(SolveError::Breakdown {
+            kind: BreakdownKind::NonFinite,
+            iterations: first.iterations,
+            matvecs: first.matvecs,
+            rel_residual: first.rel_residual,
+            restarts: 0,
+        });
+    }
+    let (second, broke2) = gmres_guarded(a, b, x, restart, remaining);
+    let stats = SolveStats {
+        iterations: first.iterations + second.iterations,
+        matvecs: first.matvecs + second.matvecs,
+        rel_residual: second.rel_residual,
+        converged: second.converged,
+    };
+    if broke2 {
+        return Err(SolveError::Breakdown {
+            kind: BreakdownKind::NonFinite,
+            iterations: stats.iterations,
+            matvecs: stats.matvecs,
+            rel_residual: stats.rel_residual,
+            restarts: 1,
+        });
+    }
+    Ok(stats)
 }
 
 /// Complex Givens rotation zeroing `b` in `(a, b)`.
@@ -249,6 +357,33 @@ mod tests {
             "true {true_res} vs reported {}",
             stats.rel_residual
         );
+    }
+
+    #[test]
+    fn singular_operator_surfaces_typed_breakdown() {
+        // The zero operator makes the projected triangular system singular
+        // (h[0][0] = 0), so the correction y = g / h is infinite. The old
+        // code applied it anyway, poisoning x, and then reported the
+        // projected residual (0) as converged.
+        let n = 6;
+        let zero_op = crate::op::FnOp::new(n, n, |_v: &[C64], out: &mut [C64]| {
+            out.iter_mut().for_each(|o| *o = C64::ZERO);
+        });
+        let b: Vec<C64> = (0..n).map(|i| c64(1.0 + i as f64, -0.5)).collect();
+
+        let mut x = vec![C64::ZERO; n];
+        let err = gmres_checked(&zero_op, &b, &mut x, 4, IterConfig::default())
+            .expect_err("singular operator must surface a typed breakdown");
+        let SolveError::Breakdown { kind, restarts, .. } = err;
+        assert_eq!(kind, BreakdownKind::NonFinite);
+        assert_eq!(restarts, 1);
+        assert!(x.iter().all(|v| v.re.is_finite() && v.im.is_finite()));
+
+        let mut x2 = vec![C64::ZERO; n];
+        let stats = gmres(&zero_op, &b, &mut x2, 4, IterConfig::default());
+        assert!(!stats.converged, "{stats:?}");
+        assert!(stats.rel_residual.is_finite());
+        assert!(x2.iter().all(|v| v.re.is_finite() && v.im.is_finite()));
     }
 
     #[test]

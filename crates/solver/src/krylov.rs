@@ -9,6 +9,7 @@
 use crate::op::LinOp;
 use ffw_numerics::vecops::{axpy, norm2, sub_into, zdotc};
 use ffw_numerics::C64;
+use std::fmt;
 
 /// Outcome of an iterative solve.
 #[derive(Clone, Debug, PartialEq)]
@@ -21,6 +22,77 @@ pub struct SolveStats {
     pub rel_residual: f64,
     /// Whether the tolerance was reached.
     pub converged: bool,
+}
+
+/// What broke a Krylov iteration down.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakdownKind {
+    /// The BiCGStab rho inner product underflowed to (numerical) zero, so
+    /// the recurrence cannot continue.
+    RhoZero,
+    /// The iterate or residual became NaN/Inf (division by a vanishing
+    /// inner product, singular operator, overflow).
+    NonFinite,
+}
+
+impl fmt::Display for BreakdownKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BreakdownKind::RhoZero => f.write_str("rho underflow"),
+            BreakdownKind::NonFinite => f.write_str("non-finite residual"),
+        }
+    }
+}
+
+/// Typed failure of a checked Krylov solve. Surfaced only after the solver
+/// has already attempted its automatic restart budget; the iterate `x` is
+/// left at the last finite value, never poisoned with NaN.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SolveError {
+    /// The iteration broke down and restarts did not recover it.
+    Breakdown {
+        /// What broke down.
+        kind: BreakdownKind,
+        /// Iterations completed before the (final) breakdown.
+        iterations: usize,
+        /// Operator applications performed.
+        matvecs: usize,
+        /// Last finite relative residual observed.
+        rel_residual: f64,
+        /// Automatic restarts attempted before giving up.
+        restarts: u32,
+    },
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::Breakdown {
+                kind,
+                iterations,
+                rel_residual,
+                restarts,
+                ..
+            } => write!(
+                f,
+                "Krylov breakdown ({kind}) after {iterations} iterations and \
+                 {restarts} restart(s); last finite relative residual {rel_residual:.3e}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+fn finite_c(v: C64) -> bool {
+    v.re.is_finite() && v.im.is_finite()
+}
+
+/// How one BiCGStab cycle (fresh residual to termination) ended.
+enum CycleEnd {
+    Converged(f64),
+    MaxIters(f64),
+    Breakdown { kind: BreakdownKind, res: f64 },
 }
 
 /// Solver configuration.
@@ -42,29 +114,22 @@ impl Default for IterConfig {
     }
 }
 
-/// Unpreconditioned BiCGStab: solves `A x = b`, starting from the provided
-/// `x` (commonly zero). Two matvecs per iteration — the dominant cost the
-/// MLFMA accelerates (paper Fig. 4).
-pub fn bicgstab<A: LinOp + ?Sized>(a: &A, b: &[C64], x: &mut [C64], cfg: IterConfig) -> SolveStats {
+/// One BiCGStab cycle: build a fresh residual from the current `x` and
+/// iterate until convergence, the (shared) iteration budget, or a breakdown.
+/// On breakdown `x` is restored to the last finite iterate.
+fn bicgstab_cycle<A: LinOp + ?Sized>(
+    a: &A,
+    b: &[C64],
+    x: &mut [C64],
+    cfg: IterConfig,
+    b_norm: f64,
+    iters: &mut usize,
+    matvecs: &mut usize,
+) -> CycleEnd {
     let n = b.len();
-    assert_eq!(a.dim_in(), n);
-    assert_eq!(a.dim_out(), n);
-    assert_eq!(x.len(), n);
-    let b_norm = norm2(b);
-    if b_norm == 0.0 {
-        x.iter_mut().for_each(|v| *v = C64::ZERO);
-        return SolveStats {
-            iterations: 0,
-            matvecs: 0,
-            rel_residual: 0.0,
-            converged: true,
-        };
-    }
-
     let mut r = vec![C64::ZERO; n];
-    let mut matvecs = 0usize;
     a.apply(x, &mut r);
-    matvecs += 1;
+    *matvecs += 1;
     sub_into(b, &r.clone(), &mut r); // r = b - A x
     let r_hat = r.clone();
     let mut rho = C64::ONE;
@@ -74,35 +139,44 @@ pub fn bicgstab<A: LinOp + ?Sized>(a: &A, b: &[C64], x: &mut [C64], cfg: IterCon
     let mut p = vec![C64::ZERO; n];
     let mut s = vec![C64::ZERO; n];
     let mut t = vec![C64::ZERO; n];
+    let mut x_prev = vec![C64::ZERO; n];
 
     let mut res = norm2(&r) / b_norm;
-    if res < cfg.tol {
-        return SolveStats {
-            iterations: 0,
-            matvecs,
-            rel_residual: res,
-            converged: true,
+    if !res.is_finite() {
+        return CycleEnd::Breakdown {
+            kind: BreakdownKind::NonFinite,
+            res: f64::NAN,
         };
     }
+    if res < cfg.tol {
+        return CycleEnd::Converged(res);
+    }
 
-    for iter in 1..=cfg.max_iters {
+    loop {
+        if *iters >= cfg.max_iters {
+            return CycleEnd::MaxIters(res);
+        }
         let rho_new = zdotc(&r_hat, &r);
-        if rho_new.abs() < 1e-300 {
-            // breakdown; report what we have
-            return SolveStats {
-                iterations: iter - 1,
-                matvecs,
-                rel_residual: res,
-                converged: false,
+        if !finite_c(rho_new) {
+            return CycleEnd::Breakdown {
+                kind: BreakdownKind::NonFinite,
+                res,
             };
         }
+        if rho_new.abs() < 1e-300 {
+            return CycleEnd::Breakdown {
+                kind: BreakdownKind::RhoZero,
+                res,
+            };
+        }
+        *iters += 1;
         let beta = (rho_new / rho) * (alpha / omega);
         // p = r + beta (p - omega v)
         for i in 0..n {
             p[i] = r[i] + beta * (p[i] - omega * v[i]);
         }
         a.apply(&p, &mut v);
-        matvecs += 1;
+        *matvecs += 1;
         alpha = rho_new / zdotc(&r_hat, &v);
         // s = r - alpha v
         for i in 0..n {
@@ -111,39 +185,139 @@ pub fn bicgstab<A: LinOp + ?Sized>(a: &A, b: &[C64], x: &mut [C64], cfg: IterCon
         let s_norm = norm2(&s) / b_norm;
         if s_norm < cfg.tol {
             axpy(alpha, &p, x);
-            return SolveStats {
-                iterations: iter,
-                matvecs,
-                rel_residual: s_norm,
-                converged: true,
-            };
+            return CycleEnd::Converged(s_norm);
         }
         a.apply(&s, &mut t);
-        matvecs += 1;
+        *matvecs += 1;
         let tt = zdotc(&t, &t);
         omega = zdotc(&t, &s) / tt;
-        // x += alpha p + omega s; r = s - omega t
+        // x += alpha p + omega s; r = s - omega t. Snapshot x first so a
+        // non-finite update can be rolled back instead of poisoning the
+        // iterate (the historical silent-divergence bug: NaN residuals fail
+        // every `<` comparison, so the loop ran to max_iters and reported a
+        // NaN x as if it were a best effort).
+        x_prev.copy_from_slice(x);
         for i in 0..n {
             x[i] += alpha * p[i] + omega * s[i];
             r[i] = s[i] - omega * t[i];
         }
-        res = norm2(&r) / b_norm;
-        if res < cfg.tol {
-            return SolveStats {
-                iterations: iter,
-                matvecs,
-                rel_residual: res,
-                converged: true,
+        let res_new = norm2(&r) / b_norm;
+        if !res_new.is_finite() {
+            x.copy_from_slice(&x_prev);
+            return CycleEnd::Breakdown {
+                kind: BreakdownKind::NonFinite,
+                res,
             };
+        }
+        res = res_new;
+        if res < cfg.tol {
+            return CycleEnd::Converged(res);
         }
         rho = rho_new;
     }
-    SolveStats {
-        iterations: cfg.max_iters,
-        matvecs,
-        rel_residual: res,
-        converged: false,
+}
+
+fn bicgstab_impl<A: LinOp + ?Sized>(
+    a: &A,
+    b: &[C64],
+    x: &mut [C64],
+    cfg: IterConfig,
+    max_restarts: u32,
+) -> Result<SolveStats, SolveError> {
+    let n = b.len();
+    assert_eq!(a.dim_in(), n);
+    assert_eq!(a.dim_out(), n);
+    assert_eq!(x.len(), n);
+    let b_norm = norm2(b);
+    if b_norm == 0.0 {
+        x.iter_mut().for_each(|v| *v = C64::ZERO);
+        return Ok(SolveStats {
+            iterations: 0,
+            matvecs: 0,
+            rel_residual: 0.0,
+            converged: true,
+        });
     }
+    let mut iters = 0usize;
+    let mut matvecs = 0usize;
+    let mut restarts = 0u32;
+    loop {
+        match bicgstab_cycle(a, b, x, cfg, b_norm, &mut iters, &mut matvecs) {
+            CycleEnd::Converged(res) => {
+                return Ok(SolveStats {
+                    iterations: iters,
+                    matvecs,
+                    rel_residual: res,
+                    converged: true,
+                })
+            }
+            CycleEnd::MaxIters(res) => {
+                return Ok(SolveStats {
+                    iterations: iters,
+                    matvecs,
+                    rel_residual: res,
+                    converged: false,
+                })
+            }
+            CycleEnd::Breakdown { kind, res } => {
+                let x_finite = x.iter().all(|v| finite_c(*v));
+                if restarts < max_restarts && iters < cfg.max_iters && x_finite {
+                    // Restart from the last finite iterate: the next cycle
+                    // re-derives r and r_hat from the current x, which breaks
+                    // the degenerate Krylov directions that caused the
+                    // breakdown while keeping the progress made so far.
+                    restarts += 1;
+                    continue;
+                }
+                return Err(SolveError::Breakdown {
+                    kind,
+                    iterations: iters,
+                    matvecs,
+                    rel_residual: res,
+                    restarts,
+                });
+            }
+        }
+    }
+}
+
+/// Unpreconditioned BiCGStab: solves `A x = b`, starting from the provided
+/// `x` (commonly zero). Two matvecs per iteration — the dominant cost the
+/// MLFMA accelerates (paper Fig. 4).
+///
+/// On a rho-underflow or NaN/Inf breakdown this returns honest unconverged
+/// stats with `x` left at the last *finite* iterate (never NaN). Callers
+/// that need to distinguish breakdown from slow convergence should use
+/// [`bicgstab_checked`], which also retries once before giving up.
+pub fn bicgstab<A: LinOp + ?Sized>(a: &A, b: &[C64], x: &mut [C64], cfg: IterConfig) -> SolveStats {
+    match bicgstab_impl(a, b, x, cfg, 0) {
+        Ok(stats) => stats,
+        Err(SolveError::Breakdown {
+            iterations,
+            matvecs,
+            rel_residual,
+            ..
+        }) => SolveStats {
+            iterations,
+            matvecs,
+            rel_residual,
+            converged: false,
+        },
+    }
+}
+
+/// BiCGStab with typed breakdown reporting: on rho underflow or a NaN/Inf
+/// iterate the solve automatically restarts once from the last finite
+/// iterate (fresh residual and shadow residual), and only if the restarted
+/// cycle breaks down too does it surface [`SolveError::Breakdown`]. The
+/// iteration budget in `cfg` is shared across restarts.
+pub fn bicgstab_checked<A: LinOp + ?Sized>(
+    a: &A,
+    b: &[C64],
+    x: &mut [C64],
+    cfg: IterConfig,
+) -> Result<SolveStats, SolveError> {
+    bicgstab_impl(a, b, x, cfg, 1)
 }
 
 /// Conjugate gradients for Hermitian positive-definite `A`.
@@ -397,6 +571,57 @@ mod tests {
         );
         assert!(!stats.converged);
         assert_eq!(stats.iterations, 2);
+    }
+
+    #[test]
+    fn breakdown_on_singular_operator_is_typed_not_silent() {
+        // Regression test for the silent-divergence bug: with a singular
+        // operator, alpha = rho / <r_hat, A p> divides by zero and poisons
+        // the iterate with NaN. NaN fails every `<` comparison, so the old
+        // loop ran on and "reported the iterate" even though the residual
+        // was NaN. The zero operator is maximally singular.
+        let n = 8;
+        let zero_op = crate::op::FnOp::new(n, n, |_v: &[C64], out: &mut [C64]| {
+            out.iter_mut().for_each(|o| *o = C64::ZERO);
+        });
+        let b = vec![c64(1.0, 0.5); n];
+
+        let mut x = vec![C64::ZERO; n];
+        let err = bicgstab_checked(&zero_op, &b, &mut x, IterConfig::default())
+            .expect_err("singular operator must surface a typed breakdown");
+        let SolveError::Breakdown { kind, restarts, .. } = err;
+        assert_eq!(kind, BreakdownKind::NonFinite);
+        assert_eq!(restarts, 1, "one automatic restart before surfacing");
+        assert!(
+            x.iter().all(|v| v.re.is_finite() && v.im.is_finite()),
+            "iterate must be rolled back to the last finite value"
+        );
+
+        // The plain entry point must now report honest unconverged stats
+        // with a finite residual, instead of a NaN iterate.
+        let mut x2 = vec![C64::ZERO; n];
+        let stats = bicgstab(&zero_op, &b, &mut x2, IterConfig::default());
+        assert!(!stats.converged);
+        assert!(stats.rel_residual.is_finite());
+        assert!(x2.iter().all(|v| v.re.is_finite() && v.im.is_finite()));
+    }
+
+    #[test]
+    fn checked_solve_matches_plain_on_healthy_system() {
+        let n = 40;
+        let a = random_mat(n, n, 41, 7.0);
+        let b = random_vec(n, 43);
+        let cfg = IterConfig {
+            tol: 1e-9,
+            max_iters: 300,
+        };
+        let mut x_plain = vec![C64::ZERO; n];
+        let plain = bicgstab(&a, &b, &mut x_plain, cfg);
+        let mut x_checked = vec![C64::ZERO; n];
+        let checked = bicgstab_checked(&a, &b, &mut x_checked, cfg).expect("healthy system");
+        assert_eq!(plain, checked);
+        assert_eq!(x_plain, x_checked);
+        assert!(checked.converged);
     }
 
     #[test]

@@ -16,7 +16,9 @@ pub mod precond;
 pub use forward::{
     g0_adjoint_apply, solve_adjoint, solve_forward, AdjointScatteringOp, ScatteringOp,
 };
-pub use gmres::gmres;
-pub use krylov::{bicgstab, cg, cgnr, IterConfig, SolveStats};
+pub use gmres::{gmres, gmres_checked};
+pub use krylov::{
+    bicgstab, bicgstab_checked, cg, cgnr, BreakdownKind, IterConfig, SolveError, SolveStats,
+};
 pub use op::{CountingOp, DiagonalOp, FnOp, IdentityOp, LinOp};
 pub use precond::{bicgstab_precond, IdentityPrecond, JacobiPrecond, Precond};

@@ -10,6 +10,7 @@
 //! on the individual subsystem crates.
 
 pub use ffw_dist as dist;
+pub use ffw_fault as fault;
 pub use ffw_geometry as geometry;
 pub use ffw_greens as greens;
 pub use ffw_inverse as inverse;

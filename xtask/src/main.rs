@@ -26,10 +26,18 @@
 //!   them so the checkers (watchdog, trace validation, pool accounting) see
 //!   all concurrency. Test code (a `#[cfg(test)]` suffix module or a `tests/`
 //!   directory) is exempt, as is `// lint:spawn-ok`.
+//! * **R5 — no `unwrap` on the fault-tolerant path**: `.unwrap()` is banned
+//!   in `crates/dist/src` and `crates/mpi/src` non-test code. Those crates
+//!   implement the distributed hot path whose whole contract is typed
+//!   [`FaultError`] propagation — an `unwrap` there turns a recoverable
+//!   fault into a rank-killing panic. Use `?` with a typed error, or an
+//!   explicit `unwrap_or_else(|e| panic!(...))` / `expect("reason")` where a
+//!   failure is genuinely a protocol bug. Waive with `// lint:unwrap-ok`.
 //!
 //! Scope: R1–R3 cover `crates/` and `xtask/`; R4 covers `crates/` only
 //! (`third_party/` holds vendored stand-ins for external dependencies and is
-//! linted for unsafe hygiene but not spawn discipline).
+//! linted for unsafe hygiene but not spawn discipline); R5 covers only the
+//! two fault-tolerant crates.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -72,6 +80,7 @@ fn lint() -> ExitCode {
             diagnostics.extend(check_relaxed_orderings(&rel, &text));
             if dir == "crates" {
                 diagnostics.extend(check_thread_spawn(&rel, &text));
+                diagnostics.extend(check_unwrap_on_fault_path(&rel, &text));
             }
         }
     }
@@ -293,6 +302,34 @@ fn check_thread_spawn(file: &str, text: &str) -> Vec<String> {
     out
 }
 
+/// R5: no `.unwrap()` in the fault-tolerant crates' non-test code.
+fn check_unwrap_on_fault_path(file: &str, text: &str) -> Vec<String> {
+    if !(file.starts_with("crates/dist/src/") || file.starts_with("crates/mpi/src/")) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let mut in_test_suffix = false;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim_start().starts_with("#[cfg(test)]") {
+            in_test_suffix = true;
+        }
+        if in_test_suffix {
+            continue;
+        }
+        // `.unwrap(` cannot match `.unwrap_or_else(` / `.unwrap_or(`: the
+        // next character there is `_`, not `(`.
+        if mask_code(line).contains(".unwrap(") && !line.contains("lint:unwrap-ok") {
+            out.push(format!(
+                "{file}:{}: `.unwrap()` on the fault-tolerant path — propagate a \
+                 typed FaultError (`?`) or make the panic explicit with \
+                 `unwrap_or_else`/`expect`; waive with `// lint:unwrap-ok`",
+                i + 1
+            ));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -366,6 +403,28 @@ mod tests {
     }
 
     #[test]
+    fn unwrap_on_fault_path_fails() {
+        let src = "let v = rx.recv().unwrap();\n";
+        assert_eq!(
+            check_unwrap_on_fault_path("crates/dist/src/solver.rs", src).len(),
+            1
+        );
+        assert_eq!(
+            check_unwrap_on_fault_path("crates/mpi/src/lib.rs", src).len(),
+            1
+        );
+        // Other crates, tests, and the explicit forms are out of scope.
+        assert!(check_unwrap_on_fault_path("crates/solver/src/krylov.rs", src).is_empty());
+        assert!(check_unwrap_on_fault_path("crates/dist/tests/t.rs", src).is_empty());
+        let explicit = "let v = rx.recv().unwrap_or_else(|e| panic!(\"bug: {e}\"));\n";
+        assert!(check_unwrap_on_fault_path("crates/dist/src/solver.rs", explicit).is_empty());
+        let waived = "let v = rx.recv().unwrap(); // lint:unwrap-ok — startup only\n";
+        assert!(check_unwrap_on_fault_path("crates/dist/src/solver.rs", waived).is_empty());
+        let test_only = "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g() { x.unwrap(); }\n}\n";
+        assert!(check_unwrap_on_fault_path("crates/dist/src/solver.rs", test_only).is_empty());
+    }
+
+    #[test]
     fn lint_rules_pass_on_this_workspace() {
         // The gate must be green on the tree it ships in.
         let root = workspace_root();
@@ -379,6 +438,7 @@ mod tests {
                 diags.extend(check_relaxed_orderings(&rel, &text));
                 if dir == "crates" {
                     diags.extend(check_thread_spawn(&rel, &text));
+                    diags.extend(check_unwrap_on_fault_path(&rel, &text));
                 }
             }
         }
