@@ -10,12 +10,12 @@
 use ffw_bench::{print_table, write_json, Args};
 use ffw_geometry::Point2;
 use ffw_inverse::{add_noise, DbimConfig};
+use ffw_obs::Stopwatch;
 use ffw_phantom::{image_rel_error, Annulus, Phantom};
 use ffw_solver::IterConfig;
 use ffw_tomo::{Reconstruction, SceneConfig};
 use serde::Serialize;
 use std::sync::Arc;
-use std::time::Instant;
 
 #[derive(Serialize)]
 struct Row {
@@ -103,7 +103,7 @@ fn main() {
     let mut rows = Vec::new();
     let mut records = Vec::new();
     for (name, cfg) in &variants {
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         let result = recon.run_dbim_with(&measured, cfg);
         let secs = t0.elapsed().as_secs_f64();
         let err = image_rel_error(&recon.image(&result.object), &truth_raster);

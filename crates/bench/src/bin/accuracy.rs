@@ -8,10 +8,10 @@ use ffw_greens::{tree_positions, DirectG0, Kernel};
 use ffw_mlfma::{Accuracy, MlfmaEngine, MlfmaPlan};
 use ffw_numerics::vecops::rel_diff;
 use ffw_numerics::{c64, C64};
+use ffw_obs::Stopwatch;
 use ffw_par::Pool;
 use serde::Serialize;
 use std::sync::Arc;
-use std::time::Instant;
 
 fn random_x(n: usize, seed: u64) -> Vec<C64> {
     let mut s = seed;
@@ -115,13 +115,13 @@ fn main() {
         let mut y = vec![C64::ZERO; n];
         eng.apply(&x, &mut y); // warm up
         let reps = if n <= 4096 { 5 } else { 2 };
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         for _ in 0..reps {
             eng.apply(&x, &mut y);
         }
         let mlfma_ms = t0.elapsed().as_secs_f64() * 1e3 / reps as f64;
         let direct_ms = if n <= 4096 {
-            let t0 = Instant::now();
+            let t0 = Stopwatch::start();
             DirectG0::new(kernel, &positions).apply(&x, &mut y);
             Some(t0.elapsed().as_secs_f64() * 1e3)
         } else {

@@ -6,10 +6,10 @@
 use ffw_bench::{print_table, write_json, Args};
 use ffw_geometry::Point2;
 use ffw_inverse::BornConfig;
+use ffw_obs::Stopwatch;
 use ffw_phantom::{image_rel_error, Annulus, Phantom};
 use ffw_tomo::{Reconstruction, SceneConfig};
 use serde::Serialize;
-use std::time::Instant;
 
 #[derive(Serialize)]
 struct Record {
@@ -43,7 +43,7 @@ fn main() {
             contrast,
         };
         let truth_raster = truth.rasterize(recon.domain());
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         let measured = recon.synthesize(&truth);
         let dbim = recon.run_dbim(&measured, iters);
         let dbim_img = recon.image(&dbim.object);

@@ -3,10 +3,10 @@
 //! 4M-unknown / 4,096-GPU configuration.
 
 use ffw_bench::{write_json, Args};
+use ffw_obs::Stopwatch;
 use ffw_phantom::{image_rel_error, Phantom, SheppLogan};
 use ffw_tomo::{Reconstruction, SceneConfig};
 use serde::Serialize;
-use std::time::Instant;
 
 #[derive(Serialize)]
 struct Record {
@@ -40,10 +40,10 @@ fn main() {
     let recon = Reconstruction::new(&scene);
     let truth = SheppLogan::for_domain(recon.domain(), 0.02); // paper's 0.02 max contrast
     let truth_raster = truth.rasterize(recon.domain());
-    let t0 = Instant::now();
+    let t0 = Stopwatch::start();
     let measured = recon.synthesize(&truth);
     println!("synthesized {} transmitters in {:.1?}", n_tx, t0.elapsed());
-    let t1 = Instant::now();
+    let t1 = Stopwatch::start();
     let result = recon.run_dbim(&measured, iters);
     let wall = t1.elapsed().as_secs_f64();
     let image = recon.image(&result.object);

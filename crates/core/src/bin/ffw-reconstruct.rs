@@ -38,6 +38,8 @@ struct Cli {
     resume: bool,
     chaos_seed: Option<u64>,
     max_restarts: u32,
+    metrics: Option<PathBuf>,
+    profile: bool,
 }
 
 fn parse_args() -> Result<Cli, String> {
@@ -60,6 +62,8 @@ fn parse_args() -> Result<Cli, String> {
         resume: false,
         chaos_seed: None,
         max_restarts: 1,
+        metrics: None,
+        profile: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -98,6 +102,8 @@ fn parse_args() -> Result<Cli, String> {
             "--max-restarts" => {
                 cli.max_restarts = val("--max-restarts")?.parse().map_err(|e| format!("{e}"))?
             }
+            "--metrics" => cli.metrics = Some(PathBuf::from(val("--metrics")?)),
+            "--profile" => cli.profile = true,
             "--help" | "-h" => {
                 println!(
                     "usage: ffw-reconstruct [--size N] [--tx T] [--rx R] \
@@ -105,12 +111,17 @@ fn parse_args() -> Result<Cli, String> {
                      [--iterations K] [--noise-db D] [--arc-deg A] [--born] \
                      [--precondition] [--positivity] [--out PREFIX] \
                      [--groups G [--subtree P] [--checkpoint PATH] [--resume] \
-                     [--chaos-seed S] [--max-restarts N]]\n\n\
+                     [--chaos-seed S] [--max-restarts N]] \
+                     [--metrics PATH] [--profile]\n\n\
                      --groups switches to the fault-tolerant distributed DBIM on a \
                      G x P in-process rank grid: outer-iteration checkpoints \
                      (--checkpoint), bit-identical restart (--resume), seeded fault \
                      injection (--chaos-seed), and graceful degradation when ranks \
-                     die (up to --max-restarts relaunches on the survivors)."
+                     die (up to --max-restarts relaunches on the survivors).\n\n\
+                     --metrics writes the run's spans, counters, series and events \
+                     as JSON (JSONL when PATH ends in .jsonl); --profile prints a \
+                     flamegraph-style span breakdown to stderr. Either flag turns \
+                     the recorder on."
                 );
                 std::process::exit(0);
             }
@@ -150,12 +161,28 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let observing = cli.metrics.is_some() || cli.profile;
+    if observing {
+        ffw_obs::set_enabled(true);
+        if cli.groups.is_none() {
+            // Serial run: one in-process "rank" that never communicates.
+            // Register the per-rank comm counters anyway so the metrics JSON
+            // always carries them (at zero) regardless of run mode.
+            ffw_obs::counter("mpi.bytes.rank0");
+            ffw_obs::counter("mpi.messages.rank0");
+            ffw_obs::counter("mpi.bytes.total");
+            ffw_obs::counter("mpi.messages.total");
+        }
+    }
+    let run_span = ffw_obs::span("reconstruct");
     let mut scene = SceneConfig::new(cli.size, cli.tx, cli.rx);
     if let Some(deg) = cli.arc_deg {
         let span = deg.to_radians();
         scene = scene.with_arc(-span / 2.0, span);
     }
+    let setup_span = ffw_obs::span("setup");
     let recon = Reconstruction::new(&scene);
+    drop(setup_span);
     let phantom = build_phantom(&cli, recon.domain().side());
     let truth_raster = phantom.rasterize(recon.domain());
 
@@ -168,7 +195,9 @@ fn main() {
         cli.phantom,
         cli.contrast
     );
+    let synth_span = ffw_obs::span("synthesize");
     let mut measured = recon.synthesize(phantom.as_ref());
+    drop(synth_span);
     if let Some(db) = cli.noise_db {
         add_noise(&mut measured, db, 1);
         println!("added {db} dB SNR noise");
@@ -250,5 +279,22 @@ fn main() {
         )
         .expect("write reconstruction image");
         println!("wrote {prefix}_truth.pgm and {prefix}_reconstruction.pgm");
+    }
+
+    drop(run_span);
+    if observing {
+        let snap = ffw_obs::snapshot();
+        if cli.profile {
+            eprint!("{}", snap.render_profile());
+        }
+        if let Some(path) = &cli.metrics {
+            match snap.write_to(path) {
+                Ok(()) => println!("wrote metrics to {}", path.display()),
+                Err(e) => {
+                    eprintln!("error: could not write metrics to {}: {e}", path.display());
+                    std::process::exit(1);
+                }
+            }
+        }
     }
 }

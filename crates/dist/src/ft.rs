@@ -220,6 +220,10 @@ pub fn run_dbim_ft(
                 detail: "resume requested but no checkpoint path configured".into(),
             })?;
         let ckpt = Checkpoint::load(path, fingerprint)?;
+        ffw_obs::event(
+            "dist.checkpoint.load",
+            &format!("resume from iter {} ({})", ckpt.next_iter, path.display()),
+        );
         let lost: BTreeSet<usize> = ckpt.lost_txs.iter().map(|&t| t as usize).collect();
         alive.retain(|txs| !txs.iter().any(|t| lost.contains(t)));
         state = Some(FtState::from_checkpoint(&ckpt));
@@ -245,6 +249,7 @@ pub fn run_dbim_ft(
         let (alive_ref, state_ref, lost_ref) = (&alive, state.as_ref(), &lost_txs);
         let plan2 = Arc::clone(&plan);
         let ckpt_path = cfg.checkpoint.as_deref();
+        let launch_span = ffw_obs::span("dist.launch");
         let launch = rt.launch(move |comm| {
             ft_rank(
                 &comm,
@@ -260,6 +265,8 @@ pub fn run_dbim_ft(
                 lost_ref,
             )
         });
+        drop(launch_span);
+        launch.stats.stats().record_obs();
 
         // Which ranks of this launch are gone? Crashes and exhausted-retry
         // send losses are primary evidence. Watchdog `PeerDead` reports are
@@ -326,6 +333,14 @@ pub fn run_dbim_ft(
                 }
                 object.extend_from_slice(&o.object_local);
             }
+            for &r in &residual_history {
+                ffw_obs::series_push("dbim.residual", r);
+            }
+            ffw_obs::series_push("dbim.residual", final_residual);
+            if ffw_obs::enabled() {
+                ffw_obs::gauge("dbim.final_residual").set(final_residual);
+                ffw_obs::counter("dist.restarts").add(restarts as u64);
+            }
             return Ok(FtDbimResult {
                 object,
                 residual_history,
@@ -346,6 +361,10 @@ pub fn run_dbim_ft(
             });
         }
         restarts += 1;
+        ffw_obs::event(
+            "dist.relaunch",
+            &format!("rank(s) {dead:?} dead; relaunch {restarts} on surviving groups"),
+        );
         let dead_groups: BTreeSet<usize> = dead.iter().map(|r| r / p).collect();
         let mut gi = 0usize;
         alive.retain(|_| {
@@ -354,10 +373,14 @@ pub fn run_dbim_ft(
             keep
         });
         state = match cfg.checkpoint.as_deref() {
-            Some(path) if path.exists() => Some(FtState::from_checkpoint(&Checkpoint::load(
-                path,
-                fingerprint,
-            )?)),
+            Some(path) if path.exists() => {
+                let ckpt = Checkpoint::load(path, fingerprint)?;
+                ffw_obs::event(
+                    "dist.checkpoint.load",
+                    &format!("recovery from iter {} ({})", ckpt.next_iter, path.display()),
+                );
+                Some(FtState::from_checkpoint(&ckpt))
+            }
             _ => None, // no checkpoint yet: relaunch from scratch
         };
     }
@@ -707,5 +730,9 @@ fn gather_and_save(
         fields: ckpt_fields,
     };
     ckpt.save(path)?;
+    ffw_obs::event(
+        "dist.checkpoint.save",
+        &format!("iter {next_iter} -> {}", path.display()),
+    );
     Ok(())
 }

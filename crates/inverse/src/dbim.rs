@@ -134,6 +134,7 @@ pub fn dbim<G: LinOp + ?Sized>(
     measured: &[Vec<C64>],
     cfg: &DbimConfig,
 ) -> DbimResult {
+    let _span = ffw_obs::span("dbim");
     let n = setup.n_pixels();
     let n_tx = setup.n_tx();
     assert_eq!(measured.len(), n_tx);
@@ -156,6 +157,8 @@ pub fn dbim<G: LinOp + ?Sized>(
     let measured_norm_sqr: f64 = measured.iter().map(|m| norm2_sqr(m)).sum();
 
     for it in 0..cfg.iterations {
+        let _iter_span = ffw_obs::span("iter");
+        ffw_obs::counter("dbim.outer_iters").inc();
         let mut cost = 0.0f64;
         let mut bicgstab_iters = 0usize;
         let mut residuals: Vec<Vec<C64>> = Vec::with_capacity(n_tx);
@@ -167,6 +170,7 @@ pub fn dbim<G: LinOp + ?Sized>(
             )
         });
         // --- pass 1: fields and residuals ---
+        let fields_span = ffw_obs::span("fields");
         for t in 0..n_tx {
             if !cfg.warm_start {
                 fields[t].iter_mut().for_each(|v| *v = C64::ZERO);
@@ -188,9 +192,12 @@ pub fn dbim<G: LinOp + ?Sized>(
             cost += norm2_sqr(&r);
             residuals.push(r);
         }
+        drop(fields_span);
         let rel_residual = (cost / measured_norm_sqr).sqrt();
+        ffw_obs::series_push("dbim.residual", rel_residual);
 
         // --- pass 2: gradient ---
+        let gradient_span = ffw_obs::span("gradient");
         let mut grad = vec![C64::ZERO; n];
         let mut y = vec![C64::ZERO; n];
         let mut g0hz = vec![C64::ZERO; n];
@@ -226,6 +233,7 @@ pub fn dbim<G: LinOp + ?Sized>(
                 v.im = 0.0;
             }
         }
+        drop(gradient_span);
 
         // --- conjugate direction (Polak–Ribière+, restart on negative) ---
         let g_norm_sqr = norm2_sqr(&grad);
@@ -257,6 +265,7 @@ pub fn dbim<G: LinOp + ?Sized>(
         grad_prev.copy_from_slice(&grad);
 
         // --- pass 3: step size via the Fréchet operator ---
+        let step_span = ffw_obs::span("step");
         let mut num = 0.0f64;
         let mut den = 0.0f64;
         let mut w = vec![C64::ZERO; n];
@@ -293,7 +302,9 @@ pub fn dbim<G: LinOp + ?Sized>(
             num -= cfg.tikhonov * zdotc(&dir, &object).re;
             den += cfg.tikhonov * norm2_sqr(&dir);
         }
+        drop(step_span);
         let alpha = if den > 0.0 { num / den } else { 0.0 };
+        ffw_obs::series_push("dbim.step", alpha);
         for i in 0..n {
             object[i] += alpha * dir[i];
         }
@@ -320,6 +331,7 @@ pub fn dbim<G: LinOp + ?Sized>(
     }
 
     // --- final residual pass ---
+    let _final_span = ffw_obs::span("final");
     let mut cost = 0.0f64;
     for t in 0..n_tx {
         let stats = solve_forward(g0, &object, setup.incident(t), &mut fields[t], cfg.forward);
@@ -333,6 +345,10 @@ pub fn dbim<G: LinOp + ?Sized>(
         cost += norm2_sqr(&r);
     }
     let final_residual = (cost / measured_norm_sqr).sqrt();
+    ffw_obs::series_push("dbim.residual", final_residual);
+    if ffw_obs::enabled() {
+        ffw_obs::gauge("dbim.final_residual").set(final_residual);
+    }
 
     DbimResult {
         object,

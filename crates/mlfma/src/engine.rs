@@ -40,6 +40,121 @@ impl Workspace {
     }
 }
 
+/// Per-apply work model for one MLFMA stage: flops (8 per complex
+/// multiply-add) and bytes of pattern/field data moved. Computed once from
+/// the plan at engine construction, charged to `ffw_obs` counters per apply.
+#[derive(Clone, Copy, Default)]
+struct StageCost {
+    flops: u64,
+    bytes: u64,
+}
+
+/// Cached observability handles + the per-apply cost model (so the hot path
+/// is a handful of relaxed atomic adds, no registry lookups).
+struct ObsHooks {
+    applies: ffw_obs::Counter,
+    flops: [ffw_obs::Counter; 4],
+    bytes: [ffw_obs::Counter; 4],
+    cost: [StageCost; 4],
+}
+
+const STAGES: [&str; 4] = ["aggregate", "translate", "disaggregate", "near"];
+
+impl ObsHooks {
+    fn new(plan: &MlfmaPlan) -> Self {
+        ObsHooks {
+            applies: ffw_obs::counter("mlfma.applies"),
+            flops: STAGES.map(|s| ffw_obs::counter(&format!("mlfma.flops.{s}"))),
+            bytes: STAGES.map(|s| ffw_obs::counter(&format!("mlfma.bytes.{s}"))),
+            cost: apply_cost(plan),
+        }
+    }
+
+    /// Charges one apply's worth of modeled work to the counters. No-op
+    /// (4 branch-predicted loads) while the recorder is off.
+    #[inline]
+    fn charge_apply(&self) {
+        self.applies.inc();
+        for i in 0..4 {
+            self.flops[i].add(self.cost[i].flops);
+            self.bytes[i].add(self.cost[i].bytes);
+        }
+    }
+}
+
+/// Builds the per-stage cost model from the plan: complex multiply-adds
+/// counted as 8 flops, bytes as the pattern/field data each stage reads and
+/// writes (16 bytes per `C64`). Interpolation is modeled as one MAC per
+/// output sample per child — a lower bound for the band path, exact in
+/// spirit for the diagonal shift/translation work that dominates.
+fn apply_cost(plan: &MlfmaPlan) -> [StageCost; 4] {
+    const C: u64 = 16; // bytes per C64
+    let n_levels = plan.levels.len();
+    let leaf = plan.leaf_plan();
+    let n_leaves = (leaf.n_side * leaf.n_side) as u64;
+    let q_leaf = leaf.q as u64;
+    let npx = LEAF_PIXELS as u64;
+
+    // aggregate: leaf expansions + upward interp/shift per non-leaf level
+    let mut agg = StageCost {
+        flops: n_leaves * q_leaf * npx * 8,
+        bytes: n_leaves * (npx + q_leaf) * C,
+    };
+    for li in (0..n_levels.saturating_sub(1)).rev() {
+        let lp = &plan.levels[li];
+        let n_parents = (lp.n_side * lp.n_side) as u64;
+        let q_parent = lp.q as u64;
+        let q_child = plan.levels[li + 1].q as u64;
+        // 4 children: interpolate child->parent sampling, then shift-MAC
+        agg.flops += n_parents * 4 * (q_parent + q_parent) * 8;
+        agg.bytes += n_parents * (4 * q_child + q_parent) * C;
+    }
+
+    // translate: one diagonal MAC per interaction-list entry per sample
+    let mut tra = StageCost::default();
+    for lp in &plan.levels {
+        let q = lp.q as u64;
+        let mut n_pairs = 0u64;
+        for c in 0..(lp.n_side * lp.n_side) as u32 {
+            let (ix, iy) = morton_decode(c);
+            n_pairs += plan
+                .tree
+                .interaction_list(lp.level, ix as usize, iy as usize)
+                .len() as u64;
+        }
+        tra.flops += n_pairs * q * 8;
+        tra.bytes += (n_pairs * q + (lp.n_side * lp.n_side) as u64 * q) * C;
+    }
+
+    // disaggregate: mirror of the upward pass (shift + anterpolate)
+    let mut dis = StageCost::default();
+    for li in 0..n_levels.saturating_sub(1) {
+        let lp = &plan.levels[li];
+        let n_parents = (lp.n_side * lp.n_side) as u64;
+        let q_parent = lp.q as u64;
+        let q_child = plan.levels[li + 1].q as u64;
+        dis.flops += n_parents * 4 * (q_parent + q_parent) * 8;
+        dis.bytes += n_parents * (q_parent + 4 * q_child) * C;
+    }
+
+    // near: adjoint leaf expansion + 9-ish dense blocks per leaf
+    let mut near = StageCost {
+        flops: n_leaves * q_leaf * npx * 8,
+        bytes: n_leaves * (q_leaf + npx) * C,
+    };
+    let leaf_side = plan.tree.clusters_per_side(plan.tree.leaf_level());
+    let mut n_near = 0u64;
+    for iy in 0..leaf_side {
+        for ix in 0..leaf_side {
+            n_near += plan.tree.near_list(ix, iy).len() as u64;
+        }
+    }
+    near.flops += n_near * npx * npx * 8;
+    near.bytes += n_near * npx * C + n_leaves * npx * C;
+
+    [agg, tra, dis, near]
+}
+
 /// Reusable MLFMA matvec engine.
 pub struct MlfmaEngine {
     plan: Arc<MlfmaPlan>,
@@ -48,6 +163,7 @@ pub struct MlfmaEngine {
     /// Clusters-per-level threshold below which translation switches from
     /// cluster-parallel to sample-parallel.
     sample_parallel_below: usize,
+    obs: ObsHooks,
 }
 
 impl MlfmaEngine {
@@ -55,11 +171,13 @@ impl MlfmaEngine {
     pub fn new(plan: Arc<MlfmaPlan>, pool: Arc<Pool>) -> Self {
         let workspace = Mutex::new(Workspace::new(&plan));
         let sample_parallel_below = 4 * pool.n_threads();
+        let obs = ObsHooks::new(&plan);
         MlfmaEngine {
             plan,
             pool,
             workspace,
             sample_parallel_below,
+            obs,
         }
     }
 
@@ -77,12 +195,26 @@ impl MlfmaEngine {
     pub fn apply(&self, x: &[C64], y: &mut [C64]) {
         assert_eq!(x.len(), self.n());
         assert_eq!(y.len(), self.n());
+        let _apply = ffw_obs::span("mlfma.apply");
+        self.obs.charge_apply();
         let mut ws = self.workspace.lock();
         let ws = &mut *ws;
-        self.aggregate(x, &mut ws.outgoing);
-        self.translate(&ws.outgoing, &mut ws.incoming);
-        self.disaggregate(&mut ws.incoming);
-        self.receive_and_near(x, &ws.incoming, y);
+        {
+            let _s = ffw_obs::span("aggregate");
+            self.aggregate(x, &mut ws.outgoing);
+        }
+        {
+            let _s = ffw_obs::span("translate");
+            self.translate(&ws.outgoing, &mut ws.incoming);
+        }
+        {
+            let _s = ffw_obs::span("disaggregate");
+            self.disaggregate(&mut ws.incoming);
+        }
+        {
+            let _s = ffw_obs::span("near");
+            self.receive_and_near(x, &ws.incoming, y);
+        }
     }
 
     /// Phase 1+2 of Fig. 4's MLFMA box: leaf multipole expansions, then
@@ -103,6 +235,7 @@ impl MlfmaEngine {
             });
         // Upward pass: parent patterns from child patterns.
         for li in (0..n_levels - 1).rev() {
+            let _lvl = ffw_obs::span(format!("L{}", plan.levels[li].level));
             let (parents, children) = {
                 let (a, b) = outgoing.split_at_mut(li + 1);
                 (&mut a[li], &b[0])
@@ -134,6 +267,7 @@ impl MlfmaEngine {
     fn translate(&self, outgoing: &[Vec<C64>], incoming: &mut [Vec<C64>]) {
         let plan = &self.plan;
         for (li, lp) in plan.levels.iter().enumerate() {
+            let _lvl = ffw_obs::span(format!("L{}", lp.level));
             let q = lp.q;
             let n_side = lp.n_side;
             let n_clusters = n_side * n_side;
@@ -201,6 +335,7 @@ impl MlfmaEngine {
         let plan = &self.plan;
         let n_levels = plan.levels.len();
         for li in 0..n_levels - 1 {
+            let _lvl = ffw_obs::span(format!("L{}", plan.levels[li].level));
             let (parents, children) = {
                 let (a, b) = incoming.split_at_mut(li + 1);
                 (&a[li], &mut b[0])

@@ -1,0 +1,84 @@
+//! Golden regression: MLFMA matvec vs the direct dense Green's apply on a
+//! pinned geometry, with the *measured* error recorded — not just bounded.
+//!
+//! The unit tests in `engine.rs` assert the paper's accuracy budget
+//! (`err < 1e-5`); this test additionally pins the error actually observed
+//! on a fixed scene and excitation, so a change that silently degrades (or
+//! "improves" — usually a sign the operator changed) the approximation
+//! fails loudly with the golden number in the message. Regenerate the
+//! constants by running with `--nocapture` and copying the printed values.
+
+use ffw_mlfma::{Accuracy, MlfmaEngine, MlfmaPlan};
+use ffw_numerics::vecops::rel_diff;
+use ffw_numerics::{c64, C64};
+use ffw_par::Pool;
+use std::sync::Arc;
+
+/// Deterministic excitation: splitmix-style LCG, same for every run.
+fn pinned_x(n: usize, seed: u64) -> Vec<C64> {
+    let mut s = seed;
+    let mut next = move || {
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+    };
+    (0..n).map(|_| c64(next(), next())).collect()
+}
+
+/// Relative error of the MLFMA product vs the dense direct product on the
+/// pinned 32x32 scene (2-level tree, 1024 unknowns, seed 2024).
+fn golden_error(acc: Accuracy) -> f64 {
+    let domain = ffw_geometry::Domain::new(32, 1.0);
+    let plan = Arc::new(MlfmaPlan::new(&domain, acc));
+    let engine = MlfmaEngine::new(Arc::clone(&plan), Arc::new(Pool::new(1)));
+    let x = pinned_x(plan.n_pixels(), 2024);
+
+    let mut y = vec![C64::ZERO; plan.n_pixels()];
+    engine.apply(&x, &mut y);
+
+    let tree = ffw_geometry::QuadTree::new(&domain);
+    let pos = ffw_greens::tree_positions(&domain, &tree);
+    let kernel = ffw_greens::Kernel::new(domain.k0(), domain.equivalent_radius());
+    let mut y_ref = vec![C64::ZERO; plan.n_pixels()];
+    ffw_greens::DirectG0::new(kernel, &pos).apply(&x, &mut y_ref);
+
+    rel_diff(&y, &y_ref)
+}
+
+// Golden values measured on the pinned scene. The matvec is deterministic
+// (fixed plan, fixed excitation, partition-independent reduction), so the
+// only run-to-run wiggle is libm ulps across platforms — hence the band
+// rather than bit-equality.
+
+#[test]
+fn golden_default_accuracy() {
+    let err = golden_error(Accuracy::default());
+    println!("golden default-accuracy rel error: {err:.6e}");
+    // Recorded 2026-08: 6.26e-8 on the pinned scene. Paper budget is 1e-5.
+    let golden = 6.26e-8;
+    assert!(
+        err < 1e-5,
+        "accuracy budget violated: {err:.3e} (paper budget 1e-5)"
+    );
+    assert!(
+        err < golden * 4.0 && err > golden / 4.0,
+        "error drifted off the golden value: measured {err:.3e}, recorded {golden:.1e} \
+         (band x/÷4); if the operator intentionally changed, re-record"
+    );
+}
+
+#[test]
+fn golden_low_accuracy() {
+    let err = golden_error(Accuracy::low());
+    println!("golden low-accuracy rel error: {err:.6e}");
+    // Recorded 2026-08: 2.23e-6 on the pinned scene — the low setting drops
+    // the truncation margin, not the floor. Budget for `low` is 1e-2.
+    let golden = 2.23e-6;
+    assert!(err < 1e-2, "low-accuracy budget violated: {err:.3e}");
+    assert!(
+        err < golden * 4.0 && err > golden / 4.0,
+        "error drifted off the golden value: measured {err:.3e}, recorded {golden:.1e} \
+         (band x/÷4); if the operator intentionally changed, re-record"
+    );
+}

@@ -197,6 +197,34 @@ impl CommStats {
     pub fn edge_bytes(&self, src: usize, dst: usize) -> u64 {
         self.bytes[src * self.size + dst].load(Ordering::Relaxed)
     }
+
+    /// Number of ranks the stats matrix covers.
+    pub fn n_ranks(&self) -> usize {
+        self.size
+    }
+
+    /// Accumulates this run's per-rank and total message/byte counts into
+    /// the global `ffw_obs` registry: `mpi.bytes.rank{r}` /
+    /// `mpi.messages.rank{r}` hold what rank `r` *sent*, `mpi.bytes.total` /
+    /// `mpi.messages.total` the all-edge sums. Counters are monotonic, so
+    /// repeated launches (e.g. fault-tolerant relaunches) accumulate. No-op
+    /// while the recorder is off.
+    pub fn record_obs(&self) {
+        if !ffw_obs::enabled() {
+            return;
+        }
+        for src in 0..self.size {
+            let (mut bytes, mut msgs) = (0u64, 0u64);
+            for dst in 0..self.size {
+                bytes += self.edge_bytes(src, dst);
+                msgs += self.edge_messages(src, dst);
+            }
+            ffw_obs::counter(&format!("mpi.bytes.rank{src}")).add(bytes);
+            ffw_obs::counter(&format!("mpi.messages.rank{src}")).add(msgs);
+        }
+        ffw_obs::counter("mpi.bytes.total").add(self.total_bytes());
+        ffw_obs::counter("mpi.messages.total").add(self.total_messages());
+    }
 }
 
 /// Diagnosable replacement for `std::sync::Barrier`: waiters can time out,

@@ -124,3 +124,148 @@ proptest! {
         prop_assert!((lhs - rhs).abs() < 1e-8 * (1.0 + lhs.abs()));
     }
 }
+
+// --- Deterministic sweeps (fixed seeds, fixed sizes) ------------------------
+// The proptest blocks above explore randomly; these pin down the exact cases
+// the MLFMA pipeline depends on — non-power-of-two FFT lengths (the sampling
+// rates 2L+1 are odd) and the Bessel/Hankel identities the translation
+// operators assume — so a regression fails on a named case, not a shrink.
+
+/// Splitmix-ish deterministic complex vector.
+fn seeded_vec(len: usize, seed: u64) -> Vec<C64> {
+    let mut s = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+    let mut next = move || {
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+    };
+    (0..len).map(|_| c64(next(), next())).collect()
+}
+
+/// FFT lengths the workspace actually hits: powers of two, odd sampling
+/// rates, highly-composite and prime lengths.
+const FFT_SIZES: [usize; 18] = [
+    1, 2, 3, 4, 5, 7, 8, 11, 12, 16, 27, 31, 48, 64, 81, 100, 128, 243,
+];
+
+#[test]
+fn fft_roundtrip_size_sweep() {
+    for (i, &n) in FFT_SIZES.iter().enumerate() {
+        let x = seeded_vec(n, 40 + i as u64);
+        let y = ifft(&fft(&x));
+        assert!(rel_diff(&y, &x) < 1e-10, "roundtrip drift at n={n}");
+    }
+}
+
+#[test]
+fn fft_parseval_size_sweep() {
+    for (i, &n) in FFT_SIZES.iter().enumerate() {
+        let x = seeded_vec(n, 4000 + i as u64);
+        let y = fft(&x);
+        let ex = norm2(&x).powi(2);
+        let ey = norm2(&y).powi(2) / n as f64;
+        assert!(
+            (ex - ey).abs() < 1e-10 * (1.0 + ex),
+            "Parseval drift at n={n}: {ex} vs {ey}"
+        );
+    }
+}
+
+#[test]
+fn fft_size_sweep_matches_naive() {
+    for (i, &n) in FFT_SIZES.iter().enumerate() {
+        let x = seeded_vec(n, 90_000 + i as u64);
+        assert!(
+            rel_diff(&fft(&x), &dft_naive(&x)) < 1e-9,
+            "fft != dft at n={n}"
+        );
+    }
+}
+
+/// Arguments spanning the regimes the downward/upward recurrences switch in.
+const BESSEL_ARGS: [f64; 8] = [0.1, 0.5, 1.0, 2.5, 7.3, 19.0, 53.0, 147.0];
+
+#[test]
+fn bessel_j_three_term_recurrence() {
+    // J_{n-1}(x) + J_{n+1}(x) = (2n/x) J_n(x)
+    for &x in &BESSEL_ARGS {
+        let j = jn_array(14, x);
+        for n in 1..=12 {
+            let lhs = j[n - 1] + j[n + 1];
+            let rhs = (2.0 * n as f64 / x) * j[n];
+            let scale = j[n - 1].abs().max(j[n + 1].abs()).max(1e-30);
+            assert!(
+                (lhs - rhs).abs() < 1e-9 * scale.max(1.0),
+                "J recurrence drift at n={n} x={x}: {lhs} vs {rhs}"
+            );
+        }
+    }
+}
+
+#[test]
+fn bessel_y_three_term_recurrence() {
+    // Y_{n-1}(x) + Y_{n+1}(x) = (2n/x) Y_n(x) — exercised in the regime
+    // n <~ x where the upward recurrence is stable.
+    for &x in &BESSEL_ARGS {
+        let nmax = (x as usize).clamp(2, 12);
+        let y = yn_array(nmax + 1, x);
+        for n in 1..nmax {
+            let lhs = y[n - 1] + y[n + 1];
+            let rhs = (2.0 * n as f64 / x) * y[n];
+            let scale = y[n - 1].abs().max(y[n + 1].abs()).max(1.0);
+            assert!(
+                (lhs - rhs).abs() < 1e-9 * scale,
+                "Y recurrence drift at n={n} x={x}: {lhs} vs {rhs}"
+            );
+        }
+    }
+}
+
+#[test]
+fn hankel_composition_and_recurrence() {
+    use ffw_numerics::bessel::{hankel1_0, hankel1_1, hankel1_array};
+    for &x in &BESSEL_ARGS {
+        let h = hankel1_array(10, x);
+        let j = jn_array(10, x);
+        let y = yn_array(10, x);
+        // H_n = J_n + i Y_n, and the low-order closed forms agree.
+        for n in 0..=10 {
+            assert!(
+                (h[n] - c64(j[n], y[n])).abs() == 0.0,
+                "H composition at n={n} x={x}"
+            );
+        }
+        assert!((h[0] - hankel1_0(x)).abs() < 1e-10 * (1.0 + h[0].abs()));
+        assert!((h[1] - hankel1_1(x)).abs() < 1e-10 * (1.0 + h[1].abs()));
+        // Three-term recurrence holds for the complex combination too.
+        for n in 1..=8 {
+            let lhs = h[n - 1] + h[n + 1];
+            let rhs = h[n] * (2.0 * n as f64 / x);
+            let scale = h[n - 1].abs().max(h[n + 1].abs()).max(1.0);
+            assert!(
+                (lhs - rhs).abs() < 1e-9 * scale,
+                "H recurrence drift at n={n} x={x}"
+            );
+        }
+    }
+}
+
+#[test]
+fn bessel_wronskian_fixed_arguments() {
+    // J_{n+1} Y_n - J_n Y_{n+1} = 2 / (pi x), the identity the 2-D Green's
+    // function addition theorem rests on.
+    for &x in &BESSEL_ARGS {
+        let nmax = (x as usize).clamp(4, 10);
+        let j = jn_array(nmax + 1, x);
+        let y = yn_array(nmax + 1, x);
+        let expect = 2.0 / (std::f64::consts::PI * x);
+        for n in 0..nmax {
+            let w = j[n + 1] * y[n] - j[n] * y[n + 1];
+            assert!(
+                ((w - expect) / expect).abs() < 1e-9,
+                "Wronskian drift at n={n} x={x}: {w} vs {expect}"
+            );
+        }
+    }
+}

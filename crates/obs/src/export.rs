@@ -1,0 +1,454 @@
+//! Snapshots and serialization (JSON / JSONL).
+//!
+//! The JSON schema (`ffw-obs/1`, documented in DESIGN.md section 9) is
+//! emitted with a hand-rolled writer: this crate sits below everything else
+//! in the workspace and stays dependency-free. Keys are sorted (the registry
+//! is BTreeMap-backed) so output is diffable.
+
+use crate::metrics::{registry, HIST_BUCKETS};
+use crate::span::span_table;
+use std::fmt::Write as _;
+use std::path::Path;
+use std::sync::atomic::Ordering;
+
+/// One aggregated span path.
+#[derive(Clone, Debug)]
+pub struct SpanRow {
+    /// Slash-joined path (`reconstruct/dbim/iter`).
+    pub path: String,
+    /// Number of completed executions.
+    pub count: u64,
+    /// Sum of execution durations (CPU-time across threads, ns).
+    pub total_ns: u64,
+    /// Shortest execution (ns).
+    pub min_ns: u64,
+    /// Longest execution (ns).
+    pub max_ns: u64,
+}
+
+/// One histogram: non-empty log2 buckets as `(lower_bound, count)`.
+#[derive(Clone, Debug)]
+pub struct HistogramRow {
+    /// Metric name.
+    pub name: String,
+    /// Total samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Non-empty buckets: (inclusive lower bound of the bucket, count).
+    pub buckets: Vec<(u64, u64)>,
+}
+
+/// One timestamped event.
+#[derive(Clone, Debug)]
+pub struct EventRow {
+    /// Nanoseconds since the process-wide monotonic epoch.
+    pub t_ns: u64,
+    /// Event name (dotted, like metrics).
+    pub name: String,
+    /// Free-form detail string.
+    pub detail: String,
+}
+
+/// A consistent copy of everything recorded so far.
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    /// Aggregated spans, sorted by path.
+    pub spans: Vec<SpanRow>,
+    /// Counters, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauges, sorted by name.
+    pub gauges: Vec<(String, f64)>,
+    /// Histograms, sorted by name.
+    pub histograms: Vec<HistogramRow>,
+    /// Numeric series, sorted by name.
+    pub series: Vec<(String, Vec<f64>)>,
+    /// Events in record order.
+    pub events: Vec<EventRow>,
+}
+
+fn lock<'a, T>(m: &'a std::sync::Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+pub(crate) fn take_snapshot() -> Snapshot {
+    let r = registry();
+    let spans = lock(span_table())
+        .iter()
+        .map(|(path, s)| SpanRow {
+            path: path.clone(),
+            count: s.count,
+            total_ns: s.total_ns,
+            min_ns: if s.count == 0 { 0 } else { s.min_ns },
+            max_ns: s.max_ns,
+        })
+        .collect();
+    let counters = lock(&r.counters)
+        .iter()
+        .map(|(n, c)| (n.clone(), c.load(Ordering::Relaxed)))
+        .collect();
+    let gauges = lock(&r.gauges)
+        .iter()
+        .map(|(n, g)| (n.clone(), f64::from_bits(g.load(Ordering::Relaxed))))
+        .collect();
+    let histograms = lock(&r.histograms)
+        .iter()
+        .map(|(n, h)| HistogramRow {
+            name: n.clone(),
+            count: h.count.load(Ordering::Relaxed),
+            sum: h.sum.load(Ordering::Relaxed),
+            buckets: (0..HIST_BUCKETS)
+                .filter_map(|i| {
+                    let c = h.buckets[i].load(Ordering::Relaxed);
+                    (c > 0).then(|| (if i == 0 { 0 } else { 1u64 << (i - 1) }, c))
+                })
+                .collect(),
+        })
+        .collect();
+    let series = lock(&r.series)
+        .iter()
+        .map(|(n, v)| (n.clone(), v.clone()))
+        .collect();
+    let events = lock(&r.events)
+        .iter()
+        .map(|(t, n, d)| EventRow {
+            t_ns: *t,
+            name: n.clone(),
+            detail: d.clone(),
+        })
+        .collect();
+    Snapshot {
+        spans,
+        counters,
+        gauges,
+        histograms,
+        series,
+        events,
+    }
+}
+
+/// Escapes a string for a JSON string literal (quotes not included).
+fn esc(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Formats an `f64` as a JSON number (`null` for NaN/infinite).
+fn json_f64(v: f64, out: &mut String) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+        // bare integers like `3` are valid JSON numbers; keep them as-is
+    } else {
+        out.push_str("null");
+    }
+}
+
+impl Snapshot {
+    /// Serializes the snapshot as one pretty-ish JSON document
+    /// (schema `ffw-obs/1`).
+    pub fn to_json(&self) -> String {
+        let mut o = String::with_capacity(4096);
+        o.push_str("{\n  \"schema\": \"ffw-obs/1\",\n  \"spans\": [");
+        for (i, s) in self.spans.iter().enumerate() {
+            o.push_str(if i == 0 { "\n" } else { ",\n" });
+            o.push_str("    {\"path\": \"");
+            esc(&s.path, &mut o);
+            let _ = write!(
+                o,
+                "\", \"count\": {}, \"total_ns\": {}, \"min_ns\": {}, \"max_ns\": {}}}",
+                s.count, s.total_ns, s.min_ns, s.max_ns
+            );
+        }
+        o.push_str("\n  ],\n  \"counters\": {");
+        for (i, (n, v)) in self.counters.iter().enumerate() {
+            o.push_str(if i == 0 { "\n" } else { ",\n" });
+            o.push_str("    \"");
+            esc(n, &mut o);
+            let _ = write!(o, "\": {v}");
+        }
+        o.push_str("\n  },\n  \"gauges\": {");
+        for (i, (n, v)) in self.gauges.iter().enumerate() {
+            o.push_str(if i == 0 { "\n" } else { ",\n" });
+            o.push_str("    \"");
+            esc(n, &mut o);
+            o.push_str("\": ");
+            json_f64(*v, &mut o);
+        }
+        o.push_str("\n  },\n  \"histograms\": {");
+        for (i, h) in self.histograms.iter().enumerate() {
+            o.push_str(if i == 0 { "\n" } else { ",\n" });
+            o.push_str("    \"");
+            esc(&h.name, &mut o);
+            let _ = write!(
+                o,
+                "\": {{\"count\": {}, \"sum\": {}, \"buckets\": [",
+                h.count, h.sum
+            );
+            for (j, (lo, c)) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    o.push_str(", ");
+                }
+                let _ = write!(o, "[{lo}, {c}]");
+            }
+            o.push_str("]}");
+        }
+        o.push_str("\n  },\n  \"series\": {");
+        for (i, (n, vals)) in self.series.iter().enumerate() {
+            o.push_str(if i == 0 { "\n" } else { ",\n" });
+            o.push_str("    \"");
+            esc(n, &mut o);
+            o.push_str("\": [");
+            for (j, v) in vals.iter().enumerate() {
+                if j > 0 {
+                    o.push_str(", ");
+                }
+                json_f64(*v, &mut o);
+            }
+            o.push(']');
+        }
+        o.push_str("\n  },\n  \"events\": [");
+        for (i, e) in self.events.iter().enumerate() {
+            o.push_str(if i == 0 { "\n" } else { ",\n" });
+            let _ = write!(o, "    {{\"t_ns\": {}, \"name\": \"", e.t_ns);
+            esc(&e.name, &mut o);
+            o.push_str("\", \"detail\": \"");
+            esc(&e.detail, &mut o);
+            o.push_str("\"}");
+        }
+        o.push_str("\n  ]\n}\n");
+        o
+    }
+
+    /// Serializes the snapshot as JSONL: one self-describing object per line
+    /// (`{"kind": "span" | "counter" | ..., ...}`), append-friendly for log
+    /// collectors.
+    pub fn to_jsonl(&self) -> String {
+        let mut o = String::with_capacity(4096);
+        for s in &self.spans {
+            o.push_str("{\"kind\": \"span\", \"path\": \"");
+            esc(&s.path, &mut o);
+            let _ = writeln!(
+                o,
+                "\", \"count\": {}, \"total_ns\": {}, \"min_ns\": {}, \"max_ns\": {}}}",
+                s.count, s.total_ns, s.min_ns, s.max_ns
+            );
+        }
+        for (n, v) in &self.counters {
+            o.push_str("{\"kind\": \"counter\", \"name\": \"");
+            esc(n, &mut o);
+            let _ = writeln!(o, "\", \"value\": {v}}}");
+        }
+        for (n, v) in &self.gauges {
+            o.push_str("{\"kind\": \"gauge\", \"name\": \"");
+            esc(n, &mut o);
+            o.push_str("\", \"value\": ");
+            json_f64(*v, &mut o);
+            o.push_str("}\n");
+        }
+        for (n, vals) in &self.series {
+            o.push_str("{\"kind\": \"series\", \"name\": \"");
+            esc(n, &mut o);
+            o.push_str("\", \"values\": [");
+            for (j, v) in vals.iter().enumerate() {
+                if j > 0 {
+                    o.push_str(", ");
+                }
+                json_f64(*v, &mut o);
+            }
+            o.push_str("]}\n");
+        }
+        for e in &self.events {
+            let _ = write!(
+                o,
+                "{{\"kind\": \"event\", \"t_ns\": {}, \"name\": \"",
+                e.t_ns
+            );
+            esc(&e.name, &mut o);
+            o.push_str("\", \"detail\": \"");
+            esc(&e.detail, &mut o);
+            o.push_str("\"}\n");
+        }
+        o
+    }
+
+    /// Writes [`Snapshot::to_json`] to `path` (`.jsonl` extension selects
+    /// the JSONL form).
+    pub fn write_to(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let path = path.as_ref();
+        let body = if path.extension().is_some_and(|e| e == "jsonl") {
+            self.to_jsonl()
+        } else {
+            self.to_json()
+        };
+        std::fs::write(path, body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+
+    /// Minimal structural JSON validator: objects/arrays/strings/numbers/
+    /// literals, enough to prove the hand-rolled writer emits valid JSON.
+    fn validate_json(s: &str) -> Result<(), String> {
+        let b = s.as_bytes();
+        let mut i = 0usize;
+        fn ws(b: &[u8], i: &mut usize) {
+            while *i < b.len() && (b[*i] as char).is_ascii_whitespace() {
+                *i += 1;
+            }
+        }
+        fn value(b: &[u8], i: &mut usize) -> Result<(), String> {
+            ws(b, i);
+            match b.get(*i) {
+                Some(b'{') => {
+                    *i += 1;
+                    ws(b, i);
+                    if b.get(*i) == Some(&b'}') {
+                        *i += 1;
+                        return Ok(());
+                    }
+                    loop {
+                        value(b, i)?; // key (validated as a value: must be string)
+                        ws(b, i);
+                        if b.get(*i) != Some(&b':') {
+                            return Err(format!("expected ':' at {i}"));
+                        }
+                        *i += 1;
+                        value(b, i)?;
+                        ws(b, i);
+                        match b.get(*i) {
+                            Some(b',') => *i += 1,
+                            Some(b'}') => {
+                                *i += 1;
+                                return Ok(());
+                            }
+                            _ => return Err(format!("expected ',' or '}}' at {i}")),
+                        }
+                    }
+                }
+                Some(b'[') => {
+                    *i += 1;
+                    ws(b, i);
+                    if b.get(*i) == Some(&b']') {
+                        *i += 1;
+                        return Ok(());
+                    }
+                    loop {
+                        value(b, i)?;
+                        ws(b, i);
+                        match b.get(*i) {
+                            Some(b',') => *i += 1,
+                            Some(b']') => {
+                                *i += 1;
+                                return Ok(());
+                            }
+                            _ => return Err(format!("expected ',' or ']' at {i}")),
+                        }
+                    }
+                }
+                Some(b'"') => {
+                    *i += 1;
+                    while *i < b.len() {
+                        match b[*i] {
+                            b'\\' => *i += 2,
+                            b'"' => {
+                                *i += 1;
+                                return Ok(());
+                            }
+                            _ => *i += 1,
+                        }
+                    }
+                    Err("unterminated string".into())
+                }
+                Some(c) if c.is_ascii_digit() || *c == b'-' => {
+                    while *i < b.len()
+                        && (b[*i].is_ascii_digit()
+                            || matches!(b[*i], b'.' | b'e' | b'E' | b'+' | b'-'))
+                    {
+                        *i += 1;
+                    }
+                    Ok(())
+                }
+                _ => {
+                    for lit in ["true", "false", "null"] {
+                        if s_from(b, *i).starts_with(lit) {
+                            *i += lit.len();
+                            return Ok(());
+                        }
+                    }
+                    Err(format!("unexpected token at {i}"))
+                }
+            }
+        }
+        fn s_from(b: &[u8], i: usize) -> &str {
+            std::str::from_utf8(&b[i..]).unwrap_or("")
+        }
+        value(b, &mut i)?;
+        ws(b, &mut i);
+        if i != b.len() {
+            return Err(format!("trailing garbage at {i}"));
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn snapshot_json_is_valid_and_complete() {
+        let _guard = crate::tests_lock();
+        crate::reset();
+        crate::set_enabled(true);
+        {
+            let _root = crate::span("test-export-root");
+            let _leaf = crate::span("leaf \"quoted\"");
+        }
+        crate::counter("test.export.counter").add(7);
+        crate::gauge("test.export.gauge").set(1.5);
+        crate::gauge("test.export.nan").set(f64::NAN);
+        crate::histogram("test.export.hist").record(100);
+        crate::series_push("test.export.series", 0.25);
+        crate::event("test.export.event", "line1\nline2");
+        crate::set_enabled(false);
+
+        let snap = crate::snapshot();
+        let json = snap.to_json();
+        validate_json(&json).expect("valid JSON");
+        assert!(json.contains("\"test.export.counter\": 7"));
+        assert!(json.contains("test-export-root/leaf \\\"quoted\\\""));
+        assert!(json.contains("\"test.export.nan\": null"));
+
+        for line in snap.to_jsonl().lines() {
+            validate_json(line).unwrap_or_else(|e| panic!("invalid JSONL line {line:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn write_to_selects_format_by_extension() {
+        let _guard = crate::tests_lock();
+        crate::reset();
+        crate::set_enabled(true);
+        crate::counter("test.export.file").inc();
+        crate::set_enabled(false);
+        let snap = crate::snapshot();
+        let dir = std::env::temp_dir();
+        let j = dir.join("ffw-obs-test.json");
+        let l = dir.join("ffw-obs-test.jsonl");
+        snap.write_to(&j).expect("write json");
+        snap.write_to(&l).expect("write jsonl");
+        let json = std::fs::read_to_string(&j).expect("read");
+        assert!(json.starts_with('{'));
+        let jsonl = std::fs::read_to_string(&l).expect("read");
+        assert!(jsonl.lines().all(|ln| ln.starts_with('{')));
+        let _ = std::fs::remove_file(j);
+        let _ = std::fs::remove_file(l);
+    }
+}

@@ -1,0 +1,248 @@
+//! The metrics registry: counters, gauges, histograms, series, events.
+//!
+//! Naming scheme (DESIGN.md section 9): dotted lowercase
+//! `component.metric[.qualifier]` — `mlfma.flops.translate`,
+//! `mpi.bytes.rank3`, `solver.bicgstab.iters`. Registration is lazy: the
+//! first [`counter`]/[`gauge`]/[`histogram`] call for a name creates it, and
+//! the returned handle records lock-free thereafter, so hot paths look up
+//! once and cache the handle.
+
+use crate::clock::monotonic_ns;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Number of log2 buckets in a [`Histogram`]: bucket `i` holds samples `v`
+/// with `2^(i-1) <= v < 2^i` (bucket 0 holds `v == 0`).
+pub(crate) const HIST_BUCKETS: usize = 65;
+
+pub(crate) struct HistogramInner {
+    pub(crate) buckets: [AtomicU64; HIST_BUCKETS],
+    pub(crate) count: AtomicU64,
+    pub(crate) sum: AtomicU64,
+}
+
+pub(crate) struct Registry {
+    pub(crate) counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    pub(crate) gauges: Mutex<BTreeMap<String, Arc<AtomicU64>>>, // f64 bits
+    pub(crate) histograms: Mutex<BTreeMap<String, Arc<HistogramInner>>>,
+    pub(crate) series: Mutex<BTreeMap<String, Vec<f64>>>,
+    pub(crate) events: Mutex<Vec<(u64, String, String)>>,
+}
+
+pub(crate) fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        counters: Mutex::new(BTreeMap::new()),
+        gauges: Mutex::new(BTreeMap::new()),
+        histograms: Mutex::new(BTreeMap::new()),
+        series: Mutex::new(BTreeMap::new()),
+        events: Mutex::new(Vec::new()),
+    })
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+    // The registry holds no user code while locked, so a poisoned lock can
+    // only mean a panic inside this module; recover the data regardless.
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Zeroes counters/gauges/histograms in place (cached handles stay valid)
+/// and drops all series and events.
+pub(crate) fn reset_registry() {
+    let r = registry();
+    for c in lock(&r.counters).values() {
+        c.store(0, Ordering::Relaxed);
+    }
+    for g in lock(&r.gauges).values() {
+        g.store(0.0f64.to_bits(), Ordering::Relaxed);
+    }
+    for h in lock(&r.histograms).values() {
+        for b in &h.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        h.count.store(0, Ordering::Relaxed);
+        h.sum.store(0, Ordering::Relaxed);
+    }
+    lock(&r.series).clear();
+    lock(&r.events).clear();
+}
+
+/// A monotonic `u64` counter handle. Cheap to clone; `add` is one relaxed
+/// `fetch_add` when the recorder is on.
+#[derive(Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds `n` to the counter (no-op while the recorder is off).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if crate::enabled() {
+            self.0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Returns (creating if needed) the counter registered under `name`.
+pub fn counter(name: &str) -> Counter {
+    let mut map = lock(&registry().counters);
+    Counter(Arc::clone(map.entry(name.to_string()).or_default()))
+}
+
+/// A last-write-wins `f64` gauge handle.
+#[derive(Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Sets the gauge (no-op while the recorder is off).
+    #[inline]
+    pub fn set(&self, v: f64) {
+        if crate::enabled() {
+            self.0.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Returns (creating if needed) the gauge registered under `name`.
+pub fn gauge(name: &str) -> Gauge {
+    let mut map = lock(&registry().gauges);
+    Gauge(Arc::clone(map.entry(name.to_string()).or_default()))
+}
+
+/// A log2-bucketed `u64` histogram handle (65 buckets: zero plus one per
+/// power of two). Recording is three relaxed atomic adds.
+#[derive(Clone)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Histogram {
+    /// Records one sample (no-op while the recorder is off).
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        let b = bucket_of(v);
+        self.0.buckets[b].fetch_add(1, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+}
+
+/// Bucket index for value `v`: 0 for 0, else `64 - leading_zeros(v)`.
+pub(crate) fn bucket_of(v: u64) -> usize {
+    (64 - v.leading_zeros() as usize).min(HIST_BUCKETS - 1)
+}
+
+/// Returns (creating if needed) the histogram registered under `name`.
+pub fn histogram(name: &str) -> Histogram {
+    let mut map = lock(&registry().histograms);
+    Histogram(Arc::clone(map.entry(name.to_string()).or_insert_with(
+        || {
+            Arc::new(HistogramInner {
+                buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+            })
+        },
+    )))
+}
+
+/// Appends `v` to the named series (e.g. a per-iteration residual history).
+/// No-op while the recorder is off.
+pub fn series_push(name: &str, v: f64) {
+    if !crate::enabled() {
+        return;
+    }
+    lock(&registry().series)
+        .entry(name.to_string())
+        .or_default()
+        .push(v);
+}
+
+/// Records a timestamped event (checkpoint written, solver breakdown,
+/// rank death...). No-op while the recorder is off.
+pub fn event(name: &str, detail: &str) {
+    if !crate::enabled() {
+        return;
+    }
+    lock(&registry().events).push((monotonic_ns(), name.to_string(), detail.to_string()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_gauge_histogram_roundtrip() {
+        let _guard = crate::tests_lock();
+        crate::set_enabled(true);
+        let c = counter("test.metrics.counter");
+        let before = c.get();
+        c.add(3);
+        c.inc();
+        assert_eq!(c.get(), before + 4);
+        // same name -> same underlying cell
+        assert_eq!(counter("test.metrics.counter").get(), before + 4);
+
+        let g = gauge("test.metrics.gauge");
+        g.set(2.5);
+        assert_eq!(g.get(), 2.5);
+
+        let h = histogram("test.metrics.hist");
+        let n0 = h.count();
+        h.record(0);
+        h.record(1);
+        h.record(1023);
+        assert_eq!(h.count(), n0 + 3);
+        crate::set_enabled(false);
+    }
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn series_and_events_record_in_order() {
+        let _guard = crate::tests_lock();
+        crate::set_enabled(true);
+        series_push("test.metrics.series", 1.0);
+        series_push("test.metrics.series", 0.5);
+        event("test.metrics.event", "first");
+        let snap = crate::snapshot();
+        let s = snap
+            .series
+            .iter()
+            .find(|(n, _)| n == "test.metrics.series")
+            .expect("series present");
+        assert_eq!(s.1, vec![1.0, 0.5]);
+        assert!(snap.events.iter().any(|e| e.name == "test.metrics.event"));
+        crate::set_enabled(false);
+    }
+}

@@ -1,0 +1,152 @@
+//! Text profile rendering: an indented, flamegraph-style view of the span
+//! tree, largest subtree first, printed by `ffw-reconstruct --profile`.
+
+use crate::export::{Snapshot, SpanRow};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+struct Node<'a> {
+    row: Option<&'a SpanRow>,
+    children: BTreeMap<&'a str, Node<'a>>,
+}
+
+impl<'a> Node<'a> {
+    fn new() -> Self {
+        Node {
+            row: None,
+            children: BTreeMap::new(),
+        }
+    }
+
+    fn total_ns(&self) -> u64 {
+        self.row
+            .map(|r| r.total_ns)
+            .unwrap_or_else(|| self.children.values().map(|c| c.total_ns()).sum())
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    let s = ns as f64 / 1e9;
+    if s >= 1.0 {
+        format!("{s:8.3} s ")
+    } else if s >= 1e-3 {
+        format!("{:8.3} ms", s * 1e3)
+    } else {
+        format!("{:8.3} us", s * 1e6)
+    }
+}
+
+fn render_node(name: &str, node: &Node<'_>, depth: usize, root_total: u64, out: &mut String) {
+    let total = node.total_ns();
+    let share = if root_total > 0 {
+        100.0 * total as f64 / root_total as f64
+    } else {
+        0.0
+    };
+    let indent = "  ".repeat(depth);
+    let label = format!("{indent}{name}");
+    let count = node.row.map(|r| r.count).unwrap_or(0);
+    let _ = writeln!(out, "{label:<40} {} {share:5.1}%  x{count}", fmt_ns(total));
+    // children sorted by total time, largest first
+    let mut kids: Vec<(&str, &Node<'_>)> = node.children.iter().map(|(k, v)| (*k, v)).collect();
+    kids.sort_by_key(|(_, n)| std::cmp::Reverse(n.total_ns()));
+    // self time, when the children don't account for everything
+    if node.row.is_some() && !kids.is_empty() {
+        let child_sum: u64 = kids.iter().map(|(_, n)| n.total_ns()).sum();
+        let self_ns = total.saturating_sub(child_sum);
+        if total > 0 && self_ns as f64 / total as f64 > 0.02 {
+            let self_share = if root_total > 0 {
+                100.0 * self_ns as f64 / root_total as f64
+            } else {
+                0.0
+            };
+            let label = format!("{indent}  (self)");
+            let _ = writeln!(out, "{label:<40} {} {self_share:5.1}%", fmt_ns(self_ns));
+        }
+    }
+    for (k, child) in kids {
+        render_node(k, child, depth + 1, root_total, out);
+    }
+}
+
+impl Snapshot {
+    /// Renders the span tree as an indented text profile. Durations are CPU
+    /// time summed across threads; percentages are relative to the total of
+    /// all root spans.
+    pub fn render_profile(&self) -> String {
+        let mut root = Node::new();
+        for row in &self.spans {
+            let mut node = &mut root;
+            for part in row.path.split('/') {
+                node = node.children.entry(part).or_insert_with(Node::new);
+            }
+            node.row = Some(row);
+        }
+        let root_total: u64 = root.children.values().map(|c| c.total_ns()).sum();
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "span profile (CPU time summed over threads; total {})",
+            fmt_ns(root_total).trim()
+        );
+        let mut tops: Vec<(&str, &Node<'_>)> = root.children.iter().map(|(k, v)| (*k, v)).collect();
+        tops.sort_by_key(|(_, n)| std::cmp::Reverse(n.total_ns()));
+        for (k, child) in tops {
+            render_node(k, child, 1, root_total, &mut out);
+        }
+        if self.spans.is_empty() {
+            out.push_str("  (no spans recorded)\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::export::{Snapshot, SpanRow};
+
+    #[test]
+    fn profile_renders_tree_with_shares() {
+        let snap = Snapshot {
+            spans: vec![
+                SpanRow {
+                    path: "run".into(),
+                    count: 1,
+                    total_ns: 1_000_000_000,
+                    min_ns: 1_000_000_000,
+                    max_ns: 1_000_000_000,
+                },
+                SpanRow {
+                    path: "run/solve".into(),
+                    count: 4,
+                    total_ns: 750_000_000,
+                    min_ns: 100,
+                    max_ns: 500_000_000,
+                },
+                SpanRow {
+                    path: "run/io".into(),
+                    count: 2,
+                    total_ns: 150_000_000,
+                    min_ns: 100,
+                    max_ns: 100_000_000,
+                },
+            ],
+            ..Default::default()
+        };
+        let text = snap.render_profile();
+        assert!(text.contains("run"), "{text}");
+        assert!(text.contains("solve"), "{text}");
+        assert!(text.contains("75.0%"), "{text}");
+        assert!(text.contains("(self)"), "{text}");
+        // solve (larger) is listed before io
+        let solve_at = text.find("solve").expect("solve");
+        let io_at = text.find("io").expect("io");
+        assert!(solve_at < io_at, "{text}");
+    }
+
+    #[test]
+    fn empty_profile_does_not_panic() {
+        let text = Snapshot::default().render_profile();
+        assert!(text.contains("no spans recorded"));
+    }
+}

@@ -2,12 +2,12 @@
 //! and prints the paper-vs-model comparison (the quantities behind the
 //! fig09..fig12/table4/fig13 binaries).
 
+use ffw_obs::Stopwatch;
 use ffw_perf::*;
-use std::time::Instant;
 
 fn main() {
     let mut lib = PlanLib::new();
-    let t0 = Instant::now();
+    let t0 = Stopwatch::start();
     let scale = calibrate(&mut lib);
     println!("calibration scale = {scale:.4} ({:.1?})", t0.elapsed());
     println!("\nFig 9 (strong scaling, illuminations): paper: 1096s->142s, 86.1% eff");
@@ -48,7 +48,7 @@ fn main() {
             r.nodes, r.cpu_seconds, r.gpu_seconds, r.speedup
         );
     }
-    let t1 = Instant::now();
+    let t1 = Stopwatch::start();
     println!("\nFig 12 (weak, sub-trees): paper: real 73.3%, adjusted 94.7%");
     for p in fig12(&mut lib, scale) {
         println!(

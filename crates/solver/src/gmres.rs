@@ -24,6 +24,33 @@ fn gmres_guarded<A: LinOp + ?Sized>(
     restart: usize,
     cfg: IterConfig,
 ) -> (SolveStats, bool) {
+    let _span = ffw_obs::span("solver.gmres");
+    let out = gmres_guarded_inner(a, b, x, restart, cfg);
+    if ffw_obs::enabled() {
+        ffw_obs::counter("solver.gmres.solves").inc();
+        ffw_obs::counter("solver.gmres.iters").add(out.0.iterations as u64);
+        ffw_obs::counter("solver.gmres.matvecs").add(out.0.matvecs as u64);
+        ffw_obs::histogram("solver.gmres.iters_per_solve").record(out.0.iterations as u64);
+        if out.1 {
+            ffw_obs::event(
+                "solver.breakdown",
+                &format!(
+                    "gmres: non-finite after {} iterations, residual {:.3e}",
+                    out.0.iterations, out.0.rel_residual
+                ),
+            );
+        }
+    }
+    out
+}
+
+fn gmres_guarded_inner<A: LinOp + ?Sized>(
+    a: &A,
+    b: &[C64],
+    x: &mut [C64],
+    restart: usize,
+    cfg: IterConfig,
+) -> (SolveStats, bool) {
     let n = b.len();
     assert_eq!(x.len(), n);
     let m = restart.max(1);
@@ -123,6 +150,7 @@ fn gmres_guarded<A: LinOp + ?Sized>(
                 break;
             }
             res = res_new;
+            ffw_obs::series_push("solver.gmres.residual", res);
             if res < cfg.tol || hw < 1e-300 {
                 break;
             }
@@ -213,6 +241,10 @@ pub fn gmres_checked<A: LinOp + ?Sized>(
         tol: cfg.tol,
         max_iters: cfg.max_iters.saturating_sub(first.iterations),
     };
+    ffw_obs::event(
+        "solver.restart",
+        &format!("gmres restart after breakdown at iter {}", first.iterations),
+    );
     if remaining.max_iters == 0 {
         return Err(SolveError::Breakdown {
             kind: BreakdownKind::NonFinite,

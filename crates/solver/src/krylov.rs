@@ -148,6 +148,7 @@ fn bicgstab_cycle<A: LinOp + ?Sized>(
             res: f64::NAN,
         };
     }
+    ffw_obs::series_push("solver.bicgstab.residual", res);
     if res < cfg.tol {
         return CycleEnd::Converged(res);
     }
@@ -185,6 +186,7 @@ fn bicgstab_cycle<A: LinOp + ?Sized>(
         let s_norm = norm2(&s) / b_norm;
         if s_norm < cfg.tol {
             axpy(alpha, &p, x);
+            ffw_obs::series_push("solver.bicgstab.residual", s_norm);
             return CycleEnd::Converged(s_norm);
         }
         a.apply(&s, &mut t);
@@ -210,6 +212,7 @@ fn bicgstab_cycle<A: LinOp + ?Sized>(
             };
         }
         res = res_new;
+        ffw_obs::series_push("solver.bicgstab.residual", res);
         if res < cfg.tol {
             return CycleEnd::Converged(res);
         }
@@ -218,6 +221,35 @@ fn bicgstab_cycle<A: LinOp + ?Sized>(
 }
 
 fn bicgstab_impl<A: LinOp + ?Sized>(
+    a: &A,
+    b: &[C64],
+    x: &mut [C64],
+    cfg: IterConfig,
+    max_restarts: u32,
+) -> Result<SolveStats, SolveError> {
+    let _span = ffw_obs::span("solver.bicgstab");
+    let out = bicgstab_impl_inner(a, b, x, cfg, max_restarts);
+    if ffw_obs::enabled() {
+        let (it, mv) = match &out {
+            Ok(s) => (s.iterations, s.matvecs),
+            Err(SolveError::Breakdown {
+                iterations,
+                matvecs,
+                ..
+            }) => (*iterations, *matvecs),
+        };
+        ffw_obs::counter("solver.bicgstab.solves").inc();
+        ffw_obs::counter("solver.bicgstab.iters").add(it as u64);
+        ffw_obs::counter("solver.bicgstab.matvecs").add(mv as u64);
+        ffw_obs::histogram("solver.bicgstab.iters_per_solve").record(it as u64);
+        if let Err(e) = &out {
+            ffw_obs::event("solver.breakdown", &format!("bicgstab: {e}"));
+        }
+    }
+    out
+}
+
+fn bicgstab_impl_inner<A: LinOp + ?Sized>(
     a: &A,
     b: &[C64],
     x: &mut [C64],
@@ -267,6 +299,10 @@ fn bicgstab_impl<A: LinOp + ?Sized>(
                     // the degenerate Krylov directions that caused the
                     // breakdown while keeping the progress made so far.
                     restarts += 1;
+                    ffw_obs::event(
+                        "solver.restart",
+                        &format!("bicgstab restart {restarts} after {kind} at iter {iters}"),
+                    );
                     continue;
                 }
                 return Err(SolveError::Breakdown {

@@ -14,8 +14,8 @@ use ffw::par::Pool;
 use ffw::phantom::{
     contrast_from_object, image_rel_error, object_from_contrast, Cylinder, Phantom,
 };
+use ffw_obs::Stopwatch;
 use std::sync::Arc;
-use std::time::Instant;
 
 fn main() {
     // --- the imaging scene (paper Fig. 3, laptop scale) ---
@@ -51,12 +51,12 @@ fn main() {
     let g0 = MlfmaG0(Arc::new(MlfmaEngine::new(plan, pool)));
 
     // --- synthesize measurements (the "experiment") ---
-    let t0 = Instant::now();
+    let t0 = Stopwatch::start();
     let measured = synthesize_measurements(&setup, &g0, &object_true, Default::default());
     println!("synthesized {} tx in {:.2?}", setup.n_tx(), t0.elapsed());
 
     // --- nonlinear (multiple-scattering) DBIM reconstruction ---
-    let t0 = Instant::now();
+    let t0 = Stopwatch::start();
     let cfg = DbimConfig {
         iterations: 10,
         ..Default::default()
@@ -74,7 +74,7 @@ fn main() {
     let dbim_err = image_rel_error(&dbim_raster, &truth_raster);
 
     // --- linear (single-scattering) Born baseline ---
-    let t0 = Instant::now();
+    let t0 = Stopwatch::start();
     let born = born_inversion(&setup, &measured, &BornConfig::default());
     let born_raster = contrast_from_object(&domain, &tree, &born.object);
     let born_err = image_rel_error(&born_raster, &truth_raster);

@@ -8,7 +8,7 @@
 
 use ffw::phantom::{image_rel_error, Phantom, SheppLogan};
 use ffw::tomo::{Reconstruction, SceneConfig};
-use std::time::Instant;
+use ffw_obs::Stopwatch;
 
 fn ascii_render(raster: &[f64], n: usize, vmax: f64) {
     let shades = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
@@ -37,7 +37,7 @@ fn main() {
     let truth = SheppLogan::for_domain(recon.domain(), 0.02);
     let truth_raster = truth.rasterize(recon.domain());
 
-    let t0 = Instant::now();
+    let t0 = Stopwatch::start();
     let measured = recon.synthesize(&truth);
     let result = recon.run_dbim(&measured, iters);
     let image = recon.image(&result.object);

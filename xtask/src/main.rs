@@ -33,11 +33,16 @@
 //!   fault into a rank-killing panic. Use `?` with a typed error, or an
 //!   explicit `unwrap_or_else(|e| panic!(...))` / `expect("reason")` where a
 //!   failure is genuinely a protocol bug. Waive with `// lint:unwrap-ok`.
+//! * **R6 — timing through `ffw-obs`**: `std::time::Instant` is banned in
+//!   `crates/` outside `crates/obs/` — all wall-clock timing goes through
+//!   `ffw_obs::Stopwatch`/`monotonic_ns` so the observability layer sees it
+//!   (and so perf numbers share one clock). Test code is exempt, as is a
+//!   justified `// lint:instant-ok` waiver.
 //!
-//! Scope: R1–R3 cover `crates/` and `xtask/`; R4 covers `crates/` only
+//! Scope: R1–R3 cover `crates/` and `xtask/`; R4 and R6 cover `crates/` only
 //! (`third_party/` holds vendored stand-ins for external dependencies and is
-//! linted for unsafe hygiene but not spawn discipline); R5 covers only the
-//! two fault-tolerant crates.
+//! linted for unsafe hygiene but not spawn/timing discipline); R5 covers only
+//! the two fault-tolerant crates.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -81,6 +86,7 @@ fn lint() -> ExitCode {
             if dir == "crates" {
                 diagnostics.extend(check_thread_spawn(&rel, &text));
                 diagnostics.extend(check_unwrap_on_fault_path(&rel, &text));
+                diagnostics.extend(check_instant_outside_obs(&rel, &text));
             }
         }
     }
@@ -330,6 +336,37 @@ fn check_unwrap_on_fault_path(file: &str, text: &str) -> Vec<String> {
     out
 }
 
+/// R6: `std::time::Instant` only inside `crates/obs/` — everything else
+/// times through `ffw_obs::Stopwatch` so the observability layer is the one
+/// clock.
+fn check_instant_outside_obs(file: &str, text: &str) -> Vec<String> {
+    if file.starts_with("crates/obs/") {
+        return Vec::new();
+    }
+    if file.contains("/tests/") || file.contains("/benches/") {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let mut in_test_suffix = false;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim_start().starts_with("#[cfg(test)]") {
+            in_test_suffix = true;
+        }
+        if in_test_suffix {
+            continue;
+        }
+        if contains_word(&mask_code(line), "Instant") && !line.contains("lint:instant-ok") {
+            out.push(format!(
+                "{file}:{}: `std::time::Instant` outside ffw-obs — use \
+                 `ffw_obs::Stopwatch`/`monotonic_ns` so timing goes through the \
+                 observability layer; waive with `// lint:instant-ok`",
+                i + 1
+            ));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -425,6 +462,26 @@ mod tests {
     }
 
     #[test]
+    fn instant_outside_obs_fails() {
+        let src = "use std::time::Instant;\nlet t0 = Instant::now();\n";
+        assert_eq!(
+            check_instant_outside_obs("crates/bench/src/bin/fig13.rs", src).len(),
+            2
+        );
+        // The observability crate itself, tests, and waived lines are exempt.
+        assert!(check_instant_outside_obs("crates/obs/src/clock.rs", src).is_empty());
+        assert!(check_instant_outside_obs("crates/solver/tests/t.rs", src).is_empty());
+        let waived = "use std::time::Instant; // lint:instant-ok — calibration\n";
+        assert!(check_instant_outside_obs("crates/perf/src/lib.rs", waived).is_empty());
+        let test_only =
+            "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g() { let _ = Instant::now(); }\n}\n";
+        assert!(check_instant_outside_obs("crates/perf/src/lib.rs", test_only).is_empty());
+        // `Instant` inside a string literal or identifier does not trip it.
+        let masked = "println!(\"Instant\"); let reinstant_x = 1;\n";
+        assert!(check_instant_outside_obs("crates/perf/src/lib.rs", masked).is_empty());
+    }
+
+    #[test]
     fn lint_rules_pass_on_this_workspace() {
         // The gate must be green on the tree it ships in.
         let root = workspace_root();
@@ -439,6 +496,7 @@ mod tests {
                 if dir == "crates" {
                     diags.extend(check_thread_spawn(&rel, &text));
                     diags.extend(check_unwrap_on_fault_path(&rel, &text));
+                    diags.extend(check_instant_outside_obs(&rel, &text));
                 }
             }
         }
