@@ -129,6 +129,42 @@ pub enum FaultEvent {
         /// The dead peer.
         peer: usize,
     },
+    /// A received delivery attempt failed its CRC-32 integrity check.
+    CorruptRecv {
+        /// Source rank of the corrupted message.
+        src: usize,
+        /// Message tag.
+        tag: u32,
+        /// 1-based verification attempt that failed.
+        attempt: u32,
+    },
+    /// The receiver NACKed a corrupted delivery and requested a retransmit.
+    RetransmitRequested {
+        /// Source rank being asked to retransmit.
+        src: usize,
+        /// Message tag.
+        tag: u32,
+        /// 1-based retransmit request (matches the failed attempt).
+        attempt: u32,
+    },
+    /// Every verification attempt of a receive failed; the receive fails
+    /// with a typed corruption error.
+    CorruptionRetriesExhausted {
+        /// Source rank of the persistently-corrupt message.
+        src: usize,
+        /// Message tag.
+        tag: u32,
+        /// Total verification attempts made.
+        attempts: u32,
+    },
+    /// The heartbeat monitor's phi-accrual score crossed the suspicion
+    /// threshold for `peer`, and this rank's blocked wait observed it.
+    HeartbeatSuspect {
+        /// The suspected (beat-silent) peer.
+        peer: usize,
+        /// The suspicion score at detection time, in thousandths.
+        phi_milli: u64,
+    },
 }
 
 /// A message still sitting in a mailbox when `run()` exited.
@@ -164,6 +200,32 @@ pub enum Violation {
         /// The reserved tag.
         tag: u32,
     },
+    /// A rank detected a corrupted receive but its trace shows neither a
+    /// later clean delivery on that edge+tag nor an exhausted retry budget:
+    /// the corruption protocol was abandoned mid-recovery.
+    UnresolvedCorruption {
+        /// The receiving rank.
+        rank: usize,
+        /// Source of the corrupted message.
+        src: usize,
+        /// Message tag.
+        tag: u32,
+    },
+    /// A rank's heartbeat evidence suspected the rank itself — the monitor
+    /// must only ever suspect peers.
+    SelfSuspect {
+        /// The offending rank.
+        rank: usize,
+    },
+    /// A rank recorded heartbeat suspicion of a peer but never followed it
+    /// with a `PeerDeclaredDead` verdict for that peer: suspicion is
+    /// evidence, and evidence must lead to an attributed outcome.
+    SuspectWithoutVerdict {
+        /// The rank holding the dangling suspicion.
+        rank: usize,
+        /// The suspected peer that was never declared dead.
+        peer: usize,
+    },
     /// Two ranks disagree about the sequence of collectives they executed.
     CollectiveMismatch {
         /// Position in the per-rank collective sequence.
@@ -191,6 +253,20 @@ impl fmt::Display for Violation {
             Violation::SelfSend { rank, tag } => {
                 write!(f, "self-send: rank {rank} sent to itself (tag={tag:#x})")
             }
+            Violation::UnresolvedCorruption { rank, src, tag } => write!(
+                f,
+                "unresolved corruption: rank {rank} detected a corrupt receive from rank {src} \
+                 (tag={tag:#x}) but neither recovered a clean copy nor exhausted its retry budget"
+            ),
+            Violation::SelfSuspect { rank } => write!(
+                f,
+                "self-suspect: rank {rank} recorded heartbeat suspicion of itself"
+            ),
+            Violation::SuspectWithoutVerdict { rank, peer } => write!(
+                f,
+                "dangling suspicion: rank {rank} suspected rank {peer} via heartbeat but never \
+                 declared it dead"
+            ),
             Violation::ReservedTagUse { rank, tag } => write!(
                 f,
                 "reserved tag misuse: rank {rank} used tag {tag:#x} (high bit is reserved for collectives)"
@@ -267,6 +343,48 @@ fn validate_impl(traces: &[Vec<Event>], leaked: &[LeakedMessage], faulty: bool) 
                     }
                 }
                 Event::Collective { .. } | Event::Fault(_) => {}
+            }
+        }
+    }
+
+    // Corruption-protocol and heartbeat-evidence rules (both modes): a
+    // detected corrupt receive must end in a clean delivery or an exhausted
+    // budget, and heartbeat suspicion must target a peer and be followed by
+    // a dead-peer verdict on the same rank.
+    for (rank, trace) in traces.iter().enumerate() {
+        for (i, event) in trace.iter().enumerate() {
+            match *event {
+                Event::Fault(FaultEvent::CorruptRecv { src, tag, .. }) => {
+                    let resolved = trace[i + 1..].iter().any(|e| match *e {
+                        Event::Recv { src: s, tag: t, .. }
+                        | Event::TryRecvHit { src: s, tag: t, .. } => s == src && t == tag,
+                        Event::Fault(FaultEvent::CorruptionRetriesExhausted {
+                            src: s,
+                            tag: t,
+                            ..
+                        }) => s == src && t == tag,
+                        _ => false,
+                    });
+                    if !resolved {
+                        violations.push(Violation::UnresolvedCorruption { rank, src, tag });
+                    }
+                }
+                Event::Fault(FaultEvent::HeartbeatSuspect { peer, .. }) => {
+                    if peer == rank {
+                        violations.push(Violation::SelfSuspect { rank });
+                    } else {
+                        let verdict = trace[i + 1..].iter().any(|e| {
+                            matches!(
+                                *e,
+                                Event::Fault(FaultEvent::PeerDeclaredDead { peer: p }) if p == peer
+                            )
+                        });
+                        if !verdict {
+                            violations.push(Violation::SuspectWithoutVerdict { rank, peer });
+                        }
+                    }
+                }
+                _ => {}
             }
         }
     }
@@ -443,6 +561,90 @@ mod tests {
         assert!(matches!(
             validate_traces_faulty(&diverged, &[]).as_slice(),
             [Violation::CollectiveMismatch { .. }]
+        ));
+    }
+
+    #[test]
+    fn corruption_must_resolve_to_delivery_or_exhaustion() {
+        let corrupt = Event::Fault(FaultEvent::CorruptRecv {
+            src: 0,
+            tag: 5,
+            attempt: 1,
+        });
+        let nack = Event::Fault(FaultEvent::RetransmitRequested {
+            src: 0,
+            tag: 5,
+            attempt: 1,
+        });
+        // Resolved by a later clean receive on the same edge+tag: clean.
+        let recovered = vec![vec![
+            corrupt.clone(),
+            nack.clone(),
+            Event::Recv {
+                src: 0,
+                tag: 5,
+                bytes: 8,
+            },
+        ]];
+        assert!(validate_traces(&recovered, &[]).is_empty());
+        // Resolved by an exhausted budget: also clean (the error is typed).
+        let exhausted = vec![vec![
+            corrupt.clone(),
+            nack.clone(),
+            Event::Fault(FaultEvent::CorruptionRetriesExhausted {
+                src: 0,
+                tag: 5,
+                attempts: 4,
+            }),
+        ]];
+        assert!(validate_traces_faulty(&exhausted, &[]).is_empty());
+        // Abandoned mid-protocol: a violation in both modes.
+        let dangling = vec![vec![corrupt, nack]];
+        assert!(matches!(
+            validate_traces(&dangling, &[]).as_slice(),
+            [Violation::UnresolvedCorruption {
+                rank: 0,
+                src: 0,
+                tag: 5
+            }]
+        ));
+        assert!(!validate_traces_faulty(&dangling, &[]).is_empty());
+    }
+
+    #[test]
+    fn heartbeat_suspicion_rules() {
+        // Suspicion followed by the verdict: clean.
+        let good = vec![vec![
+            Event::Fault(FaultEvent::HeartbeatSuspect {
+                peer: 1,
+                phi_milli: 9500,
+            }),
+            Event::Fault(FaultEvent::PeerDeclaredDead { peer: 1 }),
+        ]];
+        assert!(validate_traces_faulty(&good, &[]).is_empty());
+        // Self-suspicion is always a violation.
+        let selfish = vec![vec![
+            Event::Fault(FaultEvent::HeartbeatSuspect {
+                peer: 0,
+                phi_milli: 9500,
+            }),
+            Event::Fault(FaultEvent::PeerDeclaredDead { peer: 0 }),
+        ]];
+        assert!(matches!(
+            validate_traces_faulty(&selfish, &[]).as_slice(),
+            [Violation::SelfSuspect { rank: 0 }]
+        ));
+        // Suspicion with no verdict for that peer dangles.
+        let dangling = vec![vec![
+            Event::Fault(FaultEvent::HeartbeatSuspect {
+                peer: 1,
+                phi_milli: 9500,
+            }),
+            Event::Fault(FaultEvent::PeerDeclaredDead { peer: 2 }),
+        ]];
+        assert!(matches!(
+            validate_traces_faulty(&dangling, &[]).as_slice(),
+            [Violation::SuspectWithoutVerdict { rank: 0, peer: 1 }]
         ));
     }
 

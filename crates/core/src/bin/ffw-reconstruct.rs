@@ -38,8 +38,51 @@ struct Cli {
     resume: bool,
     chaos_seed: Option<u64>,
     max_restarts: u32,
+    min_groups: usize,
     metrics: Option<PathBuf>,
     profile: bool,
+}
+
+/// Validates the distributed-run geometry up front, so a bad `--groups` /
+/// `--subtree` combination is a clear CLI error (exit code 2) instead of a
+/// mid-run assertion failure deep inside the rank grid.
+fn validate(cli: &Cli) -> Result<(), String> {
+    if let Some(groups) = cli.groups {
+        if groups == 0 {
+            return Err("--groups must be at least 1".into());
+        }
+        if !cli.tx.is_multiple_of(groups) {
+            return Err(format!(
+                "--groups {groups} must divide --tx {} (each illumination group \
+                 gets an equal transmitter block)",
+                cli.tx
+            ));
+        }
+        if cli.subtree == 0 || 16 % cli.subtree != 0 {
+            return Err(format!(
+                "--subtree {} must divide 16 (the MLFMA finest-level box count \
+                 per dimension)",
+                cli.subtree
+            ));
+        }
+        if cli.min_groups == 0 || cli.min_groups > groups {
+            return Err(format!(
+                "--min-groups {} must be between 1 and --groups {groups}",
+                cli.min_groups
+            ));
+        }
+    } else {
+        for (set, flag) in [
+            (cli.checkpoint.is_some(), "--checkpoint"),
+            (cli.resume, "--resume"),
+            (cli.chaos_seed.is_some(), "--chaos-seed"),
+        ] {
+            if set {
+                return Err(format!("{flag} requires --groups (distributed mode)"));
+            }
+        }
+    }
+    Ok(())
 }
 
 fn parse_args() -> Result<Cli, String> {
@@ -62,6 +105,7 @@ fn parse_args() -> Result<Cli, String> {
         resume: false,
         chaos_seed: None,
         max_restarts: 1,
+        min_groups: 1,
         metrics: None,
         profile: false,
     };
@@ -102,6 +146,9 @@ fn parse_args() -> Result<Cli, String> {
             "--max-restarts" => {
                 cli.max_restarts = val("--max-restarts")?.parse().map_err(|e| format!("{e}"))?
             }
+            "--min-groups" => {
+                cli.min_groups = val("--min-groups")?.parse().map_err(|e| format!("{e}"))?
+            }
             "--metrics" => cli.metrics = Some(PathBuf::from(val("--metrics")?)),
             "--profile" => cli.profile = true,
             "--help" | "-h" => {
@@ -111,13 +158,16 @@ fn parse_args() -> Result<Cli, String> {
                      [--iterations K] [--noise-db D] [--arc-deg A] [--born] \
                      [--precondition] [--positivity] [--out PREFIX] \
                      [--groups G [--subtree P] [--checkpoint PATH] [--resume] \
-                     [--chaos-seed S] [--max-restarts N]] \
+                     [--chaos-seed S] [--max-restarts N] [--min-groups M]] \
                      [--metrics PATH] [--profile]\n\n\
                      --groups switches to the fault-tolerant distributed DBIM on a \
-                     G x P in-process rank grid: outer-iteration checkpoints \
-                     (--checkpoint), bit-identical restart (--resume), seeded fault \
-                     injection (--chaos-seed), and graceful degradation when ranks \
-                     die (up to --max-restarts relaunches on the survivors).\n\n\
+                     G x P in-process rank grid (G must divide --tx, P must divide \
+                     16): outer-iteration checkpoints (--checkpoint), bit-identical \
+                     restart (--resume), seeded fault injection (--chaos-seed), and \
+                     elastic recovery when ranks die (up to --max-restarts \
+                     relaunches; dead groups' transmitters are redistributed over \
+                     the survivors while at least --min-groups groups remain, and \
+                     dropped only below that).\n\n\
                      --metrics writes the run's spans, counters, series and events \
                      as JSON (JSONL when PATH ends in .jsonl); --profile prints a \
                      flamegraph-style span breakdown to stderr. Either flag turns \
@@ -154,7 +204,7 @@ fn build_phantom(cli: &Cli, side: f64) -> Box<dyn Phantom + Sync> {
 }
 
 fn main() {
-    let cli = match parse_args() {
+    let cli = match parse_args().and_then(|c| validate(&c).map(|()| c)) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("error: {e} (try --help)");
@@ -219,6 +269,7 @@ fn main() {
             checkpoint: cli.checkpoint.clone(),
             resume: cli.resume,
             max_restarts: cli.max_restarts,
+            min_groups: cli.min_groups,
             fault_plan: cli
                 .chaos_seed
                 .map(|s| FaultPlan::seeded(s, groups * cli.subtree)),

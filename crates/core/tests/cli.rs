@@ -1,0 +1,74 @@
+//! CLI contract tests for `ffw-reconstruct`: invalid flag combinations must
+//! fail *up front* with exit code 2 and a message naming the offending flag,
+//! never as a mid-run assertion deep inside the rank grid.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_ffw-reconstruct"))
+        .args(args)
+        .output()
+        .expect("spawn ffw-reconstruct")
+}
+
+fn assert_cli_error(args: &[&str], needle: &str) {
+    let out = run(args);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "{args:?}: expected exit code 2, got {:?}\nstderr: {}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains(needle),
+        "{args:?}: stderr does not mention '{needle}': {stderr}"
+    );
+}
+
+#[test]
+fn groups_must_divide_tx() {
+    assert_cli_error(&["--tx", "10", "--groups", "3"], "--groups 3 must divide");
+}
+
+#[test]
+fn groups_zero_is_rejected() {
+    assert_cli_error(&["--groups", "0"], "--groups must be at least 1");
+}
+
+#[test]
+fn subtree_must_divide_sixteen() {
+    assert_cli_error(
+        &["--tx", "16", "--groups", "2", "--subtree", "5"],
+        "--subtree 5 must divide 16",
+    );
+}
+
+#[test]
+fn min_groups_must_not_exceed_groups() {
+    assert_cli_error(
+        &["--tx", "16", "--groups", "2", "--min-groups", "3"],
+        "--min-groups 3 must be between 1 and --groups 2",
+    );
+}
+
+#[test]
+fn chaos_seed_requires_distributed_mode() {
+    assert_cli_error(&["--chaos-seed", "7"], "--chaos-seed requires --groups");
+}
+
+#[test]
+fn unknown_flag_is_a_clean_error() {
+    assert_cli_error(&["--frobnicate"], "unknown flag --frobnicate");
+}
+
+#[test]
+fn help_exits_zero_and_documents_recovery_flags() {
+    let out = run(&["--help"]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for flag in ["--min-groups", "--chaos-seed", "--max-restarts"] {
+        assert!(stdout.contains(flag), "help does not document {flag}");
+    }
+}

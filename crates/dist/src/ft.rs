@@ -1,25 +1,35 @@
-//! Fault-tolerant distributed DBIM: checkpoint/restart plus graceful
-//! degradation on rank death.
+//! Fault-tolerant distributed DBIM: checkpoint/restart plus zero-data-loss
+//! elastic recovery on rank death.
 //!
 //! The driver [`run_dbim_ft`] runs the same two-dimensional parallel DBIM as
 //! [`crate::dist_dbim`], but every rank uses the *checked* communication and
-//! solver paths, so a dead peer, a message lost beyond the retry budget, or a
-//! Krylov breakdown unwinds the rank with a typed [`FaultError`] instead of a
-//! panic or a hang. Recovery happens at launch granularity:
+//! solver paths, so a dead peer, a message lost beyond the retry budget, a
+//! payload that fails integrity verification, or a Krylov breakdown unwinds
+//! the rank with a typed [`FaultError`] instead of a panic or a hang.
+//! Recovery happens at launch granularity:
 //!
 //! 1. After every completed outer iteration the full reconstruction state
 //!    (contrast vector, conjugate-direction state, warm-start fields,
 //!    residual history) is gathered to rank 0 and written to an atomic,
 //!    checksummed checkpoint ([`ffw_fault::Checkpoint`]).
-//! 2. When a rank dies, its peers detect the death (watchdog or retry
-//!    exhaustion), unwind, and the launch collapses into per-rank
-//!    [`ffw_mpi::RankOutcome`]s. The driver drops every illumination group
-//!    that contained a dead rank, reloads the last checkpoint, and relaunches
-//!    on the surviving grid — the residual assembly reweights automatically
-//!    because the measured norm is recomputed over the surviving
-//!    transmitters only.
-//! 3. The final result reports which illuminations were lost and the
-//!    residual actually achieved over the survivors.
+//! 2. When a rank dies, its peers detect the death (heartbeat suspicion,
+//!    watchdog, or retry exhaustion), unwind, and the launch collapses into
+//!    per-rank [`ffw_mpi::RankOutcome`]s. The driver attributes the death
+//!    (heartbeat evidence and crashes are primary; watchdog `PeerDead`
+//!    reports are symptoms), then **redistributes** the dead groups'
+//!    transmitters across the surviving illumination groups — a
+//!    deterministic round-robin over a stable ordering, so a resumed run
+//!    stays bit-identical — reloads the last checkpoint, and relaunches.
+//!    No illumination is lost as long as at least
+//!    [`FtConfig::min_groups`] groups survive; warm-start fields for the
+//!    adopted transmitters are restored from the checkpoint (keyed by
+//!    transmitter id) or re-solved from zero.
+//! 3. Only when the survivors fall *below* `min_groups` does the driver
+//!    fall back to the legacy degraded mode: dropping every group that
+//!    contained a dead rank and reporting the dropped transmitters in
+//!    [`FtDbimResult::lost_txs`] (the residual assembly reweights
+//!    automatically because the measured norm is recomputed over the
+//!    surviving transmitters only).
 //!
 //! A `--resume` style restart (pass `resume: true` with the same scene and
 //! config) restarts bit-identically from the last completed outer iteration:
@@ -64,6 +74,14 @@ pub struct FtConfig {
     /// How many times the driver may relaunch after losing ranks before
     /// giving up with [`FaultError::Unrecoverable`].
     pub max_restarts: u32,
+    /// Minimum number of surviving illumination groups required for elastic
+    /// redistribution. While at least this many groups survive a rank
+    /// death, the dead groups' transmitters are redistributed across the
+    /// survivors and nothing is lost; below it the driver falls back to the
+    /// legacy degraded mode that drops the dead groups' illuminations.
+    /// Must be at least 1; the default is 1 (always redistribute while any
+    /// group survives).
+    pub min_groups: usize,
     /// Seeded fault plan injected into the *first* launch (test harness
     /// hook); relaunches after a failure run fault-free.
     pub fault_plan: Option<FaultPlan>,
@@ -83,6 +101,7 @@ impl FtConfig {
             checkpoint: None,
             resume: false,
             max_restarts: 1,
+            min_groups: 1,
             fault_plan: None,
             deadlock_timeout: None,
         }
@@ -100,7 +119,10 @@ pub struct FtDbimResult {
     pub residual_history: Vec<f64>,
     /// Final relative residual over the surviving transmitters.
     pub final_residual: f64,
-    /// Transmitter indices lost to dead ranks (empty on a clean run).
+    /// Transmitter indices lost to dead ranks. Empty on a clean run *and*
+    /// on any faulty run where at least [`FtConfig::min_groups`] groups
+    /// survived — their illuminations are redistributed, not dropped.
+    /// Non-empty only after the below-minimum fallback dropped groups.
     pub lost_txs: Vec<usize>,
     /// How many times the driver relaunched after losing ranks.
     pub restarts: u32,
@@ -202,11 +224,14 @@ pub fn run_dbim_ft(
     let n_tx = setup.n_tx();
     assert_eq!(measured.len(), n_tx);
     assert_eq!(n_tx % groups, 0, "transmitters must divide among groups");
+    assert!(cfg.min_groups >= 1, "min_groups must be at least 1");
     let tx_per_group = n_tx / groups;
     let fingerprint = run_fingerprint(setup, &plan, &cfg.dbim, groups, p, measured);
 
-    // Transmitter sets per surviving group; whole groups drop out as ranks
-    // die, so each entry stays one original group's illumination block.
+    // Transmitter sets per surviving group. Initially one contiguous block
+    // per group; as ranks die the dead groups' transmitters are
+    // redistributed across the survivors (or, below min_groups, dropped),
+    // so entries may grow beyond their original block.
     let mut alive: Vec<Vec<usize>> = (0..groups)
         .map(|g| (g * tx_per_group..(g + 1) * tx_per_group).collect())
         .collect();
@@ -268,13 +293,19 @@ pub fn run_dbim_ft(
         drop(launch_span);
         launch.stats.stats().record_obs();
 
-        // Which ranks of this launch are gone? Crashes and exhausted-retry
-        // send losses are primary evidence. Watchdog `PeerDead` reports are
-        // only symptoms — a rank blocked on an alive-but-itself-blocked
-        // peer misattributes the death — so they are trusted only when no
-        // primary evidence exists (a pure-timeout stall).
+        // Which ranks of this launch are gone? Crashes, exhausted-retry
+        // send losses, exhausted-retransmit corruption and heartbeat
+        // suspicions are primary evidence (the heartbeat monitor only ever
+        // suspects ranks whose closure has actually exited). Watchdog
+        // `PeerDead` reports are only symptoms — a rank blocked on an
+        // alive-but-itself-blocked peer misattributes the death — so they
+        // are trusted only when no primary evidence exists (a pure-timeout
+        // stall).
         let mut primary: BTreeSet<usize> = BTreeSet::new();
         let mut secondary: BTreeSet<usize> = BTreeSet::new();
+        for (peer, _phi) in launch.stats.heartbeat_suspects() {
+            primary.insert(peer);
+        }
         for (r, out) in launch.outcomes.iter().enumerate() {
             match out {
                 RankOutcome::Crashed(_) => {
@@ -282,6 +313,11 @@ pub fn run_dbim_ft(
                 }
                 RankOutcome::Done(Err(FaultError::SendLost { dst, .. })) => {
                     primary.insert(*dst);
+                }
+                RankOutcome::Done(Err(FaultError::Corruption { src, .. })) => {
+                    // A peer whose messages can no longer be delivered
+                    // intact is as lost as a crashed one.
+                    primary.insert(*src);
                 }
                 RankOutcome::Done(Err(FaultError::PeerDead { peer, .. })) => {
                     secondary.insert(*peer);
@@ -350,8 +386,10 @@ pub fn run_dbim_ft(
             });
         }
 
-        // Graceful degradation: drop every group containing a dead rank,
-        // restore the last checkpointed state, relaunch on the survivors.
+        // Elastic recovery: redistribute the dead groups' transmitters
+        // across the survivors, restore the last checkpointed state, and
+        // relaunch. Only below min_groups does the driver fall back to
+        // dropping the dead groups' illuminations.
         if restarts >= cfg.max_restarts {
             return Err(FaultError::Unrecoverable {
                 detail: format!(
@@ -366,12 +404,55 @@ pub fn run_dbim_ft(
             &format!("rank(s) {dead:?} dead; relaunch {restarts} on surviving groups"),
         );
         let dead_groups: BTreeSet<usize> = dead.iter().map(|r| r / p).collect();
+        // Orphaned transmitters in a stable (sorted) order, collected
+        // before the dead groups are removed.
+        let mut orphaned: Vec<usize> = dead_groups
+            .iter()
+            .filter_map(|&g| alive.get(g))
+            .flatten()
+            .copied()
+            .collect();
+        orphaned.sort_unstable();
         let mut gi = 0usize;
         alive.retain(|_| {
             let keep = !dead_groups.contains(&gi);
             gi += 1;
             keep
         });
+        if alive.len() >= cfg.min_groups && !alive.is_empty() {
+            // Deterministic round-robin over the surviving groups in their
+            // stable order: the same deaths always produce the same
+            // assignment, so a resumed run stays bit-identical.
+            let n_alive = alive.len();
+            for (i, &tx) in orphaned.iter().enumerate() {
+                alive[i % n_alive].push(tx);
+            }
+            for txs in &mut alive {
+                txs.sort_unstable();
+            }
+            ffw_obs::event(
+                "ft.redistribute",
+                &format!(
+                    "{} orphaned tx(s) {:?} round-robined over {} surviving group(s)",
+                    orphaned.len(),
+                    orphaned,
+                    alive.len()
+                ),
+            );
+            if ffw_obs::enabled() {
+                ffw_obs::counter("ft.redistributed_txs").add(orphaned.len() as u64);
+            }
+        } else if !orphaned.is_empty() {
+            ffw_obs::event(
+                "ft.drop_groups",
+                &format!(
+                    "{} surviving group(s) below min_groups {}; dropping tx(s) {:?}",
+                    alive.len(),
+                    cfg.min_groups,
+                    orphaned
+                ),
+            );
+        }
         state = match cfg.checkpoint.as_deref() {
             Some(path) if path.exists() => {
                 let ckpt = Checkpoint::load(path, fingerprint)?;

@@ -56,20 +56,39 @@ pub fn try_allreduce_scalars(
     let mut packed: Vec<(f64, f64)> = vals.iter().map(|v| (v.re, v.im)).collect();
     const TAG_UP: u32 = 0x200;
     const TAG_DOWN: u32 = 0x201;
+    // Every hop carries an ABFT checksum lane (the element sum) next to the
+    // data. The per-message CRC already rejects in-flight bit flips; the
+    // lane additionally lets the *result* of the reduction be verified: the
+    // root folds the contribution lanes into the lane of the reduced vector,
+    // so a receiver of the DOWN broadcast re-derives the sum and catches
+    // corruption inside the reduction arithmetic itself.
     if me == members[0] {
+        let mut lane = ffw_fault::abft_lane_c64(&packed);
         for &peer in &members[1..] {
-            let part = comm.recv_checked(peer, TAG_UP)?.into_c64();
+            let (part, part_lane) = comm.recv_checked_laned(peer, TAG_UP)?;
+            let part = part.into_c64();
+            if let Some((lr, li)) = part_lane {
+                lane.0 += lr;
+                lane.1 += li;
+            }
             for (p, q) in packed.iter_mut().zip(part) {
                 p.0 += q.0;
                 p.1 += q.1;
             }
         }
         for &peer in &members[1..] {
-            comm.send_checked(peer, TAG_DOWN, ffw_mpi::Payload::C64(packed.clone()))?;
+            comm.send_checked_laned(peer, TAG_DOWN, ffw_mpi::Payload::C64(packed.clone()), lane)?;
         }
     } else {
-        comm.send_checked(members[0], TAG_UP, ffw_mpi::Payload::C64(packed.clone()))?;
-        packed = comm.recv_checked(members[0], TAG_DOWN)?.into_c64();
+        let lane = ffw_fault::abft_lane_c64(&packed);
+        comm.send_checked_laned(
+            members[0],
+            TAG_UP,
+            ffw_mpi::Payload::C64(packed.clone()),
+            lane,
+        )?;
+        let (down, _lane) = comm.recv_checked_laned(members[0], TAG_DOWN)?;
+        packed = down.into_c64();
     }
     for (v, p) in vals.iter_mut().zip(packed) {
         *v = c64(p.0, p.1);

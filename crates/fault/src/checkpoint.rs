@@ -306,8 +306,11 @@ impl Checkpoint {
         })
     }
 
-    /// Write atomically: serialize to `<path>.tmp`, fsync, then rename
-    /// over `path` so readers never observe a torn file.
+    /// Write atomically and durably: serialize to `<path>.tmp`, fsync the
+    /// file, rename over `path`, then fsync the parent directory so the
+    /// rename itself survives a crash — without the directory sync a power
+    /// loss can roll the directory entry back to the old checkpoint (or to
+    /// nothing) even though the file data was synced.
     pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
         let bytes = self.encode();
         let tmp = path.with_extension("tmp");
@@ -317,7 +320,18 @@ impl Checkpoint {
         f.sync_all().map_err(io)?;
         drop(f);
         fs::rename(&tmp, path)
-            .map_err(|e| CheckpointError::Io(format!("rename to {}: {e}", path.display())))
+            .map_err(|e| CheckpointError::Io(format!("rename to {}: {e}", path.display())))?;
+        // Durability of the rename: sync the directory entry. `path` came
+        // from the caller, so it may have no parent component ("ckpt.bin");
+        // fall back to "." in that case.
+        let parent = match path.parent() {
+            Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+            _ => Path::new(".").to_path_buf(),
+        };
+        let dir = fs::File::open(&parent)
+            .map_err(|e| CheckpointError::Io(format!("open dir {}: {e}", parent.display())))?;
+        dir.sync_all()
+            .map_err(|e| CheckpointError::Io(format!("sync dir {}: {e}", parent.display())))
     }
 
     /// Load and verify a checkpoint, including the config fingerprint.

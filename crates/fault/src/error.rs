@@ -41,6 +41,20 @@ pub enum FaultError {
         /// Total delivery attempts made (initial try + retries).
         attempts: u32,
     },
+    /// A received payload failed its CRC-32 integrity check (or an ABFT
+    /// checksum lane disagreed with the reduced data) and the bounded
+    /// NACK/retransmit budget was exhausted without a clean copy arriving.
+    Corruption {
+        /// Rank whose receive kept failing verification.
+        rank: usize,
+        /// Source rank of the corrupted message.
+        src: usize,
+        /// Message tag of the corrupted receive.
+        tag: u32,
+        /// Total verification attempts made (initial receive + NACKed
+        /// retransmits).
+        attempts: u32,
+    },
     /// An iterative Krylov solve broke down (rho underflow or non-finite
     /// residual) and did not recover after one automatic restart.
     KrylovBreakdown {
@@ -85,6 +99,19 @@ impl fmt::Display for FaultError {
                     f,
                     "rank {rank}: send to rank {dst} (tag {tag:#x}) lost after \
                      {attempts} attempts; declaring the peer dead"
+                )
+            }
+            FaultError::Corruption {
+                rank,
+                src,
+                tag,
+                attempts,
+            } => {
+                write!(
+                    f,
+                    "rank {rank}: payload from rank {src} (tag {tag:#x}) failed \
+                     integrity verification after {attempts} attempts; \
+                     retransmit budget exhausted"
                 )
             }
             FaultError::KrylovBreakdown {
@@ -136,6 +163,21 @@ mod tests {
         assert!(msg.contains("rank 1"), "{msg}");
         assert!(msg.contains("rank 2"), "{msg}");
         assert!(msg.contains("4 attempts"), "{msg}");
+    }
+
+    #[test]
+    fn corruption_names_both_endpoints_and_the_budget() {
+        let e = FaultError::Corruption {
+            rank: 2,
+            src: 0,
+            tag: 0x101,
+            attempts: 4,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("rank 2"), "{msg}");
+        assert!(msg.contains("rank 0"), "{msg}");
+        assert!(msg.contains("4 attempts"), "{msg}");
+        assert!(msg.contains("integrity"), "{msg}");
     }
 
     #[test]

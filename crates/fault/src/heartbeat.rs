@@ -1,0 +1,156 @@
+//! Phi-accrual-lite failure suspicion.
+//!
+//! Classic phi-accrual (Hayashibara et al.) models heartbeat inter-arrival
+//! times and reports a continuous suspicion level instead of a binary
+//! timeout. This "lite" variant keeps the continuous-score idea but uses an
+//! EWMA of inter-arrival intervals as the distribution summary: the score
+//! is the elapsed time since the last beat measured in units of the mean
+//! interval, so `phi == 1` means "exactly on schedule" and `phi == 8`
+//! means "eight expected intervals of silence".
+//!
+//! The struct is pure data — time is fed in as monotonic nanoseconds by
+//! the caller (`ffw-mpi` uses `ffw_obs::monotonic_ns`), which keeps it
+//! deterministic under test and respects the workspace rule that only
+//! `ffw-obs` reads the clock.
+
+/// Suspicion score above which a rank is declared a suspect. Eight missed
+/// expected intervals is far past scheduler jitter (which costs ~1–2) but
+/// still detects death in O(heartbeat interval), not O(deadlock timeout).
+pub const DEFAULT_PHI_THRESHOLD: f64 = 8.0;
+
+/// EWMA-based phi-accrual-lite estimator for one monitored rank.
+#[derive(Clone, Debug)]
+pub struct PhiLite {
+    /// EWMA of observed inter-arrival intervals, ns.
+    mean_ns: f64,
+    /// Monotonic timestamp of the most recent beat, ns.
+    last_ns: u64,
+    /// EWMA smoothing factor for new observations.
+    alpha: f64,
+    /// Floor on the mean so a burst of fast beats cannot make the
+    /// estimator hair-triggered.
+    floor_ns: f64,
+    beats: u64,
+}
+
+impl PhiLite {
+    /// New estimator expecting beats roughly every `expected_interval_ns`,
+    /// with the first beat implicitly at `now_ns`.
+    pub fn new(expected_interval_ns: u64, now_ns: u64) -> Self {
+        let expected = (expected_interval_ns.max(1)) as f64;
+        PhiLite {
+            mean_ns: expected,
+            last_ns: now_ns,
+            alpha: 0.2,
+            floor_ns: expected / 4.0,
+            beats: 0,
+        }
+    }
+
+    /// Record a heartbeat observed at monotonic time `now_ns`.
+    pub fn beat(&mut self, now_ns: u64) {
+        let interval = now_ns.saturating_sub(self.last_ns) as f64;
+        self.mean_ns = (1.0 - self.alpha) * self.mean_ns + self.alpha * interval;
+        if self.mean_ns < self.floor_ns {
+            self.mean_ns = self.floor_ns;
+        }
+        self.last_ns = now_ns;
+        self.beats += 1;
+    }
+
+    /// Suspicion level at `now_ns`: elapsed time since the last beat in
+    /// units of the mean inter-arrival interval. Monotonically increasing
+    /// between beats; reset (near) zero by each beat.
+    pub fn phi(&self, now_ns: u64) -> f64 {
+        now_ns.saturating_sub(self.last_ns) as f64 / self.mean_ns
+    }
+
+    /// True when the suspicion level exceeds `threshold`
+    /// (see [`DEFAULT_PHI_THRESHOLD`]).
+    pub fn is_suspect(&self, now_ns: u64, threshold: f64) -> bool {
+        self.phi(now_ns) > threshold
+    }
+
+    /// Current mean inter-arrival estimate, ns.
+    pub fn mean_interval_ns(&self) -> f64 {
+        self.mean_ns
+    }
+
+    /// Number of beats recorded so far.
+    pub fn beats(&self) -> u64 {
+        self.beats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MS: u64 = 1_000_000;
+
+    #[test]
+    fn on_schedule_beats_keep_phi_low() {
+        let mut p = PhiLite::new(5 * MS, 0);
+        for k in 1..=50u64 {
+            p.beat(k * 5 * MS);
+        }
+        // Immediately after a beat phi is 0; one interval later it is ~1.
+        assert!(p.phi(250 * MS) < 0.01);
+        let one_later = p.phi(255 * MS);
+        assert!((0.5..2.0).contains(&one_later), "phi={one_later}");
+        assert!(!p.is_suspect(255 * MS, DEFAULT_PHI_THRESHOLD));
+    }
+
+    #[test]
+    fn silence_crosses_the_threshold_in_o_interval() {
+        let mut p = PhiLite::new(5 * MS, 0);
+        for k in 1..=20u64 {
+            p.beat(k * 5 * MS);
+        }
+        let last = 100 * MS;
+        // Dead rank: no more beats. Threshold 8 crossed by ~9 intervals of
+        // silence — milliseconds, not the 250 ms deadlock watchdog.
+        assert!(!p.is_suspect(last + 2 * 5 * MS, DEFAULT_PHI_THRESHOLD));
+        assert!(p.is_suspect(last + 10 * 5 * MS, DEFAULT_PHI_THRESHOLD));
+        // phi grows monotonically during silence.
+        assert!(p.phi(last + 20 * MS) < p.phi(last + 40 * MS));
+    }
+
+    #[test]
+    fn jittery_but_alive_rank_stays_unsuspected() {
+        let mut p = PhiLite::new(5 * MS, 0);
+        let mut t = 0u64;
+        // Alternating 2 ms / 9 ms intervals: noisy but alive.
+        for k in 0..60u64 {
+            t += if k % 2 == 0 { 2 * MS } else { 9 * MS };
+            p.beat(t);
+        }
+        // Even at the long end of the jitter the score stays far under 8.
+        assert!(p.phi(t + 9 * MS) < 4.0);
+        assert!(!p.is_suspect(t + 9 * MS, DEFAULT_PHI_THRESHOLD));
+    }
+
+    #[test]
+    fn fast_beat_burst_cannot_hair_trigger_the_estimator() {
+        let mut p = PhiLite::new(5 * MS, 0);
+        let mut t = 100 * MS;
+        // 1000 beats in quick succession (0.01 ms apart) try to drag the
+        // mean to ~0; the floor keeps one normal 5 ms gap unsuspicious.
+        for _ in 0..1000 {
+            t += MS / 100;
+            p.beat(t);
+        }
+        assert!(p.mean_interval_ns() >= 5.0 * MS as f64 / 4.0 - 1.0);
+        assert!(!p.is_suspect(t + 5 * MS, DEFAULT_PHI_THRESHOLD));
+    }
+
+    #[test]
+    fn unstarted_estimator_uses_the_expected_interval() {
+        // Before any beat arrives the expected interval seeds the mean, so
+        // a rank that dies before its first beat is still detected.
+        let p = PhiLite::new(5 * MS, 0);
+        assert!(!p.is_suspect(5 * MS, DEFAULT_PHI_THRESHOLD));
+        assert!(p.is_suspect(100 * MS, DEFAULT_PHI_THRESHOLD));
+        assert_eq!(p.beats(), 0);
+    }
+}

@@ -24,8 +24,15 @@
 
 mod checkpoint;
 mod error;
+mod heartbeat;
+mod integrity;
 mod plan;
 
 pub use checkpoint::{fnv1a64, Checkpoint, CheckpointError, Fingerprint};
 pub use error::FaultError;
-pub use plan::{ActiveFaults, FaultPlan, OpAction, RetryPolicy};
+pub use heartbeat::{PhiLite, DEFAULT_PHI_THRESHOLD};
+pub use integrity::{
+    abft_lane_c64, abft_lane_f64, abft_verify_c64, abft_verify_f64, crc32, crc32_c64, crc32_f64,
+    crc32_u64, crc32_update,
+};
+pub use plan::{ActiveFaults, FaultPlan, OpAction, RetryPolicy, SendFault};

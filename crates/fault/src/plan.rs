@@ -56,6 +56,16 @@ struct DropRule {
 }
 
 #[derive(Clone, Copy, Debug)]
+struct CorruptRule {
+    src: usize,
+    dst: usize,
+    /// 1-based index of the logical send on the (src, dst) edge to corrupt.
+    nth_send: u64,
+    /// How many consecutive delivery attempts of that send to corrupt.
+    times: u32,
+}
+
+#[derive(Clone, Copy, Debug)]
 struct StraggleRule {
     rank: usize,
     from_op: u64,
@@ -68,6 +78,7 @@ struct StraggleRule {
 pub struct FaultPlan {
     crashes: Vec<CrashRule>,
     drops: Vec<DropRule>,
+    corrupts: Vec<CorruptRule>,
     straggles: Vec<StraggleRule>,
     retry: RetryPolicy,
 }
@@ -90,6 +101,21 @@ impl FaultPlan {
     /// budget the send is lost and `dst` is declared dead by `src`.
     pub fn drop_send(mut self, src: usize, dst: usize, nth_send: u64, times: u32) -> Self {
         self.drops.push(DropRule {
+            src,
+            dst,
+            nth_send,
+            times,
+        });
+        self
+    }
+
+    /// Corrupt the `nth_send`-th send (1-based) from `src` to `dst` for
+    /// `times` consecutive delivery attempts by flipping payload bits in
+    /// flight. The receiver's CRC check rejects each corrupted attempt and
+    /// NACKs for a retransmit; if `times` exceeds the retry budget the
+    /// receive fails with [`crate::FaultError::Corruption`].
+    pub fn corrupt_send(mut self, src: usize, dst: usize, nth_send: u64, times: u32) -> Self {
+        self.corrupts.push(CorruptRule {
             src,
             dst,
             nth_send,
@@ -123,15 +149,19 @@ impl FaultPlan {
 
     /// True when the plan injects nothing.
     pub fn is_empty(&self) -> bool {
-        self.crashes.is_empty() && self.drops.is_empty() && self.straggles.is_empty()
+        self.crashes.is_empty()
+            && self.drops.is_empty()
+            && self.corrupts.is_empty()
+            && self.straggles.is_empty()
     }
 
     /// Derive a single-fault plan from a seed — the chaos-test matrix.
     ///
     /// Deterministic: the same `(seed, n_ranks)` always yields the same
     /// plan. Seeds cycle through crash / recoverable-drop / lost-drop /
-    /// straggler schedules so a small seed range exercises every fault
-    /// class on varying ranks and operation indices.
+    /// straggler / recoverable-corrupt / lost-corrupt schedules so a small
+    /// seed range exercises every fault class on varying ranks and
+    /// operation indices.
     pub fn seeded(seed: u64, n_ranks: usize) -> FaultPlan {
         assert!(n_ranks >= 2, "seeded plans need at least 2 ranks");
         let h0 = splitmix64(seed);
@@ -140,21 +170,30 @@ impl FaultPlan {
         let h3 = splitmix64(h2);
         let rank = (h0 % n_ranks as u64) as usize;
         let op = 3 + h1 % 40;
-        match seed % 4 {
+        let dst = (rank + 1 + (h2 % (n_ranks as u64 - 1)) as usize) % n_ranks;
+        match seed % 6 {
             0 => FaultPlan::new().crash_at(rank, op),
             1 => {
                 // Recoverable: dropped fewer times than the retry budget.
-                let dst = (rank + 1 + (h2 % (n_ranks as u64 - 1)) as usize) % n_ranks;
                 let times = 1 + (h3 % RetryPolicy::default().max_retries as u64) as u32;
                 FaultPlan::new().drop_send(rank, dst, 1 + h1 % 6, times)
             }
             2 => {
                 // Unrecoverable: dropped past the retry budget => SendLost.
-                let dst = (rank + 1 + (h2 % (n_ranks as u64 - 1)) as usize) % n_ranks;
                 let times = RetryPolicy::default().max_retries + 1 + (h3 % 2) as u32;
                 FaultPlan::new().drop_send(rank, dst, 1 + h1 % 6, times)
             }
-            _ => FaultPlan::new().straggler(rank, op, op + 8 + h2 % 16, 1 + h3 % 3),
+            3 => FaultPlan::new().straggler(rank, op, op + 8 + h2 % 16, 1 + h3 % 3),
+            4 => {
+                // Recoverable corruption: CRC rejects, retransmit succeeds.
+                let times = 1 + (h3 % RetryPolicy::default().max_retries as u64) as u32;
+                FaultPlan::new().corrupt_send(rank, dst, 1 + h1 % 6, times)
+            }
+            _ => {
+                // Unrecoverable corruption: budget exhausted => Corruption.
+                let times = RetryPolicy::default().max_retries + 1 + (h3 % 2) as u32;
+                FaultPlan::new().corrupt_send(rank, dst, 1 + h1 % 6, times)
+            }
         }
     }
 
@@ -188,6 +227,16 @@ pub enum OpAction {
     },
 }
 
+/// Faults scheduled for one logical send on an edge, as reported by
+/// [`ActiveFaults::on_send`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SendFault {
+    /// Consecutive delivery attempts to drop (0 = deliver immediately).
+    pub drops: u32,
+    /// Consecutive delivery attempts to corrupt in flight.
+    pub corrupts: u32,
+}
+
 /// Per-launch activation of a [`FaultPlan`]: operation and send counters.
 #[derive(Debug)]
 pub struct ActiveFaults {
@@ -218,18 +267,30 @@ impl ActiveFaults {
         OpAction::Proceed
     }
 
-    /// Advance the (src, dst) send counter and return how many consecutive
-    /// delivery attempts of this logical send must be dropped (0 = deliver
-    /// on the first attempt).
-    pub fn forced_drops(&self, src: usize, dst: usize) -> u32 {
+    /// Advance the (src, dst) send counter and return the faults scheduled
+    /// for this logical send: how many consecutive delivery attempts must
+    /// be dropped, and how many must be corrupted in flight. Each logical
+    /// send advances the edge counter exactly once, so drop and corrupt
+    /// rules targeting the same `nth_send` compose.
+    pub fn on_send(&self, src: usize, dst: usize) -> SendFault {
         let n = self.sends[src * self.n_ranks + dst].fetch_add(1, Ordering::SeqCst) + 1;
-        self.plan
+        let drops = self
+            .plan
             .drops
             .iter()
             .filter(|d| d.src == src && d.dst == dst && d.nth_send == n)
             .map(|d| d.times)
             .max()
-            .unwrap_or(0)
+            .unwrap_or(0);
+        let corrupts = self
+            .plan
+            .corrupts
+            .iter()
+            .filter(|c| c.src == src && c.dst == dst && c.nth_send == n)
+            .map(|c| c.times)
+            .max()
+            .unwrap_or(0);
+        SendFault { drops, corrupts }
     }
 
     /// The retry policy for dropped sends.
@@ -271,10 +332,31 @@ mod tests {
     #[test]
     fn drop_counts_per_edge() {
         let faults = FaultPlan::new().drop_send(0, 1, 2, 3).activate(2);
-        assert_eq!(faults.forced_drops(0, 1), 0); // 1st send delivered
-        assert_eq!(faults.forced_drops(0, 1), 3); // 2nd send dropped 3x
-        assert_eq!(faults.forced_drops(0, 1), 0); // 3rd send delivered
-        assert_eq!(faults.forced_drops(1, 0), 0); // reverse edge untouched
+        assert_eq!(faults.on_send(0, 1).drops, 0); // 1st send delivered
+        assert_eq!(faults.on_send(0, 1).drops, 3); // 2nd send dropped 3x
+        assert_eq!(faults.on_send(0, 1).drops, 0); // 3rd send delivered
+        assert_eq!(faults.on_send(1, 0).drops, 0); // reverse edge untouched
+    }
+
+    #[test]
+    fn corrupt_counts_per_edge_and_composes_with_drops() {
+        let faults = FaultPlan::new()
+            .corrupt_send(0, 1, 2, 2)
+            .drop_send(0, 1, 3, 1)
+            .activate(2);
+        assert_eq!(faults.on_send(0, 1), SendFault::default()); // 1st clean
+        let second = faults.on_send(0, 1);
+        assert_eq!(second.corrupts, 2); // 2nd corrupted twice
+        assert_eq!(second.drops, 0);
+        let third = faults.on_send(0, 1); // 3rd dropped once, not corrupted
+        assert_eq!(
+            third,
+            SendFault {
+                drops: 1,
+                corrupts: 0
+            }
+        );
+        assert_eq!(faults.on_send(1, 0), SendFault::default());
     }
 
     #[test]

@@ -68,6 +68,26 @@ fn checkpoint_save_load_is_identity() {
 }
 
 #[test]
+fn checkpoint_save_leaves_no_tempfile() {
+    // save() stages into `<path>.tmp` then renames and syncs the parent
+    // directory; the staging file must never survive a successful save.
+    let ckpt = rich_checkpoint();
+    let path = tmp_path("no-tempfile");
+    ckpt.save(&path).expect("save checkpoint");
+    let tmp = path.with_extension("tmp");
+    assert!(
+        !tmp.exists(),
+        "staging file {} left behind after save",
+        tmp.display()
+    );
+    assert!(path.exists(), "checkpoint missing after save");
+    // Saving over an existing checkpoint must also leave no staging file.
+    ckpt.save(&path).expect("re-save checkpoint");
+    assert!(!tmp.exists(), "staging file left behind after re-save");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
 fn checkpoint_load_rejects_wrong_fingerprint() {
     let ckpt = rich_checkpoint();
     let path = tmp_path("wrong-fp");

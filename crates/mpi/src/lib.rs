@@ -63,15 +63,23 @@
 use ffw_check::trace::{render_report, CollectiveKind, Event, FaultEvent, LeakedMessage};
 use ffw_check::waitgraph::WaitState;
 use ffw_check::{diagnose_deadlock, validate_traces, validate_traces_faulty, DeadlockReport};
-use ffw_fault::{ActiveFaults, OpAction};
+use ffw_fault::{
+    abft_lane_c64, abft_lane_f64, abft_verify_c64, abft_verify_f64, crc32_c64, crc32_f64,
+    crc32_u64, ActiveFaults, OpAction, PhiLite, DEFAULT_PHI_THRESHOLD,
+};
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, panic_any, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 pub use ffw_fault::{FaultError, FaultPlan, RetryPolicy};
+
+/// Relative tolerance for ABFT checksum-lane verification: legitimate
+/// floating-point reassociation moves an element sum by ~1e-16 of its norm,
+/// while a flipped payload bit moves it by many orders of magnitude more.
+const ABFT_TOL: f64 = 1e-9;
 
 /// Message payloads: the solver moves complex fields, real scalars for
 /// reductions, and occasional integer bookkeeping.
@@ -118,10 +126,69 @@ impl Payload {
             other => panic!("expected U64 payload, got {other:?}"),
         }
     }
+
+    /// CRC-32 of the payload's raw bit patterns (the integrity frame every
+    /// message travels with).
+    pub fn crc32(&self) -> u32 {
+        match self {
+            Payload::C64(v) => crc32_c64(v),
+            Payload::F64(v) => crc32_f64(v),
+            Payload::U64(v) => crc32_u64(v),
+        }
+    }
+
+    /// A copy with one payload bit flipped (deterministically chosen from
+    /// `salt`), used by fault injection to model in-flight corruption. An
+    /// empty payload has no bits to flip and is returned unchanged.
+    fn bit_flipped(&self, salt: u32) -> Payload {
+        let flip = |bits: u64| bits ^ (1u64 << (11 + (salt as u64 % 40)));
+        match self {
+            Payload::C64(v) => {
+                let mut v = v.clone();
+                let idx = salt as usize % v.len().max(1);
+                if let Some(first) = v.get_mut(idx) {
+                    first.0 = f64::from_bits(flip(first.0.to_bits()));
+                }
+                Payload::C64(v)
+            }
+            Payload::F64(v) => {
+                let mut v = v.clone();
+                let idx = salt as usize % v.len().max(1);
+                if let Some(first) = v.get_mut(idx) {
+                    *first = f64::from_bits(flip(first.to_bits()));
+                }
+                Payload::F64(v)
+            }
+            Payload::U64(v) => {
+                let mut v = v.clone();
+                let idx = salt as usize % v.len().max(1);
+                if let Some(first) = v.get_mut(idx) {
+                    *first = flip(*first);
+                }
+                Payload::U64(v)
+            }
+        }
+    }
+}
+
+/// A framed message as it sits in a mailbox: the payload plus integrity
+/// metadata. The CRC and optional ABFT lane are frame metadata, not wire
+/// payload — `CommStats` byte accounting is unchanged by framing.
+struct Msg {
+    tag: u32,
+    /// CRC-32 of the payload computed by the sender.
+    crc: u32,
+    /// ABFT checksum lane (element sum) for reduction payloads.
+    lane: Option<(f64, f64)>,
+    /// Remaining delivery attempts fault injection corrupts in flight.
+    corrupt_left: u32,
+    /// Corrupted delivery attempts already observed by the receiver.
+    corrupt_seen: u32,
+    payload: Payload,
 }
 
 struct Mailbox {
-    queue: Mutex<VecDeque<(u32, Payload)>>,
+    queue: Mutex<VecDeque<Msg>>,
     cond: Condvar,
 }
 
@@ -133,21 +200,29 @@ impl Mailbox {
         }
     }
 
-    fn push(&self, tag: u32, payload: Payload) {
+    fn push(&self, msg: Msg) {
         let mut q = self.queue.lock();
-        q.push_back((tag, payload));
+        q.push_back(msg);
         self.cond.notify_all();
     }
 
-    fn try_pop_matching(&self, tag: u32) -> Option<Payload> {
+    /// Requeue a NACKed frame at the front (a retransmit must not reorder
+    /// against other messages on the same edge+tag).
+    fn requeue_front(&self, msg: Msg) {
+        let mut q = self.queue.lock();
+        q.push_front(msg);
+        self.cond.notify_all();
+    }
+
+    fn try_pop_matching(&self, tag: u32) -> Option<Msg> {
         let mut q = self.queue.lock();
         q.iter()
-            .position(|(t, _)| *t == tag)
-            .map(|pos| q.remove(pos).expect("position valid").1)
+            .position(|m| m.tag == tag)
+            .map(|pos| q.remove(pos).expect("position valid"))
     }
 
     fn has_matching(&self, tag: u32) -> bool {
-        self.queue.lock().iter().any(|(t, _)| *t == tag)
+        self.queue.lock().iter().any(|m| m.tag == tag)
     }
 }
 
@@ -240,6 +315,47 @@ struct BarrierState {
     arrived: usize,
 }
 
+/// Per-launch heartbeat machinery: one companion beater thread per rank
+/// stamps a shared timestamp while the rank closure runs; a monitor thread
+/// maintains a [`PhiLite`] suspicion score per rank and, when a panicked
+/// rank's beats stop, marks it suspect and wakes every blocked waiter so
+/// dead-peer detection costs O(heartbeat interval), not O(deadlock timeout).
+struct Heartbeat {
+    interval: Duration,
+    /// beats[r] = monotonic ns of rank r's most recent beat.
+    beats: Vec<AtomicU64>,
+    /// suspects[r] = phi (in thousandths) at detection time; 0 = alive.
+    suspects: Vec<AtomicU64>,
+    /// rank_done[r] set when rank r's closure returned or panicked; stops
+    /// its beater within one condvar wake.
+    rank_done: Vec<AtomicBool>,
+    /// Launch-teardown signal for the beater and monitor threads.
+    shutdown: Mutex<bool>,
+    shutdown_cond: Condvar,
+}
+
+impl Heartbeat {
+    fn new(n_ranks: usize, interval: Duration) -> Self {
+        let now = ffw_obs::monotonic_ns();
+        Heartbeat {
+            interval,
+            beats: (0..n_ranks).map(|_| AtomicU64::new(now)).collect(),
+            suspects: (0..n_ranks).map(|_| AtomicU64::new(0)).collect(),
+            rank_done: (0..n_ranks).map(|_| AtomicBool::new(false)).collect(),
+            shutdown: Mutex::new(false),
+            shutdown_cond: Condvar::new(),
+        }
+    }
+
+    /// phi (in thousandths) at which `rank` was suspected, if it was.
+    fn suspect_phi_milli(&self, rank: usize) -> Option<u64> {
+        match self.suspects[rank].load(Ordering::SeqCst) {
+            0 => None,
+            phi => Some(phi),
+        }
+    }
+}
+
 struct Shared {
     size: usize,
     /// mailboxes[src * size + dst]
@@ -258,11 +374,31 @@ struct Shared {
     verdict: Mutex<Option<String>>,
     /// Activated fault plan, if this launch injects faults.
     faults: Option<ActiveFaults>,
+    /// Heartbeat failure detection (absent for single-rank launches or when
+    /// explicitly disabled).
+    heartbeat: Option<Heartbeat>,
 }
 
 impl Shared {
     fn set_state(&self, rank: usize, state: WaitState) {
         self.registry.lock()[rank] = state;
+    }
+
+    /// The retry policy active for this launch (default when no fault plan).
+    fn retry(&self) -> RetryPolicy {
+        self.faults.as_ref().map(|f| f.retry()).unwrap_or_default()
+    }
+
+    /// phi-milli at which `peer` was suspected by the heartbeat monitor.
+    fn hb_suspect(&self, peer: usize) -> Option<u64> {
+        self.heartbeat.as_ref()?.suspect_phi_milli(peer)
+    }
+
+    /// True when any rank is currently heartbeat-suspected.
+    fn hb_any_suspect(&self) -> bool {
+        self.heartbeat
+            .as_ref()
+            .is_some_and(|hb| (0..self.size).any(|r| hb.suspect_phi_milli(r).is_some()))
     }
 
     /// Watchdog invoked by `rank` when a blocking wait times out. Every
@@ -436,6 +572,35 @@ impl Comm {
     /// budget is exhausted. Without an active fault plan this always
     /// succeeds.
     pub fn send_checked(&self, dst: usize, tag: u32, payload: Payload) -> Result<(), FaultError> {
+        self.send_checked_framed(dst, tag, payload, None)
+    }
+
+    /// Checked send that additionally stamps an explicit ABFT checksum lane
+    /// into the integrity frame. The lane travels as frame metadata (it is
+    /// not counted as payload bytes) and is verified by
+    /// [`Comm::recv_checked_laned`] against the data it arrives with, so a
+    /// higher-level reduction can carry the *expected element sum* through a
+    /// hop and have the receiver detect corruption the per-message CRC
+    /// cannot see — damage that happened before framing, e.g. inside the
+    /// reduction arithmetic. Injected drop/corruption faults apply exactly
+    /// as in [`Comm::send_checked`].
+    pub fn send_checked_laned(
+        &self,
+        dst: usize,
+        tag: u32,
+        payload: Payload,
+        lane: (f64, f64),
+    ) -> Result<(), FaultError> {
+        self.send_checked_framed(dst, tag, payload, Some(lane))
+    }
+
+    fn send_checked_framed(
+        &self,
+        dst: usize,
+        tag: u32,
+        payload: Payload,
+        lane: Option<(f64, f64)>,
+    ) -> Result<(), FaultError> {
         assert!(
             dst < self.shared.size,
             "send: invalid destination rank {dst} (communicator has {} ranks)",
@@ -447,10 +612,12 @@ impl Comm {
             "send: user tag {tag:#x} sets the reserved collective bit"
         );
         self.fault_tick();
+        let mut corrupts = 0;
         if let Some(faults) = &self.shared.faults {
-            let drops = faults.forced_drops(self.rank, dst);
+            let fault = faults.on_send(self.rank, dst);
+            corrupts = fault.corrupts;
             let retry = faults.retry();
-            for attempt in 0..drops {
+            for attempt in 0..fault.drops {
                 if attempt >= retry.max_retries {
                     let attempts = attempt + 1;
                     self.shared.trace(
@@ -483,13 +650,35 @@ impl Comm {
                 bytes: payload.n_bytes(),
             },
         );
-        self.send_raw(dst, tag, payload);
+        self.send_frame(dst, tag, payload, lane, corrupts);
         Ok(())
     }
 
-    fn send_raw(&self, dst: usize, tag: u32, payload: Payload) {
+    /// Stamps the integrity frame (CRC-32 + optional ABFT lane) and delivers
+    /// to the destination mailbox. `corrupts` schedules that many delivery
+    /// attempts to arrive bit-flipped (fault injection).
+    fn send_frame(
+        &self,
+        dst: usize,
+        tag: u32,
+        payload: Payload,
+        lane: Option<(f64, f64)>,
+        corrupts: u32,
+    ) {
         self.shared.stats.record(self.rank, dst, payload.n_bytes());
-        self.shared.mailboxes[self.rank * self.shared.size + dst].push(tag, payload);
+        let crc = payload.crc32();
+        self.shared.mailboxes[self.rank * self.shared.size + dst].push(Msg {
+            tag,
+            crc,
+            lane,
+            corrupt_left: corrupts,
+            corrupt_seen: 0,
+            payload,
+        });
+    }
+
+    fn send_raw(&self, dst: usize, tag: u32, payload: Payload) {
+        self.send_frame(dst, tag, payload, None, 0);
     }
 
     /// Blocking receive of the message with the given source and tag.
@@ -518,7 +707,7 @@ impl Comm {
             "recv: user tag {tag:#x} sets the reserved collective bit"
         );
         self.fault_tick();
-        let payload = self.recv_raw_checked(src, tag)?;
+        let payload = self.recv_frame_verified(src, tag)?.payload;
         self.shared.trace(
             self.rank,
             Event::Recv {
@@ -530,44 +719,200 @@ impl Comm {
         Ok(payload)
     }
 
+    /// Fallible blocking receive that additionally verifies the frame's
+    /// ABFT checksum lane (when the sender stamped one via
+    /// [`Comm::send_checked_laned`]) against the received data, with the
+    /// same tolerance the collectives use. Returns the payload together
+    /// with the carried lane so reduction roots can fold contribution
+    /// lanes into the lane of the reduced result.
+    ///
+    /// A lane mismatch *after* a clean CRC means the data was damaged
+    /// before it was framed — retransmitting the same bytes cannot help —
+    /// so it surfaces immediately as [`FaultError::Corruption`] rather
+    /// than a NACK.
+    pub fn recv_checked_laned(
+        &self,
+        src: usize,
+        tag: u32,
+    ) -> Result<(Payload, Option<(f64, f64)>), FaultError> {
+        assert!(
+            src < self.shared.size,
+            "recv: invalid source rank {src} (communicator has {} ranks)",
+            self.shared.size
+        );
+        assert_eq!(
+            tag & COLLECTIVE_TAG,
+            0,
+            "recv: user tag {tag:#x} sets the reserved collective bit"
+        );
+        self.fault_tick();
+        let msg = self.recv_frame_verified(src, tag)?;
+        if let Some(lane) = msg.lane {
+            let ok = match &msg.payload {
+                Payload::C64(v) => abft_verify_c64(v, lane, ABFT_TOL),
+                Payload::F64(v) => abft_verify_f64(v, lane.0, ABFT_TOL),
+                // Lanes are floating-point sums; integer payloads carry
+                // none worth verifying beyond the CRC.
+                Payload::U64(_) => true,
+            };
+            if !ok {
+                self.shared.trace(
+                    self.rank,
+                    Event::Fault(FaultEvent::CorruptRecv {
+                        src,
+                        tag,
+                        attempt: 1,
+                    }),
+                );
+                self.shared.trace(
+                    self.rank,
+                    Event::Fault(FaultEvent::CorruptionRetriesExhausted {
+                        src,
+                        tag,
+                        attempts: 1,
+                    }),
+                );
+                ffw_obs::counter("mpi.integrity.corrupt_recvs").add(1);
+                ffw_obs::event(
+                    "mpi.integrity.lane_mismatch",
+                    &format!("rank {} <- rank {src} tag {tag:#x}", self.rank),
+                );
+                return Err(FaultError::Corruption {
+                    rank: self.rank,
+                    src,
+                    tag,
+                    attempts: 1,
+                });
+            }
+        }
+        self.shared.trace(
+            self.rank,
+            Event::Recv {
+                src,
+                tag,
+                bytes: msg.payload.n_bytes(),
+            },
+        );
+        Ok((msg.payload, msg.lane))
+    }
+
     /// Infallible receive for the collective implementations: a dead peer
     /// mid-collective is not recoverable in-band, so it panics with the
     /// watchdog report.
     fn recv_raw(&self, src: usize, tag: u32) -> Payload {
-        match self.recv_raw_checked(src, tag) {
-            Ok(payload) => payload,
+        self.recv_frame_raw(src, tag).payload
+    }
+
+    /// Infallible framed receive (payload + lane) for collectives.
+    fn recv_frame_raw(&self, src: usize, tag: u32) -> Msg {
+        match self.recv_frame_verified(src, tag) {
+            Ok(msg) => msg,
             Err(e) => panic!("ffw-mpi: {e}"),
         }
     }
 
-    /// Blocking receive with the deadlock watchdog. The fast path (message
-    /// already queued) touches only the mailbox lock; the slow path publishes
-    /// a `RecvWait` state and waits with a timeout, diagnosing the global
-    /// wait-for graph whenever the timeout fires. Returns an error if this
-    /// wait can never be satisfied because the peer died.
-    fn recv_raw_checked(&self, src: usize, tag: u32) -> Result<Payload, FaultError> {
+    /// Blocking verified receive: pops frames via [`Comm::recv_msg_blocking`]
+    /// and runs the CRC-32 integrity check on every delivery attempt. A
+    /// corrupted attempt is NACKed — the frame is requeued for retransmit
+    /// (the in-process model of asking the sender to resend) with bounded
+    /// backoff under the launch's [`RetryPolicy`] — and when the budget is
+    /// exhausted the receive fails with [`FaultError::Corruption`]. Every
+    /// detection and retransmit is traced and mirrored to `ffw-obs`.
+    fn recv_frame_verified(&self, src: usize, tag: u32) -> Result<Msg, FaultError> {
+        let retry = self.shared.retry();
+        loop {
+            let mut msg = self.recv_msg_blocking(src, tag)?;
+            let clean = if msg.corrupt_left > 0 {
+                // This delivery attempt arrives bit-flipped: verify the
+                // receiver would genuinely have seen the corruption.
+                msg.corrupt_left -= 1;
+                let corrupted = msg.payload.bit_flipped(msg.corrupt_seen);
+                corrupted.crc32() == msg.crc
+            } else {
+                msg.payload.crc32() == msg.crc
+            };
+            if clean {
+                return Ok(msg);
+            }
+            msg.corrupt_seen += 1;
+            let attempt = msg.corrupt_seen;
+            self.shared.trace(
+                self.rank,
+                Event::Fault(FaultEvent::CorruptRecv { src, tag, attempt }),
+            );
+            ffw_obs::counter("mpi.integrity.corrupt_recvs").add(1);
+            if attempt > retry.max_retries {
+                self.shared.trace(
+                    self.rank,
+                    Event::Fault(FaultEvent::CorruptionRetriesExhausted {
+                        src,
+                        tag,
+                        attempts: attempt,
+                    }),
+                );
+                ffw_obs::event(
+                    "mpi.integrity.exhausted",
+                    &format!(
+                        "rank {} <- rank {src} tag {tag:#x} after {attempt} attempts",
+                        self.rank
+                    ),
+                );
+                return Err(FaultError::Corruption {
+                    rank: self.rank,
+                    src,
+                    tag,
+                    attempts: attempt,
+                });
+            }
+            self.shared.trace(
+                self.rank,
+                Event::Fault(FaultEvent::RetransmitRequested { src, tag, attempt }),
+            );
+            ffw_obs::counter("mpi.integrity.retransmits").add(1);
+            self.shared.mailboxes[src * self.shared.size + self.rank].requeue_front(msg);
+            std::thread::sleep(Duration::from_millis(retry.backoff_ms(attempt - 1)));
+        }
+    }
+
+    /// Blocking framed receive with the deadlock watchdog. The fast path
+    /// (message already queued) touches only the mailbox lock; the slow path
+    /// publishes a `RecvWait` state and waits with a timeout, diagnosing the
+    /// global wait-for graph whenever the timeout fires — or as soon as the
+    /// heartbeat monitor suspects the source, which wakes this wait early so
+    /// a dead peer is detected in O(heartbeat interval). Returns an error if
+    /// this wait can never be satisfied because the peer died.
+    fn recv_msg_blocking(&self, src: usize, tag: u32) -> Result<Msg, FaultError> {
         let mailbox = &self.shared.mailboxes[src * self.shared.size + self.rank];
-        if let Some(payload) = mailbox.try_pop_matching(tag) {
-            return Ok(payload);
+        if let Some(msg) = mailbox.try_pop_matching(tag) {
+            return Ok(msg);
         }
         self.shared
             .set_state(self.rank, WaitState::RecvWait { src, tag });
         let mut q = mailbox.queue.lock();
         loop {
-            if let Some(pos) = q.iter().position(|(t, _)| *t == tag) {
-                let payload = q.remove(pos).expect("position valid").1;
+            if let Some(pos) = q.iter().position(|m| m.tag == tag) {
+                let msg = q.remove(pos).expect("position valid");
                 drop(q);
                 self.shared.set_state(self.rank, WaitState::Running);
-                return Ok(payload);
+                return Ok(msg);
             }
             let result = mailbox.cond.wait_for(&mut q, self.shared.timeout);
-            if result.timed_out() {
+            if result.timed_out() || self.shared.hb_suspect(src).is_some() {
                 // Diagnose without holding the queue lock (the analysis
                 // inspects other mailboxes; never hold two mailbox locks).
                 drop(q);
                 if let Err(e) = self.shared.watchdog_poll(self.rank) {
                     self.shared.set_state(self.rank, WaitState::Running);
                     if let FaultError::PeerDead { peer, .. } = &e {
+                        if let Some(phi_milli) = self.shared.hb_suspect(*peer) {
+                            self.shared.trace(
+                                self.rank,
+                                Event::Fault(FaultEvent::HeartbeatSuspect {
+                                    peer: *peer,
+                                    phi_milli,
+                                }),
+                            );
+                        }
                         self.shared.trace(
                             self.rank,
                             Event::Fault(FaultEvent::PeerDeclaredDead { peer: *peer }),
@@ -594,7 +939,35 @@ impl Comm {
             "try_recv: user tag {tag:#x} sets the reserved collective bit"
         );
         self.fault_tick();
-        let got = self.shared.mailboxes[src * self.shared.size + self.rank].try_pop_matching(tag);
+        let mailbox = &self.shared.mailboxes[src * self.shared.size + self.rank];
+        let mut got = mailbox.try_pop_matching(tag);
+        if let Some(msg) = &mut got {
+            let clean = if msg.corrupt_left > 0 {
+                msg.corrupt_left -= 1;
+                msg.payload.bit_flipped(msg.corrupt_seen).crc32() == msg.crc
+            } else {
+                msg.payload.crc32() == msg.crc
+            };
+            if !clean {
+                // NACK and requeue: the poller's next call is the retry, so
+                // the retransmit budget is the poll loop itself (bounded by
+                // the scheduled corruption count, which on_send fixed).
+                msg.corrupt_seen += 1;
+                let attempt = msg.corrupt_seen;
+                self.shared.trace(
+                    self.rank,
+                    Event::Fault(FaultEvent::CorruptRecv { src, tag, attempt }),
+                );
+                self.shared.trace(
+                    self.rank,
+                    Event::Fault(FaultEvent::RetransmitRequested { src, tag, attempt }),
+                );
+                ffw_obs::counter("mpi.integrity.corrupt_recvs").add(1);
+                ffw_obs::counter("mpi.integrity.retransmits").add(1);
+                mailbox.requeue_front(got.take().expect("corrupt frame present"));
+            }
+        }
+        let got = got.map(|m| m.payload);
         let mut trace = self.shared.traces[self.rank].lock();
         match &got {
             Some(payload) => trace.push(Event::TryRecvHit {
@@ -651,7 +1024,7 @@ impl Comm {
                 break;
             }
             let result = barrier.cond.wait_for(&mut st, self.shared.timeout);
-            if result.timed_out() && st.generation == generation {
+            if (result.timed_out() || self.shared.hb_any_suspect()) && st.generation == generation {
                 drop(st);
                 // A dead peer can never arrive at the barrier: that is not
                 // recoverable in-band, so surface it as a panic.
@@ -665,13 +1038,33 @@ impl Comm {
         self.shared.set_state(self.rank, WaitState::Running);
     }
 
+    /// Panics with a typed corruption error when an ABFT lane disagrees
+    /// with the data it arrived with. The per-message CRC already rejects
+    /// in-flight bit flips, so a lane mismatch means the data was damaged
+    /// *between* checksum and reduction — a logic fault, not recoverable by
+    /// retransmit.
+    fn abft_panic(&self, src: usize, tag: u32) -> ! {
+        panic!(
+            "ffw-mpi: ABFT checksum-lane mismatch — {}",
+            FaultError::Corruption {
+                rank: self.rank,
+                src,
+                tag,
+                attempts: 1,
+            }
+        );
+    }
+
     /// Element-wise sum-allreduce over complex data (in place; all ranks end
     /// with the global sum). Root-based: gather to rank 0, reduce, broadcast.
+    /// Every hop carries an ABFT checksum lane (the element sum) that the
+    /// receiving side re-derives and verifies.
     pub fn allreduce_sum_c64(&self, data: &mut [(f64, f64)]) {
         self.trace_collective(CollectiveKind::AllreduceSumC64, 0);
         if self.rank == 0 {
             for src in 1..self.size() {
-                let part = self.recv_raw(src, COLLECTIVE_TAG | 1).into_c64();
+                let frame = self.recv_frame_raw(src, COLLECTIVE_TAG | 1);
+                let part = frame.payload.into_c64();
                 assert_eq!(
                     part.len(),
                     data.len(),
@@ -680,27 +1073,54 @@ impl Comm {
                     part.len(),
                     data.len()
                 );
+                if let Some(lane) = frame.lane {
+                    if !abft_verify_c64(&part, lane, ABFT_TOL) {
+                        self.abft_panic(src, COLLECTIVE_TAG | 1);
+                    }
+                }
                 for (d, p) in data.iter_mut().zip(part) {
                     d.0 += p.0;
                     d.1 += p.1;
                 }
             }
+            let lane = abft_lane_c64(data);
             for dst in 1..self.size() {
-                self.send_raw(dst, COLLECTIVE_TAG | 2, Payload::C64(data.to_vec()));
+                self.send_frame(
+                    dst,
+                    COLLECTIVE_TAG | 2,
+                    Payload::C64(data.to_vec()),
+                    Some(lane),
+                    0,
+                );
             }
         } else {
-            self.send_raw(0, COLLECTIVE_TAG | 1, Payload::C64(data.to_vec()));
-            let result = self.recv_raw(0, COLLECTIVE_TAG | 2).into_c64();
+            let lane = abft_lane_c64(data);
+            self.send_frame(
+                0,
+                COLLECTIVE_TAG | 1,
+                Payload::C64(data.to_vec()),
+                Some(lane),
+                0,
+            );
+            let frame = self.recv_frame_raw(0, COLLECTIVE_TAG | 2);
+            let result = frame.payload.into_c64();
+            if let Some(lane) = frame.lane {
+                if !abft_verify_c64(&result, lane, ABFT_TOL) {
+                    self.abft_panic(0, COLLECTIVE_TAG | 2);
+                }
+            }
             data.copy_from_slice(&result);
         }
     }
 
-    /// Sum-allreduce over real data.
+    /// Sum-allreduce over real data, ABFT-lane-verified like
+    /// [`Comm::allreduce_sum_c64`].
     pub fn allreduce_sum_f64(&self, data: &mut [f64]) {
         self.trace_collective(CollectiveKind::AllreduceSumF64, 0);
         if self.rank == 0 {
             for src in 1..self.size() {
-                let part = self.recv_raw(src, COLLECTIVE_TAG | 3).into_f64();
+                let frame = self.recv_frame_raw(src, COLLECTIVE_TAG | 3);
+                let part = frame.payload.into_f64();
                 assert_eq!(
                     part.len(),
                     data.len(),
@@ -709,16 +1129,41 @@ impl Comm {
                     part.len(),
                     data.len()
                 );
+                if let Some((lane, _)) = frame.lane {
+                    if !abft_verify_f64(&part, lane, ABFT_TOL) {
+                        self.abft_panic(src, COLLECTIVE_TAG | 3);
+                    }
+                }
                 for (d, p) in data.iter_mut().zip(part) {
                     *d += p;
                 }
             }
+            let lane = abft_lane_f64(data);
             for dst in 1..self.size() {
-                self.send_raw(dst, COLLECTIVE_TAG | 4, Payload::F64(data.to_vec()));
+                self.send_frame(
+                    dst,
+                    COLLECTIVE_TAG | 4,
+                    Payload::F64(data.to_vec()),
+                    Some((lane, 0.0)),
+                    0,
+                );
             }
         } else {
-            self.send_raw(0, COLLECTIVE_TAG | 3, Payload::F64(data.to_vec()));
-            let result = self.recv_raw(0, COLLECTIVE_TAG | 4).into_f64();
+            let lane = abft_lane_f64(data);
+            self.send_frame(
+                0,
+                COLLECTIVE_TAG | 3,
+                Payload::F64(data.to_vec()),
+                Some((lane, 0.0)),
+                0,
+            );
+            let frame = self.recv_frame_raw(0, COLLECTIVE_TAG | 4);
+            let result = frame.payload.into_f64();
+            if let Some((lane, _)) = frame.lane {
+                if !abft_verify_f64(&result, lane, ABFT_TOL) {
+                    self.abft_panic(0, COLLECTIVE_TAG | 4);
+                }
+            }
             data.copy_from_slice(&result);
         }
     }
@@ -809,6 +1254,20 @@ impl RunStats {
     pub fn events(&self, rank: usize) -> Vec<Event> {
         self.inner.traces[rank].lock().clone()
     }
+
+    /// Heartbeat evidence: the ranks the phi-accrual monitor suspected
+    /// (beats stopped while the rank was panicked), with the suspicion
+    /// score at detection time. Empty when the heartbeat was disabled or
+    /// no rank died. Recovery drivers use this as *primary* evidence when
+    /// attributing deaths.
+    pub fn heartbeat_suspects(&self) -> Vec<(usize, f64)> {
+        let Some(hb) = &self.inner.heartbeat else {
+            return Vec::new();
+        };
+        (0..self.inner.size)
+            .filter_map(|r| hb.suspect_phi_milli(r).map(|phi| (r, phi as f64 / 1000.0)))
+            .collect()
+    }
 }
 
 /// Resolves the watchdog timeout. Precedence (highest first):
@@ -826,6 +1285,112 @@ fn resolve_timeout(programmatic: Option<Duration>) -> Duration {
             ),
         },
         Err(_) => programmatic.unwrap_or(Duration::from_millis(1000)),
+    }
+}
+
+/// Resolves the heartbeat interval. Precedence (highest first): the
+/// `FFW_HEARTBEAT_MS` environment variable (0 disables), the programmatic
+/// value from [`Runtime::heartbeat_interval`] (`Duration::ZERO` disables),
+/// the 5 ms default. `None` means "no heartbeat".
+fn resolve_heartbeat(programmatic: Option<Duration>) -> Option<Duration> {
+    match std::env::var("FFW_HEARTBEAT_MS") {
+        Ok(raw) => match raw.trim().parse::<u64>() {
+            Ok(0) => None,
+            Ok(ms) => Some(Duration::from_millis(ms)),
+            Err(_) => panic!(
+                "FFW_HEARTBEAT_MS={raw:?} is invalid: expected a non-negative \
+                 integer number of milliseconds"
+            ),
+        },
+        Err(_) => {
+            let interval = programmatic.unwrap_or(Duration::from_millis(5));
+            (!interval.is_zero()).then_some(interval)
+        }
+    }
+}
+
+/// Body of a per-rank companion beater thread: stamps the rank's beat
+/// timestamp every interval until the rank's closure ends (or the launch
+/// tears down). Beats come from a companion thread rather than the rank
+/// body so a rank blocked in a long receive or compute keeps beating —
+/// suspicion can only ever mean the rank actually died.
+fn heartbeat_beater(shared: Arc<Shared>, rank: usize) {
+    let hb = shared.heartbeat.as_ref().expect("beater without heartbeat");
+    loop {
+        hb.beats[rank].store(ffw_obs::monotonic_ns(), Ordering::SeqCst);
+        let mut done = hb.shutdown.lock();
+        if *done || hb.rank_done[rank].load(Ordering::SeqCst) {
+            break;
+        }
+        let _ = hb.shutdown_cond.wait_for(&mut done, hb.interval);
+        if *done || hb.rank_done[rank].load(Ordering::SeqCst) {
+            break;
+        }
+    }
+}
+
+/// Body of the heartbeat monitor thread: maintains a [`PhiLite`] suspicion
+/// score per rank from the beat timestamps; when a panicked rank's score
+/// crosses [`DEFAULT_PHI_THRESHOLD`], marks it suspect and wakes every
+/// blocked waiter (mailboxes and barrier) so dead-peer detection costs
+/// O(heartbeat interval) instead of O(deadlock timeout).
+fn heartbeat_monitor(shared: Arc<Shared>) {
+    let hb = shared
+        .heartbeat
+        .as_ref()
+        .expect("monitor without heartbeat");
+    let interval_ns = hb.interval.as_nanos() as u64;
+    let start = ffw_obs::monotonic_ns();
+    let mut phis: Vec<PhiLite> = (0..shared.size)
+        .map(|_| PhiLite::new(interval_ns, start))
+        .collect();
+    let mut last_seen: Vec<u64> = hb.beats.iter().map(|b| b.load(Ordering::SeqCst)).collect();
+    loop {
+        {
+            let mut done = hb.shutdown.lock();
+            if *done {
+                break;
+            }
+            let _ = hb.shutdown_cond.wait_for(&mut done, hb.interval);
+            if *done {
+                break;
+            }
+        }
+        let now = ffw_obs::monotonic_ns();
+        for rank in 0..shared.size {
+            if hb.suspects[rank].load(Ordering::SeqCst) != 0 {
+                continue;
+            }
+            let beat = hb.beats[rank].load(Ordering::SeqCst);
+            if beat != last_seen[rank] {
+                last_seen[rank] = beat;
+                phis[rank].beat(beat);
+                continue;
+            }
+            let phi = phis[rank].phi(now);
+            // Beats stop for both panicked and cleanly-finished ranks; only
+            // a panicked rank is *evidence of death* (a finished rank that
+            // a peer still waits on is a protocol bug the slow watchdog
+            // diagnoses). The phi score supplies the detection timing.
+            let panicked = matches!(shared.registry.lock()[rank], WaitState::Panicked);
+            if phi > DEFAULT_PHI_THRESHOLD && panicked {
+                let phi_milli = ((phi * 1000.0) as u64).max(1);
+                hb.suspects[rank].store(phi_milli, Ordering::SeqCst);
+                ffw_obs::event(
+                    "mpi.heartbeat.suspect",
+                    &format!("rank {rank} suspected at phi {phi:.1}"),
+                );
+                // Wake every blocked waiter. Notifying under each lock
+                // closes the race with a waiter that is between its
+                // predicate check and its wait.
+                for mailbox in &shared.mailboxes {
+                    let _guard = mailbox.queue.lock();
+                    mailbox.cond.notify_all();
+                }
+                let _guard = shared.barrier.state.lock();
+                shared.barrier.cond.notify_all();
+            }
+        }
     }
 }
 
@@ -915,6 +1480,7 @@ pub struct Runtime {
     n_ranks: usize,
     timeout: Option<Duration>,
     fault_plan: Option<FaultPlan>,
+    heartbeat: Option<Duration>,
 }
 
 impl Runtime {
@@ -924,6 +1490,7 @@ impl Runtime {
             n_ranks,
             timeout: None,
             fault_plan: None,
+            heartbeat: None,
         }
     }
 
@@ -938,6 +1505,15 @@ impl Runtime {
     /// Injects the given seeded fault plan into the launch.
     pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
         self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Sets the heartbeat interval for failure detection (default 5 ms;
+    /// `Duration::ZERO` disables the heartbeat). The `FFW_HEARTBEAT_MS`
+    /// environment variable, if set, takes precedence (0 disables).
+    /// Single-rank launches never run a heartbeat.
+    pub fn heartbeat_interval(mut self, interval: Duration) -> Self {
+        self.heartbeat = Some(interval);
         self
     }
 
@@ -981,7 +1557,33 @@ impl Runtime {
             timeout,
             verdict: Mutex::new(None),
             faults: self.fault_plan.map(|plan| plan.activate(n_ranks)),
+            heartbeat: (n_ranks >= 2)
+                .then(|| resolve_heartbeat(self.heartbeat))
+                .flatten()
+                .map(|interval| Heartbeat::new(n_ranks, interval)),
         });
+        // Companion beater threads + the phi-accrual monitor. These are
+        // plain (non-scoped) threads over Arc clones; they are signalled
+        // and joined before `launch` returns.
+        let mut hb_threads = Vec::new();
+        if shared.heartbeat.is_some() {
+            for rank in 0..n_ranks {
+                let sh = Arc::clone(&shared);
+                hb_threads.push(
+                    std::thread::Builder::new()
+                        .name(format!("ffw-hb-beat-{rank}"))
+                        .spawn(move || heartbeat_beater(sh, rank))
+                        .expect("spawn heartbeat beater"),
+                );
+            }
+            let sh = Arc::clone(&shared);
+            hb_threads.push(
+                std::thread::Builder::new()
+                    .name("ffw-hb-monitor".into())
+                    .spawn(move || heartbeat_monitor(sh))
+                    .expect("spawn heartbeat monitor"),
+            );
+        }
         let results: Vec<Mutex<Option<T>>> = (0..n_ranks).map(|_| Mutex::new(None)).collect();
         let crashes: Vec<Mutex<Option<FaultError>>> =
             (0..n_ranks).map(|_| Mutex::new(None)).collect();
@@ -1010,6 +1612,13 @@ impl Runtime {
                     }
                 }
             }
+            // The registry state is set before beats stop, so by the time
+            // the monitor suspects this rank its Finished/Panicked verdict
+            // is already visible.
+            if let Some(hb) = &shared.heartbeat {
+                hb.rank_done[rank].store(true, Ordering::SeqCst);
+                hb.shutdown_cond.notify_all();
+            }
         };
 
         std::thread::scope(|scope| {
@@ -1022,6 +1631,15 @@ impl Runtime {
             }
             run_rank(0);
         });
+
+        // Tear down the heartbeat machinery before validation.
+        if let Some(hb) = &shared.heartbeat {
+            *hb.shutdown.lock() = true;
+            hb.shutdown_cond.notify_all();
+        }
+        for handle in hb_threads {
+            handle.join().expect("heartbeat thread panicked");
+        }
 
         let mut panics = panics.into_inner();
         if !panics.is_empty() {
@@ -1039,12 +1657,12 @@ impl Runtime {
         for src in 0..n_ranks {
             for dst in 0..n_ranks {
                 let q = shared.mailboxes[src * n_ranks + dst].queue.lock();
-                for (tag, payload) in q.iter() {
+                for msg in q.iter() {
                     leaked.push(LeakedMessage {
                         src,
                         dst,
-                        tag: *tag,
-                        bytes: payload.n_bytes(),
+                        tag: msg.tag,
+                        bytes: msg.payload.n_bytes(),
                     });
                 }
             }
@@ -1055,7 +1673,9 @@ impl Runtime {
             matches!(
                 e,
                 Event::Fault(
-                    FaultEvent::SendRetriesExhausted { .. } | FaultEvent::PeerDeclaredDead { .. }
+                    FaultEvent::SendRetriesExhausted { .. }
+                        | FaultEvent::PeerDeclaredDead { .. }
+                        | FaultEvent::CorruptionRetriesExhausted { .. }
                 )
             )
         });
@@ -1514,6 +2134,109 @@ mod tests {
             RankOutcome::Done(Err(FaultError::PeerDead { peer: 0, .. })) => {}
             other => panic!("expected PeerDead on rank 1, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn corrupted_send_is_nacked_and_retransmitted() {
+        // Corrupted twice, budget 3: the CRC rejects both corrupt delivery
+        // attempts, the NACK/retransmit protocol recovers a clean copy, and
+        // the delivered value is bit-exact.
+        let launch = Runtime::new(2)
+            .fault_plan(FaultPlan::new().corrupt_send(0, 1, 1, 2))
+            .launch(|comm| {
+                if comm.rank() == 0 {
+                    comm.send_checked(1, 5, Payload::F64(vec![3.25, -0.0, 1e-300]))
+                        .map(|_| Vec::new())
+                } else {
+                    comm.recv_checked(0, 5).map(Payload::into_f64)
+                }
+            });
+        match &launch.outcomes[1] {
+            RankOutcome::Done(Ok(v)) => {
+                assert_eq!(v.len(), 3);
+                assert_eq!(v[0], 3.25);
+                assert_eq!(v[1].to_bits(), (-0.0f64).to_bits(), "bit-exact delivery");
+                assert_eq!(v[2], 1e-300);
+            }
+            other => panic!("expected recovered receive, got {other:?}"),
+        }
+        let events = launch.stats.events(1);
+        let corrupt = events
+            .iter()
+            .filter(|e| matches!(e, Event::Fault(FaultEvent::CorruptRecv { .. })))
+            .count();
+        let nacks = events
+            .iter()
+            .filter(|e| matches!(e, Event::Fault(FaultEvent::RetransmitRequested { .. })))
+            .count();
+        assert_eq!(corrupt, 2, "both corrupt attempts must be detected");
+        assert_eq!(nacks, 2, "each detection must NACK for a retransmit");
+    }
+
+    #[test]
+    fn persistent_corruption_surfaces_typed_error() {
+        // Corrupted past the retry budget: the receiver gets a typed
+        // Corruption error naming edge, tag and attempts — no hang, no
+        // silent wrong answer.
+        let launch = Runtime::new(2)
+            .deadlock_timeout(FAST)
+            .fault_plan(FaultPlan::new().corrupt_send(0, 1, 1, 10))
+            .launch(|comm| {
+                if comm.rank() == 0 {
+                    comm.send_checked(1, 5, Payload::U64(vec![42])).map(|_| 0)
+                } else {
+                    comm.recv_checked(0, 5).map(|p| p.into_u64()[0])
+                }
+            });
+        match &launch.outcomes[1] {
+            RankOutcome::Done(Err(FaultError::Corruption {
+                rank: 1,
+                src: 0,
+                tag: 5,
+                attempts,
+            })) => assert_eq!(*attempts, 4, "initial receive + 3 retransmits"),
+            other => panic!("expected Corruption on rank 1, got {other:?}"),
+        }
+        assert!(launch.stats.events(1).iter().any(|e| matches!(
+            e,
+            Event::Fault(FaultEvent::CorruptionRetriesExhausted { src: 0, tag: 5, .. })
+        )));
+    }
+
+    #[test]
+    fn heartbeat_detects_dead_peer_without_waiting_for_watchdog() {
+        // Rank 1 crashes at its first op while rank 0 blocks in a receive.
+        // The deadlock watchdog alone would need the full 30 s timeout; the
+        // heartbeat monitor must surface the death in well under that.
+        let t0 = ffw_obs::monotonic_ns();
+        let launch = Runtime::new(2)
+            .deadlock_timeout(Duration::from_secs(30))
+            .heartbeat_interval(Duration::from_millis(2))
+            .fault_plan(FaultPlan::new().crash_at(1, 1))
+            .launch(|comm| {
+                if comm.rank() == 0 {
+                    comm.recv_checked(1, 5).map(|_| ())
+                } else {
+                    comm.send_checked(0, 5, Payload::U64(vec![1]))
+                }
+            });
+        let elapsed_ms = (ffw_obs::monotonic_ns() - t0) / 1_000_000;
+        assert!(
+            elapsed_ms < 5_000,
+            "heartbeat detection took {elapsed_ms} ms — watchdog-timeout latency"
+        );
+        match &launch.outcomes[0] {
+            RankOutcome::Done(Err(FaultError::PeerDead { peer: 1, .. })) => {}
+            other => panic!("expected PeerDead on rank 0, got {other:?}"),
+        }
+        let suspects = launch.stats.heartbeat_suspects();
+        assert_eq!(suspects.len(), 1, "exactly the dead rank is suspected");
+        assert_eq!(suspects[0].0, 1);
+        assert!(suspects[0].1 > DEFAULT_PHI_THRESHOLD);
+        assert!(launch.stats.events(0).iter().any(|e| matches!(
+            e,
+            Event::Fault(FaultEvent::HeartbeatSuspect { peer: 1, .. })
+        )));
     }
 
     #[test]

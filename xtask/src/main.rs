@@ -38,11 +38,17 @@
 //!   `ffw_obs::Stopwatch`/`monotonic_ns` so the observability layer sees it
 //!   (and so perf numbers share one clock). Test code is exempt, as is a
 //!   justified `// lint:instant-ok` waiver.
+//! * **R7 — no unchecked communication in `ffw-dist`**: the raw panicking
+//!   primitives `.send(` / `.recv(` are banned in `crates/dist/src` non-test
+//!   code. The distributed solver's contract is typed fault propagation with
+//!   end-to-end integrity, so every hop must go through `send_checked` /
+//!   `recv_checked` (or their `_laned` ABFT variants, or `try_recv` for
+//!   polling). Waive a justified use with `// lint:unchecked-ok`.
 //!
 //! Scope: R1–R3 cover `crates/` and `xtask/`; R4 and R6 cover `crates/` only
 //! (`third_party/` holds vendored stand-ins for external dependencies and is
 //! linted for unsafe hygiene but not spawn/timing discipline); R5 covers only
-//! the two fault-tolerant crates.
+//! the two fault-tolerant crates; R7 covers `crates/dist/src` alone.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -87,6 +93,7 @@ fn lint() -> ExitCode {
                 diagnostics.extend(check_thread_spawn(&rel, &text));
                 diagnostics.extend(check_unwrap_on_fault_path(&rel, &text));
                 diagnostics.extend(check_instant_outside_obs(&rel, &text));
+                diagnostics.extend(check_unchecked_comm(&rel, &text));
             }
         }
     }
@@ -367,6 +374,42 @@ fn check_instant_outside_obs(file: &str, text: &str) -> Vec<String> {
     out
 }
 
+/// R7: no raw `.send(` / `.recv(` in `crates/dist/src` non-test code — the
+/// distributed solver must use the checked (typed-error, integrity-framed)
+/// communication paths so a fault can never escalate into a panic or a
+/// silently corrupted hop.
+fn check_unchecked_comm(file: &str, text: &str) -> Vec<String> {
+    if !file.starts_with("crates/dist/src/") {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let mut in_test_suffix = false;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim_start().starts_with("#[cfg(test)]") {
+            in_test_suffix = true;
+        }
+        if in_test_suffix {
+            continue;
+        }
+        let masked = mask_code(line);
+        // `.send(` cannot match `.send_checked(` and `.recv(` cannot match
+        // `.recv_checked(` or `.try_recv(`: the raw forms are followed
+        // immediately by `(`, with a literal `.` before the method name.
+        if (masked.contains(".send(") || masked.contains(".recv("))
+            && !line.contains("lint:unchecked-ok")
+        {
+            out.push(format!(
+                "{file}:{}: raw `.send(`/`.recv(` in ffw-dist — use \
+                 `send_checked`/`recv_checked` (or the `_laned` ABFT variants) \
+                 so faults propagate as typed errors; waive with \
+                 `// lint:unchecked-ok`",
+                i + 1
+            ));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -482,6 +525,27 @@ mod tests {
     }
 
     #[test]
+    fn unchecked_comm_in_dist_fails() {
+        let src = "comm.send(1, TAG, payload);\nlet v = comm.recv(0, TAG);\n";
+        assert_eq!(check_unchecked_comm("crates/dist/src/ft.rs", src).len(), 2);
+        // The checked and polling forms pass, as do other crates and tests.
+        let checked = "comm.send_checked(1, TAG, payload)?;\n\
+                       let v = comm.recv_checked(0, TAG)?;\n\
+                       let (p, lane) = comm.recv_checked_laned(0, TAG)?;\n\
+                       let m = comm.try_recv(0, TAG);\n";
+        assert!(check_unchecked_comm("crates/dist/src/ft.rs", checked).is_empty());
+        assert!(check_unchecked_comm("crates/mpi/src/lib.rs", src).is_empty());
+        let waived = "comm.send(1, TAG, payload); // lint:unchecked-ok — demo path\n";
+        assert!(check_unchecked_comm("crates/dist/src/ft.rs", waived).is_empty());
+        let test_only =
+            "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g() { comm.send(1, 0, p); }\n}\n";
+        assert!(check_unchecked_comm("crates/dist/src/ft.rs", test_only).is_empty());
+        // String literals do not trip it.
+        let in_string = "panic!(\"call .send( correctly\");\n";
+        assert!(check_unchecked_comm("crates/dist/src/ft.rs", in_string).is_empty());
+    }
+
+    #[test]
     fn lint_rules_pass_on_this_workspace() {
         // The gate must be green on the tree it ships in.
         let root = workspace_root();
@@ -497,6 +561,7 @@ mod tests {
                     diags.extend(check_thread_spawn(&rel, &text));
                     diags.extend(check_unwrap_on_fault_path(&rel, &text));
                     diags.extend(check_instant_outside_obs(&rel, &text));
+                    diags.extend(check_unchecked_comm(&rel, &text));
                 }
             }
         }
