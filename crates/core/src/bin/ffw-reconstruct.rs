@@ -31,6 +31,7 @@ struct Cli {
     born: bool,
     precondition: bool,
     positivity: bool,
+    batch: Option<usize>,
     out: Option<String>,
     groups: Option<usize>,
     subtree: usize,
@@ -47,6 +48,25 @@ struct Cli {
 /// `--subtree` combination is a clear CLI error (exit code 2) instead of a
 /// mid-run assertion failure deep inside the rank grid.
 fn validate(cli: &Cli) -> Result<(), String> {
+    if let Some(batch) = cli.batch {
+        if batch == 0 {
+            return Err("--batch must be at least 1".into());
+        }
+        if batch > cli.tx {
+            return Err(format!(
+                "--batch {batch} must not exceed --tx {} (a batch is a block of \
+                 per-transmitter right-hand sides)",
+                cli.tx
+            ));
+        }
+        if cli.precondition {
+            return Err(
+                "--batch cannot be combined with --precondition (the leaf-block \
+                 Jacobi path is single-RHS)"
+                    .into(),
+            );
+        }
+    }
     if let Some(groups) = cli.groups {
         if groups == 0 {
             return Err("--groups must be at least 1".into());
@@ -98,6 +118,7 @@ fn parse_args() -> Result<Cli, String> {
         born: false,
         precondition: false,
         positivity: false,
+        batch: None,
         out: None,
         groups: None,
         subtree: 2,
@@ -135,6 +156,7 @@ fn parse_args() -> Result<Cli, String> {
             "--born" => cli.born = true,
             "--precondition" => cli.precondition = true,
             "--positivity" => cli.positivity = true,
+            "--batch" => cli.batch = Some(val("--batch")?.parse().map_err(|e| format!("{e}"))?),
             "--out" => cli.out = Some(val("--out")?),
             "--groups" => cli.groups = Some(val("--groups")?.parse().map_err(|e| format!("{e}"))?),
             "--subtree" => cli.subtree = val("--subtree")?.parse().map_err(|e| format!("{e}"))?,
@@ -156,10 +178,14 @@ fn parse_args() -> Result<Cli, String> {
                     "usage: ffw-reconstruct [--size N] [--tx T] [--rx R] \
                      [--phantom cylinder|annulus|shepp-logan|blobs] [--contrast C] \
                      [--iterations K] [--noise-db D] [--arc-deg A] [--born] \
-                     [--precondition] [--positivity] [--out PREFIX] \
+                     [--precondition] [--positivity] [--batch B] [--out PREFIX] \
                      [--groups G [--subtree P] [--checkpoint PATH] [--resume] \
                      [--chaos-seed S] [--max-restarts N] [--min-groups M]] \
                      [--metrics PATH] [--profile]\n\n\
+                     --batch B solves B transmitter systems per fused multi-RHS \
+                     MLFMA traversal (1 <= B <= --tx; default min(tx, 8)); every \
+                     batch width gives the bit-identical reconstruction. Not \
+                     compatible with --precondition (that path is single-RHS).\n\n\
                      --groups switches to the fault-tolerant distributed DBIM on a \
                      G x P in-process rank grid (G must divide --tx, P must divide \
                      16): outer-iteration checkpoints (--checkpoint), bit-identical \
@@ -262,6 +288,7 @@ fn main() {
             dbim: DbimConfig {
                 iterations: cli.iterations,
                 positivity: cli.positivity,
+                batch: cli.batch,
                 ..Default::default()
             },
             groups,
@@ -296,6 +323,7 @@ fn main() {
             iterations: cli.iterations,
             positivity: cli.positivity,
             precondition: cli.precondition.then(|| Arc::clone(&recon.plan)),
+            batch: cli.batch,
             ..Default::default()
         };
         let result = recon.run_dbim_with(&measured, &cfg);

@@ -64,6 +64,35 @@ fn unknown_flag_is_a_clean_error() {
 }
 
 #[test]
+fn batch_zero_is_rejected() {
+    assert_cli_error(&["--batch", "0"], "--batch must be at least 1");
+}
+
+#[test]
+fn batch_must_not_exceed_tx() {
+    assert_cli_error(
+        &["--tx", "4", "--batch", "5"],
+        "--batch 5 must not exceed --tx 4",
+    );
+}
+
+#[test]
+fn batch_rejects_preconditioned_mode() {
+    assert_cli_error(
+        &["--batch", "2", "--precondition"],
+        "--batch cannot be combined with --precondition",
+    );
+}
+
+#[test]
+fn help_documents_batch() {
+    let out = run(&["--help"]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("--batch"), "help does not document --batch");
+}
+
+#[test]
 fn help_exits_zero_and_documents_recovery_flags() {
     let out = run(&["--help"]);
     assert_eq!(out.status.code(), Some(0));

@@ -130,7 +130,7 @@ pub fn dist_dbim(
             dist_bicgstab(&ah, comm, &group_members, &rhs, &mut z, cfg.forward);
             // G0^H z via conjugation
             let zc: Vec<C64> = z.iter().map(|v| v.conj()).collect();
-            g0.apply(&zc, &mut g0hz);
+            g0.apply(&zc, &mut g0hz); // lint:single-rhs-ok legacy unbatched reference driver
             for j in 0..n_local {
                 grad[j] += fields[i][j].conj() * (y[j] + g0hz[j].conj());
             }
@@ -179,7 +179,7 @@ pub fn dist_dbim(
             for j in 0..n_local {
                 w[j] = fields[i][j] * dir[j];
             }
-            g0.apply(&w, &mut g0w);
+            g0.apply(&w, &mut g0w); // lint:single-rhs-ok legacy unbatched reference driver
             let mut u = vec![C64::ZERO; n_local];
             let a = DistScatteringOp {
                 g0: &g0,

@@ -109,6 +109,276 @@ impl<'c> DistMlfma<'c> {
         }
     }
 
+    /// Checked block (multi-RHS) matvec: `ys_local[b] = (G0 xs[b])_local`
+    /// for a panel of `B` right-hand sides, with the halo and far-field
+    /// traffic of all columns *fused into one message per peer* — the
+    /// paper's buffer aggregation (Section IV-B) extended along the
+    /// illumination dimension. Per-column arithmetic is identical to
+    /// [`DistMlfma::try_apply`], so each column's output is bit-identical
+    /// to a single-RHS apply.
+    ///
+    /// Fusion piggybacks on buffer aggregation; with `aggregate_buffers`
+    /// off (the ablation baseline) columns are applied one at a time.
+    pub fn try_apply_block(
+        &self,
+        xs_local: &[&[C64]],
+        ys_local: &mut [Vec<C64>],
+    ) -> Result<(), FaultError> {
+        let width = xs_local.len();
+        assert_eq!(ys_local.len(), width, "block width mismatch");
+        if width <= 1 || !self.aggregate_buffers {
+            for (x, y) in xs_local.iter().zip(ys_local.iter_mut()) {
+                self.try_apply(x, y)?;
+            }
+            return Ok(());
+        }
+        let n_local = self.n_local();
+        for (x, y) in xs_local.iter().zip(ys_local.iter()) {
+            assert_eq!(x.len(), n_local);
+            assert_eq!(y.len(), n_local);
+        }
+        let plan = &self.plan;
+        let n_levels = plan.levels.len();
+        let q_leaf = plan.leaf_plan().q;
+        let slot = self.slot();
+        let px_start = self.part.pixel_range.start;
+
+        // --- 1. post fused near-field halo sends (all columns, one message
+        // per peer, column-major: col 0's leaf blocks, then col 1's, ...) ---
+        for (peer_slot, leaves) in self.exch.halo_send.iter().enumerate() {
+            if leaves.is_empty() {
+                continue;
+            }
+            let mut buf = Vec::with_capacity(width * leaves.len() * LEAF_PIXELS);
+            for x_local in xs_local {
+                for &leaf in leaves {
+                    let off = leaf * LEAF_PIXELS - px_start;
+                    buf.extend_from_slice(&x_local[off..off + LEAF_PIXELS]);
+                }
+            }
+            self.comm
+                .send_checked(self.members[peer_slot], TAG_HALO, Payload::C64(pack(&buf)))?;
+        }
+
+        // --- 2. aggregation, column by column (identical per-column math) ---
+        let mut outgoing_cols: Vec<Vec<Vec<C64>>> = Vec::with_capacity(width);
+        for x_local in xs_local {
+            let mut outgoing: Vec<Vec<C64>> = plan
+                .levels
+                .iter()
+                .map(|lp| vec![C64::ZERO; lp.n_side * lp.n_side * lp.q])
+                .collect();
+            let leaf_range = self.part.leaf_range();
+            let e = &plan.expansion;
+            for c in leaf_range.clone() {
+                let off = c * LEAF_PIXELS - px_start;
+                e.matvec(
+                    &x_local[off..off + LEAF_PIXELS],
+                    &mut outgoing[n_levels - 1][c * q_leaf..(c + 1) * q_leaf],
+                );
+            }
+            for li in (0..n_levels - 1).rev() {
+                let (up, down) = outgoing.split_at_mut(li + 1);
+                let parents = &mut up[li];
+                let children = &down[0];
+                let lp = &plan.levels[li];
+                let q_parent = lp.q;
+                let q_child = plan.levels[li + 1].q;
+                let interp = lp.interp.as_ref().expect("non-leaf");
+                let mut tmp = vec![C64::ZERO; q_parent];
+                for p in self.part.cluster_ranges[li].clone() {
+                    let out = &mut parents[p * q_parent..(p + 1) * q_parent];
+                    for pos in 0..4usize {
+                        let ch = 4 * p + pos;
+                        interp.up(&children[ch * q_child..(ch + 1) * q_child], &mut tmp);
+                        let shift = &lp.shift_out[pos];
+                        for ((o, t), s) in out.iter_mut().zip(&tmp).zip(shift) {
+                            *o = t.mul_add(*s, *o);
+                        }
+                    }
+                }
+            }
+            outgoing_cols.push(outgoing);
+        }
+
+        // --- 3. post fused far-field pattern sends ---
+        for peer_slot in 0..self.n_slots() {
+            if peer_slot == slot {
+                continue;
+            }
+            let mut buf = Vec::new();
+            for outgoing in &outgoing_cols {
+                for (li, out_l) in outgoing.iter().enumerate() {
+                    let q = plan.levels[li].q;
+                    for &cl in &self.exch.send[peer_slot][li] {
+                        buf.extend_from_slice(&out_l[cl * q..(cl + 1) * q]);
+                    }
+                }
+            }
+            if !buf.is_empty() {
+                self.comm.send_checked(
+                    self.members[peer_slot],
+                    TAG_FARFIELD,
+                    Payload::C64(pack(&buf)),
+                )?;
+            }
+        }
+
+        // --- 4. receive fused halo, then near field per column ---
+        // x_halos[col] mirrors the scalar path's x_halo for that column.
+        let mut x_halos: Vec<Vec<(usize, Vec<C64>)>> = vec![Vec::new(); width];
+        for (peer_slot, leaves) in self.exch.halo_recv.iter().enumerate() {
+            if leaves.is_empty() {
+                continue;
+            }
+            let data = self
+                .comm
+                .recv_checked(self.members[peer_slot], TAG_HALO)?
+                .into_c64();
+            assert_eq!(data.len(), width * leaves.len() * LEAF_PIXELS);
+            for (col, halo) in x_halos.iter_mut().enumerate() {
+                let base = col * leaves.len() * LEAF_PIXELS;
+                for (i, &leaf) in leaves.iter().enumerate() {
+                    let mut block = vec![C64::ZERO; LEAF_PIXELS];
+                    let lo = base + i * LEAF_PIXELS;
+                    unpack_into(&data[lo..lo + LEAF_PIXELS], &mut block);
+                    halo.push((leaf, block));
+                }
+            }
+        }
+        for halo in &mut x_halos {
+            halo.sort_by_key(|(leaf, _)| *leaf);
+        }
+        for (col, (x_local, y_local)) in xs_local.iter().zip(ys_local.iter_mut()).enumerate() {
+            let x_halo = &x_halos[col];
+            let leaf_block = |leaf: usize| -> Option<&[C64]> {
+                let range = &self.part.pixel_range;
+                let off = leaf * LEAF_PIXELS;
+                if off >= range.start && off < range.end {
+                    Some(&x_local[off - range.start..off - range.start + LEAF_PIXELS])
+                } else {
+                    x_halo
+                        .binary_search_by_key(&leaf, |(l, _)| *l)
+                        .ok()
+                        .map(|i| x_halo[i].1.as_slice())
+                }
+            };
+            let leaf_range = self.part.leaf_range();
+            for c in leaf_range.clone() {
+                let (ix, iy) = morton_decode(c as u32);
+                let out =
+                    &mut y_local[c * LEAF_PIXELS - px_start..(c + 1) * LEAF_PIXELS - px_start];
+                out.iter_mut().for_each(|v| *v = C64::ZERO);
+                for (sx, sy, off) in plan.tree.near_list(ix as usize, iy as usize) {
+                    let s = morton_encode(sx as u32, sy as u32) as usize;
+                    let block = leaf_block(s).expect("halo covers all near leaves");
+                    let oi = ((off.1 + 1) as usize) * 3 + (off.0 + 1) as usize;
+                    plan.near[oi].matvec_acc(block, out);
+                }
+            }
+        }
+
+        // --- 5. receive fused far-field patterns ---
+        for peer_slot in 0..self.n_slots() {
+            if peer_slot == slot {
+                continue;
+            }
+            let expect_col: usize = (0..n_levels)
+                .map(|li| self.exch.recv[peer_slot][li].len() * plan.levels[li].q)
+                .sum();
+            if expect_col == 0 {
+                continue;
+            }
+            let data = self
+                .comm
+                .recv_checked(self.members[peer_slot], TAG_FARFIELD)?
+                .into_c64();
+            assert_eq!(data.len(), width * expect_col);
+            let mut cursor = 0usize;
+            for outgoing in &mut outgoing_cols {
+                for (li, out_l) in outgoing.iter_mut().enumerate() {
+                    let q = plan.levels[li].q;
+                    for &cl in &self.exch.recv[peer_slot][li] {
+                        unpack_into(&data[cursor..cursor + q], &mut out_l[cl * q..(cl + 1) * q]);
+                        cursor += q;
+                    }
+                }
+            }
+        }
+
+        // --- 6–8. translate, downward pass and leaf receive per column ---
+        for (col, y_local) in ys_local.iter_mut().enumerate() {
+            let outgoing = &outgoing_cols[col];
+            let mut incoming: Vec<Vec<C64>> = plan
+                .levels
+                .iter()
+                .map(|lp| vec![C64::ZERO; lp.n_side * lp.n_side * lp.q])
+                .collect();
+            for (li, lp) in plan.levels.iter().enumerate() {
+                let q = lp.q;
+                for obs in self.part.cluster_ranges[li].clone() {
+                    let (ix, iy) = morton_decode(obs as u32);
+                    let (head, tail) = incoming[li].split_at_mut(obs * q);
+                    let _ = head;
+                    let out = &mut tail[..q];
+                    for (sx, sy, off) in
+                        plan.tree
+                            .interaction_list(lp.level, ix as usize, iy as usize)
+                    {
+                        let s = morton_encode(sx as u32, sy as u32) as usize;
+                        let t = lp.translations[offset_index(off)].as_ref().expect("t");
+                        let src = &outgoing[li][s * q..(s + 1) * q];
+                        for qi in 0..q {
+                            out[qi] = t[qi].mul_add(src[qi], out[qi]);
+                        }
+                    }
+                }
+            }
+            for li in 0..n_levels - 1 {
+                let (up, down) = incoming.split_at_mut(li + 1);
+                let parents = &up[li];
+                let children = &mut down[0];
+                let lp = &plan.levels[li];
+                let q_parent = lp.q;
+                let q_child = plan.levels[li + 1].q;
+                let interp = lp.interp.as_ref().expect("non-leaf");
+                let mut tmp = vec![C64::ZERO; q_parent];
+                for p in self.part.cluster_ranges[li].clone() {
+                    let parent = &parents[p * q_parent..(p + 1) * q_parent];
+                    for pos in 0..4usize {
+                        let shift = &lp.shift_in[pos];
+                        for ((t, g), s) in tmp.iter_mut().zip(parent).zip(shift) {
+                            *t = *g * *s;
+                        }
+                        let ch = 4 * p + pos;
+                        interp.down_add(
+                            &tmp,
+                            lp.anterp_scale,
+                            &mut children[ch * q_child..(ch + 1) * q_child],
+                        );
+                    }
+                }
+            }
+            let lp = plan.leaf_plan();
+            let q = lp.q;
+            let coupling = plan.kernel.coupling;
+            let w = coupling * (1.0 / q as f64);
+            let e = &plan.expansion;
+            let leaf_pat = incoming.last().expect("non-empty");
+            let mut far = vec![C64::ZERO; LEAF_PIXELS];
+            for c in self.part.leaf_range() {
+                far.iter_mut().for_each(|v| *v = C64::ZERO);
+                e.matvec_adjoint_acc(&leaf_pat[c * q..(c + 1) * q], &mut far);
+                let out =
+                    &mut y_local[c * LEAF_PIXELS - px_start..(c + 1) * LEAF_PIXELS - px_start];
+                for (o, f) in out.iter_mut().zip(&far) {
+                    *o += *f * w;
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Checked variant of [`DistMlfma::apply`]: a dead peer or a message
     /// lost beyond the retry budget surfaces as a typed [`FaultError`]
     /// instead of a panic, letting the rank unwind cleanly.
@@ -436,6 +706,60 @@ mod tests {
             let err = rel_diff(&y, &y_ref);
             assert!(err < 1e-12, "ranks={n_ranks}: err={err:e}");
         }
+    }
+
+    /// The distributed block path must match per-column scalar applies
+    /// bit-for-bit (compute is per-column identical; only messages fuse),
+    /// while sending ~B x fewer messages.
+    #[test]
+    fn block_apply_is_bit_identical_and_fuses_messages() {
+        let domain = Domain::new(64, 1.0);
+        let plan = Arc::new(MlfmaPlan::new(&domain, Accuracy::low()));
+        let n = plan.n_pixels();
+        let width = 3usize;
+        let xs: Vec<Vec<C64>> = (0..width).map(|b| random_x(n, 60 + b as u64)).collect();
+        let n_ranks = 4;
+        let per = n / n_ranks;
+        let mut messages = Vec::new();
+        let mut results: Vec<Vec<Vec<C64>>> = Vec::new();
+        for fused in [true, false] {
+            let plan2 = Arc::clone(&plan);
+            let xs2 = xs.clone();
+            let (slices, handle) = ffw_mpi::run(n_ranks, move |comm| {
+                let members: Vec<usize> = (0..comm.size()).collect();
+                let rank = comm.rank();
+                let eng = DistMlfma::new(&comm, Arc::clone(&plan2), members, true);
+                let lo = rank * per;
+                let mut ys = vec![vec![C64::ZERO; per]; width];
+                if fused {
+                    let refs: Vec<&[C64]> = xs2.iter().map(|x| &x[lo..lo + per]).collect();
+                    eng.try_apply_block(&refs, &mut ys).unwrap();
+                } else {
+                    for (x, y) in xs2.iter().zip(ys.iter_mut()) {
+                        eng.apply(&x[lo..lo + per], y);
+                    }
+                }
+                ys
+            });
+            // reassemble per-column full vectors
+            let mut cols = vec![Vec::new(); width];
+            for rank_ys in slices {
+                for (c, y) in rank_ys.into_iter().enumerate() {
+                    cols[c].extend(y);
+                }
+            }
+            results.push(cols);
+            messages.push(handle.stats().total_messages());
+        }
+        for (c, (a, b)) in results[0].iter().zip(&results[1]).enumerate() {
+            assert_eq!(a, b, "column {c} differs between fused and scalar");
+        }
+        assert!(
+            messages[0] < messages[1],
+            "fused panel must reduce handshakes: {} vs {}",
+            messages[0],
+            messages[1]
+        );
     }
 
     #[test]

@@ -38,7 +38,7 @@
 
 use crate::engine::DistMlfma;
 use crate::solver::{
-    try_allreduce_scalars, try_dist_bicgstab, DistAdjointScatteringOp, DistScatteringOp,
+    try_allreduce_scalars, try_dist_bicgstab_block, DistAdjointScatteringOp, DistScatteringOp,
 };
 use ffw_fault::{Checkpoint, Fingerprint};
 use ffw_inverse::{DbimConfig, ImagingSetup};
@@ -545,28 +545,45 @@ fn ft_rank(
         .map(|&t| norm2_sqr(&measured[t]))
         .sum();
 
-    let compute_residuals =
-        |object: &[C64], fields: &mut [Vec<C64>]| -> Result<(Vec<Vec<C64>>, f64), FaultError> {
-            let mut residuals = Vec::with_capacity(my_txs.len());
-            let mut cost_local = 0.0f64;
-            for (i, &t) in my_txs.iter().enumerate() {
-                if !cfg.warm_start {
-                    fields[i].iter_mut().for_each(|v| *v = C64::ZERO);
+    // Each group batches its local transmitters: every chunk of `batch`
+    // systems shares one lockstep multi-RHS solve (fused matvec traversals,
+    // fused reductions) and one fused receiver-data allreduce. Per-column
+    // arithmetic order is unchanged, so the reconstruction is bit-identical
+    // at every batch width.
+    let batch = cfg.batch.unwrap_or_else(|| my_txs.len().min(8)).max(1);
+    let n_rx = setup.n_rx();
+
+    let compute_residuals = |object: &[C64],
+                             fields: &mut [Vec<C64>]|
+     -> Result<(Vec<Vec<C64>>, f64), FaultError> {
+        let mut residuals = Vec::with_capacity(my_txs.len());
+        let mut cost_local = 0.0f64;
+        let a = DistScatteringOp {
+            g0: &g0,
+            object_local: object,
+        };
+        for (chunk_idx, chunk) in my_txs.chunks(batch).enumerate() {
+            let lo = chunk_idx * batch;
+            let fields_chunk = &mut fields[lo..lo + chunk.len()];
+            if !cfg.warm_start {
+                for f in fields_chunk.iter_mut() {
+                    f.iter_mut().for_each(|v| *v = C64::ZERO);
                 }
-                let a = DistScatteringOp {
-                    g0: &g0,
-                    object_local: object,
-                };
-                let inc = &setup.incident(t)[cols.clone()];
-                try_dist_bicgstab(&a, comm, &group_members, inc, &mut fields[i], cfg.forward)?;
-                let w: Vec<C64> = object
-                    .iter()
-                    .zip(&fields[i])
-                    .map(|(o, p)| *o * *p)
-                    .collect();
-                let mut r = vec![C64::ZERO; setup.n_rx()];
-                setup.gr_apply_cols(cols.clone(), &w, &mut r);
-                try_allreduce_scalars(comm, &group_members, &mut r)?;
+            }
+            let incs: Vec<&[C64]> = chunk
+                .iter()
+                .map(|&t| &setup.incident(t)[cols.clone()])
+                .collect();
+            try_dist_bicgstab_block(&a, comm, &group_members, &incs, fields_chunk, cfg.forward)?;
+            // the whole chunk's receiver data rides in one allreduce
+            let mut rs = vec![C64::ZERO; chunk.len() * n_rx];
+            for (k, f) in fields_chunk.iter().enumerate() {
+                let w: Vec<C64> = object.iter().zip(f).map(|(o, p)| *o * *p).collect();
+                setup.gr_apply_cols(cols.clone(), &w, &mut rs[k * n_rx..(k + 1) * n_rx]);
+            }
+            try_allreduce_scalars(comm, &group_members, &mut rs)?;
+            for (k, &t) in chunk.iter().enumerate() {
+                let mut r = rs[k * n_rx..(k + 1) * n_rx].to_vec();
                 for (ri, mi) in r.iter_mut().zip(&measured[t]) {
                     *ri -= *mi;
                 }
@@ -575,37 +592,54 @@ fn ft_rank(
                 }
                 residuals.push(r);
             }
-            let mut c = [c64(cost_local, 0.0)];
-            try_allreduce_scalars(comm, &all_members, &mut c)?;
-            Ok((residuals, c[0].re))
-        };
+        }
+        let mut c = [c64(cost_local, 0.0)];
+        try_allreduce_scalars(comm, &all_members, &mut c)?;
+        Ok((residuals, c[0].re))
+    };
 
     for it in start_iter..cfg.iterations {
         // --- pass 1: fields + residuals ---
         let (residuals, cost) = compute_residuals(&object, &mut fields)?;
         residual_history.push((cost / measured_norm_sqr).sqrt());
 
-        // --- pass 2: gradient ---
+        // --- pass 2: gradient (adjoint solves batched per chunk) ---
         let mut grad = vec![C64::ZERO; n_local];
-        let mut y = vec![C64::ZERO; n_local];
-        let mut g0hz = vec![C64::ZERO; n_local];
-        for (i, _t) in my_txs.iter().enumerate() {
-            setup.gr_adjoint_apply_cols(cols.clone(), &residuals[i], &mut y);
-            let rhs: Vec<C64> = object
-                .iter()
-                .zip(&y)
-                .map(|(o, yi)| o.conj() * *yi)
-                .collect();
-            let mut z = vec![C64::ZERO; n_local];
+        for (chunk_idx, chunk) in my_txs.chunks(batch).enumerate() {
+            let lo = chunk_idx * batch;
+            let mut ys: Vec<Vec<C64>> = Vec::with_capacity(chunk.len());
+            let mut rhss: Vec<Vec<C64>> = Vec::with_capacity(chunk.len());
+            for k in 0..chunk.len() {
+                let mut y = vec![C64::ZERO; n_local];
+                setup.gr_adjoint_apply_cols(cols.clone(), &residuals[lo + k], &mut y);
+                rhss.push(
+                    object
+                        .iter()
+                        .zip(&y)
+                        .map(|(o, yi)| o.conj() * *yi)
+                        .collect(),
+                );
+                ys.push(y);
+            }
+            let rhs_refs: Vec<&[C64]> = rhss.iter().map(|v| v.as_slice()).collect();
+            let mut zs = vec![vec![C64::ZERO; n_local]; chunk.len()];
             let ah = DistAdjointScatteringOp {
                 g0: &g0,
                 object_local: &object,
             };
-            try_dist_bicgstab(&ah, comm, &group_members, &rhs, &mut z, cfg.forward)?;
-            let zc: Vec<C64> = z.iter().map(|v| v.conj()).collect();
-            g0.try_apply(&zc, &mut g0hz)?;
-            for j in 0..n_local {
-                grad[j] += fields[i][j].conj() * (y[j] + g0hz[j].conj());
+            try_dist_bicgstab_block(&ah, comm, &group_members, &rhs_refs, &mut zs, cfg.forward)?;
+            let zcs: Vec<Vec<C64>> = zs
+                .iter()
+                .map(|z| z.iter().map(|v| v.conj()).collect())
+                .collect();
+            let zc_refs: Vec<&[C64]> = zcs.iter().map(|v| v.as_slice()).collect();
+            let mut g0hzs = vec![vec![C64::ZERO; n_local]; chunk.len()];
+            g0.try_apply_block(&zc_refs, &mut g0hzs)?;
+            for k in 0..chunk.len() {
+                let i = lo + k;
+                for j in 0..n_local {
+                    grad[j] += fields[i][j].conj() * (ys[k][j] + g0hzs[k][j].conj());
+                }
             }
         }
         try_allreduce_scalars(comm, &slot_siblings, &mut grad)?;
@@ -641,34 +675,42 @@ fn ft_rank(
         }
         grad_prev.copy_from_slice(&grad);
 
-        // --- pass 3: step size ---
+        // --- pass 3: step size (forward solves batched per chunk) ---
         let mut num_local = 0.0f64;
         let mut den_local = 0.0f64;
-        let mut w = vec![C64::ZERO; n_local];
-        let mut g0w = vec![C64::ZERO; n_local];
-        for (i, _t) in my_txs.iter().enumerate() {
-            for j in 0..n_local {
-                w[j] = fields[i][j] * dir[j];
-            }
-            g0.try_apply(&w, &mut g0w)?;
-            let mut u = vec![C64::ZERO; n_local];
+        for (chunk_idx, chunk) in my_txs.chunks(batch).enumerate() {
+            let lo = chunk_idx * batch;
+            let ws: Vec<Vec<C64>> = (0..chunk.len())
+                .map(|k| (0..n_local).map(|j| fields[lo + k][j] * dir[j]).collect())
+                .collect();
+            let w_refs: Vec<&[C64]> = ws.iter().map(|v| v.as_slice()).collect();
+            let mut g0ws = vec![vec![C64::ZERO; n_local]; chunk.len()];
+            g0.try_apply_block(&w_refs, &mut g0ws)?;
+            let g0w_refs: Vec<&[C64]> = g0ws.iter().map(|v| v.as_slice()).collect();
+            let mut us = vec![vec![C64::ZERO; n_local]; chunk.len()];
             let a = DistScatteringOp {
                 g0: &g0,
                 object_local: &object,
             };
-            try_dist_bicgstab(&a, comm, &group_members, &g0w, &mut u, cfg.forward)?;
-            let src: Vec<C64> = w
-                .iter()
-                .zip(&u)
-                .zip(&object)
-                .map(|((wi, ui), oi)| *wi + *oi * *ui)
-                .collect();
-            let mut fd = vec![C64::ZERO; setup.n_rx()];
-            setup.gr_apply_cols(cols.clone(), &src, &mut fd);
-            try_allreduce_scalars(comm, &group_members, &mut fd)?;
+            try_dist_bicgstab_block(&a, comm, &group_members, &g0w_refs, &mut us, cfg.forward)?;
+            // fused receiver-data allreduce for the whole chunk
+            let mut fds = vec![C64::ZERO; chunk.len() * n_rx];
+            for k in 0..chunk.len() {
+                let src: Vec<C64> = ws[k]
+                    .iter()
+                    .zip(&us[k])
+                    .zip(&object)
+                    .map(|((wi, ui), oi)| *wi + *oi * *ui)
+                    .collect();
+                setup.gr_apply_cols(cols.clone(), &src, &mut fds[k * n_rx..(k + 1) * n_rx]);
+            }
+            try_allreduce_scalars(comm, &group_members, &mut fds)?;
             if slot == 0 {
-                num_local -= zdotc(&fd, &residuals[i]).re;
-                den_local += norm2_sqr(&fd);
+                for k in 0..chunk.len() {
+                    let fd = &fds[k * n_rx..(k + 1) * n_rx];
+                    num_local -= zdotc(fd, &residuals[lo + k]).re;
+                    den_local += norm2_sqr(fd);
+                }
             }
         }
         let mut nd = [c64(num_local, 0.0), c64(den_local, 0.0)];

@@ -109,6 +109,21 @@ pub trait DistOp {
         self.apply_local(x_local, y_local);
         Ok(())
     }
+    /// Checked block apply: `ys[b] = (A xs[b])_local` for a panel of `B`
+    /// columns. The default loops the scalar path (trivially bit-identical
+    /// per column); operators over a [`DistMlfma`] override it to fuse the
+    /// panel's communication into one message per peer.
+    fn try_apply_block_local(
+        &self,
+        xs_local: &[&[C64]],
+        ys_local: &mut [Vec<C64>],
+    ) -> Result<(), FaultError> {
+        assert_eq!(xs_local.len(), ys_local.len(), "block width mismatch");
+        for (x, y) in xs_local.iter().zip(ys_local.iter_mut()) {
+            self.try_apply_local(x, y)?;
+        }
+        Ok(())
+    }
 }
 
 /// Distributed `A = I - G0 diag(O)` over a [`DistMlfma`].
@@ -134,9 +149,36 @@ impl DistOp for DistScatteringOp<'_, '_> {
             .zip(x_local)
             .map(|(o, x)| *o * *x)
             .collect();
-        self.g0.try_apply(&ox, y_local)?;
+        self.g0.try_apply(&ox, y_local)?; // lint:single-rhs-ok the op's scalar building block
         for (y, x) in y_local.iter_mut().zip(x_local) {
             *y = *x - *y;
+        }
+        Ok(())
+    }
+    fn try_apply_block_local(
+        &self,
+        xs_local: &[&[C64]],
+        ys_local: &mut [Vec<C64>],
+    ) -> Result<(), FaultError> {
+        assert_eq!(xs_local.len(), ys_local.len(), "block width mismatch");
+        // Per-column scaling (same op order as the scalar path), one fused
+        // G0 traversal for the whole panel.
+        let oxs: Vec<Vec<C64>> = xs_local
+            .iter()
+            .map(|x| {
+                self.object_local
+                    .iter()
+                    .zip(*x)
+                    .map(|(o, xi)| *o * *xi)
+                    .collect()
+            })
+            .collect();
+        let ox_refs: Vec<&[C64]> = oxs.iter().map(|v| v.as_slice()).collect();
+        self.g0.try_apply_block(&ox_refs, ys_local)?;
+        for (y, x) in ys_local.iter_mut().zip(xs_local) {
+            for (yi, xi) in y.iter_mut().zip(*x) {
+                *yi = *xi - *yi;
+            }
         }
         Ok(())
     }
@@ -160,9 +202,28 @@ impl DistOp for DistAdjointScatteringOp<'_, '_> {
     }
     fn try_apply_local(&self, x_local: &[C64], y_local: &mut [C64]) -> Result<(), FaultError> {
         let xc: Vec<C64> = x_local.iter().map(|v| v.conj()).collect();
-        self.g0.try_apply(&xc, y_local)?;
+        self.g0.try_apply(&xc, y_local)?; // lint:single-rhs-ok the op's scalar building block
         for ((y, x), o) in y_local.iter_mut().zip(x_local).zip(self.object_local) {
             *y = *x - o.conj() * y.conj();
+        }
+        Ok(())
+    }
+    fn try_apply_block_local(
+        &self,
+        xs_local: &[&[C64]],
+        ys_local: &mut [Vec<C64>],
+    ) -> Result<(), FaultError> {
+        assert_eq!(xs_local.len(), ys_local.len(), "block width mismatch");
+        let xcs: Vec<Vec<C64>> = xs_local
+            .iter()
+            .map(|x| x.iter().map(|v| v.conj()).collect())
+            .collect();
+        let xc_refs: Vec<&[C64]> = xcs.iter().map(|v| v.as_slice()).collect();
+        self.g0.try_apply_block(&xc_refs, ys_local)?;
+        for (y, x) in ys_local.iter_mut().zip(xs_local) {
+            for ((yi, xi), o) in y.iter_mut().zip(*x).zip(self.object_local) {
+                *yi = *xi - o.conj() * yi.conj();
+            }
         }
         Ok(())
     }
@@ -181,6 +242,13 @@ impl DistOp for DistG0Op<'_, '_> {
     fn try_apply_local(&self, x_local: &[C64], y_local: &mut [C64]) -> Result<(), FaultError> {
         self.0.try_apply(x_local, y_local)
     }
+    fn try_apply_block_local(
+        &self,
+        xs_local: &[&[C64]],
+        ys_local: &mut [Vec<C64>],
+    ) -> Result<(), FaultError> {
+        self.0.try_apply_block(xs_local, ys_local)
+    }
 }
 
 fn finite_c(v: C64) -> bool {
@@ -197,7 +265,7 @@ enum DistCycleEnd {
 }
 
 #[allow(clippy::too_many_arguments)]
-fn dist_bicgstab_cycle<A: DistOp>(
+fn dist_bicgstab_cycle<A: DistOp + ?Sized>(
     a: &A,
     comm: &Comm,
     members: &[usize],
@@ -369,6 +437,321 @@ pub fn try_dist_bicgstab<A: DistOp>(
             detail,
         }),
     }
+}
+
+/// Fused `dst[c] = A src[c]` over the active columns of a panel, counting
+/// one matvec per column.
+fn block_apply_active<A: DistOp + ?Sized>(
+    a: &A,
+    active: &[usize],
+    src: &[Vec<C64>],
+    dst: &mut [Vec<C64>],
+    matvecs: &mut [usize],
+) -> Result<(), FaultError> {
+    let refs: Vec<&[C64]> = active.iter().map(|&c| src[c].as_slice()).collect();
+    let mut outs: Vec<Vec<C64>> = active
+        .iter()
+        .map(|&c| std::mem::take(&mut dst[c]))
+        .collect();
+    let result = a.try_apply_block_local(&refs, &mut outs);
+    for (k, &c) in active.iter().enumerate() {
+        dst[c] = std::mem::take(&mut outs[k]);
+        matvecs[c] += 1;
+    }
+    result
+}
+
+/// Batched distributed BiCGStab: iterates `B` right-hand sides in lockstep,
+/// so every matvec is a fused [`DistOp::try_apply_block_local`] over the
+/// still-active columns and every inner product for the panel rides in ONE
+/// allreduce instead of `B` — this is the paper's message-fusion idea
+/// extended along the illumination dimension.
+///
+/// Per-column arithmetic follows [`try_dist_bicgstab`]'s exact op order and
+/// never mixes columns, so each column's trajectory (iterates, residuals,
+/// stats) is bit-identical to a scalar solve of that column alone. Converged
+/// or broken-down columns are frozen out of subsequent fused applies; every
+/// freeze decision is made from *reduced* scalars, which are bit-identical on
+/// all member ranks, so ranks narrow the active set identically and stay in
+/// lockstep. Columns that break down are retried once from their last finite
+/// iterate after the lockstep sweep (matching [`try_dist_bicgstab`]'s
+/// `max_restarts = 1`); an exhausted column surfaces
+/// [`FaultError::KrylovBreakdown`], a communication failure aborts the whole
+/// batch with the originating error.
+pub fn try_dist_bicgstab_block<A: DistOp + ?Sized>(
+    a: &A,
+    comm: &Comm,
+    members: &[usize],
+    bs: &[&[C64]],
+    xs: &mut [Vec<C64>],
+    cfg: IterConfig,
+) -> Result<Vec<SolveStats>, FaultError> {
+    let width = bs.len();
+    assert_eq!(xs.len(), width, "bs/xs width mismatch");
+    if width == 0 {
+        return Ok(Vec::new());
+    }
+    let n = bs[0].len();
+    for (b, x) in bs.iter().zip(xs.iter()) {
+        assert_eq!(b.len(), n, "ragged right-hand sides");
+        assert_eq!(x.len(), n, "ragged initial guesses");
+    }
+
+    // One fused reduction for all B norms (the scalar path pays B messages).
+    let mut b_sqr: Vec<C64> = bs.iter().map(|b| c64(norm2_sqr(b), 0.0)).collect();
+    try_allreduce_scalars(comm, members, &mut b_sqr)?;
+    let b_norm: Vec<f64> = b_sqr.iter().map(|v| v.re.sqrt()).collect();
+
+    let mut stats: Vec<SolveStats> = vec![
+        SolveStats {
+            iterations: 0,
+            matvecs: 0,
+            rel_residual: 0.0,
+            converged: true,
+        };
+        width
+    ];
+    let mut iters = vec![0usize; width];
+    let mut matvecs = vec![0usize; width];
+    let mut res = vec![0f64; width];
+    // Columns that broke down in the lockstep sweep, retried afterwards.
+    let mut broken: Vec<(usize, String)> = Vec::new();
+
+    let mut active: Vec<usize> = Vec::new();
+    for c in 0..width {
+        if b_norm[c] == 0.0 {
+            // zero RHS short-circuits exactly like the scalar path
+            xs[c].iter_mut().for_each(|v| *v = C64::ZERO);
+        } else {
+            active.push(c);
+        }
+    }
+
+    let mut r = vec![vec![C64::ZERO; n]; width];
+    let mut r_hat = vec![Vec::new(); width];
+    let mut v = vec![vec![C64::ZERO; n]; width];
+    let mut p = vec![vec![C64::ZERO; n]; width];
+    let mut s = vec![vec![C64::ZERO; n]; width];
+    let mut t = vec![vec![C64::ZERO; n]; width];
+    let mut x_prev = vec![vec![C64::ZERO; n]; width];
+    let mut rho = vec![C64::ONE; width];
+    let mut rho_next = vec![C64::ONE; width];
+    let mut alpha = vec![C64::ONE; width];
+    let mut omega = vec![C64::ONE; width];
+
+    if !active.is_empty() {
+        // r = b - A x, one fused traversal for the panel
+        block_apply_active(a, &active, &*xs, &mut r, &mut matvecs)?;
+        for &c in &active {
+            for (ri, bi) in r[c].iter_mut().zip(bs[c]) {
+                *ri = *bi - *ri;
+            }
+            r_hat[c] = r[c].clone();
+        }
+        let mut rn: Vec<C64> = active.iter().map(|&c| c64(norm2_sqr(&r[c]), 0.0)).collect();
+        try_allreduce_scalars(comm, members, &mut rn)?;
+        let mut survivors = Vec::with_capacity(active.len());
+        for (k, &c) in active.iter().enumerate() {
+            res[c] = rn[k].re.sqrt() / b_norm[c];
+            if !res[c].is_finite() {
+                res[c] = f64::NAN;
+                broken.push((c, "initial residual is not finite".into()));
+            } else if res[c] < cfg.tol {
+                stats[c] = SolveStats {
+                    iterations: 0,
+                    matvecs: matvecs[c],
+                    rel_residual: res[c],
+                    converged: true,
+                };
+            } else {
+                survivors.push(c);
+            }
+        }
+        active = survivors;
+    }
+
+    while !active.is_empty() {
+        // budget check (iters is deterministic and identical on every rank)
+        active.retain(|&c| {
+            if iters[c] >= cfg.max_iters {
+                stats[c] = SolveStats {
+                    iterations: iters[c],
+                    matvecs: matvecs[c],
+                    rel_residual: res[c],
+                    converged: false,
+                };
+                false
+            } else {
+                true
+            }
+        });
+        if active.is_empty() {
+            break;
+        }
+
+        // phase 1: rho = <r_hat, r>, one fused reduction for the panel
+        let mut dots: Vec<C64> = active.iter().map(|&c| zdotc(&r_hat[c], &r[c])).collect();
+        try_allreduce_scalars(comm, members, &mut dots)?;
+        let mut survivors = Vec::with_capacity(active.len());
+        for (k, &c) in active.iter().enumerate() {
+            let rho_new = dots[k];
+            if !finite_c(rho_new) {
+                broken.push((c, "rho inner product is not finite".into()));
+                continue;
+            }
+            if rho_new.abs() < 1e-300 {
+                broken.push((c, "rho underflow".into()));
+                continue;
+            }
+            iters[c] += 1;
+            let beta = (rho_new / rho[c]) * (alpha[c] / omega[c]);
+            for i in 0..n {
+                p[c][i] = r[c][i] + beta * (p[c][i] - omega[c] * v[c][i]);
+            }
+            rho_next[c] = rho_new;
+            survivors.push(c);
+        }
+        active = survivors;
+        if active.is_empty() {
+            break;
+        }
+
+        block_apply_active(a, &active, &p, &mut v, &mut matvecs)?;
+        // phase 2: alpha and the early s-norm exit
+        let mut dots: Vec<C64> = active.iter().map(|&c| zdotc(&r_hat[c], &v[c])).collect();
+        try_allreduce_scalars(comm, members, &mut dots)?;
+        for (k, &c) in active.iter().enumerate() {
+            alpha[c] = rho_next[c] / dots[k];
+            for i in 0..n {
+                s[c][i] = r[c][i] - alpha[c] * v[c][i];
+            }
+        }
+        let mut sn: Vec<C64> = active.iter().map(|&c| c64(norm2_sqr(&s[c]), 0.0)).collect();
+        try_allreduce_scalars(comm, members, &mut sn)?;
+        let mut survivors = Vec::with_capacity(active.len());
+        for (k, &c) in active.iter().enumerate() {
+            let s_norm = sn[k].re.sqrt() / b_norm[c];
+            if s_norm < cfg.tol {
+                for i in 0..n {
+                    xs[c][i] += alpha[c] * p[c][i];
+                }
+                stats[c] = SolveStats {
+                    iterations: iters[c],
+                    matvecs: matvecs[c],
+                    rel_residual: s_norm,
+                    converged: true,
+                };
+            } else {
+                survivors.push(c);
+            }
+        }
+        active = survivors;
+        if active.is_empty() {
+            break;
+        }
+
+        block_apply_active(a, &active, &s, &mut t, &mut matvecs)?;
+        // phase 3: omega, the x/r update and the residual check — the two
+        // omega dots for every column ride in one reduction
+        let mut dots: Vec<C64> = Vec::with_capacity(2 * active.len());
+        for &c in &active {
+            dots.push(zdotc(&t[c], &s[c]));
+            dots.push(zdotc(&t[c], &t[c]));
+        }
+        try_allreduce_scalars(comm, members, &mut dots)?;
+        for (k, &c) in active.iter().enumerate() {
+            omega[c] = dots[2 * k] / dots[2 * k + 1];
+            x_prev[c].copy_from_slice(&xs[c]);
+            for i in 0..n {
+                xs[c][i] += alpha[c] * p[c][i] + omega[c] * s[c][i];
+                r[c][i] = s[c][i] - omega[c] * t[c][i];
+            }
+        }
+        let mut rn: Vec<C64> = active.iter().map(|&c| c64(norm2_sqr(&r[c]), 0.0)).collect();
+        try_allreduce_scalars(comm, members, &mut rn)?;
+        let mut survivors = Vec::with_capacity(active.len());
+        for (k, &c) in active.iter().enumerate() {
+            let res_new = rn[k].re.sqrt() / b_norm[c];
+            if !res_new.is_finite() {
+                // roll back to the last finite iterate, keep the old res
+                xs[c].copy_from_slice(&x_prev[c]);
+                broken.push((c, "residual became non-finite".into()));
+                continue;
+            }
+            res[c] = res_new;
+            if res_new < cfg.tol {
+                stats[c] = SolveStats {
+                    iterations: iters[c],
+                    matvecs: matvecs[c],
+                    rel_residual: res_new,
+                    converged: true,
+                };
+            } else {
+                rho[c] = rho_next[c];
+                survivors.push(c);
+            }
+        }
+        active = survivors;
+    }
+
+    // Broken columns retry once from the last finite iterate, exactly like
+    // try_dist_bicgstab (max_restarts = 1). Every rank derived `broken` from
+    // the same reduced scalars, so the per-column cycles below stay
+    // collective across the communicator.
+    broken.sort_by_key(|a| a.0);
+    for (c, mut detail) in broken {
+        let mut restarts = 0u32;
+        loop {
+            let x_finite = xs[c].iter().all(|v| finite_c(*v));
+            if !(restarts < 1 && iters[c] < cfg.max_iters && x_finite) {
+                return Err(FaultError::KrylovBreakdown {
+                    rank: comm.rank(),
+                    iterations: iters[c],
+                    rel_residual: res[c],
+                    detail: format!("{detail} ({restarts} restart(s) attempted)"),
+                });
+            }
+            restarts += 1;
+            match dist_bicgstab_cycle(
+                a,
+                comm,
+                members,
+                bs[c],
+                &mut xs[c],
+                cfg,
+                b_norm[c],
+                &mut iters[c],
+                &mut matvecs[c],
+            )? {
+                DistCycleEnd::Converged(r2) => {
+                    stats[c] = SolveStats {
+                        iterations: iters[c],
+                        matvecs: matvecs[c],
+                        rel_residual: r2,
+                        converged: true,
+                    };
+                    break;
+                }
+                DistCycleEnd::MaxIters(r2) => {
+                    stats[c] = SolveStats {
+                        iterations: iters[c],
+                        matvecs: matvecs[c],
+                        rel_residual: r2,
+                        converged: false,
+                    };
+                    break;
+                }
+                DistCycleEnd::Breakdown {
+                    res: r2,
+                    detail: d2,
+                } => {
+                    res[c] = r2;
+                    detail = d2;
+                }
+            }
+        }
+    }
+    Ok(stats)
 }
 
 /// Internal failure of the distributed solve core.
@@ -589,6 +972,73 @@ mod tests {
             y
         });
         assert!(rel_diff(&ys[0], &b) < 1e-7, "{}", rel_diff(&ys[0], &b));
+    }
+
+    /// The batched distributed solver must reproduce the scalar distributed
+    /// solver bit-for-bit per column — iterates AND stats — at width 1 and
+    /// at a width that exercises real lockstep narrowing, including a zero
+    /// right-hand side column riding along.
+    #[test]
+    fn block_solver_bit_identical_to_scalar_per_column() {
+        let domain = Domain::new(32, 1.0);
+        let plan = Arc::new(MlfmaPlan::new(&domain, Accuracy::low()));
+        let n = plan.n_pixels();
+        let object: Vec<C64> = random_x(n, 21).iter().map(|v| v.scale(3.0)).collect();
+        let cfg = ffw_solver::IterConfig {
+            tol: 1e-8,
+            max_iters: 400,
+        };
+        for width in [1usize, 3] {
+            let bs_full: Vec<Vec<C64>> = (0..width)
+                .map(|c| {
+                    if width > 1 && c == 1 {
+                        vec![C64::ZERO; n] // zero column must short-circuit
+                    } else {
+                        random_x(n, 60 + c as u64)
+                    }
+                })
+                .collect();
+            let n_ranks = 2;
+            let per = n / n_ranks;
+            let plan2 = Arc::clone(&plan);
+            let (obj_ref, bs_ref) = (&object, &bs_full);
+            let (results, _) = ffw_mpi::run(n_ranks, move |comm| {
+                let members: Vec<usize> = (0..comm.size()).collect();
+                let r = comm.rank();
+                let g0 = DistMlfma::new(&comm, Arc::clone(&plan2), members.clone(), true);
+                let a = DistScatteringOp {
+                    g0: &g0,
+                    object_local: &obj_ref[r * per..(r + 1) * per],
+                };
+                let b_locals: Vec<&[C64]> =
+                    bs_ref.iter().map(|b| &b[r * per..(r + 1) * per]).collect();
+                // batched solve
+                let mut xs = vec![vec![C64::ZERO; per]; width];
+                let stats = try_dist_bicgstab_block(&a, &comm, &members, &b_locals, &mut xs, cfg)
+                    .expect("block solve");
+                // scalar reference, one column at a time
+                for (c, b_local) in b_locals.iter().enumerate() {
+                    let mut x1 = vec![C64::ZERO; per];
+                    let s1 = try_dist_bicgstab(&a, &comm, &members, b_local, &mut x1, cfg)
+                        .expect("scalar solve");
+                    assert_eq!(xs[c], x1, "column {c} of width {width} drifted");
+                    assert_eq!(
+                        (stats[c].iterations, stats[c].matvecs, stats[c].converged),
+                        (s1.iterations, s1.matvecs, s1.converged),
+                        "column {c} stats mismatch"
+                    );
+                    assert_eq!(
+                        stats[c].rel_residual.to_bits(),
+                        s1.rel_residual.to_bits(),
+                        "column {c} residual not bit-identical"
+                    );
+                }
+                stats.iter().map(|s| s.converged).collect::<Vec<_>>()
+            });
+            for per_rank in results {
+                assert!(per_rank.iter().all(|&ok| ok), "width {width} not converged");
+            }
+        }
     }
 
     #[test]

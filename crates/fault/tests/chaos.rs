@@ -389,7 +389,11 @@ fn killed_then_resumed_run_is_bit_identical_to_uninterrupted() {
     // lands between the first checkpoint write and run completion.
     let kill_path = ckpt_path("killed");
     let mut killed = false;
-    for crash_op in [600u64, 1200, 2500, 5000, 10_000, 20_000, 40_000] {
+    // Batched forward solves fuse messages, so a full run is only a few
+    // hundred comm ops per rank — probe densely at the low end.
+    for crash_op in [
+        150u64, 250, 400, 600, 1200, 2500, 5000, 10_000, 20_000, 40_000,
+    ] {
         let _ = std::fs::remove_file(&kill_path);
         let mut cfg = ft_cfg();
         cfg.checkpoint = Some(kill_path.clone());

@@ -15,10 +15,10 @@
 use crate::dbim::{dbim, DbimConfig, DbimResult};
 use crate::problem::ImagingSetup;
 use ffw_numerics::C64;
-use ffw_solver::LinOp;
+use ffw_solver::BlockLinOp;
 
 /// One frequency stage of a hop schedule.
-pub struct FrequencyHop<'a, G: LinOp + ?Sized> {
+pub struct FrequencyHop<'a, G: BlockLinOp + ?Sized> {
     /// The imaging setup at this frequency (same grid, different wavelength).
     pub setup: &'a ImagingSetup,
     /// The `G0` operator at this frequency.
@@ -39,7 +39,7 @@ pub struct MultiFreqResult {
 
 /// Runs the hop schedule, lowest frequency first. `base` provides all DBIM
 /// settings except `iterations` and `initial`, which the driver manages.
-pub fn multi_frequency_dbim<G: LinOp + ?Sized>(
+pub fn multi_frequency_dbim<G: BlockLinOp + ?Sized>(
     hops: &[FrequencyHop<'_, G>],
     base: &DbimConfig,
 ) -> MultiFreqResult {

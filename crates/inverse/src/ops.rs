@@ -3,7 +3,7 @@
 
 use ffw_mlfma::MlfmaEngine;
 use ffw_numerics::C64;
-use ffw_solver::LinOp;
+use ffw_solver::{BlockLinOp, LinOp};
 use std::sync::Arc;
 
 /// The MLFMA-accelerated `G0` operator (`O(N)` per apply).
@@ -18,6 +18,13 @@ impl LinOp for MlfmaG0 {
     }
     fn apply(&self, x: &[C64], y: &mut [C64]) {
         self.0.apply(x, y);
+    }
+}
+
+impl BlockLinOp for MlfmaG0 {
+    /// Fused multi-RHS apply: one tree traversal for the whole panel.
+    fn apply_block(&self, xs: &[&[C64]], ys: &mut [Vec<C64>]) {
+        self.0.apply_block(xs, ys);
     }
 }
 

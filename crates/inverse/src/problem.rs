@@ -5,7 +5,7 @@ use ffw_geometry::{Domain, Point2, QuadTree, TransducerArray};
 use ffw_greens::{incident_field, tree_positions, Kernel};
 use ffw_numerics::linalg::Matrix;
 use ffw_numerics::C64;
-use ffw_solver::LinOp;
+use ffw_solver::BlockLinOp;
 
 /// Geometry + precomputed measurement operators for one imaging experiment.
 ///
@@ -119,25 +119,32 @@ impl ImagingSetup {
 /// forward problem on a known object (the inverse crime is avoided in the
 /// experiments by using a different accuracy/discretization for synthesis
 /// where noted). Returns per-transmitter receiver samples.
-pub fn synthesize_measurements<G: LinOp + ?Sized>(
+pub fn synthesize_measurements<G: BlockLinOp + ?Sized>(
     setup: &ImagingSetup,
     g0: &G,
     object: &[C64],
     forward: ffw_solver::IterConfig,
 ) -> Vec<Vec<C64>> {
     let n = setup.n_pixels();
-    let mut out = Vec::with_capacity(setup.n_tx());
-    let mut phi = vec![C64::ZERO; n];
-    for t in 0..setup.n_tx() {
-        phi.iter_mut().for_each(|v| *v = C64::ZERO);
-        let stats = ffw_solver::solve_forward(g0, object, setup.incident(t), &mut phi, forward);
-        assert!(
-            stats.converged,
-            "synthesis forward solve failed for tx {t}: {stats:?}"
-        );
-        let mut rx = vec![C64::ZERO; setup.n_rx()];
-        setup.scattered(object, &phi, &mut rx);
-        out.push(rx);
+    let n_tx = setup.n_tx();
+    let batch = n_tx.clamp(1, 8);
+    let mut out = Vec::with_capacity(n_tx);
+    for t0 in (0..n_tx).step_by(batch) {
+        let t1 = (t0 + batch).min(n_tx);
+        let incs: Vec<&[C64]> = (t0..t1).map(|t| setup.incident(t)).collect();
+        // cold starts: each column solved from zero, as the scalar loop did
+        let mut phis = vec![vec![C64::ZERO; n]; t1 - t0];
+        let stats = ffw_solver::solve_forward_block(g0, object, &incs, &mut phis, forward);
+        for (k, t) in (t0..t1).enumerate() {
+            assert!(
+                stats[k].converged,
+                "synthesis forward solve failed for tx {t}: {:?}",
+                stats[k]
+            );
+            let mut rx = vec![C64::ZERO; setup.n_rx()];
+            setup.scattered(object, &phis[k], &mut rx);
+            out.push(rx);
+        }
     }
     out
 }

@@ -1,0 +1,78 @@
+//! Thread-count invariance of the MLFMA-backed reconstruction.
+//!
+//! The fused multi-RHS traversal dispenses (cluster × rhs) work items to the
+//! pool, and each slot writes a disjoint panel region with per-slot op order
+//! fixed by the plan — so changing the worker count must not change a single
+//! bit of any column, and the whole DBIM reconstruction built on top of it
+//! must be bit-identical at every pool size. A reduction-order bug in the
+//! new block axis (e.g. accumulating across rhs slots in arrival order)
+//! would show up here as a drifting object vector.
+
+use ffw_geometry::{Domain, Point2, TransducerArray};
+use ffw_inverse::{dbim, synthesize_measurements, DbimConfig, ImagingSetup, MlfmaG0};
+use ffw_mlfma::{Accuracy, MlfmaEngine, MlfmaPlan};
+use ffw_par::Pool;
+use ffw_phantom::{object_from_contrast, Cylinder, Phantom};
+use std::sync::Arc;
+
+/// Runs the pinned 32×32 workload with an engine on `threads` workers and
+/// returns the full-precision reconstruction.
+fn reconstruct(threads: usize, batch: Option<usize>) -> ffw_inverse::DbimResult {
+    let domain = Domain::new(32, 1.0);
+    let ring = 2.0 * domain.side();
+    let setup = ImagingSetup::new(
+        domain.clone(),
+        TransducerArray::ring(4, ring),
+        TransducerArray::ring(8, ring),
+    );
+    let plan = Arc::new(MlfmaPlan::new(&domain, Accuracy::default()));
+    let g0 = MlfmaG0(Arc::new(MlfmaEngine::new(
+        plan,
+        Arc::new(Pool::new(threads)),
+    )));
+    let truth = Cylinder {
+        center: Point2::ZERO,
+        radius: 0.25 * domain.side(),
+        contrast: 0.05,
+    };
+    let raster = truth.rasterize(&domain);
+    let object = object_from_contrast(&domain, &setup.tree, &raster);
+    let measured = synthesize_measurements(&setup, &g0, &object, Default::default());
+    let cfg = DbimConfig {
+        iterations: 2,
+        batch,
+        ..Default::default()
+    };
+    dbim(&setup, &g0, &measured, &cfg)
+}
+
+#[test]
+fn reconstruction_is_bit_identical_across_thread_counts() {
+    let base = reconstruct(1, None);
+    for threads in [2usize, 4] {
+        let other = reconstruct(threads, None);
+        assert_eq!(
+            other.object, base.object,
+            "{threads}-thread reconstruction drifted from 1-thread"
+        );
+        assert_eq!(
+            other.final_residual.to_bits(),
+            base.final_residual.to_bits()
+        );
+        assert_eq!(other.forward_solves, base.forward_solves);
+        assert_eq!(other.g0_applies, base.g0_applies);
+    }
+}
+
+#[test]
+fn batched_reconstruction_is_bit_identical_across_thread_counts() {
+    // batch 3 does not divide the transmitter count or any chunk size in
+    // the dispenser, so panel tails and odd (cluster × rhs) splits are hit
+    let base = reconstruct(1, Some(3));
+    let other = reconstruct(4, Some(3));
+    assert_eq!(other.object, base.object, "batched 4-thread drifted");
+    assert_eq!(
+        other.final_residual.to_bits(),
+        base.final_residual.to_bits()
+    );
+}

@@ -10,6 +10,13 @@
 //! many clusters parallelize over clusters, levels with few clusters and many
 //! samples parallelize over samples. Both map onto `ffw_par::Pool` chunk
 //! loops.
+//!
+//! [`MlfmaEngine::apply_block`] additionally folds the paper's illumination
+//! dimension into a single traversal: a panel of `B` right-hand sides shares
+//! one pass over the operators (expansion matrices, translators, near-field
+//! blocks), with chunking over `(cluster x rhs)` slots so levels with few
+//! clusters still saturate the pool. Column-wise arithmetic is identical to
+//! the single-RHS path, so each column is bit-identical to a plain `apply`.
 
 use crate::plan::{offset_index, MlfmaPlan};
 use ffw_geometry::{morton_decode, morton_encode, LEAF_PIXELS};
@@ -40,6 +47,50 @@ impl Workspace {
     }
 }
 
+/// Panel-major scratch for the block (multi-RHS) path. The pattern slot of
+/// `(cluster c, column b)` at a level of width `B` lives at
+/// `(c * B + b) * q .. (c * B + b + 1) * q`: all columns of one cluster are
+/// adjacent, so a fused traversal streams each per-cluster operator once
+/// while sweeping the whole panel (see DESIGN.md "Block data layout").
+struct BlockWorkspace {
+    /// Panel width the buffers are currently sized for (0 = unallocated).
+    width: usize,
+    /// outgoing[li]: radiated patterns, `n_clusters * width * q` per level.
+    outgoing: Vec<Vec<C64>>,
+    /// incoming[li]: translated local patterns, same layout.
+    incoming: Vec<Vec<C64>>,
+    /// Panel-major output fields: slot `(leaf c, column b)` holds that leaf's
+    /// 64 pixels of column `b`; unpacked into per-column vectors at the end.
+    y_panel: Vec<C64>,
+}
+
+impl BlockWorkspace {
+    fn empty() -> Self {
+        BlockWorkspace {
+            width: 0,
+            outgoing: Vec::new(),
+            incoming: Vec::new(),
+            y_panel: Vec::new(),
+        }
+    }
+
+    /// (Re)allocates for panel width `width`. Buffers are kept between
+    /// applies of the same width — the common case inside a batched solve.
+    fn ensure(&mut self, plan: &MlfmaPlan, width: usize) {
+        if self.width == width {
+            return;
+        }
+        let alloc = |li: usize| {
+            let lp = &plan.levels[li];
+            vec![C64::ZERO; lp.n_side * lp.n_side * width * lp.q]
+        };
+        self.outgoing = (0..plan.levels.len()).map(alloc).collect();
+        self.incoming = (0..plan.levels.len()).map(alloc).collect();
+        self.y_panel = vec![C64::ZERO; plan.n_pixels() * width];
+        self.width = width;
+    }
+}
+
 /// Per-apply work model for one MLFMA stage: flops (8 per complex
 /// multiply-add) and bytes of pattern/field data moved. Computed once from
 /// the plan at engine construction, charged to `ffw_obs` counters per apply.
@@ -53,9 +104,14 @@ struct StageCost {
 /// is a handful of relaxed atomic adds, no registry lookups).
 struct ObsHooks {
     applies: ffw_obs::Counter,
+    block_applies: ffw_obs::Counter,
     flops: [ffw_obs::Counter; 4],
     bytes: [ffw_obs::Counter; 4],
     cost: [StageCost; 4],
+    /// Bytes of *operator* data streamed by one traversal, per stage —
+    /// charged once per apply and once per fused block apply, which is where
+    /// the panel path's arithmetic-intensity win shows up in the model.
+    op_bytes: [u64; 4],
 }
 
 const STAGES: [&str; 4] = ["aggregate", "translate", "disaggregate", "near"];
@@ -64,9 +120,11 @@ impl ObsHooks {
     fn new(plan: &MlfmaPlan) -> Self {
         ObsHooks {
             applies: ffw_obs::counter("mlfma.applies"),
+            block_applies: ffw_obs::counter("mlfma.block_applies"),
             flops: STAGES.map(|s| ffw_obs::counter(&format!("mlfma.flops.{s}"))),
             bytes: STAGES.map(|s| ffw_obs::counter(&format!("mlfma.bytes.{s}"))),
             cost: apply_cost(plan),
+            op_bytes: operator_bytes(plan),
         }
     }
 
@@ -77,7 +135,22 @@ impl ObsHooks {
         self.applies.inc();
         for i in 0..4 {
             self.flops[i].add(self.cost[i].flops);
-            self.bytes[i].add(self.cost[i].bytes);
+            self.bytes[i].add(self.cost[i].bytes + self.op_bytes[i]);
+        }
+    }
+
+    /// Charges a `width`-column fused traversal: `mlfma.applies` advances by
+    /// one *per column* (so "applies" stays comparable to the single-RHS
+    /// path), pattern flops/bytes scale with the panel width, but operator
+    /// bytes are charged once — that is the fused path's whole point.
+    #[inline]
+    fn charge_apply_block(&self, width: u64) {
+        self.applies.add(width);
+        self.block_applies.inc();
+        ffw_obs::histogram("mlfma.panel_width").record(width);
+        for i in 0..4 {
+            self.flops[i].add(self.cost[i].flops * width);
+            self.bytes[i].add(self.cost[i].bytes * width + self.op_bytes[i]);
         }
     }
 }
@@ -155,11 +228,73 @@ fn apply_cost(plan: &MlfmaPlan) -> [StageCost; 4] {
     [agg, tra, dis, near]
 }
 
+/// Bytes of *operator* data (expansion matrices, interpolation weights
+/// modeled as one `f64` per output sample per child, shift and translation
+/// diagonals, dense near-field blocks) streamed by one tree traversal.
+///
+/// This is the part of the `B>1` cost model that does *not* scale with the
+/// panel width: a fused `apply_block` reads each operator once for all `B`
+/// columns, while `B` single applies read them `B` times.
+fn operator_bytes(plan: &MlfmaPlan) -> [u64; 4] {
+    const C: u64 = 16; // bytes per C64
+    const W: u64 = 8; // bytes per interpolation weight (f64)
+    let n_levels = plan.levels.len();
+    let leaf = plan.leaf_plan();
+    let n_leaves = (leaf.n_side * leaf.n_side) as u64;
+    let q_leaf = leaf.q as u64;
+    let npx = LEAF_PIXELS as u64;
+
+    // aggregate: leaf expansion matrix per leaf + upward interp/shift ops
+    let mut agg = n_leaves * q_leaf * npx * C;
+    for li in (0..n_levels.saturating_sub(1)).rev() {
+        let lp = &plan.levels[li];
+        let n_parents = (lp.n_side * lp.n_side) as u64;
+        let q_parent = lp.q as u64;
+        agg += n_parents * 4 * q_parent * (W + C);
+    }
+
+    // translate: one diagonal translator per interaction-list entry
+    let mut tra = 0u64;
+    for lp in &plan.levels {
+        let q = lp.q as u64;
+        let mut n_pairs = 0u64;
+        for c in 0..(lp.n_side * lp.n_side) as u32 {
+            let (ix, iy) = morton_decode(c);
+            n_pairs += plan
+                .tree
+                .interaction_list(lp.level, ix as usize, iy as usize)
+                .len() as u64;
+        }
+        tra += n_pairs * q * C;
+    }
+
+    // disaggregate: mirror of the upward pass (shift diag + anterp weights)
+    let mut dis = 0u64;
+    for li in 0..n_levels.saturating_sub(1) {
+        let lp = &plan.levels[li];
+        let n_parents = (lp.n_side * lp.n_side) as u64;
+        let q_parent = lp.q as u64;
+        dis += n_parents * 4 * q_parent * (W + C);
+    }
+
+    // near: adjoint expansion matrix per leaf + 9-ish dense blocks
+    let mut near = n_leaves * q_leaf * npx * C;
+    let leaf_side = plan.tree.clusters_per_side(plan.tree.leaf_level());
+    for iy in 0..leaf_side {
+        for ix in 0..leaf_side {
+            near += plan.tree.near_list(ix, iy).len() as u64 * npx * npx * C;
+        }
+    }
+
+    [agg, tra, dis, near]
+}
+
 /// Reusable MLFMA matvec engine.
 pub struct MlfmaEngine {
     plan: Arc<MlfmaPlan>,
     pool: Arc<Pool>,
     workspace: Mutex<Workspace>,
+    block_ws: Mutex<BlockWorkspace>,
     /// Clusters-per-level threshold below which translation switches from
     /// cluster-parallel to sample-parallel.
     sample_parallel_below: usize,
@@ -176,6 +311,7 @@ impl MlfmaEngine {
             plan,
             pool,
             workspace,
+            block_ws: Mutex::new(BlockWorkspace::empty()),
             sample_parallel_below,
             obs,
         }
@@ -214,6 +350,62 @@ impl MlfmaEngine {
         {
             let _s = ffw_obs::span("near");
             self.receive_and_near(x, &ws.incoming, y);
+        }
+    }
+
+    /// Computes `ys[b] = G0 xs[b]` for a panel of `B` right-hand sides in a
+    /// *single* tree traversal: every expansion matrix, interpolator,
+    /// shift/translation diagonal and near-field block is loaded once and
+    /// applied to all columns of the panel, and the chunk loops dispatch over
+    /// `(cluster x rhs)` slots so even levels with a handful of clusters
+    /// expose `n_clusters * B` units of parallelism.
+    ///
+    /// Column-wise the arithmetic is identical (same operations, in the same
+    /// order) to [`Self::apply`], so each `ys[b]` is bit-identical to a
+    /// single-RHS apply of `xs[b]`. A panel of one delegates to `apply`.
+    pub fn apply_block(&self, xs: &[&[C64]], ys: &mut [Vec<C64>]) {
+        let width = xs.len();
+        assert_eq!(ys.len(), width, "block width mismatch");
+        if width == 0 {
+            return;
+        }
+        if width == 1 {
+            self.apply(xs[0], &mut ys[0]);
+            return;
+        }
+        let n = self.n();
+        for (x, y) in xs.iter().zip(ys.iter()) {
+            assert_eq!(x.len(), n);
+            assert_eq!(y.len(), n);
+        }
+        let _apply = ffw_obs::span("mlfma.apply");
+        self.obs.charge_apply_block(width as u64);
+        let mut ws = self.block_ws.lock();
+        ws.ensure(&self.plan, width);
+        let ws = &mut *ws;
+        {
+            let _s = ffw_obs::span("aggregate");
+            self.aggregate_block(xs, &mut ws.outgoing, width);
+        }
+        {
+            let _s = ffw_obs::span("translate");
+            self.translate_block(&ws.outgoing, &mut ws.incoming, width);
+        }
+        {
+            let _s = ffw_obs::span("disaggregate");
+            self.disaggregate_block(&mut ws.incoming, width);
+        }
+        {
+            let _s = ffw_obs::span("near");
+            self.receive_and_near_block(xs, &ws.incoming, &mut ws.y_panel, width);
+        }
+        // Unpack the panel-major output into the per-column vectors.
+        for (col, y) in ys.iter_mut().enumerate() {
+            for c in 0..n / LEAF_PIXELS {
+                let src = (c * width + col) * LEAF_PIXELS;
+                y[c * LEAF_PIXELS..(c + 1) * LEAF_PIXELS]
+                    .copy_from_slice(&ws.y_panel[src..src + LEAF_PIXELS]);
+            }
         }
     }
 
@@ -396,6 +588,182 @@ impl MlfmaEngine {
                 near[oi].matvec_acc(&x[s * LEAF_PIXELS..(s + 1) * LEAF_PIXELS], out);
             }
         });
+    }
+
+    /// Block aggregation: one slot = one `(cluster, column)` pair, laid out
+    /// panel-major so the chunk loops below get contiguous disjoint windows.
+    fn aggregate_block(&self, xs: &[&[C64]], outgoing: &mut [Vec<C64>], width: usize) {
+        let plan = &self.plan;
+        let n_levels = plan.levels.len();
+        let q_leaf = plan.leaf_plan().q;
+        let expansion = &plan.expansion;
+        // Leaf expansions over (leaf x rhs) slots, 8 slots per task.
+        self.pool
+            .for_each_chunk_mut(&mut outgoing[n_levels - 1], 8 * q_leaf, |start, chunk| {
+                let first_slot = start / q_leaf;
+                for (i, out) in chunk.chunks_mut(q_leaf).enumerate() {
+                    let slot = first_slot + i;
+                    let (c, col) = (slot / width, slot % width);
+                    expansion.matvec(&xs[col][c * LEAF_PIXELS..(c + 1) * LEAF_PIXELS], out);
+                }
+            });
+        // Upward pass over (parent x rhs) slots.
+        for li in (0..n_levels - 1).rev() {
+            let _lvl = ffw_obs::span(format!("L{}", plan.levels[li].level));
+            let (parents, children) = {
+                let (a, b) = outgoing.split_at_mut(li + 1);
+                (&mut a[li], &b[0])
+            };
+            let lp = &plan.levels[li];
+            let q_parent = lp.q;
+            let q_child = plan.levels[li + 1].q;
+            let interp = lp.interp.as_ref().expect("non-leaf has interp");
+            self.pool
+                .for_each_chunk_mut(parents, q_parent, |start, out| {
+                    let slot = start / q_parent;
+                    let (p, col) = (slot / width, slot % width);
+                    let mut tmp = vec![C64::ZERO; q_parent];
+                    for v in out.iter_mut() {
+                        *v = C64::ZERO;
+                    }
+                    for pos in 0..4usize {
+                        let c = 4 * p + pos; // Morton: children contiguous
+                        let coff = (c * width + col) * q_child;
+                        interp.up(&children[coff..coff + q_child], &mut tmp);
+                        let shift = &lp.shift_out[pos];
+                        for ((o, t), s) in out.iter_mut().zip(&tmp).zip(shift) {
+                            *o = t.mul_add(*s, *o);
+                        }
+                    }
+                });
+        }
+    }
+
+    /// Block translation: `(cluster x rhs)` slot parallelism makes the
+    /// sample-parallel fallback unnecessary — even the coarsest level offers
+    /// `n_clusters * B` independent slots.
+    fn translate_block(&self, outgoing: &[Vec<C64>], incoming: &mut [Vec<C64>], width: usize) {
+        let plan = &self.plan;
+        for (li, lp) in plan.levels.iter().enumerate() {
+            let _lvl = ffw_obs::span(format!("L{}", lp.level));
+            let q = lp.q;
+            let src_pat = &outgoing[li];
+            self.pool
+                .for_each_chunk_mut(&mut incoming[li], q, |start, out| {
+                    let slot = start / q;
+                    let (obs, col) = (slot / width, slot % width);
+                    let (ix, iy) = morton_decode(obs as u32);
+                    for v in out.iter_mut() {
+                        *v = C64::ZERO;
+                    }
+                    for (sx, sy, off) in
+                        plan.tree
+                            .interaction_list(lp.level, ix as usize, iy as usize)
+                    {
+                        let s = morton_encode(sx as u32, sy as u32) as usize;
+                        let t = lp.translations[offset_index(off)]
+                            .as_ref()
+                            .expect("translator");
+                        let soff = (s * width + col) * q;
+                        let src = &src_pat[soff..soff + q];
+                        for ((o, tv), sv) in out.iter_mut().zip(t.iter()).zip(src) {
+                            *o = tv.mul_add(*sv, *o);
+                        }
+                    }
+                });
+        }
+    }
+
+    /// Block downward pass: one slot = one `(child cluster, column)` pair.
+    /// This is finer-grained than the scalar path's one-parent-per-task
+    /// split, but computes the same `tmp = parent .* shift` product per
+    /// child, in the same order — per-column results stay bit-identical.
+    fn disaggregate_block(&self, incoming: &mut [Vec<C64>], width: usize) {
+        let plan = &self.plan;
+        let n_levels = plan.levels.len();
+        for li in 0..n_levels - 1 {
+            let _lvl = ffw_obs::span(format!("L{}", plan.levels[li].level));
+            let (parents, children) = {
+                let (a, b) = incoming.split_at_mut(li + 1);
+                (&a[li], &mut b[0])
+            };
+            let lp = &plan.levels[li];
+            let q_parent = lp.q;
+            let q_child = plan.levels[li + 1].q;
+            let interp = lp.interp.as_ref().expect("non-leaf");
+            let anterp_scale = lp.anterp_scale;
+            self.pool
+                .for_each_chunk_mut(children, q_child, |start, child| {
+                    let slot = start / q_child;
+                    let (c, col) = (slot / width, slot % width);
+                    let (p, pos) = (c / 4, c % 4);
+                    let poff = (p * width + col) * q_parent;
+                    let parent = &parents[poff..poff + q_parent];
+                    let mut tmp = vec![C64::ZERO; q_parent];
+                    let shift = &lp.shift_in[pos];
+                    for ((t, g), s) in tmp.iter_mut().zip(parent).zip(shift) {
+                        *t = *g * *s;
+                    }
+                    interp.down_add(&tmp, anterp_scale, child);
+                });
+        }
+    }
+
+    /// Block receive + near field: each work item owns one whole leaf across
+    /// all `B` columns (a contiguous `B * LEAF_PIXELS` panel region), so every
+    /// near-field block is loaded *once* per leaf and swept across the panel
+    /// by [`ffw_numerics::Matrix::matvec_acc_panel`]. This is where the fused
+    /// path's speedup lives — the dense near blocks dominate apply time, and
+    /// the single-accumulator matvec chain they run per column in the scalar
+    /// path is floating-point-latency-bound. Per column the operation order
+    /// (zero, adjoint receive, scale, near blocks in `near_list` order, each
+    /// an `r`-outer `k`-inner fma chain) is unchanged, so columns stay
+    /// bit-identical to `apply`.
+    fn receive_and_near_block(
+        &self,
+        xs: &[&[C64]],
+        incoming: &[Vec<C64>],
+        y_panel: &mut [C64],
+        width: usize,
+    ) {
+        let plan = &self.plan;
+        let leaf_pat = incoming.last().expect("non-empty");
+        let q = plan.leaf_plan().q;
+        let coupling = plan.kernel.coupling;
+        let inv_q = 1.0 / q as f64;
+        let expansion = &plan.expansion;
+        let near = &plan.near;
+        self.pool
+            .for_each_chunk_mut(y_panel, width * LEAF_PIXELS, |start, out| {
+                let c = start / (width * LEAF_PIXELS);
+                let (ix, iy) = morton_decode(c as u32);
+                for v in out.iter_mut() {
+                    *v = C64::ZERO;
+                }
+                // Far-field receive, column by column (small q x 64 adjoint).
+                let w = coupling * inv_q;
+                for col in 0..width {
+                    let ocol = &mut out[col * LEAF_PIXELS..(col + 1) * LEAF_PIXELS];
+                    let poff = (c * width + col) * q;
+                    expansion.matvec_adjoint_acc(&leaf_pat[poff..poff + q], ocol);
+                    for v in ocol.iter_mut() {
+                        *v *= w;
+                    }
+                }
+                // Near field: 9-ish dense blocks, each applied to the whole
+                // panel in one pass over its rows.
+                let mut srcs: Vec<&[C64]> = Vec::with_capacity(width);
+                for (sx, sy, off) in plan.tree.near_list(ix as usize, iy as usize) {
+                    let s = morton_encode(sx as u32, sy as u32) as usize;
+                    let oi = near_offset_index(off);
+                    srcs.clear();
+                    srcs.extend(
+                        xs.iter()
+                            .map(|x| &x[s * LEAF_PIXELS..(s + 1) * LEAF_PIXELS]),
+                    );
+                    near[oi].matvec_acc_panel(&srcs, out);
+                }
+            });
     }
 }
 

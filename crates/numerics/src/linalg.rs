@@ -103,6 +103,171 @@ impl Matrix {
         }
     }
 
+    /// `ys[b] += A xs[b]` for a panel of inputs, with the output panel
+    /// column-blocked: column `b` occupies `ys[b * rows .. (b+1) * rows]`.
+    ///
+    /// The inputs are first packed into split re/im planes laid out
+    /// column-adjacent (`plane[k * width + b]`), so the per-row sweep updates
+    /// `W` independent accumulator lanes with contiguous loads — plain
+    /// elementwise `f64` arithmetic the compiler vectorizes across the panel,
+    /// something the one-column `matvec_acc` chain can never expose. Per
+    /// column the expression evaluated each step is exactly
+    /// [`C64::mul_add`]'s (`a.re*x.re - a.im*x.im + acc.re`, same
+    /// association), the `k` order is the same, and the final single add into
+    /// `y` is the same — so every column of the panel is bit-identical to
+    /// its own `matvec_acc`.
+    pub fn matvec_acc_panel(&self, xs: &[&[C64]], ys: &mut [C64]) {
+        let width = xs.len();
+        assert_eq!(ys.len(), self.rows * width);
+        for x in xs {
+            assert_eq!(x.len(), self.cols);
+        }
+        // Pack: O(cols * width) against the O(rows * cols * width) sweep.
+        let mut xre = vec![0.0f64; self.cols * width];
+        let mut xim = vec![0.0f64; self.cols * width];
+        for (b, x) in xs.iter().enumerate() {
+            for (k, v) in x.iter().enumerate() {
+                xre[k * width + b] = v.re;
+                xim[k * width + b] = v.im;
+            }
+        }
+        #[cfg(target_arch = "x86_64")]
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: guarded by the runtime AVX2 check above.
+            unsafe { self.panel_sweep_avx2(&xre, &xim, width, ys) };
+            return;
+        }
+        self.panel_sweep_scalar(&xre, &xim, width, 0, ys);
+    }
+
+    /// Portable lane sweep of [`Self::matvec_acc_panel`], from column `col`
+    /// to the end of the panel.
+    fn panel_sweep_scalar(
+        &self,
+        xre: &[f64],
+        xim: &[f64],
+        width: usize,
+        col: usize,
+        ys: &mut [C64],
+    ) {
+        let rows = self.rows;
+        for b in col..width {
+            for r in 0..rows {
+                let row = self.row(r);
+                let mut acc_re = 0.0f64;
+                let mut acc_im = 0.0f64;
+                for (k, a) in row.iter().enumerate() {
+                    let vr = xre[k * width + b];
+                    let vi = xim[k * width + b];
+                    acc_re += a.re * vr - a.im * vi;
+                    acc_im += a.re * vi + a.im * vr;
+                }
+                let y = &mut ys[b * rows + r];
+                y.re += acc_re;
+                y.im += acc_im;
+            }
+        }
+    }
+
+    /// AVX2 lane sweep: 8 columns per pass (four 4-wide accumulator chains
+    /// per output row — enough independent chains to hide the add latency
+    /// that serializes the one-column path), then a 4-wide pass, then scalar
+    /// remainder lanes. Every vector op is an elementwise IEEE mul/sub/add in
+    /// the exact association of [`C64::mul_add`] — no fma contraction — so
+    /// each lane is bit-identical to the scalar sweep.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    // SAFETY: caller must ensure AVX2 is available (runtime-detected at the
+    // single call site); all pointer arithmetic is bounds-justified below.
+    unsafe fn panel_sweep_avx2(&self, xre: &[f64], xim: &[f64], width: usize, ys: &mut [C64]) {
+        use std::arch::x86_64::*;
+        let rows = self.rows;
+        let mut col = 0;
+        // SAFETY (whole body): lane loads below read `xre/xim[k*width+col ..
+        // +4/+8]` with `k < cols`, in bounds of the `cols * width` planes;
+        // `ys` stores index `(col+j) * rows + r` with `col+j < width`,
+        // `r < rows`, in bounds of the `rows * width` panel.
+        while col + 8 <= width {
+            for r in 0..rows {
+                let row = self.row(r);
+                let mut re0 = _mm256_setzero_pd();
+                let mut im0 = _mm256_setzero_pd();
+                let mut re1 = _mm256_setzero_pd();
+                let mut im1 = _mm256_setzero_pd();
+                for (k, a) in row.iter().enumerate() {
+                    let base = k * width + col;
+                    let are = _mm256_set1_pd(a.re);
+                    let aim = _mm256_set1_pd(a.im);
+                    let vr0 = _mm256_loadu_pd(xre.as_ptr().add(base));
+                    let vi0 = _mm256_loadu_pd(xim.as_ptr().add(base));
+                    let vr1 = _mm256_loadu_pd(xre.as_ptr().add(base + 4));
+                    let vi1 = _mm256_loadu_pd(xim.as_ptr().add(base + 4));
+                    re0 = _mm256_add_pd(
+                        _mm256_sub_pd(_mm256_mul_pd(are, vr0), _mm256_mul_pd(aim, vi0)),
+                        re0,
+                    );
+                    im0 = _mm256_add_pd(
+                        _mm256_add_pd(_mm256_mul_pd(are, vi0), _mm256_mul_pd(aim, vr0)),
+                        im0,
+                    );
+                    re1 = _mm256_add_pd(
+                        _mm256_sub_pd(_mm256_mul_pd(are, vr1), _mm256_mul_pd(aim, vi1)),
+                        re1,
+                    );
+                    im1 = _mm256_add_pd(
+                        _mm256_add_pd(_mm256_mul_pd(are, vi1), _mm256_mul_pd(aim, vr1)),
+                        im1,
+                    );
+                }
+                let mut lre = [0.0f64; 8];
+                let mut lim = [0.0f64; 8];
+                _mm256_storeu_pd(lre.as_mut_ptr(), re0);
+                _mm256_storeu_pd(lre.as_mut_ptr().add(4), re1);
+                _mm256_storeu_pd(lim.as_mut_ptr(), im0);
+                _mm256_storeu_pd(lim.as_mut_ptr().add(4), im1);
+                for j in 0..8 {
+                    let y = &mut ys[(col + j) * rows + r];
+                    y.re += lre[j];
+                    y.im += lim[j];
+                }
+            }
+            col += 8;
+        }
+        while col + 4 <= width {
+            for r in 0..rows {
+                let row = self.row(r);
+                let mut re0 = _mm256_setzero_pd();
+                let mut im0 = _mm256_setzero_pd();
+                for (k, a) in row.iter().enumerate() {
+                    let base = k * width + col;
+                    let are = _mm256_set1_pd(a.re);
+                    let aim = _mm256_set1_pd(a.im);
+                    let vr0 = _mm256_loadu_pd(xre.as_ptr().add(base));
+                    let vi0 = _mm256_loadu_pd(xim.as_ptr().add(base));
+                    re0 = _mm256_add_pd(
+                        _mm256_sub_pd(_mm256_mul_pd(are, vr0), _mm256_mul_pd(aim, vi0)),
+                        re0,
+                    );
+                    im0 = _mm256_add_pd(
+                        _mm256_add_pd(_mm256_mul_pd(are, vi0), _mm256_mul_pd(aim, vr0)),
+                        im0,
+                    );
+                }
+                let mut lre = [0.0f64; 4];
+                let mut lim = [0.0f64; 4];
+                _mm256_storeu_pd(lre.as_mut_ptr(), re0);
+                _mm256_storeu_pd(lim.as_mut_ptr(), im0);
+                for j in 0..4 {
+                    let y = &mut ys[(col + j) * rows + r];
+                    y.re += lre[j];
+                    y.im += lim[j];
+                }
+            }
+            col += 4;
+        }
+        self.panel_sweep_scalar(xre, xim, width, col, ys);
+    }
+
     /// `y += A^T x` (plain transpose, no conjugation — `G0` is complex
     /// symmetric so its transpose equals itself).
     pub fn matvec_transpose_acc(&self, x: &[C64], y: &mut [C64]) {
@@ -322,6 +487,35 @@ mod tests {
             a.matvec(&col, &mut y);
             for (i, &yi) in y.iter().enumerate() {
                 assert!((c.at(i, j) - yi).abs() < 1e-13);
+            }
+        }
+    }
+
+    #[test]
+    fn panel_matvec_is_bit_identical_per_column() {
+        // Every panel width up to 9 exercises all four column-group kernels
+        // (4+4+1, 4+3, ...). Each column must match its own matvec_acc bit
+        // for bit — the engine's fused near-field path relies on this.
+        let a = mat(13, 11, 31);
+        for width in 1..=9usize {
+            let xs: Vec<Vec<C64>> = (0..width).map(|b| vecc(11, 40 + b as u64)).collect();
+            let refs: Vec<&[C64]> = xs.iter().map(|v| v.as_slice()).collect();
+            // seed the outputs with nonzero values to check the += semantics
+            let mut panel = vecc(13 * width, 99);
+            let singles: Vec<Vec<C64>> = (0..width)
+                .map(|b| {
+                    let mut y = panel[b * 13..(b + 1) * 13].to_vec();
+                    a.matvec_acc(&xs[b], &mut y);
+                    y
+                })
+                .collect();
+            a.matvec_acc_panel(&refs, &mut panel);
+            for (b, single) in singles.iter().enumerate() {
+                assert_eq!(
+                    &panel[b * 13..(b + 1) * 13],
+                    single.as_slice(),
+                    "width {width} column {b} drifted"
+                );
             }
         }
     }

@@ -1,0 +1,439 @@
+//! Batched BiCGStab: `B` independent systems sharing one operator, iterated
+//! in lockstep so every operator application is a fused block apply.
+//!
+//! The paper's first parallel dimension is independent illuminations; this
+//! solver is how the serial code exploits it. All `B` transmitter systems
+//! share `A = I - G0 diag(O)`, so each Krylov step needs the *same* operator
+//! applied to `B` different vectors — exactly what
+//! [`BlockLinOp::apply_block`] fuses into one tree traversal.
+//!
+//! Numerics contract: each column runs the *identical* floating-point
+//! recurrence as the scalar [`crate::bicgstab`] — per-column scalars, per
+//! column inner products, same branch structure — so a column's trajectory
+//! (iterates, residuals, iteration count) is bit-identical to solving it
+//! alone, provided the operator's `apply_block` is column-wise identical to
+//! `apply` (true for the default loop implementation and for the MLFMA
+//! engine's fused panel path). Convergence masking: a column that converges
+//! (or breaks down) *freezes* — its iterate is never touched again and it is
+//! excluded from subsequent block applies — while the remaining columns keep
+//! iterating until all are done.
+
+use crate::krylov::{finite_c, BreakdownKind, IterConfig, SolveStats};
+use crate::op::BlockLinOp;
+use ffw_numerics::vecops::{axpy, norm2, zdotc};
+use ffw_numerics::C64;
+
+/// Applies `a` to the selected columns of `input`, writing the matching
+/// columns of `output`, via one fused block apply.
+fn apply_cols<A: BlockLinOp + ?Sized>(
+    a: &A,
+    cols: &[usize],
+    input: &[Vec<C64>],
+    output: &mut [Vec<C64>],
+) {
+    if cols.is_empty() {
+        return;
+    }
+    let xs: Vec<&[C64]> = cols.iter().map(|&c| input[c].as_slice()).collect();
+    let mut ys: Vec<Vec<C64>> = cols
+        .iter()
+        .map(|&c| std::mem::take(&mut output[c]))
+        .collect();
+    a.apply_block(&xs, &mut ys);
+    for (&c, y) in cols.iter().zip(ys) {
+        output[c] = y;
+    }
+}
+
+/// Solves `A xs[c] = bs[c]` for all `B` columns with lockstep BiCGStab and
+/// per-column convergence masking. Each `xs[c]` carries its initial guess
+/// (zero, or a warm start) and is overwritten with that column's solution.
+///
+/// Per-column semantics match the scalar [`crate::bicgstab`] exactly: a
+/// breakdown (rho underflow, NaN/Inf iterate) freezes *only* that column,
+/// which reports honest unconverged [`SolveStats`] with its iterate left at
+/// the last finite value; sibling columns are unaffected and keep iterating.
+pub fn bicgstab_block<A: BlockLinOp + ?Sized>(
+    a: &A,
+    bs: &[&[C64]],
+    xs: &mut [Vec<C64>],
+    cfg: IterConfig,
+) -> Vec<SolveStats> {
+    let nb = bs.len();
+    assert_eq!(xs.len(), nb, "solution block width mismatch");
+    if nb == 0 {
+        return Vec::new();
+    }
+    let n = a.dim_in();
+    assert_eq!(a.dim_out(), n);
+    for (b, x) in bs.iter().zip(xs.iter()) {
+        assert_eq!(b.len(), n);
+        assert_eq!(x.len(), n);
+    }
+    let _span = ffw_obs::span("solver.bicgstab");
+    if ffw_obs::enabled() {
+        ffw_obs::histogram("solver.bicgstab.panel_width").record(nb as u64);
+    }
+
+    let mut stats: Vec<Option<SolveStats>> = vec![None; nb];
+    let mut b_norm = vec![0.0f64; nb];
+    let mut iters = vec![0usize; nb];
+    let mut matvecs = vec![0usize; nb];
+    let mut res = vec![0.0f64; nb];
+    let mut rho = vec![C64::ONE; nb];
+    let mut alpha = vec![C64::ONE; nb];
+    let mut omega = vec![C64::ONE; nb];
+    let mut rho_new = vec![C64::ZERO; nb];
+    let mut r: Vec<Vec<C64>> = vec![vec![C64::ZERO; n]; nb];
+    let mut r_hat: Vec<Vec<C64>> = vec![Vec::new(); nb];
+    let mut v: Vec<Vec<C64>> = vec![vec![C64::ZERO; n]; nb];
+    let mut p: Vec<Vec<C64>> = vec![vec![C64::ZERO; n]; nb];
+    let mut s: Vec<Vec<C64>> = vec![vec![C64::ZERO; n]; nb];
+    let mut t: Vec<Vec<C64>> = vec![vec![C64::ZERO; n]; nb];
+    let mut x_prev = vec![C64::ZERO; n];
+
+    let freeze_breakdown = |c: usize,
+                            kind: BreakdownKind,
+                            iters: usize,
+                            matvecs: usize,
+                            last_res: f64|
+     -> SolveStats {
+        ffw_obs::event(
+            "solver.breakdown",
+            &format!("bicgstab_block column {c}: {kind} at iter {iters}"),
+        );
+        SolveStats {
+            iterations: iters,
+            matvecs,
+            rel_residual: last_res,
+            converged: false,
+        }
+    };
+
+    // Zero right-hand sides are solved exactly by x = 0 (scalar semantics).
+    let mut live: Vec<usize> = Vec::with_capacity(nb);
+    for c in 0..nb {
+        b_norm[c] = norm2(bs[c]);
+        if b_norm[c] == 0.0 {
+            xs[c].iter_mut().for_each(|v| *v = C64::ZERO);
+            stats[c] = Some(SolveStats {
+                iterations: 0,
+                matvecs: 0,
+                rel_residual: 0.0,
+                converged: true,
+            });
+        } else {
+            live.push(c);
+        }
+    }
+
+    // Fresh residuals r = b - A x, one fused apply over all live columns.
+    apply_cols(a, &live, xs, &mut r);
+    let mut active: Vec<usize> = Vec::with_capacity(live.len());
+    for &c in &live {
+        matvecs[c] += 1;
+        for i in 0..n {
+            r[c][i] = bs[c][i] - r[c][i];
+        }
+        r_hat[c] = r[c].clone();
+        res[c] = norm2(&r[c]) / b_norm[c];
+        if !res[c].is_finite() {
+            stats[c] = Some(freeze_breakdown(
+                c,
+                BreakdownKind::NonFinite,
+                0,
+                matvecs[c],
+                f64::NAN,
+            ));
+            continue;
+        }
+        ffw_obs::series_push("solver.bicgstab.residual", res[c]);
+        if res[c] < cfg.tol {
+            stats[c] = Some(SolveStats {
+                iterations: 0,
+                matvecs: matvecs[c],
+                rel_residual: res[c],
+                converged: true,
+            });
+            continue;
+        }
+        active.push(c);
+    }
+
+    while !active.is_empty() {
+        // Budget + rho checks; columns freezing here skip the fused applies.
+        let mut after_rho = Vec::with_capacity(active.len());
+        for &c in &active {
+            if iters[c] >= cfg.max_iters {
+                stats[c] = Some(SolveStats {
+                    iterations: iters[c],
+                    matvecs: matvecs[c],
+                    rel_residual: res[c],
+                    converged: false,
+                });
+                continue;
+            }
+            let rn = zdotc(&r_hat[c], &r[c]);
+            if !finite_c(rn) {
+                stats[c] = Some(freeze_breakdown(
+                    c,
+                    BreakdownKind::NonFinite,
+                    iters[c],
+                    matvecs[c],
+                    res[c],
+                ));
+                continue;
+            }
+            if rn.abs() < 1e-300 {
+                stats[c] = Some(freeze_breakdown(
+                    c,
+                    BreakdownKind::RhoZero,
+                    iters[c],
+                    matvecs[c],
+                    res[c],
+                ));
+                continue;
+            }
+            rho_new[c] = rn;
+            iters[c] += 1;
+            let beta = (rn / rho[c]) * (alpha[c] / omega[c]);
+            for i in 0..n {
+                p[c][i] = r[c][i] + beta * (p[c][i] - omega[c] * v[c][i]);
+            }
+            after_rho.push(c);
+        }
+        active = after_rho;
+
+        // v = A p, fused.
+        apply_cols(a, &active, &p, &mut v);
+        let mut after_s = Vec::with_capacity(active.len());
+        for &c in &active {
+            matvecs[c] += 1;
+            alpha[c] = rho_new[c] / zdotc(&r_hat[c], &v[c]);
+            for i in 0..n {
+                s[c][i] = r[c][i] - alpha[c] * v[c][i];
+            }
+            let s_norm = norm2(&s[c]) / b_norm[c];
+            if s_norm < cfg.tol {
+                axpy(alpha[c], &p[c], &mut xs[c]);
+                ffw_obs::series_push("solver.bicgstab.residual", s_norm);
+                stats[c] = Some(SolveStats {
+                    iterations: iters[c],
+                    matvecs: matvecs[c],
+                    rel_residual: s_norm,
+                    converged: true,
+                });
+                continue;
+            }
+            after_s.push(c);
+        }
+        active = after_s;
+
+        // t = A s, fused.
+        apply_cols(a, &active, &s, &mut t);
+        let mut after_update = Vec::with_capacity(active.len());
+        for &c in &active {
+            matvecs[c] += 1;
+            let tt = zdotc(&t[c], &t[c]);
+            omega[c] = zdotc(&t[c], &s[c]) / tt;
+            // Snapshot x first so a non-finite update rolls back instead of
+            // poisoning the iterate (same contract as the scalar cycle).
+            x_prev.copy_from_slice(&xs[c]);
+            for i in 0..n {
+                xs[c][i] += alpha[c] * p[c][i] + omega[c] * s[c][i];
+                r[c][i] = s[c][i] - omega[c] * t[c][i];
+            }
+            let res_new = norm2(&r[c]) / b_norm[c];
+            if !res_new.is_finite() {
+                xs[c].copy_from_slice(&x_prev);
+                stats[c] = Some(freeze_breakdown(
+                    c,
+                    BreakdownKind::NonFinite,
+                    iters[c],
+                    matvecs[c],
+                    res[c],
+                ));
+                continue;
+            }
+            res[c] = res_new;
+            ffw_obs::series_push("solver.bicgstab.residual", res_new);
+            if res_new < cfg.tol {
+                stats[c] = Some(SolveStats {
+                    iterations: iters[c],
+                    matvecs: matvecs[c],
+                    rel_residual: res_new,
+                    converged: true,
+                });
+                continue;
+            }
+            rho[c] = rho_new[c];
+            after_update.push(c);
+        }
+        active = after_update;
+    }
+
+    let out: Vec<SolveStats> = stats
+        .into_iter()
+        .map(|s| s.expect("every column finalized"))
+        .collect();
+    if ffw_obs::enabled() {
+        for st in &out {
+            ffw_obs::counter("solver.bicgstab.solves").inc();
+            ffw_obs::counter("solver.bicgstab.iters").add(st.iterations as u64);
+            ffw_obs::counter("solver.bicgstab.matvecs").add(st.matvecs as u64);
+            ffw_obs::histogram("solver.bicgstab.iters_per_solve").record(st.iterations as u64);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::krylov::bicgstab;
+    use crate::op::DiagonalOp;
+    use ffw_numerics::c64;
+    use ffw_numerics::linalg::Matrix;
+
+    fn random_mat(n: usize, seed: u64, diag_boost: f64) -> Matrix {
+        let mut s = seed;
+        let mut next = move || {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        };
+        Matrix::from_fn(n, n, |r, c| {
+            let mut v = c64(next(), next());
+            if r == c {
+                v += diag_boost;
+            }
+            v
+        })
+    }
+
+    fn random_vec(n: usize, seed: u64) -> Vec<C64> {
+        let m = random_mat(n, seed, 0.0);
+        (0..n).map(|i| m.at(0, i)).collect()
+    }
+
+    #[test]
+    fn width_one_is_bit_identical_to_scalar_path() {
+        let n = 48;
+        let a = random_mat(n, 3, 7.0);
+        let b = random_vec(n, 11);
+        let cfg = IterConfig {
+            tol: 1e-9,
+            max_iters: 300,
+        };
+        let mut x_scalar = vec![C64::ZERO; n];
+        let scalar = bicgstab(&a, &b, &mut x_scalar, cfg);
+        let mut xs = vec![vec![C64::ZERO; n]];
+        let block = bicgstab_block(&a, &[&b], &mut xs, cfg);
+        assert_eq!(block.len(), 1);
+        assert_eq!(block[0], scalar);
+        assert_eq!(xs[0], x_scalar, "B=1 iterates must match bit-for-bit");
+    }
+
+    #[test]
+    fn every_column_matches_its_own_scalar_solve() {
+        let n = 40;
+        let a = random_mat(n, 5, 8.0);
+        let cfg = IterConfig {
+            tol: 1e-8,
+            max_iters: 200,
+        };
+        let bs: Vec<Vec<C64>> = (0..5).map(|i| random_vec(n, 100 + i)).collect();
+        let b_refs: Vec<&[C64]> = bs.iter().map(|b| b.as_slice()).collect();
+        let mut xs = vec![vec![C64::ZERO; n]; 5];
+        let block = bicgstab_block(&a, &b_refs, &mut xs, cfg);
+        for (c, b) in bs.iter().enumerate() {
+            let mut x_scalar = vec![C64::ZERO; n];
+            let scalar = bicgstab(&a, b, &mut x_scalar, cfg);
+            assert_eq!(block[c], scalar, "column {c} stats");
+            assert_eq!(xs[c], x_scalar, "column {c} iterate");
+        }
+    }
+
+    #[test]
+    fn frozen_column_is_never_updated() {
+        // One easy RHS (exact solution as the initial guess: converges at
+        // iteration 0 and freezes immediately) alongside one hard RHS that
+        // needs real iterations. The frozen column's iterate must come out
+        // bit-identical to the value it froze at.
+        let n = 32;
+        let a = random_mat(n, 9, 6.0);
+        let cfg = IterConfig {
+            tol: 1e-8,
+            max_iters: 200,
+        };
+        let x_true = random_vec(n, 21);
+        let mut b_easy = vec![C64::ZERO; n];
+        a.matvec(&x_true, &mut b_easy);
+        let b_hard = random_vec(n, 23);
+        let mut xs = vec![x_true.clone(), vec![C64::ZERO; n]];
+        let stats = bicgstab_block(&a, &[&b_easy, &b_hard], &mut xs, cfg);
+        assert!(stats[0].converged);
+        assert_eq!(stats[0].iterations, 0, "easy column converges up front");
+        assert_eq!(xs[0], x_true, "frozen column must not be touched");
+        assert!(stats[1].converged, "{:?}", stats[1]);
+        assert!(stats[1].iterations > 0, "hard column actually iterated");
+    }
+
+    #[test]
+    fn breakdown_in_one_column_does_not_poison_siblings() {
+        // diag(0, 2, 3, ...) is singular in its first coordinate only: a RHS
+        // supported there breaks down (alpha divides by zero), while a RHS in
+        // the operator's range solves fine. The sibling must match its scalar
+        // solve bit-for-bit and the broken column must stay finite.
+        let n = 12;
+        let mut d = vec![C64::ZERO; n];
+        for (i, v) in d.iter_mut().enumerate().skip(1) {
+            *v = c64(1.0 + i as f64, 0.0);
+        }
+        let a = DiagonalOp(d.clone());
+        let cfg = IterConfig {
+            tol: 1e-10,
+            max_iters: 50,
+        };
+        let mut b_bad = vec![C64::ZERO; n];
+        b_bad[0] = c64(1.0, 0.5);
+        let mut b_good = vec![C64::ZERO; n];
+        for (i, v) in b_good.iter_mut().enumerate().skip(1) {
+            *v = c64(0.3 * i as f64, -0.1);
+        }
+        let mut xs = vec![vec![C64::ZERO; n], vec![C64::ZERO; n]];
+        let stats = bicgstab_block(&a, &[&b_bad, &b_good], &mut xs, cfg);
+        assert!(!stats[0].converged, "{:?}", stats[0]);
+        assert!(
+            xs[0].iter().all(|v| v.re.is_finite() && v.im.is_finite()),
+            "broken column's iterate must be rolled back to a finite value"
+        );
+        let mut x_scalar = vec![C64::ZERO; n];
+        let scalar = bicgstab(&a, &b_good, &mut x_scalar, cfg);
+        assert_eq!(stats[1], scalar, "sibling stats unaffected by breakdown");
+        assert_eq!(xs[1], x_scalar, "sibling iterate unaffected by breakdown");
+    }
+
+    #[test]
+    fn zero_rhs_column_short_circuits() {
+        let n = 10;
+        let a = random_mat(n, 13, 5.0);
+        let b_zero = vec![C64::ZERO; n];
+        let b_live = random_vec(n, 17);
+        let mut xs = vec![random_vec(n, 19), vec![C64::ZERO; n]];
+        let stats = bicgstab_block(&a, &[&b_zero, &b_live], &mut xs, IterConfig::default());
+        assert!(stats[0].converged);
+        assert_eq!(stats[0].iterations, 0);
+        assert_eq!(stats[0].matvecs, 0);
+        assert!(xs[0].iter().all(|v| v.abs() == 0.0));
+        assert!(stats[1].converged);
+    }
+
+    #[test]
+    fn empty_block_is_a_noop() {
+        let a = random_mat(4, 1, 5.0);
+        let stats = bicgstab_block(&a, &[], &mut [], IterConfig::default());
+        assert!(stats.is_empty());
+    }
+}

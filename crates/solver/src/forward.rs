@@ -10,8 +10,9 @@
 //! Hermitian transpose is its conjugate: `G0^H x = conj(G0 conj(x))` — so the
 //! same MLFMA engine serves both systems without any new operators.
 
+use crate::block::bicgstab_block;
 use crate::krylov::{bicgstab, IterConfig, SolveStats};
-use crate::op::LinOp;
+use crate::op::{BlockLinOp, LinOp};
 use ffw_numerics::C64;
 
 /// `A = I - G0 diag(O)`: the forward-scattering operator.
@@ -49,6 +50,29 @@ impl<G: LinOp + ?Sized> LinOp for ScatteringOp<'_, G> {
     }
 }
 
+impl<G: BlockLinOp + ?Sized> BlockLinOp for ScatteringOp<'_, G> {
+    /// Column-wise identical to [`LinOp::apply`]; the `G0` product is fused.
+    fn apply_block(&self, xs: &[&[C64]], ys: &mut [Vec<C64>]) {
+        assert_eq!(xs.len(), ys.len(), "block width mismatch");
+        let oxs: Vec<Vec<C64>> = xs
+            .iter()
+            .map(|x| {
+                x.iter()
+                    .zip(self.object)
+                    .map(|(xi, oi)| *xi * *oi)
+                    .collect()
+            })
+            .collect();
+        let ox_refs: Vec<&[C64]> = oxs.iter().map(|v| v.as_slice()).collect();
+        self.g0.apply_block(&ox_refs, ys);
+        for (y, x) in ys.iter_mut().zip(xs) {
+            for (yi, xi) in y.iter_mut().zip(*x) {
+                *yi = *xi - *yi;
+            }
+        }
+    }
+}
+
 /// `A^H = I - diag(conj(O)) G0^H`, realized via the conjugation trick.
 pub struct AdjointScatteringOp<'a, G: LinOp + ?Sized> {
     g0: &'a G,
@@ -80,12 +104,46 @@ impl<G: LinOp + ?Sized> LinOp for AdjointScatteringOp<'_, G> {
     }
 }
 
+impl<G: BlockLinOp + ?Sized> BlockLinOp for AdjointScatteringOp<'_, G> {
+    /// Column-wise identical to [`LinOp::apply`]; the `G0` product is fused.
+    fn apply_block(&self, xs: &[&[C64]], ys: &mut [Vec<C64>]) {
+        assert_eq!(xs.len(), ys.len(), "block width mismatch");
+        let xcs: Vec<Vec<C64>> = xs
+            .iter()
+            .map(|x| x.iter().map(|v| v.conj()).collect())
+            .collect();
+        let xc_refs: Vec<&[C64]> = xcs.iter().map(|v| v.as_slice()).collect();
+        self.g0.apply_block(&xc_refs, ys);
+        for (y, x) in ys.iter_mut().zip(xs) {
+            for ((yi, xi), oi) in y.iter_mut().zip(*x).zip(self.object) {
+                *yi = *xi - oi.conj() * yi.conj();
+            }
+        }
+    }
+}
+
 /// Applies `G0^H x` using a symmetric `G0` (conjugation trick), standalone.
 pub fn g0_adjoint_apply<G: LinOp + ?Sized>(g0: &G, x: &[C64], y: &mut [C64]) {
     let xc: Vec<C64> = x.iter().map(|v| v.conj()).collect();
     g0.apply(&xc, y);
     for v in y.iter_mut() {
         *v = v.conj();
+    }
+}
+
+/// Block form of [`g0_adjoint_apply`]: `ys[b] = G0^H xs[b]` fused into one
+/// block apply of the symmetric `G0`.
+pub fn g0_adjoint_apply_block<G: BlockLinOp + ?Sized>(g0: &G, xs: &[&[C64]], ys: &mut [Vec<C64>]) {
+    let xcs: Vec<Vec<C64>> = xs
+        .iter()
+        .map(|x| x.iter().map(|v| v.conj()).collect())
+        .collect();
+    let xc_refs: Vec<&[C64]> = xcs.iter().map(|v| v.as_slice()).collect();
+    g0.apply_block(&xc_refs, ys);
+    for y in ys.iter_mut() {
+        for v in y.iter_mut() {
+            *v = v.conj();
+        }
     }
 }
 
@@ -113,6 +171,32 @@ pub fn solve_adjoint<G: LinOp + ?Sized>(
 ) -> SolveStats {
     let a = AdjointScatteringOp::new(g0, object);
     bicgstab(&a, rhs, z, cfg)
+}
+
+/// Batched forward solve: all transmitter systems share the same scattering
+/// operator and iterate in lockstep (one fused `G0` block apply per Krylov
+/// step). `phis[b]` carries each column's initial guess and is overwritten.
+pub fn solve_forward_block<G: BlockLinOp + ?Sized>(
+    g0: &G,
+    object: &[C64],
+    phi_incs: &[&[C64]],
+    phis: &mut [Vec<C64>],
+    cfg: IterConfig,
+) -> Vec<SolveStats> {
+    let a = ScatteringOp::new(g0, object);
+    bicgstab_block(&a, phi_incs, phis, cfg)
+}
+
+/// Batched adjoint solve `A^H zs[b] = rhss[b]`, lockstep across columns.
+pub fn solve_adjoint_block<G: BlockLinOp + ?Sized>(
+    g0: &G,
+    object: &[C64],
+    rhss: &[&[C64]],
+    zs: &mut [Vec<C64>],
+    cfg: IterConfig,
+) -> Vec<SolveStats> {
+    let a = AdjointScatteringOp::new(g0, object);
+    bicgstab_block(&a, rhss, zs, cfg)
 }
 
 #[cfg(test)]

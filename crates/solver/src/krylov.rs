@@ -84,7 +84,7 @@ impl fmt::Display for SolveError {
 
 impl std::error::Error for SolveError {}
 
-fn finite_c(v: C64) -> bool {
+pub(crate) fn finite_c(v: C64) -> bool {
     v.re.is_finite() && v.im.is_finite()
 }
 

@@ -7,18 +7,21 @@
 
 #![warn(missing_docs)]
 
+pub mod block;
 pub mod forward;
 pub mod gmres;
 pub mod krylov;
 pub mod op;
 pub mod precond;
 
+pub use block::bicgstab_block;
 pub use forward::{
-    g0_adjoint_apply, solve_adjoint, solve_forward, AdjointScatteringOp, ScatteringOp,
+    g0_adjoint_apply, g0_adjoint_apply_block, solve_adjoint, solve_adjoint_block, solve_forward,
+    solve_forward_block, AdjointScatteringOp, ScatteringOp,
 };
 pub use gmres::{gmres, gmres_checked};
 pub use krylov::{
     bicgstab, bicgstab_checked, cg, cgnr, BreakdownKind, IterConfig, SolveError, SolveStats,
 };
-pub use op::{CountingOp, DiagonalOp, FnOp, IdentityOp, LinOp};
+pub use op::{BlockLinOp, CountingOp, DiagonalOp, FnOp, IdentityOp, LinOp};
 pub use precond::{bicgstab_precond, IdentityPrecond, JacobiPrecond, Precond};

@@ -44,11 +44,21 @@
 //!   end-to-end integrity, so every hop must go through `send_checked` /
 //!   `recv_checked` (or their `_laned` ABFT variants, or `try_recv` for
 //!   polling). Waive a justified use with `// lint:unchecked-ok`.
+//! * **R8 — batched applies on the inversion hot path**: single-RHS Green's
+//!   operator applies (`g0.apply(` / `g0.try_apply(` / `engine.apply(` /
+//!   `eng.apply(`) are banned in `crates/inverse/src` and `crates/dist/src`
+//!   non-test code. The per-transmitter loops there must go through the
+//!   fused multi-RHS block path (`apply_block` / `try_apply_block` /
+//!   `solve_forward_block` / `try_dist_bicgstab_block`), which amortizes one
+//!   tree traversal and one message per peer over the whole panel. A scalar
+//!   building block (an op's own `try_apply_local`) or a deliberately
+//!   unbatched driver is waived with `// lint:single-rhs-ok`.
 //!
 //! Scope: R1–R3 cover `crates/` and `xtask/`; R4 and R6 cover `crates/` only
 //! (`third_party/` holds vendored stand-ins for external dependencies and is
 //! linted for unsafe hygiene but not spawn/timing discipline); R5 covers only
-//! the two fault-tolerant crates; R7 covers `crates/dist/src` alone.
+//! the two fault-tolerant crates; R7 covers `crates/dist/src` alone; R8
+//! covers `crates/inverse/src` and `crates/dist/src`.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -94,6 +104,7 @@ fn lint() -> ExitCode {
                 diagnostics.extend(check_unwrap_on_fault_path(&rel, &text));
                 diagnostics.extend(check_instant_outside_obs(&rel, &text));
                 diagnostics.extend(check_unchecked_comm(&rel, &text));
+                diagnostics.extend(check_single_rhs_apply(&rel, &text));
             }
         }
     }
@@ -410,6 +421,52 @@ fn check_unchecked_comm(file: &str, text: &str) -> Vec<String> {
     out
 }
 
+/// Single-RHS spellings of the Green's operator apply that R8 bans on the
+/// inversion hot path (the receiver names are the workspace's conventions
+/// for the MLFMA operator).
+const SINGLE_RHS_APPLIES: [&str; 4] = ["g0.apply(", "g0.try_apply(", "engine.apply(", "eng.apply("];
+
+/// R8: no single-RHS Green's operator applies in `crates/inverse/src` /
+/// `crates/dist/src` non-test code — the per-transmitter loops must use the
+/// fused multi-RHS block path so operators are loaded once per panel and
+/// messages are fused per peer. Waive scalar building blocks with
+/// `// lint:single-rhs-ok`.
+fn check_single_rhs_apply(file: &str, text: &str) -> Vec<String> {
+    if !(file.starts_with("crates/inverse/src/") || file.starts_with("crates/dist/src/")) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let mut in_test_suffix = false;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim_start().starts_with("#[cfg(test)]") {
+            in_test_suffix = true;
+        }
+        if in_test_suffix {
+            continue;
+        }
+        let masked = mask_code(line);
+        // The block spellings cannot match: `g0.apply_block(` continues with
+        // `_`, not `(`, after `apply`.
+        if SINGLE_RHS_APPLIES.iter().any(|p| masked.contains(p))
+            && !line.contains("lint:single-rhs-ok")
+            && !(i > 0
+                && text
+                    .lines()
+                    .nth(i - 1)
+                    .is_some_and(|l| l.contains("lint:single-rhs-ok")))
+        {
+            out.push(format!(
+                "{file}:{}: single-RHS Green's operator apply on the inversion \
+                 hot path — batch through `apply_block`/`try_apply_block` (or \
+                 the block solvers) so traversals and messages are fused; \
+                 waive a scalar building block with `// lint:single-rhs-ok`",
+                i + 1
+            ));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -546,6 +603,40 @@ mod tests {
     }
 
     #[test]
+    fn single_rhs_apply_on_hot_path_fails() {
+        let src = "g0.apply(&w, &mut g0w);\n";
+        assert_eq!(
+            check_single_rhs_apply("crates/inverse/src/dbim.rs", src).len(),
+            1
+        );
+        assert_eq!(
+            check_single_rhs_apply("crates/dist/src/ft.rs", src).len(),
+            1
+        );
+        let try_form = "self.g0.try_apply(&ox, y_local)?;\n";
+        assert_eq!(
+            check_single_rhs_apply("crates/dist/src/solver.rs", try_form).len(),
+            1
+        );
+        // The block spellings, other crates, tests, and waivers pass.
+        let block = "g0.apply_block(&refs, &mut ys);\ng0.try_apply_block(&refs, &mut ys)?;\n";
+        assert!(check_single_rhs_apply("crates/inverse/src/dbim.rs", block).is_empty());
+        assert!(check_single_rhs_apply("crates/solver/src/forward.rs", src).is_empty());
+        assert!(check_single_rhs_apply("crates/inverse/tests/t.rs", src).is_empty());
+        let waived = "g0.apply(&w, &mut g0w); // lint:single-rhs-ok scalar path\n";
+        assert!(check_single_rhs_apply("crates/inverse/src/dbim.rs", waived).is_empty());
+        let waived_above =
+            "// lint:single-rhs-ok scalar building block\nself.g0.try_apply(&ox, y)?;\n";
+        assert!(check_single_rhs_apply("crates/dist/src/solver.rs", waived_above).is_empty());
+        let test_only =
+            "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g() { g0.apply(&x, &mut y); }\n}\n";
+        assert!(check_single_rhs_apply("crates/inverse/src/dbim.rs", test_only).is_empty());
+        // String literals do not trip it.
+        let in_string = "panic!(\"g0.apply( failed\");\n";
+        assert!(check_single_rhs_apply("crates/inverse/src/dbim.rs", in_string).is_empty());
+    }
+
+    #[test]
     fn lint_rules_pass_on_this_workspace() {
         // The gate must be green on the tree it ships in.
         let root = workspace_root();
@@ -562,6 +653,7 @@ mod tests {
                     diags.extend(check_unwrap_on_fault_path(&rel, &text));
                     diags.extend(check_instant_outside_obs(&rel, &text));
                     diags.extend(check_unchecked_comm(&rel, &text));
+                    diags.extend(check_single_rhs_apply(&rel, &text));
                 }
             }
         }
