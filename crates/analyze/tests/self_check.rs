@@ -1,0 +1,30 @@
+//! The gate must be green on the tree it ships in: running every rule over
+//! this very workspace yields zero diagnostics. This is the committed proof
+//! behind CI's `ffw-analyze -- check` step — if a change introduces a
+//! violation (or orphans a ledger entry), this test fails locally before CI
+//! does.
+
+use std::path::PathBuf;
+
+#[test]
+fn workspace_is_clean_under_all_rules() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("crates/analyze sits two levels under the workspace root")
+        .to_path_buf();
+    let (diags, files_scanned) = ffw_analyze::analyze_root(&root).expect("workspace readable");
+    assert!(
+        files_scanned > 100,
+        "walker found only {files_scanned} files — member discovery is broken"
+    );
+    assert!(
+        diags.is_empty(),
+        "lint violations on HEAD:\n{}",
+        diags
+            .iter()
+            .map(|d| d.render())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -10,6 +10,7 @@
 //! workspace whose numerical behaviour is fully auditable.
 
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod bessel;
 pub mod complex;

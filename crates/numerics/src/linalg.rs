@@ -131,7 +131,9 @@ impl Matrix {
                 xim[k * width + b] = v.im;
             }
         }
-        #[cfg(target_arch = "x86_64")]
+        // The AVX2 path is compiled out under Miri: the interpreter has no
+        // cpuid, and the scalar sweep is the bit-identical reference anyway.
+        #[cfg(all(target_arch = "x86_64", not(miri)))]
         if std::arch::is_x86_feature_detected!("avx2") {
             // SAFETY: guarded by the runtime AVX2 check above.
             unsafe { self.panel_sweep_avx2(&xre, &xim, width, ys) };
@@ -175,7 +177,7 @@ impl Matrix {
     /// remainder lanes. Every vector op is an elementwise IEEE mul/sub/add in
     /// the exact association of [`C64::mul_add`] — no fma contraction — so
     /// each lane is bit-identical to the scalar sweep.
-    #[cfg(target_arch = "x86_64")]
+    #[cfg(all(target_arch = "x86_64", not(miri)))]
     #[target_feature(enable = "avx2")]
     // SAFETY: caller must ensure AVX2 is available (runtime-detected at the
     // single call site); all pointer arithmetic is bounds-justified below.
@@ -187,83 +189,85 @@ impl Matrix {
         // +4/+8]` with `k < cols`, in bounds of the `cols * width` planes;
         // `ys` stores index `(col+j) * rows + r` with `col+j < width`,
         // `r < rows`, in bounds of the `rows * width` panel.
-        while col + 8 <= width {
-            for r in 0..rows {
-                let row = self.row(r);
-                let mut re0 = _mm256_setzero_pd();
-                let mut im0 = _mm256_setzero_pd();
-                let mut re1 = _mm256_setzero_pd();
-                let mut im1 = _mm256_setzero_pd();
-                for (k, a) in row.iter().enumerate() {
-                    let base = k * width + col;
-                    let are = _mm256_set1_pd(a.re);
-                    let aim = _mm256_set1_pd(a.im);
-                    let vr0 = _mm256_loadu_pd(xre.as_ptr().add(base));
-                    let vi0 = _mm256_loadu_pd(xim.as_ptr().add(base));
-                    let vr1 = _mm256_loadu_pd(xre.as_ptr().add(base + 4));
-                    let vi1 = _mm256_loadu_pd(xim.as_ptr().add(base + 4));
-                    re0 = _mm256_add_pd(
-                        _mm256_sub_pd(_mm256_mul_pd(are, vr0), _mm256_mul_pd(aim, vi0)),
-                        re0,
-                    );
-                    im0 = _mm256_add_pd(
-                        _mm256_add_pd(_mm256_mul_pd(are, vi0), _mm256_mul_pd(aim, vr0)),
-                        im0,
-                    );
-                    re1 = _mm256_add_pd(
-                        _mm256_sub_pd(_mm256_mul_pd(are, vr1), _mm256_mul_pd(aim, vi1)),
-                        re1,
-                    );
-                    im1 = _mm256_add_pd(
-                        _mm256_add_pd(_mm256_mul_pd(are, vi1), _mm256_mul_pd(aim, vr1)),
-                        im1,
-                    );
+        unsafe {
+            while col + 8 <= width {
+                for r in 0..rows {
+                    let row = self.row(r);
+                    let mut re0 = _mm256_setzero_pd();
+                    let mut im0 = _mm256_setzero_pd();
+                    let mut re1 = _mm256_setzero_pd();
+                    let mut im1 = _mm256_setzero_pd();
+                    for (k, a) in row.iter().enumerate() {
+                        let base = k * width + col;
+                        let are = _mm256_set1_pd(a.re);
+                        let aim = _mm256_set1_pd(a.im);
+                        let vr0 = _mm256_loadu_pd(xre.as_ptr().add(base));
+                        let vi0 = _mm256_loadu_pd(xim.as_ptr().add(base));
+                        let vr1 = _mm256_loadu_pd(xre.as_ptr().add(base + 4));
+                        let vi1 = _mm256_loadu_pd(xim.as_ptr().add(base + 4));
+                        re0 = _mm256_add_pd(
+                            _mm256_sub_pd(_mm256_mul_pd(are, vr0), _mm256_mul_pd(aim, vi0)),
+                            re0,
+                        );
+                        im0 = _mm256_add_pd(
+                            _mm256_add_pd(_mm256_mul_pd(are, vi0), _mm256_mul_pd(aim, vr0)),
+                            im0,
+                        );
+                        re1 = _mm256_add_pd(
+                            _mm256_sub_pd(_mm256_mul_pd(are, vr1), _mm256_mul_pd(aim, vi1)),
+                            re1,
+                        );
+                        im1 = _mm256_add_pd(
+                            _mm256_add_pd(_mm256_mul_pd(are, vi1), _mm256_mul_pd(aim, vr1)),
+                            im1,
+                        );
+                    }
+                    let mut lre = [0.0f64; 8];
+                    let mut lim = [0.0f64; 8];
+                    _mm256_storeu_pd(lre.as_mut_ptr(), re0);
+                    _mm256_storeu_pd(lre.as_mut_ptr().add(4), re1);
+                    _mm256_storeu_pd(lim.as_mut_ptr(), im0);
+                    _mm256_storeu_pd(lim.as_mut_ptr().add(4), im1);
+                    for j in 0..8 {
+                        let y = &mut ys[(col + j) * rows + r];
+                        y.re += lre[j];
+                        y.im += lim[j];
+                    }
                 }
-                let mut lre = [0.0f64; 8];
-                let mut lim = [0.0f64; 8];
-                _mm256_storeu_pd(lre.as_mut_ptr(), re0);
-                _mm256_storeu_pd(lre.as_mut_ptr().add(4), re1);
-                _mm256_storeu_pd(lim.as_mut_ptr(), im0);
-                _mm256_storeu_pd(lim.as_mut_ptr().add(4), im1);
-                for j in 0..8 {
-                    let y = &mut ys[(col + j) * rows + r];
-                    y.re += lre[j];
-                    y.im += lim[j];
-                }
+                col += 8;
             }
-            col += 8;
-        }
-        while col + 4 <= width {
-            for r in 0..rows {
-                let row = self.row(r);
-                let mut re0 = _mm256_setzero_pd();
-                let mut im0 = _mm256_setzero_pd();
-                for (k, a) in row.iter().enumerate() {
-                    let base = k * width + col;
-                    let are = _mm256_set1_pd(a.re);
-                    let aim = _mm256_set1_pd(a.im);
-                    let vr0 = _mm256_loadu_pd(xre.as_ptr().add(base));
-                    let vi0 = _mm256_loadu_pd(xim.as_ptr().add(base));
-                    re0 = _mm256_add_pd(
-                        _mm256_sub_pd(_mm256_mul_pd(are, vr0), _mm256_mul_pd(aim, vi0)),
-                        re0,
-                    );
-                    im0 = _mm256_add_pd(
-                        _mm256_add_pd(_mm256_mul_pd(are, vi0), _mm256_mul_pd(aim, vr0)),
-                        im0,
-                    );
+            while col + 4 <= width {
+                for r in 0..rows {
+                    let row = self.row(r);
+                    let mut re0 = _mm256_setzero_pd();
+                    let mut im0 = _mm256_setzero_pd();
+                    for (k, a) in row.iter().enumerate() {
+                        let base = k * width + col;
+                        let are = _mm256_set1_pd(a.re);
+                        let aim = _mm256_set1_pd(a.im);
+                        let vr0 = _mm256_loadu_pd(xre.as_ptr().add(base));
+                        let vi0 = _mm256_loadu_pd(xim.as_ptr().add(base));
+                        re0 = _mm256_add_pd(
+                            _mm256_sub_pd(_mm256_mul_pd(are, vr0), _mm256_mul_pd(aim, vi0)),
+                            re0,
+                        );
+                        im0 = _mm256_add_pd(
+                            _mm256_add_pd(_mm256_mul_pd(are, vi0), _mm256_mul_pd(aim, vr0)),
+                            im0,
+                        );
+                    }
+                    let mut lre = [0.0f64; 4];
+                    let mut lim = [0.0f64; 4];
+                    _mm256_storeu_pd(lre.as_mut_ptr(), re0);
+                    _mm256_storeu_pd(lim.as_mut_ptr(), im0);
+                    for j in 0..4 {
+                        let y = &mut ys[(col + j) * rows + r];
+                        y.re += lre[j];
+                        y.im += lim[j];
+                    }
                 }
-                let mut lre = [0.0f64; 4];
-                let mut lim = [0.0f64; 4];
-                _mm256_storeu_pd(lre.as_mut_ptr(), re0);
-                _mm256_storeu_pd(lim.as_mut_ptr(), im0);
-                for j in 0..4 {
-                    let y = &mut ys[(col + j) * rows + r];
-                    y.re += lre[j];
-                    y.im += lim[j];
-                }
+                col += 4;
             }
-            col += 4;
         }
         self.panel_sweep_scalar(xre, xim, width, col, ys);
     }

@@ -1,11 +1,12 @@
 //! The workspace's single monotonic-clock access point.
 //!
 //! Everything in `crates/` that wants wall time goes through [`Stopwatch`]
-//! or [`monotonic_ns`]; xtask lint R6 bans `std::time::Instant` elsewhere so
-//! no timing can bypass the observability layer.
+//! or [`monotonic_ns`]; lint rule R6 (`ffw-analyze`) bans
+//! `std::time::Instant` elsewhere so no timing can bypass the observability
+//! layer.
 
 use std::sync::OnceLock;
-use std::time::Instant; // lint:instant-ok — ffw-obs *is* the timing layer
+use std::time::Instant;
 
 /// Process-wide epoch: all [`monotonic_ns`] readings are relative to the
 /// first call, so event timestamps from different threads share one origin.

@@ -48,15 +48,19 @@ use std::sync::atomic::{AtomicBool, Ordering};
 static ENABLED: AtomicBool = AtomicBool::new(false);
 
 /// Turns the global recorder on or off. Off (the default) makes every
-/// recording entry point a no-op after one relaxed atomic load.
+/// recording entry point a no-op after one atomic load.
 pub fn set_enabled(on: bool) {
     ENABLED.store(on, Ordering::Release);
 }
 
 /// Whether the global recorder is currently on.
+///
+/// The acquire load pairs with the release store in [`set_enabled`], so a
+/// thread that observes the recorder as on also observes everything the
+/// enabling thread wrote before flipping the flag.
 #[inline]
 pub fn enabled() -> bool {
-    ENABLED.load(Ordering::Relaxed)
+    ENABLED.load(Ordering::Acquire)
 }
 
 /// Takes a consistent snapshot of everything recorded so far.

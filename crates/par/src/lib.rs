@@ -264,11 +264,27 @@ impl Pool {
     ) {
         let grain = grain.max(1);
         let n = data.len();
-        let base = data.as_mut_ptr() as usize;
+        // Capture the pointer itself (not a usize round-trip, which would
+        // strip provenance and is UB under the strict-provenance model that
+        // Miri checks): the wrapper only exists to make the capture `Sync`.
+        struct SyncPtr<T>(*mut T);
+        // SAFETY: the raw pointer is only dereferenced through the disjoint
+        // per-chunk sub-slices below, so sharing it across workers is sound.
+        unsafe impl<T> Sync for SyncPtr<T> {}
+        impl<T> SyncPtr<T> {
+            // Accessor (rather than field access in the closure) so the
+            // closure captures the whole Sync wrapper, not the raw field.
+            fn get(&self) -> *mut T {
+                self.0
+            }
+        }
+        let base = SyncPtr(data.as_mut_ptr());
         self.parallel_chunks(n, grain, move |range| {
+            // SAFETY: `range.start <= n`, in bounds of the allocation `base`
+            // points into (and `base` keeps its provenance, no usize detour).
+            let ptr = unsafe { base.get().add(range.start) };
             // SAFETY: ranges produced by the dispenser are disjoint and within
             // bounds, so each task gets an exclusive sub-slice.
-            let ptr = (base as *mut T).wrapping_add(range.start);
             let chunk = unsafe { std::slice::from_raw_parts_mut(ptr, range.len()) };
             f(range.start, chunk);
         });

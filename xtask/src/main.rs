@@ -5,63 +5,24 @@
 //! cargo run -p xtask -- lint
 //! ```
 //!
-//! The lints are deliberately textual — line-oriented heuristics over the
-//! source tree, not a rustc plugin — because the properties they enforce are
-//! properties of the *source text* (comments, attributes, identifier
-//! discipline) that the compiler cannot see:
-//!
-//! * **R1 — SAFETY comments**: every line introducing `unsafe` code must be
-//!   justified by a `SAFETY` comment (walking up through the comment/attribute
-//!   block above it, or within the 3 preceding lines for mid-function blocks).
-//! * **R2 — `unsafe_op_in_unsafe_fn`**: any crate root whose crate contains
-//!   `unsafe` must carry `#![deny(unsafe_op_in_unsafe_fn)]`, so unsafe
-//!   operations are always visibly scoped even inside unsafe fns.
-//! * **R3 — completion-flag orderings**: `Ordering::Relaxed` must not be used
-//!   on the completion/panic-protocol atomics (`chunks_done`, `panicked`) —
-//!   those require acquire/release pairing; a waiver comment
-//!   `// lint:relaxed-ok` on the same or previous line exempts a justified
-//!   use.
-//! * **R4 — thread spawning**: `thread::spawn` is allowed only in the two
-//!   substrate crates (`ffw-par`, `ffw-mpi`); everything else must go through
-//!   them so the checkers (watchdog, trace validation, pool accounting) see
-//!   all concurrency. Test code (a `#[cfg(test)]` suffix module or a `tests/`
-//!   directory) is exempt, as is `// lint:spawn-ok`.
-//! * **R5 — no `unwrap` on the fault-tolerant path**: `.unwrap()` is banned
-//!   in `crates/dist/src` and `crates/mpi/src` non-test code. Those crates
-//!   implement the distributed hot path whose whole contract is typed
-//!   [`FaultError`] propagation — an `unwrap` there turns a recoverable
-//!   fault into a rank-killing panic. Use `?` with a typed error, or an
-//!   explicit `unwrap_or_else(|e| panic!(...))` / `expect("reason")` where a
-//!   failure is genuinely a protocol bug. Waive with `// lint:unwrap-ok`.
-//! * **R6 — timing through `ffw-obs`**: `std::time::Instant` is banned in
-//!   `crates/` outside `crates/obs/` — all wall-clock timing goes through
-//!   `ffw_obs::Stopwatch`/`monotonic_ns` so the observability layer sees it
-//!   (and so perf numbers share one clock). Test code is exempt, as is a
-//!   justified `// lint:instant-ok` waiver.
-//! * **R7 — no unchecked communication in `ffw-dist`**: the raw panicking
-//!   primitives `.send(` / `.recv(` are banned in `crates/dist/src` non-test
-//!   code. The distributed solver's contract is typed fault propagation with
-//!   end-to-end integrity, so every hop must go through `send_checked` /
-//!   `recv_checked` (or their `_laned` ABFT variants, or `try_recv` for
-//!   polling). Waive a justified use with `// lint:unchecked-ok`.
-//! * **R8 — batched applies on the inversion hot path**: single-RHS Green's
-//!   operator applies (`g0.apply(` / `g0.try_apply(` / `engine.apply(` /
-//!   `eng.apply(`) are banned in `crates/inverse/src` and `crates/dist/src`
-//!   non-test code. The per-transmitter loops there must go through the
-//!   fused multi-RHS block path (`apply_block` / `try_apply_block` /
-//!   `solve_forward_block` / `try_dist_bicgstab_block`), which amortizes one
-//!   tree traversal and one message per peer over the whole panel. A scalar
-//!   building block (an op's own `try_apply_local`) or a deliberately
-//!   unbatched driver is waived with `// lint:single-rhs-ok`.
-//!
-//! Scope: R1–R3 cover `crates/` and `xtask/`; R4 and R6 cover `crates/` only
-//! (`third_party/` holds vendored stand-ins for external dependencies and is
-//! linted for unsafe hygiene but not spawn/timing discipline); R5 covers only
-//! the two fault-tolerant crates; R7 covers `crates/dist/src` alone; R8
-//! covers `crates/inverse/src` and `crates/dist/src`.
+//! Since the `ffw-analyze` crate landed, this is a thin wrapper: the rules
+//! themselves (R1–R12, stable codes FFW001–FFW012) live in
+//! `crates/analyze`, which lexes the source tree into real tokens instead
+//! of the line-masking heuristics this binary used to carry. Run
+//! `cargo run -p ffw-analyze -- rules` for the catalog, or
+//! `cargo run -p ffw-analyze -- check --json report.json` for the
+//! machine-readable report CI archives. `WAIVERS.md` at the workspace root
+//! is the ledger of every live lint waiver.
 
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 use std::process::ExitCode;
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("xtask sits one level under the workspace root")
+        .to_path_buf()
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -80,583 +41,25 @@ fn main() -> ExitCode {
 
 fn lint() -> ExitCode {
     let root = workspace_root();
-    let mut diagnostics = Vec::new();
-
-    for dir in ["crates", "xtask", "third_party"] {
-        for file in rust_files(&root.join(dir)) {
-            let text = match std::fs::read_to_string(&file) {
-                Ok(t) => t,
-                Err(e) => {
-                    diagnostics.push(format!("{}: unreadable: {e}", file.display()));
-                    continue;
-                }
-            };
-            let rel = file
-                .strip_prefix(&root)
-                .unwrap_or(&file)
-                .display()
-                .to_string();
-            diagnostics.extend(check_safety_comments(&rel, &text));
-            diagnostics.extend(check_unsafe_fn_attr(&rel, &text));
-            diagnostics.extend(check_relaxed_orderings(&rel, &text));
-            if dir == "crates" {
-                diagnostics.extend(check_thread_spawn(&rel, &text));
-                diagnostics.extend(check_unwrap_on_fault_path(&rel, &text));
-                diagnostics.extend(check_instant_outside_obs(&rel, &text));
-                diagnostics.extend(check_unchecked_comm(&rel, &text));
-                diagnostics.extend(check_single_rhs_apply(&rel, &text));
+    match ffw_analyze::analyze_root(&root) {
+        Ok((diags, files_scanned)) => {
+            for d in &diags {
+                eprintln!("{}", d.render());
+            }
+            if diags.is_empty() {
+                eprintln!("xtask lint: {files_scanned} files clean (via ffw-analyze, 12 rules)");
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("xtask lint: {} diagnostic(s)", diags.len());
+                ExitCode::FAILURE
             }
         }
-    }
-
-    if diagnostics.is_empty() {
-        println!("xtask lint: OK");
-        ExitCode::SUCCESS
-    } else {
-        for d in &diagnostics {
-            eprintln!("xtask lint: {d}");
+        Err(e) => {
+            eprintln!(
+                "xtask lint: cannot read workspace at {}: {e}",
+                root.display()
+            );
+            ExitCode::FAILURE
         }
-        eprintln!("xtask lint: {} violation(s)", diagnostics.len());
-        ExitCode::FAILURE
-    }
-}
-
-fn workspace_root() -> PathBuf {
-    // xtask always lives directly under the workspace root.
-    Path::new(env!("CARGO_MANIFEST_DIR"))
-        .parent()
-        .expect("xtask has a parent directory")
-        .to_path_buf()
-}
-
-fn rust_files(dir: &Path) -> Vec<PathBuf> {
-    let mut files = Vec::new();
-    let mut stack = vec![dir.to_path_buf()];
-    while let Some(d) = stack.pop() {
-        let Ok(entries) = std::fs::read_dir(&d) else {
-            continue;
-        };
-        for entry in entries.flatten() {
-            let path = entry.path();
-            if path.is_dir() {
-                if path.file_name().is_some_and(|n| n == "target") {
-                    continue;
-                }
-                stack.push(path);
-            } else if path.extension().is_some_and(|e| e == "rs") {
-                files.push(path);
-            }
-        }
-    }
-    files.sort();
-    files
-}
-
-/// Replaces string-literal contents with spaces and truncates at a trailing
-/// `//` comment, so token matching only sees actual code. (Heuristic: `"`
-/// inside char literals would confuse it; the workspace has none.)
-fn mask_code(line: &str) -> String {
-    let mut out = String::with_capacity(line.len());
-    let mut chars = line.chars().peekable();
-    let mut in_string = false;
-    while let Some(c) = chars.next() {
-        if in_string {
-            match c {
-                '\\' => {
-                    out.push(' ');
-                    if chars.next().is_some() {
-                        out.push(' ');
-                    }
-                }
-                '"' => {
-                    in_string = false;
-                    out.push('"');
-                }
-                _ => out.push(' '),
-            }
-        } else {
-            match c {
-                '"' => {
-                    in_string = true;
-                    out.push('"');
-                }
-                '/' if chars.peek() == Some(&'/') => break,
-                _ => out.push(c),
-            }
-        }
-    }
-    out
-}
-
-/// True if `line` contains `word` bounded by non-identifier characters.
-fn contains_word(line: &str, word: &str) -> bool {
-    let is_ident = |c: char| c.is_ascii_alphanumeric() || c == '_';
-    let mut start = 0;
-    while let Some(pos) = line[start..].find(word) {
-        let abs = start + pos;
-        let before_ok = abs == 0 || !line[..abs].chars().next_back().is_some_and(is_ident);
-        let after_ok = !line[abs + word.len()..]
-            .chars()
-            .next()
-            .is_some_and(is_ident);
-        if before_ok && after_ok {
-            return true;
-        }
-        start = abs + word.len();
-    }
-    false
-}
-
-fn is_comment_or_attr(line: &str) -> bool {
-    let t = line.trim_start();
-    t.is_empty() || t.starts_with("//") || t.starts_with("#[") || t.starts_with("#!")
-}
-
-/// R1: every `unsafe` introduction is covered by a SAFETY comment.
-fn check_safety_comments(file: &str, text: &str) -> Vec<String> {
-    let lines: Vec<&str> = text.lines().collect();
-    let mut out = Vec::new();
-    for (i, line) in lines.iter().enumerate() {
-        if !contains_word(&mask_code(line), "unsafe") {
-            continue;
-        }
-        // Walk up through the contiguous comment/attribute block.
-        let mut covered = false;
-        let mut j = i;
-        while j > 0 && is_comment_or_attr(lines[j - 1]) {
-            j -= 1;
-            if lines[j].contains("SAFETY") {
-                covered = true;
-                break;
-            }
-        }
-        // Mid-function blocks: accept a SAFETY comment within the 3 preceding
-        // lines even if code intervenes (e.g. pointer setup between the
-        // comment and the deref it justifies).
-        if !covered {
-            covered = lines[i.saturating_sub(3)..i]
-                .iter()
-                .any(|l| l.contains("SAFETY"));
-        }
-        if !covered {
-            out.push(format!(
-                "{file}:{}: `unsafe` without a `// SAFETY:` comment above it",
-                i + 1
-            ));
-        }
-    }
-    out
-}
-
-/// R2: crate roots of crates containing `unsafe` must deny
-/// `unsafe_op_in_unsafe_fn`.
-fn check_unsafe_fn_attr(file: &str, text: &str) -> Vec<String> {
-    let is_crate_root = file.ends_with("src/lib.rs") || file.ends_with("src/main.rs");
-    if !is_crate_root {
-        // Multi-file crates would need crate-level aggregation; every unsafe
-        // block in this workspace lives in a single-file crate root today.
-        return Vec::new();
-    }
-    let has_unsafe = text.lines().any(|l| contains_word(&mask_code(l), "unsafe"));
-    if has_unsafe && !text.contains("#![deny(unsafe_op_in_unsafe_fn)]") {
-        return vec![format!(
-            "{file}: crate contains `unsafe` but is missing #![deny(unsafe_op_in_unsafe_fn)]"
-        )];
-    }
-    Vec::new()
-}
-
-/// Atomics that implement the completion/panic protocol and therefore must
-/// never be accessed with `Ordering::Relaxed`.
-const GUARDED_ATOMICS: [&str; 2] = ["chunks_done", "panicked"];
-
-/// R3: no `Ordering::Relaxed` on completion/panic-flag atomics.
-fn check_relaxed_orderings(file: &str, text: &str) -> Vec<String> {
-    let lines: Vec<&str> = text.lines().collect();
-    let mut out = Vec::new();
-    for (i, line) in lines.iter().enumerate() {
-        let masked = mask_code(line);
-        if !masked.contains("Relaxed") {
-            continue;
-        }
-        let guarded = GUARDED_ATOMICS.iter().any(|a| contains_word(&masked, a));
-        if !guarded {
-            continue;
-        }
-        let waived =
-            line.contains("lint:relaxed-ok") || (i > 0 && lines[i - 1].contains("lint:relaxed-ok"));
-        if !waived {
-            out.push(format!(
-                "{file}:{}: Ordering::Relaxed on a completion/panic-flag atomic \
-                 (needs acquire/release; waive with `// lint:relaxed-ok` if justified)",
-                i + 1
-            ));
-        }
-    }
-    out
-}
-
-/// R4: `thread::spawn` only inside the substrate crates.
-fn check_thread_spawn(file: &str, text: &str) -> Vec<String> {
-    if file.starts_with("crates/par/") || file.starts_with("crates/mpi/") {
-        return Vec::new();
-    }
-    if file.contains("/tests/") || file.contains("/benches/") {
-        return Vec::new();
-    }
-    let mut out = Vec::new();
-    let mut in_test_suffix = false;
-    for (i, line) in text.lines().enumerate() {
-        // Convention in this workspace: the `#[cfg(test)]` module is the tail
-        // of the file, so everything after the marker is test code.
-        if line.trim_start().starts_with("#[cfg(test)]") {
-            in_test_suffix = true;
-        }
-        if in_test_suffix {
-            continue;
-        }
-        if mask_code(line).contains("thread::spawn") && !line.contains("lint:spawn-ok") {
-            out.push(format!(
-                "{file}:{}: direct thread::spawn outside ffw-par/ffw-mpi — route \
-                 concurrency through the substrate crates so the checkers see it",
-                i + 1
-            ));
-        }
-    }
-    out
-}
-
-/// R5: no `.unwrap()` in the fault-tolerant crates' non-test code.
-fn check_unwrap_on_fault_path(file: &str, text: &str) -> Vec<String> {
-    if !(file.starts_with("crates/dist/src/") || file.starts_with("crates/mpi/src/")) {
-        return Vec::new();
-    }
-    let mut out = Vec::new();
-    let mut in_test_suffix = false;
-    for (i, line) in text.lines().enumerate() {
-        if line.trim_start().starts_with("#[cfg(test)]") {
-            in_test_suffix = true;
-        }
-        if in_test_suffix {
-            continue;
-        }
-        // `.unwrap(` cannot match `.unwrap_or_else(` / `.unwrap_or(`: the
-        // next character there is `_`, not `(`.
-        if mask_code(line).contains(".unwrap(") && !line.contains("lint:unwrap-ok") {
-            out.push(format!(
-                "{file}:{}: `.unwrap()` on the fault-tolerant path — propagate a \
-                 typed FaultError (`?`) or make the panic explicit with \
-                 `unwrap_or_else`/`expect`; waive with `// lint:unwrap-ok`",
-                i + 1
-            ));
-        }
-    }
-    out
-}
-
-/// R6: `std::time::Instant` only inside `crates/obs/` — everything else
-/// times through `ffw_obs::Stopwatch` so the observability layer is the one
-/// clock.
-fn check_instant_outside_obs(file: &str, text: &str) -> Vec<String> {
-    if file.starts_with("crates/obs/") {
-        return Vec::new();
-    }
-    if file.contains("/tests/") || file.contains("/benches/") {
-        return Vec::new();
-    }
-    let mut out = Vec::new();
-    let mut in_test_suffix = false;
-    for (i, line) in text.lines().enumerate() {
-        if line.trim_start().starts_with("#[cfg(test)]") {
-            in_test_suffix = true;
-        }
-        if in_test_suffix {
-            continue;
-        }
-        if contains_word(&mask_code(line), "Instant") && !line.contains("lint:instant-ok") {
-            out.push(format!(
-                "{file}:{}: `std::time::Instant` outside ffw-obs — use \
-                 `ffw_obs::Stopwatch`/`monotonic_ns` so timing goes through the \
-                 observability layer; waive with `// lint:instant-ok`",
-                i + 1
-            ));
-        }
-    }
-    out
-}
-
-/// R7: no raw `.send(` / `.recv(` in `crates/dist/src` non-test code — the
-/// distributed solver must use the checked (typed-error, integrity-framed)
-/// communication paths so a fault can never escalate into a panic or a
-/// silently corrupted hop.
-fn check_unchecked_comm(file: &str, text: &str) -> Vec<String> {
-    if !file.starts_with("crates/dist/src/") {
-        return Vec::new();
-    }
-    let mut out = Vec::new();
-    let mut in_test_suffix = false;
-    for (i, line) in text.lines().enumerate() {
-        if line.trim_start().starts_with("#[cfg(test)]") {
-            in_test_suffix = true;
-        }
-        if in_test_suffix {
-            continue;
-        }
-        let masked = mask_code(line);
-        // `.send(` cannot match `.send_checked(` and `.recv(` cannot match
-        // `.recv_checked(` or `.try_recv(`: the raw forms are followed
-        // immediately by `(`, with a literal `.` before the method name.
-        if (masked.contains(".send(") || masked.contains(".recv("))
-            && !line.contains("lint:unchecked-ok")
-        {
-            out.push(format!(
-                "{file}:{}: raw `.send(`/`.recv(` in ffw-dist — use \
-                 `send_checked`/`recv_checked` (or the `_laned` ABFT variants) \
-                 so faults propagate as typed errors; waive with \
-                 `// lint:unchecked-ok`",
-                i + 1
-            ));
-        }
-    }
-    out
-}
-
-/// Single-RHS spellings of the Green's operator apply that R8 bans on the
-/// inversion hot path (the receiver names are the workspace's conventions
-/// for the MLFMA operator).
-const SINGLE_RHS_APPLIES: [&str; 4] = ["g0.apply(", "g0.try_apply(", "engine.apply(", "eng.apply("];
-
-/// R8: no single-RHS Green's operator applies in `crates/inverse/src` /
-/// `crates/dist/src` non-test code — the per-transmitter loops must use the
-/// fused multi-RHS block path so operators are loaded once per panel and
-/// messages are fused per peer. Waive scalar building blocks with
-/// `// lint:single-rhs-ok`.
-fn check_single_rhs_apply(file: &str, text: &str) -> Vec<String> {
-    if !(file.starts_with("crates/inverse/src/") || file.starts_with("crates/dist/src/")) {
-        return Vec::new();
-    }
-    let mut out = Vec::new();
-    let mut in_test_suffix = false;
-    for (i, line) in text.lines().enumerate() {
-        if line.trim_start().starts_with("#[cfg(test)]") {
-            in_test_suffix = true;
-        }
-        if in_test_suffix {
-            continue;
-        }
-        let masked = mask_code(line);
-        // The block spellings cannot match: `g0.apply_block(` continues with
-        // `_`, not `(`, after `apply`.
-        if SINGLE_RHS_APPLIES.iter().any(|p| masked.contains(p))
-            && !line.contains("lint:single-rhs-ok")
-            && !(i > 0
-                && text
-                    .lines()
-                    .nth(i - 1)
-                    .is_some_and(|l| l.contains("lint:single-rhs-ok")))
-        {
-            out.push(format!(
-                "{file}:{}: single-RHS Green's operator apply on the inversion \
-                 hot path — batch through `apply_block`/`try_apply_block` (or \
-                 the block solvers) so traversals and messages are fused; \
-                 waive a scalar building block with `// lint:single-rhs-ok`",
-                i + 1
-            ));
-        }
-    }
-    out
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn word_boundaries() {
-        assert!(contains_word("let x = unsafe {", "unsafe"));
-        assert!(!contains_word("#![deny(unsafe_op_in_unsafe_fn)]", "unsafe"));
-        assert!(!contains_word("unsafely", "unsafe"));
-        assert!(contains_word("(unsafe)", "unsafe"));
-    }
-
-    #[test]
-    fn safety_comment_directly_above_passes() {
-        let src = "// SAFETY: justified\nunsafe impl Send for X {}\n";
-        assert!(check_safety_comments("f.rs", src).is_empty());
-    }
-
-    #[test]
-    fn safety_comment_through_doc_block_passes() {
-        let src =
-            "/// Does things.\n///\n/// SAFETY contract: caller ensures X.\nunsafe fn f() {}\n";
-        assert!(check_safety_comments("f.rs", src).is_empty());
-    }
-
-    #[test]
-    fn missing_safety_comment_fails() {
-        let src = "fn f() {\n    let x = unsafe { *p };\n}\n";
-        let diags = check_safety_comments("f.rs", src);
-        assert_eq!(diags.len(), 1);
-        assert!(diags[0].contains("f.rs:2"));
-    }
-
-    #[test]
-    fn nearby_safety_with_intervening_code_passes() {
-        let src = "// SAFETY: chunks are disjoint\nlet ptr = base.add(off);\nlet s = unsafe { from_raw_parts_mut(ptr, n) };\n";
-        assert!(check_safety_comments("f.rs", src).is_empty());
-    }
-
-    #[test]
-    fn unsafe_crate_without_deny_attr_fails() {
-        let src = "unsafe fn f() {}\n";
-        assert_eq!(check_unsafe_fn_attr("crates/x/src/lib.rs", src).len(), 1);
-        let fixed = "#![deny(unsafe_op_in_unsafe_fn)]\nunsafe fn f() {}\n";
-        assert!(check_unsafe_fn_attr("crates/x/src/lib.rs", fixed).is_empty());
-    }
-
-    #[test]
-    fn relaxed_on_guarded_atomic_fails() {
-        let src = "self.chunks_done.fetch_add(1, Ordering::Relaxed);\n";
-        assert_eq!(check_relaxed_orderings("f.rs", src).len(), 1);
-        let ok = "self.dispenser.fetch_add(1, Ordering::Relaxed);\n";
-        assert!(check_relaxed_orderings("f.rs", ok).is_empty());
-        let waived =
-            "// lint:relaxed-ok — diagnostic counter only\nself.panicked.load(Ordering::Relaxed);\n";
-        assert!(check_relaxed_orderings("f.rs", waived).is_empty());
-    }
-
-    #[test]
-    fn spawn_outside_substrate_fails() {
-        let src = "std::thread::spawn(|| {});\n";
-        assert_eq!(
-            check_thread_spawn("crates/dist/src/engine.rs", src).len(),
-            1
-        );
-        assert!(check_thread_spawn("crates/par/src/lib.rs", src).is_empty());
-        assert!(check_thread_spawn("crates/dist/tests/t.rs", src).is_empty());
-        let test_only =
-            "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g() { std::thread::spawn(|| {}); }\n}\n";
-        assert!(check_thread_spawn("crates/dist/src/engine.rs", test_only).is_empty());
-    }
-
-    #[test]
-    fn unwrap_on_fault_path_fails() {
-        let src = "let v = rx.recv().unwrap();\n";
-        assert_eq!(
-            check_unwrap_on_fault_path("crates/dist/src/solver.rs", src).len(),
-            1
-        );
-        assert_eq!(
-            check_unwrap_on_fault_path("crates/mpi/src/lib.rs", src).len(),
-            1
-        );
-        // Other crates, tests, and the explicit forms are out of scope.
-        assert!(check_unwrap_on_fault_path("crates/solver/src/krylov.rs", src).is_empty());
-        assert!(check_unwrap_on_fault_path("crates/dist/tests/t.rs", src).is_empty());
-        let explicit = "let v = rx.recv().unwrap_or_else(|e| panic!(\"bug: {e}\"));\n";
-        assert!(check_unwrap_on_fault_path("crates/dist/src/solver.rs", explicit).is_empty());
-        let waived = "let v = rx.recv().unwrap(); // lint:unwrap-ok — startup only\n";
-        assert!(check_unwrap_on_fault_path("crates/dist/src/solver.rs", waived).is_empty());
-        let test_only = "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g() { x.unwrap(); }\n}\n";
-        assert!(check_unwrap_on_fault_path("crates/dist/src/solver.rs", test_only).is_empty());
-    }
-
-    #[test]
-    fn instant_outside_obs_fails() {
-        let src = "use std::time::Instant;\nlet t0 = Instant::now();\n";
-        assert_eq!(
-            check_instant_outside_obs("crates/bench/src/bin/fig13.rs", src).len(),
-            2
-        );
-        // The observability crate itself, tests, and waived lines are exempt.
-        assert!(check_instant_outside_obs("crates/obs/src/clock.rs", src).is_empty());
-        assert!(check_instant_outside_obs("crates/solver/tests/t.rs", src).is_empty());
-        let waived = "use std::time::Instant; // lint:instant-ok — calibration\n";
-        assert!(check_instant_outside_obs("crates/perf/src/lib.rs", waived).is_empty());
-        let test_only =
-            "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g() { let _ = Instant::now(); }\n}\n";
-        assert!(check_instant_outside_obs("crates/perf/src/lib.rs", test_only).is_empty());
-        // `Instant` inside a string literal or identifier does not trip it.
-        let masked = "println!(\"Instant\"); let reinstant_x = 1;\n";
-        assert!(check_instant_outside_obs("crates/perf/src/lib.rs", masked).is_empty());
-    }
-
-    #[test]
-    fn unchecked_comm_in_dist_fails() {
-        let src = "comm.send(1, TAG, payload);\nlet v = comm.recv(0, TAG);\n";
-        assert_eq!(check_unchecked_comm("crates/dist/src/ft.rs", src).len(), 2);
-        // The checked and polling forms pass, as do other crates and tests.
-        let checked = "comm.send_checked(1, TAG, payload)?;\n\
-                       let v = comm.recv_checked(0, TAG)?;\n\
-                       let (p, lane) = comm.recv_checked_laned(0, TAG)?;\n\
-                       let m = comm.try_recv(0, TAG);\n";
-        assert!(check_unchecked_comm("crates/dist/src/ft.rs", checked).is_empty());
-        assert!(check_unchecked_comm("crates/mpi/src/lib.rs", src).is_empty());
-        let waived = "comm.send(1, TAG, payload); // lint:unchecked-ok — demo path\n";
-        assert!(check_unchecked_comm("crates/dist/src/ft.rs", waived).is_empty());
-        let test_only =
-            "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g() { comm.send(1, 0, p); }\n}\n";
-        assert!(check_unchecked_comm("crates/dist/src/ft.rs", test_only).is_empty());
-        // String literals do not trip it.
-        let in_string = "panic!(\"call .send( correctly\");\n";
-        assert!(check_unchecked_comm("crates/dist/src/ft.rs", in_string).is_empty());
-    }
-
-    #[test]
-    fn single_rhs_apply_on_hot_path_fails() {
-        let src = "g0.apply(&w, &mut g0w);\n";
-        assert_eq!(
-            check_single_rhs_apply("crates/inverse/src/dbim.rs", src).len(),
-            1
-        );
-        assert_eq!(
-            check_single_rhs_apply("crates/dist/src/ft.rs", src).len(),
-            1
-        );
-        let try_form = "self.g0.try_apply(&ox, y_local)?;\n";
-        assert_eq!(
-            check_single_rhs_apply("crates/dist/src/solver.rs", try_form).len(),
-            1
-        );
-        // The block spellings, other crates, tests, and waivers pass.
-        let block = "g0.apply_block(&refs, &mut ys);\ng0.try_apply_block(&refs, &mut ys)?;\n";
-        assert!(check_single_rhs_apply("crates/inverse/src/dbim.rs", block).is_empty());
-        assert!(check_single_rhs_apply("crates/solver/src/forward.rs", src).is_empty());
-        assert!(check_single_rhs_apply("crates/inverse/tests/t.rs", src).is_empty());
-        let waived = "g0.apply(&w, &mut g0w); // lint:single-rhs-ok scalar path\n";
-        assert!(check_single_rhs_apply("crates/inverse/src/dbim.rs", waived).is_empty());
-        let waived_above =
-            "// lint:single-rhs-ok scalar building block\nself.g0.try_apply(&ox, y)?;\n";
-        assert!(check_single_rhs_apply("crates/dist/src/solver.rs", waived_above).is_empty());
-        let test_only =
-            "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g() { g0.apply(&x, &mut y); }\n}\n";
-        assert!(check_single_rhs_apply("crates/inverse/src/dbim.rs", test_only).is_empty());
-        // String literals do not trip it.
-        let in_string = "panic!(\"g0.apply( failed\");\n";
-        assert!(check_single_rhs_apply("crates/inverse/src/dbim.rs", in_string).is_empty());
-    }
-
-    #[test]
-    fn lint_rules_pass_on_this_workspace() {
-        // The gate must be green on the tree it ships in.
-        let root = workspace_root();
-        let mut diags = Vec::new();
-        for dir in ["crates", "xtask", "third_party"] {
-            for file in rust_files(&root.join(dir)) {
-                let text = std::fs::read_to_string(&file).unwrap();
-                let rel = file.strip_prefix(&root).unwrap().display().to_string();
-                diags.extend(check_safety_comments(&rel, &text));
-                diags.extend(check_unsafe_fn_attr(&rel, &text));
-                diags.extend(check_relaxed_orderings(&rel, &text));
-                if dir == "crates" {
-                    diags.extend(check_thread_spawn(&rel, &text));
-                    diags.extend(check_unwrap_on_fault_path(&rel, &text));
-                    diags.extend(check_instant_outside_obs(&rel, &text));
-                    diags.extend(check_unchecked_comm(&rel, &text));
-                    diags.extend(check_single_rhs_apply(&rel, &text));
-                }
-            }
-        }
-        assert!(diags.is_empty(), "lint violations:\n{}", diags.join("\n"));
     }
 }
