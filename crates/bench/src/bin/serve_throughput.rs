@@ -1,0 +1,192 @@
+//! Service-throughput harness for `ffw-serve`: drive an in-process job
+//! engine with a mixed multi-tenant queue and gate the two properties the
+//! service is built around, compared against the committed `BENCH_pr7.json`
+//! at the workspace root.
+//!
+//! The workload is `JOBS` reconstruction jobs spread across `GEOMETRIES`
+//! distinct scene geometries (size/tx/rx triples), submitted back-to-back
+//! the way a saturated tenant mix would arrive, and run on `WORKERS`
+//! workers sharing one plan cache. Two gates, both machine-independent:
+//!
+//! * **completion** — every accepted job must reach `Done`; the admission
+//!   queue is sized so nothing is shed.
+//! * **plan dedup** — jobs sharing a geometry must share one immutable
+//!   `MlfmaPlan`, so cache hits must be at least `JOBS - GEOMETRIES`
+//!   (each distinct geometry pays exactly one build).
+//!
+//! Wall-clock throughput (jobs/s) is recorded for trend-watching but never
+//! gated — it depends on the machine. `--write-baseline` (over)writes the
+//! committed `BENCH_pr7.json` at the workspace root; the default mode
+//! writes the fresh record to `results/BENCH_pr7.json` and gates.
+
+use crossbeam_channel::unbounded;
+use ffw_serve::json::Json;
+use ffw_serve::{Engine, JobState, ServeConfig};
+use serde::Serialize;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// Total jobs in the mixed queue.
+const JOBS: usize = 12;
+/// Distinct (size, tx, rx) geometries the jobs cycle through.
+const GEOMETRIES: [(u32, u32, u32); 3] = [(32, 2, 4), (32, 4, 8), (64, 2, 4)];
+/// Worker threads sharing the plan cache.
+const WORKERS: usize = 4;
+
+/// The committed record; regenerate with `--write-baseline`.
+#[derive(Serialize, Clone, Debug)]
+struct ServeBenchRecord {
+    schema: String,
+    jobs: u64,
+    geometries: u64,
+    workers: u64,
+    /// Submit of the first job to terminal state of the last.
+    secs_total: f64,
+    /// `jobs / secs_total` — recorded, never gated.
+    jobs_per_sec: f64,
+    jobs_completed: u64,
+    plan_cache_hits: u64,
+    plan_cache_misses: u64,
+}
+
+fn job_json(i: usize) -> Json {
+    let (size, tx, rx) = GEOMETRIES[i % GEOMETRIES.len()];
+    let phantom = if i.is_multiple_of(2) {
+        "cylinder"
+    } else {
+        "annulus"
+    };
+    Json::parse(&format!(
+        r#"{{"id":"job-{i}","size":{size},"tx":{tx},"rx":{rx},"iterations":1,"phantom":"{phantom}"}}"#
+    ))
+    .expect("job json")
+}
+
+fn measure() -> ServeBenchRecord {
+    let dir = std::env::temp_dir().join(format!("ffw-serve-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = ServeConfig {
+        workers: WORKERS,
+        queue_capacity: JOBS,
+        ..ServeConfig::new(dir.clone())
+    };
+    let engine = Engine::open(cfg).expect("open engine");
+
+    let sw = ffw_obs::Stopwatch::start();
+    let (reply_tx, reply_rx) = unbounded();
+    for i in 0..JOBS {
+        engine.submit(&job_json(i), reply_tx.clone());
+    }
+    drop(reply_tx);
+    // Progress/terminal events share the reply channel with admission
+    // acks, so count decisions (accepted/rejected), not raw lines.
+    let mut accepted = 0;
+    let mut decided = 0;
+    while decided < JOBS {
+        let line = reply_rx.recv().expect("admission reply");
+        if line.contains(r#""ev":"accepted""#) {
+            accepted += 1;
+            decided += 1;
+        } else if line.contains(r#""ev":"rejected""#) {
+            decided += 1;
+        }
+    }
+    assert_eq!(accepted, JOBS, "the queue is sized to accept every job");
+
+    let mut completed = 0;
+    for i in 0..JOBS {
+        let id = format!("job-{i}");
+        loop {
+            match engine.job_state(&id) {
+                Some(JobState::Done) => {
+                    completed += 1;
+                    break;
+                }
+                Some(JobState::Failed | JobState::Cancelled) => break,
+                _ => std::thread::sleep(Duration::from_millis(2)),
+            }
+        }
+    }
+    let secs_total = sw.elapsed_secs();
+    engine.drain(false);
+    engine.join();
+
+    let rec = ServeBenchRecord {
+        schema: "ffw-bench-serve-throughput/1".into(),
+        jobs: JOBS as u64,
+        geometries: GEOMETRIES.len() as u64,
+        workers: WORKERS as u64,
+        secs_total,
+        jobs_per_sec: JOBS as f64 / secs_total,
+        jobs_completed: completed,
+        plan_cache_hits: engine.plan_cache_hits(),
+        plan_cache_misses: engine.plan_cache_misses(),
+    };
+    let _ = std::fs::remove_dir_all(&dir);
+    rec
+}
+
+fn baseline_path() -> PathBuf {
+    // crates/bench -> workspace root
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_pr7.json")
+}
+
+fn print_record(r: &ServeBenchRecord) {
+    println!(
+        "serve: {} jobs over {} geometries on {} workers in {:.2}s = {:.1} jobs/s",
+        r.jobs, r.geometries, r.workers, r.secs_total, r.jobs_per_sec
+    );
+    println!(
+        "plan cache: {} hits / {} misses (floor: hits >= jobs - geometries = {})",
+        r.plan_cache_hits,
+        r.plan_cache_misses,
+        r.jobs - r.geometries
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let write_baseline = args.iter().any(|a| a == "--write-baseline");
+
+    let fresh = measure();
+    print_record(&fresh);
+
+    if write_baseline {
+        let path = baseline_path();
+        let body = serde_json::to_string_pretty(&fresh).expect("serializable");
+        std::fs::write(&path, body + "\n").expect("write baseline");
+        println!("wrote baseline {}", path.display());
+        return;
+    }
+
+    ffw_bench::write_json("BENCH_pr7", &fresh).expect("write fresh record");
+    let mut fails = Vec::new();
+    if fresh.jobs_completed != fresh.jobs {
+        fails.push(format!(
+            "only {}/{} jobs completed",
+            fresh.jobs_completed, fresh.jobs
+        ));
+    }
+    let hit_floor = fresh.jobs - fresh.geometries;
+    if fresh.plan_cache_hits < hit_floor {
+        fails.push(format!(
+            "plan cache hits {} below the dedup floor {hit_floor}",
+            fresh.plan_cache_hits
+        ));
+    }
+    if fresh.plan_cache_misses > fresh.geometries {
+        fails.push(format!(
+            "plan cache misses {} exceed the {} distinct geometries",
+            fresh.plan_cache_misses, fresh.geometries
+        ));
+    }
+    if fails.is_empty() {
+        println!("serve throughput gate: OK");
+    } else {
+        eprintln!("serve throughput gate: FAILED");
+        for f in &fails {
+            eprintln!("  - {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,167 @@
+//! Static validator for job-lifecycle event logs.
+//!
+//! `ffw-serve` journals every job transition to an append-only log and
+//! replays it on restart. This module is the model-level checker for that
+//! log: given the recovered sequence of `(job id, transition)` pairs, it
+//! verifies the per-job state machine
+//!
+//! ```text
+//! (none) --Accepted--> Queued --Started--> Running --Done----> terminal
+//!                        |  ^                |  |----Failed--> terminal
+//!                        |  '---Started------'  '---Cancelled> terminal
+//!                        '------Cancelled---------------------> terminal
+//! ```
+//!
+//! (`Started` may repeat — each transient-fault retry re-starts the job —
+//! and a queued job may be cancelled before ever starting). Any other
+//! sequence means the journal was corrupted in a way the frame checksums
+//! could not see (e.g. frames from two interleaved service instances), and
+//! recovery must fail with a typed report instead of re-queueing garbage.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// The transition kinds a job log may contain, in journal order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobTransition {
+    /// Admission accepted the job (must be each id's first transition).
+    Accepted,
+    /// A worker began (or re-began, on retry) executing the job.
+    Started,
+    /// Terminal: completed successfully.
+    Done,
+    /// Terminal: failed.
+    Failed,
+    /// Terminal: cancelled.
+    Cancelled,
+}
+
+/// A violation of the job state machine found in an event log.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobLogViolation {
+    /// Index of the offending event in the log.
+    pub index: usize,
+    /// The job the event concerns.
+    pub id: String,
+    /// What was wrong.
+    pub detail: String,
+}
+
+impl fmt::Display for JobLogViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "event {} (job '{}'): {}",
+            self.index, self.id, self.detail
+        )
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum State {
+    Queued,
+    Running,
+    Terminal(JobTransition),
+}
+
+/// Replays `events` through the per-job state machine and returns every
+/// violation (empty = the log is a legal history). Never panics, whatever
+/// the input order.
+pub fn validate_job_log(events: &[(String, JobTransition)]) -> Vec<JobLogViolation> {
+    let mut states: HashMap<&str, State> = HashMap::new();
+    let mut violations = Vec::new();
+    for (index, (id, t)) in events.iter().enumerate() {
+        let bad = |detail: String| JobLogViolation {
+            index,
+            id: id.clone(),
+            detail,
+        };
+        match (states.get(id.as_str()).copied(), *t) {
+            (None, JobTransition::Accepted) => {
+                states.insert(id, State::Queued);
+            }
+            (None, other) => {
+                violations.push(bad(format!("{other:?} before Accepted")));
+            }
+            (Some(State::Terminal(term)), other) => {
+                violations.push(bad(format!("{other:?} after terminal {term:?}")));
+            }
+            (Some(_), JobTransition::Accepted) => {
+                violations.push(bad("second Accepted for the same id".into()));
+            }
+            (Some(State::Queued | State::Running), JobTransition::Started) => {
+                states.insert(id, State::Running);
+            }
+            (Some(State::Running), t @ (JobTransition::Done | JobTransition::Failed)) => {
+                states.insert(id, State::Terminal(t));
+            }
+            (Some(State::Queued), t @ JobTransition::Failed) => {
+                // Admission-accepted work can fail before starting (e.g. a
+                // poisoned checkpoint discovered at re-queue time).
+                states.insert(id, State::Terminal(t));
+            }
+            (Some(State::Queued | State::Running), t @ JobTransition::Cancelled) => {
+                states.insert(id, State::Terminal(t));
+            }
+            (Some(State::Queued), JobTransition::Done) => {
+                violations.push(bad("Done without Started".into()));
+            }
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use JobTransition::*;
+
+    fn log(pairs: &[(&str, JobTransition)]) -> Vec<(String, JobTransition)> {
+        pairs.iter().map(|(id, t)| (id.to_string(), *t)).collect()
+    }
+
+    #[test]
+    fn legal_histories_pass() {
+        let events = log(&[
+            ("a", Accepted),
+            ("b", Accepted),
+            ("a", Started),
+            ("b", Started),
+            ("a", Started), // retry
+            ("a", Done),
+            ("b", Failed),
+            ("c", Accepted),
+            ("c", Cancelled), // cancelled while queued
+            ("d", Accepted),
+            ("d", Started),
+            ("d", Cancelled),
+        ]);
+        assert_eq!(validate_job_log(&events), vec![]);
+    }
+
+    #[test]
+    fn illegal_transitions_are_located() {
+        let events = log(&[
+            ("a", Started), // 0: before Accepted
+            ("b", Accepted),
+            ("b", Done), // 2: Done without Started
+            ("c", Accepted),
+            ("c", Accepted), // 4: duplicate accept
+            ("d", Accepted),
+            ("d", Started),
+            ("d", Done),
+            ("d", Started), // 8: after terminal
+        ]);
+        let v = validate_job_log(&events);
+        let indices: Vec<usize> = v.iter().map(|x| x.index).collect();
+        assert_eq!(indices, vec![0, 2, 4, 8]);
+        assert!(v[0].detail.contains("before Accepted"));
+        assert!(v[1].detail.contains("without Started"));
+        assert!(v[3].detail.contains("after terminal"));
+    }
+
+    #[test]
+    fn empty_log_is_legal() {
+        assert!(validate_job_log(&[]).is_empty());
+    }
+}

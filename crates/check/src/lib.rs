@@ -20,6 +20,8 @@
 //!   protocol and the `ffw-par` chunk-dispenser protocol, explored
 //!   exhaustively by the tests in `tests/explore.rs` (including seeded-bug
 //!   mutations that the explorer must catch).
+//! * [`jobs`] — the job-lifecycle state machine validator `ffw-serve` runs
+//!   over its recovered journal before re-queueing anything.
 //!
 //! `ffw-mpi` depends on this crate for the event types and the deadlock
 //! analysis; the schedule explorer is self-contained and model-based, so it
@@ -27,11 +29,13 @@
 
 #![warn(missing_docs)]
 
+pub mod jobs;
 pub mod loom;
 pub mod models;
 pub mod trace;
 pub mod waitgraph;
 
+pub use jobs::{validate_job_log, JobLogViolation, JobTransition};
 pub use loom::{ExploreReport, Explorer, Model};
 pub use trace::{
     validate_traces, validate_traces_faulty, CollectiveKind, Event, FaultEvent, LeakedMessage,

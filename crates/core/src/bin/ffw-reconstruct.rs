@@ -9,11 +9,12 @@
 //! Writes `<out>_truth.pgm` and `<out>_reconstruction.pgm` and prints the
 //! reconstruction metrics.
 
-use ffw_dist::{run_dbim_ft, FtConfig};
+use ffw_dist::{run_dbim_ft, FtConfig, JobControl};
 use ffw_geometry::Point2;
 use ffw_inverse::{add_noise, BornConfig, DbimConfig};
 use ffw_mpi::FaultPlan;
 use ffw_phantom::{image_rel_error, Annulus, Cylinder, Phantom, RandomBlobs, SheppLogan};
+use ffw_tomo::exit::{exit_code_for, EXIT_INTERRUPTED};
 use ffw_tomo::viz::write_pgm;
 use ffw_tomo::{Reconstruction, SceneConfig};
 use std::path::PathBuf;
@@ -197,7 +198,12 @@ fn parse_args() -> Result<Cli, String> {
                      --metrics writes the run's spans, counters, series and events \
                      as JSON (JSONL when PATH ends in .jsonl); --profile prints a \
                      flamegraph-style span breakdown to stderr. Either flag turns \
-                     the recorder on."
+                     the recorder on.\n\n\
+                     exit codes: 0 success; 1 generic failure; 2 invalid usage; \
+                     3 Krylov breakdown; 4 recovery budget exhausted; 5 interrupted \
+                     by SIGTERM/SIGINT with the checkpoint flushed (distributed \
+                     runs stop at the next outer-iteration boundary and --resume \
+                     continues bit-identically)."
                 );
                 std::process::exit(0);
             }
@@ -284,6 +290,10 @@ fn main() {
         println!("Born (single scattering): {:?}", result.stats);
         (recon.image(&result.object), "Born")
     } else if let Some(groups) = cli.groups {
+        // SIGTERM/SIGINT stop the run cooperatively at the next
+        // outer-iteration boundary, *after* that iteration's checkpoint is
+        // flushed, so a `--resume` continues bit-identically (exit code 5).
+        ffw_fault::install_shutdown_handler();
         let ft = FtConfig {
             dbim: DbimConfig {
                 iterations: cli.iterations,
@@ -301,14 +311,27 @@ fn main() {
                 .chaos_seed
                 .map(|s| FaultPlan::seeded(s, groups * cli.subtree)),
             deadlock_timeout: None,
+            control: Some(JobControl::new().with_shutdown()),
         };
         let result = match run_dbim_ft(&recon.setup, Arc::clone(&recon.plan), &measured, &ft) {
             Ok(r) => r,
             Err(e) => {
                 eprintln!("fault-tolerant DBIM failed: {e}");
-                std::process::exit(1);
+                std::process::exit(exit_code_for(&e));
             }
         };
+        if let Some(next_iter) = result.interrupted {
+            eprintln!(
+                "interrupted: stopped after outer iteration {} with checkpoint \
+                 flushed{}; rerun with --resume to continue bit-identically",
+                next_iter,
+                match &cli.checkpoint {
+                    Some(p) => format!(" to {}", p.display()),
+                    None => String::new(),
+                }
+            );
+            std::process::exit(EXIT_INTERRUPTED);
+        }
         println!(
             "fault-tolerant DBIM ({groups} groups x {} sub-trees): residual {:.3}%, \
              lost illuminations {:?}, restarts {}",

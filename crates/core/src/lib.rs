@@ -22,6 +22,7 @@
 
 #![warn(missing_docs)]
 
+pub mod exit;
 pub mod viz;
 
 use ffw_geometry::{Domain, QuadTree, TransducerArray};
@@ -94,6 +95,19 @@ pub struct Reconstruction {
 impl Reconstruction {
     /// Builds the pipeline for a scene.
     pub fn new(scene: &SceneConfig) -> Self {
+        let threads = if scene.threads == 0 {
+            Pool::global().n_threads()
+        } else {
+            scene.threads
+        };
+        Self::with_pool(scene, Arc::new(Pool::new(threads)))
+    }
+
+    /// Builds the pipeline on a caller-supplied thread pool, ignoring
+    /// `scene.threads`. Lets a multi-tenant host (e.g. `ffw-serve`) run many
+    /// pipelines on one shared pool instead of spawning a thread team per
+    /// job.
+    pub fn with_pool(scene: &SceneConfig, pool: Arc<Pool>) -> Self {
         let domain = Domain::new(scene.n_side_px, scene.wavelength);
         let radius = scene.ring_radius_factor * domain.side();
         let (txs, rxs) = match scene.arc {
@@ -108,12 +122,6 @@ impl Reconstruction {
         };
         let setup = ImagingSetup::new(domain.clone(), txs, rxs);
         let plan = Arc::new(MlfmaPlan::new(&domain, scene.accuracy));
-        let threads = if scene.threads == 0 {
-            Pool::global().n_threads()
-        } else {
-            scene.threads
-        };
-        let pool = Arc::new(Pool::new(threads));
         let g0 = MlfmaG0(Arc::new(MlfmaEngine::new(Arc::clone(&plan), pool)));
         Reconstruction { setup, plan, g0 }
     }

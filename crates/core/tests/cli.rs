@@ -101,3 +101,159 @@ fn help_exits_zero_and_documents_recovery_flags() {
         assert!(stdout.contains(flag), "help does not document {flag}");
     }
 }
+
+#[test]
+fn help_documents_every_exit_code() {
+    let out = run(&["--help"]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for needle in [
+        "exit codes:",
+        "3 Krylov breakdown",
+        "4 recovery budget exhausted",
+        "5 interrupted",
+    ] {
+        assert!(stdout.contains(needle), "help does not document '{needle}'");
+    }
+}
+
+/// Seed 0 of the chaos matrix is a crash-class fault plan (`seed % 6 == 0`);
+/// with `--max-restarts 0` the driver cannot relaunch, so the run must end
+/// with the documented budget-exhausted exit code 4 — not a generic 1 and
+/// not a panic.
+#[test]
+fn exhausted_recovery_budget_exits_with_code_4() {
+    let out = Command::new(env!("CARGO_BIN_EXE_ffw-reconstruct"))
+        .args([
+            "--size",
+            "32",
+            "--tx",
+            "4",
+            "--rx",
+            "8",
+            "--iterations",
+            "2",
+            "--groups",
+            "2",
+            "--subtree",
+            "2",
+            "--chaos-seed",
+            "0",
+            "--max-restarts",
+            "0",
+        ])
+        .env("FFW_THREADS", "2")
+        .env("FFW_DEADLOCK_TIMEOUT_MS", "500")
+        .output()
+        .expect("spawn ffw-reconstruct");
+    assert_eq!(
+        out.status.code(),
+        Some(4),
+        "expected budget-exhausted exit code 4\nstderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("fault-tolerant DBIM failed"),
+        "stderr must attribute the failure: {stderr}"
+    );
+}
+
+/// SIGTERM mid-run must flush the in-flight checkpoint, exit with the
+/// documented code 5, and leave a state from which `--resume` finishes and
+/// produces the bit-identical image of an uninterrupted run.
+#[test]
+fn sigterm_flushes_checkpoint_and_resume_is_bit_identical() {
+    use std::time::{Duration, Instant};
+    let dir = std::env::temp_dir().join(format!("ffw-cli-sigterm-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create tmp dir");
+    let ckpt = dir.join("run.ckpt");
+    let scene_args = [
+        "--size",
+        "32",
+        "--tx",
+        "4",
+        "--rx",
+        "8",
+        "--iterations",
+        "6",
+        "--groups",
+        "2",
+        "--subtree",
+        "2",
+    ];
+
+    // Reference: the same scene run to completion without interruption.
+    let ref_out = dir.join("reference");
+    let out = Command::new(env!("CARGO_BIN_EXE_ffw-reconstruct"))
+        .args(scene_args)
+        .args(["--out", ref_out.to_str().expect("utf8 path")])
+        .env("FFW_THREADS", "2")
+        .output()
+        .expect("reference run");
+    assert_eq!(out.status.code(), Some(0), "reference run failed");
+
+    // Interrupted run: SIGTERM as soon as the first checkpoint lands.
+    let mut child = Command::new(env!("CARGO_BIN_EXE_ffw-reconstruct"))
+        .args(scene_args)
+        .args(["--checkpoint", ckpt.to_str().expect("utf8 path")])
+        .env("FFW_THREADS", "2")
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn interruptible run");
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while !ckpt.exists() {
+        assert!(Instant::now() < deadline, "no checkpoint appeared");
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            panic!("run finished (status {status:?}) before any checkpoint");
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let term = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("send SIGTERM");
+    assert!(term.success(), "kill -TERM failed");
+    let out = child.wait_with_output().expect("wait for interrupted run");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        out.status.code(),
+        Some(5),
+        "expected interrupted exit code 5\nstderr: {stderr}"
+    );
+    assert!(
+        stderr.contains("checkpoint") && stderr.contains("--resume"),
+        "stderr must say the checkpoint was flushed and how to resume: {stderr}"
+    );
+    assert!(ckpt.exists(), "interrupted run must leave its checkpoint");
+
+    // Resume must finish cleanly and reproduce the reference bit-for-bit.
+    let res_out = dir.join("resumed");
+    let out = Command::new(env!("CARGO_BIN_EXE_ffw-reconstruct"))
+        .args(scene_args)
+        .args([
+            "--checkpoint",
+            ckpt.to_str().expect("utf8 path"),
+            "--resume",
+        ])
+        .args(["--out", res_out.to_str().expect("utf8 path")])
+        .env("FFW_THREADS", "2")
+        .output()
+        .expect("resume run");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "resume failed\nstderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let reference = std::fs::read(format!("{}_reconstruction.pgm", ref_out.display()))
+        .expect("reference image");
+    let resumed =
+        std::fs::read(format!("{}_reconstruction.pgm", res_out.display())).expect("resumed image");
+    assert_eq!(
+        reference, resumed,
+        "resumed reconstruction must be bit-identical to the uninterrupted run"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -36,6 +36,7 @@
 //! the checkpoint carries everything the iteration boundary depends on, and
 //! a config fingerprint guards against resuming someone else's state.
 
+use crate::control::{IterProgress, JobControl};
 use crate::engine::DistMlfma;
 use crate::solver::{
     try_allreduce_scalars, try_dist_bicgstab_block, DistAdjointScatteringOp, DistScatteringOp,
@@ -82,6 +83,14 @@ pub struct FtConfig {
     /// Must be at least 1; the default is 1 (always redistribute while any
     /// group survives).
     pub min_groups: usize,
+    /// External control: cooperative cancel/pause plus per-iteration
+    /// progress streaming. When the stop intent is raised (directly or via
+    /// the process-wide shutdown flag), every rank agrees collectively at
+    /// the next outer-iteration boundary — *after* that iteration's
+    /// checkpoint is written — and the driver returns with
+    /// [`FtDbimResult::interrupted`] set. Resuming from the checkpoint
+    /// continues bit-identically with an uninterrupted run.
+    pub control: Option<JobControl>,
     /// Seeded fault plan injected into the *first* launch (test harness
     /// hook); relaunches after a failure run fault-free.
     pub fault_plan: Option<FaultPlan>,
@@ -102,6 +111,7 @@ impl FtConfig {
             resume: false,
             max_restarts: 1,
             min_groups: 1,
+            control: None,
             fault_plan: None,
             deadlock_timeout: None,
         }
@@ -126,6 +136,12 @@ pub struct FtDbimResult {
     pub lost_txs: Vec<usize>,
     /// How many times the driver relaunched after losing ranks.
     pub restarts: u32,
+    /// `Some(next_iter)` when the run was stopped early by its
+    /// [`FtConfig::control`] (cancel, pause, or process shutdown): outer
+    /// iterations `0..next_iter` are complete and checkpointed; resuming
+    /// the same config continues bit-identically. `None` on a run that
+    /// finished all its iterations.
+    pub interrupted: Option<u32>,
 }
 
 /// In-memory reconstruction state restored from a checkpoint.
@@ -272,6 +288,7 @@ pub fn run_dbim_ft(
         }
         let lost_txs = lost_of(&alive, n_tx);
         let (alive_ref, state_ref, lost_ref) = (&alive, state.as_ref(), &lost_txs);
+        let control_ref = cfg.control.as_ref();
         let plan2 = Arc::clone(&plan);
         let ckpt_path = cfg.checkpoint.as_deref();
         let launch_span = ffw_obs::span("dist.launch");
@@ -288,6 +305,7 @@ pub fn run_dbim_ft(
                 state_ref,
                 fingerprint,
                 lost_ref,
+                control_ref,
             )
         });
         drop(launch_span);
@@ -361,13 +379,21 @@ pub fn run_dbim_ft(
             let mut object = Vec::with_capacity(plan.n_pixels());
             let mut residual_history = Vec::new();
             let mut final_residual = 0.0;
+            let mut interrupted = None;
             for (s, slot_out) in outs.into_iter().take(p).enumerate() {
                 let o = slot_out.expect("checked above: every rank returned Ok");
                 if s == 0 {
                     residual_history = o.residual_history;
                     final_residual = o.final_residual;
+                    interrupted = o.stopped;
                 }
                 object.extend_from_slice(&o.object_local);
+            }
+            if let Some(next) = interrupted {
+                ffw_obs::event(
+                    "dist.stop",
+                    &format!("run stopped at outer-iteration boundary {next}"),
+                );
             }
             for &r in &residual_history {
                 ffw_obs::series_push("dbim.residual", r);
@@ -383,6 +409,7 @@ pub fn run_dbim_ft(
                 final_residual,
                 lost_txs,
                 restarts,
+                interrupted,
             });
         }
 
@@ -472,6 +499,9 @@ struct FtRankOut {
     object_local: Vec<C64>,
     residual_history: Vec<f64>,
     final_residual: f64,
+    /// `Some(next_iter)` when the collective stop protocol ended the run
+    /// early; identical across ranks because the decision is an allreduce.
+    stopped: Option<u32>,
 }
 
 /// The per-rank body: the same iteration as `dist_dbim`, on the checked
@@ -490,6 +520,7 @@ fn ft_rank(
     init: Option<&FtState>,
     fingerprint: u64,
     lost_txs: &[usize],
+    control: Option<&JobControl>,
 ) -> Result<FtRankOut, FaultError> {
     let groups = group_txs.len();
     assert_eq!(comm.size(), groups * subtree_ranks, "rank grid mismatch");
@@ -747,6 +778,35 @@ fn ft_rank(
                 lost_txs,
             )?;
         }
+
+        // --- controlled stop (cancel / pause / shutdown drain) ---
+        // The decision must be collective: ranks read the stop intent at
+        // different moments, so a raced local read would leave some ranks
+        // inside the next iteration's collectives while others returned.
+        // One extra allreduce per iteration, only when a control handle is
+        // attached — uncontrolled runs keep their comm volume unchanged
+        // (the BENCH_pr3 comm gate counts every message).
+        if let Some(ctl) = control {
+            if rank == 0 {
+                ctl.emit(IterProgress {
+                    completed: (it + 1) as u32,
+                    residual: residual_history.last().copied().unwrap_or(f64::NAN),
+                });
+            }
+            let intent = if ctl.stop_requested() { 1.0 } else { 0.0 };
+            let mut flag = [c64(intent, 0.0)];
+            try_allreduce_scalars(comm, &all_members, &mut flag)?;
+            if flag[0].re > 0.0 {
+                // Iterations 0..=it are complete (and checkpointed when a
+                // path is configured); report the last measured residual.
+                return Ok(FtRankOut {
+                    object_local: object,
+                    residual_history: residual_history.clone(),
+                    final_residual: residual_history.last().copied().unwrap_or(f64::NAN),
+                    stopped: Some((it + 1) as u32),
+                });
+            }
+        }
     }
 
     // --- final residual ---
@@ -757,6 +817,7 @@ fn ft_rank(
         object_local: object,
         residual_history,
         final_residual,
+        stopped: None,
     })
 }
 

@@ -7,12 +7,14 @@
 
 #![warn(missing_docs)]
 
+pub mod control;
 pub mod dbim_dist;
 pub mod engine;
 pub mod ft;
 pub mod partition;
 pub mod solver;
 
+pub use control::{IterProgress, JobControl};
 pub use dbim_dist::{dist_dbim, DistDbimResult};
 pub use engine::DistMlfma;
 pub use ft::{run_dbim_ft, FtConfig, FtDbimResult};

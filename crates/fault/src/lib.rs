@@ -21,12 +21,14 @@
 //! `tests/chaos.rs` exercises the whole stack end-to-end.
 
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 mod checkpoint;
 mod error;
 mod heartbeat;
 mod integrity;
 mod plan;
+mod shutdown;
 
 pub use checkpoint::{fnv1a64, Checkpoint, CheckpointError, Fingerprint};
 pub use error::FaultError;
@@ -36,3 +38,6 @@ pub use integrity::{
     crc32_u64, crc32_update,
 };
 pub use plan::{ActiveFaults, FaultPlan, OpAction, RetryPolicy, SendFault};
+pub use shutdown::{
+    install_shutdown_handler, request_shutdown, reset_shutdown, shutdown_requested,
+};

@@ -429,6 +429,80 @@ fn killed_then_resumed_run_is_bit_identical_to_uninterrupted() {
     let _ = std::fs::remove_file(&kill_path);
 }
 
+/// A cooperative cancel ([`ffw_dist::JobControl::stop`]) raised
+/// mid-outer-iteration must stop the run at the next iteration boundary
+/// *after* that boundary's checkpoint is flushed, so that a later
+/// `--resume` finishes bit-identically to a never-interrupted run. This is
+/// the contract `ffw-serve` relies on for cancel/pause and SIGTERM drains.
+#[test]
+fn cancel_mid_iteration_checkpoint_resumes_bit_identically() {
+    use ffw_dist::JobControl;
+    let sc = scene();
+
+    // Reference: uninterrupted checkpointed run.
+    let full_path = ckpt_path("cancel-full");
+    let _ = std::fs::remove_file(&full_path);
+    let mut full_cfg = ft_cfg();
+    full_cfg.checkpoint = Some(full_path.clone());
+    let full = run_dbim_ft(&sc.setup, Arc::clone(&sc.plan), &sc.measured, &full_cfg)
+        .expect("uninterrupted checkpointed run");
+
+    // Cancelled run: raise the stop intent as soon as the first outer
+    // iteration's progress event arrives — i.e. while iteration 2 is in
+    // flight — and let the collective stop protocol take it from there.
+    let cancel_path = ckpt_path("cancelled");
+    let _ = std::fs::remove_file(&cancel_path);
+    let (ptx, prx) = crossbeam_channel::unbounded();
+    let control = JobControl::new().with_progress(ptx);
+    let stopper = {
+        let control = control.clone();
+        std::thread::spawn(move || {
+            let first = prx.recv().expect("first progress event");
+            assert_eq!(first.completed, 1);
+            assert!(first.residual.is_finite());
+            control.stop();
+        })
+    };
+    let mut cancel_cfg = ft_cfg();
+    cancel_cfg.checkpoint = Some(cancel_path.clone());
+    cancel_cfg.control = Some(control);
+    let cancelled = run_dbim_ft(&sc.setup, Arc::clone(&sc.plan), &sc.measured, &cancel_cfg)
+        .expect("a cancelled run returns Ok with `interrupted` set");
+    stopper.join().expect("stopper thread");
+    let next_iter = cancelled
+        .interrupted
+        .expect("the run must report it was interrupted");
+    assert!(
+        (1..ITERATIONS as u32).contains(&next_iter),
+        "cancel must land mid-run, got iteration {next_iter}"
+    );
+    assert!(
+        cancel_path.exists(),
+        "the cancelled run must leave its checkpoint flushed"
+    );
+
+    // Resume the cancelled run to completion: bit-identical to the
+    // uninterrupted reference, down to the residual history.
+    let mut resume_cfg = ft_cfg();
+    resume_cfg.checkpoint = Some(cancel_path.clone());
+    resume_cfg.resume = true;
+    let resumed = run_dbim_ft(&sc.setup, Arc::clone(&sc.plan), &sc.measured, &resume_cfg)
+        .expect("resume after cancel");
+    assert!(resumed.interrupted.is_none());
+    assert_eq!(
+        full.object, resumed.object,
+        "resume after cancel must be bit-identical to the uninterrupted run"
+    );
+    assert_eq!(full.residual_history, resumed.residual_history);
+    assert_eq!(
+        full.final_residual.to_bits(),
+        resumed.final_residual.to_bits()
+    );
+
+    let _ = std::fs::remove_file(&full_path);
+    let _ = std::fs::remove_file(&cancel_path);
+}
+
 #[test]
 fn resume_with_wrong_scene_is_a_fingerprint_error() {
     let sc = scene();

@@ -113,6 +113,27 @@ impl Gauge {
         }
     }
 
+    /// Adds `delta` (may be negative) to the gauge via a compare-exchange
+    /// loop, so concurrent adjustments — e.g. queue-depth increments from
+    /// several admission threads — never lose updates (no-op while the
+    /// recorder is off).
+    pub fn add(&self, delta: f64) {
+        if !crate::enabled() {
+            return;
+        }
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + delta).to_bits();
+            match self
+                .0
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
     /// Current value.
     pub fn get(&self) -> f64 {
         f64::from_bits(self.0.load(Ordering::Relaxed))

@@ -138,7 +138,14 @@ impl Pool {
     /// count would be a misconfiguration that only shows up as a perf anomaly;
     /// failing loudly is cheaper to debug.
     pub fn global() -> &'static Pool {
-        static GLOBAL: OnceLock<Pool> = OnceLock::new();
+        Pool::global_arc()
+    }
+
+    /// Like [`Pool::global`], but returns a clonable `Arc` handle so the
+    /// shared pool can be passed where an owned `Arc<Pool>` is required
+    /// (e.g. `MlfmaEngine::new`) without constructing a second pool.
+    pub fn global_arc() -> &'static Arc<Pool> {
+        static GLOBAL: OnceLock<Arc<Pool>> = OnceLock::new();
         GLOBAL.get_or_init(|| {
             let n = match std::env::var("FFW_THREADS") {
                 Ok(raw) => match raw.trim().parse::<usize>() {
@@ -155,7 +162,7 @@ impl Pool {
                     .map(|n| n.get())
                     .unwrap_or(1),
             };
-            Pool::new(n)
+            Arc::new(Pool::new(n))
         })
     }
 
@@ -408,6 +415,9 @@ mod tests {
         let b = Pool::global() as *const Pool;
         assert_eq!(a, b);
         assert!(Pool::global().n_threads() >= 1);
+        // The Arc handle aliases the same pool, not a second one.
+        let c = Arc::as_ptr(Pool::global_arc());
+        assert_eq!(a, c);
     }
 
     #[test]

@@ -1,0 +1,161 @@
+//! The reconstruction service daemon.
+//!
+//! ```sh
+//! # One-shot batch: run a JSONL job file to completion, then exit.
+//! ffw-serve --dir /tmp/ffw-serve --once < jobs.jsonl
+//!
+//! # Long-running stdin session (EOF or SIGTERM ends it).
+//! ffw-serve --dir /var/lib/ffw-serve --workers 4
+//!
+//! # Multi-tenant TCP listener.
+//! ffw-serve --dir /var/lib/ffw-serve --listen 127.0.0.1:7421
+//! ```
+//!
+//! Exit codes: 0 drained cleanly (EOF/`drain`), 5 interrupted by
+//! SIGTERM/SIGINT after checkpointing and parking in-flight work (rerun to
+//! resume), 2 usage error, 1 startup failure (e.g. unusable journal).
+
+use ffw_serve::{serve_stdio, serve_tcp, Engine, ServeConfig, ServeExit};
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+const USAGE: &str = "\
+ffw-serve: crash-safe reconstruction job service (line-delimited JSON)
+
+USAGE:
+  ffw-serve --dir <state-dir> [OPTIONS]
+
+OPTIONS:
+  --dir <path>           state directory: journal, checkpoints, outputs (required)
+  --workers <n>          concurrent jobs (default 2)
+  --queue <n>            pending-queue capacity; beyond it submits are shed
+                         with a typed 'queue-full' rejection (default 8)
+  --flop-ceiling <x>     service-wide per-job FLOP budget (default 1e16)
+  --retries <n>          transient-fault retries per job (default 2)
+  --plan-cache <n>       geometries kept in the plan cache (default 8)
+  --listen <addr:port>   serve TCP clients instead of stdin
+  --once                 exit once stdin is exhausted and all jobs settled
+  --help                 print this help
+
+PROTOCOL (one JSON object per line on stdin or a TCP connection):
+  {\"op\":\"submit\",\"job\":{\"id\":\"j1\",\"size\":32,\"tx\":4,\"rx\":8,\"iterations\":3}}
+  {\"op\":\"cancel\",\"id\":\"j1\"}
+  {\"op\":\"status\"}
+  {\"op\":\"drain\"}
+
+EXIT CODES:
+  0  drained cleanly          5  interrupted; work checkpointed, rerun resumes
+  1  startup failure          2  usage error
+";
+
+struct Cli {
+    cfg: ServeConfig,
+    listen: Option<String>,
+    once: bool,
+}
+
+fn parse_args() -> Result<Cli, String> {
+    let mut dir: Option<PathBuf> = None;
+    let mut cfg = ServeConfig::new(PathBuf::new());
+    let mut listen = None;
+    let mut once = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--dir" => dir = Some(PathBuf::from(value("--dir")?)),
+            "--workers" => {
+                cfg.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+            }
+            "--queue" => {
+                cfg.queue_capacity = value("--queue")?
+                    .parse()
+                    .map_err(|e| format!("--queue: {e}"))?;
+            }
+            "--flop-ceiling" => {
+                cfg.flop_ceiling = value("--flop-ceiling")?
+                    .parse()
+                    .map_err(|e| format!("--flop-ceiling: {e}"))?;
+            }
+            "--retries" => {
+                cfg.max_retries = value("--retries")?
+                    .parse()
+                    .map_err(|e| format!("--retries: {e}"))?;
+            }
+            "--plan-cache" => {
+                cfg.plan_cache_capacity = value("--plan-cache")?
+                    .parse()
+                    .map_err(|e| format!("--plan-cache: {e}"))?;
+            }
+            "--listen" => listen = Some(value("--listen")?),
+            "--once" => once = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    cfg.dir = dir.ok_or("--dir is required")?;
+    if cfg.workers == 0 {
+        return Err("--workers must be at least 1".into());
+    }
+    if cfg.queue_capacity == 0 {
+        return Err("--queue must be at least 1".into());
+    }
+    Ok(Cli { cfg, listen, once })
+}
+
+fn main() {
+    let cli = match parse_args() {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    ffw_fault::install_shutdown_handler();
+    let engine = match Engine::open(cli.cfg) {
+        Ok(engine) => engine,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    if !engine.recovery.requeued.is_empty() || engine.recovery.truncated_bytes > 0 {
+        eprintln!(
+            "recovered: {} job(s) re-queued, {} already terminal, {} torn byte(s) truncated",
+            engine.recovery.requeued.len(),
+            engine.recovery.terminal,
+            engine.recovery.truncated_bytes
+        );
+    }
+    let engine = Arc::new(engine);
+    let exit = match cli.listen {
+        Some(addr) => {
+            let listener = match TcpListener::bind(&addr) {
+                Ok(l) => l,
+                Err(e) => {
+                    eprintln!("error: bind {addr}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            eprintln!("listening on {addr}");
+            serve_tcp(engine, listener)
+        }
+        None => serve_stdio(engine, cli.once),
+    };
+    match exit {
+        ServeExit::Drained => {}
+        ServeExit::Interrupted => {
+            eprintln!("interrupted: in-flight jobs checkpointed and parked; rerun to resume");
+            std::process::exit(ffw_tomo::exit::EXIT_INTERRUPTED);
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Deduplication of immutable per-geometry state across jobs.
+//!
+//! Building a [`Reconstruction`] (quadtree, MLFMA plan, translators,
+//! incident fields) is by far the most expensive part of a small job's
+//! setup, and it depends only on the scene geometry — not on the phantom,
+//! iteration count or limits. Jobs whose specs share a geometry
+//! fingerprint therefore share one cached `Arc<Reconstruction>`.
+//!
+//! Concurrency: the first job for a geometry builds while *holding a
+//! per-key claim*, not the map lock — other geometries build concurrently,
+//! and a second job for the *same* geometry blocks on a condvar until the
+//! build lands instead of duplicating it. Eviction is LRU over completed
+//! entries once the capacity is exceeded; evicted entries only drop the
+//! cache's reference, so in-flight jobs keep theirs alive.
+
+use ffw_tomo::Reconstruction;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+enum Slot {
+    /// A build is in flight on another thread; wait on the condvar.
+    Building,
+    /// Ready for use.
+    Ready(Arc<Reconstruction>),
+}
+
+struct Inner {
+    map: HashMap<u64, Slot>,
+    /// Keys in least-recently-used order (front = coldest ready entry).
+    lru: Vec<u64>,
+}
+
+/// A bounded, fingerprint-keyed cache of ready-to-run reconstructions.
+pub struct PlanCache {
+    inner: Mutex<Inner>,
+    ready: Condvar,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PlanCache {
+    /// A cache holding at most `capacity` geometries (at least 1).
+    pub fn new(capacity: usize) -> Self {
+        PlanCache {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                lru: Vec::new(),
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns the cached reconstruction for `key`, building it with
+    /// `build` on a miss. Concurrent callers with the same key get one
+    /// build; different keys build in parallel.
+    pub fn get_or_build(
+        &self,
+        key: u64,
+        build: impl FnOnce() -> Arc<Reconstruction>,
+    ) -> Arc<Reconstruction> {
+        {
+            let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                match inner.map.get(&key) {
+                    Some(Slot::Ready(recon)) => {
+                        let recon = Arc::clone(recon);
+                        inner.lru.retain(|&k| k != key);
+                        inner.lru.push(key);
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        ffw_obs::counter("serve.plan_cache.hits").inc();
+                        return recon;
+                    }
+                    Some(Slot::Building) => {
+                        inner = self.ready.wait(inner).unwrap_or_else(|e| e.into_inner());
+                    }
+                    None => {
+                        inner.map.insert(key, Slot::Building);
+                        break;
+                    }
+                }
+            }
+        }
+        // Claimed: build without holding the lock.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        ffw_obs::counter("serve.plan_cache.misses").inc();
+        let recon = build();
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.map.insert(key, Slot::Ready(Arc::clone(&recon)));
+        inner.lru.push(key);
+        while inner.lru.len() > self.capacity {
+            let coldest = inner.lru.remove(0);
+            inner.map.remove(&coldest);
+        }
+        drop(inner);
+        self.ready.notify_all();
+        recon
+    }
+
+    /// Cache hits so far (independent of the obs recorder being on).
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses (= builds) so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ffw_mlfma::Accuracy;
+    use ffw_par::Pool;
+    use ffw_tomo::SceneConfig;
+
+    fn scene() -> SceneConfig {
+        SceneConfig {
+            accuracy: Accuracy::low(),
+            ..SceneConfig::new(32, 2, 4)
+        }
+    }
+
+    fn build() -> Arc<Reconstruction> {
+        Arc::new(Reconstruction::with_pool(
+            &scene(),
+            Arc::clone(Pool::global_arc()),
+        ))
+    }
+
+    #[test]
+    fn same_key_hits_and_shares_the_instance() {
+        let cache = PlanCache::new(4);
+        let a = cache.get_or_build(7, build);
+        let b = cache.get_or_build(7, build);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_entry() {
+        let cache = PlanCache::new(2);
+        let first = cache.get_or_build(1, build);
+        cache.get_or_build(2, build);
+        cache.get_or_build(1, build); // touch 1: now 2 is coldest
+        cache.get_or_build(3, build); // evicts 2
+        assert_eq!(cache.misses(), 3);
+        let again = cache.get_or_build(1, build); // still cached
+        assert!(Arc::ptr_eq(&first, &again));
+        cache.get_or_build(2, build); // rebuilt
+        assert_eq!(cache.misses(), 4);
+    }
+
+    #[test]
+    fn concurrent_same_key_builds_once() {
+        let cache = Arc::new(PlanCache::new(4));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let cache = Arc::clone(&cache);
+                s.spawn(move || cache.get_or_build(9, build));
+            }
+        });
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 3);
+    }
+}

@@ -1,0 +1,239 @@
+//! The line-delimited JSON wire protocol.
+//!
+//! Requests (one JSON object per line):
+//!
+//! ```text
+//! {"op":"submit","job":{...}}   submit a job (see JobSpec for fields)
+//! {"op":"cancel","id":"j1"}     cancel a queued or running job
+//! {"op":"status"}               snapshot of every known job
+//! {"op":"drain"}                stop accepting; finish queued work
+//! ```
+//!
+//! Responses (one JSON object per line, interleaved across jobs; every
+//! response carries `"ev"`):
+//!
+//! ```text
+//! {"ev":"accepted","id":"j1"}
+//! {"ev":"rejected","id":"j1","reason":"queue-full","detail":"..."}
+//! {"ev":"progress","id":"j1","iter":3,"residual":0.12}
+//! {"ev":"done","id":"j1","residual":0.012,"digest":"0x...","output":"..."}
+//! {"ev":"failed","id":"j1","code":"breakdown","detail":"..."}
+//! {"ev":"cancelling","id":"j1"}
+//! {"ev":"cancelled","id":"j1","completed_iters":2}
+//! {"ev":"retrying","id":"j1","attempt":2}
+//! {"ev":"status","queued":1,"running":1,"jobs":[...]}
+//! {"ev":"draining"}
+//! {"ev":"error","detail":"..."}      (malformed request line)
+//! ```
+
+use crate::admission::RejectReason;
+use crate::json::{obj, Json};
+
+/// A parsed client request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Submit the contained (not yet validated) job object.
+    Submit(Json),
+    /// Cancel a job by id.
+    Cancel(String),
+    /// Report every known job.
+    Status,
+    /// Enter draining mode.
+    Drain,
+}
+
+/// Parses one request line. Errors are protocol-level (send an `error`
+/// response); spec-level validation happens later at admission.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let v = Json::parse(line).map_err(|e| format!("bad JSON: {e}"))?;
+    match v.get("op").and_then(Json::as_str) {
+        Some("submit") => Ok(Request::Submit(
+            v.get("job")
+                .cloned()
+                .ok_or("submit requires a 'job' object")?,
+        )),
+        Some("cancel") => Ok(Request::Cancel(
+            v.get("id")
+                .and_then(Json::as_str)
+                .ok_or("cancel requires an 'id' string")?
+                .to_string(),
+        )),
+        Some("status") => Ok(Request::Status),
+        Some("drain") => Ok(Request::Drain),
+        Some(other) => Err(format!("unknown op '{other}'")),
+        None => Err("request needs a string 'op' field".into()),
+    }
+}
+
+fn ev(kind: &str, mut rest: Vec<(&str, Json)>) -> String {
+    let mut pairs = vec![("ev", Json::Str(kind.into()))];
+    pairs.append(&mut rest);
+    obj(pairs).to_line()
+}
+
+/// `accepted` response.
+pub fn accepted(id: &str) -> String {
+    ev("accepted", vec![("id", Json::Str(id.into()))])
+}
+
+/// `rejected` response with the typed reason.
+pub fn rejected(id: &str, reason: &RejectReason) -> String {
+    ev(
+        "rejected",
+        vec![
+            ("id", Json::Str(id.into())),
+            ("reason", Json::Str(reason.code().into())),
+            ("detail", Json::Str(reason.to_string())),
+        ],
+    )
+}
+
+/// `progress` response (one per completed outer iteration).
+pub fn progress(id: &str, iter: u32, residual: f64) -> String {
+    ev(
+        "progress",
+        vec![
+            ("id", Json::Str(id.into())),
+            ("iter", Json::Num(iter as f64)),
+            ("residual", Json::Num(residual)),
+        ],
+    )
+}
+
+/// `done` response.
+pub fn done(id: &str, residual: f64, digest: u64, output: &str) -> String {
+    ev(
+        "done",
+        vec![
+            ("id", Json::Str(id.into())),
+            ("residual", Json::Num(residual)),
+            ("digest", Json::Str(format!("{digest:#018x}"))),
+            ("output", Json::Str(output.into())),
+        ],
+    )
+}
+
+/// `failed` response.
+pub fn failed(id: &str, code: &str, detail: &str) -> String {
+    ev(
+        "failed",
+        vec![
+            ("id", Json::Str(id.into())),
+            ("code", Json::Str(code.into())),
+            ("detail", Json::Str(detail.into())),
+        ],
+    )
+}
+
+/// `cancelling` acknowledgement (stop requested on a running job).
+pub fn cancelling(id: &str) -> String {
+    ev("cancelling", vec![("id", Json::Str(id.into()))])
+}
+
+/// `cancelled` response.
+pub fn cancelled(id: &str, completed_iters: u32) -> String {
+    ev(
+        "cancelled",
+        vec![
+            ("id", Json::Str(id.into())),
+            ("completed_iters", Json::Num(completed_iters as f64)),
+        ],
+    )
+}
+
+/// `retrying` notice (transient fault; the job restarts from checkpoint).
+pub fn retrying(id: &str, attempt: u32) -> String {
+    ev(
+        "retrying",
+        vec![
+            ("id", Json::Str(id.into())),
+            ("attempt", Json::Num(attempt as f64)),
+        ],
+    )
+}
+
+/// `status` response.
+pub fn status(queued: usize, running: usize, jobs: Vec<(String, &'static str)>) -> String {
+    ev(
+        "status",
+        vec![
+            ("queued", Json::Num(queued as f64)),
+            ("running", Json::Num(running as f64)),
+            (
+                "jobs",
+                Json::Arr(
+                    jobs.into_iter()
+                        .map(|(id, state)| {
+                            obj(vec![
+                                ("id", Json::Str(id)),
+                                ("state", Json::Str(state.into())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ],
+    )
+}
+
+/// `draining` acknowledgement.
+pub fn draining() -> String {
+    ev("draining", vec![])
+}
+
+/// `error` response for malformed request lines.
+pub fn error(detail: &str) -> String {
+    ev("error", vec![("detail", Json::Str(detail.into()))])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_parse() {
+        assert_eq!(
+            parse_request(r#"{"op":"cancel","id":"x"}"#),
+            Ok(Request::Cancel("x".into()))
+        );
+        assert_eq!(parse_request(r#"{"op":"status"}"#), Ok(Request::Status));
+        assert_eq!(parse_request(r#"{"op":"drain"}"#), Ok(Request::Drain));
+        assert!(matches!(
+            parse_request(r#"{"op":"submit","job":{"id":"a"}}"#),
+            Ok(Request::Submit(_))
+        ));
+        for bad in [
+            "not json",
+            r#"{"op":"fly"}"#,
+            r#"{"op":"submit"}"#,
+            r#"{"op":"cancel"}"#,
+            r#"{}"#,
+        ] {
+            assert!(parse_request(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn responses_are_single_parseable_lines() {
+        let lines = [
+            accepted("a"),
+            rejected("a", &RejectReason::QueueFull { capacity: 3 }),
+            progress("a", 2, 0.5),
+            done("a", 0.01, 0xABC, "/tmp/a.out"),
+            failed("a", "breakdown", "rho underflow"),
+            cancelling("a"),
+            cancelled("a", 2),
+            retrying("a", 2),
+            status(1, 2, vec![("a".into(), "running")]),
+            draining(),
+            error("bad line"),
+        ];
+        for line in lines {
+            assert!(!line.contains('\n'));
+            let v = Json::parse(&line).expect(&line);
+            assert!(v.get("ev").and_then(Json::as_str).is_some());
+        }
+        let r = rejected("a", &RejectReason::Draining);
+        assert!(r.contains("\"reason\":\"draining\""));
+    }
+}

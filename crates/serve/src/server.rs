@@ -1,0 +1,190 @@
+//! Front ends: stdin/stdout session and a line-delimited TCP listener.
+//!
+//! Both speak the same protocol ([`crate::proto`]): one request per input
+//! line, one response event per output line, with progress and completion
+//! events interleaved as they happen. Each session has exactly one writer
+//! thread draining a channel, so concurrent events never interleave bytes
+//! within a line.
+//!
+//! Shutdown: the engine honours the process-wide flag raised by
+//! `ffw_fault::install_shutdown_handler`. The serve loops poll that flag a
+//! few times per millisecond-scale tick and, on SIGTERM/SIGINT, put the
+//! engine into fast-drain (running jobs checkpoint and park; queued jobs
+//! stay journaled) before exiting. Reader threads blocked on `stdin`/
+//! `accept` cannot be interrupted portably, so they are detached and the
+//! process exits without them once the engine has drained.
+
+use crate::engine::Engine;
+use crate::proto::{self, Request};
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How a finished serve loop exited.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServeExit {
+    /// Input ended (EOF) or a `drain` request completed.
+    Drained,
+    /// SIGTERM/SIGINT: in-flight work checkpointed and parked.
+    Interrupted,
+}
+
+/// Dispatches one parsed request line to the engine.
+fn dispatch(engine: &Engine, line: &str, reply: &Sender<String>) {
+    match proto::parse_request(line) {
+        Ok(Request::Submit(job)) => engine.submit(&job, reply.clone()),
+        Ok(Request::Cancel(id)) => engine.cancel(&id, reply),
+        Ok(Request::Status) => engine.status(reply),
+        Ok(Request::Drain) => {
+            engine.drain(false);
+            let _ = reply.send(proto::draining());
+        }
+        Err(e) => {
+            let _ = reply.send(proto::error(&e));
+        }
+    }
+}
+
+/// Runs a stdin/stdout session until EOF, drain completion, or shutdown.
+///
+/// With `once`, the loop also ends as soon as every submitted job reaches a
+/// terminal state after input EOF — the mode the chaos harness and the
+/// quickstart use (`ffw-serve --once < jobs.jsonl`).
+pub fn serve_stdio(engine: Arc<Engine>, once: bool) -> ServeExit {
+    let (reply_tx, reply_rx) = unbounded::<String>();
+    let writer = {
+        // lint:spawn-ok single writer thread serializing response lines to stdout
+        std::thread::spawn(move || {
+            let stdout = std::io::stdout();
+            while let Ok(line) = reply_rx.recv() {
+                let mut out = stdout.lock();
+                if writeln!(out, "{line}").and_then(|_| out.flush()).is_err() {
+                    return;
+                }
+            }
+        })
+    };
+
+    // The reader thread forwards stdin lines; it cannot be woken by a
+    // signal, so the main loop polls the shutdown flag independently.
+    let (line_tx, line_rx) = unbounded::<String>();
+    {
+        // lint:spawn-ok blocking stdin reader; the main loop must stay free to observe SIGTERM
+        std::thread::spawn(move || {
+            let stdin = std::io::stdin();
+            for line in BufReader::new(stdin.lock()).lines() {
+                match line {
+                    Ok(l) => {
+                        if line_tx.send(l).is_err() {
+                            return;
+                        }
+                    }
+                    Err(_) => return,
+                }
+            }
+        });
+    }
+
+    let exit = pump(&engine, &line_rx, &reply_tx, once);
+    // Job entries hold reply-sender clones; release them so the writer's
+    // channel disconnects once the remaining lines are drained.
+    engine.release_replies();
+    drop(reply_tx);
+    let _ = writer.join();
+    exit
+}
+
+/// The shared serve loop: dispatch incoming lines, watch for shutdown,
+/// and (with `once`) finish when input has ended and the engine is idle.
+fn pump(
+    engine: &Engine,
+    lines: &Receiver<String>,
+    reply: &Sender<String>,
+    once: bool,
+) -> ServeExit {
+    let mut input_done = false;
+    loop {
+        if ffw_fault::shutdown_requested() {
+            engine.drain(true);
+            let _ = reply.send(proto::draining());
+            engine.join();
+            return ServeExit::Interrupted;
+        }
+        match lines.try_recv() {
+            Ok(line) => {
+                let trimmed = line.trim();
+                if !trimmed.is_empty() {
+                    dispatch(engine, trimmed, reply);
+                }
+                continue;
+            }
+            Err(crossbeam_channel::TryRecvError::Empty) => {}
+            Err(crossbeam_channel::TryRecvError::Disconnected) => input_done = true,
+        }
+        if input_done && once && engine.idle() {
+            engine.drain(false);
+            engine.join();
+            return ServeExit::Drained;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+/// Runs the TCP listener until shutdown. Each connection gets its own
+/// session (reader + single writer), all sharing one engine — the
+/// multi-tenant mode.
+pub fn serve_tcp(engine: Arc<Engine>, listener: TcpListener) -> ServeExit {
+    listener
+        .set_nonblocking(true)
+        .expect("set_nonblocking on listener");
+    loop {
+        if ffw_fault::shutdown_requested() {
+            engine.drain(true);
+            engine.join();
+            return ServeExit::Interrupted;
+        }
+        match listener.accept() {
+            Ok((stream, _addr)) => {
+                let engine = Arc::clone(&engine);
+                // lint:spawn-ok one session thread per client connection
+                std::thread::spawn(move || session(engine, stream));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => return ServeExit::Drained,
+        }
+    }
+}
+
+fn session(engine: Arc<Engine>, stream: TcpStream) {
+    let (reply_tx, reply_rx) = unbounded::<String>();
+    let write_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    // lint:spawn-ok single writer thread per connection
+    let writer = std::thread::spawn(move || {
+        let mut out = write_half;
+        while let Ok(line) = reply_rx.recv() {
+            if writeln!(out, "{line}").is_err() {
+                return;
+            }
+        }
+    });
+    for line in BufReader::new(stream).lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        dispatch(&engine, trimmed, &reply_tx);
+    }
+    drop(reply_tx);
+    let _ = writer.join();
+}

@@ -1,0 +1,252 @@
+//! In-process engine integration tests: typed admission end-to-end, plan
+//! deduplication across same-geometry jobs, cancellation, and
+//! journal-driven restart recovery with bit-identical outputs.
+
+use crossbeam_channel::{unbounded, Receiver};
+use ffw_serve::json::Json;
+use ffw_serve::{Engine, JobState, ServeConfig};
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ffw-serve-engine-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn cfg(dir: PathBuf) -> ServeConfig {
+    ServeConfig {
+        workers: 1,
+        queue_capacity: 2,
+        ..ServeConfig::new(dir)
+    }
+}
+
+fn job(id: &str, extra: &str) -> Json {
+    let sep = if extra.is_empty() { "" } else { "," };
+    Json::parse(&format!(
+        r#"{{"id":"{id}","size":32,"tx":2,"rx":4,"iterations":1{sep}{extra}}}"#
+    ))
+    .expect("job json")
+}
+
+/// Submits and returns the first response line (accepted/rejected). The
+/// admission reply is synchronous, so a plain blocking recv is safe.
+fn submit(engine: &Engine, j: &Json) -> String {
+    let (tx, rx) = unbounded();
+    engine.submit(j, tx);
+    rx.recv().expect("admission reply")
+}
+
+/// Like [`submit`] but keeps the reply channel, for tests that follow the
+/// job's progress/terminal events.
+fn submit_watched(engine: &Engine, j: &Json) -> (String, Receiver<String>) {
+    let (tx, rx) = unbounded();
+    engine.submit(j, tx);
+    let first = rx.recv().expect("admission reply");
+    (first, rx)
+}
+
+fn wait_terminal(engine: &Engine, id: &str) -> JobState {
+    for _ in 0..6000 {
+        match engine.job_state(id) {
+            Some(s @ (JobState::Done | JobState::Failed | JobState::Cancelled)) => return s,
+            _ => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+    panic!("job '{id}' never reached a terminal state");
+}
+
+fn wait_running(engine: &Engine, id: &str) {
+    for _ in 0..6000 {
+        if engine.job_state(id) == Some(JobState::Running) {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    panic!("job '{id}' never started running");
+}
+
+/// Blocks until a line matching `needle` arrives on the reply channel.
+fn wait_line(rx: &Receiver<String>, needle: &str) -> String {
+    loop {
+        let line = rx.recv().expect("event line");
+        if line.contains(needle) {
+            return line;
+        }
+    }
+}
+
+#[test]
+fn admission_rejections_are_typed_end_to_end() {
+    let dir = tmp_dir("admission");
+    let engine = Engine::open(cfg(dir.clone())).expect("open");
+
+    // Invalid spec.
+    let bad = Json::parse(r#"{"id":"bad size","size":33}"#).expect("json");
+    let line = submit(&engine, &bad);
+    assert!(line.contains(r#""ev":"rejected""#), "{line}");
+    assert!(line.contains(r#""reason":"invalid-spec""#), "{line}");
+
+    // Budget-infeasible: a per-job FLOP cap far below the estimate.
+    let line = submit(&engine, &job("over-budget", r#""max_flops":1.0"#));
+    assert!(line.contains(r#""reason":"budget-infeasible""#), "{line}");
+
+    // A long job occupies the single worker; two more fill the queue; the
+    // fourth is shed with the typed queue-full rejection.
+    let line = submit(&engine, &job("long", r#""iterations":30"#));
+    assert!(line.contains(r#""ev":"accepted""#), "{line}");
+    wait_running(&engine, "long");
+    assert!(submit(&engine, &job("q1", "")).contains(r#""ev":"accepted""#));
+    assert!(submit(&engine, &job("q2", "")).contains(r#""ev":"accepted""#));
+    let line = submit(&engine, &job("shed", ""));
+    assert!(line.contains(r#""reason":"queue-full""#), "{line}");
+
+    // Duplicate id wins over every other reason.
+    let line = submit(&engine, &job("q1", ""));
+    assert!(line.contains(r#""reason":"duplicate-id""#), "{line}");
+
+    // Cancel the running job and the queue; drain; a fresh submit is
+    // rejected as draining.
+    let (tx, rx) = unbounded();
+    engine.cancel("long", &tx);
+    let line = rx.recv().expect("cancel ack");
+    assert!(line.contains(r#""ev":"cancelling""#), "{line}");
+    engine.cancel("q1", &tx);
+    assert!(rx.recv().expect("ack").contains(r#""ev":"cancelled""#));
+    engine.cancel("q2", &tx);
+    assert!(rx.recv().expect("ack").contains(r#""ev":"cancelled""#));
+    engine.drain(false);
+    let line = submit(&engine, &job("late", ""));
+    assert!(line.contains(r#""reason":"draining""#), "{line}");
+    assert_eq!(wait_terminal(&engine, "long"), JobState::Cancelled);
+    engine.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn same_geometry_jobs_share_one_cached_plan() {
+    let dir = tmp_dir("cache");
+    let engine = Engine::open(cfg(dir.clone())).expect("open");
+    // Three jobs: two share a geometry (different phantom/id — those fields
+    // are outside the fingerprint), one differs (other size).
+    assert!(submit(&engine, &job("a1", "")).contains("accepted"));
+    assert!(submit(&engine, &job("a2", r#""phantom":"annulus""#)).contains("accepted"));
+    assert!(submit(
+        &engine,
+        &Json::parse(r#"{"id":"b1","size":64,"tx":2,"rx":4,"iterations":1}"#).expect("json")
+    )
+    .contains("accepted"));
+    assert_eq!(wait_terminal(&engine, "a1"), JobState::Done);
+    assert_eq!(wait_terminal(&engine, "a2"), JobState::Done);
+    assert_eq!(wait_terminal(&engine, "b1"), JobState::Done);
+    assert_eq!(engine.plan_cache_misses(), 2, "two distinct geometries");
+    assert!(
+        engine.plan_cache_hits() >= 1,
+        "the second same-geometry job must hit the cache (hits {})",
+        engine.plan_cache_hits()
+    );
+    // Outputs exist and differ (different phantoms/geometries).
+    let a1 = std::fs::read(engine.output_path("a1")).expect("a1 output");
+    let a2 = std::fs::read(engine.output_path("a2")).expect("a2 output");
+    assert_eq!(a1.len(), a2.len());
+    assert_ne!(a1, a2, "different phantoms must reconstruct differently");
+    engine.drain(false);
+    engine.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn restart_recovers_unfinished_jobs_and_reproduces_outputs_bit_identically() {
+    let ref_dir = tmp_dir("restart-ref");
+    let chaos_dir = tmp_dir("restart-chaos");
+    // Multi-iteration jobs so a drain has an outer-iteration boundary to
+    // stop at *before* completion.
+    let spec1 = || job("r1", r#""iterations":4"#);
+    let spec2 = || job("r2", r#""iterations":4,"phantom":"annulus""#);
+
+    // Reference: both jobs run to completion uninterrupted.
+    let reference = Engine::open(cfg(ref_dir.clone())).expect("open ref");
+    assert!(submit(&reference, &spec1()).contains("accepted"));
+    assert!(submit(&reference, &spec2()).contains("accepted"));
+    assert_eq!(wait_terminal(&reference, "r1"), JobState::Done);
+    assert_eq!(wait_terminal(&reference, "r2"), JobState::Done);
+    reference.drain(false);
+    reference.join();
+    let ref1 = std::fs::read(reference.output_path("r1")).expect("ref r1");
+    let ref2 = std::fs::read(reference.output_path("r2")).expect("ref r2");
+
+    // First service instance: accept both jobs, wait until r1 has finished
+    // at least one outer iteration (first progress event), then fast-drain
+    // — the SIGTERM path. r1 parks mid-run with a checkpoint; r2 (single
+    // worker) never starts. Neither may reach a terminal state.
+    {
+        let engine = Engine::open(cfg(chaos_dir.clone())).expect("open chaos");
+        let (ack, rx) = submit_watched(&engine, &spec1());
+        assert!(ack.contains("accepted"));
+        assert!(submit(&engine, &spec2()).contains("accepted"));
+        wait_line(&rx, r#""ev":"progress""#);
+        engine.drain(true);
+        engine.join();
+        for id in ["r1", "r2"] {
+            let s = engine.job_state(id).expect("known job");
+            assert!(
+                matches!(s, JobState::Queued | JobState::Running),
+                "{id} must stay non-terminal across a drain, got {s:?}"
+            );
+        }
+        assert!(
+            chaos_dir.join("job-r1.ckpt").exists(),
+            "the drained running job must leave its checkpoint"
+        );
+    }
+
+    // Second instance: recovery re-queues both (acceptance order), resumes
+    // r1 from its checkpoint, runs r2 fresh.
+    let engine = Engine::open(cfg(chaos_dir.clone())).expect("reopen");
+    assert_eq!(
+        engine.recovery.requeued,
+        vec!["r1".to_string(), "r2".to_string()]
+    );
+    assert_eq!(wait_terminal(&engine, "r1"), JobState::Done);
+    assert_eq!(wait_terminal(&engine, "r2"), JobState::Done);
+    engine.drain(false);
+    engine.join();
+
+    let got1 = std::fs::read(engine.output_path("r1")).expect("r1 output");
+    let got2 = std::fs::read(engine.output_path("r2")).expect("r2 output");
+    assert_eq!(
+        ref1, got1,
+        "r1 must be bit-identical to the uninterrupted run"
+    );
+    assert_eq!(
+        ref2, got2,
+        "r2 must be bit-identical to the uninterrupted run"
+    );
+
+    // A third open finds only terminal jobs: nothing to re-run.
+    let idle = Engine::open(cfg(chaos_dir.clone())).expect("third open");
+    assert!(idle.recovery.requeued.is_empty());
+    assert_eq!(idle.recovery.terminal, 2);
+    idle.drain(false);
+    idle.join();
+    let _ = std::fs::remove_dir_all(&ref_dir);
+    let _ = std::fs::remove_dir_all(&chaos_dir);
+}
+
+#[test]
+fn deadline_exceeded_is_a_typed_failure() {
+    let dir = tmp_dir("deadline");
+    let engine = Engine::open(cfg(dir.clone())).expect("open");
+    let (ack, rx) = submit_watched(
+        &engine,
+        &job("slow", r#""iterations":50,"deadline_ms":200"#),
+    );
+    assert!(ack.contains("accepted"));
+    assert_eq!(wait_terminal(&engine, "slow"), JobState::Failed);
+    let line = wait_line(&rx, r#""ev":"failed""#);
+    assert!(line.contains(r#""code":"deadline-exceeded""#), "{line}");
+    engine.drain(false);
+    engine.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
