@@ -88,8 +88,8 @@ mod tests {
         assert!(r.contains("\"diagnostic_count\": 1"));
         assert!(r.contains("\"line\": 7"));
         assert!(r.contains("msg with \\\"quotes\\\""));
-        // 12 catalog entries present.
-        assert_eq!(r.matches("\"summary\"").count(), 12);
+        // 13 catalog entries present.
+        assert_eq!(r.matches("\"summary\"").count(), 13);
     }
 
     #[test]

@@ -83,7 +83,10 @@ fn main() -> ExitCode {
                 eprintln!("{}", d.render());
             }
             if diags.is_empty() {
-                eprintln!("ffw-analyze: {files_scanned} files clean (12 rules)");
+                eprintln!(
+                    "ffw-analyze: {files_scanned} files clean ({} rules)",
+                    RULES.len()
+                );
                 ExitCode::SUCCESS
             } else {
                 eprintln!("ffw-analyze: {} diagnostic(s)", diags.len());

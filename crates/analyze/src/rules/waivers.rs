@@ -341,6 +341,7 @@ mod tests {
         assert!(tags.contains(&"lint:single-rhs-ok"));
         assert!(tags.contains(&"lint:atomic-ok"));
         assert!(tags.contains(&"lint:tag-ok"));
-        assert_eq!(tags.len(), 9);
+        assert!(tags.contains(&"lint:backend-ok"));
+        assert_eq!(tags.len(), 10);
     }
 }

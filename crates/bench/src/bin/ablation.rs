@@ -22,7 +22,7 @@ struct Row {
     variant: String,
     image_error: f64,
     final_residual: f64,
-    bicgstab_iters: usize,
+    solver_iters: usize,
     seconds: f64,
 }
 
@@ -104,10 +104,10 @@ fn main() {
     let mut records = Vec::new();
     for (name, cfg) in &variants {
         let t0 = Stopwatch::start();
-        let result = recon.run_dbim_with(&measured, cfg);
+        let result = recon.run_dbim_with(&measured, cfg).expect("dbim");
         let secs = t0.elapsed().as_secs_f64();
         let err = image_rel_error(&recon.image(&result.object), &truth_raster);
-        let bicgs: usize = result.history.iter().map(|h| h.bicgstab_iters).sum();
+        let bicgs: usize = result.history.iter().map(|h| h.solver_iters).sum();
         rows.push(vec![
             name.to_string(),
             format!("{err:.3}"),
@@ -119,13 +119,13 @@ fn main() {
             variant: name.to_string(),
             image_error: err,
             final_residual: result.final_residual,
-            bicgstab_iters: bicgs,
+            solver_iters: bicgs,
             seconds: secs,
         });
     }
     print_table(
         &format!("DBIM design ablations (annulus, contrast 0.2, {px}x{px} px, {iters} iterations)"),
-        &["variant", "img err", "residual", "BiCGS iters", "s"],
+        &["variant", "img err", "residual", "solver iters", "s"],
         &rows,
     );
 
@@ -147,7 +147,7 @@ fn main() {
             tikhonov: lam_rel * data_norm2,
             ..base.clone()
         };
-        let result = recon.run_dbim_with(&noisy, &cfg);
+        let result = recon.run_dbim_with(&noisy, &cfg).expect("dbim");
         let err = image_rel_error(&recon.image(&result.object), &truth_raster);
         rows.push(vec![
             name.to_string(),
@@ -158,7 +158,7 @@ fn main() {
             variant: name.to_string(),
             image_error: err,
             final_residual: result.final_residual,
-            bicgstab_iters: 0,
+            solver_iters: 0,
             seconds: 0.0,
         });
     }

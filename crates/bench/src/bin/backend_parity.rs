@@ -1,0 +1,277 @@
+//! Backend parity harness: the two forward engines (BiCGStab and the
+//! convergent Born series) run the same pinned DBIM workload, and the
+//! record pins what "interchangeable backends" means operationally:
+//!
+//! * **iteration counts are exact** — both engines are deterministic, so
+//!   each backend's per-outer-iteration solver-iteration trace must match
+//!   the committed baseline integer-for-integer; any drift means the
+//!   engine's numerical behavior changed, gate or not;
+//! * **residual endpoints agree to ±5%** against the committed baseline
+//!   (slack for cross-platform libm differences only);
+//! * **cross-backend reconstruction gap** stays under [`OBJECT_GAP_TOL`] in
+//!   the same process — the end-to-end version of the differential
+//!   cross-validation suite's field agreement.
+//!
+//! Default mode measures, writes the fresh record to
+//! `results/BENCH_pr8.json`, and gates against the committed
+//! `BENCH_pr8.json` at the workspace root. `--write-baseline` (over)writes
+//! the committed baseline. Wall times are recorded, never gated.
+
+use ffw_inverse::{BackendChoice, DbimConfig, DbimResult};
+use ffw_serve::json::Json;
+use ffw_solver::IterConfig;
+use ffw_tomo::{Reconstruction, SceneConfig};
+use serde::Serialize;
+use std::path::{Path, PathBuf};
+
+/// Pinned workload: 32×32 pixels, 4 transmitters, 8 receivers.
+const SIZE: usize = 32;
+const TX: usize = 4;
+const RX: usize = 8;
+/// Contrast 0.03 puts the Born-series contraction factor near 0.24 at this
+/// geometry — far inside the admission bound even for mid-run overshoot.
+const CONTRAST: f64 = 0.03;
+const ITERATIONS: usize = 3;
+/// Shared forward tolerance; two decades under the parity gate.
+const FORWARD_TOL: f64 = 1e-10;
+/// Maximum accepted cross-backend reconstruction gap (in-process gate).
+const OBJECT_GAP_TOL: f64 = 1e-8;
+/// Residual drift allowed against the committed baseline.
+const RESIDUAL_DRIFT: f64 = 0.05;
+
+/// One backend's run on the pinned workload.
+#[derive(Serialize, Clone, Debug)]
+struct BackendLeg {
+    backend: String,
+    /// Forward-solver iterations per DBIM outer iteration — gated exactly.
+    solver_iters: Vec<u64>,
+    /// Forward-class solves over the whole run — gated exactly.
+    forward_solves: u64,
+    /// Final relative measurement residual — gated to ±5% vs baseline.
+    final_residual: f64,
+    /// Wall seconds, recorded for context, never gated.
+    secs: f64,
+}
+
+/// The committed record; regenerate with `--write-baseline`.
+#[derive(Serialize, Clone, Debug)]
+struct ParityRecord {
+    schema: String,
+    size: u64,
+    tx: u64,
+    rx: u64,
+    contrast: f64,
+    iterations: u64,
+    forward_tol: f64,
+    bicgstab: BackendLeg,
+    born_series: BackendLeg,
+    /// Relative L2 gap between the two reconstructions (same process).
+    object_gap: f64,
+}
+
+fn run_backend(
+    recon: &Reconstruction,
+    measured: &[Vec<ffw_numerics::C64>],
+    backend: BackendChoice,
+) -> (DbimResult, f64) {
+    let cfg = DbimConfig {
+        iterations: ITERATIONS,
+        forward: IterConfig {
+            tol: FORWARD_TOL,
+            max_iters: 2000,
+        },
+        backend,
+        ..Default::default()
+    };
+    let sw = ffw_obs::Stopwatch::start();
+    let result = recon.run_dbim_with(measured, &cfg).expect("dbim");
+    let secs = sw.elapsed_secs();
+    (result, secs)
+}
+
+fn leg(backend: BackendChoice, result: &DbimResult, secs: f64) -> BackendLeg {
+    BackendLeg {
+        backend: backend.as_str().into(),
+        solver_iters: result
+            .history
+            .iter()
+            .map(|h| h.solver_iters as u64)
+            .collect(),
+        forward_solves: result.forward_solves as u64,
+        final_residual: result.final_residual,
+        secs,
+    }
+}
+
+fn object_gap(a: &DbimResult, b: &DbimResult) -> f64 {
+    let num: f64 = a
+        .object
+        .iter()
+        .zip(&b.object)
+        .map(|(x, y)| (*x - *y).norm_sqr())
+        .sum::<f64>()
+        .sqrt();
+    let den: f64 = b.object.iter().map(|v| v.norm_sqr()).sum::<f64>().sqrt();
+    num / den.max(1e-300)
+}
+
+fn measure() -> ParityRecord {
+    let scene = SceneConfig::new(SIZE, TX, RX);
+    let recon = Reconstruction::new(&scene);
+    let phantom = ffw_phantom::Cylinder {
+        center: ffw_geometry::Point2::ZERO,
+        radius: 0.25 * recon.domain().side(),
+        contrast: CONTRAST,
+    };
+    let measured = recon.synthesize(&phantom);
+    // Warm up the plan/pool once so neither leg pays first-run costs.
+    let _ = run_backend(&recon, &measured, BackendChoice::Bicgstab);
+    let (krylov, secs_k) = run_backend(&recon, &measured, BackendChoice::Bicgstab);
+    let (born, secs_b) = run_backend(&recon, &measured, BackendChoice::BornSeries);
+    ParityRecord {
+        schema: "ffw-bench-backend-parity/1".into(),
+        size: SIZE as u64,
+        tx: TX as u64,
+        rx: RX as u64,
+        contrast: CONTRAST,
+        iterations: ITERATIONS as u64,
+        forward_tol: FORWARD_TOL,
+        object_gap: object_gap(&born, &krylov),
+        bicgstab: leg(BackendChoice::Bicgstab, &krylov, secs_k),
+        born_series: leg(BackendChoice::BornSeries, &born, secs_b),
+    }
+}
+
+/// Reads one backend leg back out of the committed baseline JSON (the
+/// vendored serde stand-in serializes only, so parsing is by hand).
+fn leg_from_json(root: &Json, key: &str) -> Result<BackendLeg, String> {
+    let miss = |what: &str| format!("baseline missing {key}.{what}");
+    let l = root.get(key).ok_or_else(|| miss(""))?;
+    let iters = l
+        .get("solver_iters")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| miss("solver_iters"))?
+        .iter()
+        .map(Json::as_u64)
+        .collect::<Option<Vec<u64>>>()
+        .ok_or_else(|| miss("solver_iters[int]"))?;
+    Ok(BackendLeg {
+        backend: l
+            .get("backend")
+            .and_then(Json::as_str)
+            .ok_or_else(|| miss("backend"))?
+            .to_string(),
+        solver_iters: iters,
+        forward_solves: l
+            .get("forward_solves")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| miss("forward_solves"))?,
+        final_residual: l
+            .get("final_residual")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| miss("final_residual"))?,
+        secs: l.get("secs").and_then(Json::as_f64).unwrap_or(0.0),
+    })
+}
+
+fn baseline_path() -> PathBuf {
+    // crates/bench -> workspace root
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_pr8.json")
+}
+
+fn print_record(r: &ParityRecord) {
+    for l in [&r.bicgstab, &r.born_series] {
+        println!(
+            "{:>11}: iters/outer {:?}, {} solves, residual {:.6e}, {:.2}s",
+            l.backend, l.solver_iters, l.forward_solves, l.final_residual, l.secs
+        );
+    }
+    println!("cross-backend reconstruction gap: {:.3e}", r.object_gap);
+}
+
+/// Gates one leg against its committed counterpart.
+fn gate_leg(fresh: &BackendLeg, base: &BackendLeg, fails: &mut Vec<String>) {
+    if fresh.solver_iters != base.solver_iters {
+        fails.push(format!(
+            "{}: iteration trace {:?} != committed {:?} (counts gate exactly)",
+            fresh.backend, fresh.solver_iters, base.solver_iters
+        ));
+    }
+    if fresh.forward_solves != base.forward_solves {
+        fails.push(format!(
+            "{}: {} forward solves != committed {}",
+            fresh.backend, fresh.forward_solves, base.forward_solves
+        ));
+    }
+    let drift = (fresh.final_residual - base.final_residual).abs() / base.final_residual;
+    if drift > RESIDUAL_DRIFT {
+        fails.push(format!(
+            "{}: residual {:.6e} drifted {:.1}% from committed {:.6e} (>±{:.0}%)",
+            fresh.backend,
+            fresh.final_residual,
+            drift * 100.0,
+            base.final_residual,
+            RESIDUAL_DRIFT * 100.0
+        ));
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let write_baseline = args.iter().any(|a| a == "--write-baseline");
+
+    let fresh = measure();
+    print_record(&fresh);
+
+    if write_baseline {
+        let path = baseline_path();
+        let body = serde_json::to_string_pretty(&fresh).expect("serializable");
+        std::fs::write(&path, body + "\n").expect("write baseline");
+        println!("wrote baseline {}", path.display());
+        return;
+    }
+
+    ffw_bench::write_json("BENCH_pr8", &fresh).expect("write fresh record");
+    let mut fails = Vec::new();
+    if fresh.object_gap > OBJECT_GAP_TOL {
+        fails.push(format!(
+            "cross-backend reconstruction gap {:.3e} exceeds {OBJECT_GAP_TOL:.0e}",
+            fresh.object_gap
+        ));
+    }
+    if fresh.bicgstab.forward_solves != fresh.born_series.forward_solves {
+        fails.push("backends disagree on the forward-solve count".into());
+    }
+    match std::fs::read_to_string(baseline_path()) {
+        Ok(body) => {
+            let root = Json::parse(&body).expect("parse BENCH_pr8.json");
+            match (
+                leg_from_json(&root, "bicgstab"),
+                leg_from_json(&root, "born_series"),
+            ) {
+                (Ok(bk), Ok(bb)) => {
+                    gate_leg(&fresh.bicgstab, &bk, &mut fails);
+                    gate_leg(&fresh.born_series, &bb, &mut fails);
+                }
+                (k, b) => {
+                    for e in [k.err(), b.err()].into_iter().flatten() {
+                        fails.push(e);
+                    }
+                }
+            }
+        }
+        Err(e) => fails.push(format!(
+            "no committed baseline at {} ({e}); run with --write-baseline",
+            baseline_path().display()
+        )),
+    }
+    if fails.is_empty() {
+        println!("backend parity gate: OK");
+    } else {
+        eprintln!("backend parity gate: FAILED");
+        for f in &fails {
+            eprintln!("  - {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -147,7 +147,7 @@ fn measure_dbim(batch: usize) -> f64 {
         ..Default::default()
     };
     let sw = ffw_obs::Stopwatch::start();
-    let _ = recon.run_dbim_with(&measured, &cfg);
+    let _ = recon.run_dbim_with(&measured, &cfg).expect("dbim");
     sw.elapsed_secs()
 }
 

@@ -133,7 +133,7 @@ fn main() {
         iterations: 3,
         ..Default::default()
     };
-    let serial_result = dbim(&setup, &g0, &measured, &cfg);
+    let serial_result = dbim(&setup, &g0, &measured, &cfg).expect("dbim");
     let (groups, subtree) = (2usize, 2usize);
     let plan2 = Arc::clone(&plan);
     let setup_ref = &setup;

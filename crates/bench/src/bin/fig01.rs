@@ -45,7 +45,7 @@ fn main() {
         let truth_raster = truth.rasterize(recon.domain());
         let t0 = Stopwatch::start();
         let measured = recon.synthesize(&truth);
-        let dbim = recon.run_dbim(&measured, iters);
+        let dbim = recon.run_dbim(&measured, iters).expect("dbim");
         let dbim_img = recon.image(&dbim.object);
         let dbim_err = image_rel_error(&dbim_img, &truth_raster);
         let born = recon.run_born(&measured, &BornConfig::default());

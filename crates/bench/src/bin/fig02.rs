@@ -52,7 +52,7 @@ fn main() {
         };
         let truth_raster = truth.rasterize(recon.domain());
         let measured = recon.synthesize(&truth);
-        let dbim = recon.run_dbim(&measured, iters);
+        let dbim = recon.run_dbim(&measured, iters).expect("dbim");
         let dbim_err = image_rel_error(&recon.image(&dbim.object), &truth_raster);
         let born = recon.run_born(&measured, &BornConfig::default());
         let born_err = image_rel_error(&recon.image(&born.object), &truth_raster);

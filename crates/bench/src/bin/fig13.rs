@@ -44,7 +44,7 @@ fn main() {
     let measured = recon.synthesize(&truth);
     println!("synthesized {} transmitters in {:.1?}", n_tx, t0.elapsed());
     let t1 = Stopwatch::start();
-    let result = recon.run_dbim(&measured, iters);
+    let result = recon.run_dbim(&measured, iters).expect("dbim");
     let wall = t1.elapsed().as_secs_f64();
     let image = recon.image(&result.object);
     let err = image_rel_error(&image, &truth_raster);

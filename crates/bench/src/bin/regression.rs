@@ -88,7 +88,7 @@ fn run_serial(recon: &Reconstruction, measured: &[Vec<ffw_numerics::C64>]) -> (f
         ..Default::default()
     };
     let sw = ffw_obs::Stopwatch::start();
-    let result = recon.run_dbim_with(measured, &cfg);
+    let result = recon.run_dbim_with(measured, &cfg).expect("dbim");
     (sw.elapsed_secs(), result.final_residual)
 }
 

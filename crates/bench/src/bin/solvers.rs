@@ -55,11 +55,11 @@ fn main() {
         let n = object.len();
 
         let mut x = vec![C64::ZERO; n];
-        let s_bicgs = bicgstab(&a, &phi_inc, &mut x, cfg);
+        let s_bicgs = bicgstab(&a, &phi_inc, &mut x, cfg); // lint:backend-ok microbench compares raw solvers
 
         let m = LeafBlockJacobi::new(&plan, &object);
         let mut x = vec![C64::ZERO; n];
-        let s_pre = bicgstab_precond(&a, &m, &phi_inc, &mut x, cfg);
+        let s_pre = bicgstab_precond(&a, &m, &phi_inc, &mut x, cfg); // lint:backend-ok microbench compares raw solvers
 
         let mut x = vec![C64::ZERO; n];
         let s_gmres = gmres(&a, &phi_inc, &mut x, 30, cfg);

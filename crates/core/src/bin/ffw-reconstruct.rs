@@ -11,10 +11,11 @@
 
 use ffw_dist::{run_dbim_ft, FtConfig, JobControl};
 use ffw_geometry::Point2;
-use ffw_inverse::{add_noise, BornConfig, DbimConfig};
+use ffw_inverse::{add_noise, BornConfig, DbimConfig, DbimError};
 use ffw_mpi::FaultPlan;
 use ffw_phantom::{image_rel_error, Annulus, Cylinder, Phantom, RandomBlobs, SheppLogan};
-use ffw_tomo::exit::{exit_code_for, EXIT_INTERRUPTED};
+use ffw_solver::BackendChoice;
+use ffw_tomo::exit::{exit_code_for, EXIT_BREAKDOWN, EXIT_INTERRUPTED};
 use ffw_tomo::viz::write_pgm;
 use ffw_tomo::{Reconstruction, SceneConfig};
 use std::path::PathBuf;
@@ -33,6 +34,7 @@ struct Cli {
     precondition: bool,
     positivity: bool,
     batch: Option<usize>,
+    backend: BackendChoice,
     out: Option<String>,
     groups: Option<usize>,
     subtree: usize,
@@ -66,6 +68,30 @@ fn validate(cli: &Cli) -> Result<(), String> {
                  Jacobi path is single-RHS)"
                     .into(),
             );
+        }
+    }
+    if cli.backend != BackendChoice::Bicgstab {
+        if cli.precondition {
+            return Err(format!(
+                "--backend {} cannot be combined with --precondition (the \
+                 leaf-block Jacobi preconditioner is specific to the BiCGStab \
+                 backend)",
+                cli.backend
+            ));
+        }
+        if cli.born {
+            return Err(format!(
+                "--backend {} has no effect on --born (the linear Born baseline \
+                 performs no forward solves)",
+                cli.backend
+            ));
+        }
+        if cli.groups.is_some() {
+            return Err(format!(
+                "--backend {} is not supported in distributed mode (--groups); \
+                 the fault-tolerant pipeline currently runs BiCGStab only",
+                cli.backend
+            ));
         }
     }
     if let Some(groups) = cli.groups {
@@ -120,6 +146,7 @@ fn parse_args() -> Result<Cli, String> {
         precondition: false,
         positivity: false,
         batch: None,
+        backend: BackendChoice::default(),
         out: None,
         groups: None,
         subtree: 2,
@@ -158,6 +185,7 @@ fn parse_args() -> Result<Cli, String> {
             "--precondition" => cli.precondition = true,
             "--positivity" => cli.positivity = true,
             "--batch" => cli.batch = Some(val("--batch")?.parse().map_err(|e| format!("{e}"))?),
+            "--backend" => cli.backend = val("--backend")?.parse()?,
             "--out" => cli.out = Some(val("--out")?),
             "--groups" => cli.groups = Some(val("--groups")?.parse().map_err(|e| format!("{e}"))?),
             "--subtree" => cli.subtree = val("--subtree")?.parse().map_err(|e| format!("{e}"))?,
@@ -179,7 +207,8 @@ fn parse_args() -> Result<Cli, String> {
                     "usage: ffw-reconstruct [--size N] [--tx T] [--rx R] \
                      [--phantom cylinder|annulus|shepp-logan|blobs] [--contrast C] \
                      [--iterations K] [--noise-db D] [--arc-deg A] [--born] \
-                     [--precondition] [--positivity] [--batch B] [--out PREFIX] \
+                     [--precondition] [--positivity] [--batch B] \
+                     [--backend bicgstab|born-series] [--out PREFIX] \
                      [--groups G [--subtree P] [--checkpoint PATH] [--resume] \
                      [--chaos-seed S] [--max-restarts N] [--min-groups M]] \
                      [--metrics PATH] [--profile]\n\n\
@@ -187,6 +216,13 @@ fn parse_args() -> Result<Cli, String> {
                      MLFMA traversal (1 <= B <= --tx; default min(tx, 8)); every \
                      batch width gives the bit-identical reconstruction. Not \
                      compatible with --precondition (that path is single-RHS).\n\n\
+                     --backend selects the forward engine for every forward and \
+                     adjoint solve: bicgstab (default, the paper's Krylov solver) \
+                     or born-series (the convergent Born series — a fixed-point \
+                     iteration with a guaranteed contraction, admitted only while \
+                     the contrast bound ||G0||*max|O| stays under the limit; an \
+                     over-contrast scene exits with code 3 instead of diverging). \
+                     Not compatible with --precondition (BiCGStab-specific).\n\n\
                      --groups switches to the fault-tolerant distributed DBIM on a \
                      G x P in-process rank grid (G must divide --tx, P must divide \
                      16): outer-iteration checkpoints (--checkpoint), bit-identical \
@@ -299,6 +335,7 @@ fn main() {
                 iterations: cli.iterations,
                 positivity: cli.positivity,
                 batch: cli.batch,
+                backend: cli.backend,
                 ..Default::default()
             },
             groups,
@@ -347,11 +384,21 @@ fn main() {
             positivity: cli.positivity,
             precondition: cli.precondition.then(|| Arc::clone(&recon.plan)),
             batch: cli.batch,
+            backend: cli.backend,
             ..Default::default()
         };
-        let result = recon.run_dbim_with(&measured, &cfg);
+        let result = match recon.run_dbim_with(&measured, &cfg) {
+            Ok(r) => r,
+            Err(e @ DbimError::Backend(_)) => {
+                // Same exit class as a Krylov breakdown: the scene is too
+                // hard for this engine — perturb it or pick another backend.
+                eprintln!("DBIM failed: {e}");
+                std::process::exit(EXIT_BREAKDOWN);
+            }
+        };
         println!(
-            "DBIM: residual {:.2}% -> {:.3}%, {:.1} MLFMA mults/solve, {} forward solves",
+            "DBIM ({}): residual {:.2}% -> {:.3}%, {:.1} MLFMA mults/solve, {} forward solves",
+            cli.backend,
             100.0 * result.history[0].rel_residual,
             100.0 * result.final_residual,
             result.mlfma_mults_per_solve(),

@@ -16,8 +16,11 @@ pub const EXIT_OK: i32 = 0;
 pub const EXIT_FAILURE: i32 = 1;
 /// Invalid command-line usage, rejected before any work started.
 pub const EXIT_USAGE: i32 = 2;
-/// An iterative Krylov solve broke down (rho underflow / non-finite
-/// residual) and did not recover after its automatic restart.
+/// A forward solve could not be completed: an iterative Krylov solve broke
+/// down (rho underflow / non-finite residual) and did not recover after its
+/// automatic restart, or the selected backend rejected the scene outright
+/// (the Born-series engine's contrast bound). Either way the response is the
+/// same — perturb the scene, or pick another engine.
 pub const EXIT_BREAKDOWN: i32 = 3;
 /// A recovery budget was exhausted: the relaunch/retry budget was spent or
 /// no further recovery is possible (e.g. every illumination group lost).

@@ -14,7 +14,7 @@
 //! let truth = Cylinder { center: Point2::ZERO, radius: 1.5, contrast: 0.05 };
 //! let recon = Reconstruction::new(&scene);
 //! let measured = recon.synthesize(&truth);
-//! let result = recon.run_dbim(&measured, 10);
+//! let result = recon.run_dbim(&measured, 10).unwrap();
 //! println!("residual: {:.3}%", 100.0 * result.final_residual);
 //! let image = recon.image(&result.object); // grid-order contrast raster
 //! # let _ = image;
@@ -27,7 +27,7 @@ pub mod viz;
 
 use ffw_geometry::{Domain, QuadTree, TransducerArray};
 use ffw_inverse::{
-    born_inversion, dbim, synthesize_measurements, BornConfig, DbimConfig, DbimResult,
+    born_inversion, dbim, synthesize_measurements, BornConfig, DbimConfig, DbimError, DbimResult,
     ImagingSetup, MlfmaG0,
 };
 use ffw_mlfma::{Accuracy, MlfmaEngine, MlfmaPlan};
@@ -157,7 +157,15 @@ impl Reconstruction {
     }
 
     /// Runs the nonlinear multiple-scattering DBIM reconstruction.
-    pub fn run_dbim(&self, measured: &[Vec<C64>], iterations: usize) -> DbimResult {
+    ///
+    /// Fails typed when the configured forward backend rejects the problem
+    /// (e.g. the Born-series contrast bound); the default BiCGStab backend
+    /// never rejects.
+    pub fn run_dbim(
+        &self,
+        measured: &[Vec<C64>],
+        iterations: usize,
+    ) -> Result<DbimResult, DbimError> {
         let cfg = DbimConfig {
             iterations,
             ..Default::default()
@@ -166,7 +174,11 @@ impl Reconstruction {
     }
 
     /// Runs DBIM with full configuration control.
-    pub fn run_dbim_with(&self, measured: &[Vec<C64>], cfg: &DbimConfig) -> DbimResult {
+    pub fn run_dbim_with(
+        &self,
+        measured: &[Vec<C64>],
+        cfg: &DbimConfig,
+    ) -> Result<DbimResult, DbimError> {
         dbim(&self.setup, &self.g0, measured, cfg)
     }
 
@@ -201,7 +213,7 @@ mod tests {
             contrast: 0.05,
         };
         let measured = recon.synthesize(&truth);
-        let result = recon.run_dbim(&measured, 4);
+        let result = recon.run_dbim(&measured, 4).expect("dbim");
         assert!(result.final_residual < 0.5, "{}", result.final_residual);
         assert!(
             result.final_residual < result.history[0].rel_residual,

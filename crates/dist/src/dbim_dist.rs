@@ -82,6 +82,7 @@ pub fn dist_dbim(
                 object_local: object,
             };
             let inc = &setup.incident(t)[cols.clone()];
+            // lint:backend-ok legacy unbatched reference driver is Krylov-only by design
             dist_bicgstab(&a, comm, &group_members, inc, &mut fields[i], cfg.forward);
             // r_t = GR (O . phi) - m_t, reduced across the group
             let w: Vec<C64> = object
@@ -127,6 +128,7 @@ pub fn dist_dbim(
                 g0: &g0,
                 object_local: &object,
             };
+            // lint:backend-ok legacy unbatched reference driver is Krylov-only by design
             dist_bicgstab(&ah, comm, &group_members, &rhs, &mut z, cfg.forward);
             // G0^H z via conjugation
             let zc: Vec<C64> = z.iter().map(|v| v.conj()).collect();
@@ -185,6 +187,7 @@ pub fn dist_dbim(
                 g0: &g0,
                 object_local: &object,
             };
+            // lint:backend-ok legacy unbatched reference driver is Krylov-only by design
             dist_bicgstab(&a, comm, &group_members, &g0w, &mut u, cfg.forward);
             let src: Vec<C64> = w
                 .iter()

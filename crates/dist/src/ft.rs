@@ -42,7 +42,7 @@ use crate::solver::{
     try_allreduce_scalars, try_dist_bicgstab_block, DistAdjointScatteringOp, DistScatteringOp,
 };
 use ffw_fault::{Checkpoint, Fingerprint};
-use ffw_inverse::{DbimConfig, ImagingSetup};
+use ffw_inverse::{BackendChoice, DbimConfig, ImagingSetup};
 use ffw_mlfma::MlfmaPlan;
 use ffw_mpi::{Comm, FaultError, FaultPlan, Payload, RankOutcome, Runtime};
 use ffw_numerics::vecops::{norm2_sqr, zdotc};
@@ -207,7 +207,8 @@ fn run_fingerprint(
         .u64(cfg.forward.max_iters as u64)
         .flag(cfg.real_object)
         .flag(cfg.warm_start)
-        .flag(cfg.conjugate);
+        .flag(cfg.conjugate)
+        .u64(cfg.backend as u64);
     for m in measured {
         for v in m {
             fp = fp.f64(v.re).f64(v.im);
@@ -241,6 +242,17 @@ pub fn run_dbim_ft(
     assert_eq!(measured.len(), n_tx);
     assert_eq!(n_tx % groups, 0, "transmitters must divide among groups");
     assert!(cfg.min_groups >= 1, "min_groups must be at least 1");
+    if cfg.dbim.backend != BackendChoice::Bicgstab {
+        // The fault-tolerant pipeline pins BiCGStab (see the lint:backend-ok
+        // waivers below); admission layers reject other backends before this
+        // point, so reaching here means a config was constructed by hand.
+        return Err(FaultError::Unrecoverable {
+            detail: format!(
+                "backend {} is not supported by the distributed driver",
+                cfg.dbim.backend
+            ),
+        });
+    }
     let tx_per_group = n_tx / groups;
     let fingerprint = run_fingerprint(setup, &plan, &cfg.dbim, groups, p, measured);
 
@@ -605,6 +617,7 @@ fn ft_rank(
                 .iter()
                 .map(|&t| &setup.incident(t)[cols.clone()])
                 .collect();
+            // lint:backend-ok distributed mode is Krylov-only; admission rejects other backends
             try_dist_bicgstab_block(&a, comm, &group_members, &incs, fields_chunk, cfg.forward)?;
             // the whole chunk's receiver data rides in one allreduce
             let mut rs = vec![C64::ZERO; chunk.len() * n_rx];
@@ -658,6 +671,7 @@ fn ft_rank(
                 g0: &g0,
                 object_local: &object,
             };
+            // lint:backend-ok distributed mode is Krylov-only; admission rejects other backends
             try_dist_bicgstab_block(&ah, comm, &group_members, &rhs_refs, &mut zs, cfg.forward)?;
             let zcs: Vec<Vec<C64>> = zs
                 .iter()
@@ -723,6 +737,7 @@ fn ft_rank(
                 g0: &g0,
                 object_local: &object,
             };
+            // lint:backend-ok distributed mode is Krylov-only; admission rejects other backends
             try_dist_bicgstab_block(&a, comm, &group_members, &g0w_refs, &mut us, cfg.forward)?;
             // fused receiver-data allreduce for the whole chunk
             let mut fds = vec![C64::ZERO; chunk.len() * n_rx];

@@ -106,7 +106,7 @@ fn fault_free_run_matches_serial_dbim() {
             Arc::clone(&sc.plan),
             Arc::new(Pool::new(1)),
         )));
-        dbim(&sc.setup, &g0, &sc.measured, &dbim_cfg())
+        dbim(&sc.setup, &g0, &sc.measured, &dbim_cfg()).expect("serial dbim")
     };
     let r = run_dbim_ft(&sc.setup, Arc::clone(&sc.plan), &sc.measured, &ft_cfg())
         .expect("fault-free run must succeed");

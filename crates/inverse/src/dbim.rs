@@ -24,8 +24,9 @@ use ffw_mlfma::MlfmaPlan;
 use ffw_numerics::vecops::{norm2_sqr, zdotc};
 use ffw_numerics::C64;
 use ffw_solver::{
-    bicgstab_precond, g0_adjoint_apply_block, solve_adjoint_block, solve_forward_block,
-    AdjointScatteringOp, BlockLinOp, CountingOp, IterConfig, LinOp, ScatteringOp,
+    bicgstab_precond, estimate_g0_norm, g0_adjoint_apply_block, make_backend, AdjointScatteringOp,
+    BackendChoice, BackendError, BlockLinOp, CountingOp, IterConfig, LinOp, ScatteringOp,
+    NORM_ESTIMATE_ITERS, NORM_ESTIMATE_SEED,
 };
 use std::sync::Arc;
 
@@ -63,6 +64,14 @@ pub struct DbimConfig {
     /// `precondition` is set — the leaf-block Jacobi path is single-RHS.
     /// Per-column results are bit-identical for every batch size.
     pub batch: Option<usize>,
+    /// Forward engine for the (batched) forward/adjoint solves. The choice
+    /// is config, not code path: `dbim` routes every solve through the
+    /// [`ffw_solver::ForwardBackend`] trait, so a new engine needs only a
+    /// `make_backend` arm, never a `dbim` change. The Born-series engine
+    /// validates its contrast bound against each object iterate and fails
+    /// typed ([`DbimError::Backend`]) instead of diverging. Incompatible
+    /// with `precondition` (the leaf-block Jacobi path is BiCGStab-specific).
+    pub backend: BackendChoice,
 }
 
 impl std::fmt::Debug for DbimConfig {
@@ -78,6 +87,7 @@ impl std::fmt::Debug for DbimConfig {
             .field("initial", &self.initial.as_ref().map(|v| v.len()))
             .field("precondition", &self.precondition.is_some())
             .field("batch", &self.batch)
+            .field("backend", &self.backend)
             .finish()
     }
 }
@@ -95,7 +105,32 @@ impl Default for DbimConfig {
             initial: None,
             precondition: None,
             batch: None,
+            backend: BackendChoice::default(),
         }
+    }
+}
+
+/// Typed failure of a DBIM reconstruction.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DbimError {
+    /// The selected forward backend rejected the problem — e.g. the
+    /// Born-series contrast bound was exceeded by an object iterate.
+    Backend(BackendError),
+}
+
+impl std::fmt::Display for DbimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DbimError::Backend(e) => write!(f, "forward backend rejected the problem: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DbimError {}
+
+impl From<BackendError> for DbimError {
+    fn from(e: BackendError) -> Self {
+        DbimError::Backend(e)
     }
 }
 
@@ -108,8 +143,9 @@ pub struct IterationRecord {
     pub rel_residual: f64,
     /// Step length taken.
     pub step: f64,
-    /// BiCGStab iterations spent this DBIM iteration (all solves).
-    pub bicgstab_iters: usize,
+    /// Forward-solver iterations spent this DBIM iteration (all solves,
+    /// whichever backend performed them).
+    pub solver_iters: usize,
 }
 
 /// Result of a DBIM reconstruction.
@@ -137,16 +173,33 @@ impl DbimResult {
 
 /// Runs the DBIM reconstruction. `measured[t]` holds receiver samples for
 /// transmitter `t`. Returns the reconstructed object in tree order.
+///
+/// Forward and adjoint solves go through the [`ffw_solver::ForwardBackend`]
+/// selected by `cfg.backend`; a backend may reject an object iterate (the
+/// Born series enforces its contrast bound at construction), which surfaces
+/// as a typed [`DbimError`] instead of a silent divergence.
 pub fn dbim<G: BlockLinOp + ?Sized>(
     setup: &ImagingSetup,
     g0: &G,
     measured: &[Vec<C64>],
     cfg: &DbimConfig,
-) -> DbimResult {
+) -> Result<DbimResult, DbimError> {
     let _span = ffw_obs::span("dbim");
     let n = setup.n_pixels();
     let n_tx = setup.n_tx();
     assert_eq!(measured.len(), n_tx);
+    assert!(
+        cfg.precondition.is_none() || cfg.backend == BackendChoice::Bicgstab,
+        "leaf-block Jacobi preconditioning is specific to the BiCGStab backend"
+    );
+    // The Green's-operator norm is a per-run constant (the object never
+    // changes G0): estimate it once, before the counting wrapper, so
+    // `g0_applies` keeps meaning "MLFMA applications spent reconstructing".
+    let g0_norm = if cfg.backend == BackendChoice::BornSeries {
+        estimate_g0_norm(g0, NORM_ESTIMATE_ITERS, NORM_ESTIMATE_SEED)
+    } else {
+        0.0
+    };
     let g0c = CountingOp::new(g0);
     let g0 = &g0c;
     let batch = cfg.batch.unwrap_or_else(|| n_tx.min(8)).max(1);
@@ -170,7 +223,7 @@ pub fn dbim<G: BlockLinOp + ?Sized>(
         let _iter_span = ffw_obs::span("iter");
         ffw_obs::counter("dbim.outer_iters").inc();
         let mut cost = 0.0f64;
-        let mut bicgstab_iters = 0usize;
+        let mut solver_iters = 0usize;
         let mut residuals: Vec<Vec<C64>> = Vec::with_capacity(n_tx);
         // (re)build the block-Jacobi preconditioners for the current object
         let preconds = cfg.precondition.as_ref().map(|plan| {
@@ -179,6 +232,10 @@ pub fn dbim<G: BlockLinOp + ?Sized>(
                 LeafBlockJacobi::new_adjoint(plan, &object),
             )
         });
+        // (re)build the forward engine against the current object iterate;
+        // admission (e.g. the Born-series contrast bound, which depends on
+        // max|O| of *this* iterate) happens here, before any solve runs.
+        let backend = make_backend(cfg.backend, g0, &object, g0_norm)?;
         // --- pass 1: fields and residuals ---
         let fields_span = ffw_obs::span("fields");
         if !cfg.warm_start {
@@ -191,9 +248,10 @@ pub fn dbim<G: BlockLinOp + ?Sized>(
             Some((m, _)) => {
                 for (t, field) in fields.iter_mut().enumerate() {
                     let a = ScatteringOp::new(g0, &object);
+                    // lint:backend-ok leaf-block Jacobi is BiCGStab-specific
                     let stats = bicgstab_precond(&a, m, setup.incident(t), field, cfg.forward);
                     forward_solves += 1;
-                    bicgstab_iters += stats.iterations;
+                    solver_iters += stats.iterations;
                 }
             }
             // Batched: each chunk of transmitters shares fused traversals,
@@ -202,10 +260,9 @@ pub fn dbim<G: BlockLinOp + ?Sized>(
                 for t0 in (0..n_tx).step_by(batch) {
                     let t1 = (t0 + batch).min(n_tx);
                     let incs: Vec<&[C64]> = (t0..t1).map(|t| setup.incident(t)).collect();
-                    let stats =
-                        solve_forward_block(g0, &object, &incs, &mut fields[t0..t1], cfg.forward);
+                    let stats = backend.solve_block(&incs, &mut fields[t0..t1], cfg.forward);
                     forward_solves += t1 - t0;
-                    bicgstab_iters += stats.iter().map(|s| s.iterations).sum::<usize>();
+                    solver_iters += stats.iter().map(|s| s.iterations).sum::<usize>();
                 }
             }
         }
@@ -238,9 +295,10 @@ pub fn dbim<G: BlockLinOp + ?Sized>(
                         .collect();
                     let mut z = vec![C64::ZERO; n];
                     let ah = AdjointScatteringOp::new(g0, &object);
+                    // lint:backend-ok leaf-block Jacobi is BiCGStab-specific
                     let stats = bicgstab_precond(&ah, mh, &rhs, &mut z, cfg.forward);
                     forward_solves += 1;
-                    bicgstab_iters += stats.iterations;
+                    solver_iters += stats.iterations;
                     ffw_solver::g0_adjoint_apply(g0, &z, &mut g0hz);
                     for i in 0..n {
                         grad[i] += fields[t][i].conj() * (y[i] + g0hz[i]);
@@ -266,9 +324,9 @@ pub fn dbim<G: BlockLinOp + ?Sized>(
                     }
                     let rhs_refs: Vec<&[C64]> = rhss.iter().map(|v| v.as_slice()).collect();
                     let mut zs = vec![vec![C64::ZERO; n]; nb];
-                    let stats = solve_adjoint_block(g0, &object, &rhs_refs, &mut zs, cfg.forward);
+                    let stats = backend.solve_adjoint_block(&rhs_refs, &mut zs, cfg.forward);
                     forward_solves += nb;
-                    bicgstab_iters += stats.iter().map(|s| s.iterations).sum::<usize>();
+                    solver_iters += stats.iter().map(|s| s.iterations).sum::<usize>();
                     let z_refs: Vec<&[C64]> = zs.iter().map(|v| v.as_slice()).collect();
                     let mut g0hzs = vec![vec![C64::ZERO; n]; nb];
                     g0_adjoint_apply_block(g0, &z_refs, &mut g0hzs);
@@ -300,7 +358,7 @@ pub fn dbim<G: BlockLinOp + ?Sized>(
                 cost,
                 rel_residual,
                 step: 0.0,
-                bicgstab_iters,
+                solver_iters,
             });
             break;
         }
@@ -337,9 +395,10 @@ pub fn dbim<G: BlockLinOp + ?Sized>(
                     g0.apply(&w, &mut g0w); // lint:single-rhs-ok preconditioned path is scalar
                     let mut u = vec![C64::ZERO; n];
                     let a = ScatteringOp::new(g0, &object);
+                    // lint:backend-ok leaf-block Jacobi is BiCGStab-specific
                     let stats = bicgstab_precond(&a, m, &g0w, &mut u, cfg.forward);
                     forward_solves += 1;
-                    bicgstab_iters += stats.iterations;
+                    solver_iters += stats.iterations;
                     // F_t d = GR (w + O u)
                     let src: Vec<C64> = w
                         .iter()
@@ -365,9 +424,9 @@ pub fn dbim<G: BlockLinOp + ?Sized>(
                     g0.apply_block(&w_refs, &mut g0ws);
                     let g0w_refs: Vec<&[C64]> = g0ws.iter().map(|v| v.as_slice()).collect();
                     let mut us = vec![vec![C64::ZERO; n]; nb];
-                    let stats = solve_forward_block(g0, &object, &g0w_refs, &mut us, cfg.forward);
+                    let stats = backend.solve_block(&g0w_refs, &mut us, cfg.forward);
                     forward_solves += nb;
-                    bicgstab_iters += stats.iter().map(|s| s.iterations).sum::<usize>();
+                    solver_iters += stats.iter().map(|s| s.iterations).sum::<usize>();
                     for (k, t) in (t0..t1).enumerate() {
                         // F_t d = GR (w + O u)
                         let src: Vec<C64> = ws[k]
@@ -390,6 +449,9 @@ pub fn dbim<G: BlockLinOp + ?Sized>(
             den += cfg.tikhonov * norm2_sqr(&dir);
         }
         drop(step_span);
+        // Release the backend's borrow of the object before updating it; the
+        // next iteration re-admits the updated iterate from scratch.
+        drop(backend);
         let alpha = if den > 0.0 { num / den } else { 0.0 };
         ffw_obs::series_push("dbim.step", alpha);
         for i in 0..n {
@@ -413,20 +475,22 @@ pub fn dbim<G: BlockLinOp + ?Sized>(
             cost,
             rel_residual,
             step: alpha,
-            bicgstab_iters,
+            solver_iters,
         });
     }
 
     // --- final residual pass (always unpreconditioned, batched) ---
     let _final_span = ffw_obs::span("final");
     let mut cost = 0.0f64;
+    let backend = make_backend(cfg.backend, g0, &object, g0_norm)?;
     for t0 in (0..n_tx).step_by(batch) {
         let t1 = (t0 + batch).min(n_tx);
         let incs: Vec<&[C64]> = (t0..t1).map(|t| setup.incident(t)).collect();
-        let stats = solve_forward_block(g0, &object, &incs, &mut fields[t0..t1], cfg.forward);
+        let stats = backend.solve_block(&incs, &mut fields[t0..t1], cfg.forward);
         forward_solves += t1 - t0;
         let _ = stats;
     }
+    drop(backend);
     for t in 0..n_tx {
         let mut r = vec![C64::ZERO; setup.n_rx()];
         setup.scattered(&object, &fields[t], &mut r);
@@ -441,13 +505,13 @@ pub fn dbim<G: BlockLinOp + ?Sized>(
         ffw_obs::gauge("dbim.final_residual").set(final_residual);
     }
 
-    DbimResult {
+    Ok(DbimResult {
         object,
         history,
         final_residual,
         forward_solves,
         g0_applies: g0c.count(),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -493,7 +557,7 @@ mod tests {
                 batch,
                 ..Default::default()
             };
-            dbim(&setup, &g0, &measured, &cfg)
+            dbim(&setup, &g0, &measured, &cfg).expect("dbim")
         };
         let base = run(Some(1));
         for b in [2usize, 3, 8] {
@@ -502,7 +566,7 @@ mod tests {
             assert_eq!(r.forward_solves, base.forward_solves);
             assert_eq!(r.g0_applies, base.g0_applies, "batch {b} applies");
             for (a, bb) in r.history.iter().zip(&base.history) {
-                assert_eq!(a.bicgstab_iters, bb.bicgstab_iters);
+                assert_eq!(a.solver_iters, bb.solver_iters);
                 assert_eq!(a.cost, bb.cost);
                 assert_eq!(a.step, bb.step);
             }

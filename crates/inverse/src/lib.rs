@@ -15,7 +15,8 @@ pub mod precond;
 pub mod problem;
 
 pub use born::{born_inversion, BornConfig, BornResult};
-pub use dbim::{dbim, DbimConfig, DbimResult, IterationRecord};
+pub use dbim::{dbim, DbimConfig, DbimError, DbimResult, IterationRecord};
+pub use ffw_solver::{BackendChoice, BackendError};
 pub use multifreq::{multi_frequency_dbim, FrequencyHop, MultiFreqResult};
 pub use ops::MlfmaG0;
 pub use precond::LeafBlockJacobi;

@@ -12,7 +12,7 @@
 //! object function `O = k0^2 delta_eps` between wavenumbers, since the
 //! contrast `delta_eps` is the frequency-invariant unknown.
 
-use crate::dbim::{dbim, DbimConfig, DbimResult};
+use crate::dbim::{dbim, DbimConfig, DbimError, DbimResult};
 use crate::problem::ImagingSetup;
 use ffw_numerics::C64;
 use ffw_solver::BlockLinOp;
@@ -39,10 +39,12 @@ pub struct MultiFreqResult {
 
 /// Runs the hop schedule, lowest frequency first. `base` provides all DBIM
 /// settings except `iterations` and `initial`, which the driver manages.
+/// A backend rejection at any stage (e.g. the Born-series contrast bound)
+/// aborts the whole schedule with that stage's error.
 pub fn multi_frequency_dbim<G: BlockLinOp + ?Sized>(
     hops: &[FrequencyHop<'_, G>],
     base: &DbimConfig,
-) -> MultiFreqResult {
+) -> Result<MultiFreqResult, DbimError> {
     assert!(!hops.is_empty());
     // frequencies must be sorted ascending (k0 grows)
     for w in hops.windows(2) {
@@ -71,15 +73,15 @@ pub fn multi_frequency_dbim<G: BlockLinOp + ?Sized>(
             initial,
             ..base.clone()
         };
-        let result = dbim(hop.setup, hop.g0, hop.measured, &cfg);
+        let result = dbim(hop.setup, hop.g0, hop.measured, &cfg)?;
         carry = Some(result.object.clone());
         prev_k0sq = k0sq;
         stages.push(result);
     }
-    MultiFreqResult {
+    Ok(MultiFreqResult {
         object: stages.last().expect("non-empty").object.clone(),
         stages,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -149,7 +151,8 @@ mod tests {
                 iterations: 8,
             }],
             &base,
-        );
+        )
+        .expect("single-stage dbim");
         // hop: 4 at low, 4 at high
         let hop = multi_frequency_dbim(
             &[
@@ -167,7 +170,8 @@ mod tests {
                 },
             ],
             &base,
-        );
+        )
+        .expect("hop dbim");
         let err_single = image_rel_error(
             &contrast_from_object(&domain_hi, &tree_hi, &single.object),
             &truth_raster,

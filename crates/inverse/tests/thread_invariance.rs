@@ -43,7 +43,7 @@ fn reconstruct(threads: usize, batch: Option<usize>) -> ffw_inverse::DbimResult 
         batch,
         ..Default::default()
     };
-    dbim(&setup, &g0, &measured, &cfg)
+    dbim(&setup, &g0, &measured, &cfg).expect("dbim")
 }
 
 #[test]

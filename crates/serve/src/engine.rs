@@ -844,6 +844,7 @@ fn execute(
     let ft = FtConfig {
         dbim: DbimConfig {
             iterations: spec.iterations,
+            backend: spec.backend,
             ..Default::default()
         },
         groups: spec.groups,

@@ -11,6 +11,7 @@
 use crate::json::{obj, Json};
 use ffw_fault::Fingerprint;
 use ffw_geometry::Point2;
+use ffw_inverse::BackendChoice;
 use ffw_mlfma::Accuracy;
 use ffw_phantom::{Annulus, Cylinder, Phantom, RandomBlobs, SheppLogan};
 use ffw_tomo::SceneConfig;
@@ -44,6 +45,11 @@ pub struct JobSpec {
     pub arc_deg: Option<f64>,
     /// MLFMA accuracy preset (`low` / `default` / `high`).
     pub accuracy: String,
+    /// Forward-solver backend (`bicgstab` / `born-series`). Parsed and
+    /// validated at admission; the fault-tolerant engine currently accepts
+    /// only `bicgstab`, so `born-series` jobs are rejected here rather than
+    /// failing mid-run.
+    pub backend: BackendChoice,
     /// Illumination groups for the fault-tolerant distributed driver.
     pub groups: usize,
     /// Sub-tree ranks per group.
@@ -109,6 +115,14 @@ impl JobSpec {
                 .and_then(Json::as_str)
                 .unwrap_or("low")
                 .to_string(),
+            backend: match j.get("backend") {
+                None | Some(Json::Null) => BackendChoice::default(),
+                Some(v) => v
+                    .as_str()
+                    .ok_or("'backend' must be a string")?
+                    .parse()
+                    .map_err(|e| format!("'backend': {e}"))?,
+            },
             groups: field_u64(j, "groups", 1)? as usize,
             subtree: field_u64(j, "subtree", 1)? as usize,
             max_restarts: field_u64(j, "max_restarts", 1)? as u32,
@@ -168,6 +182,12 @@ impl JobSpec {
                 self.accuracy
             ));
         }
+        if self.backend != BackendChoice::Bicgstab {
+            return Err(format!(
+                "'backend' {} is not supported by the fault-tolerant engine                  (the distributed driver pins bicgstab); run it through                  ffw-reconstruct --backend instead",
+                self.backend
+            ));
+        }
         if self.groups == 0 || !self.tx.is_multiple_of(self.groups) {
             return Err(format!(
                 "'groups' {} must be >= 1 and divide 'tx' {}",
@@ -211,6 +231,7 @@ impl JobSpec {
             ("noise_db", opt(self.noise_db)),
             ("arc_deg", opt(self.arc_deg)),
             ("accuracy", Json::Str(self.accuracy.clone())),
+            ("backend", Json::Str(self.backend.as_str().to_string())),
             ("groups", Json::Num(self.groups as f64)),
             ("subtree", Json::Num(self.subtree as f64)),
             ("max_restarts", Json::Num(self.max_restarts as f64)),
@@ -313,6 +334,7 @@ mod tests {
     fn defaults_and_roundtrip() {
         let spec = JobSpec::from_json(&base()).expect("valid");
         assert_eq!(spec.phantom, "cylinder");
+        assert_eq!(spec.backend, BackendChoice::Bicgstab);
         assert_eq!(spec.groups, 1);
         assert_eq!(spec.deadline_ms, None);
         let again = JobSpec::from_json(&spec.to_json()).expect("roundtrip");
@@ -330,6 +352,8 @@ mod tests {
             (r#"{"id":"a","iterations":0}"#, "'iterations'"),
             (r#"{"id":"a","phantom":"pineapple"}"#, "phantom"),
             (r#"{"id":"a","accuracy":"extreme"}"#, "accuracy"),
+            (r#"{"id":"a","backend":"gmres"}"#, "'backend'"),
+            (r#"{"id":"a","backend":"born-series"}"#, "'backend'"),
             (r#"{"id":"a","tx":4,"groups":3}"#, "'groups'"),
             (r#"{"id":"a","subtree":3}"#, "'subtree'"),
             (

@@ -25,7 +25,7 @@ use ffw_numerics::C64;
 
 /// Applies `a` to the selected columns of `input`, writing the matching
 /// columns of `output`, via one fused block apply.
-fn apply_cols<A: BlockLinOp + ?Sized>(
+pub(crate) fn apply_cols<A: BlockLinOp + ?Sized>(
     a: &A,
     cols: &[usize],
     input: &[Vec<C64>],
@@ -245,7 +245,11 @@ pub fn bicgstab_block<A: BlockLinOp + ?Sized>(
             }
             let res_new = norm2(&r[c]) / b_norm[c];
             if !res_new.is_finite() {
+                // The rolled-back iterate does not contain this step's
+                // update, so the step is not counted (`SolveStats` contract:
+                // iterations = update steps reflected in the iterate).
                 xs[c].copy_from_slice(&x_prev);
+                iters[c] -= 1;
                 stats[c] = Some(freeze_breakdown(
                     c,
                     BreakdownKind::NonFinite,
@@ -333,6 +337,49 @@ mod tests {
         assert_eq!(block.len(), 1);
         assert_eq!(block[0], scalar);
         assert_eq!(xs[0], x_scalar, "B=1 iterates must match bit-for-bit");
+    }
+
+    #[test]
+    fn breakdown_iteration_count_reproduces_the_returned_iterate() {
+        // Same SolveStats contract as the scalar path: a phase-3 rollback
+        // must not be counted, so a clean width-1 replay capped at the
+        // reported `iterations` lands on the identical iterate.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let n = 24;
+        let m = random_mat(n, 77, 6.0);
+        let b = random_vec(n, 79);
+        let calls = AtomicUsize::new(0);
+        let poisoned = crate::op::FnOp::new(n, n, |v: &[C64], out: &mut [C64]| {
+            // Applies 1..=5 healthy; apply 6 (the `A p` of iteration 3)
+            // poisons the step with NaN, forcing the phase-3 rollback.
+            if calls.fetch_add(1, Ordering::Relaxed) + 1 >= 6 {
+                out.iter_mut().for_each(|o| *o = c64(f64::NAN, f64::NAN));
+            } else {
+                use crate::op::LinOp;
+                m.apply(v, out);
+            }
+        });
+        let cfg = IterConfig {
+            tol: 1e-14,
+            max_iters: 50,
+        };
+        let mut xs = vec![vec![C64::ZERO; n]];
+        let stats = bicgstab_block(&poisoned, &[&b], &mut xs, cfg);
+        assert!(!stats[0].converged);
+        assert_eq!(stats[0].iterations, 2, "rolled-back step must not count");
+
+        let mut xs_replay = vec![vec![C64::ZERO; n]];
+        let replay = bicgstab_block(
+            &m,
+            &[&b],
+            &mut xs_replay,
+            IterConfig {
+                tol: 1e-14,
+                max_iters: stats[0].iterations,
+            },
+        );
+        assert_eq!(replay[0].iterations, stats[0].iterations);
+        assert_eq!(xs_replay[0], xs[0], "replay at the reported count differs");
     }
 
     #[test]

@@ -12,9 +12,21 @@ use ffw_numerics::C64;
 use std::fmt;
 
 /// Outcome of an iterative solve.
+///
+/// These semantics are shared by every engine in the workspace (scalar and
+/// block BiCGStab, the distributed solvers, and the Born-series backend) so
+/// cross-backend comparisons are apples-to-apples:
+///
+/// - `iterations` counts the update steps *reflected in the returned
+///   iterate*. A step whose update is rolled back (e.g. a non-finite
+///   BiCGStab phase-3 update restores the pre-step `x`) is not counted:
+///   re-running the same solve with `max_iters` set to the reported count
+///   reproduces the returned iterate bit-for-bit.
+/// - `matvecs` counts operator applications actually performed, including
+///   ones whose step was rolled back.
 #[derive(Clone, Debug, PartialEq)]
 pub struct SolveStats {
-    /// Iterations performed.
+    /// Update steps reflected in the returned iterate (see type docs).
     pub iterations: usize,
     /// Operator applications (matvecs) performed.
     pub matvecs: usize,
@@ -205,7 +217,11 @@ fn bicgstab_cycle<A: LinOp + ?Sized>(
         }
         let res_new = norm2(&r) / b_norm;
         if !res_new.is_finite() {
+            // The rolled-back iterate does not contain this step's update,
+            // so the step must not be counted: `iterations` means "update
+            // steps reflected in the returned iterate".
             x.copy_from_slice(&x_prev);
+            *iters -= 1;
             return CycleEnd::Breakdown {
                 kind: BreakdownKind::NonFinite,
                 res,
@@ -640,6 +656,50 @@ mod tests {
         assert!(!stats.converged);
         assert!(stats.rel_residual.is_finite());
         assert!(x2.iter().all(|v| v.re.is_finite() && v.im.is_finite()));
+    }
+
+    #[test]
+    fn breakdown_iteration_count_reproduces_the_returned_iterate() {
+        // SolveStats contract: after a phase-3 rollback, `iterations` must
+        // equal the number of update steps actually present in the returned
+        // iterate — so a clean re-run capped at that count is bit-identical.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let n = 24;
+        let m = random_mat(n, n, 77, 6.0);
+        let b = random_vec(n, 79);
+        // Applies 1..=5 are healthy (init residual + two full iterations);
+        // apply 6 is the `A p` of iteration 3 and poisons it with NaN,
+        // forcing the phase-3 rollback.
+        let calls = AtomicUsize::new(0);
+        let poisoned = crate::op::FnOp::new(n, n, |v: &[C64], out: &mut [C64]| {
+            if calls.fetch_add(1, Ordering::Relaxed) + 1 >= 6 {
+                out.iter_mut().for_each(|o| *o = c64(f64::NAN, f64::NAN));
+            } else {
+                m.apply(v, out);
+            }
+        });
+        let cfg = IterConfig {
+            tol: 1e-14,
+            max_iters: 50,
+        };
+        let mut x_broken = vec![C64::ZERO; n];
+        let stats = bicgstab(&poisoned, &b, &mut x_broken, cfg);
+        assert!(!stats.converged);
+        assert_eq!(stats.iterations, 2, "rolled-back step must not count");
+        assert!(x_broken.iter().all(|v| finite_c(*v)));
+
+        let mut x_replay = vec![C64::ZERO; n];
+        let replay = bicgstab(
+            &m,
+            &b,
+            &mut x_replay,
+            IterConfig {
+                tol: 1e-14,
+                max_iters: stats.iterations,
+            },
+        );
+        assert_eq!(replay.iterations, stats.iterations);
+        assert_eq!(x_replay, x_broken, "replay at the reported count differs");
     }
 
     #[test]

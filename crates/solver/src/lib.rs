@@ -1,20 +1,30 @@
 //! # ffw-solver
 //!
-//! Iterative Krylov solvers over abstract linear operators: BiCGStab (the
-//! paper's forward solver), CG, CGNR, and the forward-scattering system
-//! `A = I - G0 diag(O)` together with its adjoint (via the complex-symmetry
-//! of the Green's operator).
+//! Iterative forward engines over abstract linear operators: BiCGStab (the
+//! paper's forward solver), CG, CGNR, the convergent Born-series fixed-point
+//! engine, and the forward-scattering system `A = I - G0 diag(O)` together
+//! with its adjoint (via the complex-symmetry of the Green's operator).
+//!
+//! Callers outside this crate pick an engine through the [`ForwardBackend`]
+//! trait and [`make_backend`] — not by naming a solver function.
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod block;
+pub mod bornseries;
 pub mod forward;
 pub mod gmres;
 pub mod krylov;
 pub mod op;
 pub mod precond;
 
+pub use backend::{
+    estimate_g0_norm, make_backend, max_object_abs, BackendChoice, BackendError, BicgstabBackend,
+    ForwardBackend, KAPPA_LIMIT, NORM_ESTIMATE_ITERS, NORM_ESTIMATE_SEED,
+};
 pub use block::bicgstab_block;
+pub use bornseries::{choose_gamma, BornSeriesBackend};
 pub use forward::{
     g0_adjoint_apply, g0_adjoint_apply_block, solve_adjoint, solve_adjoint_block, solve_forward,
     solve_forward_block, AdjointScatteringOp, ScatteringOp,

@@ -42,7 +42,7 @@ fn main() {
         iterations: 5,
         ..Default::default()
     };
-    let serial = dbim(&setup, &g0, &measured, &cfg);
+    let serial = dbim(&setup, &g0, &measured, &cfg).expect("serial dbim");
     println!(
         "serial DBIM: residual {:.2}% -> {:.2}%",
         100.0 * serial.history[0].rel_residual,

@@ -58,7 +58,8 @@ fn main() {
             iterations: 12,
         }],
         &base,
-    );
+    )
+    .expect("single-stage dbim");
     let hop = multi_frequency_dbim(
         &[
             FrequencyHop {
@@ -75,7 +76,8 @@ fn main() {
             },
         ],
         &base,
-    );
+    )
+    .expect("hop dbim");
     let err = |obj: &[ffw::numerics::C64]| {
         image_rel_error(&contrast_from_object(&domain, &tree, obj), &truth_raster)
     };

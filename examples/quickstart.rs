@@ -61,7 +61,7 @@ fn main() {
         iterations: 10,
         ..Default::default()
     };
-    let result = dbim(&setup, &g0, &measured, &cfg);
+    let result = dbim(&setup, &g0, &measured, &cfg).expect("dbim");
     println!(
         "DBIM: {} iterations in {:.2?}; residual {:.3}% -> {:.3}%; {:.1} MLFMA mults/solve",
         cfg.iterations,

@@ -39,7 +39,7 @@ fn main() {
 
     let t0 = Stopwatch::start();
     let measured = recon.synthesize(&truth);
-    let result = recon.run_dbim(&measured, iters);
+    let result = recon.run_dbim(&measured, iters).expect("dbim");
     let image = recon.image(&result.object);
     println!(
         "reconstructed in {:.1?}: residual {:.1}% -> {:.2}%, image error {:.3}, {:.1} MLFMA mults/solve",

@@ -94,7 +94,7 @@ fn parallel_dbim_reproduces_serial_image() {
         iterations: 3,
         ..Default::default()
     };
-    let serial = dbim(&setup, &serial_engine, &measured, &cfg);
+    let serial = dbim(&setup, &serial_engine, &measured, &cfg).expect("serial dbim");
 
     // 4 ranks = 2 illumination groups x 2 sub-tree slots.
     let (groups, subtree) = (2usize, 2usize);

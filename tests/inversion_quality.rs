@@ -30,7 +30,7 @@ fn scene() -> (Reconstruction, Annulus, Vec<f64>) {
 fn dbim_beats_born_at_high_contrast() {
     let (recon, truth, truth_raster) = scene();
     let measured = recon.synthesize(&truth);
-    let dbim = recon.run_dbim(&measured, 8);
+    let dbim = recon.run_dbim(&measured, 8).expect("dbim");
     let dbim_err = image_rel_error(&recon.image(&dbim.object), &truth_raster);
     let born = recon.run_born(&measured, &BornConfig::default());
     let born_err = image_rel_error(&recon.image(&born.object), &truth_raster);
@@ -44,7 +44,7 @@ fn dbim_beats_born_at_high_contrast() {
 fn residual_history_is_monotinically_decreasing_overall() {
     let (recon, truth, _) = scene();
     let measured = recon.synthesize(&truth);
-    let result = recon.run_dbim(&measured, 6);
+    let result = recon.run_dbim(&measured, 6).expect("dbim");
     let first = result.history.first().expect("history").rel_residual;
     let last = result.final_residual;
     assert!(last < 0.3 * first, "{first} -> {last}");
@@ -58,21 +58,25 @@ fn residual_history_is_monotinically_decreasing_overall() {
 fn conjugate_directions_converge_no_slower_than_steepest_descent() {
     let (recon, truth, _) = scene();
     let measured = recon.synthesize(&truth);
-    let cg = recon.run_dbim_with(
-        &measured,
-        &DbimConfig {
-            iterations: 6,
-            ..Default::default()
-        },
-    );
-    let sd = recon.run_dbim_with(
-        &measured,
-        &DbimConfig {
-            iterations: 6,
-            conjugate: false,
-            ..Default::default()
-        },
-    );
+    let cg = recon
+        .run_dbim_with(
+            &measured,
+            &DbimConfig {
+                iterations: 6,
+                ..Default::default()
+            },
+        )
+        .expect("dbim");
+    let sd = recon
+        .run_dbim_with(
+            &measured,
+            &DbimConfig {
+                iterations: 6,
+                conjugate: false,
+                ..Default::default()
+            },
+        )
+        .expect("dbim");
     assert!(
         cg.final_residual <= sd.final_residual * 1.05,
         "CG {} vs SD {}",
@@ -85,15 +89,17 @@ fn conjugate_directions_converge_no_slower_than_steepest_descent() {
 fn preconditioned_dbim_matches_unpreconditioned_image() {
     let (recon, truth, _) = scene();
     let measured = recon.synthesize(&truth);
-    let plain = recon.run_dbim(&measured, 3);
-    let pre = recon.run_dbim_with(
-        &measured,
-        &DbimConfig {
-            iterations: 3,
-            precondition: Some(Arc::clone(&recon.plan)),
-            ..Default::default()
-        },
-    );
+    let plain = recon.run_dbim(&measured, 3).expect("dbim");
+    let pre = recon
+        .run_dbim_with(
+            &measured,
+            &DbimConfig {
+                iterations: 3,
+                precondition: Some(Arc::clone(&recon.plan)),
+                ..Default::default()
+            },
+        )
+        .expect("dbim");
     // Preconditioning changes the Krylov path but not the solution each solve
     // converges to, so the reconstructions must agree to solver tolerance.
     let a = recon.image(&plain.object);
@@ -107,8 +113,8 @@ fn preconditioned_dbim_matches_unpreconditioned_image() {
         / a.iter().map(|x| x * x).sum::<f64>().sqrt().max(1e-30);
     assert!(diff < 0.05, "images agree to solver tolerance: {diff}");
     // ... while spending fewer BiCGStab iterations in total
-    let plain_iters: usize = plain.history.iter().map(|h| h.bicgstab_iters).sum();
-    let pre_iters: usize = pre.history.iter().map(|h| h.bicgstab_iters).sum();
+    let plain_iters: usize = plain.history.iter().map(|h| h.solver_iters).sum();
+    let pre_iters: usize = pre.history.iter().map(|h| h.solver_iters).sum();
     assert!(
         pre_iters <= plain_iters,
         "preconditioner must not increase iterations: {pre_iters} vs {plain_iters}"
@@ -119,14 +125,16 @@ fn preconditioned_dbim_matches_unpreconditioned_image() {
 fn positivity_projection_never_produces_negative_contrast() {
     let (recon, truth, _) = scene();
     let measured = recon.synthesize(&truth);
-    let result = recon.run_dbim_with(
-        &measured,
-        &DbimConfig {
-            iterations: 4,
-            positivity: true,
-            ..Default::default()
-        },
-    );
+    let result = recon
+        .run_dbim_with(
+            &measured,
+            &DbimConfig {
+                iterations: 4,
+                positivity: true,
+                ..Default::default()
+            },
+        )
+        .expect("dbim");
     let image = recon.image(&result.object);
     assert!(image.iter().all(|&v| v >= 0.0));
 }
@@ -135,11 +143,11 @@ fn positivity_projection_never_produces_negative_contrast() {
 fn noise_degrades_gracefully() {
     let (recon, truth, truth_raster) = scene();
     let clean = recon.synthesize(&truth);
-    let clean_result = recon.run_dbim(&clean, 5);
+    let clean_result = recon.run_dbim(&clean, 5).expect("dbim");
     let clean_err = image_rel_error(&recon.image(&clean_result.object), &truth_raster);
     let mut noisy = clean.clone();
     add_noise(&mut noisy, 20.0, 11);
-    let noisy_result = recon.run_dbim(&noisy, 5);
+    let noisy_result = recon.run_dbim(&noisy, 5).expect("dbim");
     let noisy_err = image_rel_error(&recon.image(&noisy_result.object), &truth_raster);
     assert!(noisy_err >= clean_err * 0.9, "noise cannot help much");
     assert!(
@@ -152,23 +160,27 @@ fn noise_degrades_gracefully() {
 fn warm_start_reduces_total_bicgstab_iterations() {
     let (recon, truth, _) = scene();
     let measured = recon.synthesize(&truth);
-    let warm = recon.run_dbim_with(
-        &measured,
-        &DbimConfig {
-            iterations: 5,
-            ..Default::default()
-        },
-    );
-    let cold = recon.run_dbim_with(
-        &measured,
-        &DbimConfig {
-            iterations: 5,
-            warm_start: false,
-            ..Default::default()
-        },
-    );
-    let warm_iters: usize = warm.history.iter().map(|h| h.bicgstab_iters).sum();
-    let cold_iters: usize = cold.history.iter().map(|h| h.bicgstab_iters).sum();
+    let warm = recon
+        .run_dbim_with(
+            &measured,
+            &DbimConfig {
+                iterations: 5,
+                ..Default::default()
+            },
+        )
+        .expect("dbim");
+    let cold = recon
+        .run_dbim_with(
+            &measured,
+            &DbimConfig {
+                iterations: 5,
+                warm_start: false,
+                ..Default::default()
+            },
+        )
+        .expect("dbim");
+    let warm_iters: usize = warm.history.iter().map(|h| h.solver_iters).sum();
+    let cold_iters: usize = cold.history.iter().map(|h| h.solver_iters).sum();
     assert!(
         warm_iters < cold_iters,
         "warm start saves iterations: {warm_iters} vs {cold_iters}"

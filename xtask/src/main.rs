@@ -47,7 +47,10 @@ fn lint() -> ExitCode {
                 eprintln!("{}", d.render());
             }
             if diags.is_empty() {
-                eprintln!("xtask lint: {files_scanned} files clean (via ffw-analyze, 12 rules)");
+                eprintln!(
+                    "xtask lint: {files_scanned} files clean (via ffw-analyze, {} rules)",
+                    ffw_analyze::RULES.len()
+                );
                 ExitCode::SUCCESS
             } else {
                 eprintln!("xtask lint: {} diagnostic(s)", diags.len());
