@@ -1,0 +1,193 @@
+//! Silent-data-corruption overhead gate: the cost of the PR-9 ABFT
+//! checksum column, compared against the committed `BENCH_pr9.json` at the
+//! workspace root.
+//!
+//! Every panel's right-hand sides fold into `VerifiedBlockOp`'s running
+//! checksum column, and one extra checksum apply verifies the whole window
+//! every `DEFAULT_VERIFY_PERIOD` panels — so the steady-state overhead is
+//! one single-RHS apply plus O(nB) accumulation sweeps per window. On the
+//! pinned 32×32 workload this harness times one window's worth of width-8
+//! unverified `apply_block` panels against the same panels routed through
+//! `VerifiedBlockOp` (applies alternate between the legs so noise cancels
+//! out of the total-time ratio), and gates the ratio at
+//! [`OVERHEAD_CEILING`].
+//!
+//! Default mode measures, writes the fresh record to
+//! `results/BENCH_pr9.json`, and gates; `--write-baseline` (over)writes the
+//! committed `BENCH_pr9.json` at the workspace root. The gate is a ratio of
+//! two legs from the same in-process run, so it is stable across machines
+//! (absolute wall times are recorded but never gated).
+
+use ffw_geometry::Domain;
+use ffw_inverse::MlfmaG0;
+use ffw_mlfma::{Accuracy, MlfmaEngine, MlfmaPlan};
+use ffw_numerics::C64;
+use ffw_par::Pool;
+use ffw_solver::{BlockLinOp, VerifiedBlockOp, VerifyConfig};
+use serde::Serialize;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Panel width of the unverified leg (matches the DBIM default batch cap).
+const WIDTH: usize = 8;
+/// Applies per timed rep — one full default checksum window, so every rep
+/// pays exactly one amortized checksum apply.
+const APPLIES_PER_REP: usize = ffw_solver::DEFAULT_VERIFY_PERIOD;
+/// Windows timed per leg. Individual applies alternate between the two
+/// legs (so drift slower than one ~2 ms apply hits both legs of a window
+/// equally), each window yields its own verified/unverified ratio, and the
+/// median across windows discards the occasional noise-burst outlier.
+const REPS: usize = 40;
+/// Maximum accepted verified/unverified apply time ratio (the gate).
+const OVERHEAD_CEILING: f64 = 1.05;
+
+/// The committed record; regenerate with `--write-baseline`.
+#[derive(Serialize, Clone, Debug)]
+struct SdcBenchRecord {
+    schema: String,
+    width: u64,
+    reps: u64,
+    applies_per_rep: u64,
+    /// Total seconds across all reps of unverified `WIDTH`-wide
+    /// `apply_block` panels.
+    secs_unverified: f64,
+    /// Total seconds for the same panels through `VerifiedBlockOp`
+    /// (every column folded into the running checksum, one amortized
+    /// checksum apply per window).
+    secs_verified: f64,
+    /// Median across windows of that window's verified/unverified time
+    /// ratio — the gated number.
+    overhead_ratio: f64,
+    /// Checksum mismatches seen on the clean workload (must be zero).
+    false_positives: u64,
+}
+
+fn random_x(n: usize, seed: u64) -> Vec<C64> {
+    let mut s = seed;
+    (0..n)
+        .map(|_| {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let a = ((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5;
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let b = ((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5;
+            ffw_numerics::c64(a, b)
+        })
+        .collect()
+}
+
+fn measure() -> SdcBenchRecord {
+    let domain = Domain::new(32, 1.0);
+    let plan = Arc::new(MlfmaPlan::new(&domain, Accuracy::default()));
+    let eng = Arc::new(MlfmaEngine::new(plan, Arc::new(Pool::new(4))));
+    let n = eng.n();
+    let g0 = MlfmaG0(Arc::clone(&eng));
+    let xs: Vec<Vec<C64>> = (0..WIDTH).map(|b| random_x(n, 900 + b as u64)).collect();
+    let refs: Vec<&[C64]> = xs.iter().map(|v| v.as_slice()).collect();
+
+    let verified = VerifiedBlockOp::new(
+        &g0,
+        VerifyConfig::with_rel_tol(Accuracy::default().checksum_rel_tol()),
+    );
+
+    // Warm up (operator caches, pool spin-up) before timing either leg.
+    let mut ys = vec![vec![C64::ZERO; n]; WIDTH];
+    g0.apply_block(&refs, &mut ys);
+    verified.apply_block(&refs, &mut ys);
+
+    // Alternate single applies between the legs inside each window (noise
+    // slower than one apply biases both legs equally), ratio each window,
+    // and take the median window so a stray noise burst cannot tip the
+    // gate. Every verified window still pays its amortized checksum apply
+    // at the production cadence (once per `period` panels).
+    let mut windows = Vec::with_capacity(REPS);
+    let mut secs_unverified = 0.0;
+    let mut secs_verified = 0.0;
+    for _ in 0..REPS {
+        let mut win_u = 0.0;
+        let mut win_v = 0.0;
+        for _ in 0..APPLIES_PER_REP {
+            let sw = ffw_obs::Stopwatch::start();
+            g0.apply_block(&refs, &mut ys);
+            win_u += sw.elapsed_secs();
+            let sw = ffw_obs::Stopwatch::start();
+            verified.apply_block(&refs, &mut ys);
+            win_v += sw.elapsed_secs();
+        }
+        windows.push(win_v / win_u);
+        secs_unverified += win_u;
+        secs_verified += win_v;
+    }
+    windows.sort_by(f64::total_cmp);
+    let overhead_ratio = windows[windows.len() / 2];
+    SdcBenchRecord {
+        schema: "ffw-bench-sdc-overhead/1".into(),
+        width: WIDTH as u64,
+        reps: REPS as u64,
+        applies_per_rep: APPLIES_PER_REP as u64,
+        secs_unverified,
+        secs_verified,
+        overhead_ratio,
+        false_positives: verified.detected(),
+    }
+}
+
+fn baseline_path() -> PathBuf {
+    // crates/bench -> workspace root
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_pr9.json")
+}
+
+fn print_record(r: &SdcBenchRecord) {
+    println!(
+        "apply at B={WIDTH}: {APPLIES_PER_REP}x{REPS} unverified {:.4}s vs verified {:.4}s = \
+         {:.1}% median-window overhead, {} clean-run checksum mismatches",
+        r.secs_unverified,
+        r.secs_verified,
+        (r.overhead_ratio - 1.0) * 100.0,
+        r.false_positives
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let write_baseline = args.iter().any(|a| a == "--write-baseline");
+
+    let fresh = measure();
+    print_record(&fresh);
+
+    if write_baseline {
+        let path = baseline_path();
+        let body = serde_json::to_string_pretty(&fresh).expect("serializable");
+        std::fs::write(&path, body + "\n").expect("write baseline");
+        println!("wrote baseline {}", path.display());
+        return;
+    }
+
+    ffw_bench::write_json("BENCH_pr9", &fresh).expect("write fresh record");
+    let mut fails = Vec::new();
+    if fresh.overhead_ratio > OVERHEAD_CEILING {
+        fails.push(format!(
+            "verified apply is {:.1}% over unverified (ceiling {:.0}%)",
+            (fresh.overhead_ratio - 1.0) * 100.0,
+            (OVERHEAD_CEILING - 1.0) * 100.0
+        ));
+    }
+    if fresh.false_positives != 0 {
+        fails.push(format!(
+            "{} checksum mismatches on a clean workload",
+            fresh.false_positives
+        ));
+    }
+    if fails.is_empty() {
+        println!("sdc overhead gate: OK");
+    } else {
+        eprintln!("sdc overhead gate: FAILED");
+        for f in &fails {
+            eprintln!("  - {f}");
+        }
+        std::process::exit(1);
+    }
+}

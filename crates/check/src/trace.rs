@@ -165,6 +165,29 @@ pub enum FaultEvent {
         /// The suspicion score at detection time, in thousandths.
         phi_milli: u64,
     },
+    /// A checksum-verified compute panel failed verification on this rank
+    /// (a seeded bit flip, or genuine silent data corruption).
+    ComputeCorrupt {
+        /// 1-based logical panel apply on this rank.
+        panel: u64,
+        /// 1-based verification attempt that failed.
+        attempt: u32,
+    },
+    /// A corrupted compute panel verified clean after bounded recomputation.
+    ComputeRecovered {
+        /// 1-based logical panel apply on this rank.
+        panel: u64,
+        /// Total compute attempts (initial + recomputes) spent.
+        attempts: u32,
+    },
+    /// Every recompute of a corrupted panel failed verification; the apply
+    /// fails with a typed compute-corruption error.
+    ComputeRetriesExhausted {
+        /// 1-based logical panel apply on this rank.
+        panel: u64,
+        /// Total compute attempts made.
+        attempts: u32,
+    },
 }
 
 /// A message still sitting in a mailbox when `run()` exited.
@@ -210,6 +233,15 @@ pub enum Violation {
         src: usize,
         /// Message tag.
         tag: u32,
+    },
+    /// A rank detected compute corruption in a panel but recorded neither a
+    /// recovery nor an exhausted recompute budget for it: the
+    /// detect→recompute→escalate protocol was abandoned mid-recovery.
+    UnresolvedComputeCorruption {
+        /// The detecting rank.
+        rank: usize,
+        /// 1-based logical panel apply that was corrupted.
+        panel: u64,
     },
     /// A rank's heartbeat evidence suspected the rank itself — the monitor
     /// must only ever suspect peers.
@@ -257,6 +289,11 @@ impl fmt::Display for Violation {
                 f,
                 "unresolved corruption: rank {rank} detected a corrupt receive from rank {src} \
                  (tag={tag:#x}) but neither recovered a clean copy nor exhausted its retry budget"
+            ),
+            Violation::UnresolvedComputeCorruption { rank, panel } => write!(
+                f,
+                "unresolved compute corruption: rank {rank} detected a corrupt compute panel \
+                 #{panel} but neither recovered it nor exhausted its recompute budget"
             ),
             Violation::SelfSuspect { rank } => write!(
                 f,
@@ -367,6 +404,17 @@ fn validate_impl(traces: &[Vec<Event>], leaked: &[LeakedMessage], faulty: bool) 
                     });
                     if !resolved {
                         violations.push(Violation::UnresolvedCorruption { rank, src, tag });
+                    }
+                }
+                Event::Fault(FaultEvent::ComputeCorrupt { panel, .. }) => {
+                    let resolved = trace[i + 1..].iter().any(|e| {
+                        matches!(*e,
+                            Event::Fault(FaultEvent::ComputeRecovered { panel: p, .. })
+                            | Event::Fault(FaultEvent::ComputeRetriesExhausted { panel: p, .. })
+                            if p == panel)
+                    });
+                    if !resolved {
+                        violations.push(Violation::UnresolvedComputeCorruption { rank, panel });
                     }
                 }
                 Event::Fault(FaultEvent::HeartbeatSuspect { peer, .. }) => {

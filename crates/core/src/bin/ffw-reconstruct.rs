@@ -14,8 +14,8 @@ use ffw_geometry::Point2;
 use ffw_inverse::{add_noise, BornConfig, DbimConfig, DbimError};
 use ffw_mpi::FaultPlan;
 use ffw_phantom::{image_rel_error, Annulus, Cylinder, Phantom, RandomBlobs, SheppLogan};
-use ffw_solver::BackendChoice;
-use ffw_tomo::exit::{exit_code_for, EXIT_BREAKDOWN, EXIT_INTERRUPTED};
+use ffw_solver::{BackendChoice, VerifyConfig};
+use ffw_tomo::exit::{exit_code_for, EXIT_BREAKDOWN, EXIT_BUDGET, EXIT_INTERRUPTED};
 use ffw_tomo::viz::write_pgm;
 use ffw_tomo::{Reconstruction, SceneConfig};
 use std::path::PathBuf;
@@ -41,6 +41,8 @@ struct Cli {
     checkpoint: Option<PathBuf>,
     resume: bool,
     chaos_seed: Option<u64>,
+    verify_compute: bool,
+    chaos_compute: Option<u64>,
     max_restarts: u32,
     min_groups: usize,
     metrics: Option<PathBuf>,
@@ -129,6 +131,29 @@ fn validate(cli: &Cli) -> Result<(), String> {
             }
         }
     }
+    if cli.chaos_compute.is_some() {
+        if cli.born {
+            return Err(
+                "--chaos-compute has no effect on --born (the linear Born baseline \
+                 performs no checksum-verified forward solves)"
+                    .into(),
+            );
+        }
+        if cli.groups.is_some() {
+            return Err(
+                "--chaos-compute is the serial compute-corruption injector; \
+                 distributed runs inject faults with --chaos-seed"
+                    .into(),
+            );
+        }
+        if !cli.verify_compute {
+            return Err(
+                "--chaos-compute requires --verify-compute on (an injected flip \
+                 with verification off would corrupt the output silently)"
+                    .into(),
+            );
+        }
+    }
     Ok(())
 }
 
@@ -153,6 +178,8 @@ fn parse_args() -> Result<Cli, String> {
         checkpoint: None,
         resume: false,
         chaos_seed: None,
+        verify_compute: true,
+        chaos_compute: None,
         max_restarts: 1,
         min_groups: 1,
         metrics: None,
@@ -194,6 +221,20 @@ fn parse_args() -> Result<Cli, String> {
             "--chaos-seed" => {
                 cli.chaos_seed = Some(val("--chaos-seed")?.parse().map_err(|e| format!("{e}"))?)
             }
+            "--verify-compute" => {
+                cli.verify_compute = match val("--verify-compute")?.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => return Err(format!("--verify-compute takes on|off, got {other}")),
+                }
+            }
+            "--chaos-compute" => {
+                cli.chaos_compute = Some(
+                    val("--chaos-compute")?
+                        .parse()
+                        .map_err(|e| format!("{e}"))?,
+                )
+            }
             "--max-restarts" => {
                 cli.max_restarts = val("--max-restarts")?.parse().map_err(|e| format!("{e}"))?
             }
@@ -211,6 +252,7 @@ fn parse_args() -> Result<Cli, String> {
                      [--backend bicgstab|born-series] [--out PREFIX] \
                      [--groups G [--subtree P] [--checkpoint PATH] [--resume] \
                      [--chaos-seed S] [--max-restarts N] [--min-groups M]] \
+                     [--verify-compute on|off] [--chaos-compute S] \
                      [--metrics PATH] [--profile]\n\n\
                      --batch B solves B transmitter systems per fused multi-RHS \
                      MLFMA traversal (1 <= B <= --tx; default min(tx, 8)); every \
@@ -231,6 +273,16 @@ fn parse_args() -> Result<Cli, String> {
                      relaunches; dead groups' transmitters are redistributed over \
                      the survivors while at least --min-groups groups remain, and \
                      dropped only below that).\n\n\
+                     --verify-compute (default on) guards serial DBIM runs against \
+                     silent data corruption: every MLFMA panel apply is checked \
+                     against an ABFT checksum column and the Krylov recurrences \
+                     are audited against the true residual. A detected flip is \
+                     recomputed (checksum) or rolled back (drift) bit-identically; \
+                     corruption that survives the recovery budget aborts with exit \
+                     code 4 before any image is written — never a silently wrong \
+                     reconstruction. --chaos-compute S injects the seeded bit-flip \
+                     from FaultPlan::seeded_compute(S, 1) to exercise that ladder \
+                     end to end (serial only, requires --verify-compute on).\n\n\
                      --metrics writes the run's spans, counters, series and events \
                      as JSON (JSONL when PATH ends in .jsonl); --profile prints a \
                      flamegraph-style span breakdown to stderr. Either flag turns \
@@ -336,6 +388,13 @@ fn main() {
                 positivity: cli.positivity,
                 batch: cli.batch,
                 backend: cli.backend,
+                // Every rank's G0 panels carry the ABFT checksum column; a
+                // rank that detects corruption escalates (its halo inputs
+                // are consumed, so there is nothing local to recompute) and
+                // the driver recovers through checkpoint-restart.
+                verify: cli
+                    .verify_compute
+                    .then(|| VerifyConfig::with_rel_tol(recon.plan.accuracy.checksum_rel_tol())),
                 ..Default::default()
             },
             groups,
@@ -385,6 +444,19 @@ fn main() {
             precondition: cli.precondition.then(|| Arc::clone(&recon.plan)),
             batch: cli.batch,
             backend: cli.backend,
+            verify: cli.verify_compute.then(|| {
+                let mut vc = VerifyConfig::with_rel_tol(recon.plan.accuracy.checksum_rel_tol());
+                if let Some(seed) = cli.chaos_compute {
+                    // Per-panel verification so a recoverable seeded flip is
+                    // repaired in place before its outputs are released,
+                    // instead of escalating from an already-consumed panel
+                    // of the amortized window.
+                    vc = vc.immediate();
+                    let faults = ffw_fault::FaultPlan::seeded_compute(seed, 1).activate(1);
+                    vc.injector = Some(Arc::new(move |_panel| faults.on_apply(0)));
+                }
+                vc
+            }),
             ..Default::default()
         };
         let result = match recon.run_dbim_with(&measured, &cfg) {
@@ -394,6 +466,13 @@ fn main() {
                 // hard for this engine — perturb it or pick another backend.
                 eprintln!("DBIM failed: {e}");
                 std::process::exit(EXIT_BREAKDOWN);
+            }
+            Err(e @ DbimError::ComputeCorruption(_)) => {
+                // The recovery budget is spent and the iterate cannot be
+                // trusted; abort before any image is written rather than
+                // emit a silently corrupted reconstruction.
+                eprintln!("DBIM aborted: {e}");
+                std::process::exit(EXIT_BUDGET);
             }
         };
         println!(

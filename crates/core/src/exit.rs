@@ -35,6 +35,11 @@ pub const EXIT_INTERRUPTED: i32 = 5;
 pub fn exit_code_for(err: &FaultError) -> i32 {
     match err {
         FaultError::KrylovBreakdown { .. } => EXIT_BREAKDOWN,
+        // Detected silent data corruption that survived the bounded
+        // recompute/rollback budget is a spent recovery budget, not a scene
+        // property: requeue the job (ideally elsewhere), never trust the
+        // output.
+        FaultError::ComputeCorruption { .. } => EXIT_BUDGET,
         FaultError::Unrecoverable { .. } => EXIT_BUDGET,
         _ => EXIT_FAILURE,
     }
@@ -58,6 +63,17 @@ mod tests {
         assert_eq!(exit_code_for(&breakdown), EXIT_BREAKDOWN);
         assert_eq!(exit_code_for(&budget), EXIT_BUDGET);
         assert_ne!(EXIT_BREAKDOWN, EXIT_BUDGET);
+        let sdc = FaultError::ComputeCorruption {
+            rank: 2,
+            stage: "mlfma.apply_block".into(),
+            panel: 17,
+            attempts: 3,
+        };
+        assert_eq!(
+            exit_code_for(&sdc),
+            EXIT_BUDGET,
+            "unrecoverable silent data corruption exhausts a recovery budget"
+        );
         // The classified codes never collide with the established ones.
         for code in [EXIT_BREAKDOWN, EXIT_BUDGET, EXIT_INTERRUPTED] {
             assert!(code != EXIT_OK && code != EXIT_FAILURE && code != EXIT_USAGE);

@@ -159,6 +159,141 @@ fn exhausted_recovery_budget_exits_with_code_4() {
     );
 }
 
+#[test]
+fn chaos_compute_rejects_distributed_mode() {
+    assert_cli_error(
+        &["--tx", "16", "--groups", "2", "--chaos-compute", "1"],
+        "--chaos-compute is the serial compute-corruption injector",
+    );
+}
+
+#[test]
+fn chaos_compute_requires_verification_on() {
+    assert_cli_error(
+        &["--chaos-compute", "1", "--verify-compute", "off"],
+        "--chaos-compute requires --verify-compute on",
+    );
+}
+
+#[test]
+fn verify_compute_value_must_be_on_or_off() {
+    assert_cli_error(
+        &["--verify-compute", "maybe"],
+        "--verify-compute takes on|off",
+    );
+}
+
+#[test]
+fn help_documents_compute_integrity_flags() {
+    let out = run(&["--help"]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for flag in ["--verify-compute", "--chaos-compute"] {
+        assert!(stdout.contains(flag), "help does not document {flag}");
+    }
+}
+
+/// Seed 1 of the compute chaos matrix (`seed % 4 == 1`) corrupts more
+/// consecutive recompute attempts than the budget allows, so the run must
+/// abort with the documented exit code 4 — and, critically, must NOT write
+/// any `.pgm`: a corrupted reconstruction on disk is exactly the silent
+/// failure the integrity layer exists to prevent.
+#[test]
+fn unrecoverable_compute_corruption_exits_4_without_writing_images() {
+    let dir = std::env::temp_dir().join(format!("ffw-cli-sdc-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create tmp dir");
+    let prefix = dir.join("corrupted");
+    let out = Command::new(env!("CARGO_BIN_EXE_ffw-reconstruct"))
+        .args([
+            "--size",
+            "32",
+            "--tx",
+            "4",
+            "--rx",
+            "8",
+            "--iterations",
+            "2",
+        ])
+        .args(["--chaos-compute", "1"])
+        .args(["--out", prefix.to_str().expect("utf8 path")])
+        .env("FFW_THREADS", "2")
+        .output()
+        .expect("spawn ffw-reconstruct");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        out.status.code(),
+        Some(4),
+        "expected budget-exhausted exit code 4\nstderr: {stderr}"
+    );
+    assert!(
+        stderr.contains("compute corruption"),
+        "stderr must name the corruption: {stderr}"
+    );
+    for suffix in ["truth", "reconstruction"] {
+        let path = format!("{}_{suffix}.pgm", prefix.display());
+        assert!(
+            !std::path::Path::new(&path).exists(),
+            "aborted run must not leave {path} on disk"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Seed 0 of the compute chaos matrix (`seed % 4 == 0`) stays within the
+/// recompute budget: the flip is detected, the panel recomputed in place,
+/// and the run must finish with exit code 0 and the bit-identical
+/// reconstruction of an uninjected run.
+#[test]
+fn recoverable_compute_corruption_recovers_bit_identically() {
+    let dir = std::env::temp_dir().join(format!("ffw-cli-sdc-ok-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create tmp dir");
+    let scene = [
+        "--size",
+        "32",
+        "--tx",
+        "4",
+        "--rx",
+        "8",
+        "--iterations",
+        "2",
+    ];
+    let clean = dir.join("clean");
+    let out = Command::new(env!("CARGO_BIN_EXE_ffw-reconstruct"))
+        .args(scene)
+        .args(["--out", clean.to_str().expect("utf8 path")])
+        .env("FFW_THREADS", "2")
+        .output()
+        .expect("clean run");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "clean run failed\nstderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let injected = dir.join("injected");
+    let out = Command::new(env!("CARGO_BIN_EXE_ffw-reconstruct"))
+        .args(scene)
+        .args(["--chaos-compute", "0"])
+        .args(["--out", injected.to_str().expect("utf8 path")])
+        .env("FFW_THREADS", "2")
+        .output()
+        .expect("injected run");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "recoverable injection must not abort\nstderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let a = std::fs::read(format!("{}_reconstruction.pgm", clean.display())).expect("clean image");
+    let b = std::fs::read(format!("{}_reconstruction.pgm", injected.display()))
+        .expect("injected image");
+    assert_eq!(
+        a, b,
+        "recovered reconstruction must be bit-identical to the clean run"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// SIGTERM mid-run must flush the in-flight checkpoint, exit with the
 /// documented code 5, and leave a state from which `--resume` finishes and
 /// produces the bit-identical image of an uninterrupted run.

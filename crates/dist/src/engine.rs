@@ -10,9 +10,11 @@
 use crate::partition::{ExchangePlan, SubtreePartition};
 use ffw_geometry::{morton_decode, morton_encode, LEAF_PIXELS};
 use ffw_mlfma::{offset_index, MlfmaPlan};
-use ffw_mpi::{Comm, FaultError, Payload};
+use ffw_mpi::{Comm, ComputeFault, FaultError, FaultEvent, Payload};
 use ffw_numerics::{c64, C64};
-use std::sync::Arc;
+use ffw_solver::flip_panel_bit_detectable;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Message tags used by one matvec. Sequencing guarantees of the mailbox
 /// (FIFO per source/tag) make reuse across matvecs safe.
@@ -31,6 +33,26 @@ pub struct DistMlfma<'c> {
     aggregate_buffers: bool,
     /// Members of this sub-tree communicator (global rank ids), index = slot.
     members: Vec<usize>,
+    /// Opt-in ABFT compute-integrity state ([`DistMlfma::with_verify`]).
+    verify: Option<DistVerify>,
+}
+
+/// Per-rank state of the opt-in ABFT compute-integrity mode: every panel
+/// apply carries a ride-along checksum column (the elementwise sum of the
+/// data columns), so `G0(sum x) = sum(G0 x)` is checked locally after the
+/// apply. The checksum column partitions exactly like the data columns —
+/// each rank's slice of the global checksum input is the sum of its local
+/// input slices — so verification needs no extra communication.
+struct DistVerify {
+    /// Elementwise relative tolerance (calibrated from the MLFMA accuracy).
+    rel_tol: f64,
+    /// Absolute floor added to the elementwise scale.
+    abs_floor: f64,
+    /// 1-based count of verified panel applies on this rank.
+    panel: AtomicU64,
+    /// Injected fault deferred past panels whose local output is all zero
+    /// (a flip there creates an undetectable — and harmless — denormal).
+    deferred: Mutex<Option<ComputeFault>>,
 }
 
 fn pack(data: &[C64]) -> Vec<(f64, f64)> {
@@ -67,7 +89,29 @@ impl<'c> DistMlfma<'c> {
             exch,
             aggregate_buffers,
             members,
+            verify: None,
         }
+    }
+
+    /// Enables ABFT compute-integrity verification of every panel apply:
+    /// a checksum column (the elementwise sum of the data columns) rides
+    /// along in the fused panel and the identity `G0(sum x) = sum(G0 x)` is
+    /// checked elementwise on this rank's output slice after the apply.
+    ///
+    /// Detection is purely local; recomputation is not (the halo and
+    /// far-field exchanges are consumed by the apply), so a mismatch
+    /// escalates immediately as [`FaultError::ComputeCorruption`] — the
+    /// fault-tolerant driver treats the detecting rank as compromised and
+    /// recovers through checkpoint-restart. Opt-in because the extra column
+    /// costs one lane of compute and bandwidth per panel.
+    pub fn with_verify(mut self, rel_tol: f64, abs_floor: f64) -> Self {
+        self.verify = Some(DistVerify {
+            rel_tol,
+            abs_floor,
+            panel: AtomicU64::new(0),
+            deferred: Mutex::new(None),
+        });
+        self
     }
 
     /// This rank's slot in the sub-tree communicator.
@@ -124,11 +168,105 @@ impl<'c> DistMlfma<'c> {
         xs_local: &[&[C64]],
         ys_local: &mut [Vec<C64>],
     ) -> Result<(), FaultError> {
+        match &self.verify {
+            Some(v) => self.apply_block_verified(v, xs_local, ys_local),
+            None => self.apply_block_inner(xs_local, ys_local),
+        }
+    }
+
+    /// Verified panel apply: widen the panel with the checksum column, run
+    /// the unverified apply, inject any scheduled compute fault into the
+    /// data columns, then check the checksum identity on the local slice.
+    fn apply_block_verified(
+        &self,
+        v: &DistVerify,
+        xs_local: &[&[C64]],
+        ys_local: &mut [Vec<C64>],
+    ) -> Result<(), FaultError> {
+        let width = xs_local.len();
+        assert_eq!(ys_local.len(), width, "block width mismatch");
+        let n_local = self.n_local();
+        let panel = v.panel.fetch_add(1, Ordering::SeqCst) + 1;
+
+        // Local slice of the global checksum column: the elementwise sum of
+        // this rank's input slices (summation order = column order, fixed).
+        let mut x_cs = vec![C64::ZERO; n_local];
+        for x in xs_local {
+            for (a, b) in x_cs.iter_mut().zip(*x) {
+                *a += *b;
+            }
+        }
+        let mut xs2: Vec<&[C64]> = xs_local.to_vec();
+        xs2.push(&x_cs);
+        // Widen the output panel without copying the caller's columns.
+        let mut ys2: Vec<Vec<C64>> = ys_local.iter_mut().map(std::mem::take).collect();
+        ys2.push(vec![C64::ZERO; n_local]);
+        let applied = self.apply_block_inner(&xs2, &mut ys2);
+        let y_cs = ys2.pop().expect("checksum column");
+        for (y, y2) in ys_local.iter_mut().zip(ys2) {
+            *y = y2;
+        }
+        applied?;
+
+        // Deterministic fault injection (test harness): flips land in the
+        // data columns only, after the apply — modelling silent corruption
+        // of this rank's local disaggregation/near-field arithmetic.
+        if let Some(f) = {
+            let deferred = v.deferred.lock().expect("injector mutex").take();
+            deferred.or_else(|| self.comm.compute_fault())
+        } {
+            if !flip_panel_bit_detectable(ys_local, f.slot, f.bit) {
+                *v.deferred.lock().expect("injector mutex") = Some(f);
+            }
+        }
+
+        // Elementwise check of this rank's output slice. Non-finite
+        // residuals fail explicitly (`NaN > tol` is false).
+        for i in 0..n_local {
+            let mut sum = C64::ZERO;
+            let mut abs = 0.0f64;
+            for y in ys_local.iter() {
+                sum += y[i];
+                abs += y[i].re.abs() + y[i].im.abs();
+            }
+            let d = (y_cs[i] - sum).abs();
+            let scale = v.abs_floor + y_cs[i].re.abs() + y_cs[i].im.abs() + abs;
+            if !d.is_finite() || d > v.rel_tol * scale {
+                let rank = self.comm.rank();
+                ffw_obs::counter("sdc.detected").inc();
+                ffw_obs::counter("sdc.escalated").inc();
+                ffw_obs::event(
+                    "sdc.detected",
+                    &format!(
+                        "dist.apply_block: rank {rank} panel #{panel} element {i} \
+                         residual {d:.3e} exceeds tol"
+                    ),
+                );
+                self.comm
+                    .trace_fault(FaultEvent::ComputeCorrupt { panel, attempt: 1 });
+                self.comm
+                    .trace_fault(FaultEvent::ComputeRetriesExhausted { panel, attempts: 1 });
+                return Err(FaultError::ComputeCorruption {
+                    rank,
+                    stage: "dist.apply_block".into(),
+                    panel,
+                    attempts: 1,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn apply_block_inner(
+        &self,
+        xs_local: &[&[C64]],
+        ys_local: &mut [Vec<C64>],
+    ) -> Result<(), FaultError> {
         let width = xs_local.len();
         assert_eq!(ys_local.len(), width, "block width mismatch");
         if width <= 1 || !self.aggregate_buffers {
             for (x, y) in xs_local.iter().zip(ys_local.iter_mut()) {
-                self.try_apply(x, y)?;
+                self.apply_inner(x, y)?;
             }
             return Ok(());
         }
@@ -381,8 +519,22 @@ impl<'c> DistMlfma<'c> {
 
     /// Checked variant of [`DistMlfma::apply`]: a dead peer or a message
     /// lost beyond the retry budget surfaces as a typed [`FaultError`]
-    /// instead of a panic, letting the rank unwind cleanly.
+    /// instead of a panic, letting the rank unwind cleanly. With
+    /// verification enabled ([`DistMlfma::with_verify`]) the apply routes
+    /// through the checksum-carrying panel path as a width-1 panel.
     pub fn try_apply(&self, x_local: &[C64], y_local: &mut [C64]) -> Result<(), FaultError> {
+        match &self.verify {
+            Some(v) => {
+                let mut ys = vec![y_local.to_vec()];
+                let r = self.apply_block_verified(v, &[x_local], &mut ys);
+                y_local.copy_from_slice(&ys[0]);
+                r
+            }
+            None => self.apply_inner(x_local, y_local),
+        }
+    }
+
+    fn apply_inner(&self, x_local: &[C64], y_local: &mut [C64]) -> Result<(), FaultError> {
         let n_local = self.n_local();
         assert_eq!(x_local.len(), n_local);
         assert_eq!(y_local.len(), n_local);

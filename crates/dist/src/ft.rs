@@ -349,6 +349,14 @@ pub fn run_dbim_ft(
                     // intact is as lost as a crashed one.
                     primary.insert(*src);
                 }
+                RankOutcome::Done(Err(FaultError::ComputeCorruption { rank, .. })) => {
+                    // The detecting rank is the corrupted one: its local
+                    // panel output failed the ABFT checksum, and the halo
+                    // data needed to recompute it is already consumed. The
+                    // rank's exit is the death; the typed error is the
+                    // primary evidence attributing it.
+                    primary.insert(*rank);
+                }
                 RankOutcome::Done(Err(FaultError::PeerDead { peer, .. })) => {
                     secondary.insert(*peer);
                 }
@@ -546,7 +554,10 @@ fn ft_rank(
     let all_members: Vec<usize> = (0..comm.size()).collect();
     let my_txs = &group_txs[group];
 
-    let g0 = DistMlfma::new(comm, Arc::clone(&plan), group_members.clone(), true);
+    let mut g0 = DistMlfma::new(comm, Arc::clone(&plan), group_members.clone(), true);
+    if let Some(vc) = &cfg.verify {
+        g0 = g0.with_verify(vc.rel_tol, vc.abs_floor);
+    }
     let cols = g0.partition().pixel_range.clone();
     let n_local = cols.len();
 

@@ -404,6 +404,8 @@ pub fn dist_bicgstab<A: DistOp>(
             rel_residual,
             ..
         }) => SolveStats {
+            verify_matvecs: 0,
+            rolled_back: 0,
             iterations,
             matvecs,
             rel_residual,
@@ -509,6 +511,8 @@ pub fn try_dist_bicgstab_block<A: DistOp + ?Sized>(
 
     let mut stats: Vec<SolveStats> = vec![
         SolveStats {
+            verify_matvecs: 0,
+            rolled_back: 0,
             iterations: 0,
             matvecs: 0,
             rel_residual: 0.0,
@@ -563,6 +567,8 @@ pub fn try_dist_bicgstab_block<A: DistOp + ?Sized>(
                 broken.push((c, "initial residual is not finite".into()));
             } else if res[c] < cfg.tol {
                 stats[c] = SolveStats {
+                    verify_matvecs: 0,
+                    rolled_back: 0,
                     iterations: 0,
                     matvecs: matvecs[c],
                     rel_residual: res[c],
@@ -580,6 +586,8 @@ pub fn try_dist_bicgstab_block<A: DistOp + ?Sized>(
         active.retain(|&c| {
             if iters[c] >= cfg.max_iters {
                 stats[c] = SolveStats {
+                    verify_matvecs: 0,
+                    rolled_back: 0,
                     iterations: iters[c],
                     matvecs: matvecs[c],
                     rel_residual: res[c],
@@ -641,6 +649,8 @@ pub fn try_dist_bicgstab_block<A: DistOp + ?Sized>(
                     xs[c][i] += alpha[c] * p[c][i];
                 }
                 stats[c] = SolveStats {
+                    verify_matvecs: 0,
+                    rolled_back: 0,
                     iterations: iters[c],
                     matvecs: matvecs[c],
                     rel_residual: s_norm,
@@ -689,6 +699,8 @@ pub fn try_dist_bicgstab_block<A: DistOp + ?Sized>(
             res[c] = res_new;
             if res_new < cfg.tol {
                 stats[c] = SolveStats {
+                    verify_matvecs: 0,
+                    rolled_back: 0,
                     iterations: iters[c],
                     matvecs: matvecs[c],
                     rel_residual: res_new,
@@ -734,6 +746,8 @@ pub fn try_dist_bicgstab_block<A: DistOp + ?Sized>(
             )? {
                 DistCycleEnd::Converged(r2) => {
                     stats[c] = SolveStats {
+                        verify_matvecs: 0,
+                        rolled_back: 0,
                         iterations: iters[c],
                         matvecs: matvecs[c],
                         rel_residual: r2,
@@ -743,6 +757,8 @@ pub fn try_dist_bicgstab_block<A: DistOp + ?Sized>(
                 }
                 DistCycleEnd::MaxIters(r2) => {
                     stats[c] = SolveStats {
+                        verify_matvecs: 0,
+                        rolled_back: 0,
                         iterations: iters[c],
                         matvecs: matvecs[c],
                         rel_residual: r2,
@@ -800,6 +816,8 @@ fn dist_bicgstab_impl<A: DistOp>(
     if b_norm == 0.0 {
         x.iter_mut().for_each(|v| *v = C64::ZERO);
         return Ok(SolveStats {
+            verify_matvecs: 0,
+            rolled_back: 0,
             iterations: 0,
             matvecs: 0,
             rel_residual: 0.0,
@@ -824,6 +842,8 @@ fn dist_bicgstab_impl<A: DistOp>(
         )? {
             DistCycleEnd::Converged(res) => {
                 return Ok(SolveStats {
+                    verify_matvecs: 0,
+                    rolled_back: 0,
                     iterations: iters,
                     matvecs,
                     rel_residual: res,
@@ -832,6 +852,8 @@ fn dist_bicgstab_impl<A: DistOp>(
             }
             DistCycleEnd::MaxIters(res) => {
                 return Ok(SolveStats {
+                    verify_matvecs: 0,
+                    rolled_back: 0,
                     iterations: iters,
                     matvecs,
                     rel_residual: res,

@@ -55,6 +55,21 @@ pub enum FaultError {
         /// retransmits).
         attempts: u32,
     },
+    /// A checksum-verified compute stage (an ABFT-checked MLFMA panel apply
+    /// or a Krylov drift guard) kept failing verification: the detected
+    /// silent data corruption persisted through the bounded recompute /
+    /// rollback budget, so the result cannot be trusted.
+    ComputeCorruption {
+        /// Rank that detected the corruption (0 in serial runs).
+        rank: usize,
+        /// Compute stage that failed verification (e.g. `mlfma.apply_block`,
+        /// `krylov.drift`, `dist.apply_block`).
+        stage: String,
+        /// 1-based index of the corrupted panel apply on this rank.
+        panel: u64,
+        /// Total verification attempts made (initial compute + recomputes).
+        attempts: u32,
+    },
     /// An iterative Krylov solve broke down (rho underflow or non-finite
     /// residual) and did not recover after one automatic restart.
     KrylovBreakdown {
@@ -112,6 +127,18 @@ impl fmt::Display for FaultError {
                     "rank {rank}: payload from rank {src} (tag {tag:#x}) failed \
                      integrity verification after {attempts} attempts; \
                      retransmit budget exhausted"
+                )
+            }
+            FaultError::ComputeCorruption {
+                rank,
+                stage,
+                panel,
+                attempts,
+            } => {
+                write!(
+                    f,
+                    "rank {rank}: compute corruption in {stage} at panel #{panel} \
+                     persisted after {attempts} attempts; recompute budget exhausted"
                 )
             }
             FaultError::KrylovBreakdown {
@@ -178,6 +205,21 @@ mod tests {
         assert!(msg.contains("rank 0"), "{msg}");
         assert!(msg.contains("4 attempts"), "{msg}");
         assert!(msg.contains("integrity"), "{msg}");
+    }
+
+    #[test]
+    fn compute_corruption_names_rank_stage_panel_and_budget() {
+        let e = FaultError::ComputeCorruption {
+            rank: 2,
+            stage: "mlfma.apply_block".into(),
+            panel: 7,
+            attempts: 4,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("rank 2"), "{msg}");
+        assert!(msg.contains("mlfma.apply_block"), "{msg}");
+        assert!(msg.contains("#7"), "{msg}");
+        assert!(msg.contains("4 attempts"), "{msg}");
     }
 
     #[test]

@@ -66,6 +66,21 @@ struct CorruptRule {
 }
 
 #[derive(Clone, Copy, Debug)]
+struct ComputeRule {
+    rank: usize,
+    /// 1-based index of the logical panel apply on `rank` to corrupt.
+    nth_apply: u64,
+    /// Flat lane index of the f64 to corrupt, reduced modulo the number of
+    /// lanes in the panel at injection time.
+    slot: u64,
+    /// Bit to flip within the chosen f64 lane (0–51 mantissa, 52–62
+    /// exponent; reduced modulo 64, bit 63 — the sign — included).
+    bit: u32,
+    /// How many consecutive compute attempts of that apply to corrupt.
+    times: u32,
+}
+
+#[derive(Clone, Copy, Debug)]
 struct StraggleRule {
     rank: usize,
     from_op: u64,
@@ -79,6 +94,7 @@ pub struct FaultPlan {
     crashes: Vec<CrashRule>,
     drops: Vec<DropRule>,
     corrupts: Vec<CorruptRule>,
+    computes: Vec<ComputeRule>,
     straggles: Vec<StraggleRule>,
     retry: RetryPolicy,
 }
@@ -124,6 +140,37 @@ impl FaultPlan {
         self
     }
 
+    /// Flip one bit of one f64 lane in the output of the `nth_apply`-th
+    /// (1-based) checksum-verified panel apply on `rank`, once. The ABFT
+    /// checksum column detects the flip and the panel is recomputed cleanly
+    /// — the recovered output is bit-identical to a fault-free run.
+    pub fn corrupt_compute(self, rank: usize, nth_apply: u64, slot: u64, bit: u32) -> Self {
+        self.corrupt_compute_times(rank, nth_apply, slot, bit, 1)
+    }
+
+    /// Like [`FaultPlan::corrupt_compute`], but corrupt the first `times`
+    /// consecutive compute attempts of that apply. If `times` exceeds the
+    /// recompute budget the verified operator gives up and surfaces
+    /// [`crate::FaultError::ComputeCorruption`] instead of a silent wrong
+    /// result.
+    pub fn corrupt_compute_times(
+        mut self,
+        rank: usize,
+        nth_apply: u64,
+        slot: u64,
+        bit: u32,
+        times: u32,
+    ) -> Self {
+        self.computes.push(ComputeRule {
+            rank,
+            nth_apply,
+            slot,
+            bit,
+            times,
+        });
+        self
+    }
+
     /// Delay every operation of `rank` in the 1-based operation range
     /// `from_op..=to_op` by `delay_ms` milliseconds (a straggler model).
     pub fn straggler(mut self, rank: usize, from_op: u64, to_op: u64, delay_ms: u64) -> Self {
@@ -152,6 +199,7 @@ impl FaultPlan {
         self.crashes.is_empty()
             && self.drops.is_empty()
             && self.corrupts.is_empty()
+            && self.computes.is_empty()
             && self.straggles.is_empty()
     }
 
@@ -197,12 +245,85 @@ impl FaultPlan {
         }
     }
 
+    /// Derive a single compute-corruption plan from a seed — the silent-
+    /// data-corruption chaos matrix.
+    ///
+    /// Deterministic like [`FaultPlan::seeded`], but every seed injects a
+    /// bit flip into a checksum-verified panel apply: seeds alternate
+    /// exponent- and mantissa-bit flips, cycle recoverable (within the
+    /// recompute budget) and unrecoverable (budget-exhausting) corruption,
+    /// and compose the flip with a crash or a straggler on another rank so
+    /// recovery paths interact. Works for `n_ranks == 1` (the serial CLI
+    /// path) — the composed secondary faults need a second rank and are
+    /// skipped otherwise.
+    pub fn seeded_compute(seed: u64, n_ranks: usize) -> FaultPlan {
+        assert!(n_ranks >= 1, "seeded compute plans need at least 1 rank");
+        let h0 = splitmix64(seed);
+        let h1 = splitmix64(h0);
+        let h2 = splitmix64(h1);
+        let h3 = splitmix64(h2);
+        let h4 = splitmix64(h3);
+        let rank = (h0 % n_ranks as u64) as usize;
+        let nth_apply = 1 + h1 % 12;
+        let slot = h2;
+        // Alternate exponent (52–62) and high-mantissa (36–51) bits so the
+        // matrix proves detection at both granularities. Mantissa bits below
+        // ~30 perturb a lane by less than the calibrated checksum tolerance
+        // — indistinguishable from operator rounding, and harmless by the
+        // same argument — so seeded plans stay above that floor to keep the
+        // every-flip-detected contract testable.
+        let bit = if seed.is_multiple_of(2) {
+            52 + (h3 % 11) as u32
+        } else {
+            36 + (h3 % 16) as u32
+        };
+        let budget = RetryPolicy::default().max_retries;
+        let recoverable_times = 1 + (h4 % budget as u64) as u32;
+        match seed % 4 {
+            // Recoverable: fewer corrupted attempts than the recompute budget.
+            0 => FaultPlan::new().corrupt_compute_times(
+                rank,
+                nth_apply,
+                slot,
+                bit,
+                recoverable_times,
+            ),
+            // Unrecoverable: persists past the budget => ComputeCorruption.
+            1 => {
+                let times = budget + 1 + (h4 % 2) as u32;
+                FaultPlan::new().corrupt_compute_times(rank, nth_apply, slot, bit, times)
+            }
+            // Recoverable flip composed with a crash on another rank.
+            2 => {
+                let p = FaultPlan::new().corrupt_compute(rank, nth_apply, slot, bit);
+                if n_ranks >= 2 {
+                    let other = (rank + 1 + (h4 % (n_ranks as u64 - 1)) as usize) % n_ranks;
+                    p.crash_at(other, 3 + h4 % 40)
+                } else {
+                    p
+                }
+            }
+            // Recoverable flip composed with a straggler on another rank.
+            _ => {
+                let p = FaultPlan::new().corrupt_compute(rank, nth_apply, slot, bit);
+                if n_ranks >= 2 {
+                    let other = (rank + 1 + (h4 % (n_ranks as u64 - 1)) as usize) % n_ranks;
+                    let op = 3 + h4 % 20;
+                    p.straggler(other, op, op + 8 + h4 % 16, 1 + h4 % 3)
+                } else {
+                    p
+                }
+            }
+        }
+    }
+
     /// Instantiate per-launch counters for a communicator of `n_ranks`.
     pub fn activate(&self, n_ranks: usize) -> ActiveFaults {
         ActiveFaults {
             plan: self.clone(),
             ops: (0..n_ranks).map(|_| AtomicU64::new(0)).collect(),
             sends: (0..n_ranks * n_ranks).map(|_| AtomicU64::new(0)).collect(),
+            applies: (0..n_ranks).map(|_| AtomicU64::new(0)).collect(),
             n_ranks,
         }
     }
@@ -237,12 +358,26 @@ pub struct SendFault {
     pub corrupts: u32,
 }
 
+/// A bit flip scheduled for one logical panel apply, as reported by
+/// [`ActiveFaults::on_apply`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ComputeFault {
+    /// Flat f64 lane to corrupt (reduce modulo the panel's lane count).
+    pub slot: u64,
+    /// Bit to flip within that lane (reduce modulo 64).
+    pub bit: u32,
+    /// Consecutive compute attempts to corrupt (recomputes past this many
+    /// run clean).
+    pub times: u32,
+}
+
 /// Per-launch activation of a [`FaultPlan`]: operation and send counters.
 #[derive(Debug)]
 pub struct ActiveFaults {
     plan: FaultPlan,
     ops: Vec<AtomicU64>,
     sends: Vec<AtomicU64>,
+    applies: Vec<AtomicU64>,
     n_ranks: usize,
 }
 
@@ -291,6 +426,24 @@ impl ActiveFaults {
             .max()
             .unwrap_or(0);
         SendFault { drops, corrupts }
+    }
+
+    /// Advance `rank`'s logical panel-apply counter and return any bit flip
+    /// scheduled for this apply. Recompute attempts of the *same* logical
+    /// apply must not call this again — the verified operator consults the
+    /// returned `times` to decide how many attempts stay corrupted, so the
+    /// counter advances exactly once per logical panel.
+    pub fn on_apply(&self, rank: usize) -> Option<ComputeFault> {
+        let n = self.applies[rank].fetch_add(1, Ordering::SeqCst) + 1;
+        self.plan
+            .computes
+            .iter()
+            .find(|c| c.rank == rank && c.nth_apply == n)
+            .map(|c| ComputeFault {
+                slot: c.slot,
+                bit: c.bit,
+                times: c.times,
+            })
     }
 
     /// The retry policy for dropped sends.
@@ -368,6 +521,50 @@ mod tests {
         assert_eq!(r.backoff_ms(3), 8);
         assert_eq!(r.backoff_ms(10), 8);
         assert_eq!(r.backoff_ms(u32::MAX), 8);
+    }
+
+    #[test]
+    fn compute_fault_fires_exactly_at_the_scheduled_apply() {
+        let faults = FaultPlan::new()
+            .corrupt_compute_times(1, 2, 17, 54, 3)
+            .activate(2);
+        assert_eq!(faults.on_apply(1), None); // 1st apply clean
+        assert_eq!(
+            faults.on_apply(1),
+            Some(ComputeFault {
+                slot: 17,
+                bit: 54,
+                times: 3
+            })
+        );
+        assert_eq!(faults.on_apply(1), None); // 3rd apply clean
+        assert_eq!(faults.on_apply(0), None); // other ranks unaffected
+    }
+
+    #[test]
+    fn seeded_compute_plans_are_deterministic_and_cover_both_bit_classes() {
+        let mut exponent = 0usize;
+        let mut mantissa = 0usize;
+        for seed in 0..16 {
+            let a = FaultPlan::seeded_compute(seed, 4);
+            let b = FaultPlan::seeded_compute(seed, 4);
+            assert!(!a.is_empty());
+            assert_eq!(format!("{a:?}"), format!("{b:?}"));
+            assert_eq!(a.computes.len(), 1, "exactly one flip per seed");
+            let bit = a.computes[0].bit;
+            if (52..=62).contains(&bit) {
+                exponent += 1;
+            } else {
+                mantissa += 1;
+            }
+        }
+        assert!(exponent > 0 && mantissa > 0, "{exponent} / {mantissa}");
+        // Serial plans are legal and never carry multi-rank secondaries.
+        for seed in 0..8 {
+            let p = FaultPlan::seeded_compute(seed, 1);
+            assert!(p.crashes.is_empty() && p.straggles.is_empty());
+            assert_eq!(p.computes[0].rank, 0);
+        }
     }
 
     #[test]

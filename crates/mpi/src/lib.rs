@@ -60,7 +60,7 @@
 
 #![warn(missing_docs)]
 
-use ffw_check::trace::{render_report, CollectiveKind, Event, FaultEvent, LeakedMessage};
+use ffw_check::trace::{render_report, CollectiveKind, Event, LeakedMessage};
 use ffw_check::waitgraph::WaitState;
 use ffw_check::{diagnose_deadlock, validate_traces, validate_traces_faulty, DeadlockReport};
 use ffw_fault::{
@@ -74,7 +74,8 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-pub use ffw_fault::{FaultError, FaultPlan, RetryPolicy};
+pub use ffw_check::trace::FaultEvent;
+pub use ffw_fault::{ComputeFault, FaultError, FaultPlan, RetryPolicy};
 
 /// Relative tolerance for ABFT checksum-lane verification: legitimate
 /// floating-point reassociation moves an element sum by ~1e-16 of its norm,
@@ -554,6 +555,24 @@ impl Comm {
                 });
             }
         }
+    }
+
+    /// Consults the active fault plan for a compute-corruption injection
+    /// scheduled on this rank's next operator apply. Counts one apply per
+    /// call; returns the fault to inject into the apply's output, if any.
+    /// A no-op (one `Option` check) when no plan is active.
+    pub fn compute_fault(&self) -> Option<ComputeFault> {
+        self.shared
+            .faults
+            .as_ref()
+            .and_then(|f| f.on_apply(self.rank))
+    }
+
+    /// Records a compute-integrity fault event in this rank's trace so the
+    /// post-run `ffw-check` validation can verify every detected corruption
+    /// was resolved (recovered or escalated as a typed error).
+    pub fn trace_fault(&self, event: FaultEvent) {
+        self.shared.trace(self.rank, Event::Fault(event));
     }
 
     /// Buffered, non-blocking send. User tags must not set the high bit.
@@ -1676,6 +1695,7 @@ impl Runtime {
                     FaultEvent::SendRetriesExhausted { .. }
                         | FaultEvent::PeerDeclaredDead { .. }
                         | FaultEvent::CorruptionRetriesExhausted { .. }
+                        | FaultEvent::ComputeRetriesExhausted { .. }
                 )
             )
         });

@@ -609,7 +609,10 @@ fn watchdog(inner: &Inner) {
 }
 
 /// Classifies a driver error as transient (worth a backoff + resume retry)
-/// or terminal.
+/// or terminal. Detected compute corruption is explicitly transient: the
+/// ABFT checksum caught a bit flip whose recovery budget ran out *within
+/// one attempt*, and a fresh attempt resumes from the last good checkpoint
+/// on hardware that will almost certainly not flip the same bit again.
 fn should_retry(err: &FaultError) -> bool {
     !matches!(
         err,
@@ -623,6 +626,9 @@ fn failure_code(err: &FaultError) -> &'static str {
     match err {
         FaultError::KrylovBreakdown { .. } => "breakdown",
         FaultError::Unrecoverable { .. } => "budget-exhausted",
+        // Persistent SDC that survived every serve-level retry: name it so
+        // operators can tell a sick node from a generic fault.
+        FaultError::ComputeCorruption { .. } => "compute-corruption",
         _ => "fault",
     }
 }
@@ -924,5 +930,20 @@ mod tests {
             failure_code(&FaultError::Unrecoverable { detail: "x".into() }),
             "budget-exhausted"
         );
+    }
+
+    /// Detected silent data corruption is transient by classification — a
+    /// retry resumes on (almost certainly) healthy hardware — and carries
+    /// its own failure code if it somehow persists through every retry.
+    #[test]
+    fn compute_corruption_is_retryable_with_its_own_terminal_code() {
+        let err = FaultError::ComputeCorruption {
+            rank: 2,
+            stage: "dist.apply_block".into(),
+            panel: 7,
+            attempts: 1,
+        };
+        assert!(should_retry(&err));
+        assert_eq!(failure_code(&err), "compute-corruption");
     }
 }

@@ -27,9 +27,14 @@
 //!   the update steps reflected in the returned iterate, `matvecs` the
 //!   operator applications performed on the column's behalf.
 
-use crate::forward::{solve_adjoint, solve_adjoint_block, solve_forward, solve_forward_block};
+use crate::block::bicgstab_block_guarded;
+use crate::forward::{
+    solve_adjoint, solve_adjoint_block, solve_forward, solve_forward_block, AdjointScatteringOp,
+    ScatteringOp,
+};
 use crate::krylov::{IterConfig, SolveStats};
 use crate::op::{BlockLinOp, LinOp};
+use crate::verify::DriftGuard;
 use ffw_numerics::vecops::norm2;
 use ffw_numerics::{c64, C64};
 
@@ -135,6 +140,7 @@ pub trait ForwardBackend: Sync {
 pub struct BicgstabBackend<'a, G: BlockLinOp + ?Sized> {
     g0: &'a G,
     object: &'a [C64],
+    guard: Option<&'a DriftGuard>,
 }
 
 impl<'a, G: BlockLinOp + ?Sized> BicgstabBackend<'a, G> {
@@ -142,7 +148,22 @@ impl<'a, G: BlockLinOp + ?Sized> BicgstabBackend<'a, G> {
     pub fn new(g0: &'a G, object: &'a [C64]) -> Self {
         assert_eq!(g0.dim_in(), object.len());
         assert_eq!(g0.dim_out(), object.len());
-        BicgstabBackend { g0, object }
+        BicgstabBackend {
+            g0,
+            object,
+            guard: None,
+        }
+    }
+
+    /// Attaches a [`DriftGuard`]: every solve audits the Krylov recurrence's
+    /// recursive residual against the true `b - A x` and rolls back to the
+    /// last verified iterate on divergence (see
+    /// [`crate::bicgstab_block_guarded`]). An escalated column surfaces as
+    /// `converged: false` in its [`SolveStats`]; callers inspect the guard's
+    /// counters to distinguish escalation from a plain budget freeze.
+    pub fn with_guard(mut self, guard: &'a DriftGuard) -> Self {
+        self.guard = Some(guard);
+        self
     }
 }
 
@@ -151,13 +172,37 @@ impl<G: BlockLinOp + ?Sized> ForwardBackend for BicgstabBackend<'_, G> {
         BackendChoice::Bicgstab.as_str()
     }
     fn solve(&self, b: &[C64], x: &mut [C64], cfg: IterConfig) -> SolveStats {
-        solve_forward(self.g0, self.object, b, x, cfg)
+        match self.guard {
+            None => solve_forward(self.g0, self.object, b, x, cfg),
+            Some(g) => {
+                let a = ScatteringOp::new(self.g0, self.object);
+                let mut xs = vec![x.to_vec()];
+                let stats = bicgstab_block_guarded(&a, &[b], &mut xs, cfg, g);
+                x.copy_from_slice(&xs[0]);
+                stats.into_iter().next().expect("one column")
+            }
+        }
     }
     fn solve_adjoint(&self, b: &[C64], x: &mut [C64], cfg: IterConfig) -> SolveStats {
-        solve_adjoint(self.g0, self.object, b, x, cfg)
+        match self.guard {
+            None => solve_adjoint(self.g0, self.object, b, x, cfg),
+            Some(g) => {
+                let a = AdjointScatteringOp::new(self.g0, self.object);
+                let mut xs = vec![x.to_vec()];
+                let stats = bicgstab_block_guarded(&a, &[b], &mut xs, cfg, g);
+                x.copy_from_slice(&xs[0]);
+                stats.into_iter().next().expect("one column")
+            }
+        }
     }
     fn solve_block(&self, bs: &[&[C64]], xs: &mut [Vec<C64>], cfg: IterConfig) -> Vec<SolveStats> {
-        solve_forward_block(self.g0, self.object, bs, xs, cfg)
+        match self.guard {
+            None => solve_forward_block(self.g0, self.object, bs, xs, cfg),
+            Some(g) => {
+                let a = ScatteringOp::new(self.g0, self.object);
+                bicgstab_block_guarded(&a, bs, xs, cfg, g)
+            }
+        }
     }
     fn solve_adjoint_block(
         &self,
@@ -165,7 +210,13 @@ impl<G: BlockLinOp + ?Sized> ForwardBackend for BicgstabBackend<'_, G> {
         xs: &mut [Vec<C64>],
         cfg: IterConfig,
     ) -> Vec<SolveStats> {
-        solve_adjoint_block(self.g0, self.object, bs, xs, cfg)
+        match self.guard {
+            None => solve_adjoint_block(self.g0, self.object, bs, xs, cfg),
+            Some(g) => {
+                let a = AdjointScatteringOp::new(self.g0, self.object);
+                bicgstab_block_guarded(&a, bs, xs, cfg, g)
+            }
+        }
     }
 }
 
@@ -187,6 +238,28 @@ pub fn make_backend<'a, G: BlockLinOp + ?Sized>(
         BackendChoice::BornSeries => Ok(Box::new(crate::bornseries::BornSeriesBackend::new(
             g0, object, g0_norm,
         )?)),
+    }
+}
+
+/// [`make_backend`] with a [`DriftGuard`] attached: both engines audit
+/// their recursive residual against the true `b - A x` every
+/// [`DriftGuard::period`] steps and at every would-be convergence, rolling
+/// back to the last verified iterate on divergence and escalating (column
+/// surfaced unconverged, guard counter bumped) once the rollback budget is
+/// spent. Clean solves are bit-identical to the unguarded backend's block
+/// path.
+pub fn make_backend_guarded<'a, G: BlockLinOp + ?Sized>(
+    choice: BackendChoice,
+    g0: &'a G,
+    object: &'a [C64],
+    g0_norm: f64,
+    guard: &'a DriftGuard,
+) -> Result<Box<dyn ForwardBackend + 'a>, BackendError> {
+    match choice {
+        BackendChoice::Bicgstab => Ok(Box::new(BicgstabBackend::new(g0, object).with_guard(guard))),
+        BackendChoice::BornSeries => Ok(Box::new(
+            crate::bornseries::BornSeriesBackend::new(g0, object, g0_norm)?.with_guard(guard),
+        )),
     }
 }
 

@@ -18,8 +18,9 @@
 //! excluded from subsequent block applies — while the remaining columns keep
 //! iterating until all are done.
 
-use crate::krylov::{finite_c, BreakdownKind, IterConfig, SolveStats};
+use crate::krylov::{finite_c, BreakdownKind, IterConfig, SolveError, SolveStats};
 use crate::op::BlockLinOp;
+use crate::verify::DriftGuard;
 use ffw_numerics::vecops::{axpy, norm2, zdotc};
 use ffw_numerics::C64;
 
@@ -45,6 +46,98 @@ pub(crate) fn apply_cols<A: BlockLinOp + ?Sized>(
     }
 }
 
+/// A per-column recurrence snapshot taken at a passed drift audit. Every
+/// snapshot is a *top-of-loop* state (the next action is the rho inner
+/// product), so a rolled-back column resumes the lockstep loop directly.
+struct ColSnap {
+    x: Vec<C64>,
+    r: Vec<C64>,
+    p: Vec<C64>,
+    v: Vec<C64>,
+    rho: C64,
+    alpha: C64,
+    omega: C64,
+    res: f64,
+    iters: usize,
+    matvecs: usize,
+}
+
+/// `‖r_rec - (b - A x)‖ / ‖b‖`: how far the recursive residual has drifted
+/// from the truth. One extra operator apply (charged to `verify_matvecs`).
+pub(crate) fn residual_drift<A: BlockLinOp + ?Sized>(
+    a: &A,
+    b: &[C64],
+    x: &[C64],
+    r_rec: &[C64],
+    b_norm: f64,
+) -> f64 {
+    let n = b.len();
+    let mut r_true = vec![C64::ZERO; n];
+    a.apply(x, &mut r_true);
+    let mut diff2 = 0.0f64;
+    for i in 0..n {
+        let d = r_rec[i] - (b[i] - r_true[i]);
+        diff2 += d.norm_sqr();
+    }
+    diff2.sqrt() / b_norm
+}
+
+/// Restores column `c` to its last verified snapshot after a failed audit.
+/// Applies spent on the discarded segment move from `matvecs` to
+/// `verify_matvecs`; the discarded steps are counted in `rolled`. Returns
+/// `true` if the column may replay (rollback budget left), `false` if the
+/// guard escalated (caller freezes the column unconverged at the restored —
+/// last verified — iterate).
+#[allow(clippy::too_many_arguments)]
+fn guard_recover(
+    g: &DriftGuard,
+    c: usize,
+    snap: &ColSnap,
+    x: &mut [C64],
+    r: &mut [C64],
+    p: &mut [C64],
+    v: &mut [C64],
+    rho: &mut C64,
+    alpha: &mut C64,
+    omega: &mut C64,
+    res: &mut f64,
+    iters: &mut usize,
+    matvecs: &mut usize,
+    verify_mv: &mut usize,
+    rolled: &mut usize,
+    rollbacks: &mut u32,
+) -> bool {
+    g.record_detected();
+    let steps = *iters - snap.iters;
+    *verify_mv += *matvecs - snap.matvecs;
+    *rolled += steps;
+    x.copy_from_slice(&snap.x);
+    r.copy_from_slice(&snap.r);
+    p.copy_from_slice(&snap.p);
+    v.copy_from_slice(&snap.v);
+    *rho = snap.rho;
+    *alpha = snap.alpha;
+    *omega = snap.omega;
+    *res = snap.res;
+    *iters = snap.iters;
+    *matvecs = snap.matvecs;
+    if *rollbacks < g.max_rollbacks {
+        *rollbacks += 1;
+        g.record_rollback(steps as u64);
+        true
+    } else {
+        g.record_escalated();
+        ffw_obs::event(
+            "solver.breakdown",
+            &format!(
+                "bicgstab_block column {c}: residual drift persisted through \
+                 {rollbacks} rollback(s); surfacing unconverged"
+            ),
+        );
+        false
+    }
+}
+
 /// Solves `A xs[c] = bs[c]` for all `B` columns with lockstep BiCGStab and
 /// per-column convergence masking. Each `xs[c]` carries its initial guess
 /// (zero, or a warm start) and is overwritten with that column's solution.
@@ -58,6 +151,70 @@ pub fn bicgstab_block<A: BlockLinOp + ?Sized>(
     bs: &[&[C64]],
     xs: &mut [Vec<C64>],
     cfg: IterConfig,
+) -> Vec<SolveStats> {
+    bicgstab_block_impl(a, bs, xs, cfg, None)
+}
+
+/// [`bicgstab_block`] with a [`DriftGuard`] auditing every column: the true
+/// residual `b - A x` is recomputed every [`DriftGuard::period`] update
+/// steps *and* at every would-be convergence, and recursive-vs-true
+/// divergence beyond [`DriftGuard::rel_tol`] rolls the column back to its
+/// last verified snapshot and replays. Transient corruption replays clean
+/// (the final iterate is bit-identical to an uncorrupted solve);
+/// deterministic corruption re-detects until [`DriftGuard::max_rollbacks`]
+/// is exhausted, at which point the guard escalates
+/// (`guard.escalated() > 0`) and the column is surfaced unconverged at its
+/// last verified iterate — never silently converged.
+///
+/// On a clean run the audits touch no recurrence state, so every column's
+/// trajectory — iterates, residuals, `iterations`, `matvecs` — is
+/// bit-identical to the unguarded solve; the audit applies are reported in
+/// `verify_matvecs`.
+pub fn bicgstab_block_guarded<A: BlockLinOp + ?Sized>(
+    a: &A,
+    bs: &[&[C64]],
+    xs: &mut [Vec<C64>],
+    cfg: IterConfig,
+    guard: &DriftGuard,
+) -> Vec<SolveStats> {
+    bicgstab_block_impl(a, bs, xs, cfg, Some(guard))
+}
+
+/// Scalar guarded BiCGStab: a width-1 [`bicgstab_block_guarded`] (the block
+/// solver's columns are bit-identical to scalar solves), with drift
+/// escalation surfaced as a typed [`SolveError::Breakdown`] of kind
+/// [`BreakdownKind::Drift`] instead of a counter the caller must poll.
+pub fn bicgstab_guarded<A: BlockLinOp + ?Sized>(
+    a: &A,
+    b: &[C64],
+    x: &mut [C64],
+    cfg: IterConfig,
+    guard: &DriftGuard,
+) -> Result<SolveStats, SolveError> {
+    let escalated_before = guard.escalated();
+    let mut xs = vec![x.to_vec()];
+    let stats = bicgstab_block_impl(a, &[b], &mut xs, cfg, Some(guard))
+        .pop()
+        .expect("one column");
+    x.copy_from_slice(&xs[0]);
+    if guard.escalated() > escalated_before {
+        return Err(SolveError::Breakdown {
+            kind: BreakdownKind::Drift,
+            iterations: stats.iterations,
+            matvecs: stats.matvecs,
+            rel_residual: stats.rel_residual,
+            restarts: guard.max_rollbacks,
+        });
+    }
+    Ok(stats)
+}
+
+fn bicgstab_block_impl<A: BlockLinOp + ?Sized>(
+    a: &A,
+    bs: &[&[C64]],
+    xs: &mut [Vec<C64>],
+    cfg: IterConfig,
+    guard: Option<&DriftGuard>,
 ) -> Vec<SolveStats> {
     let nb = bs.len();
     assert_eq!(xs.len(), nb, "solution block width mismatch");
@@ -92,10 +249,18 @@ pub fn bicgstab_block<A: BlockLinOp + ?Sized>(
     let mut t: Vec<Vec<C64>> = vec![vec![C64::ZERO; n]; nb];
     let mut x_prev = vec![C64::ZERO; n];
 
+    // Drift-guard bookkeeping (all zeros / unused when `guard` is None).
+    let mut verify_mv = vec![0usize; nb];
+    let mut rolled = vec![0usize; nb];
+    let mut rollbacks = vec![0u32; nb];
+    let mut snaps: Vec<Option<ColSnap>> = (0..nb).map(|_| None).collect();
+
     let freeze_breakdown = |c: usize,
                             kind: BreakdownKind,
                             iters: usize,
                             matvecs: usize,
+                            verify_matvecs: usize,
+                            rolled_back: usize,
                             last_res: f64|
      -> SolveStats {
         ffw_obs::event(
@@ -103,6 +268,8 @@ pub fn bicgstab_block<A: BlockLinOp + ?Sized>(
             &format!("bicgstab_block column {c}: {kind} at iter {iters}"),
         );
         SolveStats {
+            verify_matvecs,
+            rolled_back,
             iterations: iters,
             matvecs,
             rel_residual: last_res,
@@ -117,6 +284,8 @@ pub fn bicgstab_block<A: BlockLinOp + ?Sized>(
         if b_norm[c] == 0.0 {
             xs[c].iter_mut().for_each(|v| *v = C64::ZERO);
             stats[c] = Some(SolveStats {
+                verify_matvecs: 0,
+                rolled_back: 0,
                 iterations: 0,
                 matvecs: 0,
                 rel_residual: 0.0,
@@ -143,6 +312,8 @@ pub fn bicgstab_block<A: BlockLinOp + ?Sized>(
                 BreakdownKind::NonFinite,
                 0,
                 matvecs[c],
+                0,
+                0,
                 f64::NAN,
             ));
             continue;
@@ -150,6 +321,8 @@ pub fn bicgstab_block<A: BlockLinOp + ?Sized>(
         ffw_obs::series_push("solver.bicgstab.residual", res[c]);
         if res[c] < cfg.tol {
             stats[c] = Some(SolveStats {
+                verify_matvecs: 0,
+                rolled_back: 0,
                 iterations: 0,
                 matvecs: matvecs[c],
                 rel_residual: res[c],
@@ -157,15 +330,36 @@ pub fn bicgstab_block<A: BlockLinOp + ?Sized>(
             });
             continue;
         }
+        if guard.is_some() {
+            // Baseline snapshot: the fresh residual *is* the true residual,
+            // so the cycle-start state is verified by construction and is
+            // the rollback target until the first periodic audit passes.
+            snaps[c] = Some(ColSnap {
+                x: xs[c].clone(),
+                r: r[c].clone(),
+                p: p[c].clone(),
+                v: v[c].clone(),
+                rho: rho[c],
+                alpha: alpha[c],
+                omega: omega[c],
+                res: res[c],
+                iters: iters[c],
+                matvecs: matvecs[c],
+            });
+        }
         active.push(c);
     }
 
     while !active.is_empty() {
+        // Columns rolled back mid-pass re-enter the lockstep loop here.
+        let mut resumed: Vec<usize> = Vec::new();
         // Budget + rho checks; columns freezing here skip the fused applies.
         let mut after_rho = Vec::with_capacity(active.len());
         for &c in &active {
             if iters[c] >= cfg.max_iters {
                 stats[c] = Some(SolveStats {
+                    verify_matvecs: verify_mv[c],
+                    rolled_back: rolled[c],
                     iterations: iters[c],
                     matvecs: matvecs[c],
                     rel_residual: res[c],
@@ -180,6 +374,8 @@ pub fn bicgstab_block<A: BlockLinOp + ?Sized>(
                     BreakdownKind::NonFinite,
                     iters[c],
                     matvecs[c],
+                    verify_mv[c],
+                    rolled[c],
                     res[c],
                 ));
                 continue;
@@ -190,6 +386,8 @@ pub fn bicgstab_block<A: BlockLinOp + ?Sized>(
                     BreakdownKind::RhoZero,
                     iters[c],
                     matvecs[c],
+                    verify_mv[c],
+                    rolled[c],
                     res[c],
                 ));
                 continue;
@@ -216,8 +414,49 @@ pub fn bicgstab_block<A: BlockLinOp + ?Sized>(
             let s_norm = norm2(&s[c]) / b_norm[c];
             if s_norm < cfg.tol {
                 axpy(alpha[c], &p[c], &mut xs[c]);
+                if let Some(g) = guard {
+                    // Audit the would-be convergence: the recursive residual
+                    // here is `s` and the candidate iterate is x + alpha p.
+                    verify_mv[c] += 1;
+                    let drift = residual_drift(a, bs[c], &xs[c], &s[c], b_norm[c]);
+                    if !(drift.is_finite() && drift <= g.rel_tol) {
+                        let snap = snaps[c].as_ref().expect("guarded columns have a snapshot");
+                        if guard_recover(
+                            g,
+                            c,
+                            snap,
+                            &mut xs[c],
+                            &mut r[c],
+                            &mut p[c],
+                            &mut v[c],
+                            &mut rho[c],
+                            &mut alpha[c],
+                            &mut omega[c],
+                            &mut res[c],
+                            &mut iters[c],
+                            &mut matvecs[c],
+                            &mut verify_mv[c],
+                            &mut rolled[c],
+                            &mut rollbacks[c],
+                        ) {
+                            resumed.push(c);
+                        } else {
+                            stats[c] = Some(SolveStats {
+                                verify_matvecs: verify_mv[c],
+                                rolled_back: rolled[c],
+                                iterations: iters[c],
+                                matvecs: matvecs[c],
+                                rel_residual: res[c],
+                                converged: false,
+                            });
+                        }
+                        continue;
+                    }
+                }
                 ffw_obs::series_push("solver.bicgstab.residual", s_norm);
                 stats[c] = Some(SolveStats {
+                    verify_matvecs: verify_mv[c],
+                    rolled_back: rolled[c],
                     iterations: iters[c],
                     matvecs: matvecs[c],
                     rel_residual: s_norm,
@@ -255,6 +494,8 @@ pub fn bicgstab_block<A: BlockLinOp + ?Sized>(
                     BreakdownKind::NonFinite,
                     iters[c],
                     matvecs[c],
+                    verify_mv[c],
+                    rolled[c],
                     res[c],
                 ));
                 continue;
@@ -262,7 +503,46 @@ pub fn bicgstab_block<A: BlockLinOp + ?Sized>(
             res[c] = res_new;
             ffw_obs::series_push("solver.bicgstab.residual", res_new);
             if res_new < cfg.tol {
+                if let Some(g) = guard {
+                    verify_mv[c] += 1;
+                    let drift = residual_drift(a, bs[c], &xs[c], &r[c], b_norm[c]);
+                    if !(drift.is_finite() && drift <= g.rel_tol) {
+                        let snap = snaps[c].as_ref().expect("guarded columns have a snapshot");
+                        if guard_recover(
+                            g,
+                            c,
+                            snap,
+                            &mut xs[c],
+                            &mut r[c],
+                            &mut p[c],
+                            &mut v[c],
+                            &mut rho[c],
+                            &mut alpha[c],
+                            &mut omega[c],
+                            &mut res[c],
+                            &mut iters[c],
+                            &mut matvecs[c],
+                            &mut verify_mv[c],
+                            &mut rolled[c],
+                            &mut rollbacks[c],
+                        ) {
+                            resumed.push(c);
+                        } else {
+                            stats[c] = Some(SolveStats {
+                                verify_matvecs: verify_mv[c],
+                                rolled_back: rolled[c],
+                                iterations: iters[c],
+                                matvecs: matvecs[c],
+                                rel_residual: res[c],
+                                converged: false,
+                            });
+                        }
+                        continue;
+                    }
+                }
                 stats[c] = Some(SolveStats {
+                    verify_matvecs: verify_mv[c],
+                    rolled_back: rolled[c],
                     iterations: iters[c],
                     matvecs: matvecs[c],
                     rel_residual: res_new,
@@ -271,9 +551,68 @@ pub fn bicgstab_block<A: BlockLinOp + ?Sized>(
                 continue;
             }
             rho[c] = rho_new[c];
+            if let Some(g) = guard {
+                if iters[c].is_multiple_of(g.period) {
+                    // Periodic audit at a top-of-loop state: pass refreshes
+                    // the rollback snapshot, failure rolls back (or, with
+                    // the budget exhausted, escalates and freezes).
+                    verify_mv[c] += 1;
+                    let drift = residual_drift(a, bs[c], &xs[c], &r[c], b_norm[c]);
+                    if drift.is_finite() && drift <= g.rel_tol {
+                        snaps[c] = Some(ColSnap {
+                            x: xs[c].clone(),
+                            r: r[c].clone(),
+                            p: p[c].clone(),
+                            v: v[c].clone(),
+                            rho: rho[c],
+                            alpha: alpha[c],
+                            omega: omega[c],
+                            res: res[c],
+                            iters: iters[c],
+                            matvecs: matvecs[c],
+                        });
+                    } else {
+                        let snap = snaps[c].as_ref().expect("guarded columns have a snapshot");
+                        if guard_recover(
+                            g,
+                            c,
+                            snap,
+                            &mut xs[c],
+                            &mut r[c],
+                            &mut p[c],
+                            &mut v[c],
+                            &mut rho[c],
+                            &mut alpha[c],
+                            &mut omega[c],
+                            &mut res[c],
+                            &mut iters[c],
+                            &mut matvecs[c],
+                            &mut verify_mv[c],
+                            &mut rolled[c],
+                            &mut rollbacks[c],
+                        ) {
+                            resumed.push(c);
+                        } else {
+                            stats[c] = Some(SolveStats {
+                                verify_matvecs: verify_mv[c],
+                                rolled_back: rolled[c],
+                                iterations: iters[c],
+                                matvecs: matvecs[c],
+                                rel_residual: res[c],
+                                converged: false,
+                            });
+                        }
+                        continue;
+                    }
+                }
+            }
             after_update.push(c);
         }
         active = after_update;
+        if !resumed.is_empty() {
+            active.extend(resumed);
+            active.sort_unstable();
+        }
     }
 
     let out: Vec<SolveStats> = stats
@@ -482,5 +821,127 @@ mod tests {
         let a = random_mat(4, 1, 5.0);
         let stats = bicgstab_block(&a, &[], &mut [], IterConfig::default());
         assert!(stats.is_empty());
+    }
+
+    #[test]
+    fn guarded_clean_run_is_bit_identical_and_audited() {
+        // Audits read state but never write it, so a corruption-free guarded
+        // solve must reproduce the unguarded trajectory exactly — same
+        // iterate bits, same per-column iteration/matvec counts — while
+        // charging its audit applies to `verify_matvecs`.
+        let n = 40;
+        let a = random_mat(n, 101, 7.0);
+        let bs: Vec<Vec<C64>> = (0..3).map(|i| random_vec(n, 110 + i)).collect();
+        let b_refs: Vec<&[C64]> = bs.iter().map(|b| b.as_slice()).collect();
+        let cfg = IterConfig {
+            tol: 1e-9,
+            max_iters: 300,
+        };
+        let mut xs_plain = vec![vec![C64::ZERO; n]; 3];
+        let plain = bicgstab_block(&a, &b_refs, &mut xs_plain, cfg);
+        let guard = DriftGuard::new(4, 1e-8, 2);
+        let mut xs_guarded = vec![vec![C64::ZERO; n]; 3];
+        let guarded = bicgstab_block_guarded(&a, &b_refs, &mut xs_guarded, cfg, &guard);
+        assert_eq!(guard.detected(), 0, "clean run must not trip the guard");
+        for c in 0..3 {
+            assert_eq!(xs_guarded[c], xs_plain[c], "column {c} iterate");
+            assert_eq!(guarded[c].iterations, plain[c].iterations);
+            assert_eq!(guarded[c].matvecs, plain[c].matvecs, "column {c}");
+            assert_eq!(guarded[c].rel_residual, plain[c].rel_residual);
+            assert!(guarded[c].converged);
+            assert!(guarded[c].verify_matvecs > 0, "column {c} was audited");
+            assert_eq!(guarded[c].rolled_back, 0);
+        }
+    }
+
+    #[test]
+    fn transient_corruption_rolls_back_to_a_bit_identical_solve() {
+        // One operator apply returns a wildly wrong panel (a bit-flip stand-in
+        // far above audit tolerance); every other apply is clean. The guard
+        // must detect the drift, roll back to the last verified snapshot, and
+        // replay to the exact iterate of a fully clean solve.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let n = 36;
+        let m = random_mat(n, 131, 7.0);
+        let b = random_vec(n, 137);
+        let cfg = IterConfig {
+            tol: 1e-9,
+            max_iters: 300,
+        };
+        let mut x_clean = vec![vec![C64::ZERO; n]];
+        let clean = bicgstab_block(&m, &[&b], &mut x_clean, cfg);
+        assert!(clean[0].converged);
+
+        let calls = AtomicUsize::new(0);
+        let corrupting = crate::op::FnOp::new(n, n, |v: &[C64], out: &mut [C64]| {
+            m.matvec(v, out);
+            if calls.fetch_add(1, Ordering::Relaxed) + 1 == 4 {
+                out[0] += c64(75.0, -40.0);
+            }
+        });
+        let guard = DriftGuard::new(4, 1e-8, 3);
+        let mut xs = vec![vec![C64::ZERO; n]];
+        let stats = bicgstab_block_guarded(&corrupting, &[&b], &mut xs, cfg, &guard);
+        assert!(guard.detected() >= 1, "corruption must be detected");
+        assert!(guard.rolled_back() >= 1, "steps must be discarded");
+        assert_eq!(guard.escalated(), 0, "transient fault must recover");
+        assert!(stats[0].converged, "{:?}", stats[0]);
+        assert!(stats[0].rolled_back >= 1);
+        assert_eq!(
+            xs[0], x_clean[0],
+            "recovered solve must match the clean solve bit-for-bit"
+        );
+        assert_eq!(stats[0].iterations, clean[0].iterations);
+        assert_eq!(stats[0].matvecs, clean[0].matvecs);
+    }
+
+    #[test]
+    fn persistent_corruption_escalates_typed() {
+        // Inconsistent corruption on every apply after the initial residual:
+        // the recurrence can never be reconciled with any fixed operator, so
+        // each replay re-detects until the rollback budget is spent and the
+        // guard escalates instead of reporting convergence.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let n = 24;
+        let m = random_mat(n, 151, 6.0);
+        let b = random_vec(n, 157);
+        let cfg = IterConfig {
+            tol: 1e-9,
+            max_iters: 200,
+        };
+        let calls = AtomicUsize::new(0);
+        let corrupting = crate::op::FnOp::new(n, n, |v: &[C64], out: &mut [C64]| {
+            m.matvec(v, out);
+            let k = calls.fetch_add(1, Ordering::Relaxed) + 1;
+            if k >= 2 {
+                // call-dependent garbage: no consistent linear system exists
+                out[0] += c64(10.0 + k as f64, -(k as f64));
+            }
+        });
+        let guard = DriftGuard::new(4, 1e-8, 2);
+        let mut xs = vec![vec![C64::ZERO; n]];
+        let stats = bicgstab_block_guarded(&corrupting, &[&b], &mut xs, cfg, &guard);
+        assert_eq!(guard.escalated(), 1, "budget exhausted must escalate");
+        assert!(
+            !stats[0].converged,
+            "never report convergence: {:?}",
+            stats[0]
+        );
+        assert!(
+            xs[0].iter().all(|v| v.re.is_finite() && v.im.is_finite()),
+            "escalated column freezes at the last verified iterate"
+        );
+
+        // The scalar wrapper surfaces the same outcome as a typed breakdown.
+        calls.store(0, Ordering::Relaxed);
+        let guard2 = DriftGuard::new(4, 1e-8, 2);
+        let mut x = vec![C64::ZERO; n];
+        let err = bicgstab_guarded(&corrupting, &b, &mut x, cfg, &guard2)
+            .expect_err("persistent corruption must not yield Ok");
+        match err {
+            SolveError::Breakdown { kind, .. } => {
+                assert_eq!(kind, BreakdownKind::Drift, "typed as drift corruption")
+            }
+        }
     }
 }

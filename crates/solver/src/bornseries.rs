@@ -31,10 +31,11 @@
 //! at every panel width and thread count.
 
 use crate::backend::{BackendError, ForwardBackend, KAPPA_LIMIT};
-use crate::block::apply_cols;
+use crate::block::{apply_cols, residual_drift};
 use crate::forward::{AdjointScatteringOp, ScatteringOp};
 use crate::krylov::{IterConfig, SolveStats};
 use crate::op::BlockLinOp;
+use crate::verify::DriftGuard;
 use ffw_numerics::vecops::norm2;
 use ffw_numerics::{c64, C64};
 
@@ -64,6 +65,7 @@ pub struct BornSeriesBackend<'a, G: BlockLinOp + ?Sized> {
     object: &'a [C64],
     gamma: C64,
     kappa: f64,
+    guard: Option<&'a DriftGuard>,
 }
 
 impl<'a, G: BlockLinOp + ?Sized> BornSeriesBackend<'a, G> {
@@ -87,7 +89,17 @@ impl<'a, G: BlockLinOp + ?Sized> BornSeriesBackend<'a, G> {
             object,
             gamma: choose_gamma(kappa),
             kappa,
+            guard: None,
         })
+    }
+
+    /// Attaches a [`DriftGuard`]: every solve audits the recursive residual
+    /// against the true `b - A x` every [`DriftGuard::period`] steps and at
+    /// every would-be convergence, rolling back to the last verified iterate
+    /// on divergence. Clean-run trajectories are unchanged bit-for-bit.
+    pub fn with_guard(mut self, guard: &'a DriftGuard) -> Self {
+        self.guard = Some(guard);
+        self
     }
 
     /// The admitted contraction bound `||G0|| * max|O|` (< [`KAPPA_LIMIT`]).
@@ -108,7 +120,7 @@ impl<G: BlockLinOp + ?Sized> ForwardBackend for BornSeriesBackend<'_, G> {
     fn solve(&self, b: &[C64], x: &mut [C64], cfg: IterConfig) -> SolveStats {
         let a = ScatteringOp::new(self.g0, self.object);
         let mut xs = vec![x.to_vec()];
-        let stats = richardson_block(&a, self.gamma, &[b], &mut xs, cfg);
+        let stats = richardson_impl(&a, self.gamma, &[b], &mut xs, cfg, self.guard);
         x.copy_from_slice(&xs[0]);
         stats.into_iter().next().expect("one column")
     }
@@ -117,13 +129,13 @@ impl<G: BlockLinOp + ?Sized> ForwardBackend for BornSeriesBackend<'_, G> {
         // (I - gamma' A^H)^H = I - conj(gamma') A: taking gamma' = conj(gamma)
         // gives the adjoint sweep the same contraction norm as the forward one.
         let mut xs = vec![x.to_vec()];
-        let stats = richardson_block(&a, self.gamma.conj(), &[b], &mut xs, cfg);
+        let stats = richardson_impl(&a, self.gamma.conj(), &[b], &mut xs, cfg, self.guard);
         x.copy_from_slice(&xs[0]);
         stats.into_iter().next().expect("one column")
     }
     fn solve_block(&self, bs: &[&[C64]], xs: &mut [Vec<C64>], cfg: IterConfig) -> Vec<SolveStats> {
         let a = ScatteringOp::new(self.g0, self.object);
-        richardson_block(&a, self.gamma, bs, xs, cfg)
+        richardson_impl(&a, self.gamma, bs, xs, cfg, self.guard)
     }
     fn solve_adjoint_block(
         &self,
@@ -132,8 +144,19 @@ impl<G: BlockLinOp + ?Sized> ForwardBackend for BornSeriesBackend<'_, G> {
         cfg: IterConfig,
     ) -> Vec<SolveStats> {
         let a = AdjointScatteringOp::new(self.g0, self.object);
-        richardson_block(&a, self.gamma.conj(), bs, xs, cfg)
+        richardson_impl(&a, self.gamma.conj(), bs, xs, cfg, self.guard)
     }
+}
+
+/// Drift-guard snapshot for the Richardson recurrence: the full per-column
+/// state is `(x, r)` plus the scalars needed to freeze honestly after a
+/// rollback. Every snapshot is a top-of-loop state.
+struct BornSnap {
+    x: Vec<C64>,
+    r: Vec<C64>,
+    res: f64,
+    iters: usize,
+    matvecs: usize,
 }
 
 /// Lockstep relaxed-Richardson iteration over a panel of right-hand sides,
@@ -145,13 +168,18 @@ impl<G: BlockLinOp + ?Sized> ForwardBackend for BornSeriesBackend<'_, G> {
 /// is bit-identical to a width-1 solve of that column alone. Stats follow
 /// the workspace-wide meaning: `iterations` counts update steps reflected
 /// in the returned iterate, `matvecs` counts operator applies (one up-front
-/// residual apply plus one per iteration).
-pub(crate) fn richardson_block<A: BlockLinOp + ?Sized>(
+/// residual apply plus one per iteration), `verify_matvecs` counts drift
+/// audits plus rollback-discarded applies, `rolled_back` counts discarded
+/// update steps. With a [`DriftGuard`] attached, the iteration audits the
+/// recursive residual against the true `b - A x` every `period` steps and
+/// at every would-be convergence; a clean run's trajectory is unchanged.
+fn richardson_impl<A: BlockLinOp + ?Sized>(
     a: &A,
     gamma: C64,
     bs: &[&[C64]],
     xs: &mut [Vec<C64>],
     cfg: IterConfig,
+    guard: Option<&DriftGuard>,
 ) -> Vec<SolveStats> {
     let nb = bs.len();
     assert_eq!(xs.len(), nb, "solution block width mismatch");
@@ -173,9 +201,13 @@ pub(crate) fn richardson_block<A: BlockLinOp + ?Sized>(
     let mut b_norm = vec![0.0f64; nb];
     let mut iters = vec![0usize; nb];
     let mut matvecs = vec![0usize; nb];
+    let mut verify_mv = vec![0usize; nb];
+    let mut rolled = vec![0usize; nb];
+    let mut rollbacks = vec![0u32; nb];
     let mut res = vec![0.0f64; nb];
     let mut r: Vec<Vec<C64>> = vec![vec![C64::ZERO; n]; nb];
     let mut ar: Vec<Vec<C64>> = vec![vec![C64::ZERO; n]; nb];
+    let mut snaps: Vec<Option<BornSnap>> = (0..nb).map(|_| None).collect();
 
     // Zero right-hand sides are solved exactly by x = 0 (scalar semantics,
     // shared with the Krylov backend).
@@ -185,6 +217,8 @@ pub(crate) fn richardson_block<A: BlockLinOp + ?Sized>(
         if b_norm[c] == 0.0 {
             xs[c].iter_mut().for_each(|v| *v = C64::ZERO);
             stats[c] = Some(SolveStats {
+                verify_matvecs: 0,
+                rolled_back: 0,
                 iterations: 0,
                 matvecs: 0,
                 rel_residual: 0.0,
@@ -210,6 +244,8 @@ pub(crate) fn richardson_block<A: BlockLinOp + ?Sized>(
                 &format!("born column {c}: initial residual is not finite"),
             );
             stats[c] = Some(SolveStats {
+                verify_matvecs: 0,
+                rolled_back: 0,
                 iterations: 0,
                 matvecs: matvecs[c],
                 rel_residual: f64::NAN,
@@ -220,12 +256,25 @@ pub(crate) fn richardson_block<A: BlockLinOp + ?Sized>(
         ffw_obs::series_push("solver.born.residual", res[c]);
         if res[c] < cfg.tol {
             stats[c] = Some(SolveStats {
+                verify_matvecs: 0,
+                rolled_back: 0,
                 iterations: 0,
                 matvecs: matvecs[c],
                 rel_residual: res[c],
                 converged: true,
             });
             continue;
+        }
+        if guard.is_some() {
+            // Baseline snapshot: the residual above *is* the true residual
+            // by construction, so this state is verified for free.
+            snaps[c] = Some(BornSnap {
+                x: xs[c].clone(),
+                r: r[c].clone(),
+                res: res[c],
+                iters: iters[c],
+                matvecs: matvecs[c],
+            });
         }
         active.push(c);
     }
@@ -236,6 +285,8 @@ pub(crate) fn richardson_block<A: BlockLinOp + ?Sized>(
         for &c in &active {
             if iters[c] >= cfg.max_iters {
                 stats[c] = Some(SolveStats {
+                    verify_matvecs: verify_mv[c],
+                    rolled_back: rolled[c],
                     iterations: iters[c],
                     matvecs: matvecs[c],
                     rel_residual: res[c],
@@ -275,6 +326,8 @@ pub(crate) fn richardson_block<A: BlockLinOp + ?Sized>(
                     ),
                 );
                 stats[c] = Some(SolveStats {
+                    verify_matvecs: verify_mv[c],
+                    rolled_back: rolled[c],
                     iterations: iters[c],
                     matvecs: matvecs[c],
                     rel_residual: res[c],
@@ -284,8 +337,63 @@ pub(crate) fn richardson_block<A: BlockLinOp + ?Sized>(
             }
             res[c] = res_new;
             ffw_obs::series_push("solver.born.residual", res_new);
-            if res_new < cfg.tol {
+            let converging = res_new < cfg.tol;
+            if let Some(g) = guard {
+                // Audit at every would-be convergence, plus every `period`
+                // accepted steps. On pass the audit only refreshes the
+                // snapshot — the trajectory stays bit-identical to the
+                // unguarded run.
+                if converging || iters[c].is_multiple_of(g.period) {
+                    let drift = residual_drift(a, bs[c], &xs[c], &r[c], b_norm[c]);
+                    verify_mv[c] += 1;
+                    if drift > g.rel_tol {
+                        g.record_detected();
+                        let snap = snaps[c].as_ref().expect("guarded column has snapshot");
+                        verify_mv[c] += matvecs[c] - snap.matvecs;
+                        matvecs[c] = snap.matvecs;
+                        rolled[c] += iters[c] - snap.iters;
+                        xs[c].copy_from_slice(&snap.x);
+                        r[c].copy_from_slice(&snap.r);
+                        res[c] = snap.res;
+                        iters[c] = snap.iters;
+                        if rollbacks[c] < g.max_rollbacks {
+                            rollbacks[c] += 1;
+                            g.record_rollback((rolled[c]) as u64);
+                            // Replay from the restored top-of-loop state.
+                            still_active.push(c);
+                        } else {
+                            g.record_escalated();
+                            ffw_obs::event(
+                                "solver.breakdown",
+                                &format!(
+                                    "born column {c}: residual drift persists after                                      {} rollback(s); surfacing unconverged",
+                                    g.max_rollbacks
+                                ),
+                            );
+                            stats[c] = Some(SolveStats {
+                                verify_matvecs: verify_mv[c],
+                                rolled_back: rolled[c],
+                                iterations: iters[c],
+                                matvecs: matvecs[c],
+                                rel_residual: res[c],
+                                converged: false,
+                            });
+                        }
+                        continue;
+                    }
+                    snaps[c] = Some(BornSnap {
+                        x: xs[c].clone(),
+                        r: r[c].clone(),
+                        res: res[c],
+                        iters: iters[c],
+                        matvecs: matvecs[c],
+                    });
+                }
+            }
+            if converging {
                 stats[c] = Some(SolveStats {
+                    verify_matvecs: verify_mv[c],
+                    rolled_back: rolled[c],
                     iterations: iters[c],
                     matvecs: matvecs[c],
                     rel_residual: res_new,
@@ -501,5 +609,119 @@ mod tests {
         let backend = BornSeriesBackend::new(&g0, &object, g0_norm).expect("admissible");
         let stats = backend.solve_block(&[], &mut [], IterConfig::default());
         assert!(stats.is_empty());
+    }
+
+    #[test]
+    fn guarded_clean_run_is_bit_identical_and_audited() {
+        // Drift audits only read the recurrence, so a fault-free guarded
+        // sweep reproduces the unguarded trajectory bit-for-bit while
+        // charging its audit applies to `verify_matvecs`.
+        let n = 26;
+        let (g0, object, g0_norm) = admissible_problem(n, 71);
+        let cfg = IterConfig {
+            tol: 1e-10,
+            max_iters: 400,
+        };
+        let bs: Vec<Vec<C64>> = (0..3).map(|i| random_vec(n, 200 + i)).collect();
+        let b_refs: Vec<&[C64]> = bs.iter().map(|b| b.as_slice()).collect();
+        let plain_backend = BornSeriesBackend::new(&g0, &object, g0_norm).expect("admissible");
+        let mut xs_plain = vec![vec![C64::ZERO; n]; 3];
+        let plain = plain_backend.solve_block(&b_refs, &mut xs_plain, cfg);
+        let guard = crate::verify::DriftGuard::new(8, 1e-8, 2);
+        let guarded_backend = BornSeriesBackend::new(&g0, &object, g0_norm)
+            .expect("admissible")
+            .with_guard(&guard);
+        let mut xs_guarded = vec![vec![C64::ZERO; n]; 3];
+        let guarded = guarded_backend.solve_block(&b_refs, &mut xs_guarded, cfg);
+        assert_eq!(guard.detected(), 0, "clean run must not trip the guard");
+        for c in 0..3 {
+            assert_eq!(xs_guarded[c], xs_plain[c], "column {c} iterate");
+            assert_eq!(guarded[c].iterations, plain[c].iterations);
+            assert_eq!(guarded[c].matvecs, plain[c].matvecs);
+            assert_eq!(guarded[c].rel_residual, plain[c].rel_residual);
+            assert!(guarded[c].converged);
+            assert!(guarded[c].verify_matvecs > 0, "column {c} was audited");
+            assert_eq!(guarded[c].rolled_back, 0);
+        }
+    }
+
+    #[test]
+    fn transient_corruption_rolls_back_to_a_bit_identical_solve() {
+        // One G0 apply returns a wildly wrong vector; all others are clean.
+        // The guard detects the drift at the next audit, rolls back to the
+        // last verified snapshot, and the replay lands on the exact iterate
+        // of a fully clean solve.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let n = 22;
+        let (g0, object, g0_norm) = admissible_problem(n, 81);
+        let cfg = IterConfig {
+            tol: 1e-10,
+            max_iters: 400,
+        };
+        let b = random_vec(n, 210);
+        let clean_backend = BornSeriesBackend::new(&g0, &object, g0_norm).expect("admissible");
+        let mut x_clean = vec![C64::ZERO; n];
+        let clean = clean_backend.solve(&b, &mut x_clean, cfg);
+        assert!(clean.converged);
+
+        let calls = AtomicUsize::new(0);
+        let corrupting = crate::op::FnOp::new(n, n, |v: &[C64], out: &mut [C64]| {
+            g0.apply(v, out);
+            if calls.fetch_add(1, Ordering::Relaxed) + 1 == 3 {
+                out[0] += c64(60.0, -45.0);
+            }
+        });
+        let guard = crate::verify::DriftGuard::new(4, 1e-8, 3);
+        let backend = BornSeriesBackend::new(&corrupting, &object, g0_norm)
+            .expect("admissible")
+            .with_guard(&guard);
+        let mut x = vec![C64::ZERO; n];
+        let stats = backend.solve(&b, &mut x, cfg);
+        assert!(guard.detected() >= 1, "corruption must be detected");
+        assert_eq!(guard.escalated(), 0, "transient fault must recover");
+        assert!(stats.converged, "{stats:?}");
+        assert!(stats.rolled_back >= 1);
+        assert_eq!(
+            x, x_clean,
+            "recovered solve must match the clean solve bit-for-bit"
+        );
+        assert_eq!(stats.iterations, clean.iterations);
+        assert_eq!(stats.matvecs, clean.matvecs);
+    }
+
+    #[test]
+    fn persistent_corruption_escalates_instead_of_converging() {
+        // Call-dependent garbage on every G0 apply after the initial
+        // residual: no consistent operator explains the recurrence, every
+        // replay re-detects, and the guard escalates once the rollback
+        // budget is spent — the solve surfaces unconverged, never wrong.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let n = 18;
+        let (g0, object, g0_norm) = admissible_problem(n, 91);
+        let cfg = IterConfig {
+            tol: 1e-10,
+            max_iters: 200,
+        };
+        let b = random_vec(n, 220);
+        let calls = AtomicUsize::new(0);
+        let corrupting = crate::op::FnOp::new(n, n, |v: &[C64], out: &mut [C64]| {
+            g0.apply(v, out);
+            let k = calls.fetch_add(1, Ordering::Relaxed) + 1;
+            if k >= 2 {
+                out[0] += c64(5.0 + k as f64, -(k as f64));
+            }
+        });
+        let guard = crate::verify::DriftGuard::new(4, 1e-8, 2);
+        let backend = BornSeriesBackend::new(&corrupting, &object, g0_norm)
+            .expect("admissible")
+            .with_guard(&guard);
+        let mut x = vec![C64::ZERO; n];
+        let stats = backend.solve(&b, &mut x, cfg);
+        assert_eq!(guard.escalated(), 1, "budget exhausted must escalate");
+        assert!(!stats.converged, "never report convergence: {stats:?}");
+        assert!(
+            x.iter().all(|v| v.re.is_finite() && v.im.is_finite()),
+            "escalated solve freezes at the last verified iterate"
+        );
     }
 }

@@ -59,6 +59,8 @@ fn gmres_guarded_inner<A: LinOp + ?Sized>(
         x.iter_mut().for_each(|v| *v = C64::ZERO);
         return (
             SolveStats {
+                verify_matvecs: 0,
+                rolled_back: 0,
                 iterations: 0,
                 matvecs: 0,
                 rel_residual: 0.0,
@@ -90,6 +92,8 @@ fn gmres_guarded_inner<A: LinOp + ?Sized>(
         if res < cfg.tol {
             return (
                 SolveStats {
+                    verify_matvecs: 0,
+                    rolled_back: 0,
                     iterations: total_iters,
                     matvecs,
                     rel_residual: res,
@@ -186,6 +190,8 @@ fn gmres_guarded_inner<A: LinOp + ?Sized>(
         if res < cfg.tol {
             return (
                 SolveStats {
+                    verify_matvecs: 0,
+                    rolled_back: 0,
                     iterations: total_iters,
                     matvecs,
                     rel_residual: res,
@@ -197,6 +203,8 @@ fn gmres_guarded_inner<A: LinOp + ?Sized>(
     }
     (
         SolveStats {
+            verify_matvecs: 0,
+            rolled_back: 0,
             iterations: total_iters,
             matvecs,
             rel_residual: res,
@@ -256,6 +264,8 @@ pub fn gmres_checked<A: LinOp + ?Sized>(
     }
     let (second, broke2) = gmres_guarded(a, b, x, restart, remaining);
     let stats = SolveStats {
+        verify_matvecs: 0,
+        rolled_back: 0,
         iterations: first.iterations + second.iterations,
         matvecs: first.matvecs + second.matvecs,
         rel_residual: second.rel_residual,

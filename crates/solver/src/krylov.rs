@@ -22,14 +22,29 @@ use std::fmt;
 ///   BiCGStab phase-3 update restores the pre-step `x`) is not counted:
 ///   re-running the same solve with `max_iters` set to the reported count
 ///   reproduces the returned iterate bit-for-bit.
-/// - `matvecs` counts operator applications actually performed, including
-///   ones whose step was rolled back.
+/// - `matvecs` counts operator applications whose step survived into the
+///   returned trajectory (a single non-finite phase-3 rollback keeps its
+///   applies here, matching the historical accounting the BENCH iteration
+///   gates pin).
+/// - `verify_matvecs` counts operator applications spent on compute
+///   integrity instead: drift-guard true-residual audits, plus the applies
+///   of iterations a [`crate::DriftGuard`] rollback discarded. Keeping them
+///   out of `matvecs` preserves the per-solver `matvecs`/`iterations`
+///   invariants (e.g. BiCGStab's `2 i + 1`) that the BENCH gates rely on.
+/// - `rolled_back` counts update steps discarded by drift-guard rollbacks
+///   (they are also absent from `iterations`).
 #[derive(Clone, Debug, PartialEq)]
 pub struct SolveStats {
     /// Update steps reflected in the returned iterate (see type docs).
     pub iterations: usize,
-    /// Operator applications (matvecs) performed.
+    /// Operator applications (matvecs) performed for the returned
+    /// trajectory.
     pub matvecs: usize,
+    /// Operator applications spent on integrity verification and on
+    /// rolled-back trajectory segments (see type docs).
+    pub verify_matvecs: usize,
+    /// Update steps discarded by drift-guard rollbacks.
+    pub rolled_back: usize,
     /// Final relative residual norm `||b - A x|| / ||b||`.
     pub rel_residual: f64,
     /// Whether the tolerance was reached.
@@ -45,6 +60,11 @@ pub enum BreakdownKind {
     /// The iterate or residual became NaN/Inf (division by a vanishing
     /// inner product, singular operator, overflow).
     NonFinite,
+    /// A [`crate::DriftGuard`] audit found the recursive residual diverged
+    /// from the true residual `b - A x` and the rollback budget could not
+    /// repair it — suspected compute corruption, surfaced instead of a
+    /// silently wrong convergence.
+    Drift,
 }
 
 impl fmt::Display for BreakdownKind {
@@ -52,6 +72,9 @@ impl fmt::Display for BreakdownKind {
         match self {
             BreakdownKind::RhoZero => f.write_str("rho underflow"),
             BreakdownKind::NonFinite => f.write_str("non-finite residual"),
+            BreakdownKind::Drift => {
+                f.write_str("unresolved residual drift (suspected compute corruption)")
+            }
         }
     }
 }
@@ -280,6 +303,8 @@ fn bicgstab_impl_inner<A: LinOp + ?Sized>(
     if b_norm == 0.0 {
         x.iter_mut().for_each(|v| *v = C64::ZERO);
         return Ok(SolveStats {
+            verify_matvecs: 0,
+            rolled_back: 0,
             iterations: 0,
             matvecs: 0,
             rel_residual: 0.0,
@@ -293,6 +318,8 @@ fn bicgstab_impl_inner<A: LinOp + ?Sized>(
         match bicgstab_cycle(a, b, x, cfg, b_norm, &mut iters, &mut matvecs) {
             CycleEnd::Converged(res) => {
                 return Ok(SolveStats {
+                    verify_matvecs: 0,
+                    rolled_back: 0,
                     iterations: iters,
                     matvecs,
                     rel_residual: res,
@@ -301,6 +328,8 @@ fn bicgstab_impl_inner<A: LinOp + ?Sized>(
             }
             CycleEnd::MaxIters(res) => {
                 return Ok(SolveStats {
+                    verify_matvecs: 0,
+                    rolled_back: 0,
                     iterations: iters,
                     matvecs,
                     rel_residual: res,
@@ -350,6 +379,8 @@ pub fn bicgstab<A: LinOp + ?Sized>(a: &A, b: &[C64], x: &mut [C64], cfg: IterCon
             rel_residual,
             ..
         }) => SolveStats {
+            verify_matvecs: 0,
+            rolled_back: 0,
             iterations,
             matvecs,
             rel_residual,
@@ -380,6 +411,8 @@ pub fn cg<A: LinOp + ?Sized>(a: &A, b: &[C64], x: &mut [C64], cfg: IterConfig) -
     if b_norm == 0.0 {
         x.iter_mut().for_each(|v| *v = C64::ZERO);
         return SolveStats {
+            verify_matvecs: 0,
+            rolled_back: 0,
             iterations: 0,
             matvecs: 0,
             rel_residual: 0.0,
@@ -398,6 +431,8 @@ pub fn cg<A: LinOp + ?Sized>(a: &A, b: &[C64], x: &mut [C64], cfg: IterConfig) -
     for iter in 1..=cfg.max_iters {
         if res < cfg.tol {
             return SolveStats {
+                verify_matvecs: 0,
+                rolled_back: 0,
                 iterations: iter - 1,
                 matvecs,
                 rel_residual: res,
@@ -420,6 +455,8 @@ pub fn cg<A: LinOp + ?Sized>(a: &A, b: &[C64], x: &mut [C64], cfg: IterConfig) -
         res = rs.re.sqrt() / b_norm;
     }
     SolveStats {
+        verify_matvecs: 0,
+        rolled_back: 0,
         iterations: cfg.max_iters,
         matvecs,
         rel_residual: res,

@@ -50,6 +50,8 @@ pub fn bicgstab_precond<A: LinOp + ?Sized, M: Precond + ?Sized>(
     if b_norm == 0.0 {
         x.iter_mut().for_each(|v| *v = C64::ZERO);
         return SolveStats {
+            verify_matvecs: 0,
+            rolled_back: 0,
             iterations: 0,
             matvecs: 0,
             rel_residual: 0.0,
@@ -74,6 +76,8 @@ pub fn bicgstab_precond<A: LinOp + ?Sized, M: Precond + ?Sized>(
     let mut res = norm2(&r) / b_norm;
     if res < cfg.tol {
         return SolveStats {
+            verify_matvecs: 0,
+            rolled_back: 0,
             iterations: 0,
             matvecs,
             rel_residual: res,
@@ -84,6 +88,8 @@ pub fn bicgstab_precond<A: LinOp + ?Sized, M: Precond + ?Sized>(
         let rho_new = zdotc(&r_hat, &r);
         if rho_new.abs() < 1e-300 {
             return SolveStats {
+                verify_matvecs: 0,
+                rolled_back: 0,
                 iterations: iter - 1,
                 matvecs,
                 rel_residual: res,
@@ -106,6 +112,8 @@ pub fn bicgstab_precond<A: LinOp + ?Sized, M: Precond + ?Sized>(
                 x[i] += alpha * p_hat[i];
             }
             return SolveStats {
+                verify_matvecs: 0,
+                rolled_back: 0,
                 iterations: iter,
                 matvecs,
                 rel_residual: norm2(&s) / b_norm,
@@ -123,6 +131,8 @@ pub fn bicgstab_precond<A: LinOp + ?Sized, M: Precond + ?Sized>(
         res = norm2(&r) / b_norm;
         if res < cfg.tol {
             return SolveStats {
+                verify_matvecs: 0,
+                rolled_back: 0,
                 iterations: iter,
                 matvecs,
                 rel_residual: res,
@@ -132,6 +142,8 @@ pub fn bicgstab_precond<A: LinOp + ?Sized, M: Precond + ?Sized>(
         rho = rho_new;
     }
     SolveStats {
+        verify_matvecs: 0,
+        rolled_back: 0,
         iterations: cfg.max_iters,
         matvecs,
         rel_residual: res,
