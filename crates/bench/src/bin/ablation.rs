@@ -9,7 +9,7 @@
 
 use ffw_bench::{print_table, write_json, Args};
 use ffw_geometry::Point2;
-use ffw_inverse::{add_noise, DbimConfig};
+use ffw_inverse::{add_noise, DbimConfig, Regularizer};
 use ffw_obs::Stopwatch;
 use ffw_phantom::{image_rel_error, Annulus, Phantom};
 use ffw_solver::IterConfig;
@@ -144,7 +144,9 @@ fn main() {
         ("noisy, Tikhonov 1e-6 rel", 1e-6),
     ] {
         let cfg = DbimConfig {
-            tikhonov: lam_rel * data_norm2,
+            regularizer: Regularizer::Tikhonov {
+                lambda: lam_rel * data_norm2,
+            },
             ..base.clone()
         };
         let result = recon.run_dbim_with(&noisy, &cfg).expect("dbim");

@@ -17,7 +17,7 @@ use ffw_phantom::{image_rel_error, Annulus, Cylinder, Phantom, RandomBlobs, Shep
 use ffw_solver::{BackendChoice, VerifyConfig};
 use ffw_tomo::exit::{exit_code_for, EXIT_BREAKDOWN, EXIT_BUDGET, EXIT_INTERRUPTED};
 use ffw_tomo::viz::write_pgm;
-use ffw_tomo::{Reconstruction, SceneConfig};
+use ffw_tomo::{HopPipeline, HopSchedule, Reconstruction, Regularizer, SceneConfig};
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -35,6 +35,8 @@ struct Cli {
     positivity: bool,
     batch: Option<usize>,
     backend: BackendChoice,
+    hops: Option<HopSchedule>,
+    regularizer: Regularizer,
     out: Option<String>,
     groups: Option<usize>,
     subtree: usize,
@@ -121,15 +123,80 @@ fn validate(cli: &Cli) -> Result<(), String> {
             ));
         }
     } else {
-        for (set, flag) in [
-            (cli.checkpoint.is_some(), "--checkpoint"),
-            (cli.resume, "--resume"),
-            (cli.chaos_seed.is_some(), "--chaos-seed"),
-        ] {
-            if set {
-                return Err(format!("{flag} requires --groups (distributed mode)"));
+        if cli.chaos_seed.is_some() {
+            return Err("--chaos-seed requires --groups (distributed mode)".into());
+        }
+        if cli.hops.is_none() {
+            for (set, flag) in [
+                (cli.checkpoint.is_some(), "--checkpoint"),
+                (cli.resume, "--resume"),
+            ] {
+                if set {
+                    return Err(format!(
+                        "{flag} requires --groups (distributed mode) or --hops \
+                         (hop-boundary checkpoints)"
+                    ));
+                }
             }
         }
+    }
+    if let Some(schedule) = &cli.hops {
+        if cli.born {
+            return Err(
+                "--hops cannot be combined with --born (the hop carry is a DBIM \
+                 initial guess; the linear Born baseline takes none)"
+                    .into(),
+            );
+        }
+        if cli.groups.is_some() {
+            return Err(
+                "--hops cannot be combined with --groups (hop schedules run the \
+                 serial driver; distributed mode has its own outer-iteration \
+                 checkpoints)"
+                    .into(),
+            );
+        }
+        if cli.iterations < schedule.len() {
+            return Err(format!(
+                "--iterations {} is less than the {} hop stages (every stage \
+                 needs at least one DBIM iteration)",
+                cli.iterations,
+                schedule.len()
+            ));
+        }
+        if cli.precondition {
+            return Err(
+                "--hops cannot be combined with --precondition (the leaf-block \
+                 Jacobi factorization is bound to one frequency's plan)"
+                    .into(),
+            );
+        }
+    }
+    if cli.resume && cli.checkpoint.is_none() {
+        return Err("--resume requires --checkpoint (the path to resume from)".into());
+    }
+    if cli.regularizer != Regularizer::default() {
+        if cli.born {
+            return Err(
+                "--regularizer has no effect on --born (the linear Born baseline \
+                 has its own truncated-SVD regularization)"
+                    .into(),
+            );
+        }
+        if cli.groups.is_some() {
+            return Err(
+                "--regularizer is not supported in distributed mode (--groups); \
+                 the fault-tolerant pipeline runs the plain linear step"
+                    .into(),
+            );
+        }
+    }
+    if matches!(cli.regularizer, Regularizer::WgcvLsqr { .. }) && cli.precondition {
+        return Err(
+            "--regularizer wgcv-lsqr cannot be combined with --precondition (the \
+             hybrid-projection step builds its own Krylov basis)"
+                .into(),
+        );
     }
     if cli.chaos_compute.is_some() {
         if cli.born {
@@ -172,6 +239,8 @@ fn parse_args() -> Result<Cli, String> {
         positivity: false,
         batch: None,
         backend: BackendChoice::default(),
+        hops: None,
+        regularizer: Regularizer::default(),
         out: None,
         groups: None,
         subtree: 2,
@@ -213,6 +282,14 @@ fn parse_args() -> Result<Cli, String> {
             "--positivity" => cli.positivity = true,
             "--batch" => cli.batch = Some(val("--batch")?.parse().map_err(|e| format!("{e}"))?),
             "--backend" => cli.backend = val("--backend")?.parse()?,
+            "--hops" => {
+                cli.hops = Some(val("--hops")?.parse().map_err(|e| format!("--hops: {e}"))?)
+            }
+            "--regularizer" => {
+                cli.regularizer = val("--regularizer")?
+                    .parse()
+                    .map_err(|e| format!("--regularizer: {e}"))?
+            }
             "--out" => cli.out = Some(val("--out")?),
             "--groups" => cli.groups = Some(val("--groups")?.parse().map_err(|e| format!("{e}"))?),
             "--subtree" => cli.subtree = val("--subtree")?.parse().map_err(|e| format!("{e}"))?,
@@ -249,11 +326,34 @@ fn parse_args() -> Result<Cli, String> {
                      [--phantom cylinder|annulus|shepp-logan|blobs] [--contrast C] \
                      [--iterations K] [--noise-db D] [--arc-deg A] [--born] \
                      [--precondition] [--positivity] [--batch B] \
-                     [--backend bicgstab|born-series] [--out PREFIX] \
-                     [--groups G [--subtree P] [--checkpoint PATH] [--resume] \
-                     [--chaos-seed S] [--max-restarts N] [--min-groups M]] \
+                     [--backend bicgstab|born-series] [--hops F1,F2,...,1.0] \
+                     [--regularizer SPEC] [--out PREFIX] \
+                     [--groups G [--subtree P] [--chaos-seed S] \
+                     [--max-restarts N] [--min-groups M]] \
+                     [--checkpoint PATH] [--resume] \
                      [--verify-compute on|off] [--chaos-compute S] \
                      [--metrics PATH] [--profile]\n\n\
+                     --hops runs the frequency-hopping (multi-frequency) DBIM: \
+                     a comma-separated list of wavelength factors, strictly \
+                     descending and ending at 1.0 (e.g. \"2.0,1.5,1.0\" halves \
+                     the frequency, then 1.5x wavelength, then the scene \
+                     frequency). All stages share one pixel grid; each stage's \
+                     reconstruction seeds the next (rescaled by the wavenumber \
+                     ratio). --iterations is the total budget, split across \
+                     stages with the remainder on the later, higher-resolution \
+                     stages. --checkpoint/--resume save and restore at hop \
+                     boundaries. Not compatible with --born, --groups, or \
+                     --precondition.\n\n\
+                     --regularizer selects the DBIM linear-step regularizer: \
+                     'tikhonov[:lambda]' (default, lambda 0 = unregularized), \
+                     'smoothness[:lambda]' (seeded spatial prior penalizing the \
+                     image Laplacian, lambda relative to the measured data \
+                     power), or 'wgcv-lsqr[:steps[:omega]]' (hybrid-projection \
+                     LSQR with automatic weighted-GCV lambda selection on a \
+                     projected bidiagonal problem; steps = Golub-Kahan \
+                     dimension, default 4; omega in (0, 1.5], default 0.8). \
+                     Serial and --hops modes only; wgcv-lsqr is incompatible \
+                     with --precondition.\n\n\
                      --batch B solves B transmitter systems per fused multi-RHS \
                      MLFMA traversal (1 <= B <= --tx; default min(tx, 8)); every \
                      batch width gives the bit-identical reconstruction. Not \
@@ -351,7 +451,19 @@ fn main() {
         scene = scene.with_arc(-span / 2.0, span);
     }
     let setup_span = ffw_obs::span("setup");
-    let recon = Reconstruction::new(&scene);
+    // Hop mode builds one pipeline per frequency stage (shared pool and
+    // pixel grid); the factor-1.0 stage doubles as the imaging pipeline.
+    let hop = cli.hops.as_ref().map(|s| HopPipeline::new(&scene, s));
+    let recon_single = if hop.is_none() {
+        Some(Reconstruction::new(&scene))
+    } else {
+        None
+    };
+    let recon: &Reconstruction = hop
+        .as_ref()
+        .map(HopPipeline::final_stage)
+        .or(recon_single.as_ref())
+        .expect("one of the pipelines is always built");
     drop(setup_span);
     let phantom = build_phantom(&cli, recon.domain().side());
     let truth_raster = phantom.rasterize(recon.domain());
@@ -365,15 +477,98 @@ fn main() {
         cli.phantom,
         cli.contrast
     );
-    let synth_span = ffw_obs::span("synthesize");
-    let mut measured = recon.synthesize(phantom.as_ref());
-    drop(synth_span);
-    if let Some(db) = cli.noise_db {
-        add_noise(&mut measured, db, 1);
-        println!("added {db} dB SNR noise");
+    let mut measured = Vec::new();
+    if hop.is_none() {
+        let synth_span = ffw_obs::span("synthesize");
+        measured = recon.synthesize(phantom.as_ref());
+        drop(synth_span);
+        if let Some(db) = cli.noise_db {
+            add_noise(&mut measured, db, 1);
+            println!("added {db} dB SNR noise");
+        }
     }
 
-    let (image, label) = if cli.born {
+    let (image, label) = if let Some(h) = &hop {
+        // Frequency-hopping DBIM: per-stage measurement synthesis, the hop
+        // carry between stages, checkpoint/resume at hop boundaries, and a
+        // cooperative SIGTERM stop between stages (exit code 5).
+        let synth_span = ffw_obs::span("synthesize");
+        let mut staged = h.synthesize(phantom.as_ref());
+        drop(synth_span);
+        if let Some(db) = cli.noise_db {
+            HopPipeline::add_noise(&mut staged, db, 1);
+            println!("added {db} dB SNR noise (independent per-stage streams)");
+        }
+        ffw_fault::install_shutdown_handler();
+        let cfg = DbimConfig {
+            positivity: cli.positivity,
+            batch: cli.batch,
+            backend: cli.backend,
+            regularizer: cli.regularizer,
+            verify: cli
+                .verify_compute
+                .then(|| VerifyConfig::with_rel_tol(recon.plan.accuracy.checksum_rel_tol())),
+            ..Default::default()
+        };
+        let fingerprint = h.fingerprint(&scene, cli.iterations);
+        let stop = ffw_fault::shutdown_requested;
+        let result = match h.run(
+            &staged,
+            cli.iterations,
+            &cfg,
+            cli.checkpoint.clone(),
+            cli.resume,
+            fingerprint,
+            Some(&stop),
+        ) {
+            Ok(r) => r,
+            Err(ffw_tomo::HopError::Dbim(e @ DbimError::Backend(_))) => {
+                eprintln!("hop stage failed: {e}");
+                std::process::exit(EXIT_BREAKDOWN);
+            }
+            Err(ffw_tomo::HopError::Dbim(e @ DbimError::ComputeCorruption(_))) => {
+                eprintln!("hop stage aborted: {e}");
+                std::process::exit(EXIT_BUDGET);
+            }
+            Err(e @ ffw_tomo::HopError::Checkpoint(_)) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        };
+        if let Some(stage) = result.interrupted {
+            eprintln!(
+                "interrupted: stopped before hop stage {stage} with every \
+                 completed stage checkpointed{}; rerun with --resume to \
+                 continue bit-identically",
+                match &cli.checkpoint {
+                    Some(p) => format!(" to {}", p.display()),
+                    None => String::new(),
+                }
+            );
+            std::process::exit(EXIT_INTERRUPTED);
+        }
+        println!(
+            "hop DBIM ({} stages: {}; {} resumed): final residual {:.3}%",
+            result.completed,
+            h.schedule(),
+            result.resumed,
+            100.0 * result.stages.last().map_or(f64::NAN, |s| s.final_residual)
+        );
+        for (stage, r) in result.stages.iter().enumerate() {
+            let lambda = r
+                .lambdas
+                .last()
+                .map(|l| format!(", lambda {l:.3e}"))
+                .unwrap_or_default();
+            println!(
+                "  stage {}: residual {:.3}%, {} forward solves{lambda}",
+                result.resumed + stage,
+                100.0 * r.final_residual,
+                r.forward_solves
+            );
+        }
+        (recon.image(&result.object), "DBIM (hop)")
+    } else if cli.born {
         let result = recon.run_born(&measured, &BornConfig::default());
         println!("Born (single scattering): {:?}", result.stats);
         (recon.image(&result.object), "Born")
@@ -444,6 +639,7 @@ fn main() {
             precondition: cli.precondition.then(|| Arc::clone(&recon.plan)),
             batch: cli.batch,
             backend: cli.backend,
+            regularizer: cli.regularizer,
             verify: cli.verify_compute.then(|| {
                 let mut vc = VerifyConfig::with_rel_tol(recon.plan.accuracy.checksum_rel_tol());
                 if let Some(seed) = cli.chaos_compute {

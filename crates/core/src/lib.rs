@@ -25,18 +25,21 @@
 pub mod exit;
 pub mod viz;
 
+use ffw_fault::Fingerprint;
 use ffw_geometry::{Domain, QuadTree, TransducerArray};
 use ffw_inverse::{
-    born_inversion, dbim, synthesize_measurements, BornConfig, DbimConfig, DbimError, DbimResult,
-    ImagingSetup, MlfmaG0,
+    born_inversion, dbim, multi_frequency_dbim_with, synthesize_measurements, BornConfig,
+    DbimConfig, DbimError, DbimResult, FrequencyHop, ImagingSetup, MlfmaG0, MultiFreqConfig,
+    MultiFreqError, MultiFreqResult,
 };
 use ffw_mlfma::{Accuracy, MlfmaEngine, MlfmaPlan};
 use ffw_numerics::C64;
 use ffw_par::Pool;
-use ffw_phantom::{contrast_from_object, object_from_contrast, Phantom};
+use ffw_phantom::{contrast_from_object, object_from_contrast, NoiseModel, Phantom};
+use std::path::PathBuf;
 use std::sync::Arc;
 
-pub use ffw_inverse::BornResult;
+pub use ffw_inverse::{BornResult, HopSchedule, MultiFreqError as HopError, Regularizer};
 
 /// Scene description: domain size and transducer layout.
 #[derive(Clone, Debug)]
@@ -108,7 +111,26 @@ impl Reconstruction {
     /// pipelines on one shared pool instead of spawning a thread team per
     /// job.
     pub fn with_pool(scene: &SceneConfig, pool: Arc<Pool>) -> Self {
-        let domain = Domain::new(scene.n_side_px, scene.wavelength);
+        Self::build(scene, Domain::new(scene.n_side_px, scene.wavelength), pool)
+    }
+
+    /// Builds the pipeline for one stage of a hop schedule: the scene's
+    /// pixel grid (sized `lambda/10` at the scene wavelength) is kept, the
+    /// illumination wavelength is scaled by `factor >= 1`. All stages of a
+    /// schedule therefore share one grid — the invariant the hop carry
+    /// rescale relies on — and the transducer ring stays physically fixed.
+    pub fn for_hop_stage(scene: &SceneConfig, factor: f64, pool: Arc<Pool>) -> Self {
+        assert!(factor >= 1.0, "hop factor must be >= 1, got {factor}");
+        let base = Domain::new(scene.n_side_px, scene.wavelength);
+        let domain = Domain::with_pixel_size(
+            scene.n_side_px,
+            factor * scene.wavelength,
+            base.pixel_size(),
+        );
+        Self::build(scene, domain, pool)
+    }
+
+    fn build(scene: &SceneConfig, domain: Domain, pool: Arc<Pool>) -> Self {
         let radius = scene.ring_radius_factor * domain.side();
         let (txs, rxs) = match scene.arc {
             None => (
@@ -191,6 +213,132 @@ impl Reconstruction {
     /// raster (row-major, `n_side x n_side`).
     pub fn image(&self, object: &[C64]) -> Vec<f64> {
         contrast_from_object(self.domain(), self.tree(), object)
+    }
+}
+
+/// A prepared frequency-hopping pipeline: one [`Reconstruction`] per stage
+/// of a [`HopSchedule`], lowest frequency first, all sharing one pixel grid
+/// and one thread pool. This is the single entry point the CLI, the serve
+/// engine and the benches use for hop runs.
+pub struct HopPipeline {
+    /// Per-stage pipelines, lowest frequency (largest wavelength factor)
+    /// first; the last stage is the scene frequency itself.
+    pub stages: Vec<Reconstruction>,
+    schedule: HopSchedule,
+}
+
+impl HopPipeline {
+    /// Builds every stage on one shared pool sized from `scene.threads`.
+    pub fn new(scene: &SceneConfig, schedule: &HopSchedule) -> Self {
+        let threads = if scene.threads == 0 {
+            Pool::global().n_threads()
+        } else {
+            scene.threads
+        };
+        Self::with_pool(scene, schedule, Arc::new(Pool::new(threads)))
+    }
+
+    /// Builds every stage on a caller-supplied pool.
+    pub fn with_pool(scene: &SceneConfig, schedule: &HopSchedule, pool: Arc<Pool>) -> Self {
+        let stages = schedule
+            .factors()
+            .iter()
+            .map(|&f| Reconstruction::for_hop_stage(scene, f, Arc::clone(&pool)))
+            .collect();
+        HopPipeline {
+            stages,
+            schedule: schedule.clone(),
+        }
+    }
+
+    /// The validated schedule this pipeline was built for.
+    pub fn schedule(&self) -> &HopSchedule {
+        &self.schedule
+    }
+
+    /// The scene-frequency stage (factor 1.0 — always the last).
+    pub fn final_stage(&self) -> &Reconstruction {
+        self.stages.last().expect("schedules are never empty")
+    }
+
+    /// Synthesizes per-stage measurements for one physical phantom: the
+    /// object is frequency-invariant contrast, so each stage solves its own
+    /// forward problem at its own wavenumber.
+    pub fn synthesize(&self, phantom: &dyn Phantom) -> Vec<Vec<Vec<C64>>> {
+        self.stages.iter().map(|s| s.synthesize(phantom)).collect()
+    }
+
+    /// Adds seeded measurement noise to every stage. Stages get independent
+    /// noise realizations (the per-stage model seed is derived from the
+    /// master seed), and within a stage each transmitter row has its own
+    /// stream — bit-deterministic regardless of thread count.
+    pub fn add_noise(measured: &mut [Vec<Vec<C64>>], snr_db: f64, seed: u64) {
+        for (stage_idx, stage) in measured.iter_mut().enumerate() {
+            NoiseModel {
+                snr_db,
+                seed: ffw_phantom::scenario::splitmix64(seed ^ stage_idx as u64),
+            }
+            .apply(stage);
+        }
+    }
+
+    /// The scene + schedule fingerprint hop checkpoints are bound to: a
+    /// resume against a different scene, schedule, or iteration budget is
+    /// rejected instead of silently mixing incompatible carries.
+    pub fn fingerprint(&self, scene: &SceneConfig, iterations: usize) -> u64 {
+        self.schedule
+            .fold_fingerprint(
+                Fingerprint::new()
+                    .u64(scene.n_side_px as u64)
+                    .u64(scene.n_tx as u64)
+                    .u64(scene.n_rx as u64)
+                    .f64(scene.wavelength)
+                    .f64(scene.ring_radius_factor)
+                    .f64(scene.arc.map_or(-1.0, |(s, _)| s))
+                    .f64(scene.arc.map_or(-1.0, |(_, sp)| sp))
+                    .u64(iterations as u64),
+            )
+            .finish()
+    }
+
+    /// Runs the schedule: `iterations` is the *total* DBIM budget, split
+    /// across stages by [`HopSchedule::split_iterations`] (later stages get
+    /// the remainder). `base` supplies all other DBIM settings — notably the
+    /// [`Regularizer`]. With a checkpoint path the driver saves at every hop
+    /// boundary and `resume` skips completed stages bit-identically; `stop`
+    /// is polled between stages (SIGTERM handling).
+    #[allow(clippy::too_many_arguments)]
+    pub fn run(
+        &self,
+        measured: &[Vec<Vec<C64>>],
+        iterations: usize,
+        base: &DbimConfig,
+        checkpoint: Option<PathBuf>,
+        resume: bool,
+        fingerprint: u64,
+        stop: Option<&dyn Fn() -> bool>,
+    ) -> Result<MultiFreqResult, MultiFreqError> {
+        assert_eq!(measured.len(), self.stages.len(), "one dataset per stage");
+        let split = self.schedule.split_iterations(iterations);
+        let hops: Vec<FrequencyHop<'_, MlfmaG0>> = self
+            .stages
+            .iter()
+            .zip(measured)
+            .zip(&split)
+            .map(|((stage, mea), &its)| FrequencyHop {
+                setup: &stage.setup,
+                g0: stage.g0(),
+                measured: mea,
+                iterations: its,
+            })
+            .collect();
+        let cfg = MultiFreqConfig {
+            base: base.clone(),
+            checkpoint,
+            resume,
+            fingerprint,
+        };
+        multi_frequency_dbim_with(&hops, &cfg, stop)
     }
 }
 

@@ -294,6 +294,208 @@ fn recoverable_compute_corruption_recovers_bit_identically() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+#[test]
+fn hops_must_be_strictly_descending() {
+    assert_cli_error(&["--hops", "1.0,2.0"], "strictly descending");
+}
+
+#[test]
+fn hops_must_end_at_the_scene_frequency() {
+    assert_cli_error(&["--hops", "2.0,1.5"], "must end at factor 1.0");
+}
+
+#[test]
+fn hops_reject_non_numeric_factors() {
+    assert_cli_error(&["--hops", "2.0,banana,1.0"], "'banana' is not a number");
+}
+
+#[test]
+fn hops_reject_out_of_range_factors() {
+    assert_cli_error(&["--hops", "64,1.0"], "out of range");
+}
+
+#[test]
+fn hops_reject_born_mode() {
+    assert_cli_error(
+        &["--hops", "2.0,1.0", "--born"],
+        "--hops cannot be combined with --born",
+    );
+}
+
+#[test]
+fn hops_reject_distributed_mode() {
+    assert_cli_error(
+        &["--hops", "2.0,1.0", "--tx", "16", "--groups", "2"],
+        "--hops cannot be combined with --groups",
+    );
+}
+
+#[test]
+fn hops_reject_preconditioned_mode() {
+    assert_cli_error(
+        &["--hops", "2.0,1.0", "--precondition"],
+        "--hops cannot be combined with --precondition",
+    );
+}
+
+#[test]
+fn hops_need_one_iteration_per_stage() {
+    assert_cli_error(
+        &["--hops", "3.0,2.0,1.0", "--iterations", "2"],
+        "--iterations 2 is less than the 3 hop stages",
+    );
+}
+
+#[test]
+fn regularizer_rejects_unknown_family() {
+    assert_cli_error(&["--regularizer", "banana"], "banana");
+}
+
+#[test]
+fn regularizer_rejects_bad_wgcv_parameters() {
+    assert_cli_error(&["--regularizer", "wgcv-lsqr:0"], "--regularizer");
+    assert_cli_error(&["--regularizer", "wgcv-lsqr:4:9"], "--regularizer");
+    assert_cli_error(&["--regularizer", "tikhonov:-1"], "--regularizer");
+}
+
+#[test]
+fn wgcv_rejects_preconditioned_mode() {
+    assert_cli_error(
+        &["--regularizer", "wgcv-lsqr", "--precondition"],
+        "cannot be combined with --precondition",
+    );
+}
+
+#[test]
+fn regularizer_rejects_born_mode() {
+    assert_cli_error(
+        &["--regularizer", "smoothness", "--born"],
+        "--regularizer has no effect on --born",
+    );
+}
+
+#[test]
+fn regularizer_rejects_distributed_mode() {
+    assert_cli_error(
+        &["--regularizer", "wgcv-lsqr", "--tx", "16", "--groups", "2"],
+        "--regularizer is not supported in distributed mode",
+    );
+}
+
+#[test]
+fn resume_requires_a_checkpoint_path() {
+    assert_cli_error(
+        &["--hops", "2.0,1.0", "--resume"],
+        "--resume requires --checkpoint",
+    );
+}
+
+#[test]
+fn help_documents_hops_and_regularizer() {
+    let out = run(&["--help"]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for needle in ["--hops", "--regularizer", "wgcv-lsqr", "smoothness"] {
+        assert!(stdout.contains(needle), "help does not document {needle}");
+    }
+}
+
+/// The pinned 32x32 hop run: same flags twice must produce byte-identical
+/// `.pgm` images (the hop driver, the wGCV lambda search, and the per-stage
+/// seeded noise are all deterministic), and a `--resume` against the
+/// completed checkpoint must reproduce the image without rerunning stages.
+#[test]
+fn hop_run_is_byte_identical_across_reruns_and_resume() {
+    let dir = std::env::temp_dir().join(format!("ffw-cli-hop-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create tmp dir");
+    let ckpt = dir.join("hop.ckpt");
+    let scene = [
+        "--size",
+        "32",
+        "--tx",
+        "4",
+        "--rx",
+        "8",
+        "--iterations",
+        "4",
+        "--hops",
+        "2.0,1.0",
+        "--regularizer",
+        "wgcv-lsqr:4",
+        "--noise-db",
+        "40",
+    ];
+    let mut images = Vec::new();
+    for name in ["a", "b"] {
+        let prefix = dir.join(name);
+        let out = Command::new(env!("CARGO_BIN_EXE_ffw-reconstruct"))
+            .args(scene)
+            .args(["--out", prefix.to_str().expect("utf8 path")])
+            .args(if name == "a" {
+                vec!["--checkpoint", ckpt.to_str().expect("utf8 path")]
+            } else {
+                vec![]
+            })
+            .env("FFW_THREADS", "2")
+            .output()
+            .expect("hop run");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "hop run failed\nstderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert!(
+            stdout.contains("hop DBIM (2 stages"),
+            "stdout must report the hop stages: {stdout}"
+        );
+        assert!(
+            stdout.contains("lambda"),
+            "stdout must report the wGCV-chosen lambda: {stdout}"
+        );
+        images.push(
+            std::fs::read(format!("{}_reconstruction.pgm", prefix.display()))
+                .expect("reconstruction image"),
+        );
+    }
+    assert_eq!(images[0], images[1], "hop reruns must be byte-identical");
+    assert!(ckpt.exists(), "hop run must leave its checkpoint");
+
+    // Resume against the completed checkpoint: all stages skip, image
+    // byte-identical.
+    let prefix = dir.join("resumed");
+    let out = Command::new(env!("CARGO_BIN_EXE_ffw-reconstruct"))
+        .args(scene)
+        .args([
+            "--checkpoint",
+            ckpt.to_str().expect("utf8 path"),
+            "--resume",
+        ])
+        .args(["--out", prefix.to_str().expect("utf8 path")])
+        .env("FFW_THREADS", "2")
+        .output()
+        .expect("resumed hop run");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "resumed hop run failed\nstderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        stdout.contains("2 resumed"),
+        "resume must skip the completed stages: {stdout}"
+    );
+    let resumed =
+        std::fs::read(format!("{}_reconstruction.pgm", prefix.display())).expect("resumed image");
+    assert_eq!(
+        images[0], resumed,
+        "resumed image must be byte-identical to the original run"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// SIGTERM mid-run must flush the in-flight checkpoint, exit with the
 /// documented code 5, and leave a state from which `--resume` finishes and
 /// produces the bit-identical image of an uninterrupted run.

@@ -78,6 +78,17 @@ impl JobControl {
             || (self.honor_shutdown && ffw_fault::shutdown_requested())
     }
 
+    /// Emits a progress event to the observer (no-op without a channel or
+    /// receiver). Public so drivers hosted outside this crate — the serve
+    /// layer's serial hop/regularizer path — can stream the same progress
+    /// frames the fault-tolerant driver emits.
+    pub fn progress(&self, completed: u32, residual: f64) {
+        self.emit(IterProgress {
+            completed,
+            residual,
+        });
+    }
+
     /// Emits a progress event (no-op without a channel or receiver).
     pub(crate) fn emit(&self, p: IterProgress) {
         if let Some(tx) = &self.progress {

@@ -15,20 +15,23 @@
 //!    `alpha = -Re sum_t <r_t, F_t d> / sum_t ||F_t d||^2` (Eq. 5).
 //!
 //! That is three forward-class solutions per transmitter per iteration —
-//! exactly the paper's accounting. The only regularization is early
-//! termination (Section V-B).
+//! exactly the paper's accounting. The paper's only regularization is early
+//! termination (Section V-B); [`DbimConfig::regularizer`] adds selectable
+//! penalties and a hybrid-projection update on the linearized step (see
+//! [`crate::regularize`]).
 
 use crate::precond::LeafBlockJacobi;
 use crate::problem::ImagingSetup;
+use crate::regularize::{laplacian_tree, Bidiag, ProjectedProblem, Regularizer};
 use ffw_fault::FaultError;
 use ffw_mlfma::MlfmaPlan;
-use ffw_numerics::vecops::{norm2_sqr, zdotc};
+use ffw_numerics::vecops::{axpy_real, norm2, norm2_sqr, zdotc};
 use ffw_numerics::C64;
 use ffw_solver::{
     bicgstab_precond, estimate_g0_norm, g0_adjoint_apply_block, make_backend, make_backend_guarded,
     AdjointScatteringOp, BackendChoice, BackendError, BlockLinOp, CountingOp, DriftGuard,
-    IterConfig, LinOp, ScatteringOp, VerifiedBlockOp, VerifyConfig, NORM_ESTIMATE_ITERS,
-    NORM_ESTIMATE_SEED,
+    ForwardBackend, IterConfig, LinOp, ScatteringOp, VerifiedBlockOp, VerifyConfig,
+    NORM_ESTIMATE_ITERS, NORM_ESTIMATE_SEED,
 };
 use std::sync::Arc;
 
@@ -46,9 +49,13 @@ pub struct DbimConfig {
     /// Use conjugate directions (`false` = plain steepest descent, the
     /// "naive" variant the paper mentions; kept for the ablation benchmark).
     pub conjugate: bool,
-    /// Tikhonov regularization weight on `||O||^2` (the paper uses none;
-    /// provided as an extension for noisy data).
-    pub tikhonov: f64,
+    /// Regularization on the linearized step (the paper uses none — the
+    /// default `tikhonov:0` reproduces it exactly). See [`Regularizer`] for
+    /// the Tikhonov / seeded-smoothness / hybrid wGCV-LSQR families.
+    /// `wgcv-lsqr` replaces the gradient and step passes with a
+    /// Golub–Kahan hybrid projection and is incompatible with
+    /// `precondition` (that path is single-RHS nonlinear-CG specific).
+    pub regularizer: Regularizer,
     /// Project the reconstruction onto nonnegative real contrasts after each
     /// step (physical prior for lossless dielectrics).
     pub positivity: bool,
@@ -95,7 +102,7 @@ impl std::fmt::Debug for DbimConfig {
             .field("real_object", &self.real_object)
             .field("warm_start", &self.warm_start)
             .field("conjugate", &self.conjugate)
-            .field("tikhonov", &self.tikhonov)
+            .field("regularizer", &self.regularizer)
             .field("positivity", &self.positivity)
             .field("initial", &self.initial.as_ref().map(|v| v.len()))
             .field("precondition", &self.precondition.is_some())
@@ -114,7 +121,7 @@ impl Default for DbimConfig {
             real_object: true,
             warm_start: true,
             conjugate: true,
-            tikhonov: 0.0,
+            regularizer: Regularizer::default(),
             positivity: false,
             initial: None,
             precondition: None,
@@ -184,6 +191,10 @@ pub struct DbimResult {
     pub forward_solves: usize,
     /// Total `G0` (MLFMA) applications.
     pub g0_applies: usize,
+    /// Per-iteration regularization parameter chosen by the hybrid
+    /// wGCV-LSQR update (empty for the Tikhonov/smoothness families, whose
+    /// lambda is fixed up front).
+    pub lambdas: Vec<f64>,
 }
 
 impl DbimResult {
@@ -253,6 +264,11 @@ fn dbim_inner<G: BlockLinOp + ?Sized, P: Fn() -> Option<FaultError>>(
         cfg.precondition.is_none() || cfg.backend == BackendChoice::Bicgstab,
         "leaf-block Jacobi preconditioning is specific to the BiCGStab backend"
     );
+    assert!(
+        cfg.precondition.is_none() || !matches!(cfg.regularizer, Regularizer::WgcvLsqr { .. }),
+        "the wgcv-lsqr hybrid projection replaces the nonlinear-CG passes and \
+         is incompatible with leaf-block Jacobi preconditioning"
+    );
     // The Green's-operator norm is a per-run constant (the object never
     // changes G0): estimate it once, before the counting wrapper, so
     // `g0_applies` keeps meaning "MLFMA applications spent reconstructing".
@@ -279,6 +295,19 @@ fn dbim_inner<G: BlockLinOp + ?Sized, P: Fn() -> Option<FaultError>>(
     let mut forward_solves = 0usize;
 
     let measured_norm_sqr: f64 = measured.iter().map(|m| norm2_sqr(m)).sum();
+
+    // Fixed penalty weights for the closed-form families. The smoothness
+    // prior's relative weight is seeded from the measured-data power so one
+    // lambda transfers across scenes and noise levels.
+    let tik_lambda = match cfg.regularizer {
+        Regularizer::Tikhonov { lambda } => lambda,
+        _ => 0.0,
+    };
+    let smooth_lambda = match cfg.regularizer {
+        Regularizer::Smoothness { lambda } => lambda * measured_norm_sqr,
+        _ => 0.0,
+    };
+    let mut lambdas: Vec<f64> = Vec::new();
 
     for it in 0..cfg.iterations {
         let _iter_span = ffw_obs::span("iter");
@@ -343,6 +372,59 @@ fn dbim_inner<G: BlockLinOp + ?Sized, P: Fn() -> Option<FaultError>>(
         let rel_residual = (cost / measured_norm_sqr).sqrt();
         ffw_obs::series_push("dbim.residual", rel_residual);
 
+        if let Regularizer::WgcvLsqr { steps, omega } = cfg.regularizer {
+            // --- hybrid-projection update (replaces the gradient and step
+            // passes): Golub–Kahan bidiagonalization of the Fréchet operator,
+            // wGCV lambda on the projected problem, lift, project. ---
+            let wgcv_span = ffw_obs::span("wgcv");
+            let mut counters = (0usize, 0usize);
+            let up = wgcv_lsqr_update(
+                setup,
+                g0,
+                backend.as_ref(),
+                &fields,
+                &residuals,
+                &object,
+                cfg.real_object,
+                steps,
+                omega,
+                cfg.forward,
+                batch,
+                &mut counters,
+            );
+            forward_solves += counters.0;
+            solver_iters += counters.1;
+            drop(wgcv_span);
+            drop(backend);
+            for (o, d) in object.iter_mut().zip(&up.delta) {
+                *o += *d;
+            }
+            if cfg.real_object {
+                for v in object.iter_mut() {
+                    v.im = 0.0;
+                }
+            }
+            if cfg.positivity {
+                for v in object.iter_mut() {
+                    if v.re < 0.0 {
+                        v.re = 0.0;
+                    }
+                    v.im = 0.0;
+                }
+            }
+            ffw_obs::series_push("dbim.lambda", up.lambda);
+            ffw_obs::series_push("dbim.step", up.step_norm);
+            lambdas.push(up.lambda);
+            history.push(IterationRecord {
+                cost,
+                rel_residual,
+                step: up.step_norm,
+                solver_iters,
+            });
+            check_integrity(guard, poll, cfg, it as u64 + 1)?;
+            continue;
+        }
+
         // --- pass 2: gradient ---
         let gradient_span = ffw_obs::span("gradient");
         let mut grad = vec![C64::ZERO; n];
@@ -370,42 +452,32 @@ fn dbim_inner<G: BlockLinOp + ?Sized, P: Fn() -> Option<FaultError>>(
                 }
             }
             None => {
-                for t0 in (0..n_tx).step_by(batch) {
-                    let t1 = (t0 + batch).min(n_tx);
-                    let nb = t1 - t0;
-                    let mut ys = Vec::with_capacity(nb);
-                    let mut rhss = Vec::with_capacity(nb);
-                    for r in &residuals[t0..t1] {
-                        let mut y = vec![C64::ZERO; n];
-                        setup.gr_adjoint_apply(r, &mut y);
-                        let rhs: Vec<C64> = object
-                            .iter()
-                            .zip(&y)
-                            .map(|(o, yi)| o.conj() * *yi)
-                            .collect();
-                        ys.push(y);
-                        rhss.push(rhs);
-                    }
-                    let rhs_refs: Vec<&[C64]> = rhss.iter().map(|v| v.as_slice()).collect();
-                    let mut zs = vec![vec![C64::ZERO; n]; nb];
-                    let stats = backend.solve_adjoint_block(&rhs_refs, &mut zs, cfg.forward);
-                    forward_solves += nb;
-                    solver_iters += stats.iter().map(|s| s.iterations).sum::<usize>();
-                    let z_refs: Vec<&[C64]> = zs.iter().map(|v| v.as_slice()).collect();
-                    let mut g0hzs = vec![vec![C64::ZERO; n]; nb];
-                    g0_adjoint_apply_block(g0, &z_refs, &mut g0hzs);
-                    // accumulate in ascending t order (matches the scalar path)
-                    for (k, t) in (t0..t1).enumerate() {
-                        for i in 0..n {
-                            grad[i] += fields[t][i].conj() * (ys[k][i] + g0hzs[k][i]);
-                        }
-                    }
-                }
+                let mut counters = (0usize, 0usize);
+                grad = frechet_adjoint_apply_block(
+                    setup,
+                    g0,
+                    backend.as_ref(),
+                    &fields,
+                    &object,
+                    &residuals,
+                    cfg.forward,
+                    batch,
+                    &mut counters,
+                );
+                forward_solves += counters.0;
+                solver_iters += counters.1;
             }
         }
-        if cfg.tikhonov > 0.0 {
+        if tik_lambda > 0.0 {
             for (g, o) in grad.iter_mut().zip(&object) {
-                *g += *o * cfg.tikhonov;
+                *g += *o * tik_lambda;
+            }
+        }
+        if smooth_lambda > 0.0 {
+            // gradient of lambda ||L O||^2 is lambda L^T L O = lambda L(L O)
+            let llo = laplacian_tree(&setup.tree, &laplacian_tree(&setup.tree, &object));
+            for (g, l) in grad.iter_mut().zip(&llo) {
+                *g += *l * smooth_lambda;
             }
         }
         if cfg.real_object {
@@ -477,40 +549,37 @@ fn dbim_inner<G: BlockLinOp + ?Sized, P: Fn() -> Option<FaultError>>(
                 }
             }
             None => {
-                for t0 in (0..n_tx).step_by(batch) {
-                    let t1 = (t0 + batch).min(n_tx);
-                    let nb = t1 - t0;
-                    let ws: Vec<Vec<C64>> = (t0..t1)
-                        .map(|t| fields[t].iter().zip(&dir).map(|(f, d)| *f * *d).collect())
-                        .collect();
-                    let w_refs: Vec<&[C64]> = ws.iter().map(|v| v.as_slice()).collect();
-                    let mut g0ws = vec![vec![C64::ZERO; n]; nb];
-                    g0.apply_block(&w_refs, &mut g0ws);
-                    let g0w_refs: Vec<&[C64]> = g0ws.iter().map(|v| v.as_slice()).collect();
-                    let mut us = vec![vec![C64::ZERO; n]; nb];
-                    let stats = backend.solve_block(&g0w_refs, &mut us, cfg.forward);
-                    forward_solves += nb;
-                    solver_iters += stats.iter().map(|s| s.iterations).sum::<usize>();
-                    for (k, t) in (t0..t1).enumerate() {
-                        // F_t d = GR (w + O u)
-                        let src: Vec<C64> = ws[k]
-                            .iter()
-                            .zip(&us[k])
-                            .zip(&object)
-                            .map(|((wi, ui), oi)| *wi + *oi * *ui)
-                            .collect();
-                        let mut fd = vec![C64::ZERO; setup.n_rx()];
-                        setup.gr_apply(&src, &mut fd);
-                        num -= zdotc(&fd, &residuals[t]).re;
-                        den += norm2_sqr(&fd);
-                    }
+                let mut counters = (0usize, 0usize);
+                let fds = frechet_apply_block(
+                    setup,
+                    g0,
+                    backend.as_ref(),
+                    &fields,
+                    &object,
+                    &dir,
+                    cfg.forward,
+                    batch,
+                    &mut counters,
+                );
+                forward_solves += counters.0;
+                solver_iters += counters.1;
+                for (fd, r) in fds.iter().zip(&residuals) {
+                    num -= zdotc(fd, r).re;
+                    den += norm2_sqr(fd);
                 }
             }
         }
-        if cfg.tikhonov > 0.0 {
+        if tik_lambda > 0.0 {
             // minimize ||b + alpha F d||^2 + lambda ||O + alpha d||^2
-            num -= cfg.tikhonov * zdotc(&dir, &object).re;
-            den += cfg.tikhonov * norm2_sqr(&dir);
+            num -= tik_lambda * zdotc(&dir, &object).re;
+            den += tik_lambda * norm2_sqr(&dir);
+        }
+        if smooth_lambda > 0.0 {
+            // minimize ||b + alpha F d||^2 + lambda ||L (O + alpha d)||^2
+            let lo = laplacian_tree(&setup.tree, &object);
+            let ld = laplacian_tree(&setup.tree, &dir);
+            num -= smooth_lambda * zdotc(&ld, &lo).re;
+            den += smooth_lambda * norm2_sqr(&ld);
         }
         drop(step_span);
         // Release the backend's borrow of the object before updating it; the
@@ -583,7 +652,235 @@ fn dbim_inner<G: BlockLinOp + ?Sized, P: Fn() -> Option<FaultError>>(
         final_residual,
         forward_solves,
         g0_applies: g0c.count(),
+        lambdas,
     })
+}
+
+/// `out[t] = F_t d` for all transmitters, batched exactly like the step
+/// pass: `w_t = phi_t . d`, `u_t = A^{-1} G0 w_t`, `F_t d = GR (w_t + O u_t)`
+/// (E3, E5). `counters` accumulates `(forward_solves, solver_iters)`.
+#[allow(clippy::too_many_arguments)]
+fn frechet_apply_block<G: BlockLinOp + ?Sized>(
+    setup: &ImagingSetup,
+    g0: &G,
+    backend: &dyn ForwardBackend,
+    fields: &[Vec<C64>],
+    object: &[C64],
+    d: &[C64],
+    forward: IterConfig,
+    batch: usize,
+    counters: &mut (usize, usize),
+) -> Vec<Vec<C64>> {
+    let n = object.len();
+    let n_tx = fields.len();
+    let mut out = Vec::with_capacity(n_tx);
+    for t0 in (0..n_tx).step_by(batch) {
+        let t1 = (t0 + batch).min(n_tx);
+        let nb = t1 - t0;
+        let ws: Vec<Vec<C64>> = (t0..t1)
+            .map(|t| fields[t].iter().zip(d).map(|(f, di)| *f * *di).collect())
+            .collect();
+        let w_refs: Vec<&[C64]> = ws.iter().map(|v| v.as_slice()).collect();
+        let mut g0ws = vec![vec![C64::ZERO; n]; nb];
+        g0.apply_block(&w_refs, &mut g0ws);
+        let g0w_refs: Vec<&[C64]> = g0ws.iter().map(|v| v.as_slice()).collect();
+        let mut us = vec![vec![C64::ZERO; n]; nb];
+        let stats = backend.solve_block(&g0w_refs, &mut us, forward);
+        counters.0 += nb;
+        counters.1 += stats.iter().map(|s| s.iterations).sum::<usize>();
+        for k in 0..nb {
+            // F_t d = GR (w + O u)
+            let src: Vec<C64> = ws[k]
+                .iter()
+                .zip(&us[k])
+                .zip(object)
+                .map(|((wi, ui), oi)| *wi + *oi * *ui)
+                .collect();
+            let mut fd = vec![C64::ZERO; setup.n_rx()];
+            setup.gr_apply(&src, &mut fd);
+            out.push(fd);
+        }
+    }
+    out
+}
+
+/// `out = sum_t F_t^H r_t`, batched exactly like the gradient pass:
+/// `y_t = GR^H r_t`, `A^H z_t = conj(O) . y_t`,
+/// `F_t^H r_t = conj(phi_t) . (y_t + G0^H z_t)` (E3, E4), accumulated in
+/// ascending `t` order (matches the scalar path bit-for-bit).
+#[allow(clippy::too_many_arguments)]
+fn frechet_adjoint_apply_block<G: BlockLinOp + ?Sized>(
+    setup: &ImagingSetup,
+    g0: &G,
+    backend: &dyn ForwardBackend,
+    fields: &[Vec<C64>],
+    object: &[C64],
+    rs: &[Vec<C64>],
+    forward: IterConfig,
+    batch: usize,
+    counters: &mut (usize, usize),
+) -> Vec<C64> {
+    let n = object.len();
+    let n_tx = fields.len();
+    let mut grad = vec![C64::ZERO; n];
+    for t0 in (0..n_tx).step_by(batch) {
+        let t1 = (t0 + batch).min(n_tx);
+        let nb = t1 - t0;
+        let mut ys = Vec::with_capacity(nb);
+        let mut rhss = Vec::with_capacity(nb);
+        for r in &rs[t0..t1] {
+            let mut y = vec![C64::ZERO; n];
+            setup.gr_adjoint_apply(r, &mut y);
+            let rhs: Vec<C64> = object
+                .iter()
+                .zip(&y)
+                .map(|(o, yi)| o.conj() * *yi)
+                .collect();
+            ys.push(y);
+            rhss.push(rhs);
+        }
+        let rhs_refs: Vec<&[C64]> = rhss.iter().map(|v| v.as_slice()).collect();
+        let mut zs = vec![vec![C64::ZERO; n]; nb];
+        let stats = backend.solve_adjoint_block(&rhs_refs, &mut zs, forward);
+        counters.0 += nb;
+        counters.1 += stats.iter().map(|s| s.iterations).sum::<usize>();
+        let z_refs: Vec<&[C64]> = zs.iter().map(|v| v.as_slice()).collect();
+        let mut g0hzs = vec![vec![C64::ZERO; n]; nb];
+        g0_adjoint_apply_block(g0, &z_refs, &mut g0hzs);
+        for (k, t) in (t0..t1).enumerate() {
+            for i in 0..n {
+                grad[i] += fields[t][i].conj() * (ys[k][i] + g0hzs[k][i]);
+            }
+        }
+    }
+    grad
+}
+
+/// One hybrid-projection update (the wgcv-lsqr regularizer's whole inner
+/// step): `steps` Golub–Kahan bidiagonalization steps of the stacked Fréchet
+/// operator seeded by the stacked residual, wGCV-selected lambda on the
+/// projected bidiagonal problem, and the lift `delta = V y`.
+struct WgcvUpdate {
+    /// Object update in tree order.
+    delta: Vec<C64>,
+    /// The wGCV-chosen regularization parameter.
+    lambda: f64,
+    /// Norm of the projected solution (== `||delta||` for the orthonormal
+    /// Krylov basis; reported as the iteration's step length).
+    step_norm: f64,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn wgcv_lsqr_update<G: BlockLinOp + ?Sized>(
+    setup: &ImagingSetup,
+    g0: &G,
+    backend: &dyn ForwardBackend,
+    fields: &[Vec<C64>],
+    residuals: &[Vec<C64>],
+    object: &[C64],
+    real_object: bool,
+    steps: usize,
+    omega: f64,
+    forward: IterConfig,
+    batch: usize,
+    counters: &mut (usize, usize),
+) -> WgcvUpdate {
+    let n = object.len();
+    let zero = WgcvUpdate {
+        delta: vec![C64::ZERO; n],
+        lambda: 0.0,
+        step_norm: 0.0,
+    };
+    // Linearized subproblem: min_d ||F d + r||^2, i.e. rhs b = -r (stacked
+    // over transmitters). beta_1 u_1 = b.
+    let beta1 = residuals.iter().map(|r| norm2_sqr(r)).sum::<f64>().sqrt();
+    if beta1 == 0.0 {
+        return zero;
+    }
+    let mut u: Vec<Vec<C64>> = residuals
+        .iter()
+        .map(|r| r.iter().map(|v| -*v / beta1).collect())
+        .collect();
+    // When the object is constrained real, the Fréchet operator acts on real
+    // perturbations; its adjoint then carries the real projection `P` —
+    // applying P inside the recurrence keeps (F, P F^H) an exact adjoint
+    // pair over the real inner product.
+    let project = |w: &mut Vec<C64>| {
+        if real_object {
+            for v in w.iter_mut() {
+                v.im = 0.0;
+            }
+        }
+    };
+    // alpha_1 v_1 = P F^H u_1
+    let mut v = frechet_adjoint_apply_block(
+        setup, g0, backend, fields, object, &u, forward, batch, counters,
+    );
+    project(&mut v);
+    let alpha1 = norm2(&v);
+    if alpha1 == 0.0 {
+        return zero;
+    }
+    for x in v.iter_mut() {
+        *x = *x / alpha1;
+    }
+    let mut alphas = vec![alpha1];
+    let mut betas: Vec<f64> = Vec::with_capacity(steps);
+    let mut vs = vec![v.clone()];
+    for i in 0..steps {
+        // beta_{i+1} u_{i+1} = F v_i - alpha_i u_i
+        let mut fu = frechet_apply_block(
+            setup, g0, backend, fields, object, &v, forward, batch, counters,
+        );
+        for (f, ui) in fu.iter_mut().zip(&u) {
+            for (fj, uj) in f.iter_mut().zip(ui) {
+                *fj -= alphas[i] * *uj;
+            }
+        }
+        let beta = fu.iter().map(|r| norm2_sqr(r)).sum::<f64>().sqrt();
+        betas.push(beta);
+        if beta <= f64::EPSILON * alpha1 || i + 1 == steps {
+            break;
+        }
+        for f in fu.iter_mut() {
+            for x in f.iter_mut() {
+                *x = *x / beta;
+            }
+        }
+        u = fu;
+        // alpha_{i+1} v_{i+1} = P F^H u_{i+1} - beta_{i+1} v_i
+        let mut w = frechet_adjoint_apply_block(
+            setup, g0, backend, fields, object, &u, forward, batch, counters,
+        );
+        project(&mut w);
+        for (wj, vj) in w.iter_mut().zip(&v) {
+            *wj -= beta * *vj;
+        }
+        let alpha = norm2(&w);
+        if alpha <= f64::EPSILON * alpha1 {
+            break;
+        }
+        for x in w.iter_mut() {
+            *x = *x / alpha;
+        }
+        alphas.push(alpha);
+        vs.push(w.clone());
+        v = w;
+    }
+    let bidiag = Bidiag { alphas, betas };
+    let proj = ProjectedProblem::new(&bidiag, beta1);
+    let lambda = proj.wgcv_lambda(omega);
+    let y = proj.solve(lambda);
+    let mut delta = vec![C64::ZERO; n];
+    for (yi, vi) in y.iter().zip(&vs) {
+        axpy_real(*yi, vi, &mut delta);
+    }
+    let step_norm = y.iter().map(|c| c * c).sum::<f64>().sqrt();
+    WgcvUpdate {
+        delta,
+        lambda,
+        step_norm,
+    }
 }
 
 /// Surfaces escalated compute corruption at an iteration boundary: a

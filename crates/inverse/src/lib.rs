@@ -13,11 +13,16 @@ pub mod multifreq;
 pub mod ops;
 pub mod precond;
 pub mod problem;
+pub mod regularize;
 
 pub use born::{born_inversion, BornConfig, BornResult};
 pub use dbim::{dbim, DbimConfig, DbimError, DbimResult, IterationRecord};
 pub use ffw_solver::{BackendChoice, BackendError};
-pub use multifreq::{multi_frequency_dbim, FrequencyHop, MultiFreqResult};
+pub use multifreq::{
+    multi_frequency_dbim, multi_frequency_dbim_with, FrequencyHop, HopSchedule, MultiFreqConfig,
+    MultiFreqError, MultiFreqResult,
+};
 pub use ops::MlfmaG0;
 pub use precond::LeafBlockJacobi;
 pub use problem::{add_noise, synthesize_measurements, ImagingSetup};
+pub use regularize::Regularizer;

@@ -20,6 +20,7 @@
 use ffw_geometry::{Domain, Point2, TransducerArray};
 use ffw_inverse::{
     dbim, synthesize_measurements, BackendChoice, DbimConfig, DbimResult, ImagingSetup, MlfmaG0,
+    Regularizer,
 };
 use ffw_mlfma::{Accuracy, MlfmaEngine, MlfmaPlan};
 use ffw_par::Pool;
@@ -70,6 +71,10 @@ fn assert_bit_identical(a: &DbimResult, b: &DbimResult, what: &str) {
     );
     assert_eq!(a.forward_solves, b.forward_solves, "{what}: solve count");
     assert_eq!(a.g0_applies, b.g0_applies, "{what}: matvec count");
+    assert_eq!(a.lambdas.len(), b.lambdas.len(), "{what}: lambda trace len");
+    for (la, lb) in a.lambdas.iter().zip(&b.lambdas) {
+        assert_eq!(la.to_bits(), lb.to_bits(), "{what}: chosen lambda drifted");
+    }
     for (ha, hb) in a.history.iter().zip(&b.history) {
         assert_eq!(ha.solver_iters, hb.solver_iters, "{what}: iter trace");
         assert_eq!(
@@ -139,6 +144,105 @@ macro_rules! backend_suite {
 
 backend_suite!(bicgstab, BackendChoice::Bicgstab);
 backend_suite!(born_series, BackendChoice::BornSeries);
+
+/// The same determinism contracts, parameterized over the regularizer seam:
+/// the hybrid-projection wGCV-LSQR linear step and the seeded-smoothness
+/// spatial prior must be exactly as thread-invariant, repeatable, and
+/// warm-start-friendly as the plain Tikhonov path, under both backends.
+macro_rules! regularizer_suite {
+    ($name:ident, $choice:expr, $reg:expr) => {
+        mod $name {
+            use super::*;
+
+            fn with_reg(threads: usize, cfg_edit: &dyn Fn(&mut DbimConfig)) -> DbimResult {
+                reconstruct($choice, threads, &|c| {
+                    c.regularizer = $reg;
+                    cfg_edit(c);
+                })
+            }
+
+            #[test]
+            fn reconstruction_is_bit_identical_across_thread_counts() {
+                let base = with_reg(1, &|_| {});
+                let other = with_reg(4, &|_| {});
+                assert_bit_identical(&other, &base, "regularized 1 vs 4 threads");
+            }
+
+            #[test]
+            fn repeated_runs_are_bit_identical() {
+                let a = with_reg(2, &|_| {});
+                let b = with_reg(2, &|_| {});
+                assert_bit_identical(&a, &b, "regularized repeat run");
+            }
+
+            #[test]
+            fn warm_start_never_costs_iterations() {
+                let warm = with_reg(2, &|c| c.iterations = 4);
+                let cold = with_reg(2, &|c| {
+                    c.iterations = 4;
+                    c.warm_start = false;
+                });
+                let wi: usize = warm.history.iter().map(|h| h.solver_iters).sum();
+                let ci: usize = cold.history.iter().map(|h| h.solver_iters).sum();
+                assert!(wi <= ci, "warm {wi} vs cold {ci}");
+            }
+
+            #[test]
+            fn residual_still_decreases() {
+                let r = with_reg(2, &|_| {});
+                let first = r.history.first().expect("history").rel_residual;
+                assert!(
+                    r.final_residual < first,
+                    "regularized run must still make progress: {first} -> {}",
+                    r.final_residual
+                );
+            }
+        }
+    };
+}
+
+regularizer_suite!(
+    bicgstab_wgcv_lsqr,
+    BackendChoice::Bicgstab,
+    Regularizer::WgcvLsqr {
+        steps: 4,
+        omega: 0.8
+    }
+);
+regularizer_suite!(
+    bicgstab_smoothness,
+    BackendChoice::Bicgstab,
+    Regularizer::Smoothness { lambda: 1e-3 }
+);
+regularizer_suite!(
+    born_series_wgcv_lsqr,
+    BackendChoice::BornSeries,
+    Regularizer::WgcvLsqr {
+        steps: 4,
+        omega: 0.8
+    }
+);
+regularizer_suite!(
+    born_series_smoothness,
+    BackendChoice::BornSeries,
+    Regularizer::Smoothness { lambda: 1e-3 }
+);
+
+/// wGCV must actually record one chosen lambda per outer iteration, and the
+/// non-adaptive paths must record none.
+#[test]
+fn lambda_trace_shape_matches_regularizer() {
+    let wgcv = reconstruct(BackendChoice::Bicgstab, 2, &|c| {
+        c.regularizer = Regularizer::WgcvLsqr {
+            steps: 4,
+            omega: 0.8,
+        }
+    });
+    assert_eq!(wgcv.lambdas.len(), wgcv.history.len());
+    assert!(wgcv.lambdas.iter().all(|l| l.is_finite() && *l >= 0.0));
+    let tik = reconstruct(BackendChoice::Bicgstab, 2, &|_| {});
+    assert!(tik.lambdas.is_empty());
+}
 
 /// The two backends must agree on *what* they computed even where they are
 /// free to differ on *how*: same solve count, same residual endpoint to the

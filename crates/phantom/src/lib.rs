@@ -11,6 +11,12 @@
 
 #![warn(missing_docs)]
 
+pub mod scenario;
+
+pub use scenario::{
+    lossy_object_from_contrast, scenario_zoo, Aperture, Lossy, NoiseModel, Scenario,
+};
+
 use ffw_geometry::{Domain, Point2, QuadTree};
 use ffw_numerics::{c64, C64};
 use rand::rngs::StdRng;

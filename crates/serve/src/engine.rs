@@ -26,10 +26,10 @@ use crossbeam_channel::{unbounded, Receiver, Sender};
 use ffw_check::{validate_job_log, JobTransition};
 use ffw_dist::{run_dbim_ft, FtConfig, FtDbimResult, IterProgress, JobControl};
 use ffw_fault::fnv1a64;
-use ffw_inverse::{add_noise, DbimConfig};
+use ffw_inverse::{add_noise, DbimConfig, DbimError, Regularizer};
 use ffw_mpi::{FaultError, FaultPlan};
 use ffw_par::Pool;
-use ffw_tomo::Reconstruction;
+use ffw_tomo::{HopError, HopPipeline, Reconstruction};
 use std::collections::HashMap;
 use std::fs;
 use std::io::Write as _;
@@ -202,7 +202,7 @@ impl Engine {
             match e {
                 JobEvent::Accepted { id, spec } => {
                     order.push(id.clone());
-                    specs.insert(id.clone(), spec.clone());
+                    specs.insert(id.clone(), (**spec).clone());
                 }
                 JobEvent::Started { id, attempt } => {
                     attempts.insert(id.clone(), *attempt);
@@ -376,7 +376,7 @@ impl Engine {
             inner,
             &JobEvent::Accepted {
                 id: spec.id.clone(),
-                spec: spec.clone(),
+                spec: Box::new(spec.clone()),
             },
         ) {
             let mut jobs = lock(&inner.jobs);
@@ -827,6 +827,135 @@ fn set_state(inner: &Inner, id: &str, state: JobState) {
     }
 }
 
+/// Maps a serial-driver failure into the engine's fault taxonomy so retry
+/// classification and failure codes behave identically across drivers: a
+/// backend rejection is a Krylov breakdown (terminal, like the distributed
+/// driver's), and detected compute corruption keeps its own `FaultError`.
+fn dbim_fault(e: DbimError) -> FaultError {
+    match e {
+        DbimError::ComputeCorruption(fe) => fe,
+        DbimError::Backend(b) => FaultError::KrylovBreakdown {
+            rank: 0,
+            iterations: 0,
+            rel_residual: f64::INFINITY,
+            detail: b.to_string(),
+        },
+    }
+}
+
+/// Like [`dbim_fault`] for the multi-frequency driver. A hop-checkpoint
+/// failure is classified unrecoverable: a retry would replay against the
+/// same on-disk state and fail identically.
+fn serial_fault(e: HopError) -> FaultError {
+    match e {
+        HopError::Dbim(d) => dbim_fault(d),
+        HopError::Checkpoint(c) => FaultError::Unrecoverable {
+            detail: format!("hop checkpoint: {c}"),
+        },
+    }
+}
+
+/// Runs a frequency-hopping or non-default-regularizer job on the serial
+/// driver (admission pins `groups == subtree == 1` for these, so no
+/// distributed launch exists to route them through). Hop jobs checkpoint at
+/// hop-stage boundaries under the same `job-<id>.ckpt` path the distributed
+/// driver uses, so drain/SIGTERM parking and journal-replay recovery resume
+/// them exactly like distributed jobs; single-frequency regularizer jobs
+/// are short serial solves that simply recompute on a restart.
+fn execute_serial(
+    inner: &Inner,
+    spec: &JobSpec,
+    control: &JobControl,
+) -> Result<(FtDbimResult, Vec<f64>), FaultError> {
+    let scene = spec.scene();
+    let dbim_cfg = DbimConfig {
+        iterations: spec.iterations,
+        backend: spec.backend,
+        regularizer: spec.regularizer,
+        ..Default::default()
+    };
+    if let Some(schedule) = &spec.hops {
+        // One pipeline per frequency stage: the plan cache holds single
+        // `Reconstruction`s keyed by geometry, so hop jobs build their
+        // stages fresh on the shared pool each attempt.
+        let pipeline = HopPipeline::with_pool(&scene, schedule, Arc::clone(&inner.pool));
+        let phantom = spec.build_phantom(pipeline.final_stage().domain().side());
+        let mut measured = pipeline.synthesize(phantom.as_ref());
+        if let Some(db) = spec.noise_db {
+            HopPipeline::add_noise(&mut measured, db, 1);
+        }
+        let ckpt = inner.cfg.dir.join(format!("job-{}.ckpt", spec.id));
+        let resume = ckpt.exists();
+        let fingerprint = pipeline.fingerprint(&scene, spec.iterations);
+        let stop = || control.stop_requested();
+        let result = pipeline
+            .run(
+                &measured,
+                spec.iterations,
+                &dbim_cfg,
+                Some(ckpt),
+                resume,
+                fingerprint,
+                Some(&stop),
+            )
+            .map_err(serial_fault)?;
+        // Best-effort stage progress (resumed stages were reported by the
+        // attempt that computed them; `completed` counts across attempts).
+        for (i, st) in result.stages.iter().enumerate() {
+            control.progress((result.resumed + i + 1) as u32, st.final_residual);
+        }
+        let residual_history: Vec<f64> = result.stages.iter().map(|s| s.final_residual).collect();
+        let image = pipeline.final_stage().image(&result.object);
+        let ft = FtDbimResult {
+            final_residual: residual_history.last().copied().unwrap_or(f64::NAN),
+            residual_history,
+            object: result.object,
+            lost_txs: Vec::new(),
+            restarts: 0,
+            interrupted: result.interrupted,
+        };
+        return Ok((ft, image));
+    }
+    let recon = inner.cache.get_or_build(spec.geometry_fingerprint(), || {
+        Arc::new(Reconstruction::with_pool(
+            &spec.scene(),
+            Arc::clone(&inner.pool),
+        ))
+    });
+    let phantom = spec.build_phantom(recon.domain().side());
+    let mut measured = recon.synthesize(phantom.as_ref());
+    if let Some(db) = spec.noise_db {
+        add_noise(&mut measured, db, 1);
+    }
+    let result = recon
+        .run_dbim_with(&measured, &dbim_cfg)
+        .map_err(dbim_fault)?;
+    // `history[i]` records the residual at the *start* of iteration `i`;
+    // shift by one and close with the final residual so each progress/
+    // history entry reports the residual *after* a completed iteration,
+    // matching the distributed driver's convention.
+    let mut residual_history: Vec<f64> = result
+        .history
+        .iter()
+        .skip(1)
+        .map(|r| r.rel_residual)
+        .collect();
+    residual_history.push(result.final_residual);
+    for (i, r) in residual_history.iter().enumerate() {
+        control.progress((i + 1) as u32, *r);
+    }
+    let image = recon.image(&result.object);
+    let ft = FtDbimResult {
+        final_residual: result.final_residual,
+        residual_history,
+        object: result.object,
+        lost_txs: Vec::new(),
+        restarts: 0,
+        interrupted: None,
+    };
+    Ok((ft, image))
+}
+
 /// Runs one attempt of a job. Setup is deterministic in the spec, so a
 /// resumed attempt reproduces the exact run the checkpoint fingerprints.
 fn execute(
@@ -834,6 +963,9 @@ fn execute(
     spec: &JobSpec,
     control: JobControl,
 ) -> Result<(FtDbimResult, Vec<f64>), FaultError> {
+    if spec.hops.is_some() || spec.regularizer != Regularizer::default() {
+        return execute_serial(inner, spec, &control);
+    }
     let recon = inner.cache.get_or_build(spec.geometry_fingerprint(), || {
         Arc::new(Reconstruction::with_pool(
             &spec.scene(),

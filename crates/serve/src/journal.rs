@@ -67,8 +67,9 @@ pub enum JobEvent {
     Accepted {
         /// Job id.
         id: String,
-        /// The validated spec (recovery re-queues from this).
-        spec: JobSpec,
+        /// The validated spec (recovery re-queues from this). Boxed: specs
+        /// dwarf every other variant and events move through channels.
+        spec: Box<JobSpec>,
     },
     /// A worker began (or re-began) executing the job.
     Started {
@@ -165,7 +166,9 @@ impl JobEvent {
         match j.get("type").and_then(Json::as_str) {
             Some("accepted") => Ok(JobEvent::Accepted {
                 id,
-                spec: JobSpec::from_json(j.get("spec").ok_or("accepted missing 'spec'")?)?,
+                spec: Box::new(JobSpec::from_json(
+                    j.get("spec").ok_or("accepted missing 'spec'")?,
+                )?),
             }),
             Some("started") => Ok(JobEvent::Started {
                 id,
@@ -385,7 +388,7 @@ mod tests {
         vec![
             JobEvent::Accepted {
                 id: "j1".into(),
-                spec,
+                spec: Box::new(spec),
             },
             JobEvent::Started {
                 id: "j1".into(),

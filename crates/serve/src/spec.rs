@@ -11,7 +11,7 @@
 use crate::json::{obj, Json};
 use ffw_fault::Fingerprint;
 use ffw_geometry::Point2;
-use ffw_inverse::BackendChoice;
+use ffw_inverse::{BackendChoice, HopSchedule, Regularizer};
 use ffw_mlfma::Accuracy;
 use ffw_phantom::{Annulus, Cylinder, Phantom, RandomBlobs, SheppLogan};
 use ffw_tomo::SceneConfig;
@@ -64,6 +64,15 @@ pub struct JobSpec {
     pub max_flops: Option<f64>,
     /// Seeded fault injection into the first launch (test harness hook).
     pub chaos_seed: Option<u64>,
+    /// Frequency-hop schedule as a wavelength-factor string (`"2.0,1.0"`);
+    /// `None` = single-frequency. Hop jobs run on the serial
+    /// multi-frequency driver, so they require `groups == 1` and
+    /// `subtree == 1`, and checkpoint/resume at hop-stage boundaries.
+    pub hops: Option<HopSchedule>,
+    /// Regularizer on the DBIM linear step (`"tikhonov[:L]"`,
+    /// `"smoothness[:L]"`, `"wgcv-lsqr[:STEPS[:OMEGA]]"`). Non-default
+    /// choices run on the serial driver (`groups == 1`).
+    pub regularizer: Regularizer,
 }
 
 fn field_u64(j: &Json, key: &str, default: u64) -> Result<u64, String> {
@@ -139,6 +148,21 @@ impl JobSpec {
                         .ok_or("'chaos_seed' must be a non-negative integer")?,
                 ),
             },
+            hops: match j.get("hops") {
+                None | Some(Json::Null) => None,
+                Some(v) => Some(
+                    HopSchedule::parse(v.as_str().ok_or("'hops' must be a string")?)
+                        .map_err(|e| format!("'hops': {e}"))?,
+                ),
+            },
+            regularizer: match j.get("regularizer") {
+                None | Some(Json::Null) => Regularizer::default(),
+                Some(v) => v
+                    .as_str()
+                    .ok_or("'regularizer' must be a string")?
+                    .parse()
+                    .map_err(|e| format!("'regularizer': {e}"))?,
+            },
         };
         spec.validate()?;
         Ok(spec)
@@ -213,6 +237,32 @@ impl JobSpec {
                 return Err("'max_flops' must be positive".into());
             }
         }
+        // The serial multi-frequency driver handles hop and non-default
+        // regularizer jobs; it is single-launch, so the distributed layout
+        // and chaos hooks must stay at their defaults.
+        let serial = self.hops.is_some() || self.regularizer != Regularizer::default();
+        if serial && (self.groups != 1 || self.subtree != 1) {
+            return Err(format!(
+                "'hops'/'regularizer' jobs run on the serial driver: \
+                 'groups' {} and 'subtree' {} must both be 1",
+                self.groups, self.subtree
+            ));
+        }
+        if let Some(schedule) = &self.hops {
+            if self.chaos_seed.is_some() {
+                return Err("'chaos_seed' applies to distributed launches only; \
+                     'hops' jobs run the serial driver"
+                    .into());
+            }
+            if self.iterations < schedule.len() {
+                return Err(format!(
+                    "'iterations' {} must give each of the {} hop stage(s) \
+                     at least one iteration",
+                    self.iterations,
+                    schedule.len()
+                ));
+            }
+        }
         Ok(())
     }
 
@@ -244,6 +294,14 @@ impl JobSpec {
                     .map(|v| Json::Num(v as f64))
                     .unwrap_or(Json::Null),
             ),
+            (
+                "hops",
+                self.hops
+                    .as_ref()
+                    .map(|h| Json::Str(h.to_string()))
+                    .unwrap_or(Json::Null),
+            ),
+            ("regularizer", Json::Str(self.regularizer.to_spec_string())),
         ])
     }
 
@@ -337,6 +395,30 @@ mod tests {
         assert_eq!(spec.backend, BackendChoice::Bicgstab);
         assert_eq!(spec.groups, 1);
         assert_eq!(spec.deadline_ms, None);
+        assert_eq!(spec.hops, None);
+        assert_eq!(spec.regularizer, Regularizer::default());
+        let again = JobSpec::from_json(&spec.to_json()).expect("roundtrip");
+        assert_eq!(again, spec);
+    }
+
+    #[test]
+    fn hop_and_regularizer_jobs_roundtrip() {
+        let j = Json::parse(
+            r#"{"id":"hop-1","size":32,"tx":4,"rx":8,"iterations":4,
+                "hops":"2.0,1.0","regularizer":"wgcv-lsqr:8:0.8"}"#,
+        )
+        .expect("parse");
+        let spec = JobSpec::from_json(&j).expect("valid");
+        assert_eq!(spec.hops.as_ref().map(|h| h.len()), Some(2));
+        assert_eq!(
+            spec.regularizer,
+            Regularizer::WgcvLsqr {
+                steps: 8,
+                omega: 0.8
+            }
+        );
+        // The journal stores `to_json` output; recovery must reparse to the
+        // identical spec or a resumed hop job would rebuild a different run.
         let again = JobSpec::from_json(&spec.to_json()).expect("roundtrip");
         assert_eq!(again, spec);
     }
@@ -363,6 +445,24 @@ mod tests {
             (r#"{"id":"a","contrast":2.0}"#, "'contrast'"),
             (r#"{"id":"a","max_flops":-1}"#, "'max_flops'"),
             (r#"{"id":"a","size":"big"}"#, "'size'"),
+            (r#"{"id":"a","hops":"1.0,2.0"}"#, "'hops'"),
+            (r#"{"id":"a","hops":"2.0,1.5"}"#, "'hops'"),
+            (r#"{"id":"a","hops":7}"#, "'hops'"),
+            (
+                r#"{"id":"a","hops":"2.0,1.0","iterations":1}"#,
+                "'iterations'",
+            ),
+            (r#"{"id":"a","hops":"2.0,1.0","tx":4,"groups":2}"#, "serial"),
+            (
+                r#"{"id":"a","hops":"2.0,1.0","chaos_seed":7}"#,
+                "'chaos_seed'",
+            ),
+            (r#"{"id":"a","regularizer":"ridge"}"#, "'regularizer'"),
+            (r#"{"id":"a","regularizer":"wgcv-lsqr:0"}"#, "'regularizer'"),
+            (
+                r#"{"id":"a","regularizer":"smoothness:1e-4","tx":4,"groups":2}"#,
+                "serial",
+            ),
         ] {
             let j = Json::parse(patch).expect(patch);
             let err = JobSpec::from_json(&j).expect_err(patch);

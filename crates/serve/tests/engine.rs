@@ -234,6 +234,48 @@ fn restart_recovers_unfinished_jobs_and_reproduces_outputs_bit_identically() {
     let _ = std::fs::remove_dir_all(&chaos_dir);
 }
 
+/// A frequency-hopping job with the hybrid wGCV-LSQR regularizer runs on
+/// the serial driver end-to-end: accepted, per-stage progress streamed,
+/// done with an output file — and a rerun of the same spec reproduces the
+/// output bit-identically (the serial path is as deterministic as the
+/// distributed one).
+#[test]
+fn hop_regularizer_jobs_run_serially_to_done() {
+    let dir = tmp_dir("hop");
+    let engine = Engine::open(cfg(dir.clone())).expect("open");
+    let spec = |id: &str| {
+        job(
+            id,
+            r#""iterations":4,"hops":"2.0,1.0","regularizer":"wgcv-lsqr:4:0.8","noise_db":40"#,
+        )
+    };
+    let (ack, rx) = submit_watched(&engine, &spec("h1"));
+    assert!(ack.contains("accepted"), "{ack}");
+    assert_eq!(wait_terminal(&engine, "h1"), JobState::Done);
+    let line = wait_line(&rx, r#""ev":"done""#);
+    assert!(line.contains(r#""residual""#), "{line}");
+    assert!(submit(&engine, &spec("h2")).contains("accepted"));
+    assert_eq!(wait_terminal(&engine, "h2"), JobState::Done);
+    let h1 = std::fs::read(engine.output_path("h1")).expect("h1 output");
+    let h2 = std::fs::read(engine.output_path("h2")).expect("h2 output");
+    assert_eq!(h1, h2, "same hop spec must reconstruct bit-identically");
+    assert!(
+        !dir.join("job-h1.ckpt").exists(),
+        "completed hop jobs must clean up their stage checkpoint"
+    );
+    // A hop job that violates the serial-driver constraint is rejected at
+    // admission with the spec detail, not failed mid-run.
+    let line = submit(
+        &engine,
+        &job("h3", r#""hops":"2.0,1.0","iterations":4,"groups":2"#),
+    );
+    assert!(line.contains(r#""reason":"invalid-spec""#), "{line}");
+    assert!(line.contains("serial"), "{line}");
+    engine.drain(false);
+    engine.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn deadline_exceeded_is_a_typed_failure() {
     let dir = tmp_dir("deadline");

@@ -29,7 +29,7 @@ fn history() -> Vec<JobEvent> {
     vec![
         JobEvent::Accepted {
             id: "j1".into(),
-            spec: spec("j1"),
+            spec: Box::new(spec("j1")),
         },
         JobEvent::Started {
             id: "j1".into(),
@@ -37,7 +37,7 @@ fn history() -> Vec<JobEvent> {
         },
         JobEvent::Accepted {
             id: "j2".into(),
-            spec: spec("j2"),
+            spec: Box::new(spec("j2")),
         },
         JobEvent::Done {
             id: "j1".into(),
